@@ -1,0 +1,24 @@
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/source_tree_sync.exe
+	dune exec examples/web_mirror.exe
+	dune exec examples/tuning.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

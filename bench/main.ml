@@ -1,0 +1,762 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) on the synthetic stand-ins for its datasets.
+
+     fig61    Fig 6.1  basic protocol vs min block size (gcc)
+     fig62    Fig 6.2  same on emacs
+     fig63    Fig 6.3  continuation hashes (gcc + emacs)
+     fig64    Fig 6.4  match verification strategies (gcc)
+     table61  Table 6.1  best results, all techniques
+     table62  Table 6.2  web collection update cost
+     ablate   ablations: decomposable / skip rules / candidate cap / local
+     speed    bechamel micro-benchmarks (hashes, compressors, protocol)
+     all      everything above (default)
+
+   Costs are reported in KB as in the paper.  Dataset scale is controlled
+   by FSYNC_SCALE (default "small"); the absolute KB therefore differ from
+   the paper, but every comparison the paper makes is reproduced. *)
+
+module Table = Fsync_util.Table
+module Config = Fsync_core.Config
+module Protocol = Fsync_core.Protocol
+module Rsync = Fsync_rsync.Rsync
+module Delta = Fsync_delta.Delta
+module Source_tree = Fsync_workload.Source_tree
+module Datasets = Fsync_workload.Datasets
+module Driver = Fsync_collection.Driver
+module Snapshot = Fsync_collection.Snapshot
+
+let kb = Table.cell_kb
+
+(* ---- aggregated costs over a list of (old, new) file pairs ---- *)
+
+type ours_cost = {
+  map_s2c : int;
+  map_c2s : int;
+  delta : int;
+  header : int;
+  total : int;
+  roundtrips : int; (* max over files: files are processed concurrently, so
+                       the collection pays the deepest file's trips *)
+}
+
+let run_ours cfg pairs =
+  List.fold_left
+    (fun acc (old_file, new_file) ->
+      let r = Protocol.run ~config:cfg ~old_file new_file in
+      assert (String.equal r.reconstructed new_file);
+      let rep = r.report in
+      {
+        map_s2c = acc.map_s2c + rep.map_s2c;
+        map_c2s = acc.map_c2s + rep.map_c2s;
+        delta = acc.delta + rep.delta_bytes + rep.fallback_bytes;
+        header = acc.header + rep.header_c2s + rep.header_s2c;
+        total = acc.total + Protocol.total_bytes rep;
+        roundtrips = max acc.roundtrips rep.roundtrips;
+      })
+    { map_s2c = 0; map_c2s = 0; delta = 0; header = 0; total = 0; roundtrips = 0 }
+    pairs
+
+let run_rsync ?config pairs =
+  List.fold_left
+    (fun (c2s, s2c) (old_file, new_file) ->
+      let c = Rsync.cost_only ?config ~old_file new_file in
+      (c2s + c.client_to_server, s2c + c.server_to_client))
+    (0, 0) pairs
+
+let run_rsync_best pairs =
+  List.fold_left
+    (fun (c2s, s2c) (old_file, new_file) ->
+      let _, c = Rsync.best_block_size ~old_file new_file in
+      (c2s + c.client_to_server, s2c + c.server_to_client))
+    (0, 0) pairs
+
+let run_delta profile pairs =
+  List.fold_left
+    (fun acc (old_file, new_file) ->
+      acc + Delta.encoded_size ~profile ~reference:old_file new_file)
+    0 pairs
+
+let pairs_of_tree (pair : Source_tree.pair) =
+  List.map
+    (fun ((o : Source_tree.file), (n : Source_tree.file)) -> (o.content, n.content))
+    (Source_tree.changed_files pair)
+
+let dataset_header (pair : Source_tree.pair) =
+  Printf.printf "dataset %s [%s scale]: %d files, %.1f MB -> %.1f MB\n"
+    pair.name (Datasets.scale_name ())
+    (List.length pair.new_version)
+    (float_of_int (Source_tree.total_bytes pair.old_version) /. 1048576.0)
+    (float_of_int (Source_tree.total_bytes pair.new_version) /. 1048576.0)
+
+(* ---- Fig 6.1 / 6.2: basic protocol vs minimum block size ---- *)
+
+let fig_basic ~fig (pair : Source_tree.pair) =
+  dataset_header pair;
+  let pairs = pairs_of_tree pair in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Figure %s: basic protocol (recursive halving + decomposable \
+            hashes + per-candidate verification) on %s; costs in KB"
+           fig pair.name)
+      [
+        ("variant", Table.Left); ("s2c map", Table.Right); ("c2s map", Table.Right);
+        ("delta", Table.Right); ("header", Table.Right); ("total", Table.Right);
+        ("rt", Table.Right);
+      ]
+  in
+  List.iter
+    (fun min_block ->
+      let cfg = { Config.basic with min_global_block = min_block } in
+      let c = run_ours cfg pairs in
+      Table.add_row t
+        [ Printf.sprintf "ours, min block %d" min_block;
+          kb c.map_s2c; kb c.map_c2s; kb c.delta; kb c.header; kb c.total;
+          string_of_int c.roundtrips ])
+    [ 512; 256; 128; 64; 32; 16 ];
+  Table.add_rule t;
+  let c2s, s2c = run_rsync pairs in
+  Table.add_row t
+    [ "rsync (block 700)"; kb s2c; kb c2s; "-"; "-"; kb (c2s + s2c); "1" ];
+  let bc2s, bs2c = run_rsync_best pairs in
+  Table.add_row t
+    [ "rsync (best block)"; kb bs2c; kb bc2s; "-"; "-"; kb (bc2s + bs2c); "1" ];
+  let z = run_delta Delta.Zdelta pairs in
+  Table.add_row t [ "zdelta (lower bound)"; "-"; "-"; kb z; "-"; kb z; "1" ];
+  Table.print t
+
+(* ---- Fig 6.3: continuation hashes ---- *)
+
+let fig63 () =
+  List.iter
+    (fun pair ->
+      dataset_header pair;
+      let pairs = pairs_of_tree pair in
+      let base_cfg =
+        { Config.basic with
+          verification = Config.grouped_verification 1;
+          min_global_block = 128 }
+      in
+      let t =
+        Table.create
+          ~caption:
+            (Printf.sprintf
+               "Figure 6.3: continuation hashes on %s (group verification \
+                on, global hashes stop at 128 B); costs in KB"
+               pair.name)
+          [
+            ("continuation", Table.Left); ("s2c map", Table.Right);
+            ("c2s map", Table.Right); ("delta", Table.Right);
+            ("total", Table.Right);
+          ]
+      in
+      let run name cfg =
+        let c = run_ours cfg pairs in
+        Table.add_row t [ name; kb c.map_s2c; kb c.map_c2s; kb c.delta; kb c.total ]
+      in
+      run "none (group verify only)" base_cfg;
+      List.iter
+        (fun cont_min ->
+          run
+            (Printf.sprintf "down to %d B" cont_min)
+            (Config.with_continuation ~cont_min_block:cont_min base_cfg))
+        [ 64; 32; 16; 8 ];
+      Table.print t)
+    [ Datasets.gcc (); Datasets.emacs () ]
+
+(* ---- Fig 6.4: match verification strategies ---- *)
+
+let fig64 () =
+  let pair = Datasets.gcc () in
+  dataset_header pair;
+  let pairs = pairs_of_tree pair in
+  let base = Config.with_continuation { Config.basic with min_global_block = 128 } in
+  let t =
+    Table.create
+      ~caption:
+        "Figure 6.4: match verification strategies on gcc (continuation on); \
+         costs in KB; 'vrt' = verification round trips per round"
+      [
+        ("strategy", Table.Left); ("vrt", Table.Right); ("c2s map", Table.Right);
+        ("s2c map", Table.Right); ("delta", Table.Right); ("total", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, vrt, verification) ->
+      let c = run_ours { base with verification } pairs in
+      Table.add_row t
+        [ name; string_of_int vrt; kb c.map_c2s; kb c.map_s2c; kb c.delta;
+          kb c.total ])
+    [
+      ("trivial 16-bit per candidate", 1, Config.trivial_verification);
+      ("weak filter + group", 2, Config.grouped_verification 1);
+      ("+ individual salvage, retry", 3, Config.grouped_verification 2);
+      ("+ growing groups", 4, Config.grouped_verification 3);
+    ];
+  Table.print t
+
+(* ---- Table 6.1: best results with all techniques ---- *)
+
+let table61 () =
+  let t =
+    Table.create
+      ~caption:"Table 6.1: best results using all techniques (KB)"
+      [
+        ("method", Table.Left); ("gcc", Table.Right); ("emacs", Table.Right);
+        ("gcc vs rsync", Table.Right); ("emacs vs rsync", Table.Right);
+      ]
+  in
+  let datasets = [ Datasets.gcc (); Datasets.emacs () ] in
+  List.iter dataset_header datasets;
+  let all_pairs = List.map pairs_of_tree datasets in
+  let costs f = List.map f all_pairs in
+  let rsync_costs = costs (fun pairs -> let a, b = run_rsync pairs in a + b) in
+  let add name cs =
+    let ratios =
+      List.map2
+        (fun c r -> Printf.sprintf "%.2fx" (float_of_int r /. float_of_int c))
+        cs rsync_costs
+    in
+    Table.add_row t ((name :: List.map kb cs) @ ratios)
+  in
+  add "rsync (block 700)" rsync_costs;
+  add "rsync (best block)" (costs (fun p -> let a, b = run_rsync_best p in a + b));
+  add "cdc (LBFS-style)"
+    (costs
+       (List.fold_left
+          (fun acc (old_file, new_file) ->
+            acc
+            + Fsync_cdc.Lbfs_sync.total
+                (Fsync_cdc.Lbfs_sync.sync ~old_file new_file).cost)
+          0));
+  add "ours (single round)"
+    (costs (fun p -> (run_ours Config.single_round p).total));
+  add "ours (one-way broadcast)"
+    (costs
+       (List.fold_left
+          (fun acc (old_file, new_file) ->
+            acc
+            + Fsync_core.Oneway.total_bytes
+                (Fsync_core.Oneway.sync ~old_file new_file).report)
+          0));
+  add "ours (all techniques)" (costs (fun p -> (run_ours Config.tuned p).total));
+  add "vcdiff (lower bound)" (costs (run_delta Delta.Vcdiff));
+  add "zdelta (lower bound)" (costs (run_delta Delta.Zdelta));
+  Table.print t
+
+(* ---- Table 6.2: web collection update cost ---- *)
+
+let table62 () =
+  let days = [ 1; 2; 7 ] in
+  let base = Datasets.web_base () in
+  let snapshots = Datasets.web_snapshots ~days in
+  let n_pages = Array.length base in
+  Printf.printf
+    "web collection [%s scale]: %d pages, %.1f MB base; costs below are KB \
+     for this scale (paper: 10,000 pages)\n"
+    (Datasets.scale_name ()) n_pages
+    (float_of_int (Fsync_workload.Web_collection.total_bytes base) /. 1048576.0);
+  let t =
+    Table.create
+      ~caption:
+        "Table 6.2: cost of updating the web collection, by update interval \
+         (KB; per-file fingerprints skip unchanged pages)"
+      [
+        ("method", Table.Left); ("1 day", Table.Right); ("2 days", Table.Right);
+        ("7 days", Table.Right);
+      ]
+  in
+  let to_snapshot pages =
+    Snapshot.of_files
+      (Array.to_list
+         (Array.map
+            (fun (p : Fsync_workload.Web_collection.page) -> (p.url, p.content))
+            pages))
+  in
+  let client = to_snapshot base in
+  let servers = List.map to_snapshot snapshots in
+  let methods =
+    [
+      Driver.Full_compressed;
+      Driver.Rsync_default;
+      Driver.Fsync Config.tuned;
+      Driver.Delta_lower_bound Delta.Zdelta;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let cells =
+        List.map
+          (fun server ->
+            let updated, summary = Driver.sync m ~client ~server in
+            assert (Snapshot.files updated = Snapshot.files server);
+            kb (Driver.total summary))
+          servers
+      in
+      Table.add_row t (Driver.method_name m :: cells))
+    methods;
+  Table.print t
+
+(* ---- ablations ---- *)
+
+let ablate () =
+  let pair = Datasets.gcc () in
+  dataset_header pair;
+  let pairs = pairs_of_tree pair in
+  let t =
+    Table.create
+      ~caption:"Ablations on gcc (KB): each row toggles one design choice"
+      [
+        ("configuration", Table.Left); ("s2c map", Table.Right);
+        ("c2s map", Table.Right); ("delta", Table.Right); ("total", Table.Right);
+      ]
+  in
+  let run name cfg =
+    let c = run_ours cfg pairs in
+    Table.add_row t [ name; kb c.map_s2c; kb c.map_c2s; kb c.delta; kb c.total ]
+  in
+  let tuned = Config.tuned in
+  run "tuned (reference)" tuned;
+  run "- decomposable hashes" { tuned with decomposable = false };
+  run "- continuation hashes"
+    { tuned with continuation = { tuned.continuation with cont_enabled = false } };
+  run "- skip sibling after cont" { tuned with skip_sibling_after_cont = false };
+  run "+ omit global after cont miss"
+    { tuned with omit_global_after_cont_miss = true };
+  run "+ local hashes"
+    { tuned with
+      local =
+        { local_enabled = true; local_bits = 10; local_window = 64;
+          local_range = 4096 } };
+  run "candidate cap 1" { tuned with candidate_cap = 1 };
+  run "candidate cap 8" { tuned with candidate_cap = 8 };
+  run "+ message compression" { tuned with compress_messages = true };
+  run "vcdiff delta profile" { tuned with delta_profile = Delta.Vcdiff };
+  run "single-round preset" Config.single_round;
+  Table.print t;
+  (* Adaptive selection (S7): per-file probing then the chosen config. *)
+  let ad_total, probe_total =
+    List.fold_left
+      (fun (t, p) (old_file, new_file) ->
+        let r, pr = Fsync_core.Adaptive.sync ~old_file new_file in
+        ( t + Protocol.total_bytes r.report,
+          p + pr.probe_c2s + pr.probe_s2c ))
+      (0, 0) pairs
+  in
+  Printf.printf "adaptive: %.1f KB + %.1f KB probe cost\n"
+    (float_of_int ad_total /. 1024.) (float_of_int probe_total /. 1024.);
+  (* Harvest rates (§6.2): the percentage of hashes that produce candidate
+     matches and confirmed matches, per phase.  The paper observes that
+     continuation hashes have a much higher harvest rate than global
+     hashes, which is why they remain profitable at tiny block sizes. *)
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (old_file, new_file) ->
+      let r = Protocol.run ~config:tuned ~old_file new_file in
+      List.iter
+        (fun (name, (st : Protocol.phase_stat)) ->
+          let h, hit, c =
+            match Hashtbl.find_opt tbl name with
+            | Some v -> v
+            | None -> (0, 0, 0)
+          in
+          Hashtbl.replace tbl name
+            (h + st.hashes, hit + st.hits, c + st.confirms))
+        r.report.phase_stats)
+    pairs;
+  let ht =
+    Table.create ~caption:"harvest rate by phase (tuned config)"
+      [
+        ("phase", Table.Left); ("hashes", Table.Right); ("hits", Table.Right);
+        ("confirmed", Table.Right); ("harvest", Table.Right);
+      ]
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt tbl name with
+      | None -> ()
+      | Some (h, hit, c) ->
+          Table.add_row ht
+            [ name; string_of_int h; string_of_int hit; string_of_int c;
+              Printf.sprintf "%.1f%%" (100.0 *. float_of_int c /. float_of_int (max h 1)) ])
+    [ "cont"; "global"; "local" ];
+  Table.print ht
+
+(* ---- broadcast: the asymmetric one-way setting (S7) ---- *)
+
+let broadcast () =
+  (* One current file, many clients holding slightly different outdated
+     versions.  The interactive protocol repeats per-client work; the
+     one-way signature is published once. *)
+  let rng = Fsync_util.Prng.create 314L in
+  let new_file = Fsync_workload.Text_gen.c_like rng ~lines:12_000 in
+  let make_client i =
+    let rng = Fsync_util.Prng.create (Int64.of_int (9000 + i)) in
+    ( Fsync_workload.Edit_model.mutate rng
+        ~profile:Fsync_workload.Edit_model.light
+        ~gen_text:(fun rng n ->
+          String.init n (fun _ -> Char.chr (97 + Fsync_util.Prng.int rng 26)))
+        new_file,
+      new_file )
+  in
+  Printf.printf "broadcast scenario: one %d-byte file, outdated clients\n"
+    (String.length new_file);
+  let t =
+    Table.create
+      ~caption:
+        "server upload to bring N clients up to date (KB); one-way \
+         publishes its signature once and does no per-client rounds"
+      [
+        ("clients", Table.Right); ("full (compressed)", Table.Right);
+        ("interactive (tuned)", Table.Right); ("one-way", Table.Right);
+        ("one-way/client", Table.Right);
+      ]
+  in
+  let full_one = Fsync_compress.Deflate.compressed_size new_file in
+  List.iter
+    (fun n ->
+      let clients = List.init n make_client in
+      let interactive =
+        List.fold_left
+          (fun acc (old_file, nf) ->
+            let r = Protocol.run ~config:Config.tuned ~old_file nf in
+            acc + r.report.total_s2c)
+          0 clients
+      in
+      let oneway = Fsync_core.Oneway.broadcast_cost ~clients () in
+      Table.add_row t
+        [
+          string_of_int n; kb (full_one * n); kb interactive; kb oneway;
+          kb (oneway / max n 1);
+        ])
+    [ 1; 4; 16; 64 ];
+  Table.print t;
+  print_endline
+    "one-way trades bytes for server passivity: no per-client rounds, a\n\
+     broadcastable signature, ~4x below a full compressed send; the\n\
+     interactive protocol stays the byte optimum when the server can\n\
+     afford per-client work (S7's trade-off)."
+
+(* ---- latency: roundtrip amortization on slow links (S2.3) ---- *)
+
+let latency () =
+  let pair = Datasets.gcc () in
+  dataset_header pair;
+  let triples =
+    List.mapi
+      (fun i (old_file, new_file) -> (string_of_int i, old_file, new_file))
+      (pairs_of_tree pair)
+  in
+  let _, report = Fsync_collection.Pipeline.sync ~config:Config.tuned triples in
+  let rsync_c2s, rsync_s2c = run_rsync (pairs_of_tree pair) in
+  let rsync_bytes = rsync_c2s + rsync_s2c in
+  Printf.printf
+    "ours: %d KB, %d roundtrips sequentially, %d when rounds are batched \
+     across files\n"
+    (Fsync_collection.Pipeline.total_bytes report / 1024)
+    report.sequential_roundtrips report.batched_roundtrips;
+  let t =
+    Table.create
+      ~caption:
+        "end-to-end time for the whole collection on a slow link (seconds; \
+         rsync pays 1 batched round trip)"
+      [
+        ("link", Table.Left); ("rsync", Table.Right);
+        ("ours sequential", Table.Right); ("ours batched", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, latency_s, bandwidth_bps) ->
+      let rsync_t =
+        (2.0 *. latency_s) +. (float_of_int rsync_bytes /. (bandwidth_bps /. 8.0))
+      in
+      let seq =
+        Fsync_collection.Pipeline.elapsed_s ~latency_s ~bandwidth_bps
+          ~batched:false report
+      in
+      let bat =
+        Fsync_collection.Pipeline.elapsed_s ~latency_s ~bandwidth_bps
+          ~batched:true report
+      in
+      Table.add_row t
+        [ name; Printf.sprintf "%.1f" rsync_t; Printf.sprintf "%.1f" seq;
+          Printf.sprintf "%.1f" bat ])
+    [
+      ("DSL: 50 ms, 1 Mbit/s", 0.05, 1_000_000.0);
+      ("modem: 150 ms, 56 kbit/s", 0.15, 56_000.0);
+      ("LAN: 1 ms, 100 Mbit/s", 0.001, 100_000_000.0);
+    ];
+  Table.print t
+
+(* ---- dispersion: clustered vs dispersed changes (S2.3) ---- *)
+
+let dispersion () =
+  (* "If a single character is changed in each block, rsync will be
+     completely ineffective; if all changes are clustered in a few areas,
+     rsync will do well even with a large block size."  Same edit volume,
+     varying clustering. *)
+  let rng0 = Fsync_util.Prng.create 77L in
+  let old_file = Fsync_workload.Text_gen.c_like rng0 ~lines:12_000 in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "clustered vs dispersed edits (%d-byte file, equal edit volume; \
+            KB)"
+           (String.length old_file))
+      [
+        ("clustering", Table.Left); ("rsync", Table.Right);
+        ("ours (tuned)", Table.Right); ("zdelta", Table.Right);
+        ("ours/rsync", Table.Right);
+      ]
+  in
+  List.iter
+    (fun clustering ->
+      let rng = Fsync_util.Prng.create 78L in
+      let profile =
+        { Fsync_workload.Edit_model.medium with clustering }
+      in
+      let new_file =
+        Fsync_workload.Edit_model.mutate rng ~profile
+          ~gen_text:(fun rng n ->
+            String.init n (fun _ ->
+                Char.chr (97 + Fsync_util.Prng.int rng 26)))
+          old_file
+      in
+      let rsync = Rsync.total (Rsync.cost_only ~old_file new_file) in
+      let ours =
+        Protocol.total_bytes
+          (Protocol.run ~config:Config.tuned ~old_file new_file).report
+      in
+      let z = Delta.encoded_size ~reference:old_file new_file in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" clustering;
+          kb rsync; kb ours; kb z;
+          Printf.sprintf "%.2fx" (float_of_int rsync /. float_of_int ours);
+        ])
+    [ 0.95; 0.7; 0.4; 0.0 ];
+  Table.print t;
+  (* The adversarial extreme: exactly one character changed every
+     [stride] bytes, so no [stride]-sized block survives intact. *)
+  let t2 =
+    Table.create
+      ~caption:"one changed character every N bytes (rsync's worst case; KB)"
+      [
+        ("stride", Table.Left); ("rsync", Table.Right);
+        ("ours (tuned)", Table.Right); ("zdelta", Table.Right);
+        ("ours/rsync", Table.Right);
+      ]
+  in
+  List.iter
+    (fun stride ->
+      let bytes = Bytes.of_string old_file in
+      let i = ref (stride / 2) in
+      while !i < Bytes.length bytes do
+        Bytes.set bytes !i '#';
+        i := !i + stride
+      done;
+      let new_file = Bytes.to_string bytes in
+      let rsync = Rsync.total (Rsync.cost_only ~old_file new_file) in
+      let ours =
+        Protocol.total_bytes
+          (Protocol.run ~config:Config.tuned ~old_file new_file).report
+      in
+      let z = Delta.encoded_size ~reference:old_file new_file in
+      Table.add_row t2
+        [
+          Printf.sprintf "%d B" stride;
+          kb rsync; kb ours; kb z;
+          Printf.sprintf "%.2fx" (float_of_int rsync /. float_of_int ours);
+        ])
+    [ 4096; 1024; 600; 256 ];
+  Table.print t2
+
+(* ---- theory: group-testing planner and searching-with-liars ---- *)
+
+let theory () =
+  let module VP = Fsync_core.Verification_planner in
+  let t =
+    Table.create
+      ~caption:
+        "group-testing verification schedules: expected cost per candidate \
+         (Monte-Carlo, n=64 candidates per round)"
+      [
+        ("schedule", Table.Left); ("p genuine", Table.Right);
+        ("bits/cand", Table.Right); ("recall", Table.Right);
+        ("false+", Table.Right); ("trips", Table.Right);
+      ]
+  in
+  let name_of (v : Config.verification) =
+    String.concat "+"
+      (List.map
+         (fun (b : Config.batch) -> Printf.sprintf "%dx%d" b.group_size b.bits)
+         v.batches)
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun v ->
+          let o = VP.expected_cost ~p_genuine:p ~n:64 v in
+          Table.add_row t
+            [
+              name_of v;
+              Printf.sprintf "%.2f" p;
+              Printf.sprintf "%.1f" o.bits_per_candidate;
+              Printf.sprintf "%.3f" o.confirmed_genuine;
+              Printf.sprintf "%.4f" o.false_confirms;
+              Printf.sprintf "%.1f" o.roundtrips;
+            ])
+        VP.menu;
+      Table.add_rule t)
+    [ 0.5; 0.9; 0.99 ];
+  Table.print t;
+  List.iter
+    (fun p ->
+      let v, o = VP.recommend ~p_genuine:p ~n:64 () in
+      Printf.printf "recommended at p=%.2f: %s (%.1f bits/cand)\n" p (name_of v)
+        o.bits_per_candidate)
+    [ 0.5; 0.9; 0.99 ];
+  print_newline ();
+  let module LS = Fsync_core.Liar_search in
+  let lt =
+    Table.create
+      ~caption:
+        "searching with liars (continuation-hash extension, Ulam's problem): \
+         locating the true extension length among 256 positions"
+      [
+        ("strategy", Table.Left); ("lie bits", Table.Right);
+        ("avg bits", Table.Right); ("avg queries", Table.Right);
+        ("errors", Table.Right);
+      ]
+  in
+  List.iter
+    (fun lie_bits ->
+      List.iter
+        (fun (s, (r : LS.result)) ->
+          Table.add_row lt
+            [
+              LS.strategy_name s;
+              string_of_int lie_bits;
+              Printf.sprintf "%.1f" r.avg_query_bits;
+              Printf.sprintf "%.1f" r.avg_queries;
+              Printf.sprintf "%.3f" r.error_rate;
+            ])
+        (LS.compare_strategies ~lie_bits ~verify_bits:16 ~max_extent:256 ());
+      Table.add_rule lt)
+    [ 2; 4; 8 ];
+  Table.print lt
+
+(* ---- bechamel micro-benchmarks ---- *)
+
+let speed () =
+  let open Bechamel in
+  let mb = 1 lsl 20 in
+  let rng = Fsync_util.Prng.create 42L in
+  let text = Fsync_workload.Text_gen.c_like rng ~lines:(mb / 35) in
+  let data = String.sub text 0 (min mb (String.length text)) in
+  let small = String.sub data 0 (1 lsl 16) in
+  let old_small =
+    Fsync_workload.Edit_model.mutate rng
+      ~profile:Fsync_workload.Edit_model.medium
+      ~gen_text:(fun rng n ->
+        String.init n (fun _ -> Char.chr (97 + Fsync_util.Prng.int rng 26)))
+      small
+  in
+  let tests =
+    Test.make_grouped ~name:"fsync"
+      [
+        Test.make ~name:"md5 1MB"
+          (Staged.stage (fun () -> ignore (Fsync_hash.Md5.digest data)));
+        Test.make ~name:"poly-roll 1MB"
+          (Staged.stage (fun () ->
+               let r =
+                 Fsync_hash.Poly_hash.Roller.create data ~window:64 ~pos:0
+               in
+               while Fsync_hash.Poly_hash.Roller.can_roll r do
+                 Fsync_hash.Poly_hash.Roller.roll r
+               done));
+        Test.make ~name:"adler-roll 1MB"
+          (Staged.stage (fun () ->
+               let a = ref (Fsync_hash.Adler32.of_sub data ~pos:0 ~len:64) in
+               for p = 1 to String.length data - 64 do
+                 a :=
+                   Fsync_hash.Adler32.roll !a ~out:data.[p - 1]
+                     ~in_:data.[p + 63]
+               done));
+        Test.make ~name:"deflate 64KB"
+          (Staged.stage (fun () -> ignore (Fsync_compress.Deflate.compress small)));
+        Test.make ~name:"zdelta 64KB"
+          (Staged.stage (fun () ->
+               ignore (Delta.encode ~reference:old_small small)));
+        Test.make ~name:"rsync 64KB"
+          (Staged.stage (fun () -> ignore (Rsync.sync ~old_file:old_small small)));
+        Test.make ~name:"protocol 64KB (tuned)"
+          (Staged.stage (fun () ->
+               ignore (Protocol.run ~config:Config.tuned ~old_file:old_small small)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  print_endline "micro-benchmarks (per-run wall clock):";
+  Hashtbl.iter
+    (fun measure tbl ->
+      if String.equal measure (Measure.label Toolkit.Instance.monotonic_clock) then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "  %-30s %10.3f ms\n" name (est /. 1e6)
+            | _ -> Printf.printf "  %-30s (no estimate)\n" name)
+          tbl)
+    results;
+  print_newline ()
+
+(* ---- driver ---- *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [fig61|fig62|fig63|fig64|table61|table62|ablate|dispersion|latency|broadcast|theory|speed|all]"
+
+let () =
+  let targets =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "all" ] | _ :: rest -> rest
+  in
+  let run_target = function
+    | "fig61" -> fig_basic ~fig:"6.1" (Datasets.gcc ())
+    | "fig62" -> fig_basic ~fig:"6.2" (Datasets.emacs ())
+    | "fig63" -> fig63 ()
+    | "fig64" -> fig64 ()
+    | "table61" -> table61 ()
+    | "table62" -> table62 ()
+    | "ablate" -> ablate ()
+    | "dispersion" -> dispersion ()
+    | "latency" -> latency ()
+    | "broadcast" -> broadcast ()
+    | "theory" -> theory ()
+    | "speed" -> speed ()
+    | "all" ->
+        fig_basic ~fig:"6.1" (Datasets.gcc ());
+        fig_basic ~fig:"6.2" (Datasets.emacs ());
+        fig63 ();
+        fig64 ();
+        table61 ();
+        table62 ();
+        ablate ();
+        dispersion ();
+        latency ();
+        broadcast ();
+        theory ();
+        speed ()
+    | other ->
+        Printf.printf "unknown target %s\n" other;
+        usage ();
+        exit 1
+  in
+  List.iter run_target targets

@@ -1,0 +1,313 @@
+(* fsync — command-line front end.
+
+   Subcommands:
+     sync     simulate synchronizing one file (old -> new), report costs
+     dir      synchronize a directory tree against another, report costs
+     delta    write a delta of TARGET relative to REFERENCE
+     patch    apply a delta to REFERENCE
+     rsync    run the rsync baseline on a file pair, report costs
+     gen      generate a synthetic dataset onto disk
+     info     describe a configuration preset *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+(* ---- shared arguments ---- *)
+
+let preset_conv =
+  let parse = function
+    | "basic" -> Ok Fsync_core.Config.basic
+    | "cont" -> Ok (Fsync_core.Config.with_continuation Fsync_core.Config.basic)
+    | "tuned" -> Ok Fsync_core.Config.tuned
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (basic|cont|tuned)" s))
+  in
+  let print ppf _ = Format.fprintf ppf "<config>" in
+  Arg.conv (parse, print)
+
+let config_arg =
+  Arg.(
+    value
+    & opt preset_conv Fsync_core.Config.tuned
+    & info [ "c"; "config" ] ~docv:"PRESET"
+        ~doc:"Protocol preset: basic, cont, or tuned.")
+
+let min_block_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "min-block" ] ~docv:"BYTES"
+        ~doc:"Override the minimum global block size (power of two).")
+
+let apply_overrides config min_block =
+  match min_block with
+  | None -> config
+  | Some m -> { config with Fsync_core.Config.min_global_block = m }
+
+let pp_report rep =
+  Format.printf "%a@." Fsync_core.Protocol.pp_report rep
+
+(* ---- sync ---- *)
+
+let sync_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+           ~doc:"Outdated file (client side).")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"Current file (server side).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write the reconstructed file here.")
+  in
+  let adaptive_arg =
+    Arg.(value & flag & info [ "adaptive" ]
+           ~doc:"Probe similarity first and choose the configuration (S7).")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print the message timeline (Fig 5.2 style).")
+  in
+  let run config min_block adaptive trace old_path new_path out =
+    let config = apply_overrides config min_block in
+    let old_file = read_file old_path and new_file = read_file new_path in
+    let channel = Fsync_net.Channel.create () in
+    let r =
+      if adaptive then begin
+        let pr = Fsync_core.Adaptive.probe ~old_file new_file in
+        Format.printf "adaptive: similarity %.2f -> %s (probe %d+%d bytes)@."
+          pr.similarity pr.rationale pr.probe_c2s pr.probe_s2c;
+        Fsync_core.Protocol.run ~channel ~config:pr.chosen ~old_file new_file
+      end
+      else Fsync_core.Protocol.run ~channel ~config ~old_file new_file
+    in
+    assert (String.equal r.reconstructed new_file);
+    if trace then Fsync_net.Trace.print channel;
+    pp_report r.report;
+    let total = Fsync_core.Protocol.total_bytes r.report in
+    Format.printf "transfer: %d bytes for a %d-byte file (%.1f%%)@." total
+      (String.length new_file)
+      (100.0 *. float_of_int total /. float_of_int (max 1 (String.length new_file)));
+    Option.iter (fun p -> write_file p r.reconstructed) out
+  in
+  let term =
+    Term.(
+      const run $ config_arg $ min_block_arg $ adaptive_arg $ trace_arg
+      $ old_arg $ new_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "sync" ~doc:"Synchronize one file and report transfer costs.")
+    term
+
+(* ---- dir ---- *)
+
+let dir_cmd =
+  let client_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"CLIENT"
+           ~doc:"Directory holding the outdated replica.")
+  in
+  let server_arg =
+    Arg.(required & pos 1 (some dir) None & info [] ~docv:"SERVER"
+           ~doc:"Directory holding the current collection.")
+  in
+  let method_conv =
+    let parse = function
+      | "full" -> Ok Fsync_collection.Driver.Full_compressed
+      | "rsync" -> Ok Fsync_collection.Driver.Rsync_default
+      | "rsync-best" -> Ok Fsync_collection.Driver.Rsync_best
+      | "fsync" -> Ok (Fsync_collection.Driver.Fsync Fsync_core.Config.tuned)
+      | "zdelta" -> Ok (Fsync_collection.Driver.Delta_lower_bound Fsync_delta.Delta.Zdelta)
+      | "cdc" -> Ok Fsync_collection.Driver.Cdc
+      | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+    in
+    Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<method>")
+  in
+  let method_arg =
+    Arg.(value & opt method_conv (Fsync_collection.Driver.Fsync Fsync_core.Config.tuned)
+         & info [ "m"; "method" ] ~docv:"METHOD"
+             ~doc:"Transfer method: full, rsync, rsync-best, fsync, zdelta, cdc.")
+  in
+  let apply_arg =
+    Arg.(value & flag & info [ "apply" ]
+           ~doc:"Actually update CLIENT on disk (default: report only).")
+  in
+  let run method_ client_dir server_dir apply =
+    let client = Fsync_collection.Snapshot.load_dir client_dir in
+    let server = Fsync_collection.Snapshot.load_dir server_dir in
+    let updated, summary = Fsync_collection.Driver.sync method_ ~client ~server in
+    Format.printf "%a@." Fsync_collection.Driver.pp_summary summary;
+    if apply then begin
+      Fsync_collection.Snapshot.store_dir client_dir updated;
+      Format.printf "client updated in place@."
+    end
+  in
+  let term = Term.(const run $ method_arg $ client_arg $ server_arg $ apply_arg) in
+  Cmd.v
+    (Cmd.info "dir" ~doc:"Synchronize a directory tree and report costs.")
+    term
+
+(* ---- delta / patch ---- *)
+
+let delta_cmd =
+  let ref_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REFERENCE" ~doc:"Reference file.")
+  in
+  let tgt_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TARGET" ~doc:"Target file.")
+  in
+  let out_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"OUT" ~doc:"Delta output path.")
+  in
+  let run ref_path tgt_path out =
+    let reference = read_file ref_path and target = read_file tgt_path in
+    let d = Fsync_delta.Delta.encode ~reference target in
+    write_file out d;
+    Format.printf "delta: %d bytes for a %d-byte target (%.2f%%)@."
+      (String.length d) (String.length target)
+      (100.0 *. float_of_int (String.length d)
+       /. float_of_int (max 1 (String.length target)))
+  in
+  Cmd.v
+    (Cmd.info "delta" ~doc:"Delta compress TARGET relative to REFERENCE.")
+    Term.(const run $ ref_arg $ tgt_arg $ out_arg)
+
+let patch_cmd =
+  let ref_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REFERENCE" ~doc:"Reference file.")
+  in
+  let delta_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DELTA" ~doc:"Delta file.")
+  in
+  let out_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"OUT" ~doc:"Output path.")
+  in
+  let run ref_path delta_path out =
+    let reference = read_file ref_path and d = read_file delta_path in
+    write_file out (Fsync_delta.Delta.decode ~reference d);
+    Format.printf "patched -> %s@." out
+  in
+  Cmd.v (Cmd.info "patch" ~doc:"Apply a delta to REFERENCE.")
+    Term.(const run $ ref_arg $ delta_arg $ out_arg)
+
+(* ---- rsync baseline ---- *)
+
+let rsync_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Outdated file.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Current file.")
+  in
+  let block_arg =
+    Arg.(value & opt int 700 & info [ "b"; "block-size" ] ~docv:"BYTES"
+           ~doc:"rsync block size.")
+  in
+  let best_arg =
+    Arg.(value & flag & info [ "best" ] ~doc:"Search for the best block size.")
+  in
+  let run old_path new_path block_size best =
+    let old_file = read_file old_path and new_file = read_file new_path in
+    if best then begin
+      let bs, c = Fsync_rsync.Rsync.best_block_size ~old_file new_file in
+      Format.printf "best block size %d: c2s=%d s2c=%d total=%d@." bs
+        c.client_to_server c.server_to_client (Fsync_rsync.Rsync.total c)
+    end
+    else begin
+      let r =
+        Fsync_rsync.Rsync.sync
+          ~config:{ Fsync_rsync.Rsync.default_config with block_size }
+          ~old_file new_file
+      in
+      Format.printf
+        "block %d: c2s=%d s2c=%d total=%d matched_blocks=%d literal_bytes=%d@."
+        block_size r.cost.client_to_server r.cost.server_to_client
+        (Fsync_rsync.Rsync.total r.cost) r.matched_blocks r.literal_bytes
+    end
+  in
+  Cmd.v (Cmd.info "rsync" ~doc:"Run the rsync baseline on a file pair.")
+    Term.(const run $ old_arg $ new_arg $ block_arg $ best_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let dataset_arg =
+    Arg.(required & pos 0 (some (enum [ ("gcc", `Gcc); ("emacs", `Emacs); ("web", `Web) ])) None
+         & info [] ~docv:"DATASET" ~doc:"Dataset: gcc, emacs, or web.")
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.02 & info [ "s"; "scale" ] ~docv:"FACTOR"
+           ~doc:"Dataset scale; 1.0 approximates the paper's size.")
+  in
+  let run dataset out scale =
+    let store sub files =
+      let snap = Fsync_collection.Snapshot.of_files files in
+      Fsync_collection.Snapshot.store_dir (Filename.concat out sub) snap;
+      Format.printf "%s: %d files, %d bytes@." sub
+        (Fsync_collection.Snapshot.count snap)
+        (Fsync_collection.Snapshot.total_bytes snap)
+    in
+    let tree_files version =
+      List.map (fun (f : Fsync_workload.Source_tree.file) -> (f.path, f.content)) version
+    in
+    match dataset with
+    | `Gcc | `Emacs ->
+        let preset =
+          match dataset with
+          | `Gcc -> Fsync_workload.Source_tree.gcc_preset ~scale
+          | _ -> Fsync_workload.Source_tree.emacs_preset ~scale
+        in
+        let pair = Fsync_workload.Source_tree.generate preset in
+        store "old" (tree_files pair.old_version);
+        store "new" (tree_files pair.new_version)
+    | `Web ->
+        let preset = Fsync_workload.Web_collection.default_preset ~scale in
+        let base = Fsync_workload.Web_collection.base preset in
+        let page_files pages =
+          Array.to_list
+            (Array.mapi
+               (fun i (p : Fsync_workload.Web_collection.page) ->
+                 ignore p.url;
+                 (Printf.sprintf "page%05d.html" i, p.content))
+               pages)
+        in
+        store "day0" (page_files base);
+        List.iter
+          (fun d ->
+            store
+              (Printf.sprintf "day%d" d)
+              (page_files (Fsync_workload.Web_collection.evolve preset base ~days:d)))
+          [ 1; 2; 7 ]
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic dataset onto disk.")
+    Term.(const run $ dataset_arg $ out_arg $ scale_arg)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run config =
+    Format.printf "%a@." Fsync_core.Config.pp config
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print the selected configuration preset.")
+    Term.(const run $ config_arg)
+
+let main =
+  let doc = "bandwidth-efficient file synchronization (Suel-Noel-Trendafilov, ICDE 2004)" in
+  Cmd.group (Cmd.info "fsync" ~version:"1.0.0" ~doc)
+    [ sync_cmd; dir_cmd; delta_cmd; patch_cmd; rsync_cmd; gen_cmd; info_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,58 @@
+(* Quickstart: synchronize one file and look at the cost report.
+
+     dune exec examples/quickstart.exe
+
+   The client holds yesterday's version of a document; the server holds
+   today's.  [Fsync_core.Sync.file] runs the full multi-round protocol in
+   memory and returns both the reconstruction and a byte-exact cost
+   breakdown. *)
+
+let yesterdays_version =
+  String.concat "\n"
+    (List.init 400 (fun i ->
+         Printf.sprintf "%04d | quarterly figures, region %d, total %d" i
+           (i mod 7) (i * 3571 mod 9973)))
+
+let todays_version =
+  (* A realistic edit: a few lines changed, one paragraph inserted. *)
+  let lines = String.split_on_char '\n' yesterdays_version in
+  let edited =
+    List.mapi
+      (fun i line ->
+        if i = 42 then line ^ "  <-- REVISED"
+        else if i = 200 then "0200 | figures restated after audit"
+        else line)
+      lines
+  in
+  String.concat "\n"
+    (List.concat [ [ "REPORT v2 -- includes audit updates" ]; edited ])
+
+let () =
+  let result =
+    Fsync_core.Sync.file ~old_file:yesterdays_version todays_version
+  in
+  assert (String.equal result.reconstructed todays_version);
+  let rep = result.report in
+  Printf.printf "file size:            %d bytes\n" (String.length todays_version);
+  Printf.printf "bytes on the wire:    %d (%.1f%% of the file)\n"
+    (Fsync_core.Protocol.total_bytes rep)
+    (100.
+    *. float_of_int (Fsync_core.Protocol.total_bytes rep)
+    /. float_of_int (String.length todays_version));
+  Printf.printf "  client -> server:   %d\n" rep.total_c2s;
+  Printf.printf "  server -> client:   %d\n" rep.total_s2c;
+  Printf.printf "  map construction:   %d + %d\n" rep.map_s2c rep.map_c2s;
+  Printf.printf "  final delta:        %d\n" rep.delta_bytes;
+  Printf.printf "round trips:          %d over %d rounds\n" rep.roundtrips rep.rounds;
+  Printf.printf "confirmed matches:    %d covering %d bytes (%.1f%%)\n"
+    rep.matches rep.covered_bytes
+    (100. *. float_of_int rep.covered_bytes /. float_of_int (String.length todays_version));
+  (* Compare with sending the whole file compressed, and with rsync. *)
+  let gzip = Fsync_compress.Deflate.compressed_size todays_version in
+  let rsync =
+    Fsync_rsync.Rsync.total
+      (Fsync_rsync.Rsync.cost_only ~old_file:yesterdays_version todays_version)
+  in
+  Printf.printf "\nfor comparison:\n";
+  Printf.printf "  full compressed:    %d bytes\n" gzip;
+  Printf.printf "  rsync:              %d bytes\n" rsync

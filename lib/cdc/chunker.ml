@@ -1,0 +1,57 @@
+module Poly = Fsync_hash.Poly_hash
+
+type params = {
+  window : int;
+  mask_bits : int;
+  min_size : int;
+  max_size : int;
+}
+
+let default_params = { window = 48; mask_bits = 11; min_size = 256; max_size = 16384 }
+
+type chunk = { off : int; len : int }
+
+let chunks ?(params = default_params) data =
+  if params.window <= 0 || params.mask_bits <= 0 || params.min_size <= 0
+     || params.max_size < params.min_size
+  then invalid_arg "Chunker.chunks: bad params";
+  let n = String.length data in
+  if n = 0 then []
+  else if n <= params.window then [ { off = 0; len = n } ]
+  else begin
+    let mask = (1 lsl params.mask_bits) - 1 in
+    let magic = mask in
+    (* A boundary after position p when the window ending at p matches. *)
+    let acc = ref [] in
+    let start = ref 0 in
+    let roller = Poly.Roller.create data ~window:params.window ~pos:0 in
+    let cut p =
+      acc := { off = !start; len = p - !start } :: !acc;
+      start := p
+    in
+    let rec scan () =
+      let wpos = Poly.Roller.pos roller in
+      let wend = wpos + params.window in
+      let size = wend - !start in
+      if size >= params.min_size
+         && (Poly.truncate (Poly.Roller.value roller) ~bits:params.mask_bits = magic
+            || size >= params.max_size)
+      then cut wend;
+      if Poly.Roller.can_roll roller then begin
+        Poly.Roller.roll roller;
+        scan ()
+      end
+    in
+    scan ();
+    if !start < n then acc := { off = !start; len = n - !start } :: !acc;
+    List.rev !acc
+  end
+
+let chunk_content data c = String.sub data c.off c.len
+
+let boundaries ?params data =
+  match chunks ?params data with
+  | [] -> []
+  | cs ->
+      List.filteri (fun i _ -> i < List.length cs - 1) cs
+      |> List.map (fun c -> c.off + c.len)

@@ -1,0 +1,27 @@
+(** Content-defined chunking with a Karp-Rabin rolling hash.
+
+    The related-work family of §4 (LBFS, Spring-Wetherall, value-based
+    web caching): a data stream is cut wherever the rolling hash of the
+    trailing window satisfies [hash mod 2^mask_bits = magic], so both
+    sides of a link partition identical content identically even after
+    insertions and deletions shift byte positions.  Chunk sizes are
+    bounded by [min_size]/[max_size]. *)
+
+type params = {
+  window : int;      (** rolling window width, default 48 *)
+  mask_bits : int;   (** expected chunk size = 2^mask_bits, default 11 (2 KB) *)
+  min_size : int;
+  max_size : int;
+}
+
+val default_params : params
+
+type chunk = { off : int; len : int }
+
+val chunks : ?params:params -> string -> chunk list
+(** Consecutive chunks covering the whole string (empty list for ""). *)
+
+val chunk_content : string -> chunk -> string
+
+val boundaries : ?params:params -> string -> int list
+(** Cut positions (exclusive ends of chunks except the final one). *)

@@ -1,0 +1,70 @@
+module Md5 = Fsync_hash.Md5
+module Deflate = Fsync_compress.Deflate
+
+type config = {
+  chunking : Chunker.params;
+  hash_bytes : int;
+  level : Fsync_compress.Deflate.level;
+}
+
+let default_config =
+  { chunking = Chunker.default_params; hash_bytes = 6; level = Normal }
+
+type cost = { server_to_client : int; client_to_server : int }
+
+type result = {
+  reconstructed : string;
+  cost : cost;
+  chunks_total : int;
+  chunks_matched : int;
+}
+
+let total c = c.server_to_client + c.client_to_server
+
+let chunk_key cfg data (c : Chunker.chunk) =
+  String.sub (Md5.digest_sub data ~pos:c.off ~len:c.len) 0 cfg.hash_bytes
+
+let sync ?(config = default_config) ~old_file new_file =
+  let cfg = config in
+  let new_chunks = Chunker.chunks ~params:cfg.chunking new_file in
+  let old_chunks = Chunker.chunks ~params:cfg.chunking old_file in
+  (* Client-side store: chunk hash -> content (from the old file). *)
+  let store = Hashtbl.create 256 in
+  List.iter
+    (fun c -> Hashtbl.replace store (chunk_key cfg old_file c) c)
+    old_chunks;
+  (* Server -> client: per-chunk (hash, length). *)
+  let s2c_index =
+    List.fold_left
+      (fun acc (c : Chunker.chunk) ->
+        acc + cfg.hash_bytes + Fsync_util.Varint.size c.len)
+      0 new_chunks
+  in
+  (* Client -> server: one bit per chunk. *)
+  let c2s = (List.length new_chunks + 7) / 8 in
+  let missing = Buffer.create 1024 in
+  let matched = ref 0 in
+  let out = Buffer.create (String.length new_file) in
+  let missing_chunks =
+    List.filter
+      (fun (c : Chunker.chunk) ->
+        match Hashtbl.find_opt store (chunk_key cfg new_file c) with
+        | Some old_c when old_c.len = c.len ->
+            incr matched;
+            Buffer.add_string out (Chunker.chunk_content old_file old_c);
+            false
+        | _ ->
+            Buffer.add_string out (Chunker.chunk_content new_file c);
+            true)
+      new_chunks
+  in
+  List.iter
+    (fun c -> Buffer.add_string missing (Chunker.chunk_content new_file c))
+    missing_chunks;
+  let payload = Deflate.compress ~level:cfg.level (Buffer.contents missing) in
+  {
+    reconstructed = Buffer.contents out;
+    cost = { server_to_client = s2c_index + String.length payload; client_to_server = c2s };
+    chunks_total = List.length new_chunks;
+    chunks_matched = !matched;
+  }

@@ -1,0 +1,34 @@
+(** LBFS-style synchronization over content-defined chunks.
+
+    The natural competitor from §4's related work: the server chunks the
+    current file, sends one truncated strong hash per chunk, the client
+    answers with a bitmap of the chunks it can produce from anywhere in
+    its old file (which it chunked the same way), and the server ships
+    the missing chunks compressed.  One round trip, no recursion — a
+    useful midpoint between rsync and the paper's protocol in the
+    benchmark tables. *)
+
+type config = {
+  chunking : Chunker.params;
+  hash_bytes : int;  (** per-chunk hash width on the wire, default 6 *)
+  level : Fsync_compress.Deflate.level;
+}
+
+val default_config : config
+
+type cost = { server_to_client : int; client_to_server : int }
+
+type result = {
+  reconstructed : string;
+  cost : cost;
+  chunks_total : int;
+  chunks_matched : int;
+}
+
+val sync : ?config:config -> old_file:string -> string -> result
+(** [sync ~old_file new_file]; the reconstruction equals the new file
+    unless a truncated-hash collision misleads a chunk (the caller is
+    expected to wrap with a whole-file check, as the collection driver
+    does for every method). *)
+
+val total : cost -> int

@@ -1,0 +1,53 @@
+(** Collection-level synchronization: bring the client's snapshot up to
+    the server's, file by file, with any of the methods the paper
+    compares (Table 6.2).
+
+    Per-file fingerprints are exchanged first (16 bytes + path accounting
+    per file), unchanged files are skipped, deleted files cost one path
+    mention, new files are sent compressed; changed files go through the
+    selected transfer method. *)
+
+type method_ =
+  | Full_raw        (** send changed files uncompressed *)
+  | Full_compressed (** send changed files through the gzip substitute *)
+  | Rsync_default
+  | Rsync_best      (** idealized per-file best block size *)
+  | Fsync of Fsync_core.Config.t  (** this paper's protocol *)
+  | Delta_lower_bound of Fsync_delta.Delta.profile
+      (** delta compressor with both files local: the practical lower
+          bound of §6.1 (zdelta / vcdiff) *)
+  | Cdc
+      (** LBFS-style content-defined chunk exchange — the related-work
+          comparator of §4 *)
+
+val method_name : method_ -> string
+
+type file_outcome = {
+  path : string;
+  old_bytes : int;
+  new_bytes : int;
+  c2s : int;
+  s2c : int;
+  skipped : bool;  (** unchanged, detected via fingerprints *)
+}
+
+type summary = {
+  method_used : string;
+  files_total : int;
+  files_unchanged : int;
+  files_new : int;
+  files_deleted : int;
+  bytes_old : int;
+  bytes_new : int;
+  total_c2s : int;
+  total_s2c : int;
+  outcomes : file_outcome list;
+}
+
+val total : summary -> int
+
+val sync : method_ -> client:Snapshot.t -> server:Snapshot.t -> Snapshot.t * summary
+(** Returns the client's updated snapshot (always equal to the server's)
+    and the cost summary. *)
+
+val pp_summary : Format.formatter -> summary -> unit

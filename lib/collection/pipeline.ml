@@ -1,0 +1,62 @@
+module Protocol = Fsync_core.Protocol
+module Channel = Fsync_net.Channel
+
+type report = {
+  files : int;
+  total_c2s : int;
+  total_s2c : int;
+  sequential_roundtrips : int;
+  batched_roundtrips : int;
+  per_file : (string * Protocol.report) list;
+}
+
+let total_bytes r = r.total_c2s + r.total_s2c
+
+let sync ?(config = Fsync_core.Config.tuned) pairs =
+  let shared = Channel.create () in
+  let results =
+    List.map
+      (fun (name, old_file, new_file) ->
+        (* The shared channel counts cumulatively; a file's own round
+           trips and bytes are the deltas it adds. *)
+        let before = Channel.roundtrips shared in
+        let c2s0 = Channel.bytes shared Channel.Client_to_server in
+        let s2c0 = Channel.bytes shared Channel.Server_to_client in
+        let r = Protocol.run ~channel:shared ~config ~old_file new_file in
+        assert (String.equal r.reconstructed new_file);
+        let own_trips = Channel.roundtrips shared - before in
+        let report =
+          {
+            r.report with
+            total_c2s = Channel.bytes shared Channel.Client_to_server - c2s0;
+            total_s2c = Channel.bytes shared Channel.Server_to_client - s2c0;
+            roundtrips = own_trips;
+          }
+        in
+        (name, { r with report }, own_trips))
+      pairs
+  in
+  let per_file =
+    List.map (fun (name, (r : Protocol.result), _) -> (name, r.report)) results
+  in
+  let reconstructed =
+    List.map (fun (name, (r : Protocol.result), _) -> (name, r.reconstructed)) results
+  in
+  let seq = List.fold_left (fun acc (_, _, t) -> acc + t) 0 results in
+  let batched = List.fold_left (fun acc (_, _, t) -> max acc t) 0 results in
+  ( reconstructed,
+    {
+      files = List.length pairs;
+      total_c2s = Channel.bytes shared Channel.Client_to_server;
+      total_s2c = Channel.bytes shared Channel.Server_to_client;
+      sequential_roundtrips = seq;
+      batched_roundtrips = batched;
+      per_file;
+    } )
+
+let elapsed_s ?(latency_s = 0.05) ?(bandwidth_bps = 1_000_000.0) ~batched r =
+  let trips =
+    if batched then r.batched_roundtrips else r.sequential_roundtrips
+  in
+  (2.0 *. latency_s *. float_of_int trips)
+  +. (float_of_int (total_bytes r) /. (bandwidth_bps /. 8.0))

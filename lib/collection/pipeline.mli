@@ -1,0 +1,42 @@
+(** Round-trip amortization across a collection (§2.3: "the roundtrip
+    latencies are not incurred for each file since many files can be
+    processed simultaneously. Thus, for large collections additional
+    roundtrips are not a problem").
+
+    Every file's protocol follows the same deterministic round schedule
+    (block sizes descend from the same start), so the round-r messages of
+    all files can ride one physical round trip.  [sync] runs the per-file
+    protocols over one shared channel and reports both views:
+
+    - [sequential_roundtrips]: what a naive one-file-at-a-time deployment
+      would pay (the sum);
+    - [batched_roundtrips]: what the pipelined deployment pays (the
+      maximum over files — each round's messages are batched).
+
+    [elapsed_s] converts both into wall-clock time on a configurable
+    link, which is the experiment behind the paper's "slow networks"
+    claim. *)
+
+type report = {
+  files : int;
+  total_c2s : int;
+  total_s2c : int;
+  sequential_roundtrips : int;
+  batched_roundtrips : int;
+  per_file : (string * Fsync_core.Protocol.report) list;
+}
+
+val total_bytes : report -> int
+
+val sync :
+  ?config:Fsync_core.Config.t ->
+  (string * string * string) list ->
+  (string * string) list * report
+(** [sync pairs] with [(name, old_file, new_file)] triples; returns the
+    reconstructed files (always equal to the new versions) and the
+    report. *)
+
+val elapsed_s :
+  ?latency_s:float -> ?bandwidth_bps:float -> batched:bool -> report -> float
+(** Simulated wall-clock time of the whole synchronization on the given
+    link (defaults: 50 ms one-way, 1 Mbit/s). *)

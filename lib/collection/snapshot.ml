@@ -1,0 +1,60 @@
+module M = Map.Make (String)
+
+type t = string M.t
+
+let of_files pairs =
+  List.fold_left
+    (fun m (path, content) ->
+      if M.mem path m then
+        invalid_arg (Printf.sprintf "Snapshot.of_files: duplicate path %s" path);
+      M.add path content m)
+    M.empty pairs
+
+let files t = M.bindings t
+let find t path = M.find_opt path t
+let paths t = List.map fst (M.bindings t)
+let count t = M.cardinal t
+let total_bytes t = M.fold (fun _ c acc -> acc + String.length c) t 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let load_dir root =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = if rel = "" then root else Filename.concat root rel in
+    if Sys.is_directory abs then
+      Array.iter
+        (fun name ->
+          walk (if rel = "" then name else Filename.concat rel name))
+        (Sys.readdir abs)
+    else acc := (rel, read_file abs) :: !acc
+  in
+  if not (Sys.file_exists root) then
+    invalid_arg (Printf.sprintf "Snapshot.load_dir: %s does not exist" root);
+  walk "";
+  of_files !acc
+
+let store_dir root t =
+  mkdir_p root;
+  M.iter
+    (fun rel content ->
+      let abs = Filename.concat root rel in
+      mkdir_p (Filename.dirname abs);
+      write_file abs content)
+    t

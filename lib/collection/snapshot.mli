@@ -1,0 +1,24 @@
+(** A named collection of files — one replica's view.
+
+    In-memory representation used by the collection synchronizer, with
+    directory load/store so the CLI can operate on real trees. *)
+
+type t
+
+val of_files : (string * string) list -> t
+(** (path, content) pairs; paths must be unique.
+    @raise Invalid_argument on duplicates. *)
+
+val files : t -> (string * string) list
+(** Sorted by path. *)
+
+val find : t -> string -> string option
+val paths : t -> string list
+val count : t -> int
+val total_bytes : t -> int
+
+val load_dir : string -> t
+(** Read every regular file under the root (paths relative to it). *)
+
+val store_dir : string -> t -> unit
+(** Write all files under the root, creating directories as needed. *)

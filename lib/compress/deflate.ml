@@ -1,0 +1,210 @@
+module Bitio = Fsync_util.Bitio
+module Varint = Fsync_util.Varint
+
+type level = Lz77.level = Fast | Normal | Best
+
+(* --- DEFLATE length/distance code geometry (RFC 1951 tables) --- *)
+
+(* Length codes 257..285: (base length, extra bits). *)
+let length_codes =
+  [| (3, 0); (4, 0); (5, 0); (6, 0); (7, 0); (8, 0); (9, 0); (10, 0);
+     (11, 1); (13, 1); (15, 1); (17, 1); (19, 2); (23, 2); (27, 2); (31, 2);
+     (35, 3); (43, 3); (51, 3); (59, 3); (67, 4); (83, 4); (99, 4); (115, 4);
+     (131, 5); (163, 5); (195, 5); (227, 5); (258, 0) |]
+
+(* Distance codes 0..29: (base distance, extra bits). *)
+let dist_codes =
+  [| (1, 0); (2, 0); (3, 0); (4, 0); (5, 1); (7, 1); (9, 2); (13, 2);
+     (17, 3); (25, 3); (33, 4); (49, 4); (65, 5); (97, 5); (129, 6); (193, 6);
+     (257, 7); (385, 7); (513, 8); (769, 8); (1025, 9); (1537, 9);
+     (2049, 10); (3073, 10); (4097, 11); (6145, 11); (8193, 12); (12289, 12);
+     (16385, 13); (24577, 13) |]
+
+let eob = 256
+let n_litlen = 286
+let n_dist = 30
+
+let length_code_of len =
+  (* Largest code whose base <= len. *)
+  let rec loop lo hi =
+    if lo = hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if fst length_codes.(mid) <= len then loop mid hi else loop lo (mid - 1)
+  in
+  loop 0 (Array.length length_codes - 1)
+
+let dist_code_of dist =
+  let rec loop lo hi =
+    if lo = hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if fst dist_codes.(mid) <= dist then loop mid hi else loop lo (mid - 1)
+  in
+  loop 0 (Array.length dist_codes - 1)
+
+(* Fixed code lengths from RFC 1951 §3.2.6. *)
+let fixed_litlen_lengths =
+  Array.init n_litlen (fun i ->
+      if i < 144 then 8 else if i < 256 then 9 else if i < 280 then 7 else 8)
+
+let fixed_dist_lengths = Array.make n_dist 5
+
+(* --- token stream <-> symbols --- *)
+
+let token_freqs tokens =
+  let lit = Array.make n_litlen 0 and dst = Array.make n_dist 0 in
+  List.iter
+    (function
+      | Lz77.Literal c -> lit.(Char.code c) <- lit.(Char.code c) + 1
+      | Lz77.Match { length; distance } ->
+          let lc = 257 + length_code_of length in
+          lit.(lc) <- lit.(lc) + 1;
+          let dc = dist_code_of distance in
+          dst.(dc) <- dst.(dc) + 1)
+    tokens;
+  lit.(eob) <- 1;
+  (lit, dst)
+
+let write_tokens w lit_enc dist_enc tokens =
+  List.iter
+    (function
+      | Lz77.Literal c -> Huffman.encode lit_enc w (Char.code c)
+      | Lz77.Match { length; distance } ->
+          let lc = length_code_of length in
+          let base, extra = length_codes.(lc) in
+          Huffman.encode lit_enc w (257 + lc);
+          if extra > 0 then Bitio.Writer.put_bits w (length - base) ~width:extra;
+          let dc = dist_code_of distance in
+          let dbase, dextra = dist_codes.(dc) in
+          Huffman.encode dist_enc w dc;
+          if dextra > 0 then Bitio.Writer.put_bits w (distance - dbase) ~width:dextra)
+    tokens;
+  Huffman.encode lit_enc w eob
+
+let read_tokens r lit_dec dist_dec =
+  let rec loop acc =
+    let sym = Huffman.decode lit_dec r in
+    if sym = eob then List.rev acc
+    else if sym < 256 then loop (Lz77.Literal (Char.chr sym) :: acc)
+    else begin
+      let lc = sym - 257 in
+      if lc < 0 || lc >= Array.length length_codes then
+        invalid_arg "Deflate: bad length code";
+      let base, extra = length_codes.(lc) in
+      let length = base + if extra > 0 then Bitio.Reader.get_bits r ~width:extra else 0 in
+      let dc = Huffman.decode dist_dec r in
+      if dc < 0 || dc >= Array.length dist_codes then
+        invalid_arg "Deflate: bad distance code";
+      let dbase, dextra = dist_codes.(dc) in
+      let distance =
+        dbase + if dextra > 0 then Bitio.Reader.get_bits r ~width:dextra else 0
+      in
+      loop (Lz77.Match { length; distance } :: acc)
+    end
+  in
+  loop []
+
+(* --- table transmission for dynamic blocks: 4 bits per code length --- *)
+
+let write_lengths w lengths n =
+  for i = 0 to n - 1 do
+    Bitio.Writer.put_bits w lengths.(i) ~width:4
+  done
+
+let read_lengths r n =
+  Array.init n (fun _ -> Bitio.Reader.get_bits r ~width:4)
+
+(* --- container ---
+
+   varint original_length; 1 byte mode (0 stored, 1 fixed, 2 dynamic);
+   payload.  Stored payload is the raw bytes; fixed/dynamic payloads are
+   bit-packed. *)
+
+let overhead_bytes = 6 (* worst case: 5-byte varint + mode byte *)
+
+let mode_stored = 0
+let mode_fixed = 1
+let mode_dynamic = 2
+
+let emit_container ~orig_len ~mode ~payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  Varint.write buf orig_len;
+  Buffer.add_char buf (Char.chr mode);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let compress ?(level = Normal) s =
+  let n = String.length s in
+  if n = 0 then emit_container ~orig_len:0 ~mode:mode_stored ~payload:""
+  else begin
+    let tokens = Lz77.tokenize ~level s in
+    (* Fixed-code encoding. *)
+    let fixed_payload =
+      let w = Bitio.Writer.create ~initial_size:(n / 2) () in
+      write_tokens w
+        (Huffman.encoder_of_lengths fixed_litlen_lengths)
+        (Huffman.encoder_of_lengths fixed_dist_lengths)
+        tokens;
+      Bitio.Writer.contents w
+    in
+    (* Dynamic-code encoding. *)
+    let dyn_payload =
+      let lit_f, dist_f = token_freqs tokens in
+      let lit_l = Huffman.lengths_of_freqs lit_f in
+      let dist_l = Huffman.lengths_of_freqs dist_f in
+      let w = Bitio.Writer.create ~initial_size:(n / 2) () in
+      write_lengths w lit_l n_litlen;
+      write_lengths w dist_l n_dist;
+      write_tokens w (Huffman.encoder_of_lengths lit_l)
+        (Huffman.encoder_of_lengths dist_l)
+        tokens;
+      Bitio.Writer.contents w
+    in
+    let candidates =
+      [ (mode_stored, s); (mode_fixed, fixed_payload); (mode_dynamic, dyn_payload) ]
+    in
+    let mode, payload =
+      List.fold_left
+        (fun (bm, bp) (m, p) ->
+          if String.length p < String.length bp then (m, p) else (bm, bp))
+        (List.hd candidates) (List.tl candidates)
+    in
+    emit_container ~orig_len:n ~mode ~payload
+  end
+
+let decompress packed =
+  let orig_len, pos = Varint.read packed ~pos:0 in
+  if pos >= String.length packed && orig_len > 0 then
+    invalid_arg "Deflate.decompress: truncated";
+  if orig_len = 0 then ""
+  else begin
+    let mode = Char.code packed.[pos] in
+    let payload_pos = pos + 1 in
+    if mode = mode_stored then begin
+      if String.length packed - payload_pos < orig_len then
+        invalid_arg "Deflate.decompress: truncated stored block";
+      String.sub packed payload_pos orig_len
+    end
+    else begin
+      let r = Bitio.Reader.of_string ~bit_offset:(payload_pos * 8) packed in
+      let lit_dec, dist_dec =
+        if mode = mode_fixed then
+          ( Huffman.decoder_of_lengths fixed_litlen_lengths,
+            Huffman.decoder_of_lengths fixed_dist_lengths )
+        else if mode = mode_dynamic then begin
+          let lit_l = read_lengths r n_litlen in
+          let dist_l = read_lengths r n_dist in
+          (Huffman.decoder_of_lengths lit_l, Huffman.decoder_of_lengths dist_l)
+        end
+        else invalid_arg "Deflate.decompress: unknown mode"
+      in
+      let tokens = read_tokens r lit_dec dist_dec in
+      let out = Lz77.expand tokens in
+      if String.length out <> orig_len then
+        invalid_arg "Deflate.decompress: length mismatch";
+      out
+    end
+  end
+
+let compressed_size ?level s = String.length (compress ?level s)

@@ -1,0 +1,23 @@
+(** DEFLATE-style general-purpose compressor.
+
+    Stands in for the gzip compression that rsync and the paper's prototype
+    apply to literal and hash streams ("compressed using an algorithm
+    similar to gzip", §2.2).  The bitstream container is our own (not
+    RFC 1951 interoperable) but the coding machinery is the same: LZ77
+    tokens entropy-coded with canonical Huffman codes, standard DEFLATE
+    length/distance code geometry, with three block modes — [Stored],
+    [Fixed] codes, and [Dynamic] codes — the smallest of which is chosen. *)
+
+type level = Lz77.level = Fast | Normal | Best
+
+val compress : ?level:level -> string -> string
+
+val decompress : string -> string
+(** @raise Invalid_argument on a malformed input. *)
+
+val compressed_size : ?level:level -> string -> int
+(** [String.length (compress s)] without keeping the output. *)
+
+val overhead_bytes : int
+(** Fixed per-message header cost (varint length + mode tag), useful when
+    accounting protocol costs. *)

@@ -1,0 +1,211 @@
+module Bitio = Fsync_util.Bitio
+
+let max_code_length = 15
+
+(* Unbounded Huffman code lengths via the classic two-queue construction:
+   leaves sorted ascending by frequency in one queue, freshly built internal
+   nodes (non-decreasing weights) in the other. *)
+let unbounded_lengths freqs =
+  let n = Array.length freqs in
+  let leaves =
+    Array.to_list (Array.mapi (fun i f -> (f, i)) freqs)
+    |> List.filter (fun (f, _) -> f > 0)
+    |> List.sort compare
+  in
+  match leaves with
+  | [] -> Array.make n 0
+  | [ (_, i) ] ->
+      let l = Array.make n 0 in
+      l.(i) <- 1;
+      l
+  | _ ->
+      (* Tree nodes: Leaf sym | Node (l, r); weights tracked alongside. *)
+      let module Q = Queue in
+      let leaf_q = Q.create () and node_q = Q.create () in
+      List.iter (fun (f, i) -> Q.add (f, `Leaf i) leaf_q) leaves;
+      let take_min () =
+        match (Q.is_empty leaf_q, Q.is_empty node_q) with
+        | true, true -> assert false
+        | true, false -> Q.pop node_q
+        | false, true -> Q.pop leaf_q
+        | false, false ->
+            let wl, _ = Q.peek leaf_q and wn, _ = Q.peek node_q in
+            if wl <= wn then Q.pop leaf_q else Q.pop node_q
+      in
+      let rec build () =
+        let w1, t1 = take_min () in
+        if Q.is_empty leaf_q && Q.is_empty node_q then t1
+        else begin
+          let w2, t2 = take_min () in
+          Q.add (w1 + w2, `Node (t1, t2)) node_q;
+          build ()
+        end
+      in
+      let root = build () in
+      let lengths = Array.make n 0 in
+      let rec assign depth = function
+        | `Leaf i -> lengths.(i) <- max depth 1
+        | `Node (l, r) ->
+            assign (depth + 1) l;
+            assign (depth + 1) r
+      in
+      assign 0 root;
+      lengths
+
+(* zlib-style length limiting: clamp overlong codes, then repair Kraft
+   equality by demoting codes from shorter lengths, finally reassign lengths
+   to symbols by descending frequency. *)
+let limit_lengths ~limit freqs lengths =
+  let n = Array.length lengths in
+  let nonzero_syms = Array.fold_left (fun a f -> if f > 0 then a + 1 else a) 0 freqs in
+  if limit < 1 || nonzero_syms > 1 lsl limit then
+    invalid_arg "Huffman.lengths_of_freqs: alphabet too large for limit";
+  let bl_count = Array.make (limit + 1) 0 in
+  let nonzero = ref 0 in
+  let overflow = ref 0 in
+  Array.iter
+    (fun l ->
+      if l > 0 then begin
+        incr nonzero;
+        if l > limit then begin
+          incr overflow;
+          bl_count.(limit) <- bl_count.(limit) + 1
+        end
+        else bl_count.(l) <- bl_count.(l) + 1
+      end)
+    lengths;
+  if !overflow > 0 then begin
+    (* Clamping overlong codes to [limit] over-fills the code space.  In
+       units of 2^-limit, each "demote one code from the deepest non-limit
+       level l to l+1, pairing it with a clamped code" move frees exactly
+       one unit; repeat until Kraft equality is restored. *)
+    let units () =
+      let acc = ref 0 in
+      for l = 1 to limit do
+        acc := !acc + (bl_count.(l) lsl (limit - l))
+      done;
+      !acc
+    in
+    let excess = ref (units () - (1 lsl limit)) in
+    while !excess > 0 do
+      let bits = ref (limit - 1) in
+      while bl_count.(!bits) = 0 do decr bits done;
+      bl_count.(!bits) <- bl_count.(!bits) - 1;
+      bl_count.(!bits + 1) <- bl_count.(!bits + 1) + 2;
+      bl_count.(limit) <- bl_count.(limit) - 1;
+      decr excess
+    done;
+    (* Reassign: most frequent symbols get the shortest lengths. *)
+    let syms =
+      Array.to_list (Array.mapi (fun i f -> (f, i)) freqs)
+      |> List.filter (fun (f, _) -> f > 0)
+      |> List.sort (fun (a, i) (b, j) -> compare (b, i) (a, j))
+    in
+    let out = Array.make n 0 in
+    let len = ref 1 in
+    let remaining = ref bl_count.(1) in
+    List.iter
+      (fun (_, i) ->
+        while !remaining = 0 do
+          incr len;
+          remaining := bl_count.(!len)
+        done;
+        out.(i) <- !len;
+        decr remaining)
+      syms;
+    out
+  end
+  else lengths
+
+let lengths_of_freqs ?(limit = max_code_length) freqs =
+  let lengths = unbounded_lengths freqs in
+  limit_lengths ~limit freqs lengths
+
+(* Canonical code assignment: codes ordered by (length, symbol). Codes are
+   stored bit-reversed so that they can be emitted LSB-first. *)
+let canonical_codes lengths =
+  let n = Array.length lengths in
+  let max_len = Array.fold_left max 0 lengths in
+  let bl_count = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then bl_count.(l) <- bl_count.(l) + 1) lengths;
+  let next_code = Array.make (max_len + 1) 0 in
+  let code = ref 0 in
+  for bits = 1 to max_len do
+    code := (!code + bl_count.(bits - 1)) lsl 1;
+    next_code.(bits) <- !code
+  done;
+  let reverse_bits v len =
+    let r = ref 0 in
+    for i = 0 to len - 1 do
+      if (v lsr i) land 1 = 1 then r := !r lor (1 lsl (len - 1 - i))
+    done;
+    !r
+  in
+  let codes = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let l = lengths.(i) in
+    if l > 0 then begin
+      codes.(i) <- reverse_bits next_code.(l) l;
+      next_code.(l) <- next_code.(l) + 1
+    end
+  done;
+  codes
+
+type encoder = { codes : int array; lengths : int array }
+
+let encoder_of_lengths lengths = { codes = canonical_codes lengths; lengths }
+
+let encode enc w sym =
+  let l = enc.lengths.(sym) in
+  if l = 0 then invalid_arg "Huffman.encode: symbol has no code";
+  Bitio.Writer.put_bits w enc.codes.(sym) ~width:l
+
+let code_length enc sym = enc.lengths.(sym)
+
+type decoder = {
+  counts : int array;       (* number of codes per length *)
+  base_codes : int array;   (* first canonical code of each length *)
+  base_index : int array;   (* index into [symbols] of that first code *)
+  symbols : int array;      (* symbols ordered by (length, symbol) *)
+  dec_max_len : int;
+}
+
+let decoder_of_lengths lengths =
+  let max_len = Array.fold_left max 0 lengths in
+  let counts = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then counts.(l) <- counts.(l) + 1) lengths;
+  let total = Array.fold_left ( + ) 0 counts in
+  let symbols = Array.make (max total 1) 0 in
+  let base_codes = Array.make (max_len + 1) 0
+  and base_index = Array.make (max_len + 1) 0 in
+  let code = ref 0 and idx = ref 0 in
+  for l = 1 to max_len do
+    code := (!code + (if l >= 2 then counts.(l - 1) else 0)) lsl 1;
+    base_codes.(l) <- !code;
+    base_index.(l) <- !idx;
+    Array.iteri
+      (fun sym sl ->
+        if sl = l then begin
+          symbols.(!idx) <- sym;
+          incr idx
+        end)
+      lengths
+  done;
+  { counts; base_codes; base_index; symbols; dec_max_len = max_len }
+
+let decode dec r =
+  if dec.dec_max_len = 0 then invalid_arg "Huffman.decode: empty code";
+  let rec loop len code =
+    if len > dec.dec_max_len then invalid_arg "Huffman.decode: invalid code";
+    let code = (code lsl 1) lor Bitio.Reader.get_bit r in
+    let count = dec.counts.(len) in
+    if count > 0 && code - dec.base_codes.(len) < count then
+      dec.symbols.(dec.base_index.(len) + code - dec.base_codes.(len))
+    else loop (len + 1) code
+  in
+  loop 1 0
+
+let cost_bits lengths freqs =
+  let acc = ref 0 in
+  Array.iteri (fun i f -> if f > 0 then acc := !acc + (f * lengths.(i))) freqs;
+  !acc

@@ -1,0 +1,39 @@
+(** Canonical, length-limited Huffman coding.
+
+    Backs the {!Deflate} entropy coder: symbol frequencies are turned into
+    code lengths (limited to {!max_code_length} bits, zlib-style overflow
+    adjustment), lengths into canonical codes, and codes are written
+    LSB-first through {!Fsync_util.Bitio}. *)
+
+val max_code_length : int
+(** 15, as in DEFLATE. *)
+
+val lengths_of_freqs : ?limit:int -> int array -> int array
+(** [lengths_of_freqs freqs] assigns a code length to every symbol with a
+    non-zero frequency (0 to the others), minimizing expected length
+    subject to the limit.  A single-symbol alphabet gets length 1.
+    The result always satisfies Kraft equality when >= 2 symbols are
+    present. *)
+
+type encoder
+(** Symbol -> (code, length) table. *)
+
+val encoder_of_lengths : int array -> encoder
+
+val encode : encoder -> Fsync_util.Bitio.Writer.t -> int -> unit
+(** Append the code for a symbol.
+    @raise Invalid_argument for a symbol with length 0. *)
+
+val code_length : encoder -> int -> int
+(** Length in bits of a symbol's code (0 if absent). *)
+
+type decoder
+
+val decoder_of_lengths : int array -> decoder
+
+val decode : decoder -> Fsync_util.Bitio.Reader.t -> int
+(** Read one symbol.  @raise Invalid_argument on an invalid code. *)
+
+val cost_bits : int array -> int array -> int
+(** [cost_bits lengths freqs]: total bits to encode the given frequency
+    profile with the given lengths (table transmission not included). *)

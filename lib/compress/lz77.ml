@@ -1,0 +1,121 @@
+type token =
+  | Literal of char
+  | Match of { length : int; distance : int }
+
+let min_match = 3
+let max_match = 258
+let max_distance = 32768
+
+type level = Fast | Normal | Best
+
+let hash_size_bits = 15
+let hash_size = 1 lsl hash_size_bits
+
+let hash3 s i =
+  (* Multiplicative hash of 3 bytes. *)
+  let v =
+    Char.code (String.unsafe_get s i)
+    lor (Char.code (String.unsafe_get s (i + 1)) lsl 8)
+    lor (Char.code (String.unsafe_get s (i + 2)) lsl 16)
+  in
+  (v * 0x9E3779B1) lsr (31 - hash_size_bits) land (hash_size - 1)
+
+let chain_depth = function Fast -> 8 | Normal -> 64 | Best -> 512
+
+let tokenize ?(level = Normal) s =
+  let n = String.length s in
+  if n < min_match then List.init n (fun i -> Literal s.[i])
+  else begin
+    let head = Array.make hash_size (-1) in
+    let prev = Array.make n (-1) in
+    let max_depth = chain_depth level in
+    let lazy_matching = level <> Fast in
+    let insert i =
+      if i + min_match <= n then begin
+        let h = hash3 s i in
+        prev.(i) <- head.(h);
+        head.(h) <- i
+      end
+    in
+    let match_len i j =
+      (* longest common run of s[i..] and s[j..], j < i, capped *)
+      let cap = min max_match (n - i) in
+      let rec loop k =
+        if k < cap && String.unsafe_get s (i + k) = String.unsafe_get s (j + k)
+        then loop (k + 1)
+        else k
+      in
+      loop 0
+    in
+    let best_match i =
+      if i + min_match > n then None
+      else begin
+        let h = hash3 s i in
+        let rec loop j depth best_len best_pos =
+          if j < 0 || depth = 0 || i - j > max_distance then (best_len, best_pos)
+          else
+            let l = match_len i j in
+            if l > best_len then
+              if l >= max_match || l >= n - i then (l, j)
+              else loop prev.(j) (depth - 1) l j
+            else loop prev.(j) (depth - 1) best_len best_pos
+        in
+        let len, pos = loop head.(h) max_depth 0 (-1) in
+        if len >= min_match then Some (len, i - pos) else None
+      end
+    in
+    let acc = ref [] in
+    let emit t = acc := t :: !acc in
+    let i = ref 0 in
+    while !i < n do
+      match best_match !i with
+      | None ->
+          emit (Literal s.[!i]);
+          insert !i;
+          incr i
+      | Some (len, dist) ->
+          insert !i;
+          (* Lazy matching: if the very next position holds a strictly
+             longer match, emit a literal here and take that one instead. *)
+          let deferred =
+            lazy_matching && !i + 1 < n && len < max_match
+            &&
+            match best_match (!i + 1) with
+            | Some (len', _) -> len' > len
+            | None -> false
+          in
+          if deferred then begin
+            emit (Literal s.[!i]);
+            incr i
+          end
+          else begin
+            emit (Match { length = len; distance = dist });
+            (* Index the positions covered by the match so later input can
+               refer back into it. *)
+            let stop = min (!i + len) (n - min_match) in
+            let j = ref (!i + 1) in
+            while !j < stop do
+              insert !j;
+              incr j
+            done;
+            i := !i + len
+          end
+    done;
+    List.rev !acc
+  end
+
+let expand tokens =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Literal c -> Buffer.add_char buf c
+      | Match { length; distance } ->
+          if distance <= 0 || distance > Buffer.length buf then
+            invalid_arg "Lz77.expand: bad distance";
+          for _ = 1 to length do
+            Buffer.add_char buf (Buffer.nth buf (Buffer.length buf - distance))
+          done)
+    tokens;
+  Buffer.contents buf
+
+let check_stream s tokens = String.equal (expand tokens) s

@@ -1,0 +1,31 @@
+(** LZ77 tokenization with hash-chain match finding.
+
+    Produces the (literal | match) token stream that {!Deflate} entropy
+    codes.  Matches are at least {!min_match} and at most {!max_match}
+    bytes, with distances up to {!max_distance} — the DEFLATE geometry, so
+    the standard length/distance code tables apply. *)
+
+type token =
+  | Literal of char
+  | Match of { length : int; distance : int }
+
+val min_match : int
+(** 3 *)
+
+val max_match : int
+(** 258 *)
+
+val max_distance : int
+(** 32768 *)
+
+type level = Fast | Normal | Best
+(** Trade-off knob: chain search depth and lazy matching. *)
+
+val tokenize : ?level:level -> string -> token list
+(** Token stream whose expansion is exactly the input. *)
+
+val expand : token list -> string
+(** Inverse of {!tokenize} (for any well-formed stream). *)
+
+val check_stream : string -> token list -> bool
+(** Does the stream expand to the given string? *)

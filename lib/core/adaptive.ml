@@ -1,0 +1,75 @@
+module Poly = Fsync_hash.Poly_hash
+module Prng = Fsync_util.Prng
+
+type probe_result = {
+  similarity : float;
+  probe_c2s : int;
+  probe_s2c : int;
+  chosen : Config.t;
+  rationale : string;
+}
+
+let probe_block = 256
+
+let choose ~similarity ~new_len =
+  if new_len < 4 * probe_block then
+    ( { Config.tuned with start_block = 256; min_global_block = 64 },
+      "small file: shallow recursion from 256 B" )
+  else if similarity >= 0.10 then (Config.tuned, "similar: tuned preset")
+  else if similarity > 0.01 then
+    ( { Config.tuned with min_global_block = 512; start_block = 2048 },
+      "low similarity: shallow map construction only" )
+  else
+    ( {
+        Config.tuned with
+        (* Degenerate map phase: one round at the largest size, then
+           delta (which, with an empty reference, is a compressed send). *)
+        start_block = 4096;
+        min_global_block = 4096;
+        continuation = { Config.tuned.continuation with cont_enabled = false };
+      },
+      "no detected similarity: skip to compressed transfer" )
+
+let probe ?(probes = 16) ?(seed = 0xADA9L) ~old_file new_file =
+  let bits = 20 in
+  let n_new = String.length new_file in
+  let usable = n_new - probe_block in
+  let positions =
+    if usable <= 0 then []
+    else begin
+      let rng = Prng.create seed in
+      List.init (min probes (max 1 (usable / probe_block))) (fun i ->
+          let stride = usable / min probes (max 1 (usable / probe_block)) in
+          min usable ((i * stride) + Prng.int rng (max 1 (stride / 2))))
+    end
+  in
+  let hits =
+    if positions = [] || String.length old_file < probe_block then 0
+    else begin
+      let idx = Candidates.build old_file ~window:probe_block ~bits in
+      List.fold_left
+        (fun acc pos ->
+          let h =
+            Poly.truncate (Poly.hash_sub new_file ~pos ~len:probe_block) ~bits
+          in
+          if Candidates.lookup idx h <> [] then acc + 1 else acc)
+        0 positions
+    end
+  in
+  let n_probes = List.length positions in
+  let similarity =
+    if n_probes = 0 then 0.0 else float_of_int hits /. float_of_int n_probes
+  in
+  let chosen, rationale = choose ~similarity ~new_len:n_new in
+  {
+    similarity;
+    (* server sends n hashes of [bits] bits; client replies with a count *)
+    probe_s2c = ((n_probes * bits) + 7) / 8;
+    probe_c2s = 2;
+    chosen;
+    rationale;
+  }
+
+let sync ?probes ~old_file new_file =
+  let pr = probe ?probes ~old_file new_file in
+  (Protocol.run ~config:pr.chosen ~old_file new_file, pr)

@@ -1,0 +1,40 @@
+(** Adaptive parameter selection (§7: "Ideally, such a tool would be
+    adaptive and thus choose the best set of parameters and number of
+    roundtrips based on the characteristics of the data set and
+    communication link").
+
+    Before the main protocol, the endpoints run one cheap probe round:
+    the server sends [probes] weak hashes of evenly spaced 256 B blocks of
+    the current file, the client reports how many match anywhere in its
+    old file.  The measured similarity and the file size then select a
+    configuration:
+
+    - similar files: the tuned configuration;
+    - barely similar: shallow recursion (map construction cannot pay off);
+    - tiny files or no similarity: skip map construction entirely and
+      send the file compressed (the map phase would cost more than it
+      saves).
+
+    The probe's bytes are accounted for in the returned estimate so
+    callers can fold them into totals. *)
+
+type probe_result = {
+  similarity : float;      (** fraction of probe blocks found in the old file *)
+  probe_c2s : int;         (** bytes the probe itself cost *)
+  probe_s2c : int;
+  chosen : Config.t;
+  rationale : string;
+}
+
+val probe_block : int
+(** 256. *)
+
+val probe :
+  ?probes:int -> ?seed:int64 -> old_file:string -> string -> probe_result
+(** [probe ~old_file new_file] with a default of 16 sampled blocks. *)
+
+val sync :
+  ?probes:int -> old_file:string -> string -> Protocol.result * probe_result
+(** Probe, then run the protocol with the chosen configuration.  The
+    returned report does {e not} include the probe bytes; add
+    [probe_c2s]/[probe_s2c] for end-to-end accounting. *)

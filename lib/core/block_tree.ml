@@ -1,0 +1,120 @@
+type block = {
+  id : int;
+  off : int;
+  len : int;
+  derive_from : (int * int * int) option;
+  sibling_id : int option;
+  mutable known_bits : int;
+  mutable confirmed : bool;
+  mutable confirmed_by_cont : bool;
+  mutable cont_tested : bool;
+  mutable cont_hit : bool;
+}
+
+type t = {
+  flen : int;
+  mutable size : int;
+  mutable rnd : int;
+  mutable active : block list; (* ascending offset, unconfirmed and confirmed alike;
+                                  [active_blocks] filters *)
+  mutable next_id : int;
+  tbl : (int, block) Hashtbl.t; (* id -> block, including retired parents *)
+}
+
+let pow2_floor n =
+  let rec loop p = if p * 2 <= n then loop (p * 2) else p in
+  if n < 1 then 1 else loop 1
+
+let fresh t ~off ~len ~derive_from ~sibling_id =
+  let b =
+    {
+      id = t.next_id;
+      off;
+      len;
+      derive_from;
+      sibling_id;
+      known_bits = 0;
+      confirmed = false;
+      confirmed_by_cont = false;
+      cont_tested = false;
+      cont_hit = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.tbl b.id b;
+  b
+
+let create ~file_len ~start_block =
+  if start_block <= 0 then invalid_arg "Block_tree.create: start_block <= 0";
+  let size = min start_block (pow2_floor (max file_len 1)) in
+  let t =
+    {
+      flen = file_len;
+      size;
+      rnd = 0;
+      active = [];
+      next_id = 0;
+      tbl = Hashtbl.create 64;
+    }
+  in
+  let rec blocks off acc =
+    if off >= file_len then List.rev acc
+    else
+      let len = min size (file_len - off) in
+      blocks (off + len)
+        (fresh t ~off ~len ~derive_from:None ~sibling_id:None :: acc)
+  in
+  t.active <- blocks 0 [];
+  t
+
+let file_len t = t.flen
+let current_size t = t.size
+let round t = t.rnd
+
+let active_blocks t = List.filter (fun b -> not b.confirmed) t.active
+
+let find t id =
+  match Hashtbl.find_opt t.tbl id with
+  | Some b -> b
+  | None -> raise Not_found
+
+let split t =
+  let size' = t.size / 2 in
+  if size' < 1 then invalid_arg "Block_tree.split: cannot split below 1";
+  let split_one b =
+    if b.confirmed then [ b ]
+    else if b.len <= size' then begin
+      (* Carried over: stale per-round flags are cleared; sibling/parent
+         links only make sense in the round right after the split. *)
+      b.cont_tested <- false;
+      b.cont_hit <- false;
+      [ b ]
+    end
+    else begin
+      (* Reserve the two ids in left-then-right order so both endpoints
+         allocate identically. *)
+      let left_id = t.next_id and right_id = t.next_id + 1 in
+      let left =
+        fresh t ~off:b.off ~len:size' ~derive_from:None
+          ~sibling_id:(Some right_id)
+      in
+      let right =
+        fresh t ~off:(b.off + size') ~len:(b.len - size')
+          ~derive_from:
+            (if b.known_bits > 0 then Some (b.id, left_id, b.known_bits)
+             else None)
+          ~sibling_id:(Some left_id)
+      in
+      [ left; right ]
+    end
+  in
+  t.active <- List.concat_map split_one t.active;
+  t.size <- size';
+  t.rnd <- t.rnd + 1
+
+let unknown_bytes t =
+  List.fold_left (fun acc b -> if b.confirmed then acc else acc + b.len) 0 t.active
+
+let confirmed_ratio t =
+  if t.flen = 0 then 1.0
+  else 1.0 -. (float_of_int (unknown_bytes t) /. float_of_int t.flen)

@@ -1,0 +1,56 @@
+(** Recursive block structure over the current file (§5.2a).
+
+    Both endpoints maintain an identical copy of this structure: it is a
+    deterministic function of the file length, the configuration, and the
+    publicly observed per-round confirmations — so protocol messages never
+    need to carry block identifiers, only hash bits and bitmaps in the
+    canonical block order.
+
+    A round works on the unconfirmed blocks of the current nominal size;
+    splitting halves the nominal size and replaces every unconfirmed block
+    longer than the new size by its two children.  The right child records
+    how many bits of its hash the client will be able to derive from the
+    parent and left-sibling hashes (§5.5). *)
+
+type block = {
+  id : int;
+  off : int;
+  len : int;
+  derive_from : (int * int * int) option;
+      (** [(parent_id, left_sibling_id, parent_known_bits)] for a right
+          child whose parent hash the client knows *)
+  sibling_id : int option;
+  mutable known_bits : int;   (** hash bits of this block the client holds *)
+  mutable confirmed : bool;
+  mutable confirmed_by_cont : bool;
+  mutable cont_tested : bool; (** a continuation hash was sent this round *)
+  mutable cont_hit : bool;    (** ... and the client reported a candidate *)
+}
+
+type t
+
+val create : file_len:int -> start_block:int -> t
+(** The initial partition uses the largest power of two that is at most
+    [start_block] and at most the file length (so small files start at a
+    sensible size). *)
+
+val file_len : t -> int
+val current_size : t -> int
+(** Nominal block size of the current round. *)
+
+val round : t -> int
+
+val active_blocks : t -> block list
+(** Unconfirmed blocks, ascending offset. *)
+
+val find : t -> int -> block
+(** By id.  @raise Not_found. *)
+
+val split : t -> unit
+(** Advance to the next round: halve the nominal size, split unconfirmed
+    blocks, clear per-round flags. *)
+
+val unknown_bytes : t -> int
+(** Bytes not yet covered by confirmed blocks. *)
+
+val confirmed_ratio : t -> float

@@ -1,0 +1,76 @@
+module Poly_hash = Fsync_hash.Poly_hash
+
+(* Counting sort on the low bits of the truncated hash: O(n) build, O(1)
+   expected lookup, no boxed comparisons — this index is rebuilt for every
+   round's window size, so it dominates client CPU time. *)
+
+type t = {
+  keys : int array;    (* full truncated key per slot, bucket-sorted *)
+  pos : int array;     (* window position per slot *)
+  offsets : int array; (* bucket -> first slot; length nbuckets + 1 *)
+  bucket_mask : int;
+  window : int;
+}
+
+let max_bucket_bits = 20
+
+let build data ~window ~bits =
+  let n = String.length data in
+  if window <= 0 then invalid_arg "Candidates.build: window <= 0";
+  let count = n - window + 1 in
+  if count <= 0 then
+    { keys = [||]; pos = [||]; offsets = [| 0; 0 |]; bucket_mask = 0; window }
+  else begin
+    (* Bucket count ~ position count: a wider table would be dominated by
+       its own clearing cost on small files. *)
+    let rec log2_ceil k v = if v >= count then k else log2_ceil (k + 1) (v * 2) in
+    let bbits = min (min bits max_bucket_bits) (log2_ceil 1 2) in
+    let nbuckets = 1 lsl bbits in
+    let bucket_mask = nbuckets - 1 in
+    let raw_keys = Poly_hash.window_hashes data ~window ~bits in
+    let counts = Array.make (nbuckets + 1) 0 in
+    for i = 0 to count - 1 do
+      let b = raw_keys.(i) land bucket_mask in
+      counts.(b + 1) <- counts.(b + 1) + 1
+    done;
+    for b = 1 to nbuckets do
+      counts.(b) <- counts.(b) + counts.(b - 1)
+    done;
+    let offsets = Array.copy counts in
+    let keys = Array.make count 0 and pos = Array.make count 0 in
+    for i = 0 to count - 1 do
+      let b = raw_keys.(i) land bucket_mask in
+      let slot = counts.(b) in
+      counts.(b) <- slot + 1;
+      keys.(slot) <- raw_keys.(i);
+      pos.(slot) <- i
+    done;
+    { keys; pos; offsets; bucket_mask; window }
+  end
+
+let lookup t key =
+  if Array.length t.keys = 0 then []
+  else begin
+    let b = key land t.bucket_mask in
+    let lo = t.offsets.(b) and hi = t.offsets.(b + 1) in
+    let acc = ref [] in
+    for s = hi - 1 downto lo do
+      if t.keys.(s) = key then acc := t.pos.(s) :: !acc
+    done;
+    (* Positions ascend within a bucket because the placement pass scans
+       ascending positions. *)
+    !acc
+  end
+
+let window t = t.window
+
+let select ~cap ~predicted positions =
+  let ranked =
+    match predicted with
+    | None -> positions
+    | Some p ->
+        List.stable_sort
+          (fun a b -> compare (abs (a - p)) (abs (b - p)))
+          positions
+  in
+  List.filteri (fun i _ -> i < cap) ranked

@@ -1,0 +1,23 @@
+(** Client-side candidate search: all window positions of the old file,
+    indexed by truncated rolling hash.
+
+    "comparing received hashes not just with the corresponding block in
+    the other file, but with all substrings of the same size" (§2.2) —
+    done once per round with the O(1)-rolling {!Fsync_hash.Poly_hash} and
+    a sorted (key, position) index. *)
+
+type t
+
+val build : string -> window:int -> bits:int -> t
+(** Index of every window position of the string.  Empty if the string is
+    shorter than the window. *)
+
+val lookup : t -> int -> int list
+(** Ascending positions whose truncated window hash equals the key. *)
+
+val window : t -> int
+
+val select :
+  cap:int -> predicted:int option -> int list -> int list
+(** Order candidate positions best-first — nearest to the predicted
+    position when one exists — and keep at most [cap]. *)

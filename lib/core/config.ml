@@ -1,0 +1,160 @@
+type batch = { group_size : int; bits : int }
+
+type verification = {
+  batches : batch list;
+  confirm_bits : int;
+  retry_alternates : bool;
+}
+
+type continuation = {
+  cont_enabled : bool;
+  cont_bits : int;
+  cont_min_block : int;
+}
+
+type local = {
+  local_enabled : bool;
+  local_bits : int;
+  local_window : int;
+  local_range : int;
+}
+
+type t = {
+  start_block : int;
+  min_global_block : int;
+  global_slack_bits : int;
+  decomposable : bool;
+  verification : verification;
+  continuation : continuation;
+  local : local;
+  skip_sibling_after_cont : bool;
+  omit_global_after_cont_miss : bool;
+  candidate_cap : int;
+  compress_messages : bool;
+  delta_profile : Fsync_delta.Delta.profile;
+}
+
+let trivial_verification =
+  { batches = [ { group_size = 1; bits = 16 } ]; confirm_bits = 14; retry_alternates = false }
+
+let grouped_verification = function
+  | 1 ->
+      (* One extra round trip: weak individual filter + one strong group. *)
+      {
+        batches = [ { group_size = 1; bits = 6 }; { group_size = 8; bits = 16 } ];
+        confirm_bits = 14;
+        retry_alternates = false;
+      }
+  | 2 ->
+      {
+        batches =
+          [ { group_size = 1; bits = 5 };
+            { group_size = 8; bits = 16 };
+            { group_size = 1; bits = 16 } ];
+        confirm_bits = 14;
+        retry_alternates = true;
+      }
+  | 3 ->
+      {
+        batches =
+          [ { group_size = 1; bits = 4 };
+            { group_size = 4; bits = 12 };
+            { group_size = 16; bits = 16 };
+            { group_size = 1; bits = 16 } ];
+        confirm_bits = 14;
+        retry_alternates = true;
+      }
+  | n -> invalid_arg (Printf.sprintf "grouped_verification: %d not in 1-3" n)
+
+let no_continuation = { cont_enabled = false; cont_bits = 4; cont_min_block = 16 }
+
+let no_local =
+  { local_enabled = false; local_bits = 10; local_window = 64; local_range = 4096 }
+
+let basic =
+  {
+    start_block = 2048;
+    min_global_block = 64;
+    global_slack_bits = 3;
+    decomposable = true;
+    verification = trivial_verification;
+    continuation = no_continuation;
+    local = no_local;
+    skip_sibling_after_cont = false;
+    omit_global_after_cont_miss = false;
+    candidate_cap = 4;
+    compress_messages = false;
+    delta_profile = Fsync_delta.Delta.Zdelta;
+  }
+
+let with_continuation ?(cont_min_block = 16) t =
+  {
+    t with
+    continuation = { cont_enabled = true; cont_bits = 4; cont_min_block };
+    skip_sibling_after_cont = true;
+  }
+
+let tuned =
+  (* Swept over {32,64,128,256} x cont {8,16} on both source-tree presets:
+     64-byte global stop with 8-byte continuation wins by ~9%. *)
+  with_continuation ~cont_min_block:8
+    { basic with verification = grouped_verification 2; min_global_block = 64 }
+
+let single_round =
+  {
+    basic with
+    start_block = 512;
+    min_global_block = 512;
+    verification = trivial_verification;
+  }
+
+let ceil_log2 n =
+  let rec loop k v =
+    (* v doubles; guard the shift against overflow for huge n *)
+    if v >= n || k >= 62 then k else loop (k + 1) (v * 2)
+  in
+  if n <= 1 then 0 else loop 0 1
+
+let global_bits t ~old_file_len =
+  let bits = ceil_log2 (max old_file_len 2) + t.global_slack_bits in
+  min bits 32
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if not (is_pow2 t.start_block) then err "start_block %d not a power of two" t.start_block
+  else if not (is_pow2 t.min_global_block) then
+    err "min_global_block %d not a power of two" t.min_global_block
+  else if t.min_global_block > t.start_block then
+    err "min_global_block exceeds start_block"
+  else if t.global_slack_bits < 0 || t.global_slack_bits > 16 then
+    err "global_slack_bits %d out of [0,16]" t.global_slack_bits
+  else if t.verification.batches = [] then err "verification needs at least one batch"
+  else if
+    List.exists
+      (fun b -> b.group_size < 1 || b.bits < 1 || b.bits > 32)
+      t.verification.batches
+  then err "verification batch out of range"
+  else if t.continuation.cont_enabled && not (is_pow2 t.continuation.cont_min_block)
+  then err "cont_min_block not a power of two"
+  else if t.continuation.cont_bits < 1 || t.continuation.cont_bits > 16 then
+    err "cont_bits out of [1,16]"
+  else if t.candidate_cap < 1 then err "candidate_cap must be >= 1"
+  else Ok ()
+
+let pp ppf t =
+  let v = t.verification in
+  Format.fprintf ppf
+    "@[<v>start=%d min_global=%d slack=+%d decomposable=%b@ verification: \
+     confirm>=%d retry=%b batches=[%s]@ continuation: %b bits=%d min=%d@ \
+     local: %b@ skip_sibling=%b omit_after_miss=%b cap=%d@]"
+    t.start_block t.min_global_block t.global_slack_bits t.decomposable
+    v.confirm_bits v.retry_alternates
+    (String.concat "; "
+       (List.map
+          (fun b -> Printf.sprintf "%dx%db" b.group_size b.bits)
+          v.batches))
+    t.continuation.cont_enabled t.continuation.cont_bits
+    t.continuation.cont_min_block t.local.local_enabled
+    t.skip_sibling_after_cont t.omit_global_after_cont_miss t.candidate_cap

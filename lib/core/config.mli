@@ -1,0 +1,96 @@
+(** Protocol configuration (§5.6: "a simple parameter file is used to
+    specify all the options and techniques that should be used in each
+    round").
+
+    Every technique of §5 is an independent knob so the benchmarks can
+    reproduce each figure's ablation: recursive splitting bounds, weak
+    hash widths, the verification schedule (trivial vs. group testing with
+    1-3 batches), continuation and local hashes, decomposable hash
+    transmission. *)
+
+type batch = {
+  group_size : int;  (** 1 = individual tests; n > 1 = group tests *)
+  bits : int;        (** verification hash width for this batch *)
+}
+
+type verification = {
+  batches : batch list;    (** executed in order; each batch is one
+                               client->server->client round trip *)
+  confirm_bits : int;      (** accumulated passed-test bits needed to
+                               declare a candidate a confirmed match *)
+  retry_alternates : bool; (** after a failed individual test, retry the
+                               block with its next candidate position *)
+}
+
+type continuation = {
+  cont_enabled : bool;
+  cont_bits : int;           (** hash width; "even a very small number of
+                                 bits (say, 3 or 4) per hash" *)
+  cont_min_block : int;      (** recurse extensions down to this size *)
+}
+
+type local = {
+  local_enabled : bool;
+  local_bits : int;
+  local_window : int;        (** candidate positions searched around the
+                                 prediction: [pred - w, pred + w] *)
+  local_range : int;         (** max target-space distance to the nearest
+                                 confirmed match for a block to qualify *)
+}
+
+type t = {
+  start_block : int;          (** largest (power-of-two) block size *)
+  min_global_block : int;     (** stop sending global hashes below this *)
+  global_slack_bits : int;    (** global hash width =
+                                  ceil(log2 old-file-size) + slack *)
+  decomposable : bool;        (** derive right-sibling hashes, send only
+                                  top-up bits (§5.5) *)
+  verification : verification;
+  continuation : continuation;
+  local : local;
+  skip_sibling_after_cont : bool;
+      (** §5.4: omit the global hash of a block whose sibling was confirmed
+          by a continuation hash this round *)
+  omit_global_after_cont_miss : bool;
+      (** §5.4: omit the global hash of a block whose continuation hash
+          found no match this round *)
+  candidate_cap : int;        (** client-side bound on remembered candidate
+                                  positions per block *)
+  compress_messages : bool;   (** deflate protocol messages; off by default:
+                                  hash bits are incompressible and the flag
+                                  byte outweighs the bitmap savings on
+                                  typical message sizes (see the ablation
+                                  bench) *)
+  delta_profile : Fsync_delta.Delta.profile;
+}
+
+val trivial_verification : verification
+(** One 16-bit hash per candidate, single batch. *)
+
+val grouped_verification : int -> verification
+(** [grouped_verification n_roundtrips] for n in 1-3: the optimized
+    schedules of Fig 6.4 — a weak individual filter, then growing group
+    tests, then individual salvage. *)
+
+val basic : t
+(** Fig 6.1/6.2 configuration: recursive halving, decomposable hashes,
+    trivial per-candidate verification; no continuation, no grouping. *)
+
+val with_continuation : ?cont_min_block:int -> t -> t
+(** Enable continuation hashes (Fig 6.3). *)
+
+val tuned : t
+(** All techniques, the Table 6.1 configuration. *)
+
+val single_round : t
+(** §7's restricted setting: one block size, one hash round plus the
+    delta — two to three round trips total, for latency-bound links
+    where the full recursion is not worth it. *)
+
+val global_bits : t -> old_file_len:int -> int
+(** Width of global hashes for this old-file size. *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check parameter ranges and power-of-two constraints. *)
+
+val pp : Format.formatter -> t -> unit

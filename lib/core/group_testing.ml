@@ -1,0 +1,101 @@
+type status = Uncertain | Confirmed | Dead | Await_retry
+
+type cand = { mutable acc_bits : int; mutable st : status }
+
+type t = {
+  cands : cand array;
+  confirm_bits : int;
+  retry : bool;
+  mutable remaining : Config.batch list;
+  mutable awaiting_retry : bool;
+}
+
+let create ~n (v : Config.verification) =
+  {
+    cands = Array.init n (fun _ -> { acc_bits = 0; st = Uncertain });
+    confirm_bits = v.confirm_bits;
+    retry = v.retry_alternates;
+    remaining = v.batches;
+    awaiting_retry = false;
+  }
+
+let uncertain_indices t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c.st = Uncertain then acc := i :: !acc) t.cands;
+  List.rev !acc
+
+let has_uncertain t = Array.exists (fun c -> c.st = Uncertain) t.cands
+
+let current_batch t =
+  if t.awaiting_retry then None
+  else
+    match t.remaining with
+    | b :: _ when has_uncertain t -> Some b
+    | _ -> None
+
+let chunk size xs =
+  let rec loop acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = size then loop (List.rev cur :: acc) [ x ] 1 rest
+        else loop acc (x :: cur) (k + 1) rest
+  in
+  loop [] [] 0 xs
+
+let groups t =
+  match current_batch t with
+  | None -> []
+  | Some b -> chunk b.group_size (uncertain_indices t)
+
+let pending_retries t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c.st = Await_retry then acc := i :: !acc) t.cands;
+  List.rev !acc
+
+let apply_results t results =
+  match current_batch t with
+  | None -> invalid_arg "Group_testing.apply_results: no active batch"
+  | Some b ->
+      let gs = groups t in
+      if Array.length results <> List.length gs then
+        invalid_arg "Group_testing.apply_results: arity mismatch";
+      let more_batches = List.length t.remaining > 1 in
+      List.iteri
+        (fun gi members ->
+          let pass = results.(gi) in
+          List.iter
+            (fun i ->
+              let c = t.cands.(i) in
+              if pass then begin
+                c.acc_bits <- c.acc_bits + b.bits;
+                if c.acc_bits >= t.confirm_bits then c.st <- Confirmed
+              end
+              else if b.group_size = 1 then begin
+                c.acc_bits <- 0;
+                c.st <-
+                  (if t.retry && more_batches then Await_retry else Dead)
+              end
+              (* failed group test with several members: all stay
+                 uncertain, their accumulated evidence unchanged *))
+            members)
+        gs;
+      t.awaiting_retry <- pending_retries t <> [];
+      if not t.awaiting_retry then t.remaining <- List.tl t.remaining
+
+let resolve_retries t decisions =
+  let pending = pending_retries t in
+  if Array.length decisions <> List.length pending then
+    invalid_arg "Group_testing.resolve_retries: arity mismatch";
+  List.iteri
+    (fun k i ->
+      let c = t.cands.(i) in
+      c.st <- (if decisions.(k) then Uncertain else Dead))
+    pending;
+  t.awaiting_retry <- false;
+  t.remaining <- (match t.remaining with [] -> [] | _ :: rest -> rest)
+
+let status t i = t.cands.(i).st
+
+let confirmed t = Array.map (fun c -> c.st = Confirmed) t.cands
+
+let finished t = current_batch t = None && not t.awaiting_retry

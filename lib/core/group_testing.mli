@@ -1,0 +1,47 @@
+(** Group-testing engine for optimized match verification (§5.3).
+
+    Candidate matches are "items", false matches are the "defective" ones;
+    each test asks "are all candidates in this group genuine?" by
+    comparing one k-bit hash over the group's concatenated contents.  A
+    passing test is trusted to 2^-k; a failing test proves at least one
+    defective member.  The engine tracks, identically on both endpoints,
+    which candidates are still uncertain, which accumulated enough passed
+    bits to be confirmed, and which are dead — so the two sides always
+    agree on the next batch's group partition without exchanging ids.
+
+    The client additionally decides, after a failed individual test,
+    whether to retry the block with an alternate candidate position; that
+    decision is the only asymmetric input and enters through
+    {!resolve_retries} (driven by an explicit bitmap on the wire). *)
+
+type status = Uncertain | Confirmed | Dead | Await_retry
+
+type t
+
+val create : n:int -> Config.verification -> t
+(** Engine over [n] candidates, all initially uncertain. *)
+
+val current_batch : t -> Config.batch option
+(** [None] once the schedule is exhausted (or nothing is uncertain). *)
+
+val groups : t -> int list list
+(** Partition of the currently uncertain candidate indices into groups of
+    the current batch's size, in canonical order. *)
+
+val apply_results : t -> bool array -> unit
+(** One pass/fail bit per group of {!groups}; updates statuses and, if no
+    retries are pending, advances to the next batch.
+    @raise Invalid_argument on arity mismatch. *)
+
+val pending_retries : t -> int list
+(** Candidates waiting for the client's retry decision, canonical order. *)
+
+val resolve_retries : t -> bool array -> unit
+(** One bit per {!pending_retries} element: retried (back to uncertain,
+    evidence reset) or abandoned (dead).  Advances to the next batch. *)
+
+val status : t -> int -> status
+val confirmed : t -> bool array
+(** Final (or current) confirmation flags per candidate. *)
+
+val finished : t -> bool

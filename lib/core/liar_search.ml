@@ -1,0 +1,89 @@
+module Prng = Fsync_util.Prng
+
+type strategy = Halving | Verify_each | Optimistic
+
+type result = {
+  avg_query_bits : float;
+  avg_queries : float;
+  error_rate : float;
+}
+
+let strategy_name = function
+  | Halving -> "halving + final verify"
+  | Verify_each -> "verify every positive"
+  | Optimistic -> "no verification"
+
+(* Ground truth: true extent [l].  A weak query "is extent >= m?" answers
+   truthfully when the extent does reach m, and lies "yes" with
+   probability 2^-lie_bits when it does not (a continuation hash
+   collision).  A strong query is exact. *)
+let simulate ?(trials = 2000) ?(seed = 11L) strategy ~lie_bits ~verify_bits
+    ~max_extent =
+  if lie_bits <= 0 || verify_bits <= 0 || max_extent <= 0 then
+    invalid_arg "Liar_search.simulate: non-positive parameter";
+  let rng = Prng.create seed in
+  let lie_p = 1.0 /. float_of_int (1 lsl min lie_bits 30) in
+  let total_bits = ref 0 and total_queries = ref 0 and errors = ref 0 in
+  for _ = 1 to trials do
+    let l = Prng.int rng (max_extent + 1) in
+    let bits = ref 0 and queries = ref 0 in
+    let weak m =
+      bits := !bits + lie_bits;
+      incr queries;
+      l >= m || Prng.bernoulli rng lie_p
+    in
+    let strong m =
+      bits := !bits + verify_bits;
+      incr queries;
+      l >= m
+    in
+    let binary_search query =
+      let lo = ref 0 and hi = ref max_extent in
+      while !lo < !hi do
+        let m = (!lo + !hi + 1) / 2 in
+        if query m then lo := m else hi := m - 1
+      done;
+      !lo
+    in
+    let answer =
+      match strategy with
+      | Optimistic -> binary_search weak
+      | Verify_each ->
+          (* A positive weak answer is immediately confirmed; negatives are
+             trusted (they cannot be lies in this one-sided model). *)
+          binary_search (fun m -> weak m && strong m)
+      | Halving ->
+          (* Weak-only descent, one exact check of the final answer,
+             restart on detected failure. *)
+          let rec attempt k =
+            let a = binary_search weak in
+            let ok =
+              (* verify "extent >= a" and "extent < a+1" with one strong
+                 hash over the a-byte extension *)
+              bits := !bits + verify_bits;
+              incr queries;
+              a = l
+            in
+            if ok || k >= 10 then (a, ok) else attempt (k + 1)
+          in
+          let a, ok = attempt 1 in
+          if not ok then incr errors;
+          a
+    in
+    (match strategy with
+    | Halving -> () (* errors already counted *)
+    | Verify_each | Optimistic -> if answer <> l then incr errors);
+    total_bits := !total_bits + !bits;
+    total_queries := !total_queries + !queries
+  done;
+  let fl = float_of_int in
+  {
+    avg_query_bits = fl !total_bits /. fl trials;
+    avg_queries = fl !total_queries /. fl trials;
+    error_rate = fl !errors /. fl trials;
+  }
+
+let compare_strategies ?trials ~lie_bits ~verify_bits ~max_extent () =
+  List.map
+    (fun s -> (s, simulate ?trials s ~lie_bits ~verify_bits ~max_extent))
+    [ Optimistic; Halving; Verify_each ]

@@ -1,0 +1,52 @@
+(** Searching with lies: the model behind continuation hashes (§5.4).
+
+    Extending a confirmed match rightwards is a binary search for the true
+    extension length with unreliable comparisons: a continuation test at
+    depth asks "does the match extend through this block?" and a k-bit
+    continuation hash answers — truthfully when the answer is "yes it
+    extends" is false... precisely, the paper's model: when the correct
+    answer is "go right" it is always returned; otherwise a wrong answer
+    is returned with probability 2^-k (a hash collision pretends the
+    extension continues).  This is Ulam's problem with one-sided lies
+    ([37], [49]).
+
+    This module simulates strategies for that game so their costs can be
+    compared, which is how the default continuation hash width (4 bits)
+    was chosen:
+    - {!Halving}: recursive halving with a single continuation test per
+      level and a full verification of the final answer — the strategy
+      the protocol implements;
+    - {!Verify_each}: verify every positive answer immediately with a
+      strong hash (the "not optimal" strategy the paper cites known
+      results against);
+    - {!Optimistic}: descend on weak answers only, then verify the final
+      position once and restart on failure. *)
+
+type strategy = Halving | Verify_each | Optimistic
+
+type result = {
+  avg_query_bits : float;   (** expected bits of hash material consumed *)
+  avg_queries : float;      (** expected number of comparisons *)
+  error_rate : float;       (** fraction of searches ending on a wrong answer *)
+}
+
+val simulate :
+  ?trials:int ->
+  ?seed:int64 ->
+  strategy ->
+  lie_bits:int ->
+  verify_bits:int ->
+  max_extent:int ->
+  result
+(** [simulate strategy ~lie_bits ~verify_bits ~max_extent]: the true
+    extension length is uniform in [\[0, max_extent\]]; each weak
+    comparison costs [lie_bits] and lies one-sidedly with probability
+    [2^-lie_bits]; strong verifications cost [verify_bits] and are exact.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val compare_strategies :
+  ?trials:int -> lie_bits:int -> verify_bits:int -> max_extent:int -> unit ->
+  (strategy * result) list
+(** All three strategies under the same parameters. *)
+
+val strategy_name : strategy -> string

@@ -1,0 +1,66 @@
+module Segments = Fsync_util.Segments
+
+type entry = { t_off : int; s_off : int; len : int }
+
+module M = Map.Make (Int)
+
+type t = entry M.t
+(* Keyed by t_off; invariant: target ranges disjoint. *)
+
+let empty = M.empty
+
+let overlaps a b =
+  a.t_off < b.t_off + b.len && b.t_off < a.t_off + a.len
+
+let add t e =
+  if e.len <= 0 then invalid_arg "Match_map.add: empty entry";
+  (* Check the neighbors for overlap. *)
+  let pred = M.find_last_opt (fun k -> k <= e.t_off) t in
+  let succ = M.find_first_opt (fun k -> k > e.t_off) t in
+  let check = function
+    | Some (_, n) when overlaps n e -> invalid_arg "Match_map.add: overlap"
+    | _ -> ()
+  in
+  check pred;
+  check succ;
+  (* Merge with a predecessor contiguous in both spaces. *)
+  let e, t =
+    match pred with
+    | Some (k, p)
+      when p.t_off + p.len = e.t_off && p.s_off + p.len = e.s_off ->
+        ({ t_off = p.t_off; s_off = p.s_off; len = p.len + e.len }, M.remove k t)
+    | _ -> (e, t)
+  in
+  let e, t =
+    match succ with
+    | Some (k, s)
+      when e.t_off + e.len = s.t_off && e.s_off + e.len = s.s_off ->
+        ({ e with len = e.len + s.len }, M.remove k t)
+    | _ -> (e, t)
+  in
+  M.add e.t_off e t
+
+let entries t = List.map snd (M.bindings t)
+
+let known_target t =
+  Segments.of_list (List.map (fun e -> (e.t_off, e.t_off + e.len)) (entries t))
+
+let covered_bytes t = M.fold (fun _ e acc -> acc + e.len) t 0
+
+let find_ending_at t pos =
+  match M.find_last_opt (fun k -> k < pos) t with
+  | Some (_, e) when e.t_off + e.len = pos -> Some e
+  | _ -> None
+
+let find_starting_at t pos = M.find_opt pos t
+
+let nearest t pos =
+  let before = M.find_last_opt (fun k -> k <= pos) t in
+  let after = M.find_first_opt (fun k -> k > pos) t in
+  match (before, after) with
+  | None, None -> None
+  | Some (_, e), None | None, Some (_, e) -> Some e
+  | Some (_, b), Some (_, a) ->
+      if pos - b.t_off <= a.t_off - pos then Some b else Some a
+
+let count = M.cardinal

@@ -1,0 +1,39 @@
+(** The client's map of the current file (§5.1).
+
+    Each confirmed match asserts "the current file's bytes
+    [\[t_off, t_off+len)] equal my old file's bytes [\[s_off, s_off+len)]".
+    Entries adjacent in both spaces are merged, which is what makes
+    continuation hashes cheap to anchor: extensions of a match keep a
+    single growing entry. *)
+
+type entry = { t_off : int; s_off : int; len : int }
+
+type t
+
+val empty : t
+val add : t -> entry -> t
+(** Insert a confirmed match.  Overlapping target ranges are not expected
+    from the protocol and raise [Invalid_argument]; touching entries that
+    are also contiguous in source space are merged. *)
+
+val entries : t -> entry list
+(** Sorted by target offset. *)
+
+val known_target : t -> Fsync_util.Segments.t
+(** Target-space intervals the client knows. *)
+
+val covered_bytes : t -> int
+
+val find_ending_at : t -> int -> entry option
+(** Entry whose target range ends exactly at the given offset (anchor for
+    a rightward continuation). *)
+
+val find_starting_at : t -> int -> entry option
+(** Entry whose target range starts exactly at the given offset (anchor
+    for a leftward continuation). *)
+
+val nearest : t -> int -> entry option
+(** Entry whose target offset is closest to the given target position
+    (anchor for local hashes). *)
+
+val count : t -> int

@@ -1,0 +1,166 @@
+module Poly = Fsync_hash.Poly_hash
+module Md5 = Fsync_hash.Md5
+module Fp = Fsync_hash.Fingerprint
+module Seg = Fsync_util.Segments
+module Delta = Fsync_delta.Delta
+module Deflate = Fsync_compress.Deflate
+
+type config = {
+  block_size : int;
+  weak_bits : int;
+  strong_bits : int;
+  delta_missing : bool;
+}
+
+let default_config =
+  { block_size = 1024; weak_bits = 24; strong_bits = 40; delta_missing = true }
+
+type report = {
+  signature_bytes : int;
+  request_bytes : int;
+  payload_bytes : int;
+  blocks_total : int;
+  blocks_matched : int;
+}
+
+let per_client_bytes r = r.request_bytes + r.payload_bytes
+let total_bytes r = r.signature_bytes + per_client_bytes r
+
+type result = { reconstructed : string; report : report }
+
+(* The published signature: header + per full-size block (weak, strong).
+   The short tail block is carried as data in the payload, never matched
+   (its window size differs, so clients cannot roll for it). *)
+let signature_size cfg ~n_new =
+  let n_blocks = n_new / cfg.block_size in
+  Fsync_util.Varint.size n_new + Fp.size_bytes
+  + ((n_blocks * (cfg.weak_bits + cfg.strong_bits)) + 7) / 8
+
+(* Client-side matching: for each published block, search every window of
+   the old file by weak hash, then self-verify with the strong hash. *)
+let match_blocks cfg ~old_file ~new_file =
+  let b = cfg.block_size in
+  let n_blocks = String.length new_file / b in
+  let idx = Candidates.build old_file ~window:b ~bits:cfg.weak_bits in
+  Array.init n_blocks (fun i ->
+      let pos = i * b in
+      let weak =
+        Poly.truncate (Poly.hash_sub new_file ~pos ~len:b) ~bits:cfg.weak_bits
+      in
+      let strong =
+        Md5.truncated_sub new_file ~pos ~len:b ~bits:(min cfg.strong_bits 57)
+      in
+      let candidates = Candidates.lookup idx weak in
+      List.find_opt
+        (fun p ->
+          Md5.truncated_sub old_file ~pos:p ~len:b ~bits:(min cfg.strong_bits 57)
+          = strong)
+        candidates)
+
+let sync ?(config = default_config) ~old_file new_file =
+  let cfg = config in
+  let b = cfg.block_size in
+  let n_new = String.length new_file in
+  let matches = match_blocks cfg ~old_file ~new_file in
+  let n_blocks = Array.length matches in
+  let matched = Array.fold_left (fun a m -> if m <> None then a + 1 else a) 0 matches in
+  (* Known target segments = matched blocks. *)
+  let known =
+    Seg.of_list
+      (List.filteri
+         (fun i _ -> matches.(i) <> None)
+         (List.init n_blocks (fun i -> (i * b, (i + 1) * b))))
+  in
+  let unknown_spans = Seg.to_list (Seg.complement known ~lo:0 ~hi:n_new) in
+  let concat spans src =
+    String.concat "" (List.map (fun (lo, hi) -> String.sub src lo (hi - lo)) spans)
+  in
+  let unknown_content = concat unknown_spans new_file in
+  (* Server builds the payload knowing only the request bitmap: the
+     reference is the matched blocks of the new file itself. *)
+  let reference =
+    if cfg.delta_missing then concat (Seg.to_list known) new_file else ""
+  in
+  let payload =
+    if cfg.delta_missing then Delta.encode ~reference unknown_content
+    else Deflate.compress unknown_content
+  in
+  (* Client reconstruction from its own old file + the payload. *)
+  let client_reference =
+    String.concat ""
+      (List.filteri (fun i _ -> matches.(i) <> None) (Array.to_list matches)
+      |> List.map (function
+           | Some p -> String.sub old_file p b
+           | None -> assert false))
+  in
+  let reconstruct () =
+    let unknown_c =
+      if cfg.delta_missing then Delta.decode ~reference:client_reference payload
+      else Deflate.decompress payload
+    in
+    let buf = Buffer.create n_new in
+    let upos = ref 0 in
+    let pos = ref 0 in
+    while !pos < n_new do
+      let block_i = !pos / b in
+      if block_i < n_blocks && matches.(block_i) <> None then begin
+        (match matches.(block_i) with
+        | Some p -> Buffer.add_substring buf old_file p b
+        | None -> assert false);
+        pos := !pos + b
+      end
+      else begin
+        (* consume unknown bytes until the next matched block *)
+        let next_known =
+          let rec find i =
+            if i >= n_blocks then n_new
+            else if matches.(i) <> None then i * b
+            else find (i + 1)
+          in
+          find (block_i + 1)
+        in
+        let len = next_known - !pos in
+        Buffer.add_substring buf unknown_c !upos len;
+        upos := !upos + len;
+        pos := next_known
+      end
+    done;
+    Buffer.contents buf
+  in
+  let candidate = reconstruct () in
+  let ok = Fp.equal (Fp.of_string candidate) (Fp.of_string new_file) in
+  let reconstructed, payload_bytes =
+    if ok then (candidate, String.length payload)
+    else begin
+      (* Strong-hash collision: the client detects the fingerprint
+         mismatch and re-requests the whole file compressed. *)
+      let full = Deflate.compress new_file in
+      (Deflate.decompress full, String.length payload + String.length full)
+    end
+  in
+  {
+    reconstructed;
+    report =
+      {
+        signature_bytes = signature_size cfg ~n_new;
+        request_bytes = (n_blocks + 7) / 8;
+        payload_bytes;
+        blocks_total = n_blocks;
+        blocks_matched = matched;
+      };
+  }
+
+let broadcast_cost ?config ~clients () =
+  match clients with
+  | [] -> 0
+  | (_, first_new) :: rest ->
+      if List.exists (fun (_, nf) -> not (String.equal nf first_new)) rest then
+        invalid_arg "Oneway.broadcast_cost: clients disagree on the new file";
+      let reports =
+        List.map
+          (fun (old_file, new_file) -> (sync ?config ~old_file new_file).report)
+          clients
+      in
+      let signature = (List.hd reports).signature_bytes in
+      signature
+      + List.fold_left (fun acc r -> acc + r.payload_bytes) 0 reports

@@ -1,0 +1,54 @@
+(** One-way (broadcast) synchronization — §7's asymmetric setting:
+    "synchronization in asymmetric cases, e.g., in cases with server
+    broadcast capability, lower upload speed, or a bottleneck at a busy
+    server".
+
+    The interactive protocol makes the server do per-client work every
+    round.  Here the server instead {e publishes} one static signature of
+    the current file — per-block weak (rolling-searchable) and strong
+    (self-verifying) hashes, like the later zsync tool — and any number
+    of clients independently determine which blocks they can already
+    produce from their own old files.  Each client then sends one request
+    (a bitmap of missing blocks) and receives the missing bytes, delta
+    coded against the blocks the client proved it has.
+
+    Trade-off vs. the interactive protocol: no recursion and no
+    continuation hashes, so more bytes per client; but the signature is
+    broadcastable and the per-client server cost collapses — the
+    {!broadcast_cost} helper quantifies the crossover. *)
+
+type config = {
+  block_size : int;     (** single-level block size, default 1024 *)
+  weak_bits : int;      (** rolling hash bits in the signature, default 24 *)
+  strong_bits : int;    (** self-verification hash bits, default 40 *)
+  delta_missing : bool; (** delta code the payload against matched blocks
+                            (our server can; plain zsync-over-HTTP cannot) *)
+}
+
+val default_config : config
+
+type report = {
+  signature_bytes : int;  (** published once, shareable by every client *)
+  request_bytes : int;    (** per client *)
+  payload_bytes : int;    (** per client *)
+  blocks_total : int;
+  blocks_matched : int;
+}
+
+val per_client_bytes : report -> int
+(** request + payload (excludes the shared signature). *)
+
+val total_bytes : report -> int
+(** signature + request + payload: the single-client cost. *)
+
+type result = { reconstructed : string; report : report }
+
+val sync : ?config:config -> old_file:string -> string -> result
+(** [sync ~old_file new_file].  The reconstruction always equals the new
+    file: the final fingerprint check falls back to a full compressed
+    payload on (improbable) strong-hash collisions. *)
+
+val broadcast_cost : ?config:config -> clients:(string * string) list -> unit -> int
+(** Total server upload to synchronize all [(old, new)] clients of the
+    same new file: one signature plus each client's payload.
+    @raise Invalid_argument if the clients disagree on the new file. *)

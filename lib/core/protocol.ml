@@ -1,0 +1,729 @@
+module Seg = Fsync_util.Segments
+module Poly = Fsync_hash.Poly_hash
+module Md5 = Fsync_hash.Md5
+module Fp = Fsync_hash.Fingerprint
+module Channel = Fsync_net.Channel
+module Delta = Fsync_delta.Delta
+module Deflate = Fsync_compress.Deflate
+
+type report = {
+  header_c2s : int;
+  header_s2c : int;
+  map_c2s : int;
+  map_s2c : int;
+  delta_bytes : int;
+  fallback_bytes : int;
+  total_c2s : int;
+  total_s2c : int;
+  roundtrips : int;
+  rounds : int;
+  matches : int;
+  covered_bytes : int;
+  hashes_sent : int;
+  candidates_tested : int;
+  phase_stats : (string * phase_stat) list;
+  unchanged : bool;
+  fallback : bool;
+}
+
+and phase_stat = {
+  hashes : int;      (* hashes transmitted for this phase *)
+  hits : int;        (* blocks for which the client found a candidate *)
+  confirms : int;    (* blocks confirmed by verification *)
+}
+
+let total_bytes r = r.total_c2s + r.total_s2c
+
+type result = { reconstructed : string; report : report }
+
+type counters = {
+  mutable c_header_c2s : int;
+  mutable c_header_s2c : int;
+  mutable c_map_c2s : int;
+  mutable c_map_s2c : int;
+  mutable c_delta : int;
+  mutable c_fallback : int;
+  mutable c_hashes : int;
+  mutable c_cands : int;
+  mutable c_phase : (string * phase_stat) list;
+}
+
+type kind = Header | Map | Delta_k | Fallback_k
+
+(* Which phase of a round a hash message belongs to; phases share the
+   verification machinery but construct hashes differently. *)
+type phase = Cont | Local | Global
+
+let phase_label = function Cont -> "cont" | Local -> "local" | Global -> "global"
+
+let mask_bits bits = (1 lsl bits) - 1
+
+let run ?channel ~config ~old_file new_file =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Protocol.run: " ^ e));
+  let cfg : Config.t = config in
+  let ch = match channel with Some c -> c | None -> Channel.create () in
+  let f_old = old_file and f_new = new_file in
+  let n_old = String.length f_old and n_new = String.length f_new in
+  let cnt =
+    {
+      c_header_c2s = 0;
+      c_header_s2c = 0;
+      c_map_c2s = 0;
+      c_map_s2c = 0;
+      c_delta = 0;
+      c_fallback = 0;
+      c_hashes = 0;
+      c_cands = 0;
+      c_phase = [];
+    }
+  in
+  let send dir kind label msg =
+    Channel.send ch ~label dir msg;
+    let len = String.length msg in
+    match (dir, kind) with
+    | Channel.Client_to_server, Header -> cnt.c_header_c2s <- cnt.c_header_c2s + len
+    | Channel.Server_to_client, Header -> cnt.c_header_s2c <- cnt.c_header_s2c + len
+    | Channel.Client_to_server, Map -> cnt.c_map_c2s <- cnt.c_map_c2s + len
+    | Channel.Server_to_client, Map -> cnt.c_map_s2c <- cnt.c_map_s2c + len
+    | _, Delta_k -> cnt.c_delta <- cnt.c_delta + len
+    | _, Fallback_k -> cnt.c_fallback <- cnt.c_fallback + len
+  in
+  let recv dir = Channel.recv ch dir in
+  let bump_phase name f =
+    let cur =
+      match List.assoc_opt name cnt.c_phase with
+      | Some st -> st
+      | None -> { hashes = 0; hits = 0; confirms = 0 }
+    in
+    cnt.c_phase <- (name, f cur) :: List.remove_assoc name cnt.c_phase
+  in
+  let compress = cfg.compress_messages in
+
+  (* ---- header exchange ---- *)
+  let fp_old = Fp.of_string f_old and fp_new = Fp.of_string f_new in
+  send Client_to_server Header "hello"
+    (Wire.pack ~compress (fun w ->
+         Wire.put_varint w n_old;
+         Wire.put_string w (Fp.to_raw fp_old)));
+  (* server *)
+  let r = Wire.unpack ~compress (recv Client_to_server) in
+  let srv_n_old = Wire.get_varint r in
+  let srv_fp_old = Fp.of_raw (Wire.get_string r) in
+  let unchanged = Fp.equal srv_fp_old fp_new in
+  send Server_to_client Header "info"
+    (Wire.pack ~compress (fun w ->
+         Wire.put_hash w (if unchanged then 1 else 0) ~width:1;
+         Wire.put_varint w n_new;
+         Wire.put_string w (Fp.to_raw fp_new)));
+  (* client *)
+  let r = Wire.unpack ~compress (recv Server_to_client) in
+  let cli_unchanged = Wire.get_hash r ~width:1 = 1 in
+  let cli_n_new = Wire.get_varint r in
+  let cli_fp_new = Fp.of_raw (Wire.get_string r) in
+
+  let make_report ~unchanged ~fallback ~rounds ~matches ~covered =
+    {
+      header_c2s = cnt.c_header_c2s;
+      header_s2c = cnt.c_header_s2c;
+      map_c2s = cnt.c_map_c2s;
+      map_s2c = cnt.c_map_s2c;
+      delta_bytes = cnt.c_delta;
+      fallback_bytes = cnt.c_fallback;
+      total_c2s = Channel.bytes ch Client_to_server;
+      total_s2c = Channel.bytes ch Server_to_client;
+      roundtrips = Channel.roundtrips ch;
+      rounds;
+      matches;
+      covered_bytes = covered;
+      hashes_sent = cnt.c_hashes;
+      candidates_tested = cnt.c_cands;
+      phase_stats =
+        List.sort (fun (a, _) (b, _) -> compare a b) cnt.c_phase;
+      unchanged;
+      fallback;
+    }
+  in
+  if cli_unchanged then
+    {
+      reconstructed = f_old;
+      report = make_report ~unchanged:true ~fallback:false ~rounds:0 ~matches:0 ~covered:n_new;
+    }
+  else begin
+    (* ---- map construction ---- *)
+    let tree_c = Block_tree.create ~file_len:cli_n_new ~start_block:cfg.start_block in
+    let tree_s = Block_tree.create ~file_len:n_new ~start_block:cfg.start_block in
+    let map = ref Match_map.empty in
+    (* Confirmed target segments: common knowledge of both endpoints (each
+       observes every confirmation), kept once. *)
+    let segs = ref Seg.empty in
+    (* Client store of reconstructed block hashes for §5.5 derivation. *)
+    let hash_store : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+    let k_global = Config.global_bits cfg ~old_file_len:srv_n_old in
+
+    let seg_edges () =
+      let starts = Hashtbl.create 16 and ends = Hashtbl.create 16 in
+      List.iter
+        (fun (lo, hi) ->
+          Hashtbl.replace starts lo ();
+          Hashtbl.replace ends hi ())
+        (Seg.to_list !segs);
+      (starts, ends)
+    in
+
+    (* ---- verification sub-protocol (§5.3), shared by all phases ----
+
+       [tested]: blocks in canonical order, same objects on both trees via
+       ids.  [cand_lists]: client-side candidate positions per tested
+       block, best first.  Returns per-tested-block confirmation with the
+       winning position. *)
+    let verify ~phase ~tested ~cand_lists =
+      let n = Array.length tested in
+      let found = Array.map (fun l -> l <> []) cand_lists in
+      let cur = Array.map (fun l -> ref l) cand_lists in
+      let found_idx =
+        Array.of_list
+          (List.filteri (fun i _ -> found.(i)) (List.init n Fun.id))
+      in
+      let nf = Array.length found_idx in
+      let eng_c = Group_testing.create ~n:nf cfg.verification in
+      let eng_s = Group_testing.create ~n:nf cfg.verification in
+      Array.iter (fun l -> cnt.c_cands <- cnt.c_cands + if l <> [] then 1 else 0) cand_lists;
+      bump_phase (phase_label phase) (fun st ->
+          { st with hits = st.hits + Array.length found_idx });
+      let client_group_hash group bits =
+        let ctx = Md5.init () in
+        List.iter
+          (fun gk ->
+            let ti = found_idx.(gk) in
+            let b : Block_tree.block = fst tested.(ti) in
+            match !(cur.(ti)) with
+            | pos :: _ -> Md5.feed ctx f_old ~pos ~len:b.len
+            | [] -> assert false)
+          group;
+        Md5.truncated_digest (Md5.finalize ctx) ~bits
+      in
+      let server_group_hash group bits =
+        let ctx = Md5.init () in
+        List.iter
+          (fun gk ->
+            let ti = found_idx.(gk) in
+            let b : Block_tree.block = snd tested.(ti) in
+            Md5.feed ctx f_new ~pos:b.off ~len:b.len)
+          group;
+        Md5.truncated_digest (Md5.finalize ctx) ~bits
+      in
+      (* Message: candidate bitmap piggybacking the first verification
+         batch (Fig 5.2: bitmap "immediately followed by a set of
+         verification hashes"). *)
+      let first_batch = Group_testing.current_batch eng_c in
+      send Client_to_server Map
+        (phase_label phase ^ ":resp")
+        (Wire.pack ~compress (fun w ->
+             Wire.put_bitmap w (Array.to_list found);
+             match first_batch with
+             | None -> ()
+             | Some (b : Config.batch) ->
+                 List.iter
+                   (fun g -> Wire.put_hash w (client_group_hash g b.bits) ~width:b.bits)
+                   (Group_testing.groups eng_c)));
+      (* server side *)
+      let r = Wire.unpack ~compress (recv Client_to_server) in
+      let srv_found = Wire.get_bitmap r ~n in
+      ignore srv_found;
+      (* Mark continuation hits on both trees (used by the skip rules). *)
+      if phase = Cont then
+        Array.iteri
+          (fun i (bc, bs) ->
+            bc.Block_tree.cont_hit <- found.(i);
+            bs.Block_tree.cont_hit <- found.(i))
+          tested;
+      let step_server reader =
+        (* Parse one batch of group hashes, judge them, return results. *)
+        match Group_testing.current_batch eng_s with
+        | None -> [||]
+        | Some (b : Config.batch) ->
+            let gs = Group_testing.groups eng_s in
+            let results =
+              List.map
+                (fun g ->
+                  let got = Wire.get_hash reader ~width:b.bits in
+                  got = server_group_hash g b.bits)
+                gs
+            in
+            Array.of_list results
+      in
+      let results = step_server r in
+      if Array.length results > 0 || Group_testing.current_batch eng_s <> None
+      then begin
+        send Server_to_client Map
+          (phase_label phase ^ ":confirm")
+          (Wire.pack ~compress (fun w ->
+               Wire.put_bitmap w (Array.to_list results)));
+        let rc = Wire.unpack ~compress (recv Server_to_client) in
+        let n_groups_c = List.length (Group_testing.groups eng_c) in
+        let cli_results = Wire.get_bitmap rc ~n:n_groups_c in
+        if Group_testing.current_batch eng_s <> None then
+          Group_testing.apply_results eng_s results;
+        if Group_testing.current_batch eng_c <> None then
+          Group_testing.apply_results eng_c cli_results
+      end;
+      (* Subsequent batches. *)
+      let continue_ = ref true in
+      while !continue_ do
+        let pending = Group_testing.pending_retries eng_c in
+        if pending <> [] then begin
+          (* Client decides retries (alternate candidate positions). *)
+          let decisions =
+            List.map
+              (fun gk ->
+                let ti = found_idx.(gk) in
+                match !(cur.(ti)) with
+                | _ :: (_ :: _ as rest) ->
+                    cur.(ti) := rest;
+                    true
+                | _ -> false)
+              pending
+          in
+          Group_testing.resolve_retries eng_c (Array.of_list decisions);
+          match Group_testing.current_batch eng_c with
+          | None ->
+              (* Still announce the decisions so the server's engine stays
+                 in sync, even though no further hashes follow. *)
+              send Client_to_server Map
+                (phase_label phase ^ ":retry")
+                (Wire.pack ~compress (fun w -> Wire.put_bitmap w decisions));
+              let r = Wire.unpack ~compress (recv Client_to_server) in
+              let srv_pending = List.length (Group_testing.pending_retries eng_s) in
+              let srv_dec = Wire.get_bitmap r ~n:srv_pending in
+              Group_testing.resolve_retries eng_s srv_dec;
+              continue_ := Group_testing.current_batch eng_s <> None
+          | Some (b : Config.batch) ->
+              send Client_to_server Map
+                (phase_label phase ^ ":verif")
+                (Wire.pack ~compress (fun w ->
+                     Wire.put_bitmap w decisions;
+                     List.iter
+                       (fun g ->
+                         Wire.put_hash w (client_group_hash g b.bits) ~width:b.bits)
+                       (Group_testing.groups eng_c)));
+              let r = Wire.unpack ~compress (recv Client_to_server) in
+              let srv_pending = List.length (Group_testing.pending_retries eng_s) in
+              let srv_dec = Wire.get_bitmap r ~n:srv_pending in
+              Group_testing.resolve_retries eng_s srv_dec;
+              let results = step_server r in
+              send Server_to_client Map
+                (phase_label phase ^ ":confirm")
+                (Wire.pack ~compress (fun w ->
+                     Wire.put_bitmap w (Array.to_list results)));
+              let rc = Wire.unpack ~compress (recv Server_to_client) in
+              let n_groups_c = List.length (Group_testing.groups eng_c) in
+              let cli_results = Wire.get_bitmap rc ~n:n_groups_c in
+              if Array.length results > 0 then begin
+                Group_testing.apply_results eng_s results;
+                Group_testing.apply_results eng_c cli_results
+              end
+        end
+        else
+          match Group_testing.current_batch eng_c with
+          | None -> continue_ := false
+          | Some (b : Config.batch) ->
+              send Client_to_server Map
+                (phase_label phase ^ ":verif")
+                (Wire.pack ~compress (fun w ->
+                     List.iter
+                       (fun g ->
+                         Wire.put_hash w (client_group_hash g b.bits) ~width:b.bits)
+                       (Group_testing.groups eng_c)));
+              let r = Wire.unpack ~compress (recv Client_to_server) in
+              let results = step_server r in
+              send Server_to_client Map
+                (phase_label phase ^ ":confirm")
+                (Wire.pack ~compress (fun w ->
+                     Wire.put_bitmap w (Array.to_list results)));
+              let rc = Wire.unpack ~compress (recv Server_to_client) in
+              let n_groups_c = List.length (Group_testing.groups eng_c) in
+              let cli_results = Wire.get_bitmap rc ~n:n_groups_c in
+              if Array.length results > 0 then begin
+                Group_testing.apply_results eng_s results;
+                Group_testing.apply_results eng_c cli_results
+              end
+      done;
+      (* Apply confirmations on both endpoints. *)
+      let conf_c = Group_testing.confirmed eng_c in
+      bump_phase (phase_label phase) (fun st ->
+          { st with
+            confirms =
+              st.confirms
+              + Array.fold_left (fun a ok -> if ok then a + 1 else a) 0 conf_c });
+      Array.iteri
+        (fun gk ok ->
+          if ok then begin
+            let ti = found_idx.(gk) in
+            let bc, bs = tested.(ti) in
+            let pos = List.hd !(cur.(ti)) in
+            bc.Block_tree.confirmed <- true;
+            bs.Block_tree.confirmed <- true;
+            if phase = Cont then begin
+              bc.Block_tree.confirmed_by_cont <- true;
+              bs.Block_tree.confirmed_by_cont <- true
+            end;
+            map :=
+              Match_map.add !map
+                { t_off = bc.Block_tree.off; s_off = pos; len = bc.Block_tree.len };
+            segs :=
+              Seg.add !segs ~lo:bc.Block_tree.off
+                ~hi:(bc.Block_tree.off + bc.Block_tree.len)
+          end)
+        conf_c
+    in
+
+    (* ---- phase drivers ---- *)
+    let pair_blocks ids =
+      (* Same ids exist in both trees; pair client and server views. *)
+      List.map (fun id -> (Block_tree.find tree_c id, Block_tree.find tree_s id)) ids
+    in
+
+    let run_cont_phase () =
+      let starts, ends = seg_edges () in
+      let eligible =
+        List.filter
+          (fun (b : Block_tree.block) ->
+            b.len >= cfg.continuation.cont_min_block
+            && (Hashtbl.mem ends b.off || Hashtbl.mem starts (b.off + b.len)))
+          (Block_tree.active_blocks tree_s)
+      in
+      if eligible <> [] then begin
+        let bits = cfg.continuation.cont_bits in
+        let ids = List.map (fun (b : Block_tree.block) -> b.id) eligible in
+        let tested = Array.of_list (pair_blocks ids) in
+        Array.iter
+          (fun ((bc : Block_tree.block), (bs : Block_tree.block)) ->
+            bc.cont_tested <- true;
+            bs.cont_tested <- true)
+          tested;
+        cnt.c_hashes <- cnt.c_hashes + Array.length tested;
+        bump_phase "cont" (fun st -> { st with hashes = st.hashes + Array.length tested });
+        (* server sends the continuation hashes *)
+        send Server_to_client Map "cont:hash"
+          (Wire.pack ~compress (fun w ->
+               Array.iter
+                 (fun (_, (bs : Block_tree.block)) ->
+                   let h = Poly.hash_sub f_new ~pos:bs.off ~len:bs.len in
+                   Wire.put_hash w (Poly.truncate h ~bits) ~width:bits)
+                 tested));
+        (* client parses and probes the predicted positions *)
+        let r = Wire.unpack ~compress (recv Server_to_client) in
+        let cand_lists =
+          Array.map
+            (fun ((bc : Block_tree.block), _) ->
+              let h = Wire.get_hash r ~width:bits in
+              let preds = ref [] in
+              (match Match_map.find_ending_at !map bc.off with
+              | Some e -> preds := (e.s_off + e.len) :: !preds
+              | None -> ());
+              (match Match_map.find_starting_at !map (bc.off + bc.len) with
+              | Some e -> preds := (e.s_off - bc.len) :: !preds
+              | None -> ());
+              List.filter
+                (fun p ->
+                  p >= 0
+                  && p + bc.len <= n_old
+                  && Poly.truncate (Poly.hash_sub f_old ~pos:p ~len:bc.len) ~bits = h)
+                (List.sort_uniq compare !preds))
+            tested
+        in
+        verify ~phase:Cont ~tested ~cand_lists
+      end
+    in
+
+    let run_local_phase () =
+      if cfg.local.local_enabled then begin
+        let bits = cfg.local.local_bits in
+        let size = Block_tree.current_size tree_s in
+        let starts, ends = seg_edges () in
+        let near_confirmed (b : Block_tree.block) =
+          (* Shared eligibility: some confirmed segment edge within range
+             of the block, but not directly adjacent (continuation covers
+             that case). *)
+          let adjacent =
+            Hashtbl.mem ends b.off || Hashtbl.mem starts (b.off + b.len)
+          in
+          (not adjacent)
+          && List.exists
+               (fun (lo, hi) ->
+                 abs (lo - b.off) <= cfg.local.local_range
+                 || abs (hi - b.off) <= cfg.local.local_range)
+               (Seg.to_list !segs)
+        in
+        let eligible =
+          List.filter
+            (fun (b : Block_tree.block) -> b.len = size && near_confirmed b)
+            (Block_tree.active_blocks tree_s)
+        in
+        if eligible <> [] then begin
+          let ids = List.map (fun (b : Block_tree.block) -> b.id) eligible in
+          let tested = Array.of_list (pair_blocks ids) in
+          cnt.c_hashes <- cnt.c_hashes + Array.length tested;
+          bump_phase "local" (fun st -> { st with hashes = st.hashes + Array.length tested });
+          send Server_to_client Map "local:hash"
+            (Wire.pack ~compress (fun w ->
+                 Array.iter
+                   (fun (_, (bs : Block_tree.block)) ->
+                     let h = Poly.hash_sub f_new ~pos:bs.off ~len:bs.len in
+                     Wire.put_hash w (Poly.truncate h ~bits) ~width:bits)
+                   tested));
+          let r = Wire.unpack ~compress (recv Server_to_client) in
+          let wnd = cfg.local.local_window in
+          let cand_lists =
+            Array.map
+              (fun ((bc : Block_tree.block), _) ->
+                let h = Wire.get_hash r ~width:bits in
+                match Match_map.nearest !map bc.off with
+                | None -> []
+                | Some e ->
+                    let pred = e.s_off + (bc.off - e.t_off) in
+                    let lo = max 0 (pred - wnd) in
+                    let hi = min (n_old - bc.len) (pred + wnd) in
+                    if hi < lo then []
+                    else begin
+                      let hits = ref [] in
+                      let roller = Poly.Roller.create f_old ~window:bc.len ~pos:lo in
+                      let rec scan () =
+                        let p = Poly.Roller.pos roller in
+                        if Poly.truncate (Poly.Roller.value roller) ~bits = h then
+                          hits := p :: !hits;
+                        if p < hi && Poly.Roller.can_roll roller then begin
+                          Poly.Roller.roll roller;
+                          scan ()
+                        end
+                      in
+                      scan ();
+                      Candidates.select ~cap:cfg.candidate_cap ~predicted:(Some pred)
+                        (List.rev !hits)
+                    end)
+              tested
+          in
+          verify ~phase:Local ~tested ~cand_lists
+        end
+      end
+    in
+
+    let run_global_phase () =
+      let size = Block_tree.current_size tree_s in
+      if size >= cfg.min_global_block then begin
+        let skip (b : Block_tree.block) =
+          let sibling_cont_confirmed =
+            cfg.skip_sibling_after_cont
+            &&
+            match b.sibling_id with
+            | Some sid -> (
+                match Block_tree.find tree_s sid with
+                | s -> s.confirmed_by_cont
+                | exception Not_found -> false)
+            | None -> false
+          in
+          let cont_missed =
+            cfg.omit_global_after_cont_miss && b.cont_tested && not b.cont_hit
+          in
+          sibling_cont_confirmed || cont_missed
+        in
+        let eligible =
+          List.filter
+            (fun (b : Block_tree.block) -> b.len = size && not (skip b))
+            (Block_tree.active_blocks tree_s)
+        in
+        if eligible <> [] then begin
+          let ids = List.map (fun (b : Block_tree.block) -> b.id) eligible in
+          let id_set = Hashtbl.create (List.length ids) in
+          List.iter (fun id -> Hashtbl.replace id_set id ()) ids;
+          let tested = Array.of_list (pair_blocks ids) in
+          cnt.c_hashes <- cnt.c_hashes + Array.length tested;
+          bump_phase "global" (fun st -> { st with hashes = st.hashes + Array.length tested });
+          let width_of (b : Block_tree.block) =
+            if not cfg.decomposable then k_global
+            else
+              match b.derive_from with
+              | Some (_, left_id, pbits) when Hashtbl.mem id_set left_id ->
+                  k_global - min pbits k_global
+              | _ -> k_global
+          in
+          (* server: emit hash (or top-up) bits per block *)
+          send Server_to_client Map "global:hash"
+            (Wire.pack ~compress (fun w ->
+                 Array.iter
+                   (fun (_, (bs : Block_tree.block)) ->
+                     let h = Poly.hash_sub f_new ~pos:bs.off ~len:bs.len in
+                     let trunc = Poly.truncate h ~bits:k_global in
+                     let width = width_of bs in
+                     if width > 0 then
+                       Wire.put_hash w (trunc lsr (k_global - width)) ~width;
+                     bs.known_bits <- k_global)
+                   tested));
+          (* client: reconstruct hashes, search the index *)
+          let idx = Candidates.build f_old ~window:size ~bits:k_global in
+          let r = Wire.unpack ~compress (recv Server_to_client) in
+          let cand_lists =
+            Array.map
+              (fun ((bc : Block_tree.block), _) ->
+                let width = width_of bc in
+                let top = if width > 0 then Wire.get_hash r ~width else 0 in
+                let h_k =
+                  if width = k_global then top
+                  else begin
+                    let pbits = k_global - width in
+                    match bc.derive_from with
+                    | Some (parent_id, left_id, _) ->
+                        let parent_val, _ = Hashtbl.find hash_store parent_id in
+                        let left_val, _ = Hashtbl.find hash_store left_id in
+                        let low =
+                          Poly.derive_right_trunc
+                            ~parent:(parent_val land mask_bits pbits)
+                            ~left:(left_val land mask_bits pbits)
+                            ~right_len:bc.len ~bits:pbits
+                        in
+                        low lor (top lsl pbits)
+                    | None -> assert false
+                  end
+                in
+                Hashtbl.replace hash_store bc.id (h_k, k_global);
+                bc.known_bits <- k_global;
+                let predicted =
+                  match Match_map.nearest !map bc.off with
+                  | Some e -> Some (e.s_off + (bc.off - e.t_off))
+                  | None -> None
+                in
+                Candidates.select ~cap:cfg.candidate_cap ~predicted
+                  (Candidates.lookup idx h_k))
+              tested
+          in
+          verify ~phase:Global ~tested ~cand_lists
+        end
+      end
+    in
+
+    (* ---- round loop ---- *)
+    let rounds = ref 0 in
+    let continue_rounds = ref (Block_tree.active_blocks tree_s <> []) in
+    while !continue_rounds do
+      incr rounds;
+      run_cont_phase ();
+      run_local_phase ();
+      run_global_phase ();
+      let size = Block_tree.current_size tree_s in
+      let next = size / 2 in
+      let global_possible = next >= cfg.min_global_block in
+      let cont_possible =
+        cfg.continuation.cont_enabled && next >= cfg.continuation.cont_min_block
+      in
+      if
+        next >= 1
+        && (global_possible || cont_possible)
+        && Block_tree.active_blocks tree_s <> []
+      then begin
+        Block_tree.split tree_c;
+        Block_tree.split tree_s
+      end
+      else continue_rounds := false
+    done;
+
+    (* ---- delta phase (§5.1 phase 2) ---- *)
+    let known_spans = Seg.to_list !segs in
+    let unknown_spans = Seg.to_list (Seg.complement !segs ~lo:0 ~hi:n_new) in
+    (* server reference: the matched parts of the current file *)
+    let ref_s =
+      String.concat ""
+        (List.map (fun (lo, hi) -> String.sub f_new lo (hi - lo)) known_spans)
+    in
+    let unknown_s =
+      String.concat ""
+        (List.map (fun (lo, hi) -> String.sub f_new lo (hi - lo)) unknown_spans)
+    in
+    let delta = Delta.encode ~profile:cfg.delta_profile ~reference:ref_s unknown_s in
+    send Server_to_client Delta_k "delta" delta;
+    (* client: rebuild the reference from the old file via the map *)
+    let delta_msg = recv Server_to_client in
+    let ref_c =
+      String.concat ""
+        (List.map
+           (fun (e : Match_map.entry) -> String.sub f_old e.s_off e.len)
+           (Match_map.entries !map))
+    in
+    let reconstruct () =
+      let unknown_c = Delta.decode ~reference:ref_c delta_msg in
+      let buf = Buffer.create n_new in
+      let upos = ref 0 in
+      let known = Array.of_list known_spans in
+      let ki = ref 0 in
+      let entries = Array.of_list (Match_map.entries !map) in
+      let ei = ref 0 in
+      let pos = ref 0 in
+      while !pos < cli_n_new do
+        if !ki < Array.length known && fst known.(!ki) = !pos then begin
+          let _lo, hi = known.(!ki) in
+          (* copy the covered entries from the old file *)
+          while
+            !ei < Array.length entries && entries.(!ei).t_off < hi
+          do
+            let e = entries.(!ei) in
+            Buffer.add_substring buf f_old e.s_off e.len;
+            incr ei
+          done;
+          pos := hi;
+          incr ki
+        end
+        else begin
+          let hi =
+            if !ki < Array.length known then fst known.(!ki) else cli_n_new
+          in
+          let len = hi - !pos in
+          Buffer.add_substring buf unknown_c !upos len;
+          upos := !upos + len;
+          pos := hi
+        end
+      done;
+      Buffer.contents buf
+    in
+    let candidate =
+      match reconstruct () with
+      | s -> s
+      | exception Invalid_argument _ -> ""
+    in
+    let ok =
+      String.length candidate = cli_n_new
+      && Fp.equal (Fp.of_string candidate) cli_fp_new
+    in
+    if ok then
+      {
+        reconstructed = candidate;
+        report =
+          make_report ~unchanged:false ~fallback:false ~rounds:!rounds
+            ~matches:(Match_map.count !map)
+            ~covered:(Match_map.covered_bytes !map);
+      }
+    else begin
+      (* Residual hash-collision failure: fall back to a full compressed
+         transfer (§2.2: "or we can simply transfer the entire file"). *)
+      send Client_to_server Header "resend" "!";
+      ignore (recv Client_to_server);
+      send Server_to_client Fallback_k "full" (Deflate.compress f_new);
+      let full = Deflate.decompress (recv Server_to_client) in
+      {
+        reconstructed = full;
+        report =
+          make_report ~unchanged:false ~fallback:true ~rounds:!rounds
+            ~matches:(Match_map.count !map)
+            ~covered:(Match_map.covered_bytes !map);
+      }
+    end
+  end
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>total: c2s=%d s2c=%d (%d bytes, %d roundtrips, %d rounds)@ header: \
+     %d/%d map: c2s=%d s2c=%d delta=%d fallback=%d@ matches=%d covered=%d \
+     hashes=%d candidates=%d unchanged=%b fallback=%b@]"
+    r.total_c2s r.total_s2c (total_bytes r) r.roundtrips r.rounds r.header_c2s
+    r.header_s2c r.map_c2s r.map_s2c r.delta_bytes r.fallback_bytes r.matches
+    r.covered_bytes r.hashes_sent r.candidates_tested r.unchanged r.fallback

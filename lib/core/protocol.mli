@@ -1,0 +1,58 @@
+(** The complete multi-round synchronization protocol (§5.6).
+
+    Runs both endpoints in-process, exchanging genuinely serialized
+    messages through a {!Fsync_net.Channel} so that every reported byte was
+    actually packed onto and parsed back off the wire.  Per round:
+
+    + continuation phase — tiny hashes for blocks adjacent to confirmed
+      matches, compared at the predicted positions only;
+    + local phase (optional) — small hashes compared in a neighborhood of
+      a predicted position;
+    + global phase — weak hashes (decomposably encoded) for remaining
+      full-size blocks, matched against every window of the old file;
+
+    each phase's candidates verified by the group-testing schedule of the
+    configuration.  After the last round the unknown regions are delta
+    compressed against the known ones and shipped. *)
+
+type report = {
+  header_c2s : int;       (** request + fingerprint bytes *)
+  header_s2c : int;
+  map_c2s : int;          (** candidate bitmaps + verification hashes *)
+  map_s2c : int;          (** block hashes + confirmation bitmaps *)
+  delta_bytes : int;
+  fallback_bytes : int;   (** compressed full file after a detected failure *)
+  total_c2s : int;
+  total_s2c : int;
+  roundtrips : int;
+  rounds : int;
+  matches : int;          (** confirmed map entries *)
+  covered_bytes : int;    (** target bytes the map construction resolved *)
+  hashes_sent : int;
+  candidates_tested : int;
+  phase_stats : (string * phase_stat) list;
+      (** per phase ("cont" / "local" / "global"): hashes sent, candidate
+          hits, confirmed matches — the "harvest rate" data of §6.2 *)
+  unchanged : bool;
+  fallback : bool;
+}
+
+and phase_stat = { hashes : int; hits : int; confirms : int }
+
+val total_bytes : report -> int
+
+type result = { reconstructed : string; report : report }
+
+val run :
+  ?channel:Fsync_net.Channel.t ->
+  config:Config.t ->
+  old_file:string ->
+  string ->
+  result
+(** [run ~config ~old_file new_file] synchronizes one file; the returned
+    reconstruction always equals [new_file] (via fallback in the
+    collision case).
+    @raise Invalid_argument if the configuration fails
+    {!Config.validate}. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,13 @@
+type t = Protocol.result = {
+  reconstructed : string;
+  report : Protocol.report;
+}
+
+let file ?(config = Config.tuned) ~old_file new_file =
+  Protocol.run ~config ~old_file new_file
+
+let cost ?config ~old_file new_file =
+  Protocol.total_bytes (file ?config ~old_file new_file).report
+
+let report_only ?config ~old_file new_file =
+  (file ?config ~old_file new_file).report

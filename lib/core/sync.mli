@@ -1,0 +1,20 @@
+(** One-call synchronization API over {!Protocol}.
+
+    This is the public entry point downstream users want: give it the
+    outdated and current contents (or whole collections via
+    {!Fsync_collection}) and a {!Config.t}, get the reconstruction and a
+    cost report. *)
+
+type t = Protocol.result = {
+  reconstructed : string;
+  report : Protocol.report;
+}
+
+val file : ?config:Config.t -> old_file:string -> string -> t
+(** [file ~old_file new_file] with {!Config.tuned} by default.  The
+    result's [reconstructed] field always equals the new file. *)
+
+val cost : ?config:Config.t -> old_file:string -> string -> int
+(** Total bytes both directions. *)
+
+val report_only : ?config:Config.t -> old_file:string -> string -> Protocol.report

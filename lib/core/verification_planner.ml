@@ -1,0 +1,124 @@
+module Prng = Fsync_util.Prng
+
+type outcome = {
+  bits_per_candidate : float;
+  reply_bits_per_candidate : float;
+  confirmed_genuine : float;
+  false_confirms : float;
+  roundtrips : float;
+}
+
+(* One simulated run of the wire engine on [n] candidates with known
+   ground truth.  A test over an all-genuine group always passes; a group
+   containing a spurious candidate passes only on a hash collision
+   (probability 2^-bits).  Retries are always declined: the model is the
+   schedule's intrinsic cost, not the candidate queue's depth. *)
+let simulate_once rng (v : Config.verification) ~p_genuine ~n =
+  let genuine = Array.init n (fun _ -> Prng.bernoulli rng p_genuine) in
+  let eng = Group_testing.create ~n v in
+  let sent = ref 0 and replied = ref 0 and trips = ref 0 in
+  let rec loop () =
+    let pending = Group_testing.pending_retries eng in
+    if pending <> [] then begin
+      sent := !sent + List.length pending;
+      Group_testing.resolve_retries eng
+        (Array.make (List.length pending) false);
+      loop ()
+    end
+    else
+      match Group_testing.current_batch eng with
+      | None -> ()
+      | Some (b : Config.batch) ->
+          let gs = Group_testing.groups eng in
+          incr trips;
+          let results =
+            List.map
+              (fun g ->
+                sent := !sent + b.bits;
+                let all_genuine = List.for_all (fun i -> genuine.(i)) g in
+                all_genuine
+                || Prng.bernoulli rng (1.0 /. float_of_int (1 lsl min b.bits 30)))
+              gs
+          in
+          replied := !replied + List.length gs;
+          Group_testing.apply_results eng (Array.of_list results);
+          loop ()
+  in
+  loop ();
+  let confirmed = Group_testing.confirmed eng in
+  let g_total = ref 0 and g_conf = ref 0 and s_total = ref 0 and s_conf = ref 0 in
+  Array.iteri
+    (fun i ok ->
+      if genuine.(i) then begin
+        incr g_total;
+        if ok then incr g_conf
+      end
+      else begin
+        incr s_total;
+        if ok then incr s_conf
+      end)
+    confirmed;
+  (!sent, !replied, !trips, !g_total, !g_conf, !s_total, !s_conf)
+
+let expected_cost ?(trials = 400) ?(seed = 7L) ~p_genuine ~n v =
+  if p_genuine < 0.0 || p_genuine > 1.0 then
+    invalid_arg "Verification_planner.expected_cost: p_genuine out of [0,1]";
+  if n <= 0 then invalid_arg "Verification_planner.expected_cost: n <= 0";
+  let rng = Prng.create seed in
+  let sent = ref 0 and replied = ref 0 and trips = ref 0 in
+  let g_total = ref 0 and g_conf = ref 0 and s_total = ref 0 and s_conf = ref 0 in
+  for _ = 1 to trials do
+    let s, r, t, gt, gc, st, sc = simulate_once rng v ~p_genuine ~n in
+    sent := !sent + s;
+    replied := !replied + r;
+    trips := !trips + t;
+    g_total := !g_total + gt;
+    g_conf := !g_conf + gc;
+    s_total := !s_total + st;
+    s_conf := !s_conf + sc
+  done;
+  let fl = float_of_int in
+  let per_cand x = fl x /. fl (trials * n) in
+  {
+    bits_per_candidate = per_cand !sent;
+    reply_bits_per_candidate = per_cand !replied;
+    confirmed_genuine = (if !g_total = 0 then 1.0 else fl !g_conf /. fl !g_total);
+    false_confirms = (if !s_total = 0 then 0.0 else fl !s_conf /. fl !s_total);
+    roundtrips = fl !trips /. fl trials;
+  }
+
+let menu =
+  let mk batches retry =
+    { Config.batches; confirm_bits = 14; retry_alternates = retry }
+  in
+  [
+    Config.trivial_verification;
+    Config.grouped_verification 1;
+    Config.grouped_verification 2;
+    Config.grouped_verification 3;
+    (* Deeper ladders than the paper explored: *)
+    mk [ { group_size = 1; bits = 8 }; { group_size = 16; bits = 16 } ] false;
+    mk
+      [ { group_size = 1; bits = 3 };
+        { group_size = 2; bits = 8 };
+        { group_size = 8; bits = 14 };
+        { group_size = 32; bits = 16 };
+        { group_size = 1; bits = 16 } ]
+      true;
+    mk [ { group_size = 4; bits = 16 }; { group_size = 1; bits = 16 } ] false;
+  ]
+
+let recommend ?trials ?seed ~p_genuine ~n () =
+  let scored =
+    List.map (fun v -> (v, expected_cost ?trials ?seed ~p_genuine ~n v)) menu
+  in
+  let acceptable =
+    List.filter
+      (fun (_, o) -> o.confirmed_genuine >= 0.98 && o.false_confirms < 1e-3)
+      scored
+  in
+  let pool = if acceptable = [] then scored else acceptable in
+  List.fold_left
+    (fun (bv, bo) (v, o) ->
+      if o.bits_per_candidate < bo.bits_per_candidate then (v, o) else (bv, bo))
+    (List.hd pool) (List.tl pool)

@@ -1,0 +1,48 @@
+(** Cost model for match-verification strategies (§5.3).
+
+    The optimized verification of §5.3 is a group-testing problem: given
+    [n] candidate matches of which each is genuine independently with
+    probability [p] (the precision of the weak filter hashes), and tests
+    that compare a k-bit hash over a group — always passing for an
+    all-genuine group, passing with probability 2^-k otherwise — find the
+    schedule minimizing expected transmitted bits while confirming genuine
+    candidates with at least [confirm_bits] bits of evidence.
+
+    The paper reports that "using only two or three batches of tests
+    already gives close to optimal results"; this module quantifies that:
+    {!expected_cost} evaluates any {!Config.verification} schedule by
+    Monte-Carlo simulation of the engine actually used on the wire
+    ({!Group_testing}), and {!recommend} searches a menu of schedules.
+    The ['theory'] bench target prints the comparison. *)
+
+type outcome = {
+  bits_per_candidate : float;
+      (** expected client->server verification bits / candidate *)
+  reply_bits_per_candidate : float;
+      (** expected server->client confirmation bits / candidate *)
+  confirmed_genuine : float;
+      (** fraction of genuine candidates that end confirmed (recall) *)
+  false_confirms : float;
+      (** fraction of spurious candidates that end confirmed *)
+  roundtrips : float;  (** average verification round trips used *)
+}
+
+val expected_cost :
+  ?trials:int ->
+  ?seed:int64 ->
+  p_genuine:float ->
+  n:int ->
+  Config.verification ->
+  outcome
+(** Simulate the schedule on [n] candidates per trial.
+    @raise Invalid_argument if [p_genuine] is outside [0,1] or [n <= 0]. *)
+
+val menu : Config.verification list
+(** The schedules searched by {!recommend}: trivial, the 1-3 round-trip
+    grouped schedules, and a few additional group-size ladders. *)
+
+val recommend :
+  ?trials:int -> ?seed:int64 -> p_genuine:float -> n:int -> unit ->
+  Config.verification * outcome
+(** Cheapest menu schedule whose recall is at least 0.98 and whose false
+    confirm rate is below 1e-3. *)

@@ -1,0 +1,61 @@
+module Bitio = Fsync_util.Bitio
+module Deflate = Fsync_compress.Deflate
+
+let pack ?(compress = false) f =
+  let w = Bitio.Writer.create () in
+  f w;
+  let raw = Bitio.Writer.contents w in
+  if not compress then raw
+  else begin
+    (* One flag byte: 0 = raw, 1 = deflated.  Compress only when it pays. *)
+    let packed = Deflate.compress raw in
+    if String.length packed < String.length raw then "\001" ^ packed
+    else "\000" ^ raw
+  end
+
+let unpack ?(compress = false) s =
+  let raw =
+    if not compress then s
+    else if String.length s = 0 then invalid_arg "Wire.unpack: empty message"
+    else
+      let body = String.sub s 1 (String.length s - 1) in
+      match s.[0] with
+      | '\000' -> body
+      | '\001' -> Deflate.decompress body
+      | _ -> invalid_arg "Wire.unpack: bad flag"
+  in
+  Bitio.Reader.of_string raw
+
+let put_bitmap w bits = List.iter (fun b -> Bitio.Writer.put_bit w (if b then 1 else 0)) bits
+
+let get_bitmap r ~n = Array.init n (fun _ -> Bitio.Reader.get_bit r = 1)
+
+let put_hash w v ~width = Bitio.Writer.put_bits w v ~width
+
+let get_hash r ~width = Bitio.Reader.get_bits r ~width
+
+let rec put_varint w v =
+  if v < 0 then invalid_arg "Wire.put_varint: negative";
+  if v < 0x80 then Bitio.Writer.put_bits w v ~width:8
+  else begin
+    Bitio.Writer.put_bits w (0x80 lor (v land 0x7f)) ~width:8;
+    put_varint w (v lsr 7)
+  end
+
+let get_varint r =
+  let rec loop shift acc =
+    let b = Bitio.Reader.get_bits r ~width:8 in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let put_string w s =
+  put_varint w (String.length s);
+  Bitio.Writer.align_byte w;
+  String.iter (fun c -> Bitio.Writer.put_bits w (Char.code c) ~width:8) s
+
+let get_string r =
+  let n = get_varint r in
+  Bitio.Reader.align_byte r;
+  String.init n (fun _ -> Char.chr (Bitio.Reader.get_bits r ~width:8))

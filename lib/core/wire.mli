@@ -1,0 +1,30 @@
+(** Bit-level message packing for the protocol.
+
+    Messages never carry block identifiers: both endpoints derive the block
+    order, hash widths and group partitions deterministically
+    (see {!Block_tree}), so a message is just densely packed hash bits and
+    bitmaps.  Messages are optionally passed through {!Fsync_compress.Deflate}
+    (bitmaps and literal streams compress; raw hash bits do not, and the
+    stored mode keeps the overhead bounded). *)
+
+val pack : ?compress:bool -> (Fsync_util.Bitio.Writer.t -> unit) -> string
+(** Build a message with a writer callback. *)
+
+val unpack : ?compress:bool -> string -> Fsync_util.Bitio.Reader.t
+(** Open a message for reading. *)
+
+val put_bitmap : Fsync_util.Bitio.Writer.t -> bool list -> unit
+val get_bitmap : Fsync_util.Bitio.Reader.t -> n:int -> bool array
+
+val put_hash : Fsync_util.Bitio.Writer.t -> int -> width:int -> unit
+val get_hash : Fsync_util.Bitio.Reader.t -> width:int -> int
+
+val put_varint : Fsync_util.Bitio.Writer.t -> int -> unit
+(** LEB128-in-bits: 7 value bits + continuation bit per septet. *)
+
+val get_varint : Fsync_util.Bitio.Reader.t -> int
+
+val put_string : Fsync_util.Bitio.Writer.t -> string -> unit
+(** Length-prefixed, byte-aligned. *)
+
+val get_string : Fsync_util.Bitio.Reader.t -> string

@@ -1,0 +1,248 @@
+module Varint = Fsync_util.Varint
+module Deflate = Fsync_compress.Deflate
+
+type profile = Zdelta | Vcdiff
+
+type instruction =
+  | Copy_ref of { off : int; len : int }
+  | Copy_tgt of { off : int; len : int }
+  | Insert of string
+
+type params = {
+  chain_depth : int;
+  min_match : int;
+  predict_offsets : bool; (* encode copy offsets relative to the previous
+                             copy's end, per source *)
+}
+
+let params_of = function
+  | Zdelta -> { chain_depth = 256; min_match = 4; predict_offsets = true }
+  | Vcdiff -> { chain_depth = 32; min_match = 8; predict_offsets = false }
+
+(* --- match finder: hash chains over reference and target prefix --- *)
+
+let hash_bits = 16
+let hash_size = 1 lsl hash_bits
+
+let hash4 s i =
+  let v =
+    Char.code (String.unsafe_get s i)
+    lor (Char.code (String.unsafe_get s (i + 1)) lsl 8)
+    lor (Char.code (String.unsafe_get s (i + 2)) lsl 16)
+    lor (Char.code (String.unsafe_get s (i + 3)) lsl 24)
+  in
+  (v * 0x9E3779B1) lsr (32 - hash_bits) land (hash_size - 1)
+
+type index = {
+  head : int array;  (* hash -> last position + 1, 0 = empty *)
+  prev : int array;  (* position -> previous position + 1 *)
+  data : string;
+}
+
+let index_create data =
+  {
+    head = Array.make hash_size 0;
+    prev = Array.make (max (String.length data) 1) 0;
+    data;
+  }
+
+let index_insert idx i =
+  if i + 4 <= String.length idx.data then begin
+    let h = hash4 idx.data i in
+    idx.prev.(i) <- idx.head.(h);
+    idx.head.(h) <- i + 1
+  end
+
+let index_all data =
+  let idx = index_create data in
+  for i = 0 to String.length data - 4 do
+    index_insert idx i
+  done;
+  idx
+
+(* Longest match of [target] at [tpos] against [idx.data] starting at a
+   chain of candidate positions; [limit] bounds positions we may read in
+   idx.data (for self-reference, only the already-emitted prefix). *)
+let best_in_index idx ~limit ~target ~tpos ~depth =
+  let n = String.length target in
+  if tpos + 4 > n then (0, -1)
+  else begin
+    let h = hash4 target tpos in
+    let max_len = n - tpos in
+    let rec scan cand depth best_len best_pos =
+      if cand = 0 || depth = 0 then (best_len, best_pos)
+      else begin
+        let j = cand - 1 in
+        if j >= limit then scan idx.prev.(j) depth best_len best_pos
+        else begin
+          let cap = min max_len (limit - j) in
+          (* For self-reference (idx.data == target physically) copying may
+             overlap the cursor; we restrict to non-overlapping copies,
+             which keeps decode trivial and loses little. *)
+          let rec run k =
+            if k < cap
+               && String.unsafe_get idx.data (j + k) = String.unsafe_get target (tpos + k)
+            then run (k + 1)
+            else k
+          in
+          let l = run 0 in
+          if l > best_len then scan idx.prev.(j) (depth - 1) l j
+          else scan idx.prev.(j) (depth - 1) best_len best_pos
+        end
+      end
+    in
+    scan idx.head.(h) depth 0 (-1)
+  end
+
+let instructions ?(profile = Zdelta) ~reference target =
+  let p = params_of profile in
+  let ref_idx = index_all reference in
+  let tgt_idx = index_create target in
+  let n = String.length target in
+  let acc = ref [] in
+  let lit = Buffer.create 64 in
+  let flush_lit () =
+    if Buffer.length lit > 0 then begin
+      acc := Insert (Buffer.contents lit) :: !acc;
+      Buffer.clear lit
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let rl, rp =
+      best_in_index ref_idx ~limit:(String.length reference) ~target ~tpos:!i
+        ~depth:p.chain_depth
+    in
+    let tl, tp =
+      best_in_index tgt_idx ~limit:!i ~target ~tpos:!i ~depth:p.chain_depth
+    in
+    let len, instr =
+      if rl >= tl && rl >= p.min_match then (rl, Some (Copy_ref { off = rp; len = rl }))
+      else if tl >= p.min_match then (tl, Some (Copy_tgt { off = tp; len = tl }))
+      else (1, None)
+    in
+    (match instr with
+    | Some ins ->
+        flush_lit ();
+        acc := ins :: !acc
+    | None -> Buffer.add_char lit target.[!i]);
+    (* Index the target positions we just passed. *)
+    let stop = min (!i + len) (n - 4) in
+    let j = ref !i in
+    while !j < stop do
+      index_insert tgt_idx !j;
+      incr j
+    done;
+    i := !i + len
+  done;
+  flush_lit ();
+  List.rev !acc
+
+let apply ~reference instrs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Insert s -> Buffer.add_string buf s
+      | Copy_ref { off; len } ->
+          if off < 0 || len < 0 || off + len > String.length reference then
+            invalid_arg "Delta.apply: reference copy out of range";
+          Buffer.add_substring buf reference off len
+      | Copy_tgt { off; len } ->
+          if off < 0 || len < 0 || off + len > Buffer.length buf then
+            invalid_arg "Delta.apply: target copy out of range";
+          (* Contents so far; non-overlapping by construction. *)
+          Buffer.add_string buf (Buffer.sub buf off len))
+    instrs;
+  Buffer.contents buf
+
+(* --- serialization ---
+
+   op tag varint: 0 = insert, 1 = copy_ref, 2 = copy_tgt.
+   insert: len, bytes.  copy: len, then offset — as a zig-zag delta from
+   the predicted offset when the profile enables prediction (flag bit in
+   the header). *)
+
+let serialize ~predict instrs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf (if predict then '\001' else '\000');
+  let expect_ref = ref 0 and expect_tgt = ref 0 in
+  List.iter
+    (fun ins ->
+      match ins with
+      | Insert s ->
+          Varint.write buf 0;
+          Varint.write buf (String.length s);
+          Buffer.add_string buf s
+      | Copy_ref { off; len } ->
+          Varint.write buf 1;
+          Varint.write buf len;
+          if predict then begin
+            Varint.write_signed buf (off - !expect_ref);
+            expect_ref := off + len
+          end
+          else Varint.write buf off
+      | Copy_tgt { off; len } ->
+          Varint.write buf 2;
+          Varint.write buf len;
+          if predict then begin
+            Varint.write_signed buf (off - !expect_tgt);
+            expect_tgt := off + len
+          end
+          else Varint.write buf off)
+    instrs;
+  Buffer.contents buf
+
+let deserialize s =
+  if String.length s = 0 then invalid_arg "Delta: empty stream";
+  let predict = s.[0] = '\001' in
+  let n = String.length s in
+  let expect_ref = ref 0 and expect_tgt = ref 0 in
+  let rec loop pos acc =
+    if pos >= n then List.rev acc
+    else begin
+      let tag, pos = Varint.read s ~pos in
+      match tag with
+      | 0 ->
+          let len, pos = Varint.read s ~pos in
+          if pos + len > n then invalid_arg "Delta: truncated insert";
+          loop (pos + len) (Insert (String.sub s pos len) :: acc)
+      | 1 ->
+          let len, pos = Varint.read s ~pos in
+          let off, pos =
+            if predict then begin
+              let d, pos = Varint.read_signed s ~pos in
+              let off = !expect_ref + d in
+              expect_ref := off + len;
+              (off, pos)
+            end
+            else Varint.read s ~pos
+          in
+          loop pos (Copy_ref { off; len } :: acc)
+      | 2 ->
+          let len, pos = Varint.read s ~pos in
+          let off, pos =
+            if predict then begin
+              let d, pos = Varint.read_signed s ~pos in
+              let off = !expect_tgt + d in
+              expect_tgt := off + len;
+              (off, pos)
+            end
+            else Varint.read s ~pos
+          in
+          loop pos (Copy_tgt { off; len } :: acc)
+      | _ -> invalid_arg "Delta: unknown op"
+    end
+  in
+  loop 1 []
+
+let encode ?(profile = Zdelta) ~reference target =
+  let p = params_of profile in
+  let instrs = instructions ~profile ~reference target in
+  Deflate.compress (serialize ~predict:p.predict_offsets instrs)
+
+let decode ~reference packed =
+  let instrs = deserialize (Deflate.decompress packed) in
+  apply ~reference instrs
+
+let encoded_size ?profile ~reference target =
+  String.length (encode ?profile ~reference target)

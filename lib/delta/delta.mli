@@ -1,0 +1,39 @@
+(** Delta compression: encode a target file relative to a reference file.
+
+    This is the substitute for the zdelta and vcdiff tools the paper uses
+    (§6.1): an LZ77-style encoder whose match space is the whole reference
+    plus the already-emitted target prefix, producing a
+    copy/insert instruction stream that is then entropy-coded by
+    {!Fsync_compress.Deflate}.  Delta compression both provides the
+    practical lower bound the paper compares against and implements the
+    second phase of the synchronization framework (§5.1), where the
+    "reference" is the part of the current file the client already knows.
+
+    Two profiles:
+    - [Zdelta]: deep hash chains, 4-byte minimum match, copy-offset
+      prediction per source — approximates the zdelta tool.
+    - [Vcdiff]: shallower search and coarser minimum match — approximates
+      the (somewhat weaker, per the paper) vcdiff tool. *)
+
+type profile = Zdelta | Vcdiff
+
+type instruction =
+  | Copy_ref of { off : int; len : int }  (** copy from the reference *)
+  | Copy_tgt of { off : int; len : int }  (** copy from the decoded target prefix *)
+  | Insert of string                      (** literal bytes *)
+
+val encode : ?profile:profile -> reference:string -> string -> string
+(** [encode ~reference target] is a self-contained compressed delta. *)
+
+val decode : reference:string -> string -> string
+(** Reconstruct the target.
+    @raise Invalid_argument on a malformed delta or wrong reference. *)
+
+val encoded_size : ?profile:profile -> reference:string -> string -> int
+
+val instructions : ?profile:profile -> reference:string -> string -> instruction list
+(** The raw instruction stream (exposed for tests and inspection). *)
+
+val apply : reference:string -> instruction list -> string
+(** Execute an instruction stream.
+    @raise Invalid_argument on out-of-range copies. *)

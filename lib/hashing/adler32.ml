@@ -1,0 +1,25 @@
+let base = 65521
+
+type t = { a : int; b : int; len : int }
+
+let of_sub s ~pos ~len =
+  let a = ref 1 and b = ref 0 in
+  for i = pos to pos + len - 1 do
+    a := !a + Char.code (String.unsafe_get s i);
+    b := !b + !a
+  done;
+  { a = !a mod base; b = !b mod base; len }
+
+let roll t ~out ~in_ =
+  let co = Char.code out and ci = Char.code in_ in
+  (* a' = a - out + in; b' = b - len*out + a' - 1; keep values non-negative
+     before the mod since OCaml's mod follows the dividend's sign. *)
+  let a' = (t.a - co + ci + base) mod base in
+  let b' = (t.b - (t.len * co mod base) + a' - 1 + (base * (t.len + 2))) mod base in
+  { a = a'; b = b'; len = t.len }
+
+let value t = (t.b lsl 16) lor t.a
+
+let equal_value x y = value x = value y
+
+let digest s = value (of_sub s ~pos:0 ~len:(String.length s))

@@ -1,0 +1,23 @@
+(** Adler-32 checksum with O(1) rolling, as used by rsync's weak hash.
+
+    The checksum of a window [s[i .. i+len)] is [(b lsl 16) lor a] where
+    [a = (1 + sum of bytes) mod 65521] and [b = (sum of prefix sums) mod
+    65521].  Rolling one byte to the right costs two additions and two
+    subtractions (§2.2 of the paper: the "rolling checksum" that lets the
+    server slide block boundaries by one character in constant time). *)
+
+type t = { a : int; b : int; len : int }
+
+val of_sub : string -> pos:int -> len:int -> t
+(** Checksum of [s[pos .. pos+len)].  Bounds are the caller's problem. *)
+
+val roll : t -> out:char -> in_:char -> t
+(** Slide the window one byte: remove [out] from the front, append [in_]. *)
+
+val value : t -> int
+(** The packed 32-bit value [(b lsl 16) lor a]. *)
+
+val equal_value : t -> t -> bool
+
+val digest : string -> int
+(** Checksum of a whole string. *)

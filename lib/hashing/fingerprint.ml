@@ -1,0 +1,16 @@
+type t = string
+
+let size_bytes = 16
+
+let of_string s = Md5.digest s
+
+let equal = String.equal
+
+let to_hex = Fsync_util.Bytes_util.to_hex
+
+let to_raw t = t
+
+let of_raw s =
+  if String.length s <> size_bytes then
+    invalid_arg "Fingerprint.of_raw: expected 16 bytes";
+  s

@@ -1,0 +1,21 @@
+(** Whole-file fingerprints (§6.1).
+
+    The protocol begins by exchanging a strong 16-byte hash per file: it
+    both detects unchanged files (which are then skipped entirely) and
+    catches the residual failure probability of the weak/verification
+    hashes, triggering a fallback transfer. *)
+
+type t = private string
+(** 16 bytes. *)
+
+val of_string : string -> t
+(** Fingerprint of the given contents. *)
+
+val equal : t -> t -> bool
+val to_hex : t -> string
+val to_raw : t -> string
+val of_raw : string -> t
+(** @raise Invalid_argument unless exactly 16 bytes. *)
+
+val size_bytes : int
+(** Wire size (16). *)

@@ -1,0 +1,90 @@
+(* RFC 1320 MD4 over native ints masked to 32 bits. *)
+
+let mask = 0xFFFFFFFF
+
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let compress state m =
+  let a = ref state.(0) and b = ref state.(1) and c = ref state.(2) and d = ref state.(3) in
+  let f x y z = ((x land y) lor (lnot x land z)) land mask in
+  let g x y z = ((x land y) lor (x land z) lor (y land z)) land mask in
+  let h x y z = x lxor y lxor z in
+  let op fn acc x s add = rotl32 ((acc + fn () + m.(x) + add) land mask) s in
+  (* Round 1 *)
+  let r1 x s =
+    let acc = op (fun () -> f !b !c !d) !a x s 0 in
+    a := !d; d := !c; c := !b; b := acc
+  in
+  List.iter (fun (x, s) -> r1 x s)
+    [ (0,3);(1,7);(2,11);(3,19);(4,3);(5,7);(6,11);(7,19);
+      (8,3);(9,7);(10,11);(11,19);(12,3);(13,7);(14,11);(15,19) ];
+  (* Round 2, additive constant 0x5a827999 *)
+  let r2 x s =
+    let acc = op (fun () -> g !b !c !d) !a x s 0x5a827999 in
+    a := !d; d := !c; c := !b; b := acc
+  in
+  List.iter (fun (x, s) -> r2 x s)
+    [ (0,3);(4,5);(8,9);(12,13);(1,3);(5,5);(9,9);(13,13);
+      (2,3);(6,5);(10,9);(14,13);(3,3);(7,5);(11,9);(15,13) ];
+  (* Round 3, additive constant 0x6ed9eba1 *)
+  let r3 x s =
+    let acc = op (fun () -> h !b !c !d) !a x s 0x6ed9eba1 in
+    a := !d; d := !c; c := !b; b := acc
+  in
+  List.iter (fun (x, s) -> r3 x s)
+    [ (0,3);(8,9);(4,11);(12,15);(2,3);(10,9);(6,11);(14,15);
+      (1,3);(9,9);(5,11);(13,15);(3,3);(11,9);(7,11);(15,15) ];
+  state.(0) <- (state.(0) + !a) land mask;
+  state.(1) <- (state.(1) + !b) land mask;
+  state.(2) <- (state.(2) + !c) land mask;
+  state.(3) <- (state.(3) + !d) land mask
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Md4.digest_sub: bad range";
+  let state = [| 0x67452301; 0xefcdab89; 0x98badcfe; 0x10325476 |] in
+  (* Build the padded message: original || 0x80 || zeros || 8-byte length. *)
+  let bit_len = len * 8 in
+  let pad_zeros =
+    let r = (len + 1) mod 64 in
+    if r <= 56 then 56 - r else 64 - r + 56
+  in
+  let total = len + 1 + pad_zeros + 8 in
+  let m = Array.make 16 0 in
+  let get_byte i =
+    if i < len then Char.code (String.unsafe_get s (pos + i))
+    else if i = len then 0x80
+    else if i < len + 1 + pad_zeros then 0
+    else
+      let j = i - (len + 1 + pad_zeros) in
+      (bit_len lsr (8 * j)) land 0xff
+  in
+  let nblocks = total / 64 in
+  for blk = 0 to nblocks - 1 do
+    for w = 0 to 15 do
+      let o = (blk * 64) + (4 * w) in
+      m.(w) <-
+        get_byte o
+        lor (get_byte (o + 1) lsl 8)
+        lor (get_byte (o + 2) lsl 16)
+        lor (get_byte (o + 3) lsl 24)
+    done;
+    compress state m
+  done;
+  let out = Bytes.create 16 in
+  Array.iteri
+    (fun wi word ->
+      for i = 0 to 3 do
+        Bytes.set out ((4 * wi) + i) (Char.chr ((word lsr (8 * i)) land 0xff))
+      done)
+    state;
+  Bytes.unsafe_to_string out
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)
+
+let truncated_sub s ~pos ~len ~bytes_used =
+  if bytes_used < 1 || bytes_used > 16 then
+    invalid_arg "Md4.truncated_sub: bytes_used out of [1,16]";
+  String.sub (digest_sub s ~pos ~len) 0 bytes_used
+
+let hex s = Fsync_util.Bytes_util.to_hex (digest s)

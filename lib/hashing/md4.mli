@@ -1,0 +1,16 @@
+(** MD4 (RFC 1320), implemented from scratch.
+
+    rsync historically used MD4 for its strong block checksum; we keep a
+    faithful implementation so the rsync baseline matches the tool the paper
+    compares against ("The reliable checksum is implemented using MD4, but
+    only two bytes of the MD4 hash are used", §2.2). *)
+
+val digest : string -> string
+(** 16-byte digest. *)
+
+val digest_sub : string -> pos:int -> len:int -> string
+
+val truncated_sub : string -> pos:int -> len:int -> bytes_used:int -> string
+(** First [bytes_used] bytes of the digest (rsync sends 2 by default). *)
+
+val hex : string -> string

@@ -1,0 +1,154 @@
+(* RFC 1321 MD5, using native ints masked to 32 bits (the native int is 63
+   bits wide, so 32-bit arithmetic via masking is exact). *)
+
+let mask = 0xFFFFFFFF
+
+let k =
+  (* K[i] = floor(|sin(i+1)| * 2^32), per the RFC. *)
+  Array.init 64 (fun i ->
+      Int64.to_int (Int64.of_float (Float.abs (sin (float_of_int (i + 1))) *. 4294967296.0)))
+
+let shifts =
+  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+     5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20;
+     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+
+type ctx = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  block : Bytes.t;          (* 64-byte staging buffer *)
+  mutable block_len : int;  (* bytes currently staged *)
+  mutable total_len : int;  (* message bytes fed so far *)
+  m : int array;            (* decoded 16-word schedule, reused *)
+}
+
+let init () =
+  {
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
+    block = Bytes.create 64;
+    block_len = 0;
+    total_len = 0;
+    m = Array.make 16 0;
+  }
+
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let compress ctx get =
+  (* [get i] returns byte i of the current 64-byte block. *)
+  let m = ctx.m in
+  for w = 0 to 15 do
+    m.(w) <-
+      get (4 * w)
+      lor (get ((4 * w) + 1) lsl 8)
+      lor (get ((4 * w) + 2) lsl 16)
+      lor (get ((4 * w) + 3) lsl 24)
+  done;
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then ((!b land !c) lor (lnot !b land !d) land mask, i)
+      else if i < 32 then ((!d land !b) lor (lnot !d land !c) land mask, ((5 * i) + 1) land 15)
+      else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) land 15)
+      else ((!c lxor (!b lor (lnot !d land mask))) land mask, (7 * i) land 15)
+    in
+    let f = (f + !a + k.(i) + m.(g)) land mask in
+    a := !d;
+    d := !c;
+    c := !b;
+    b := (!b + rotl32 f shifts.(i)) land mask
+  done;
+  ctx.a <- (ctx.a + !a) land mask;
+  ctx.b <- (ctx.b + !b) land mask;
+  ctx.c <- (ctx.c + !c) land mask;
+  ctx.d <- (ctx.d + !d) land mask
+
+let compress_block ctx = compress ctx (fun i -> Char.code (Bytes.unsafe_get ctx.block i))
+
+let feed ctx s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Md5.feed: bad range";
+  ctx.total_len <- ctx.total_len + len;
+  let i = ref pos and remaining = ref len in
+  (* Fill a partial staging buffer first. *)
+  if ctx.block_len > 0 then begin
+    let take = min !remaining (64 - ctx.block_len) in
+    Bytes.blit_string s !i ctx.block ctx.block_len take;
+    ctx.block_len <- ctx.block_len + take;
+    i := !i + take;
+    remaining := !remaining - take;
+    if ctx.block_len = 64 then begin
+      compress_block ctx;
+      ctx.block_len <- 0
+    end
+  end;
+  (* Whole blocks directly from the input string. *)
+  while !remaining >= 64 do
+    let base = !i in
+    compress ctx (fun j -> Char.code (String.unsafe_get s (base + j)));
+    i := !i + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit_string s !i ctx.block 0 !remaining;
+    ctx.block_len <- !remaining
+  end
+
+let feed_string ctx s = feed ctx s ~pos:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bit_len = ctx.total_len * 8 in
+  (* Padding: 0x80, zeros, 8-byte little-endian bit length. *)
+  let pad_len =
+    let r = (ctx.total_len + 1) mod 64 in
+    if r <= 56 then 56 - r + 1 else 64 - r + 56 + 1
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (pad_len + i) (Char.chr ((bit_len lsr (8 * i)) land 0xff))
+  done;
+  feed ctx (Bytes.unsafe_to_string pad) ~pos:0 ~len:(Bytes.length pad);
+  (* total_len now includes padding but is no longer used *)
+  assert (ctx.block_len = 0);
+  let out = Bytes.create 16 in
+  let put word off =
+    for i = 0 to 3 do
+      Bytes.set out (off + i) (Char.chr ((word lsr (8 * i)) land 0xff))
+    done
+  in
+  put ctx.a 0;
+  put ctx.b 4;
+  put ctx.c 8;
+  put ctx.d 12;
+  Bytes.unsafe_to_string out
+
+let digest_sub s ~pos ~len =
+  let ctx = init () in
+  feed ctx s ~pos ~len;
+  finalize ctx
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)
+
+let truncated_of_digest dg ~bits =
+  if bits < 0 || bits > 57 then invalid_arg "Md5.truncated: bits out of [0,57]";
+  let rec loop i acc =
+    if i * 8 >= bits then acc land ((1 lsl bits) - 1)
+    else loop (i + 1) (acc lor (Char.code dg.[i] lsl (8 * i)))
+  in
+  if bits = 0 then 0 else loop 0 0
+
+let truncated s ~bits = truncated_of_digest (digest s) ~bits
+
+let truncated_digest dg ~bits =
+  if String.length dg <> 16 then invalid_arg "Md5.truncated_digest: want 16 bytes";
+  truncated_of_digest dg ~bits
+
+let truncated_sub s ~pos ~len ~bits = truncated_of_digest (digest_sub s ~pos ~len) ~bits
+
+let hex s = Fsync_util.Bytes_util.to_hex (digest s)

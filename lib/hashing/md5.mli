@@ -1,0 +1,32 @@
+(** MD5 (RFC 1321), implemented from scratch.
+
+    Used for the strong verification hashes of the protocol (§5.3) and for
+    whole-file fingerprints.  Cryptographic strength is irrelevant here; we
+    need a hash whose collision probability on non-adversarial data is
+    2^-k for k transmitted bits. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> pos:int -> len:int -> unit
+val feed_string : ctx -> string -> unit
+val finalize : ctx -> string
+(** 16-byte digest.  The context must not be used afterwards. *)
+
+val digest : string -> string
+(** One-shot 16-byte digest. *)
+
+val digest_sub : string -> pos:int -> len:int -> string
+
+val truncated : string -> bits:int -> int
+(** [truncated data ~bits] is the low [bits] (<= 57) of the digest,
+    little-endian over the first digest bytes: the cheap way to derive a
+    k-bit verification hash from MD5 as the paper does with MD4/MD5. *)
+
+val truncated_digest : string -> bits:int -> int
+(** Like {!truncated} but over an already-computed 16-byte digest. *)
+
+val truncated_sub : string -> pos:int -> len:int -> bits:int -> int
+
+val hex : string -> string
+(** Hex of the 16-byte digest of the argument. *)

@@ -1,0 +1,108 @@
+type t = int
+
+(* Odd 63-bit constant (golden-ratio multiplier); native int arithmetic
+   wraps mod 2^63, giving us the modulus for free. *)
+let base = 0x1E3779B97F4A7C15
+
+(* Inverse of [base] mod 2^63 by Newton iteration: x' = x * (2 - b*x). *)
+let base_inv =
+  let rec refine x n = if n = 0 then x else refine (x * (2 - (base * x))) (n - 1) in
+  refine 1 6
+
+let pow_gen b n =
+  let rec loop b n acc =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then acc * b else acc in
+      loop (b * b) (n lsr 1) acc
+  in
+  if n < 0 then invalid_arg "Poly_hash.pow: negative" else loop b n 1
+
+let pow n = pow_gen base n
+let pow_inv n = pow_gen base_inv n
+
+let byte_term c = Char.code c + 0x17
+
+let hash_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Poly_hash.hash_sub: bad range";
+  let h = ref 0 in
+  for i = pos to pos + len - 1 do
+    h := (!h * base) + byte_term (String.unsafe_get s i)
+  done;
+  !h
+
+let combine ~left ~right ~right_len = (left * pow right_len) + right
+
+let derive_right ~parent ~left ~right_len = parent - (left * pow right_len)
+
+let derive_left ~parent ~right ~right_len = (parent - right) * pow_inv right_len
+
+let trunc_mask bits =
+  if bits < 0 || bits > 57 then invalid_arg "Poly_hash.truncate: bits out of [0,57]";
+  (1 lsl bits) - 1
+
+let truncate h ~bits = h land trunc_mask bits
+
+let derive_right_trunc ~parent ~left ~right_len ~bits =
+  truncate (derive_right ~parent ~left ~right_len) ~bits
+
+let derive_left_trunc ~parent ~right ~right_len ~bits =
+  truncate (derive_left ~parent ~right ~right_len) ~bits
+
+let window_hashes data ~window ~bits =
+  if window <= 0 then invalid_arg "Poly_hash.window_hashes: window <= 0";
+  let n = String.length data in
+  let count = n - window + 1 in
+  if count <= 0 then [||]
+  else begin
+    let mask = trunc_mask bits in
+    let top = pow (window - 1) in
+    let out = Array.make count 0 in
+    let h = ref 0 in
+    for i = 0 to window - 1 do
+      h := (!h * base) + byte_term (String.unsafe_get data i)
+    done;
+    out.(0) <- !h land mask;
+    for p = 1 to count - 1 do
+      let outgoing = byte_term (String.unsafe_get data (p - 1)) in
+      let incoming = byte_term (String.unsafe_get data (p + window - 1)) in
+      h := ((!h - (outgoing * top)) * base) + incoming;
+      Array.unsafe_set out p (!h land mask)
+    done;
+    out
+  end
+
+module Roller = struct
+  type roller = {
+    data : string;
+    window : int;
+    top_pow : int; (* base^(window-1) *)
+    mutable h : t;
+    mutable p : int;
+  }
+
+  let create data ~window ~pos =
+    if window <= 0 then invalid_arg "Poly_hash.Roller.create: window <= 0";
+    if pos < 0 || pos + window > String.length data then
+      invalid_arg "Poly_hash.Roller.create: window out of bounds";
+    {
+      data;
+      window;
+      top_pow = pow (window - 1);
+      h = hash_sub data ~pos ~len:window;
+      p = pos;
+    }
+
+  let value r = r.h
+  let pos r = r.p
+  let can_roll r = r.p + r.window < String.length r.data
+
+  let roll r =
+    if not (can_roll r) then invalid_arg "Poly_hash.Roller.roll: at end";
+    let outgoing = byte_term (String.unsafe_get r.data r.p) in
+    let incoming = byte_term (String.unsafe_get r.data (r.p + r.window)) in
+    (* h' = (h - c_out * r^(w-1)) * r + c_in *)
+    r.h <- ((r.h - (outgoing * r.top_pow)) * base) + incoming;
+    r.p <- r.p + 1
+end

@@ -1,0 +1,77 @@
+(** Rolling, decomposable, bit-prefix-decomposable string hash (§5.5).
+
+    The paper requires a hash function that is simultaneously
+    - {e rolling}: the hash of [s[i+1 .. i+1+len)] is computable in O(1)
+      from the hash of [s[i .. i+len)];
+    - {e composable}: the hash of a concatenation is computable from the
+      hashes of the two halves;
+    - {e decomposable}: the hash of the right (or left) sibling block is
+      computable from the hashes of the parent block and of the other
+      sibling, so only one hash per sibling pair is ever transmitted;
+    - {e bit-prefix decomposable}: the above still works when only the low
+      [k] bits of each hash are known, for any [k].
+
+    We use the positional polynomial hash
+    [H(s) = sum_i c_i * r^(len-1-i) mod 2^63] with [c_i = s[i] + 0x17] and
+    an odd base [r], evaluated in native wrap-around integer arithmetic
+    (OCaml's int is exactly 63 bits, so the modulus is free and nothing
+    boxes).  Then [H(left ++ right) = H(left) * r^|right| + H(right)] and
+    both siblings are recoverable from parent plus the other.  Because
+    addition, subtraction and multiplication by the odd constants [r^n]
+    and [r^-n] are stable on low bits modulo 2^63, the identities hold
+    bit-prefix-wise — exactly the property §5.5 asks for.  The trade-off
+    (low bits mix less well than a cryptographic hash) is absorbed by the
+    separate verification hashes of §5.3. *)
+
+type t = int
+(** Full-width (63-bit, wrap-around) hash value, position independent. *)
+
+val base : int
+
+val pow : int -> t
+(** [r^n mod 2^63].  O(log n). *)
+
+val pow_inv : int -> t
+(** [r^-n mod 2^63]. *)
+
+val hash_sub : string -> pos:int -> len:int -> t
+(** Direct O(len) evaluation. *)
+
+val window_hashes : string -> window:int -> bits:int -> int array
+(** Truncated hash of every window position, computed with one rolling
+    pass — the bulk primitive behind the client's candidate index. *)
+
+val combine : left:t -> right:t -> right_len:int -> t
+(** Hash of the concatenation. *)
+
+val derive_right : parent:t -> left:t -> right_len:int -> t
+(** Hash of the right sibling given parent and left sibling. *)
+
+val derive_left : parent:t -> right:t -> right_len:int -> t
+(** Hash of the left sibling given parent and right sibling. *)
+
+val truncate : t -> bits:int -> int
+(** Low [bits] (<= 57) as a non-negative int. *)
+
+val derive_right_trunc : parent:int -> left:int -> right_len:int -> bits:int -> int
+(** Bit-prefix decomposition: derive the low [bits] of the right sibling
+    hash from the low [bits] of parent and left hashes. *)
+
+val derive_left_trunc : parent:int -> right:int -> right_len:int -> bits:int -> int
+
+module Roller : sig
+  (** Constant-time sliding window over a string. *)
+
+  type roller
+
+  val create : string -> window:int -> pos:int -> roller
+  (** Roller for [s[pos .. pos+window)]; [pos + window <= length s]. *)
+
+  val value : roller -> t
+  val pos : roller -> int
+
+  val can_roll : roller -> bool
+  val roll : roller -> unit
+  (** Advance the window one byte to the right.
+      @raise Invalid_argument when [not (can_roll r)]. *)
+end

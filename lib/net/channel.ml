@@ -1,0 +1,79 @@
+type direction = Client_to_server | Server_to_client
+
+type t = {
+  latency_s : float;
+  bandwidth_bps : float;
+  mutable c2s_bytes : int;
+  mutable s2c_bytes : int;
+  mutable n_messages : int;
+  mutable last_direction : direction option;
+  mutable alternations : int;
+  c2s_queue : string Queue.t;
+  s2c_queue : string Queue.t;
+  mutable log : (direction * string * int) list; (* reversed *)
+}
+
+let create ?(latency_s = 0.05) ?(bandwidth_bps = 1_000_000.0) () =
+  {
+    latency_s;
+    bandwidth_bps;
+    c2s_bytes = 0;
+    s2c_bytes = 0;
+    n_messages = 0;
+    last_direction = None;
+    alternations = 0;
+    c2s_queue = Queue.create ();
+    s2c_queue = Queue.create ();
+    log = [];
+  }
+
+let send t ?(label = "") dir payload =
+  let len = String.length payload in
+  (match dir with
+  | Client_to_server ->
+      t.c2s_bytes <- t.c2s_bytes + len;
+      Queue.add payload t.c2s_queue
+  | Server_to_client ->
+      t.s2c_bytes <- t.s2c_bytes + len;
+      Queue.add payload t.s2c_queue);
+  t.n_messages <- t.n_messages + 1;
+  (match t.last_direction with
+  | Some d when d <> dir -> t.alternations <- t.alternations + 1
+  | _ -> ());
+  t.last_direction <- Some dir;
+  t.log <- (dir, label, len) :: t.log
+
+let recv t dir =
+  let q =
+    match dir with
+    | Client_to_server -> t.c2s_queue
+    | Server_to_client -> t.s2c_queue
+  in
+  if Queue.is_empty q then invalid_arg "Channel.recv: no pending message";
+  Queue.pop q
+
+let bytes t = function
+  | Client_to_server -> t.c2s_bytes
+  | Server_to_client -> t.s2c_bytes
+
+let total_bytes t = t.c2s_bytes + t.s2c_bytes
+
+let messages t = t.n_messages
+
+let roundtrips t = (t.alternations + 1) / 2
+
+let elapsed_s t =
+  (2.0 *. t.latency_s *. float_of_int (roundtrips t))
+  +. (float_of_int (total_bytes t) /. (t.bandwidth_bps /. 8.0))
+
+let transcript t = List.rev t.log
+
+let reset t =
+  t.c2s_bytes <- 0;
+  t.s2c_bytes <- 0;
+  t.n_messages <- 0;
+  t.last_direction <- None;
+  t.alternations <- 0;
+  Queue.clear t.c2s_queue;
+  Queue.clear t.s2c_queue;
+  t.log <- []

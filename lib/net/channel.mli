@@ -1,0 +1,44 @@
+(** In-memory duplex channel with exact cost accounting.
+
+    The paper's experiments measure bytes per direction and the number of
+    communication round trips; latency only matters through the round-trip
+    count ("roundtrip latencies are not incurred for each file since many
+    files can be processed simultaneously", §2.3).  The channel therefore
+    counts bytes and direction alternations exactly, and derives a
+    simulated wall-clock time for a configurable link. *)
+
+type direction = Client_to_server | Server_to_client
+
+type t
+
+val create : ?latency_s:float -> ?bandwidth_bps:float -> unit -> t
+(** Default link: 50 ms one-way latency, 1 Mbit/s — the "slow network" of
+    the title. *)
+
+val send : t -> ?label:string -> direction -> string -> unit
+(** Record a message.  The payload itself is queued so a peer can
+    [recv] it; protocol drivers in this code base pass data directly and
+    use the channel for accounting only, but tests exercise the queue. *)
+
+val recv : t -> direction -> string
+(** Dequeue the oldest in-flight message in the given direction.
+    @raise Invalid_argument if none is pending. *)
+
+val bytes : t -> direction -> int
+(** Total payload bytes sent in the given direction. *)
+
+val total_bytes : t -> int
+
+val messages : t -> int
+
+val roundtrips : t -> int
+(** Number of client-to-server -> server-to-client alternation pairs;
+    the unit the paper counts protocol rounds in. *)
+
+val elapsed_s : t -> float
+(** Simulated transfer time: 2 * latency * roundtrips + bytes / bandwidth. *)
+
+val transcript : t -> (direction * string * int) list
+(** (direction, label, size) per message, in order. *)
+
+val reset : t -> unit

@@ -1,0 +1,44 @@
+let render ch =
+  let buf = Buffer.create 1024 in
+  let trip = ref 0 in
+  let last_dir = ref None in
+  List.iter
+    (fun (dir, label, size) ->
+      (* A client->server message after server->client traffic opens a new
+         round trip, mirroring Channel's round-trip accounting. *)
+      (match (!last_dir, dir) with
+      | (None | Some Channel.Server_to_client), Channel.Client_to_server ->
+          incr trip;
+          Buffer.add_string buf (Printf.sprintf "-- round trip %d --\n" !trip)
+      | _ -> ());
+      last_dir := Some dir;
+      let arrow =
+        match dir with
+        | Channel.Client_to_server -> "client --> server"
+        | Channel.Server_to_client -> "client <-- server"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %-16s %6d B\n" arrow
+           (if label = "" then "(unlabelled)" else label)
+           size))
+    (Channel.transcript ch);
+  Buffer.add_string buf
+    (Printf.sprintf "total: %d B up, %d B down, %d round trips\n"
+       (Channel.bytes ch Channel.Client_to_server)
+       (Channel.bytes ch Channel.Server_to_client)
+       (Channel.roundtrips ch));
+  Buffer.contents buf
+
+let print ch = print_string (render ch)
+
+let summary_by_label ch =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, label, size) ->
+      let count, bytes =
+        match Hashtbl.find_opt tbl label with Some v -> v | None -> (0, 0)
+      in
+      Hashtbl.replace tbl label (count + 1, bytes + size))
+    (Channel.transcript ch);
+  Hashtbl.fold (fun label (count, bytes) acc -> (label, count, bytes) :: acc) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)

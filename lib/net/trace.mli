@@ -1,0 +1,14 @@
+(** Human-readable rendering of a channel transcript.
+
+    Turns the message log of a protocol run into the kind of timeline
+    Figure 5.2 of the paper draws: one line per message with direction,
+    label and size, grouped into round trips. *)
+
+val render : Channel.t -> string
+(** Timeline of everything sent so far. *)
+
+val print : Channel.t -> unit
+
+val summary_by_label : Channel.t -> (string * int * int) list
+(** Aggregated (label, message count, total bytes), sorted by bytes
+    descending — where did the budget go? *)

@@ -1,0 +1,142 @@
+type stats = {
+  ops_total : int;
+  cycles_broken : int;
+  extra_literal_bytes : int;
+}
+
+type node = {
+  idx : int;
+  write_lo : int;
+  write_hi : int;
+  (* Source range in old-file coordinates for copies; None for literals. *)
+  mutable read : (int * int) option;
+  mutable op : Token.op;
+}
+
+let nodes_of_stream (sg : Signature.t) ops =
+  let pos = ref 0 in
+  List.mapi
+    (fun idx op ->
+      let len =
+        match op with
+        | Token.Data s -> String.length s
+        | Token.Copy { index; count } ->
+            if index < 0 || count < 0 || index + count > Array.length sg.blocks
+            then invalid_arg "In_place: block run out of range";
+            let rec total i n acc =
+              if n = 0 then acc else total (i + 1) (n - 1) (acc + sg.blocks.(i).len)
+            in
+            total index count 0
+      in
+      let read =
+        match op with
+        | Token.Data _ -> None
+        | Token.Copy { index; _ } -> Some (Signature.block_start sg index, len)
+      in
+      let n =
+        {
+          idx;
+          write_lo = !pos;
+          write_hi = !pos + len;
+          read = Option.map (fun (lo, l) -> (lo, lo + l)) read;
+          op;
+        }
+      in
+      pos := !pos + len;
+      n)
+    ops
+
+let overlaps (a_lo, a_hi) (b_lo, b_hi) = a_lo < b_hi && b_lo < a_hi
+
+(* Order nodes so that every copy reads its source range before any node
+   overwrites it.  Kahn's algorithm on reader -> clobberer edges; cycles
+   are broken by materializing one remaining copy as a literal. *)
+let analyze (sg : Signature.t) ~old_file ops =
+  let nodes = Array.of_list (nodes_of_stream sg ops) in
+  let n = Array.length nodes in
+  let cycles = ref 0 and extra = ref 0 in
+  let materialize node =
+    match node.read with
+    | None -> ()
+    | Some (lo, hi) ->
+        node.read <- None;
+        node.op <- Token.Data (String.sub old_file lo (hi - lo));
+        incr cycles;
+        extra := !extra + (hi - lo)
+  in
+  (* reader A -> clobberer B means A must run before B. *)
+  let must_precede a b =
+    a.idx <> b.idx
+    &&
+    match a.read with
+    | None -> false
+    | Some r -> overlaps r (b.write_lo, b.write_hi)
+  in
+  let order = ref [] in
+  let placed = Array.make n false in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let progress = ref false in
+    for i = 0 to n - 1 do
+      if not placed.(i) then begin
+        let a = nodes.(i) in
+        (* a may run once no unplaced reader still needs the range a is
+           about to overwrite. *)
+        let blocked = ref false in
+        for j = 0 to n - 1 do
+          if (not placed.(j)) && j <> i && must_precede nodes.(j) a then
+            blocked := true
+        done;
+        if not !blocked then begin
+          placed.(i) <- true;
+          order := i :: !order;
+          decr remaining;
+          progress := true
+        end
+      end
+    done;
+    if not !progress then begin
+      (* Every remaining node participates in a cycle; break one: convert
+         the first remaining copy into a literal, freeing its readers. *)
+      let rec first i =
+        if i >= n then None
+        else if (not placed.(i)) && nodes.(i).read <> None then Some i
+        else first (i + 1)
+      in
+      match first 0 with
+      | Some i -> materialize nodes.(i)
+      | None ->
+          (* Only literals remain yet nothing progresses: impossible, as
+             literals have no read constraints. *)
+          assert false
+    end
+  done;
+  let exec_order = List.rev_map (fun i -> nodes.(i)) !order in
+  ( nodes,
+    exec_order,
+    { ops_total = n; cycles_broken = !cycles; extra_literal_bytes = !extra } )
+
+let plan sg ~old_file ops =
+  let nodes, _, stats = analyze sg ~old_file ops in
+  (Array.to_list (Array.map (fun nd -> nd.op) nodes), stats)
+
+let apply sg ~old_file ops =
+  let nodes, exec, stats = analyze sg ~old_file ops in
+  let new_len =
+    Array.fold_left (fun acc nd -> max acc nd.write_hi) 0 nodes
+  in
+  let buf = Bytes.make (max new_len (String.length old_file)) '\000' in
+  Bytes.blit_string old_file 0 buf 0 (String.length old_file);
+  List.iter
+    (fun nd ->
+      match nd.op with
+      | Token.Data s -> Bytes.blit_string s 0 buf nd.write_lo (String.length s)
+      | Token.Copy _ -> (
+          match nd.read with
+          | Some (lo, hi) ->
+              (* O(block) scratch: the source may overlap the target. *)
+              let tmp = Bytes.sub buf lo (hi - lo) in
+              Bytes.blit tmp 0 buf nd.write_lo (hi - lo)
+          | None -> assert false))
+    exec;
+  (Bytes.sub_string buf 0 new_len, stats)

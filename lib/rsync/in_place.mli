@@ -1,0 +1,28 @@
+(** In-place reconstruction (the in-place rsync of Rasch and Burns,
+    USENIX '03, cited in §4): apply a literal/copy stream to the old file
+    {e in a single buffer}, without holding both versions in memory —
+    what a mobile or embedded client with tight storage needs.
+
+    Copy operations read block ranges of the old file that later
+    operations may overwrite.  We order the operations so every copy
+    reads its source before any operation clobbers it (a topological sort
+    of the write->read dependency graph) and break dependency cycles by
+    materializing one copy's source bytes as a literal (the stream-size
+    cost the paper's reference measures). *)
+
+type stats = {
+  ops_total : int;
+  cycles_broken : int;       (** copies converted to literals *)
+  extra_literal_bytes : int; (** bytes those conversions added *)
+}
+
+val plan : Signature.t -> old_file:string -> Token.op list -> Token.op list * stats
+(** Rewrite the stream into an executable order, converting copies whose
+    dependencies form cycles into literals.  The returned stream still
+    reconstructs the same file via {!Token.apply}. *)
+
+val apply : Signature.t -> old_file:string -> Token.op list -> string * stats
+(** [apply sg ~old_file ops] reconstructs the new file inside one buffer
+    seeded with the old file's contents, resizing only at the end —
+    equivalent to {!Token.apply} but exercising the in-place order.
+    @raise Invalid_argument on out-of-range block references. *)

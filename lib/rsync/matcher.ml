@@ -1,0 +1,87 @@
+module Adler32 = Fsync_hash.Adler32
+module Md4 = Fsync_hash.Md4
+
+(* Two-level lookup as in rsync proper: a table keyed by the 16-bit fold of
+   the rolling checksum holding the list of blocks, each then compared on
+   the full 32-bit value before the strong hash is computed. *)
+
+let fold16 w = (w lxor (w lsr 16)) land 0xffff
+
+let run (sg : Signature.t) ~new_file =
+  let n = String.length new_file in
+  let b = sg.block_size in
+  let table = Array.make 0x10000 [] in
+  (* Only full-size blocks participate in sliding matches; a short tail
+     block is handled separately at the end. *)
+  let tail_block =
+    let nb = Array.length sg.blocks in
+    if nb > 0 && sg.blocks.(nb - 1).len < b then Some sg.blocks.(nb - 1) else None
+  in
+  Array.iter
+    (fun (blk : Signature.block) ->
+      if blk.len = b then begin
+        let k = fold16 blk.weak in
+        table.(k) <- blk :: table.(k)
+      end)
+    sg.blocks;
+  let ops = ref [] in
+  let lit_start = ref 0 in
+  let emit_literal upto =
+    if upto > !lit_start then
+      ops := Token.Data (String.sub new_file !lit_start (upto - !lit_start)) :: !ops
+  in
+  let try_tail pos =
+    (* Try to match the short tail block against the file suffix. *)
+    match tail_block with
+    | Some blk when n - pos = blk.len && blk.len > 0 ->
+        let strong =
+          Md4.truncated_sub new_file ~pos ~len:blk.len ~bytes_used:sg.strong_bytes
+        in
+        if String.equal strong blk.strong then Some blk else None
+    | _ -> None
+  in
+  if n >= b then begin
+    let roll = ref (Adler32.of_sub new_file ~pos:0 ~len:b) in
+    let pos = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let weak = Adler32.value !roll in
+      let matched =
+        List.find_opt
+          (fun (blk : Signature.block) ->
+            blk.weak = weak
+            && String.equal
+                 (Md4.truncated_sub new_file ~pos:!pos ~len:b
+                    ~bytes_used:sg.strong_bytes)
+                 blk.strong)
+          table.(fold16 weak)
+      in
+      match matched with
+      | Some blk ->
+          emit_literal !pos;
+          ops := Token.Copy { index = blk.index; count = 1 } :: !ops;
+          let next = !pos + b in
+          lit_start := next;
+          if next + b <= n then begin
+            roll := Adler32.of_sub new_file ~pos:next ~len:b;
+            pos := next
+          end
+          else begin
+            pos := next;
+            continue_ := false
+          end
+      | None ->
+          if !pos + b < n then begin
+            roll := Adler32.roll !roll ~out:new_file.[!pos] ~in_:new_file.[!pos + b];
+            incr pos
+          end
+          else continue_ := false
+    done
+  end;
+  (* Trailing bytes: maybe the tail block, otherwise a literal. *)
+  (match try_tail !lit_start with
+  | Some blk ->
+      emit_literal !lit_start;
+      ops := Token.Copy { index = blk.index; count = 1 } :: !ops
+  | None -> emit_literal n);
+  Token.coalesce (List.rev !ops)

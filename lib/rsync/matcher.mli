@@ -1,0 +1,9 @@
+(** Server-side rsync matching (§2.2 step 2): slide a window over the
+    current file, look up the rolling checksum among the client's block
+    signatures, confirm candidates with the strong checksum, and emit the
+    literal/copy stream. *)
+
+val run : Signature.t -> new_file:string -> Token.op list
+(** Stream whose {!Token.apply} against the old file reconstructs
+    [new_file] exactly (up to strong-hash collisions, whose probability the
+    whole-file check of the driver covers). *)

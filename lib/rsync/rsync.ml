@@ -1,0 +1,64 @@
+type config = {
+  block_size : int;
+  strong_bytes : int;
+  level : Fsync_compress.Deflate.level;
+}
+
+let default_config = { block_size = 700; strong_bytes = 2; level = Normal }
+
+type cost = { client_to_server : int; server_to_client : int }
+
+let total c = c.client_to_server + c.server_to_client
+
+type result = {
+  reconstructed : string;
+  cost : cost;
+  matched_blocks : int;
+  literal_bytes : int;
+}
+
+let sync ?(config = default_config) ~old_file new_file =
+  let sg =
+    Signature.create ~strong_bytes:config.strong_bytes
+      ~block_size:config.block_size old_file
+  in
+  let ops = Matcher.run sg ~new_file in
+  let stream = Token.encode ~level:config.level ops in
+  let reconstructed = Token.apply sg ~old_file ops in
+  let matched_blocks, literal_bytes =
+    List.fold_left
+      (fun (m, l) op ->
+        match op with
+        | Token.Copy { count; _ } -> (m + count, l)
+        | Token.Data s -> (m, l + String.length s))
+      (0, 0) ops
+  in
+  {
+    reconstructed;
+    cost =
+      {
+        client_to_server = Signature.wire_bytes sg;
+        server_to_client = String.length stream;
+      };
+    matched_blocks;
+    literal_bytes;
+  }
+
+let cost_only ?config ~old_file new_file =
+  (sync ?config ~old_file new_file).cost
+
+let candidate_block_sizes = [ 128; 256; 512; 700; 1024; 2048; 4096; 8192 ]
+
+let best_block_size ?(candidates = candidate_block_sizes) ~old_file new_file =
+  match candidates with
+  | [] -> invalid_arg "Rsync.best_block_size: no candidates"
+  | first :: rest ->
+      let eval bs =
+        cost_only ~config:{ default_config with block_size = bs } ~old_file
+          new_file
+      in
+      List.fold_left
+        (fun (best_bs, best_cost) bs ->
+          let c = eval bs in
+          if total c < total best_cost then (bs, c) else (best_bs, best_cost))
+        (first, eval first) rest

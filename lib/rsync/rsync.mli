@@ -1,0 +1,41 @@
+(** The rsync baseline, end to end (§2.2).
+
+    Client holds [old_file], server holds [new_file]; the client sends
+    block signatures, the server replies with a compressed literal/copy
+    stream, the client reconstructs.  Costs are reported per direction so
+    benchmarks can stack them the way the paper's figures do. *)
+
+type config = {
+  block_size : int;     (** default 700, the historical rsync default *)
+  strong_bytes : int;   (** truncated MD4 width, default 2 *)
+  level : Fsync_compress.Deflate.level;
+}
+
+val default_config : config
+
+type cost = {
+  client_to_server : int;  (** signature bytes *)
+  server_to_client : int;  (** compressed stream bytes *)
+}
+
+val total : cost -> int
+
+type result = {
+  reconstructed : string;
+  cost : cost;
+  matched_blocks : int;
+  literal_bytes : int;
+}
+
+val sync : ?config:config -> old_file:string -> string -> result
+(** [sync ~old_file new_file] runs the full protocol in memory. *)
+
+val cost_only : ?config:config -> old_file:string -> string -> cost
+
+val candidate_block_sizes : int list
+(** The geometric grid that {!best_block_size} searches. *)
+
+val best_block_size :
+  ?candidates:int list -> old_file:string -> string -> int * cost
+(** The idealized rsync of the paper's figures: the per-file block size
+    minimizing total transfer. *)

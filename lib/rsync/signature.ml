@@ -1,0 +1,35 @@
+module Adler32 = Fsync_hash.Adler32
+module Md4 = Fsync_hash.Md4
+
+type block = { index : int; weak : int; strong : string; len : int }
+
+type t = {
+  block_size : int;
+  strong_bytes : int;
+  blocks : block array;
+  file_len : int;
+}
+
+let header_bytes = 12 (* block size, strong width, block count *)
+
+let create ?(strong_bytes = 2) ~block_size data =
+  if block_size <= 0 then invalid_arg "Signature.create: block_size <= 0";
+  let n = String.length data in
+  let nblocks = (n + block_size - 1) / block_size in
+  let blocks =
+    Array.init nblocks (fun i ->
+        let pos = i * block_size in
+        let len = min block_size (n - pos) in
+        {
+          index = i;
+          weak = Adler32.value (Adler32.of_sub data ~pos ~len);
+          strong = Md4.truncated_sub data ~pos ~len ~bytes_used:strong_bytes;
+          len;
+        })
+  in
+  { block_size; strong_bytes; blocks; file_len = n }
+
+let wire_bytes t =
+  header_bytes + (Array.length t.blocks * (4 + t.strong_bytes))
+
+let block_start t i = i * t.block_size

@@ -1,0 +1,31 @@
+(** rsync block signatures (client side, §2.2 step 1).
+
+    The client partitions its outdated file into fixed-size blocks (the
+    final block may be short) and computes for each a fast rolling
+    checksum (Adler-32) and a truncated strong checksum (MD4, 2 bytes by
+    default — "only two bytes of the MD4 hash are used since this provides
+    sufficient power"). *)
+
+type block = {
+  index : int;
+  weak : int;          (** Adler-32 value *)
+  strong : string;     (** truncated MD4 *)
+  len : int;
+}
+
+type t = {
+  block_size : int;
+  strong_bytes : int;
+  blocks : block array;
+  file_len : int;
+}
+
+val create : ?strong_bytes:int -> block_size:int -> string -> t
+(** @raise Invalid_argument if [block_size <= 0]. *)
+
+val wire_bytes : t -> int
+(** Bytes the client sends: 4 (rolling) + [strong_bytes] per block, plus a
+    small fixed header. *)
+
+val block_start : t -> int -> int
+(** Byte offset of block [i] in the old file. *)

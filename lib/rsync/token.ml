@@ -1,0 +1,72 @@
+module Varint = Fsync_util.Varint
+module Deflate = Fsync_compress.Deflate
+
+type op =
+  | Data of string
+  | Copy of { index : int; count : int }
+
+let coalesce ops =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | Data "" :: rest -> loop acc rest
+    | Data a :: Data b :: rest -> loop acc (Data (a ^ b) :: rest)
+    | Copy { index = i1; count = c1 } :: Copy { index = i2; count = c2 } :: rest
+      when i1 + c1 = i2 ->
+        loop acc (Copy { index = i1; count = c1 + c2 } :: rest)
+    | op :: rest -> loop (op :: acc) rest
+  in
+  loop [] ops
+
+let serialize ops =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Data s ->
+          Varint.write buf 0;
+          Varint.write buf (String.length s);
+          Buffer.add_string buf s
+      | Copy { index; count } ->
+          Varint.write buf 1;
+          Varint.write buf index;
+          Varint.write buf count)
+    ops;
+  Buffer.contents buf
+
+let deserialize s =
+  let n = String.length s in
+  let rec loop pos acc =
+    if pos >= n then List.rev acc
+    else begin
+      let tag, pos = Varint.read s ~pos in
+      match tag with
+      | 0 ->
+          let len, pos = Varint.read s ~pos in
+          if pos + len > n then invalid_arg "Token: truncated literal";
+          loop (pos + len) (Data (String.sub s pos len) :: acc)
+      | 1 ->
+          let index, pos = Varint.read s ~pos in
+          let count, pos = Varint.read s ~pos in
+          loop pos (Copy { index; count } :: acc)
+      | _ -> invalid_arg "Token: unknown tag"
+    end
+  in
+  loop 0 []
+
+let encode ?level ops = Deflate.compress ?level (serialize (coalesce ops))
+
+let decode s = deserialize (Deflate.decompress s)
+
+let apply (sg : Signature.t) ~old_file ops =
+  let buf = Buffer.create (String.length old_file) in
+  List.iter
+    (function
+      | Data s -> Buffer.add_string buf s
+      | Copy { index; count } ->
+          if index < 0 || count < 0 || index + count > Array.length sg.blocks
+          then invalid_arg "Token.apply: block run out of range";
+          for i = index to index + count - 1 do
+            let b = sg.blocks.(i) in
+            Buffer.add_substring buf old_file (Signature.block_start sg i) b.len
+          done)
+    ops;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** The rsync server -> client stream (§2.2 step 2): literal data
+    interleaved with references to blocks of the client's old file, the
+    whole stream compressed "using an algorithm similar to gzip". *)
+
+type op =
+  | Data of string                         (** literal bytes *)
+  | Copy of { index : int; count : int }   (** [count] consecutive blocks
+                                               starting at block [index] *)
+
+val encode : ?level:Fsync_compress.Deflate.level -> op list -> string
+(** Serialized and compressed stream. *)
+
+val decode : string -> op list
+(** @raise Invalid_argument on malformed input. *)
+
+val apply : Signature.t -> old_file:string -> op list -> string
+(** Reconstruct the new file on the client.
+    @raise Invalid_argument if a block reference is out of range. *)
+
+val coalesce : op list -> op list
+(** Merge adjacent [Data] ops and consecutive [Copy] runs (normal form). *)

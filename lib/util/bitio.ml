@@ -1,0 +1,103 @@
+module Writer = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable byte_pos : int;   (* index of the byte currently being filled *)
+    mutable bit_pos : int;    (* bits already used in [buf.[byte_pos]] *)
+  }
+
+  let create ?(initial_size = 64) () =
+    let initial_size = max 1 initial_size in
+    { buf = Bytes.make initial_size '\000'; byte_pos = 0; bit_pos = 0 }
+
+  let ensure t needed_bytes =
+    let cap = Bytes.length t.buf in
+    if t.byte_pos + needed_bytes >= cap then begin
+      let cap' = max (cap * 2) (t.byte_pos + needed_bytes + 1) in
+      let buf' = Bytes.make cap' '\000' in
+      Bytes.blit t.buf 0 buf' 0 (t.byte_pos + 1);
+      t.buf <- buf'
+    end
+
+  let put_bit t b =
+    ensure t 1;
+    if b land 1 = 1 then begin
+      let cur = Char.code (Bytes.get t.buf t.byte_pos) in
+      Bytes.set t.buf t.byte_pos (Char.chr (cur lor (1 lsl t.bit_pos)))
+    end;
+    t.bit_pos <- t.bit_pos + 1;
+    if t.bit_pos = 8 then begin
+      t.bit_pos <- 0;
+      t.byte_pos <- t.byte_pos + 1
+    end
+
+  let put_bits t v ~width =
+    if width < 0 || width > 57 then
+      invalid_arg "Bitio.Writer.put_bits: width out of [0,57]";
+    for i = 0 to width - 1 do
+      put_bit t ((v lsr i) land 1)
+    done
+
+  let put_bits64 t v ~width =
+    if width < 0 || width > 64 then
+      invalid_arg "Bitio.Writer.put_bits64: width out of [0,64]";
+    for i = 0 to width - 1 do
+      put_bit t (Int64.to_int (Int64.logand (Int64.shift_right_logical v i) 1L))
+    done
+
+  let align_byte t = if t.bit_pos <> 0 then begin
+    t.bit_pos <- 0;
+    t.byte_pos <- t.byte_pos + 1;
+    ensure t 1
+  end
+
+  let bit_length t = (t.byte_pos * 8) + t.bit_pos
+
+  let contents t =
+    let len = t.byte_pos + (if t.bit_pos > 0 then 1 else 0) in
+    Bytes.sub_string t.buf 0 len
+end
+
+module Reader = struct
+  type t = {
+    data : string;
+    mutable bit : int;  (* absolute bit position *)
+  }
+
+  let of_string ?(bit_offset = 0) data = { data; bit = bit_offset }
+
+  let total_bits t = String.length t.data * 8
+
+  let get_bit t =
+    if t.bit >= total_bits t then invalid_arg "Bitio.Reader.get_bit: past end";
+    let byte = Char.code (String.unsafe_get t.data (t.bit lsr 3)) in
+    let b = (byte lsr (t.bit land 7)) land 1 in
+    t.bit <- t.bit + 1;
+    b
+
+  let get_bits t ~width =
+    if width < 0 || width > 57 then
+      invalid_arg "Bitio.Reader.get_bits: width out of [0,57]";
+    let rec loop i acc =
+      if i = width then acc else loop (i + 1) (acc lor (get_bit t lsl i))
+    in
+    loop 0 0
+
+  let get_bits64 t ~width =
+    if width < 0 || width > 64 then
+      invalid_arg "Bitio.Reader.get_bits64: width out of [0,64]";
+    let rec loop i acc =
+      if i = width then acc
+      else
+        let acc =
+          Int64.logor acc (Int64.shift_left (Int64.of_int (get_bit t)) i)
+        in
+        loop (i + 1) acc
+    in
+    loop 0 0L
+
+  let align_byte t = if t.bit land 7 <> 0 then t.bit <- (t.bit lor 7) + 1
+
+  let bits_left t = max 0 (total_bits t - t.bit)
+
+  let pos t = t.bit
+end

@@ -1,0 +1,56 @@
+(** Bit-level input/output.
+
+    The synchronization protocol transmits hash values whose width is not a
+    multiple of eight bits (continuation hashes are 3-5 bits wide, weak
+    global hashes 10-24 bits).  [Bitio] provides a writer that packs values
+    least-significant-bit first into a growable buffer, and a reader that
+    unpacks them in the same order.  The Huffman coder in
+    {!Fsync_compress.Huffman} uses the same primitives. *)
+
+module Writer : sig
+  type t
+
+  val create : ?initial_size:int -> unit -> t
+  (** Fresh writer.  [initial_size] is the initial byte capacity. *)
+
+  val put_bit : t -> int -> unit
+  (** [put_bit w b] appends the single bit [b] (0 or 1). *)
+
+  val put_bits : t -> int -> width:int -> unit
+  (** [put_bits w v ~width] appends the [width] low bits of [v],
+      least-significant first.  [width] must be within [0, 57].
+      @raise Invalid_argument on out-of-range width. *)
+
+  val put_bits64 : t -> int64 -> width:int -> unit
+  (** Like {!put_bits} for widths up to 64. *)
+
+  val align_byte : t -> unit
+  (** Pad with zero bits to the next byte boundary. *)
+
+  val bit_length : t -> int
+  (** Number of bits written so far. *)
+
+  val contents : t -> string
+  (** Packed bytes written so far (final partial byte zero-padded). *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : ?bit_offset:int -> string -> t
+
+  val get_bit : t -> int
+  (** Next bit.  @raise Invalid_argument past the end of input. *)
+
+  val get_bits : t -> width:int -> int
+  (** Next [width] bits as an int, [width] within [0, 57]. *)
+
+  val get_bits64 : t -> width:int -> int64
+
+  val align_byte : t -> unit
+
+  val bits_left : t -> int
+
+  val pos : t -> int
+  (** Bits consumed so far. *)
+end

@@ -1,0 +1,91 @@
+let sub_safe s ~pos ~len =
+  let n = String.length s in
+  let pos = max 0 (min pos n) in
+  let len = max 0 (min len (n - pos)) in
+  String.sub s pos len
+
+let common_prefix a i b j =
+  let la = String.length a and lb = String.length b in
+  let rec loop k =
+    if i + k < la && j + k < lb && String.unsafe_get a (i + k) = String.unsafe_get b (j + k)
+    then loop (k + 1)
+    else k
+  in
+  if i < 0 || j < 0 then 0 else loop 0
+
+let common_suffix a i b j =
+  let rec loop k =
+    if i - k - 1 >= 0 && j - k - 1 >= 0
+       && String.unsafe_get a (i - k - 1) = String.unsafe_get b (j - k - 1)
+    then loop (k + 1)
+    else k
+  in
+  if i > String.length a || j > String.length b then 0 else loop 0
+
+let equal_sub a i b j len =
+  len >= 0
+  && i >= 0 && j >= 0
+  && i + len <= String.length a
+  && j + len <= String.length b
+  &&
+  let rec loop k =
+    k = len
+    || (String.unsafe_get a (i + k) = String.unsafe_get b (j + k) && loop (k + 1))
+  in
+  loop 0
+
+let hex_digit n = "0123456789abcdef".[n]
+
+let to_hex s =
+  let b = Bytes.create (String.length s * 2) in
+  String.iteri
+    (fun i c ->
+      let v = Char.code c in
+      Bytes.set b (2 * i) (hex_digit (v lsr 4));
+      Bytes.set b ((2 * i) + 1) (hex_digit (v land 0xf)))
+    s;
+  Bytes.unsafe_to_string b
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Bytes_util.of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bytes_util.of_hex: bad digit"
+  in
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let concat_list = String.concat ""
+
+let chunks s ~size =
+  if size <= 0 then invalid_arg "Bytes_util.chunks: size must be positive";
+  let n = String.length s in
+  let rec loop pos acc =
+    if pos >= n then List.rev acc
+    else
+      let len = min size (n - pos) in
+      loop (pos + len) ((pos, len) :: acc)
+  in
+  loop 0 []
+
+let popcount_byte =
+  let tbl = Array.init 256 (fun i ->
+      let rec bits n = if n = 0 then 0 else (n land 1) + bits (n lsr 1) in
+      bits i)
+  in
+  fun c -> tbl.(Char.code c)
+
+let hamming_bits a b =
+  if String.length a <> String.length b then
+    invalid_arg "Bytes_util.hamming_bits: length mismatch";
+  let acc = ref 0 in
+  String.iteri
+    (fun i ca ->
+      let x = Char.code ca lxor Char.code b.[i] in
+      acc := !acc + popcount_byte (Char.chr x))
+    a;
+  !acc

@@ -1,0 +1,31 @@
+(** Small helpers over [string]/[bytes] used across the code base. *)
+
+val sub_safe : string -> pos:int -> len:int -> string
+(** Like [String.sub] but clamps to the string bounds instead of raising. *)
+
+val common_prefix : string -> int -> string -> int -> int
+(** [common_prefix a i b j] is the length of the longest common prefix of
+    [a] starting at [i] and [b] starting at [j]. *)
+
+val common_suffix : string -> int -> string -> int -> int
+(** [common_suffix a i b j] is the length of the longest common run ending
+    just before positions [i] (in [a]) and [j] (in [b]). *)
+
+val equal_sub : string -> int -> string -> int -> int -> bool
+(** [equal_sub a i b j len]: do [a[i..i+len)] and [b[j..j+len)] coincide?
+    False if either range is out of bounds. *)
+
+val to_hex : string -> string
+
+val of_hex : string -> string
+(** @raise Invalid_argument on malformed input. *)
+
+val concat_list : string list -> string
+
+val chunks : string -> size:int -> (int * int) list
+(** Offsets/lengths of consecutive chunks of at most [size] bytes covering
+    the whole string. *)
+
+val hamming_bits : string -> string -> int
+(** Number of differing bits between two equal-length strings.
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All synthetic datasets are generated from explicit seeds so that every
+    experiment is exactly reproducible; we do not use [Stdlib.Random] because
+    its sequence is not stable across OCaml releases. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given value. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** Independent child generator; the parent state advances. *)
+
+val next64 : t -> int64
+(** Next 64 raw bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** True with the given probability. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] >= 1: number of Bernoulli(p) trials up to and including
+    the first success. *)
+
+val exponential : t -> float -> float
+(** Exponential with the given mean. *)
+
+val pareto : t -> alpha:float -> x_min:float -> float
+(** Heavy-tailed Pareto sample; used for web-page size distributions. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val bytes : t -> int -> Bytes.t
+(** Uniform random bytes. *)

@@ -1,0 +1,82 @@
+type span = { lo : int; hi : int }
+
+type t = span list
+(* Invariant: sorted by [lo]; for consecutive a, b: a.hi < b.lo (disjoint and
+   non-adjacent); every span non-empty. *)
+
+let empty = []
+
+let normalize pairs =
+  let pairs = List.filter (fun (lo, hi) -> hi > lo) pairs in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest -> (
+        match acc with
+        | { lo = plo; hi = phi } :: acc_rest when lo <= phi ->
+            merge ({ lo = plo; hi = max phi hi } :: acc_rest) rest
+        | _ -> merge ({ lo; hi } :: acc) rest)
+  in
+  merge [] sorted
+
+let of_list pairs = normalize pairs
+let of_span ~lo ~hi = of_list [ (lo, hi) ]
+let to_list t = List.map (fun s -> (s.lo, s.hi)) t
+let spans t = t
+let is_empty t = t = []
+let total_length t = List.fold_left (fun acc s -> acc + s.hi - s.lo) 0 t
+let count = List.length
+
+let union a b = normalize (to_list a @ to_list b)
+let add t ~lo ~hi = union t (of_span ~lo ~hi)
+
+let inter a b =
+  (* Two-pointer sweep over both sorted lists. *)
+  let rec loop acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: a', y :: b' ->
+        let lo = max x.lo y.lo and hi = min x.hi y.hi in
+        let acc = if hi > lo then { lo; hi } :: acc else acc in
+        if x.hi < y.hi then loop acc a' b else loop acc a b'
+  in
+  loop [] a b
+
+let diff a b =
+  (* Subtract each span of [b] from the spans of [a]. *)
+  let rec loop acc a b =
+    match a with
+    | [] -> List.rev acc
+    | x :: a' -> (
+        match b with
+        | [] -> loop (x :: acc) a' []
+        | y :: b' ->
+            if y.hi <= x.lo then loop acc a b'
+            else if y.lo >= x.hi then loop (x :: acc) a' b
+            else
+              let acc =
+                if y.lo > x.lo then { lo = x.lo; hi = y.lo } :: acc else acc
+              in
+              if y.hi < x.hi then loop acc ({ lo = y.hi; hi = x.hi } :: a') b'
+              else loop acc a' b)
+  in
+  loop [] a b
+
+let complement t ~lo ~hi = diff (of_span ~lo ~hi) t
+
+let mem t p =
+  List.exists (fun s -> s.lo <= p && p < s.hi) t
+
+let contains_span t ~lo ~hi =
+  hi <= lo || List.exists (fun s -> s.lo <= lo && hi <= s.hi) t
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "[%d,%d)" s.lo s.hi)
+    t;
+  Format.fprintf ppf "}"

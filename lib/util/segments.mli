@@ -1,0 +1,46 @@
+(** Interval algebra over byte ranges.
+
+    The client's map of the current file (§5.1 of the paper) is a partition
+    of [\[0, n)] into {e known} and {e unknown} areas.  [Segments] maintains
+    a canonical sorted list of disjoint half-open intervals and the set
+    operations the map-construction phase needs. *)
+
+type span = { lo : int; hi : int }
+(** Half-open interval [\[lo, hi)].  Always [lo < hi] in canonical lists. *)
+
+type t
+(** Canonical set of disjoint, sorted, non-adjacent spans. *)
+
+val empty : t
+val of_span : lo:int -> hi:int -> t
+val of_list : (int * int) list -> t
+(** Builds the canonical form from arbitrary (lo, hi) pairs; overlapping and
+    adjacent spans are merged, empty spans dropped. *)
+
+val to_list : t -> (int * int) list
+val spans : t -> span list
+
+val is_empty : t -> bool
+val total_length : t -> int
+val count : t -> int
+(** Number of maximal spans. *)
+
+val add : t -> lo:int -> hi:int -> t
+(** Union with a single span. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] removes [b] from [a]. *)
+
+val complement : t -> lo:int -> hi:int -> t
+(** Gaps of [t] within [\[lo, hi)]. *)
+
+val mem : t -> int -> bool
+(** Is the point covered? *)
+
+val contains_span : t -> lo:int -> hi:int -> bool
+(** Is the whole span covered by a single segment run? *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

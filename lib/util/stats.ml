@@ -1,0 +1,53 @@
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  sorted.(idx)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let total = Array.fold_left ( +. ) 0.0 a in
+      let mean = total /. float_of_int n in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a
+        /. float_of_int n
+      in
+      {
+        count = n;
+        total;
+        mean;
+        min = a.(0);
+        max = a.(n - 1);
+        stddev = sqrt var;
+        p50 = percentile a 0.5;
+        p90 = percentile a 0.9;
+        p99 = percentile a 0.99;
+      }
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+let kb n = float_of_int n /. 1024.0
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if f >= 1048576.0 then Format.fprintf ppf "%.2f MB" (f /. 1048576.0)
+  else if f >= 1024.0 then Format.fprintf ppf "%.1f KB" (f /. 1024.0)
+  else Format.fprintf ppf "%d B" n

@@ -1,0 +1,29 @@
+(** Summary statistics for experiment reports. *)
+
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; nearest-rank on a sorted
+    array. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] = a /. b, 0 if b = 0. *)
+
+val kb : int -> float
+(** Bytes to kilobytes (paper reports costs in KB, 1 KB = 1024 B). *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable byte count ("1.4 MB"). *)

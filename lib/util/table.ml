@@ -1,0 +1,75 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  caption : string option;
+  header : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?caption header = { caption; header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.header in
+  let aligns = List.map snd t.header in
+  let all_cell_rows =
+    headers :: List.filter_map (function Cells c -> Some c | Rule -> None)
+                 (List.rev t.rows)
+  in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    all_cell_rows;
+  let buf = Buffer.create 256 in
+  (match t.caption with
+  | Some c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let pad i cell align =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell align))
+      (List.combine cells aligns);
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells headers;
+  emit_rule ();
+  List.iter
+    (function Cells cells -> emit_cells cells | Rule -> emit_rule ())
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f x = Printf.sprintf "%.2f" x
+
+let cell_kb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0)

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for benchmark and experiment reports.
+
+    The bench harness prints one table per paper figure/table; this module
+    keeps the formatting consistent (right-aligned numeric columns, a rule
+    under the header, an optional caption). *)
+
+type align = Left | Right
+
+type t
+
+val create : ?caption:string -> (string * align) list -> t
+(** Table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_rule : t -> unit
+(** Horizontal separator row. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_f : float -> string
+(** Standard numeric cell: two decimals. *)
+
+val cell_kb : int -> string
+(** Bytes rendered as KB with one decimal, matching the paper's unit. *)

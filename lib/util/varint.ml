@@ -1,0 +1,33 @@
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let read s ~pos =
+  let len = String.length s in
+  let rec loop pos shift acc =
+    if pos >= len then invalid_arg "Varint.read: truncated";
+    let b = Char.code (String.unsafe_get s pos) in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then (acc, pos + 1) else loop (pos + 1) (shift + 7) acc
+  in
+  loop pos 0 0
+
+let size n =
+  let rec loop n acc = if n < 0x80 then acc else loop (n lsr 7) (acc + 1) in
+  loop (max n 0) 1
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+
+let write_signed buf n = write buf (zigzag n)
+
+let read_signed s ~pos =
+  let z, pos = read s ~pos in
+  (unzigzag z, pos)

@@ -1,0 +1,20 @@
+(** LEB128 variable-length integer coding.
+
+    Protocol messages and delta instruction streams encode lengths and
+    offsets as unsigned LEB128 so that small values (the common case) cost a
+    single byte. *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf n] appends the LEB128 encoding of [n] (which must be >= 0). *)
+
+val read : string -> pos:int -> int * int
+(** [read s ~pos] decodes a varint at byte offset [pos]; returns
+    [(value, next_pos)].  @raise Invalid_argument on truncated input. *)
+
+val size : int -> int
+(** Encoded byte length of [n]. *)
+
+val write_signed : Buffer.t -> int -> unit
+(** Zig-zag signed encoding. *)
+
+val read_signed : string -> pos:int -> int * int

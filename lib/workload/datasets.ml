@@ -1,0 +1,26 @@
+let scale () =
+  match Sys.getenv_opt "FSYNC_SCALE" with
+  | None -> 0.08
+  | Some "full" -> 1.0
+  | Some "small" -> 0.08
+  | Some "tiny" -> 0.02
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 0.08)
+
+let scale_name () =
+  let s = scale () in
+  if s >= 1.0 then "full"
+  else if s <= 0.02 then "tiny"
+  else Printf.sprintf "%.2fx" s
+
+let gcc () = Source_tree.generate (Source_tree.gcc_preset ~scale:(scale ()))
+
+let emacs () = Source_tree.generate (Source_tree.emacs_preset ~scale:(scale ()))
+
+let web_preset () = Web_collection.default_preset ~scale:(scale ())
+
+let web_base () = Web_collection.base (web_preset ())
+
+let web_snapshots ~days =
+  let preset = web_preset () in
+  let base = Web_collection.base preset in
+  List.map (fun d -> Web_collection.evolve preset base ~days:d) days

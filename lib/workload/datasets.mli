@@ -1,0 +1,21 @@
+(** Named dataset presets at a controllable scale.
+
+    Paper-scale datasets (gcc/emacs ~27 MB, web 10,000 pages) make the full
+    benchmark run take a long while; the default scale keeps every
+    experiment's statistics (change profiles, size distributions) while
+    shrinking file counts.  Set [FSYNC_SCALE=full|small|tiny] or a float
+    (e.g. [FSYNC_SCALE=0.25]) to override. *)
+
+val scale : unit -> float
+(** From [FSYNC_SCALE]; default 0.08 ("small"). *)
+
+val scale_name : unit -> string
+
+val gcc : unit -> Source_tree.pair
+val emacs : unit -> Source_tree.pair
+
+val web_base : unit -> Web_collection.page array
+
+val web_snapshots : days:int list -> Web_collection.page array list
+(** Snapshots after each requested number of days (the base evolves
+    cumulatively, so snapshots share a consistent history). *)

@@ -1,0 +1,118 @@
+module Prng = Fsync_util.Prng
+
+type edit =
+  | Insert of { pos : int; text : string }
+  | Delete of { pos : int; len : int }
+  | Replace of { pos : int; len : int; text : string }
+
+let span = function
+  | Insert { pos; _ } -> (pos, pos)
+  | Delete { pos; len } -> (pos, pos + len)
+  | Replace { pos; len; _ } -> (pos, pos + len)
+
+let apply s edits =
+  let n = String.length s in
+  let sorted =
+    List.sort (fun a b -> compare (fst (span a)) (fst (span b))) edits
+  in
+  (* Validate: in-range and non-overlapping. *)
+  let _ =
+    List.fold_left
+      (fun prev_hi e ->
+        let lo, hi = span e in
+        if lo < 0 || hi > n then invalid_arg "Edit_model.apply: out of range";
+        if lo < prev_hi then invalid_arg "Edit_model.apply: overlapping edits";
+        hi)
+      0 sorted
+  in
+  let buf = Buffer.create (n + 256) in
+  let cursor = ref 0 in
+  List.iter
+    (fun e ->
+      let lo, hi = span e in
+      Buffer.add_substring buf s !cursor (lo - !cursor);
+      (match e with
+      | Insert { text; _ } -> Buffer.add_string buf text
+      | Delete _ -> ()
+      | Replace { text; _ } -> Buffer.add_string buf text);
+      cursor := hi)
+    sorted;
+  Buffer.add_substring buf s !cursor (n - !cursor);
+  Buffer.contents buf
+
+type profile = {
+  edits_per_kb : float;
+  clustering : float;
+  mean_edit_len : int;
+  insert_bias : float;
+}
+
+let light =
+  { edits_per_kb = 0.25; clustering = 0.8; mean_edit_len = 30; insert_bias = 0.4 }
+
+let medium =
+  { edits_per_kb = 1.2; clustering = 0.6; mean_edit_len = 45; insert_bias = 0.4 }
+
+let heavy =
+  { edits_per_kb = 5.0; clustering = 0.2; mean_edit_len = 80; insert_bias = 0.35 }
+
+let random_edits rng ~profile ~gen_text s =
+  let n = String.length s in
+  if n = 0 then []
+  else begin
+    let expected = profile.edits_per_kb *. (float_of_int n /. 1024.0) in
+    let count =
+      let base = int_of_float expected in
+      base + (if Prng.bernoulli rng (expected -. float_of_int base) then 1 else 0)
+    in
+    if count = 0 then []
+    else begin
+      (* Positions: a mix of uniform and cluster-centered draws. *)
+      let n_clusters = max 1 (1 + (count / 6)) in
+      let centers = Array.init n_clusters (fun _ -> Prng.int rng n) in
+      let draw_pos () =
+        if Prng.bernoulli rng profile.clustering then begin
+          let c = Prng.pick rng centers in
+          let spread = max 64 (n / 64) in
+          let p = c + Prng.int_in rng (-spread) spread in
+          max 0 (min (n - 1) p)
+        end
+        else Prng.int rng n
+      in
+      let draw_len () =
+        let mean = float_of_int profile.mean_edit_len in
+        max 1 (int_of_float (Prng.exponential rng mean))
+      in
+      (* Greedily take non-overlapping edits; a few rejected draws are fine. *)
+      let taken = ref [] in
+      let overlaps lo hi =
+        List.exists
+          (fun e ->
+            let l, h = span e in
+            lo < h + 1 && l < hi + 1)
+          !taken
+      in
+      let attempts = ref 0 in
+      while List.length !taken < count && !attempts < count * 8 do
+        incr attempts;
+        let pos = draw_pos () in
+        let r = Prng.float rng 1.0 in
+        let candidate =
+          if r < profile.insert_bias then
+            Insert { pos; text = gen_text rng (draw_len ()) }
+          else begin
+            let len = min (draw_len ()) (n - pos) in
+            if len = 0 then Insert { pos; text = gen_text rng (draw_len ()) }
+            else if r < profile.insert_bias +. ((1.0 -. profile.insert_bias) /. 2.0)
+            then Delete { pos; len }
+            else Replace { pos; len; text = gen_text rng (draw_len ()) }
+          end
+        in
+        let lo, hi = span candidate in
+        if not (overlaps lo hi) then taken := candidate :: !taken
+      done;
+      !taken
+    end
+  end
+
+let mutate rng ~profile ~gen_text s = apply s (random_edits rng ~profile ~gen_text s)

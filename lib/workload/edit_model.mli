@@ -1,0 +1,53 @@
+(** Edit scripts and the random change model.
+
+    Real file updates are insertions, deletions and replacements that move
+    byte alignments arbitrarily (§1: "files may be modified in arbitrary
+    ways, including insertion and deletion operations that change byte and
+    page alignments").  Random edits are drawn either clustered — a few
+    localities receive several edits each, the regime where rsync does
+    well — or dispersed, the regime where it degrades. *)
+
+type edit =
+  | Insert of { pos : int; text : string }
+  | Delete of { pos : int; len : int }
+  | Replace of { pos : int; len : int; text : string }
+
+val apply : string -> edit list -> string
+(** Apply edits whose positions refer to the original string.  Edits must
+    be non-overlapping; they may touch.
+    @raise Invalid_argument on overlap or out-of-range edits. *)
+
+type profile = {
+  edits_per_kb : float;       (** expected edit count per KB of input *)
+  clustering : float;         (** 0 = uniform positions; 1 = a handful of
+                                  tight clusters *)
+  mean_edit_len : int;        (** geometric mean length of each edit *)
+  insert_bias : float;        (** fraction of inserts among edits (the
+                                  rest split between delete/replace) *)
+}
+
+val light : profile
+(** Small maintenance diff (minor release / nightly page tweak). *)
+
+val medium : profile
+
+val heavy : profile
+(** Substantial rewrite. *)
+
+val random_edits :
+  Fsync_util.Prng.t ->
+  profile:profile ->
+  gen_text:(Fsync_util.Prng.t -> int -> string) ->
+  string ->
+  edit list
+(** Draw a non-overlapping edit script for the given string;
+    [gen_text rng n] supplies inserted/replacement content of length
+    roughly [n]. *)
+
+val mutate :
+  Fsync_util.Prng.t ->
+  profile:profile ->
+  gen_text:(Fsync_util.Prng.t -> int -> string) ->
+  string ->
+  string
+(** [apply] of [random_edits]. *)

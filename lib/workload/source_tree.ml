@@ -1,0 +1,101 @@
+module Prng = Fsync_util.Prng
+
+type file = { path : string; content : string }
+
+type pair = { name : string; old_version : file list; new_version : file list }
+
+type preset = {
+  preset_name : string;
+  n_files : int;
+  mean_file_bytes : int;
+  seed : int64;
+  dialect : [ `C | `Lisp ];
+  p_unchanged : float;
+  p_light : float;
+  p_medium : float;
+}
+
+let gcc_preset ~scale =
+  {
+    preset_name = "gcc";
+    n_files = max 4 (int_of_float (1000.0 *. scale));
+    mean_file_bytes = 27_000;
+    seed = 0x6CC_2701L;
+    dialect = `C;
+    p_unchanged = 0.55;
+    p_light = 0.30;
+    p_medium = 0.10;
+  }
+
+let emacs_preset ~scale =
+  {
+    preset_name = "emacs";
+    n_files = max 4 (int_of_float (1250.0 *. scale));
+    mean_file_bytes = 21_000;
+    seed = 0xE11AC5_1928L;
+    dialect = `Lisp;
+    p_unchanged = 0.40;
+    p_light = 0.30;
+    p_medium = 0.20;
+  }
+
+let dirs = [| "src"; "lib"; "config"; "doc"; "include"; "tools"; "tests" |]
+
+let gen_content preset rng ~bytes =
+  (* Roughly [bytes] of source text; the line generators overshoot a bit. *)
+  let lines = max 4 (bytes / 35) in
+  match preset.dialect with
+  | `C -> Text_gen.c_like rng ~lines
+  | `Lisp -> Text_gen.lisp_like rng ~lines
+
+let edit_text rng n =
+  (* Replacement/insert content resembling surrounding source. *)
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (Text_gen.paragraph rng ~words:6);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.sub buf 0 n
+
+let generate preset =
+  let rng = Prng.create preset.seed in
+  let ext = match preset.dialect with `C -> ".c" | `Lisp -> ".el" in
+  let files =
+    List.init preset.n_files (fun i ->
+        let size =
+          (* Heavy-tailed sizes: many small files, a few large ones. *)
+          let x = Prng.pareto rng ~alpha:1.6 ~x_min:(float_of_int preset.mean_file_bytes /. 2.5) in
+          min (int_of_float x) (preset.mean_file_bytes * 30)
+        in
+        let dir = Prng.pick rng dirs in
+        let path = Printf.sprintf "%s/%s_%04d%s" dir preset.preset_name i ext in
+        { path; content = gen_content preset rng ~bytes:size })
+  in
+  let mutate_file f =
+    let r = Prng.float rng 1.0 in
+    if r < preset.p_unchanged then f
+    else begin
+      let profile =
+        if r < preset.p_unchanged +. preset.p_light then Edit_model.light
+        else if r < preset.p_unchanged +. preset.p_light +. preset.p_medium then
+          Edit_model.medium
+        else Edit_model.heavy
+      in
+      { f with content = Edit_model.mutate rng ~profile ~gen_text:edit_text f.content }
+    end
+  in
+  let new_version = List.map mutate_file files in
+  { name = preset.preset_name; old_version = files; new_version }
+
+let total_bytes files =
+  List.fold_left (fun acc f -> acc + String.length f.content) 0 files
+
+let changed_files pair =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace tbl f.path f) pair.old_version;
+  List.filter_map
+    (fun nf ->
+      match Hashtbl.find_opt tbl nf.path with
+      | Some old -> Some (old, nf)
+      | None -> None)
+    pair.new_version

@@ -1,0 +1,41 @@
+(** Synthetic source-tree version pairs standing in for the gcc
+    2.7.0 -> 2.7.1 and emacs 19.28 -> 19.29 datasets of §6.1.
+
+    The generators are calibrated to the update profile of those
+    datasets: a minor release touches a modest fraction of files with
+    small, clustered diffs (gcc), a larger release touches more files
+    more heavily (emacs).  File sizes are heavy-tailed. *)
+
+type file = { path : string; content : string }
+
+type pair = {
+  name : string;
+  old_version : file list;
+  new_version : file list;
+}
+
+type preset = {
+  preset_name : string;
+  n_files : int;
+  mean_file_bytes : int;
+  seed : int64;
+  dialect : [ `C | `Lisp ];
+  p_unchanged : float;          (** files identical across versions *)
+  p_light : float;              (** small clustered edits *)
+  p_medium : float;
+  (* remainder: heavy rewrite *)
+}
+
+val gcc_preset : scale:float -> preset
+(** [scale = 1.0] approximates the paper's dataset (~1000 files, ~27 MB);
+    smaller scales shrink the file count proportionally. *)
+
+val emacs_preset : scale:float -> preset
+
+val generate : preset -> pair
+
+val total_bytes : file list -> int
+
+val changed_files : pair -> (file * file) list
+(** (old, new) for paths present in both versions, unchanged ones
+    included — the synchronization experiments iterate over these. *)

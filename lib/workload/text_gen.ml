@@ -1,0 +1,144 @@
+module Prng = Fsync_util.Prng
+
+let nouns =
+  [| "buffer"; "cache"; "node"; "index"; "table"; "stream"; "packet"; "frame";
+     "block"; "chunk"; "record"; "field"; "cursor"; "handle"; "socket";
+     "widget"; "parser"; "lexer"; "symbol"; "scope"; "value"; "entry";
+     "bucket"; "queue"; "stack"; "heap"; "page"; "sector"; "inode"; "extent" |]
+
+let verbs =
+  [| "alloc"; "free"; "init"; "reset"; "update"; "flush"; "read"; "write";
+     "parse"; "emit"; "scan"; "lookup"; "insert"; "remove"; "merge"; "split";
+     "copy"; "move"; "check"; "validate"; "encode"; "decode"; "open"; "close" |]
+
+let types = [| "int"; "long"; "char *"; "size_t"; "void"; "unsigned"; "struct buf *" |]
+
+let words =
+  [| "the"; "a"; "of"; "to"; "and"; "in"; "for"; "with"; "on"; "that"; "is";
+     "data"; "file"; "update"; "server"; "network"; "page"; "site"; "new";
+     "latest"; "report"; "today"; "market"; "science"; "research"; "study";
+     "results"; "analysis"; "system"; "design"; "performance"; "time";
+     "world"; "people"; "information"; "service"; "online"; "archive" |]
+
+let ident rng =
+  Prng.pick rng verbs ^ "_" ^ Prng.pick rng nouns
+  ^ if Prng.bernoulli rng 0.3 then string_of_int (Prng.int rng 10) else ""
+
+let c_like rng ~lines =
+  let buf = Buffer.create (lines * 40) in
+  let emitted = ref 0 in
+  while !emitted < lines do
+    let kind = Prng.int rng 10 in
+    if kind < 5 then begin
+      (* function definition *)
+      let name = ident rng in
+      let ret = Prng.pick rng types in
+      Buffer.add_string buf (Printf.sprintf "%s %s(%s x, %s n)\n{\n" ret name
+        (Prng.pick rng types) (Prng.pick rng types));
+      let body = 2 + Prng.int rng 6 in
+      for _ = 1 to body do
+        (match Prng.int rng 4 with
+        | 0 -> Buffer.add_string buf (Printf.sprintf "    %s = %s(%s, %d);\n"
+                 (Prng.pick rng nouns) (ident rng) (Prng.pick rng nouns) (Prng.int rng 256))
+        | 1 -> Buffer.add_string buf (Printf.sprintf "    if (%s < %d)\n        return %s;\n"
+                 (Prng.pick rng nouns) (Prng.int rng 100) (Prng.pick rng nouns))
+        | 2 -> Buffer.add_string buf (Printf.sprintf "    %s += %s->%s;\n"
+                 (Prng.pick rng nouns) (Prng.pick rng nouns) (Prng.pick rng nouns))
+        | _ -> Buffer.add_string buf (Printf.sprintf "    /* %s %s %s */\n"
+                 (Prng.pick rng words) (Prng.pick rng words) (Prng.pick rng words)))
+      done;
+      Buffer.add_string buf "}\n\n";
+      emitted := !emitted + body + 4
+    end
+    else if kind < 7 then begin
+      Buffer.add_string buf (Printf.sprintf "#define %s_%s %d\n"
+        (String.uppercase_ascii (Prng.pick rng nouns))
+        (String.uppercase_ascii (Prng.pick rng verbs))
+        (Prng.int rng 4096));
+      incr emitted
+    end
+    else if kind < 9 then begin
+      Buffer.add_string buf (Printf.sprintf "static %s %s[%d];\n"
+        (Prng.pick rng types) (ident rng) (1 + Prng.int rng 128));
+      incr emitted
+    end
+    else begin
+      Buffer.add_string buf (Printf.sprintf "/* %s: %s %s %s %s. */\n"
+        (ident rng) (Prng.pick rng words) (Prng.pick rng words)
+        (Prng.pick rng words) (Prng.pick rng words));
+      incr emitted
+    end
+  done;
+  Buffer.contents buf
+
+let lisp_like rng ~lines =
+  let buf = Buffer.create (lines * 40) in
+  let emitted = ref 0 in
+  while !emitted < lines do
+    let kind = Prng.int rng 10 in
+    if kind < 5 then begin
+      let name = Prng.pick rng verbs ^ "-" ^ Prng.pick rng nouns in
+      Buffer.add_string buf (Printf.sprintf "(defun %s (%s &optional %s)\n"
+        name (Prng.pick rng nouns) (Prng.pick rng nouns));
+      Buffer.add_string buf (Printf.sprintf "  \"%s %s %s %s.\"\n"
+        (String.capitalize_ascii (Prng.pick rng words)) (Prng.pick rng words)
+        (Prng.pick rng words) (Prng.pick rng words));
+      let body = 2 + Prng.int rng 5 in
+      for _ = 1 to body do
+        Buffer.add_string buf (Printf.sprintf "  (%s %s (%s %s %d))\n"
+          (Prng.pick rng [| "setq"; "when"; "unless"; "let"; "if" |])
+          (Prng.pick rng nouns)
+          (Prng.pick rng [| "+"; "-"; "car"; "cdr"; "nth"; "aref" |])
+          (Prng.pick rng nouns) (Prng.int rng 100))
+      done;
+      Buffer.add_string buf ")\n\n";
+      emitted := !emitted + body + 4
+    end
+    else if kind < 8 then begin
+      Buffer.add_string buf (Printf.sprintf "(defvar %s-%s %d\n  \"%s %s.\")\n"
+        (Prng.pick rng nouns) (Prng.pick rng nouns) (Prng.int rng 1000)
+        (String.capitalize_ascii (Prng.pick rng words)) (Prng.pick rng words));
+      emitted := !emitted + 2
+    end
+    else begin
+      Buffer.add_string buf (Printf.sprintf ";; %s %s %s\n"
+        (Prng.pick rng words) (Prng.pick rng words) (Prng.pick rng words));
+      incr emitted
+    end
+  done;
+  Buffer.contents buf
+
+let paragraph rng ~words:nwords =
+  let buf = Buffer.create (nwords * 6) in
+  for i = 0 to nwords - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    let word = Prng.pick rng words in
+    Buffer.add_string buf (if i mod 12 = 0 then String.capitalize_ascii word else word);
+    if i mod 12 = 11 then Buffer.add_char buf '.'
+  done;
+  Buffer.add_char buf '.';
+  Buffer.contents buf
+
+let boilerplate rng =
+  let site = Prng.pick rng nouns ^ Prng.pick rng [| ".com"; ".org"; ".net" |] in
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html>\n<head>\n<title>%s</title>\n\
+     <meta name=\"generator\" content=\"sitebuilder-%d\">\n\
+     <link rel=\"stylesheet\" href=\"/style-%d.css\">\n</head>\n<body>\n\
+     <div class=\"nav\"><a href=\"/\">home</a> | <a href=\"/news\">news</a> | \
+     <a href=\"/archive\">archive</a> | <a href=\"/about\">about</a></div>\n"
+    site (Prng.int rng 10) (Prng.int rng 10)
+
+let html_like rng ~body_words ~boilerplate:bp =
+  let buf = Buffer.create (body_words * 7) in
+  Buffer.add_string buf bp;
+  let remaining = ref body_words in
+  while !remaining > 0 do
+    let n = min !remaining (20 + Prng.int rng 60) in
+    Buffer.add_string buf "<p>";
+    Buffer.add_string buf (paragraph rng ~words:n);
+    Buffer.add_string buf "</p>\n";
+    remaining := !remaining - n
+  done;
+  Buffer.add_string buf "<div class=\"footer\">generated page; all rights reserved.</div>\n</body>\n</html>\n";
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Synthetic text generators.
+
+    The experiments need corpora with the statistical properties that
+    drive delta/sync performance: natural-language-like token repetition
+    (so gzip-family compressors get realistic ratios), line structure (so
+    edits align with lines as real source diffs do), and shared
+    boilerplate across documents.  Three families mirror the paper's data:
+    C-like source (gcc), Lisp-like source (emacs), and HTML-like pages
+    (the web collection). *)
+
+val c_like : Fsync_util.Prng.t -> lines:int -> string
+(** Function definitions, declarations, comments, preprocessor noise. *)
+
+val lisp_like : Fsync_util.Prng.t -> lines:int -> string
+(** defuns, setqs, doc strings. *)
+
+val html_like :
+  Fsync_util.Prng.t -> body_words:int -> boilerplate:string -> string
+(** A page: header boilerplate (shared across a site), paragraphs of
+    body text, a footer. *)
+
+val boilerplate : Fsync_util.Prng.t -> string
+(** Site-level template shared by many pages. *)
+
+val paragraph : Fsync_util.Prng.t -> words:int -> string
+(** Plain filler prose, used for inserted edit content. *)

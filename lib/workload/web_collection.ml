@@ -1,0 +1,92 @@
+module Prng = Fsync_util.Prng
+
+type page = { url : string; content : string }
+
+type preset = {
+  n_pages : int;
+  mean_body_words : int;
+  n_sites : int;
+  seed : int64;
+  p_change_per_day : float;
+  churn_fraction : float;
+}
+
+let default_preset ~scale =
+  {
+    n_pages = max 4 (int_of_float (10_000.0 *. scale));
+    mean_body_words = 450;
+    n_sites = max 2 (int_of_float (200.0 *. scale));
+    seed = 0xB45E_2001L;
+    p_change_per_day = 0.18;
+    churn_fraction = 0.05;
+  }
+
+let base preset =
+  let rng = Prng.create preset.seed in
+  let templates =
+    Array.init preset.n_sites (fun _ -> Text_gen.boilerplate rng)
+  in
+  Array.init preset.n_pages (fun i ->
+      let site = Prng.int rng preset.n_sites in
+      let words =
+        let w =
+          Prng.pareto rng ~alpha:1.8
+            ~x_min:(float_of_int preset.mean_body_words /. 2.0)
+        in
+        min (int_of_float w) (preset.mean_body_words * 40)
+      in
+      {
+        url = Printf.sprintf "http://site%03d.example/page%05d.html" site i;
+        content = Text_gen.html_like rng ~body_words:words ~boilerplate:templates.(site);
+      })
+
+let edit_text rng n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (Text_gen.paragraph rng ~words:8);
+    Buffer.add_char buf ' '
+  done;
+  Buffer.sub buf 0 n
+
+let nightly preset rng ~day pages =
+  Array.mapi
+    (fun i p ->
+      let churny =
+        (* The same pages churn every night: derive from the page index. *)
+        float_of_int ((i * 2654435761) land 0xffff) /. 65536.0
+        < preset.churn_fraction
+      in
+      let changes =
+        churny || Prng.bernoulli rng preset.p_change_per_day
+      in
+      if not changes then p
+      else begin
+        let profile =
+          if churny then Edit_model.medium
+          else Edit_model.light
+        in
+        let content =
+          Edit_model.mutate rng ~profile ~gen_text:edit_text p.content
+        in
+        (* Most live pages also carry a changing date/counter line. *)
+        let content =
+          if Prng.bernoulli rng 0.7 then
+            content
+            ^ Printf.sprintf "<!-- last-updated: day %d; hits: %d -->\n" day
+                (Prng.int rng 1_000_000)
+          else content
+        in
+        { p with content }
+      end)
+    pages
+
+let evolve preset pages ~days =
+  let rng = Prng.create (Int64.add preset.seed 0x9_1dL) in
+  let rec loop day pages =
+    if day > days then pages
+    else loop (day + 1) (nightly preset rng ~day pages)
+  in
+  loop 1 pages
+
+let total_bytes pages =
+  Array.fold_left (fun acc p -> acc + String.length p.content) 0 pages

@@ -1,0 +1,31 @@
+(** The recrawled web collection of §6.3: ten thousand pages crawled
+    nightly, base set plus snapshots 1, 2 and 7 days later.
+
+    The change process matches what the paper observes: "Some of the files
+    are not updated at all between crawls, while others change only
+    slightly" — each night a page changes with a per-page probability;
+    most changed pages get small localized edits (dates, counters, one new
+    item), and a small population of high-churn pages (news front pages)
+    changes heavily every night.  Pages of one site share boilerplate. *)
+
+type page = { url : string; content : string }
+
+type preset = {
+  n_pages : int;
+  mean_body_words : int;        (** body length scale; ~15 KB/page at 450 *)
+  n_sites : int;                (** pages per site share a template *)
+  seed : int64;
+  p_change_per_day : float;     (** ordinary pages *)
+  churn_fraction : float;       (** pages that change heavily every day *)
+}
+
+val default_preset : scale:float -> preset
+(** [scale = 1.0]: 10,000 pages, ~150 MB. *)
+
+val base : preset -> page array
+
+val evolve : preset -> page array -> days:int -> page array
+(** Apply [days] nights of the change process (deterministic in the
+    preset seed and day count). *)
+
+val total_bytes : page array -> int

@@ -1,0 +1,225 @@
+(* Tests for Fsync_collection: snapshots (including disk roundtrip) and the
+   collection-level synchronization driver. *)
+
+open Fsync_collection
+module Prng = Fsync_util.Prng
+
+let mk_files seed n =
+  let rng = Prng.create (Int64.of_int seed) in
+  List.init n (fun i ->
+      ( Printf.sprintf "dir%d/file%03d.txt" (i mod 3) i,
+        Fsync_workload.Text_gen.c_like rng ~lines:(20 + Prng.int rng 80) ))
+
+let mutate_some seed files =
+  let rng = Prng.create (Int64.of_int (seed * 31)) in
+  List.map
+    (fun (path, content) ->
+      if Prng.bernoulli rng 0.5 then (path, content)
+      else
+        ( path,
+          Fsync_workload.Edit_model.mutate rng
+            ~profile:Fsync_workload.Edit_model.medium
+            ~gen_text:(fun rng n ->
+              String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+            content ))
+    files
+
+(* ---- Snapshot ---- *)
+
+let test_snapshot_basic () =
+  let s = Snapshot.of_files [ ("a", "1"); ("b", "22") ] in
+  Alcotest.(check int) "count" 2 (Snapshot.count s);
+  Alcotest.(check int) "bytes" 3 (Snapshot.total_bytes s);
+  Alcotest.(check (option string)) "find" (Some "22") (Snapshot.find s "b");
+  Alcotest.(check (option string)) "missing" None (Snapshot.find s "c");
+  Alcotest.(check (list string)) "paths sorted" [ "a"; "b" ] (Snapshot.paths s)
+
+let test_snapshot_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Snapshot.of_files: duplicate path a") (fun () ->
+      ignore (Snapshot.of_files [ ("a", "1"); ("a", "2") ]))
+
+let test_snapshot_disk_roundtrip () =
+  let dir = Filename.temp_file "fsync_snap" "" in
+  Sys.remove dir;
+  let s = Snapshot.of_files (mk_files 1 7) in
+  Snapshot.store_dir dir s;
+  let loaded = Snapshot.load_dir dir in
+  Alcotest.(check (list (pair string string))) "roundtrip" (Snapshot.files s)
+    (Snapshot.files loaded);
+  (* Cleanup. *)
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm dir
+
+let test_snapshot_load_missing () =
+  match Snapshot.load_dir "/nonexistent/fsync/dir" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+(* ---- Driver ---- *)
+
+let methods =
+  [
+    Driver.Full_raw;
+    Driver.Full_compressed;
+    Driver.Rsync_default;
+    Driver.Rsync_best;
+    Driver.Fsync Fsync_core.Config.tuned;
+    Driver.Delta_lower_bound Fsync_delta.Delta.Zdelta;
+    Driver.Delta_lower_bound Fsync_delta.Delta.Vcdiff;
+  ]
+
+let test_driver_all_methods_reconstruct () =
+  let old_files = mk_files 2 10 in
+  let new_files = mutate_some 2 old_files in
+  let client = Snapshot.of_files old_files in
+  let server = Snapshot.of_files new_files in
+  List.iter
+    (fun m ->
+      let result, summary = Driver.sync m ~client ~server in
+      if Snapshot.files result <> Snapshot.files server then
+        Alcotest.failf "%s did not reconstruct" (Driver.method_name m);
+      Alcotest.(check int) "files_total" 10 summary.files_total)
+    methods
+
+let test_driver_unchanged_skipped () =
+  let files = mk_files 3 6 in
+  let client = Snapshot.of_files files in
+  let server = Snapshot.of_files files in
+  let _, summary = Driver.sync Driver.Full_raw ~client ~server in
+  Alcotest.(check int) "all unchanged" 6 summary.files_unchanged;
+  (* Only fingerprints and verdicts cross the wire. *)
+  List.iter
+    (fun (o : Driver.file_outcome) ->
+      Alcotest.(check bool) "skipped" true o.skipped;
+      Alcotest.(check int) "no bytes" 0 (o.c2s + o.s2c))
+    summary.outcomes
+
+let test_driver_new_and_deleted () =
+  let client = Snapshot.of_files [ ("stays", "same"); ("goes", "away") ] in
+  let server = Snapshot.of_files [ ("stays", "same"); ("arrives", "fresh content") ] in
+  let result, summary = Driver.sync Driver.Rsync_default ~client ~server in
+  Alcotest.(check int) "new" 1 summary.files_new;
+  Alcotest.(check int) "deleted" 1 summary.files_deleted;
+  Alcotest.(check (option string)) "new present" (Some "fresh content")
+    (Snapshot.find result "arrives");
+  Alcotest.(check (option string)) "deleted gone" None (Snapshot.find result "goes")
+
+let test_driver_ordering () =
+  (* fsync < rsync <= full on a lightly-edited collection; zdelta lowest. *)
+  let old_files = mk_files 4 8 in
+  let rng = Prng.create 44L in
+  let new_files =
+    List.map
+      (fun (p, c) ->
+        ( p,
+          Fsync_workload.Edit_model.mutate rng
+            ~profile:Fsync_workload.Edit_model.light
+            ~gen_text:(fun rng n ->
+              String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+            c ))
+      old_files
+  in
+  let client = Snapshot.of_files old_files in
+  let server = Snapshot.of_files new_files in
+  let cost m = Driver.total (snd (Driver.sync m ~client ~server)) in
+  let full = cost Driver.Full_compressed in
+  let rsync = cost Driver.Rsync_default in
+  let ours = cost (Driver.Fsync Fsync_core.Config.tuned) in
+  let zdelta = cost (Driver.Delta_lower_bound Fsync_delta.Delta.Zdelta) in
+  Alcotest.(check bool) (Printf.sprintf "ours(%d) < rsync(%d)" ours rsync) true (ours < rsync);
+  Alcotest.(check bool) (Printf.sprintf "rsync(%d) < full(%d)" rsync full) true (rsync < full);
+  Alcotest.(check bool) (Printf.sprintf "zdelta(%d) <= ours(%d)" zdelta ours) true (zdelta <= ours)
+
+let test_driver_accounting () =
+  let old_files = mk_files 5 5 in
+  let new_files = mutate_some 5 old_files in
+  let client = Snapshot.of_files old_files in
+  let server = Snapshot.of_files new_files in
+  let _, summary = Driver.sync Driver.Rsync_default ~client ~server in
+  let sum_c2s =
+    List.fold_left (fun acc (o : Driver.file_outcome) -> acc + o.c2s) 0 summary.outcomes
+  in
+  Alcotest.(check bool) "c2s >= file costs" true (summary.total_c2s >= sum_c2s);
+  Alcotest.(check int) "bytes_new" (Snapshot.total_bytes server) summary.bytes_new
+
+(* ---- Pipeline ---- *)
+
+let test_pipeline_reconstructs () =
+  let triples =
+    List.init 5 (fun i ->
+        let rng = Prng.create (Int64.of_int (400 + i)) in
+        let old_file = Fsync_workload.Text_gen.c_like rng ~lines:(150 + (i * 30)) in
+        let new_file =
+          Fsync_workload.Edit_model.mutate rng
+            ~profile:Fsync_workload.Edit_model.medium
+            ~gen_text:(fun rng n ->
+              String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+            old_file
+        in
+        (Printf.sprintf "f%d" i, old_file, new_file))
+  in
+  let outs, report = Pipeline.sync triples in
+  List.iter2
+    (fun (name, _, new_file) (name', out) ->
+      Alcotest.(check string) "name" name name';
+      Alcotest.(check bool) "content" true (String.equal out new_file))
+    triples outs;
+  Alcotest.(check int) "files" 5 report.files;
+  (* Batched trips = deepest file; far fewer than the sum. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d < sequential %d" report.batched_roundtrips
+       report.sequential_roundtrips)
+    true
+    (report.batched_roundtrips < report.sequential_roundtrips);
+  (* Bytes match the per-file reports. *)
+  let sum =
+    List.fold_left
+      (fun acc (_, (r : Fsync_core.Protocol.report)) ->
+        acc + r.total_c2s + r.total_s2c)
+      0 report.per_file
+  in
+  Alcotest.(check int) "bytes add up" sum (Pipeline.total_bytes report)
+
+let test_pipeline_empty () =
+  let outs, report = Pipeline.sync [] in
+  Alcotest.(check (list (pair string string))) "no files" [] outs;
+  Alcotest.(check int) "zero bytes" 0 (Pipeline.total_bytes report);
+  Alcotest.(check int) "zero trips" 0 report.batched_roundtrips
+
+let test_driver_empty_collections () =
+  let empty = Snapshot.of_files [] in
+  let result, summary = Driver.sync Driver.Rsync_default ~client:empty ~server:empty in
+  Alcotest.(check int) "no files" 0 (Snapshot.count result);
+  Alcotest.(check int) "no cost" 0 (Driver.total summary)
+
+let test_pipeline_elapsed () =
+  let triples = [ ("a", "same content here", "same content here") ] in
+  let _, report = Pipeline.sync triples in
+  let seq = Pipeline.elapsed_s ~batched:false report in
+  let bat = Pipeline.elapsed_s ~batched:true report in
+  Alcotest.(check bool) "batched <= sequential" true (bat <= seq);
+  Alcotest.(check bool) "positive" true (bat > 0.0)
+
+let suite =
+  [
+    ("snapshot basic", `Quick, test_snapshot_basic);
+    ("snapshot duplicate", `Quick, test_snapshot_duplicate);
+    ("snapshot disk roundtrip", `Quick, test_snapshot_disk_roundtrip);
+    ("snapshot load missing", `Quick, test_snapshot_load_missing);
+    ("driver all methods reconstruct", `Slow, test_driver_all_methods_reconstruct);
+    ("driver unchanged skipped", `Quick, test_driver_unchanged_skipped);
+    ("driver new and deleted", `Quick, test_driver_new_and_deleted);
+    ("driver cost ordering", `Slow, test_driver_ordering);
+    ("driver accounting", `Quick, test_driver_accounting);
+    ("pipeline reconstructs", `Quick, test_pipeline_reconstructs);
+    ("pipeline empty", `Quick, test_pipeline_empty);
+    ("driver empty collections", `Quick, test_driver_empty_collections);
+    ("pipeline elapsed", `Quick, test_pipeline_elapsed);
+  ]

@@ -1,0 +1,211 @@
+(* Tests for Fsync_compress: Huffman code construction, LZ77 tokenization,
+   Deflate container roundtrips. *)
+
+open Fsync_compress
+module Bitio = Fsync_util.Bitio
+module Prng = Fsync_util.Prng
+
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Huffman ---- *)
+
+let kraft lengths =
+  Array.fold_left
+    (fun acc l -> if l > 0 then acc +. (1.0 /. float_of_int (1 lsl l)) else acc)
+    0.0 lengths
+
+let freqs_gen =
+  QCheck2.Gen.(array_size (int_range 2 80) (int_bound 1000))
+
+let huffman_kraft_prop =
+  qtest "huffman: Kraft equality" freqs_gen (fun freqs ->
+      let nonzero = Array.fold_left (fun a f -> if f > 0 then a + 1 else a) 0 freqs in
+      let lengths = Huffman.lengths_of_freqs freqs in
+      if nonzero = 0 then Array.for_all (fun l -> l = 0) lengths
+      else if nonzero = 1 then Array.exists (fun l -> l = 1) lengths
+      else abs_float (kraft lengths -. 1.0) < 1e-9)
+
+let huffman_limit_prop =
+  qtest "huffman: length limit respected"
+    QCheck2.Gen.(array_size (int_range 2 60) (int_bound 1000))
+    (fun freqs ->
+      let lengths = Huffman.lengths_of_freqs ~limit:6 freqs in
+      Array.for_all (fun l -> l <= 6) lengths
+      &&
+      (* Kraft still holds after limiting. *)
+      let nonzero = Array.fold_left (fun a f -> if f > 0 then a + 1 else a) 0 freqs in
+      nonzero < 2 || abs_float (kraft lengths -. 1.0) < 1e-9)
+
+let test_huffman_limit_too_small () =
+  Alcotest.check_raises "alphabet too large"
+    (Invalid_argument "Huffman.lengths_of_freqs: alphabet too large for limit")
+    (fun () -> ignore (Huffman.lengths_of_freqs ~limit:2 [| 1; 1; 1; 1; 1 |]))
+
+let huffman_roundtrip_prop =
+  qtest "huffman: encode/decode roundtrip"
+    QCheck2.Gen.(
+      pair (array_size (int_range 2 40) (int_range 1 100))
+        (list_size (int_range 1 200) (int_bound 39)))
+    (fun (freqs, raw_syms) ->
+      let n = Array.length freqs in
+      let syms = List.map (fun s -> s mod n) raw_syms in
+      let lengths = Huffman.lengths_of_freqs freqs in
+      let enc = Huffman.encoder_of_lengths lengths in
+      let dec = Huffman.decoder_of_lengths lengths in
+      let w = Bitio.Writer.create () in
+      List.iter (fun s -> Huffman.encode enc w s) syms;
+      let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+      List.for_all (fun s -> Huffman.decode dec r = s) syms)
+
+let test_huffman_optimality_simple () =
+  (* Highly skewed frequencies: the frequent symbol gets a shorter code. *)
+  let lengths = Huffman.lengths_of_freqs [| 1000; 1; 1; 1 |] in
+  Alcotest.(check bool) "skew" true (lengths.(0) < lengths.(1))
+
+let test_huffman_single_symbol () =
+  let lengths = Huffman.lengths_of_freqs [| 0; 7; 0 |] in
+  Alcotest.(check (array int)) "single" [| 0; 1; 0 |] lengths;
+  let enc = Huffman.encoder_of_lengths lengths in
+  let dec = Huffman.decoder_of_lengths lengths in
+  let w = Bitio.Writer.create () in
+  Huffman.encode enc w 1;
+  let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+  Alcotest.(check int) "decode" 1 (Huffman.decode dec r)
+
+let test_huffman_no_code () =
+  let enc = Huffman.encoder_of_lengths [| 1; 1; 0 |] in
+  let w = Bitio.Writer.create () in
+  Alcotest.check_raises "no code" (Invalid_argument "Huffman.encode: symbol has no code")
+    (fun () -> Huffman.encode enc w 2)
+
+let test_huffman_cost_bits () =
+  let lengths = [| 1; 2; 2 |] and freqs = [| 10; 5; 5 |] in
+  Alcotest.(check int) "cost" 30 (Huffman.cost_bits lengths freqs)
+
+(* ---- LZ77 ---- *)
+
+let text_gen =
+  QCheck2.Gen.(
+    let* words = list_size (int_range 0 300) (int_bound 20) in
+    return
+      (String.concat " "
+         (List.map (fun w -> Printf.sprintf "word%d" w) words)))
+
+let lz77_roundtrip_text =
+  qtest "lz77: roundtrip on text" text_gen (fun s ->
+      Lz77.check_stream s (Lz77.tokenize s))
+
+let lz77_roundtrip_binary =
+  qtest "lz77: roundtrip on binary"
+    QCheck2.Gen.(string_size ~gen:char (int_bound 2000))
+    (fun s -> Lz77.check_stream s (Lz77.tokenize s))
+
+let lz77_levels =
+  qtest ~count:50 "lz77: all levels roundtrip" text_gen (fun s ->
+      List.for_all
+        (fun level -> Lz77.check_stream s (Lz77.tokenize ~level s))
+        [ Lz77.Fast; Lz77.Normal; Lz77.Best ])
+
+let test_lz77_finds_repeats () =
+  let s = String.concat "" (List.init 50 (fun _ -> "abcdefgh")) in
+  let tokens = Lz77.tokenize s in
+  let matches =
+    List.exists (function Lz77.Match _ -> true | Lz77.Literal _ -> false) tokens
+  in
+  Alcotest.(check bool) "found matches" true matches;
+  (* The stream should be much shorter than the input. *)
+  Alcotest.(check bool) "few tokens" true (List.length tokens < 60)
+
+let test_lz77_run () =
+  (* A long single-char run is representable with overlapping matches. *)
+  let s = String.make 5000 'x' in
+  Alcotest.(check bool) "run roundtrip" true (Lz77.check_stream s (Lz77.tokenize s))
+
+let test_lz77_short_inputs () =
+  List.iter
+    (fun s -> Alcotest.(check string) ("short " ^ s) s (Lz77.expand (Lz77.tokenize s)))
+    [ ""; "a"; "ab"; "abc" ]
+
+let test_lz77_expand_bad_distance () =
+  Alcotest.check_raises "bad distance" (Invalid_argument "Lz77.expand: bad distance")
+    (fun () -> ignore (Lz77.expand [ Lz77.Match { length = 3; distance = 1 } ]))
+
+(* ---- Deflate ---- *)
+
+let deflate_roundtrip_text =
+  qtest "deflate: roundtrip on text" text_gen (fun s ->
+      Deflate.decompress (Deflate.compress s) = s)
+
+let deflate_roundtrip_binary =
+  qtest "deflate: roundtrip on binary"
+    QCheck2.Gen.(string_size ~gen:char (int_bound 3000))
+    (fun s -> Deflate.decompress (Deflate.compress s) = s)
+
+let test_deflate_empty () =
+  Alcotest.(check string) "empty" "" (Deflate.decompress (Deflate.compress ""))
+
+let test_deflate_compresses_text () =
+  let b = Buffer.create 0 in
+  for i = 0 to 500 do
+    Buffer.add_string b (Printf.sprintf "line %d: the quick brown fox\n" (i mod 37))
+  done;
+  let s = Buffer.contents b in
+  let c = Deflate.compress s in
+  Alcotest.(check bool) "ratio < 0.25" true
+    (String.length c * 4 < String.length s)
+
+let test_deflate_incompressible_bounded () =
+  let rng = Prng.create 99L in
+  let s = Bytes.to_string (Prng.bytes rng 10_000) in
+  let c = Deflate.compress s in
+  (* Stored fallback bounds the expansion to the container overhead. *)
+  Alcotest.(check bool) "bounded expansion" true
+    (String.length c <= String.length s + Deflate.overhead_bytes)
+
+let test_deflate_levels () =
+  let s = String.concat "" (List.init 200 (fun i -> Printf.sprintf "chunk-%d;" (i mod 13))) in
+  List.iter
+    (fun level ->
+      Alcotest.(check string) "level roundtrip" s
+        (Deflate.decompress (Deflate.compress ~level s)))
+    [ Deflate.Fast; Deflate.Normal; Deflate.Best ]
+
+let test_deflate_malformed () =
+  (* Unknown mode byte *)
+  let bad = "\x05\x09garbage" in
+  match Deflate.decompress bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure on malformed input"
+
+let test_deflate_size_helper () =
+  let s = "hello hello hello hello" in
+  Alcotest.(check int) "compressed_size" (String.length (Deflate.compress s))
+    (Deflate.compressed_size s)
+
+let suite =
+  [
+    huffman_kraft_prop;
+    huffman_limit_prop;
+    huffman_roundtrip_prop;
+    ("huffman limit too small", `Quick, test_huffman_limit_too_small);
+    ("huffman skew", `Quick, test_huffman_optimality_simple);
+    ("huffman single symbol", `Quick, test_huffman_single_symbol);
+    ("huffman missing code", `Quick, test_huffman_no_code);
+    ("huffman cost_bits", `Quick, test_huffman_cost_bits);
+    lz77_roundtrip_text;
+    lz77_roundtrip_binary;
+    lz77_levels;
+    ("lz77 finds repeats", `Quick, test_lz77_finds_repeats);
+    ("lz77 long run", `Quick, test_lz77_run);
+    ("lz77 short inputs", `Quick, test_lz77_short_inputs);
+    ("lz77 bad distance", `Quick, test_lz77_expand_bad_distance);
+    deflate_roundtrip_text;
+    deflate_roundtrip_binary;
+    ("deflate empty", `Quick, test_deflate_empty);
+    ("deflate compresses text", `Quick, test_deflate_compresses_text);
+    ("deflate incompressible bounded", `Quick, test_deflate_incompressible_bounded);
+    ("deflate levels", `Quick, test_deflate_levels);
+    ("deflate malformed", `Quick, test_deflate_malformed);
+    ("deflate size helper", `Quick, test_deflate_size_helper);
+  ]

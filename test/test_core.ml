@@ -1,0 +1,621 @@
+(* Tests for Fsync_core: configuration validation, the match map, block
+   tree, group testing engine, candidate index, wire packing, and the full
+   protocol end to end. *)
+
+open Fsync_core
+module Prng = Fsync_util.Prng
+module Segments = Fsync_util.Segments
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Config ---- *)
+
+let test_config_presets_valid () =
+  List.iter
+    (fun (name, cfg) ->
+      match Config.validate cfg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" name e)
+    [
+      ("basic", Config.basic);
+      ("basic+cont", Config.with_continuation Config.basic);
+      ("tuned", Config.tuned);
+      ("grouped1", { Config.basic with verification = Config.grouped_verification 1 });
+      ("grouped3", { Config.basic with verification = Config.grouped_verification 3 });
+    ]
+
+let test_config_invalid () =
+  let check name cfg =
+    match Config.validate cfg with
+    | Ok () -> Alcotest.failf "%s should be invalid" name
+    | Error _ -> ()
+  in
+  check "start not pow2" { Config.basic with start_block = 1000 };
+  check "min > start" { Config.basic with min_global_block = 4096; start_block = 2048 };
+  check "no batches"
+    { Config.basic with
+      verification = { Config.basic.verification with batches = [] } };
+  check "cap" { Config.basic with candidate_cap = 0 }
+
+let test_config_global_bits () =
+  let bits = Config.global_bits Config.basic ~old_file_len:(1 lsl 20) in
+  Alcotest.(check int) "1MB file" (20 + 3) bits;
+  Alcotest.(check bool) "capped" true
+    (Config.global_bits Config.basic ~old_file_len:max_int <= 32)
+
+(* ---- Match_map ---- *)
+
+let test_match_map_merge () =
+  let m = Match_map.empty in
+  let m = Match_map.add m { t_off = 0; s_off = 100; len = 10 } in
+  let m = Match_map.add m { t_off = 10; s_off = 110; len = 10 } in
+  (* Contiguous in both spaces: merged into one entry. *)
+  Alcotest.(check int) "merged" 1 (Match_map.count m);
+  let m = Match_map.add m { t_off = 20; s_off = 500; len = 5 } in
+  (* Contiguous in target only: separate entries. *)
+  Alcotest.(check int) "not merged" 2 (Match_map.count m);
+  Alcotest.(check int) "covered" 25 (Match_map.covered_bytes m)
+
+let test_match_map_merge_backward () =
+  let m = Match_map.add Match_map.empty { t_off = 10; s_off = 110; len = 10 } in
+  let m = Match_map.add m { t_off = 0; s_off = 100; len = 10 } in
+  Alcotest.(check int) "merged backward" 1 (Match_map.count m);
+  match Match_map.entries m with
+  | [ e ] ->
+      Alcotest.(check int) "t_off" 0 e.t_off;
+      Alcotest.(check int) "len" 20 e.len
+  | _ -> Alcotest.fail "expected single entry"
+
+let test_match_map_overlap_rejected () =
+  let m = Match_map.add Match_map.empty { t_off = 0; s_off = 0; len = 10 } in
+  Alcotest.check_raises "overlap" (Invalid_argument "Match_map.add: overlap")
+    (fun () -> ignore (Match_map.add m { t_off = 5; s_off = 50; len = 10 }))
+
+let test_match_map_lookups () =
+  let m = Match_map.add Match_map.empty { t_off = 10; s_off = 200; len = 20 } in
+  (match Match_map.find_ending_at m 30 with
+  | Some e -> Alcotest.(check int) "ending" 10 e.t_off
+  | None -> Alcotest.fail "find_ending_at");
+  Alcotest.(check bool) "no ending" true (Match_map.find_ending_at m 29 = None);
+  (match Match_map.find_starting_at m 10 with
+  | Some e -> Alcotest.(check int) "starting s_off" 200 e.s_off
+  | None -> Alcotest.fail "find_starting_at");
+  (match Match_map.nearest m 1000 with
+  | Some e -> Alcotest.(check int) "nearest" 10 e.t_off
+  | None -> Alcotest.fail "nearest");
+  Alcotest.(check bool) "nearest empty" true (Match_map.nearest Match_map.empty 5 = None)
+
+let test_match_map_known_target () =
+  let m = Match_map.add Match_map.empty { t_off = 0; s_off = 7; len = 5 } in
+  let m = Match_map.add m { t_off = 5; s_off = 100; len = 5 } in
+  Alcotest.(check (list (pair int int))) "known merged" [ (0, 10) ]
+    (Segments.to_list (Match_map.known_target m))
+
+(* ---- Block_tree ---- *)
+
+let test_block_tree_initial () =
+  let t = Block_tree.create ~file_len:5000 ~start_block:2048 in
+  let blocks = Block_tree.active_blocks t in
+  Alcotest.(check int) "count" 3 (List.length blocks);
+  Alcotest.(check (list int)) "lens" [ 2048; 2048; 904 ]
+    (List.map (fun (b : Block_tree.block) -> b.len) blocks);
+  Alcotest.(check int) "size" 2048 (Block_tree.current_size t)
+
+let test_block_tree_small_file () =
+  (* The initial size shrinks to a power of two <= file length. *)
+  let t = Block_tree.create ~file_len:1500 ~start_block:2048 in
+  Alcotest.(check int) "size" 1024 (Block_tree.current_size t);
+  Alcotest.(check int) "blocks" 2 (List.length (Block_tree.active_blocks t))
+
+let test_block_tree_empty_file () =
+  let t = Block_tree.create ~file_len:0 ~start_block:2048 in
+  Alcotest.(check (list unit)) "no blocks" []
+    (List.map (fun _ -> ()) (Block_tree.active_blocks t))
+
+let coverage_ok t file_len =
+  (* Active (incl. confirmed) blocks partition the file. *)
+  let blocks =
+    List.sort
+      (fun (a : Block_tree.block) b -> compare a.off b.off)
+      (Block_tree.active_blocks t)
+  in
+  let rec walk pos = function
+    | [] -> pos <= file_len
+    | (b : Block_tree.block) :: rest -> b.off >= pos && walk (b.off + b.len) rest
+  in
+  walk 0 blocks
+
+let test_block_tree_split_partition () =
+  let t = Block_tree.create ~file_len:5000 ~start_block:2048 in
+  Block_tree.split t;
+  Alcotest.(check int) "size halved" 1024 (Block_tree.current_size t);
+  Alcotest.(check bool) "partition" true (coverage_ok t 5000);
+  Alcotest.(check int) "unknown bytes" 5000 (Block_tree.unknown_bytes t);
+  Block_tree.split t;
+  Alcotest.(check bool) "partition again" true (coverage_ok t 5000)
+
+let test_block_tree_confirmed_not_split () =
+  let t = Block_tree.create ~file_len:4096 ~start_block:2048 in
+  (match Block_tree.active_blocks t with
+  | b :: _ -> b.confirmed <- true
+  | [] -> Alcotest.fail "no blocks");
+  Block_tree.split t;
+  Alcotest.(check int) "only unconfirmed split" 2
+    (List.length (Block_tree.active_blocks t));
+  Alcotest.(check int) "unknown" 2048 (Block_tree.unknown_bytes t);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Block_tree.confirmed_ratio t)
+
+let test_block_tree_derive_links () =
+  let t = Block_tree.create ~file_len:4096 ~start_block:2048 in
+  List.iter (fun (b : Block_tree.block) -> b.known_bits <- 20) (Block_tree.active_blocks t);
+  Block_tree.split t;
+  let blocks = Block_tree.active_blocks t in
+  Alcotest.(check int) "four children" 4 (List.length blocks);
+  List.iteri
+    (fun i (b : Block_tree.block) ->
+      if i mod 2 = 0 then
+        Alcotest.(check bool) "left no derive" true (b.derive_from = None)
+      else begin
+        match b.derive_from with
+        | Some (_, left_id, pbits) ->
+            Alcotest.(check int) "parent bits" 20 pbits;
+            let left = Block_tree.find t left_id in
+            Alcotest.(check int) "left adjacency" b.off (left.off + left.len)
+        | None -> Alcotest.fail "right child should derive"
+      end)
+    blocks
+
+let test_block_tree_deterministic_ids () =
+  (* Two trees driven identically allocate identical ids — the property the
+     protocol relies on for id-free messages. *)
+  let t1 = Block_tree.create ~file_len:10_000 ~start_block:2048 in
+  let t2 = Block_tree.create ~file_len:10_000 ~start_block:2048 in
+  let confirm t i =
+    List.iteri
+      (fun j (b : Block_tree.block) -> if j = i then b.confirmed <- true)
+      (Block_tree.active_blocks t)
+  in
+  confirm t1 1;
+  confirm t2 1;
+  Block_tree.split t1;
+  Block_tree.split t2;
+  let ids t =
+    List.map (fun (b : Block_tree.block) -> (b.id, b.off, b.len)) (Block_tree.active_blocks t)
+  in
+  Alcotest.(check (list (triple int int int))) "identical" (ids t1) (ids t2)
+
+(* ---- Group_testing ---- *)
+
+let v_trivial = Config.trivial_verification
+
+let test_group_trivial_pass_fail () =
+  let e = Group_testing.create ~n:3 v_trivial in
+  (match Group_testing.current_batch e with
+  | Some b -> Alcotest.(check int) "individual" 1 b.group_size
+  | None -> Alcotest.fail "expected batch");
+  Alcotest.(check int) "three groups" 3 (List.length (Group_testing.groups e));
+  Group_testing.apply_results e [| true; false; true |];
+  Alcotest.(check bool) "finished" true (Group_testing.finished e);
+  Alcotest.(check (array bool)) "confirmed" [| true; false; true |]
+    (Group_testing.confirmed e)
+
+let test_group_empty () =
+  let e = Group_testing.create ~n:0 v_trivial in
+  Alcotest.(check bool) "finished immediately" true (Group_testing.finished e)
+
+let test_group_grouped_schedule () =
+  (* Schedule: weak individual filter then one strong group test. *)
+  let v = Config.grouped_verification 1 in
+  let e = Group_testing.create ~n:4 v in
+  Group_testing.apply_results e [| true; true; false; true |];
+  (* Candidate 2 dead (no retry in schedule 1); others uncertain with 6 bits. *)
+  Alcotest.(check bool) "not finished" false (Group_testing.finished e);
+  let gs = Group_testing.groups e in
+  Alcotest.(check int) "one group of survivors" 1 (List.length gs);
+  Alcotest.(check (list (list int))) "members" [ [ 0; 1; 3 ] ] gs;
+  Group_testing.apply_results e [| true |];
+  Alcotest.(check (array bool)) "confirmed" [| true; true; false; true |]
+    (Group_testing.confirmed e);
+  Alcotest.(check bool) "finished" true (Group_testing.finished e)
+
+let test_group_failed_group_salvage () =
+  (* Schedule 2 ends with an individual salvage batch. *)
+  let v = Config.grouped_verification 2 in
+  let e = Group_testing.create ~n:3 v in
+  Group_testing.apply_results e [| true; true; true |];   (* batch 1: individuals pass *)
+  Group_testing.apply_results e [| false |];              (* batch 2: the group fails *)
+  Alcotest.(check bool) "still unfinished" false (Group_testing.finished e);
+  let gs = Group_testing.groups e in
+  Alcotest.(check int) "salvage individuals" 3 (List.length gs);
+  Group_testing.apply_results e [| true; false; true |];
+  Alcotest.(check (array bool)) "salvaged" [| true; false; true |]
+    (Group_testing.confirmed e)
+
+let test_group_retry_flow () =
+  let v =
+    {
+      Config.batches =
+        [ { group_size = 1; bits = 5 }; { group_size = 1; bits = 16 } ];
+      confirm_bits = 14;
+      retry_alternates = true;
+    }
+  in
+  let e = Group_testing.create ~n:2 v in
+  Group_testing.apply_results e [| false; true |];
+  (* Candidate 0 awaits the client's retry decision. *)
+  Alcotest.(check (list int)) "pending" [ 0 ] (Group_testing.pending_retries e);
+  Alcotest.(check bool) "batch blocked" true (Group_testing.current_batch e = None);
+  Group_testing.resolve_retries e [| true |];
+  (* Next batch: candidate 0 retried (reset), candidate 1 has 5 bits. *)
+  Group_testing.apply_results e [| true; true |];
+  Alcotest.(check (array bool)) "both confirmed" [| true; true |]
+    (Group_testing.confirmed e)
+
+let test_group_retry_declined () =
+  let v =
+    {
+      Config.batches =
+        [ { group_size = 1; bits = 5 }; { group_size = 1; bits = 16 } ];
+      confirm_bits = 14;
+      retry_alternates = true;
+    }
+  in
+  let e = Group_testing.create ~n:1 v in
+  Group_testing.apply_results e [| false |];
+  Group_testing.resolve_retries e [| false |];
+  Alcotest.(check bool) "dead" true (Group_testing.status e 0 = Group_testing.Dead);
+  Alcotest.(check bool) "finished" true (Group_testing.finished e)
+
+let test_group_weak_pass_insufficient () =
+  (* Passing only a 5-bit test never reaches confirm_bits = 14. *)
+  let v =
+    { Config.batches = [ { group_size = 1; bits = 5 } ]; confirm_bits = 14;
+      retry_alternates = false }
+  in
+  let e = Group_testing.create ~n:1 v in
+  Group_testing.apply_results e [| true |];
+  Alcotest.(check (array bool)) "not confirmed" [| false |] (Group_testing.confirmed e)
+
+let test_group_arity_mismatch () =
+  let e = Group_testing.create ~n:2 v_trivial in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Group_testing.apply_results: arity mismatch") (fun () ->
+      Group_testing.apply_results e [| true |])
+
+(* ---- Candidates ---- *)
+
+let candidates_match_naive =
+  qtest "candidates: index agrees with naive scan"
+    QCheck2.Gen.(pair (string_size ~gen:(char_range 'a' 'd') (int_range 10 300)) (int_range 2 16))
+    (fun (s, window) ->
+      let bits = 12 in
+      let idx = Candidates.build s ~window ~bits in
+      let module P = Fsync_hash.Poly_hash in
+      let naive key =
+        let acc = ref [] in
+        for p = String.length s - window downto 0 do
+          if P.truncate (P.hash_sub s ~pos:p ~len:window) ~bits = key then
+            acc := p :: !acc
+        done;
+        !acc
+      in
+      (* Probe with the true hash of a few windows plus a random key. *)
+      let probes =
+        [ 0; (String.length s - window) / 2; String.length s - window ]
+        |> List.filter (fun p -> p >= 0 && p + window <= String.length s)
+        |> List.map (fun p -> P.truncate (P.hash_sub s ~pos:p ~len:window) ~bits)
+      in
+      List.for_all (fun key -> Candidates.lookup idx key = naive key) (0xabc :: probes))
+
+let test_candidates_empty () =
+  let idx = Candidates.build "abc" ~window:10 ~bits:12 in
+  Alcotest.(check (list int)) "no positions" [] (Candidates.lookup idx 5)
+
+let test_candidates_select () =
+  Alcotest.(check (list int)) "cap" [ 1; 2 ]
+    (Candidates.select ~cap:2 ~predicted:None [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "nearest first" [ 99; 5 ]
+    (Candidates.select ~cap:2 ~predicted:(Some 100) [ 5; 99; 300 ])
+
+(* ---- Wire ---- *)
+
+let test_wire_roundtrip () =
+  let msg =
+    Wire.pack (fun w ->
+        Wire.put_bitmap w [ true; false; true ];
+        Wire.put_hash w 0x3ff ~width:10;
+        Wire.put_varint w 300;
+        Wire.put_string w "payload")
+  in
+  let r = Wire.unpack msg in
+  Alcotest.(check (array bool)) "bitmap" [| true; false; true |] (Wire.get_bitmap r ~n:3);
+  Alcotest.(check int) "hash" 0x3ff (Wire.get_hash r ~width:10);
+  Alcotest.(check int) "varint" 300 (Wire.get_varint r);
+  Alcotest.(check string) "string" "payload" (Wire.get_string r)
+
+let test_wire_bad_flag () =
+  Alcotest.check_raises "bad flag" (Invalid_argument "Wire.unpack: bad flag")
+    (fun () -> ignore (Wire.unpack ~compress:true "\002zzz"));
+  Alcotest.check_raises "empty" (Invalid_argument "Wire.unpack: empty message")
+    (fun () -> ignore (Wire.unpack ~compress:true ""))
+
+let test_wire_compressed () =
+  let msg =
+    Wire.pack ~compress:true (fun w ->
+        for _ = 1 to 1000 do
+          Wire.put_bitmap w [ true; true; false; false ]
+        done)
+  in
+  let r = Wire.unpack ~compress:true msg in
+  Alcotest.(check (array bool)) "first bits" [| true; true; false; false |]
+    (Wire.get_bitmap r ~n:4);
+  Alcotest.(check bool) "compressed smaller" true (String.length msg < 450)
+
+(* ---- Protocol end-to-end ---- *)
+
+let mk_source seed n_lines =
+  let rng = Prng.create (Int64.of_int seed) in
+  Fsync_workload.Text_gen.c_like rng ~lines:n_lines
+
+let mutate seed profile s =
+  let rng = Prng.create (Int64.of_int (seed + 77)) in
+  Fsync_workload.Edit_model.mutate rng ~profile
+    ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+    s
+
+let configs =
+  [
+    ("basic", Config.basic);
+    ("basic-nodecomp", { Config.basic with decomposable = false });
+    ("cont", Config.with_continuation Config.basic);
+    ("tuned", Config.tuned);
+    ("grouped1", { Config.basic with verification = Config.grouped_verification 1 });
+    ("grouped3",
+     Config.with_continuation
+       { Config.basic with verification = Config.grouped_verification 3 });
+    ("local",
+     { (Config.with_continuation Config.basic) with
+       local = { local_enabled = true; local_bits = 10; local_window = 32; local_range = 2048 } });
+    ("compressed-messages", { Config.basic with compress_messages = true });
+    ("omit-miss",
+     { (Config.with_continuation Config.basic) with omit_global_after_cont_miss = true });
+  ]
+
+let test_protocol_reconstructs_all_configs () =
+  let old_file = mk_source 1 800 in
+  let new_file = mutate 1 Fsync_workload.Edit_model.medium old_file in
+  List.iter
+    (fun (name, cfg) ->
+      let r = Protocol.run ~config:cfg ~old_file new_file in
+      if not (String.equal r.reconstructed new_file) then
+        Alcotest.failf "%s failed to reconstruct" name)
+    configs
+
+let protocol_random_edits =
+  qtest ~count:25 "protocol: reconstructs under random edits"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, profile_i) ->
+      let profile =
+        List.nth
+          [ Fsync_workload.Edit_model.light;
+            Fsync_workload.Edit_model.medium;
+            Fsync_workload.Edit_model.heavy ]
+          profile_i
+      in
+      let old_file = mk_source seed 300 in
+      let new_file = mutate seed profile old_file in
+      let r = Protocol.run ~config:Config.tuned ~old_file new_file in
+      String.equal r.reconstructed new_file)
+
+let test_protocol_edge_files () =
+  List.iter
+    (fun (o, n) ->
+      let r = Protocol.run ~config:Config.tuned ~old_file:o n in
+      Alcotest.(check bool) "edge" true (String.equal r.reconstructed n))
+    [ ("", ""); ("abc", ""); ("", "abc"); ("same", "same");
+      ("tiny", String.make 100_000 'z');
+      (String.make 100_000 'z', "tiny") ]
+
+let test_protocol_unchanged_shortcut () =
+  let f = mk_source 3 500 in
+  let r = Protocol.run ~config:Config.tuned ~old_file:f f in
+  Alcotest.(check bool) "unchanged" true r.report.unchanged;
+  (* Only the fingerprint exchange is paid. *)
+  Alcotest.(check bool) "tiny cost" true (Protocol.total_bytes r.report < 64);
+  Alcotest.(check int) "no rounds" 0 r.report.rounds
+
+let test_protocol_beats_rsync () =
+  let old_file = mk_source 4 2500 in
+  let new_file = mutate 4 Fsync_workload.Edit_model.light old_file in
+  let ours =
+    Protocol.total_bytes
+      (Protocol.run ~config:Config.tuned ~old_file new_file).report
+  in
+  let rsync =
+    Fsync_rsync.Rsync.total (Fsync_rsync.Rsync.cost_only ~old_file new_file)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ours(%d) < rsync(%d)" ours rsync)
+    true (ours < rsync)
+
+let test_protocol_decomposable_saves () =
+  let old_file = mk_source 5 2000 in
+  let new_file = mutate 5 Fsync_workload.Edit_model.medium old_file in
+  let run cfg = (Protocol.run ~config:cfg ~old_file new_file).report in
+  let with_d = run Config.basic in
+  let without = run { Config.basic with decomposable = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "decomposable map_s2c %d <= %d" with_d.map_s2c without.map_s2c)
+    true
+    (with_d.map_s2c <= without.map_s2c)
+
+let test_protocol_continuation_improves_coverage () =
+  let old_file = mk_source 6 2000 in
+  let new_file = mutate 6 Fsync_workload.Edit_model.medium old_file in
+  let run cfg = (Protocol.run ~config:cfg ~old_file new_file).report in
+  let base = run Config.basic in
+  let cont = run (Config.with_continuation Config.basic) in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %d >= %d" cont.covered_bytes base.covered_bytes)
+    true
+    (cont.covered_bytes >= base.covered_bytes)
+
+let test_protocol_report_consistency () =
+  let old_file = mk_source 7 600 in
+  let new_file = mutate 7 Fsync_workload.Edit_model.medium old_file in
+  let r = Protocol.run ~config:Config.tuned ~old_file new_file in
+  let rep = r.report in
+  Alcotest.(check int) "c2s components"
+    rep.total_c2s
+    (rep.header_c2s + rep.map_c2s);
+  Alcotest.(check int) "s2c components"
+    rep.total_s2c
+    (rep.header_s2c + rep.map_s2c + rep.delta_bytes + rep.fallback_bytes);
+  Alcotest.(check bool) "covered <= file" true
+    (rep.covered_bytes <= String.length new_file);
+  Alcotest.(check bool) "roundtrips >= rounds" true (rep.roundtrips >= rep.rounds)
+
+let test_protocol_fallback_on_collisions () =
+  (* A pathological configuration (1-bit verification accepted as proof)
+     confirms false matches; the fingerprint check must catch it and fall
+     back to a full transfer, still reconstructing exactly. *)
+  let cfg =
+    {
+      Config.basic with
+      global_slack_bits = 0;
+      candidate_cap = 1;
+      verification =
+        { batches = [ { group_size = 1; bits = 1 } ]; confirm_bits = 1;
+          retry_alternates = false };
+    }
+  in
+  let rng = Prng.create 99L in
+  let old_file = Bytes.to_string (Prng.bytes rng 40_000) in
+  let new_file = Bytes.to_string (Prng.bytes rng 40_000) in
+  let r = Protocol.run ~config:cfg ~old_file new_file in
+  Alcotest.(check bool) "reconstructed anyway" true (String.equal r.reconstructed new_file)
+
+let test_protocol_channel_reuse () =
+  let ch = Fsync_net.Channel.create () in
+  let old_file = mk_source 8 200 in
+  let new_file = mutate 8 Fsync_workload.Edit_model.light old_file in
+  let r = Protocol.run ~channel:ch ~config:Config.basic ~old_file new_file in
+  Alcotest.(check int) "channel total = report total"
+    (Fsync_net.Channel.total_bytes ch)
+    (Protocol.total_bytes r.report);
+  Alcotest.(check bool) "transcript labelled" true
+    (List.exists (fun (_, l, _) -> l = "delta") (Fsync_net.Channel.transcript ch))
+
+let test_protocol_invalid_config () =
+  Alcotest.check_raises "invalid config"
+    (Invalid_argument "Protocol.run: start_block 1000 not a power of two")
+    (fun () ->
+      ignore
+        (Protocol.run
+           ~config:{ Config.basic with start_block = 1000 }
+           ~old_file:"a" "b"))
+
+let test_protocol_deterministic () =
+  (* Two runs over identical inputs produce byte-identical transcripts:
+     nothing in the protocol depends on ambient randomness. *)
+  let old_file = mk_source 10 400 in
+  let new_file = mutate 10 Fsync_workload.Edit_model.medium old_file in
+  let transcript () =
+    let ch = Fsync_net.Channel.create () in
+    ignore (Protocol.run ~channel:ch ~config:Config.tuned ~old_file new_file);
+    List.map (fun (d, l, s) -> (d = Fsync_net.Channel.Client_to_server, l, s))
+      (Fsync_net.Channel.transcript ch)
+  in
+  Alcotest.(check bool) "identical transcripts" true (transcript () = transcript ())
+
+let test_protocol_swapped_roles () =
+  (* Syncing new->old also works (the protocol is direction-agnostic about
+     which version is "newer"). *)
+  let a = mk_source 11 500 in
+  let b = mutate 11 Fsync_workload.Edit_model.medium a in
+  let r1 = Protocol.run ~config:Config.tuned ~old_file:a b in
+  let r2 = Protocol.run ~config:Config.tuned ~old_file:b a in
+  Alcotest.(check bool) "forward" true (String.equal r1.reconstructed b);
+  Alcotest.(check bool) "backward" true (String.equal r2.reconstructed a)
+
+let test_protocol_binary_safe () =
+  (* Arbitrary bytes, including NULs and 0xFF runs. *)
+  let rng = Prng.create 12L in
+  let a = Bytes.to_string (Prng.bytes rng 50_000) in
+  let b =
+    String.sub a 0 20_000 ^ String.make 500 '\000'
+    ^ String.sub a 20_000 30_000
+  in
+  let r = Protocol.run ~config:Config.tuned ~old_file:a b in
+  Alcotest.(check bool) "binary reconstructs" true (String.equal r.reconstructed b)
+
+let test_protocol_grows_and_shrinks () =
+  let base = mk_source 13 300 in
+  let doubled = base ^ base in
+  let r1 = Protocol.run ~config:Config.tuned ~old_file:base doubled in
+  Alcotest.(check bool) "grow" true (String.equal r1.reconstructed doubled);
+  (* The doubled file is fully constructible from the old one: cheap. *)
+  Alcotest.(check bool) "grow is cheap" true
+    (Protocol.total_bytes r1.report * 5 < String.length doubled);
+  let r2 = Protocol.run ~config:Config.tuned ~old_file:doubled base in
+  Alcotest.(check bool) "shrink" true (String.equal r2.reconstructed base);
+  Alcotest.(check bool) "shrink is cheap" true
+    (Protocol.total_bytes r2.report * 5 < String.length base)
+
+let test_sync_facade () =
+  let old_file = mk_source 9 300 in
+  let new_file = mutate 9 Fsync_workload.Edit_model.light old_file in
+  let r = Sync.file ~old_file new_file in
+  Alcotest.(check bool) "sync reconstructs" true (String.equal r.reconstructed new_file);
+  Alcotest.(check int) "cost consistent" (Protocol.total_bytes r.report)
+    (Sync.cost ~old_file new_file)
+
+let suite =
+  [
+    ("config presets valid", `Quick, test_config_presets_valid);
+    ("config invalid", `Quick, test_config_invalid);
+    ("config global bits", `Quick, test_config_global_bits);
+    ("match map merge", `Quick, test_match_map_merge);
+    ("match map merge backward", `Quick, test_match_map_merge_backward);
+    ("match map overlap", `Quick, test_match_map_overlap_rejected);
+    ("match map lookups", `Quick, test_match_map_lookups);
+    ("match map known target", `Quick, test_match_map_known_target);
+    ("block tree initial", `Quick, test_block_tree_initial);
+    ("block tree small file", `Quick, test_block_tree_small_file);
+    ("block tree empty file", `Quick, test_block_tree_empty_file);
+    ("block tree split partition", `Quick, test_block_tree_split_partition);
+    ("block tree confirmed not split", `Quick, test_block_tree_confirmed_not_split);
+    ("block tree derive links", `Quick, test_block_tree_derive_links);
+    ("block tree deterministic ids", `Quick, test_block_tree_deterministic_ids);
+    ("group trivial", `Quick, test_group_trivial_pass_fail);
+    ("group empty", `Quick, test_group_empty);
+    ("group grouped schedule", `Quick, test_group_grouped_schedule);
+    ("group salvage", `Quick, test_group_failed_group_salvage);
+    ("group retry flow", `Quick, test_group_retry_flow);
+    ("group retry declined", `Quick, test_group_retry_declined);
+    ("group weak pass insufficient", `Quick, test_group_weak_pass_insufficient);
+    ("group arity", `Quick, test_group_arity_mismatch);
+    candidates_match_naive;
+    ("candidates empty", `Quick, test_candidates_empty);
+    ("candidates select", `Quick, test_candidates_select);
+    ("wire roundtrip", `Quick, test_wire_roundtrip);
+    ("wire compressed", `Quick, test_wire_compressed);
+    ("wire bad flag", `Quick, test_wire_bad_flag);
+    ("protocol all configs", `Slow, test_protocol_reconstructs_all_configs);
+    protocol_random_edits;
+    ("protocol edges", `Quick, test_protocol_edge_files);
+    ("protocol unchanged", `Quick, test_protocol_unchanged_shortcut);
+    ("protocol beats rsync", `Slow, test_protocol_beats_rsync);
+    ("protocol decomposable saves", `Slow, test_protocol_decomposable_saves);
+    ("protocol continuation coverage", `Slow, test_protocol_continuation_improves_coverage);
+    ("protocol report consistency", `Quick, test_protocol_report_consistency);
+    ("protocol fallback on collisions", `Quick, test_protocol_fallback_on_collisions);
+    ("protocol channel reuse", `Quick, test_protocol_channel_reuse);
+    ("protocol invalid config", `Quick, test_protocol_invalid_config);
+    ("protocol deterministic", `Quick, test_protocol_deterministic);
+    ("protocol swapped roles", `Quick, test_protocol_swapped_roles);
+    ("protocol binary safe", `Quick, test_protocol_binary_safe);
+    ("protocol grows and shrinks", `Quick, test_protocol_grows_and_shrinks);
+    ("sync facade", `Quick, test_sync_facade);
+  ]

@@ -1,0 +1,148 @@
+(* Tests for Fsync_delta: instruction semantics and end-to-end delta
+   encode/decode against both profiles. *)
+
+open Fsync_delta
+module Prng = Fsync_util.Prng
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Generator of (reference, similar-target) pairs: the target reuses chunks
+   of the reference with local perturbations. *)
+let similar_pair_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    return
+      (let rng = Prng.create (Int64.of_int seed) in
+       let buf = Buffer.create 1024 in
+       for i = 0 to 60 + Prng.int rng 100 do
+         Buffer.add_string buf
+           (Printf.sprintf "record %d field %d payload %d\n" i (Prng.int rng 20)
+              (Prng.int rng 1000))
+       done;
+       let reference = Buffer.contents buf in
+       let out = Buffer.create 1024 in
+       let n = String.length reference in
+       let pos = ref 0 in
+       while !pos < n do
+         let len = min (n - !pos) (50 + Prng.int rng 400) in
+         if Prng.bernoulli rng 0.75 then
+           Buffer.add_substring out reference !pos len
+         else begin
+           Buffer.add_string out
+             (Printf.sprintf "<inserted %d>" (Prng.int rng 10000));
+           if Prng.bernoulli rng 0.5 then Buffer.add_substring out reference !pos len
+         end;
+         pos := !pos + len
+       done;
+       (reference, Buffer.contents out)))
+
+let delta_roundtrip profile =
+  qtest
+    (Printf.sprintf "delta: roundtrip (%s)"
+       (match profile with Delta.Zdelta -> "zdelta" | Delta.Vcdiff -> "vcdiff"))
+    similar_pair_gen
+    (fun (reference, target) ->
+      Delta.decode ~reference (Delta.encode ~profile ~reference target) = target)
+
+let delta_random_binary =
+  qtest "delta: roundtrip on unrelated binary"
+    QCheck2.Gen.(pair (string_size ~gen:char (int_bound 2000))
+                   (string_size ~gen:char (int_bound 2000)))
+    (fun (reference, target) ->
+      Delta.decode ~reference (Delta.encode ~reference target) = target)
+
+let test_delta_edges () =
+  List.iter
+    (fun (r, t) ->
+      Alcotest.(check string)
+        (Printf.sprintf "edge %S->%S" r t)
+        t
+        (Delta.decode ~reference:r (Delta.encode ~reference:r t)))
+    [ ("", ""); ("abc", ""); ("", "abc"); ("same", "same"); ("ab", "ababababab") ]
+
+let test_delta_identical_is_tiny () =
+  let s = String.concat "" (List.init 300 (fun i -> Printf.sprintf "line %d\n" i)) in
+  let d = Delta.encode ~reference:s s in
+  Alcotest.(check bool) "tiny delta" true (String.length d < 64)
+
+let test_delta_beats_compression_on_similar () =
+  let rng = Prng.create 5L in
+  let buf = Buffer.create 0 in
+  for i = 0 to 2000 do
+    Buffer.add_string buf (Printf.sprintf "item %d value %Ld\n" i (Prng.next64 rng))
+  done;
+  let v1 = Buffer.contents buf in
+  let v2 = String.sub v1 0 2000 ^ "CHANGED" ^ String.sub v1 2010 (String.length v1 - 2010) in
+  let delta_size = Delta.encoded_size ~reference:v1 v2 in
+  let gzip_size = Fsync_compress.Deflate.compressed_size v2 in
+  Alcotest.(check bool) "delta much smaller than gzip" true (delta_size * 5 < gzip_size)
+
+let test_zdelta_not_worse_than_vcdiff () =
+  let rng = Prng.create 17L in
+  let buf = Buffer.create 0 in
+  for i = 0 to 3000 do
+    Buffer.add_string buf (Printf.sprintf "func_%d(%d);\n" (i mod 61) (i mod 7))
+  done;
+  let v1 = Buffer.contents buf in
+  let v2 =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.medium
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      v1
+  in
+  let z = Delta.encoded_size ~profile:Delta.Zdelta ~reference:v1 v2 in
+  let v = Delta.encoded_size ~profile:Delta.Vcdiff ~reference:v1 v2 in
+  Alcotest.(check bool) (Printf.sprintf "zdelta(%d) <= vcdiff(%d) * 1.1" z v) true
+    (float_of_int z <= float_of_int v *. 1.1)
+
+let test_instructions_apply () =
+  let reference = "0123456789" in
+  let instrs =
+    [ Delta.Copy_ref { off = 0; len = 5 };
+      Delta.Insert "XY";
+      Delta.Copy_tgt { off = 0; len = 3 };
+      Delta.Copy_ref { off = 8; len = 2 } ]
+  in
+  Alcotest.(check string) "apply" "01234XY01289" (Delta.apply ~reference instrs)
+
+let test_instructions_out_of_range () =
+  Alcotest.check_raises "ref oob"
+    (Invalid_argument "Delta.apply: reference copy out of range") (fun () ->
+      ignore (Delta.apply ~reference:"abc" [ Delta.Copy_ref { off = 1; len = 5 } ]));
+  Alcotest.check_raises "tgt oob"
+    (Invalid_argument "Delta.apply: target copy out of range") (fun () ->
+      ignore (Delta.apply ~reference:"abc" [ Delta.Copy_tgt { off = 0; len = 1 } ]))
+
+let test_instructions_expand_target () =
+  let reference = "the quick brown fox jumps over the lazy dog" in
+  let target = reference ^ " -- " ^ reference in
+  let instrs = Delta.instructions ~reference target in
+  Alcotest.(check string) "instructions apply" target (Delta.apply ~reference instrs);
+  (* Should be dominated by copies, not literals. *)
+  let literal_bytes =
+    List.fold_left
+      (fun acc i ->
+        match i with Delta.Insert s -> acc + String.length s | _ -> acc)
+      0 instrs
+  in
+  Alcotest.(check bool) "few literals" true (literal_bytes < 12)
+
+let test_delta_malformed () =
+  match Delta.decode ~reference:"abc" "not a delta" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected malformed-delta failure"
+
+let suite =
+  [
+    delta_roundtrip Delta.Zdelta;
+    delta_roundtrip Delta.Vcdiff;
+    delta_random_binary;
+    ("delta edges", `Quick, test_delta_edges);
+    ("delta identical tiny", `Quick, test_delta_identical_is_tiny);
+    ("delta beats gzip on similar", `Quick, test_delta_beats_compression_on_similar);
+    ("zdelta <= vcdiff", `Quick, test_zdelta_not_worse_than_vcdiff);
+    ("instructions apply", `Quick, test_instructions_apply);
+    ("instructions out of range", `Quick, test_instructions_out_of_range);
+    ("instructions mostly copies", `Quick, test_instructions_expand_target);
+    ("delta malformed", `Quick, test_delta_malformed);
+  ]

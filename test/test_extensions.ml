@@ -1,0 +1,503 @@
+(* Tests for the extension modules: verification planner, liar search,
+   in-place reconstruction, adaptive configuration, and content-defined
+   chunking. *)
+
+module Prng = Fsync_util.Prng
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Verification_planner ---- *)
+
+module VP = Fsync_core.Verification_planner
+
+let test_planner_trivial_cost () =
+  let o = VP.expected_cost ~p_genuine:0.9 ~n:32 Fsync_core.Config.trivial_verification in
+  Alcotest.(check (float 0.01)) "exactly 16 bits" 16.0 o.bits_per_candidate;
+  Alcotest.(check (float 0.001)) "full recall" 1.0 o.confirmed_genuine;
+  Alcotest.(check (float 0.01)) "one trip" 1.0 o.roundtrips
+
+let test_planner_grouped_cheaper () =
+  let trivial =
+    VP.expected_cost ~p_genuine:0.9 ~n:64 Fsync_core.Config.trivial_verification
+  in
+  let grouped =
+    VP.expected_cost ~p_genuine:0.9 ~n:64 (Fsync_core.Config.grouped_verification 2)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "grouped %.1f < trivial %.1f" grouped.bits_per_candidate
+       trivial.bits_per_candidate)
+    true
+    (grouped.bits_per_candidate < trivial.bits_per_candidate);
+  Alcotest.(check bool) "grouped keeps recall" true (grouped.confirmed_genuine > 0.98)
+
+let test_planner_false_confirms_low () =
+  List.iter
+    (fun v ->
+      let o = VP.expected_cost ~p_genuine:0.5 ~n:64 v in
+      Alcotest.(check bool) "few false confirms" true (o.false_confirms < 0.01))
+    VP.menu
+
+let test_planner_recommend () =
+  let v, o = VP.recommend ~p_genuine:0.9 ~n:64 () in
+  Alcotest.(check bool) "recall constraint" true (o.confirmed_genuine >= 0.98);
+  Alcotest.(check bool) "beats trivial" true (o.bits_per_candidate < 16.0);
+  Alcotest.(check bool) "schedule nonempty" true (v.batches <> [])
+
+let test_planner_invalid () =
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Verification_planner.expected_cost: p_genuine out of [0,1]")
+    (fun () ->
+      ignore
+        (VP.expected_cost ~p_genuine:1.5 ~n:4 Fsync_core.Config.trivial_verification));
+  Alcotest.check_raises "bad n"
+    (Invalid_argument "Verification_planner.expected_cost: n <= 0") (fun () ->
+      ignore
+        (VP.expected_cost ~p_genuine:0.5 ~n:0 Fsync_core.Config.trivial_verification))
+
+(* ---- Liar_search ---- *)
+
+module LS = Fsync_core.Liar_search
+
+let test_liar_no_lies_is_binary_search () =
+  (* With 30-bit hashes lies are essentially impossible: the optimistic
+     strategy needs exactly ceil(log2 257) = 9 comparisons and never errs. *)
+  let r = LS.simulate LS.Optimistic ~lie_bits:20 ~verify_bits:16 ~max_extent:256 in
+  Alcotest.(check (float 0.6)) "~log2(257) queries" 8.5 r.avg_queries;
+  Alcotest.(check (float 0.01)) "no errors" 0.0 r.error_rate
+
+let test_liar_unverified_errs () =
+  let r = LS.simulate LS.Optimistic ~lie_bits:2 ~verify_bits:16 ~max_extent:256 in
+  Alcotest.(check bool) (Printf.sprintf "errors %.3f" r.error_rate) true
+    (r.error_rate > 0.3)
+
+let test_liar_halving_reliable () =
+  let r = LS.simulate LS.Halving ~lie_bits:4 ~verify_bits:16 ~max_extent:256 in
+  Alcotest.(check bool) "reliable" true (r.error_rate < 0.01)
+
+let test_liar_halving_beats_verify_each_at_4bits () =
+  (* The design point behind the 4-bit continuation hash default. *)
+  let h = LS.simulate LS.Halving ~lie_bits:4 ~verify_bits:16 ~max_extent:256 in
+  let v = LS.simulate LS.Verify_each ~lie_bits:4 ~verify_bits:16 ~max_extent:256 in
+  Alcotest.(check bool)
+    (Printf.sprintf "halving %.1f < verify-each %.1f" h.avg_query_bits
+       v.avg_query_bits)
+    true
+    (h.avg_query_bits < v.avg_query_bits)
+
+let test_liar_invalid () =
+  Alcotest.check_raises "bad params"
+    (Invalid_argument "Liar_search.simulate: non-positive parameter") (fun () ->
+      ignore (LS.simulate LS.Halving ~lie_bits:0 ~verify_bits:16 ~max_extent:10))
+
+(* ---- In_place ---- *)
+
+module Rsync = Fsync_rsync.Rsync
+module Signature = Fsync_rsync.Signature
+module Matcher = Fsync_rsync.Matcher
+module Token = Fsync_rsync.Token
+module In_place = Fsync_rsync.In_place
+
+let lines_file seed n =
+  let rng = Prng.create (Int64.of_int seed) in
+  let buf = Buffer.create (n * 20) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "line %04d salt %d content abcdef\n" i (Prng.int rng 1000))
+  done;
+  Buffer.contents buf
+
+let in_place_case ~block_size old_file new_file =
+  let sg = Signature.create ~block_size old_file in
+  let ops = Matcher.run sg ~new_file in
+  let expected = Token.apply sg ~old_file ops in
+  let via_plan, _ = In_place.plan sg ~old_file ops in
+  let planned = Token.apply sg ~old_file via_plan in
+  let direct, stats = In_place.apply sg ~old_file ops in
+  Alcotest.(check string) "plan preserves semantics" expected planned;
+  Alcotest.(check string) "in-place apply" expected direct;
+  stats
+
+let test_in_place_simple_edit () =
+  let old_file = lines_file 1 300 in
+  let new_file = "PREFIX-" ^ old_file in
+  let stats = in_place_case ~block_size:256 old_file new_file in
+  Alcotest.(check bool) "few ops" true (stats.ops_total > 0)
+
+let test_in_place_swap_cycle () =
+  (* Swapping two halves forces a dependency cycle: each copy's source is
+     the other's target. *)
+  let a = String.concat "" (List.init 16 (fun i -> Printf.sprintf "A%06d!" i)) in
+  let b = String.concat "" (List.init 16 (fun i -> Printf.sprintf "B%06d?" i)) in
+  let old_file = a ^ b and new_file = b ^ a in
+  let stats = in_place_case ~block_size:(String.length a) old_file new_file in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycle broken (%d)" stats.cycles_broken)
+    true (stats.cycles_broken >= 1);
+  Alcotest.(check bool) "extra literal accounted" true (stats.extra_literal_bytes > 0)
+
+let test_in_place_identity () =
+  let f = lines_file 2 200 in
+  let stats = in_place_case ~block_size:128 f f in
+  Alcotest.(check int) "no cycles on identity" 0 stats.cycles_broken
+
+let in_place_random =
+  qtest ~count:40 "in-place: reconstructs under random edits"
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 32 500))
+    (fun (seed, block_size) ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let old_file = lines_file seed 120 in
+      let new_file =
+        Fsync_workload.Edit_model.mutate rng
+          ~profile:Fsync_workload.Edit_model.heavy
+          ~gen_text:(fun rng n ->
+            String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+          old_file
+      in
+      let sg = Signature.create ~block_size old_file in
+      let ops = Matcher.run sg ~new_file in
+      let direct, _ = In_place.apply sg ~old_file ops in
+      String.equal direct (Token.apply sg ~old_file ops))
+
+(* ---- Adaptive ---- *)
+
+module Adaptive = Fsync_core.Adaptive
+
+let test_adaptive_identical () =
+  let f = lines_file 3 2000 in
+  let pr = Adaptive.probe ~old_file:f f in
+  Alcotest.(check bool) (Printf.sprintf "similarity %.2f" pr.similarity) true
+    (pr.similarity > 0.9);
+  Alcotest.(check bool) "probe cost small" true (pr.probe_s2c < 200)
+
+let test_adaptive_unrelated () =
+  let rng = Prng.create 4L in
+  let a = Bytes.to_string (Prng.bytes rng 100_000) in
+  let b = Bytes.to_string (Prng.bytes rng 100_000) in
+  let pr = Adaptive.probe ~old_file:a b in
+  Alcotest.(check bool) (Printf.sprintf "similarity %.2f" pr.similarity) true
+    (pr.similarity < 0.1);
+  (* Chosen config skips deep recursion. *)
+  Alcotest.(check bool) "shallow" true (pr.chosen.min_global_block >= 512)
+
+let test_adaptive_sync_reconstructs () =
+  List.iter
+    (fun (o, n) ->
+      let r, _ = Adaptive.sync ~old_file:o n in
+      Alcotest.(check bool) "reconstructs" true (String.equal r.reconstructed n))
+    [
+      (lines_file 5 500, lines_file 5 500);
+      (lines_file 6 500, lines_file 7 500);
+      ("", "abc");
+      ("tiny", lines_file 8 100);
+    ]
+
+let test_adaptive_config_valid () =
+  List.iter
+    (fun sim ->
+      let chosen, _ =
+        (* internal choose is not exposed; probe against crafted pairs *)
+        let f = lines_file 9 1000 in
+        let g = if sim then f else Bytes.to_string (Prng.bytes (Prng.create 9L) 50_000) in
+        let pr = Adaptive.probe ~old_file:f g in
+        (pr.chosen, pr.rationale)
+      in
+      match Fsync_core.Config.validate chosen with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid adaptive config: %s" e)
+    [ true; false ]
+
+(* ---- Chunker / Lbfs_sync ---- *)
+
+module Chunker = Fsync_cdc.Chunker
+module Lbfs = Fsync_cdc.Lbfs_sync
+
+let test_chunker_covers () =
+  let rng = Prng.create 10L in
+  let s = Fsync_workload.Text_gen.c_like rng ~lines:2000 in
+  let cs = Chunker.chunks s in
+  let total = List.fold_left (fun acc (c : Chunker.chunk) -> acc + c.len) 0 cs in
+  Alcotest.(check int) "covers input" (String.length s) total;
+  let rec contiguous pos = function
+    | [] -> true
+    | (c : Chunker.chunk) :: rest -> c.off = pos && contiguous (pos + c.len) rest
+  in
+  Alcotest.(check bool) "contiguous" true (contiguous 0 cs)
+
+let test_chunker_bounds () =
+  let rng = Prng.create 11L in
+  let s = Bytes.to_string (Prng.bytes rng 200_000) in
+  let params = Chunker.default_params in
+  let cs = Chunker.chunks ~params s in
+  List.iteri
+    (fun i (c : Chunker.chunk) ->
+      if i < List.length cs - 1 then begin
+        if c.len < params.min_size then Alcotest.fail "chunk below min";
+        if c.len > params.max_size then Alcotest.fail "chunk above max"
+      end)
+    cs;
+  Alcotest.(check bool) "plausible count" true
+    (List.length cs > 40 && List.length cs < 1000)
+
+let test_chunker_shift_resistance () =
+  (* Insert a byte near the front: almost all chunk boundaries survive. *)
+  let rng = Prng.create 12L in
+  let s = Bytes.to_string (Prng.bytes rng 100_000) in
+  let shifted = "X" ^ s in
+  let b1 = Chunker.boundaries s in
+  let b2 = Chunker.boundaries shifted in
+  let set2 = List.fold_left (fun acc b -> b :: acc) [] b2 in
+  let survived =
+    List.length (List.filter (fun b -> List.mem (b + 1) set2) b1)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d boundaries survive" survived (List.length b1))
+    true
+    (survived * 10 > List.length b1 * 9)
+
+let test_chunker_empty_and_small () =
+  Alcotest.(check int) "empty" 0 (List.length (Chunker.chunks ""));
+  let cs = Chunker.chunks "tiny" in
+  Alcotest.(check int) "single" 1 (List.length cs)
+
+let test_lbfs_reconstructs () =
+  let rng = Prng.create 13L in
+  let old_file = Fsync_workload.Text_gen.c_like rng ~lines:3000 in
+  let new_file =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.medium
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      old_file
+  in
+  let r = Lbfs.sync ~old_file new_file in
+  Alcotest.(check bool) "reconstructs" true (String.equal r.reconstructed new_file);
+  Alcotest.(check bool) "some chunks matched" true (r.chunks_matched > 0);
+  Alcotest.(check bool) "cheaper than full" true
+    (Lbfs.total r.cost < Fsync_compress.Deflate.compressed_size new_file)
+
+let test_lbfs_identical () =
+  let rng = Prng.create 14L in
+  let f = Fsync_workload.Text_gen.c_like rng ~lines:2000 in
+  let r = Lbfs.sync ~old_file:f f in
+  Alcotest.(check int) "all matched" r.chunks_total r.chunks_matched;
+  (* Only the chunk index crosses the wire. *)
+  Alcotest.(check bool) "small cost" true
+    (Lbfs.total r.cost < r.chunks_total * 10 + 64)
+
+let test_driver_cdc_method () =
+  let files =
+    List.init 6 (fun i ->
+        let rng = Prng.create (Int64.of_int (100 + i)) in
+        ( Printf.sprintf "f%d.html" i,
+          Fsync_workload.Text_gen.c_like rng ~lines:(100 + (i * 40)) ))
+  in
+  let rng = Prng.create 15L in
+  let mutated =
+    List.map
+      (fun (p, c) ->
+        ( p,
+          Fsync_workload.Edit_model.mutate rng
+            ~profile:Fsync_workload.Edit_model.medium
+            ~gen_text:(fun rng n ->
+              String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+            c ))
+      files
+  in
+  let client = Fsync_collection.Snapshot.of_files files in
+  let server = Fsync_collection.Snapshot.of_files mutated in
+  let updated, summary = Fsync_collection.Driver.sync Fsync_collection.Driver.Cdc ~client ~server in
+  Alcotest.(check bool) "cdc reconstructs" true
+    (Fsync_collection.Snapshot.files updated = Fsync_collection.Snapshot.files server);
+  Alcotest.(check bool) "cdc beats full" true
+    (Fsync_collection.Driver.total summary
+    < Fsync_collection.Snapshot.total_bytes server)
+
+(* ---- Oneway (broadcast) ---- *)
+
+module Oneway = Fsync_core.Oneway
+
+let test_oneway_reconstructs () =
+  let rng = Prng.create 20L in
+  let old_file = Fsync_workload.Text_gen.c_like rng ~lines:3000 in
+  let new_file =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.light
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      old_file
+  in
+  let r = Oneway.sync ~old_file new_file in
+  Alcotest.(check bool) "reconstructs" true (String.equal r.reconstructed new_file);
+  Alcotest.(check bool)
+    (Printf.sprintf "matched most blocks (%d/%d)" r.report.blocks_matched
+       r.report.blocks_total)
+    true
+    (r.report.blocks_matched * 2 > r.report.blocks_total);
+  Alcotest.(check bool) "cheaper than full send" true
+    (Oneway.total_bytes r.report
+    < Fsync_compress.Deflate.compressed_size new_file)
+
+let test_oneway_edges () =
+  List.iter
+    (fun (o, n) ->
+      let r = Oneway.sync ~old_file:o n in
+      Alcotest.(check bool) "edge" true (String.equal r.reconstructed n))
+    [ ("", ""); ("abc", ""); ("", "abc"); ("same", "same");
+      (String.make 5000 'x', String.make 5000 'x');
+      (String.make 5000 'x', String.make 5000 'y') ]
+
+let test_oneway_identical_payload_tiny () =
+  let rng = Prng.create 21L in
+  let f = Fsync_workload.Text_gen.c_like rng ~lines:2000 in
+  let r = Oneway.sync ~old_file:f f in
+  Alcotest.(check int) "all blocks matched" r.report.blocks_total
+    r.report.blocks_matched;
+  (* Only the sub-block tail is ever carried as payload. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "payload %d < block" r.report.payload_bytes)
+    true
+    (r.report.payload_bytes < 1024)
+
+let test_oneway_no_delta_mode () =
+  let rng = Prng.create 22L in
+  let old_file = Fsync_workload.Text_gen.c_like rng ~lines:1500 in
+  let new_file =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.light
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      old_file
+  in
+  let cfg = { Oneway.default_config with delta_missing = false } in
+  let r = Oneway.sync ~config:cfg ~old_file new_file in
+  Alcotest.(check bool) "reconstructs (plain mode)" true
+    (String.equal r.reconstructed new_file)
+
+let test_oneway_broadcast_amortizes () =
+  let rng = Prng.create 23L in
+  let new_file = Fsync_workload.Text_gen.c_like rng ~lines:3000 in
+  let clients =
+    List.init 5 (fun i ->
+        let rng = Prng.create (Int64.of_int (500 + i)) in
+        let old_file =
+          Fsync_workload.Edit_model.mutate rng
+            ~profile:Fsync_workload.Edit_model.light
+            ~gen_text:(fun rng n ->
+              String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+            new_file
+        in
+        (old_file, new_file))
+  in
+  let broadcast = Oneway.broadcast_cost ~clients () in
+  let separate =
+    List.fold_left
+      (fun acc (old_file, nf) ->
+        acc + Oneway.total_bytes (Oneway.sync ~old_file nf).report)
+      0 clients
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "broadcast %d < separate %d" broadcast separate)
+    true (broadcast < separate)
+
+let test_oneway_broadcast_disagreement () =
+  Alcotest.check_raises "disagree"
+    (Invalid_argument "Oneway.broadcast_cost: clients disagree on the new file")
+    (fun () ->
+      ignore (Oneway.broadcast_cost ~clients:[ ("a", "x"); ("b", "y") ] ()))
+
+let oneway_random =
+  qtest ~count:25 "oneway: reconstructs under random edits"
+    QCheck2.Gen.(pair (int_bound 5000) (int_bound 2))
+    (fun (seed, profile_i) ->
+      let profile =
+        List.nth
+          [ Fsync_workload.Edit_model.light;
+            Fsync_workload.Edit_model.medium;
+            Fsync_workload.Edit_model.heavy ]
+          profile_i
+      in
+      let rng = Prng.create (Int64.of_int seed) in
+      let old_file = Fsync_workload.Text_gen.c_like rng ~lines:400 in
+      let new_file =
+        Fsync_workload.Edit_model.mutate rng ~profile
+          ~gen_text:(fun rng n ->
+            String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+          old_file
+      in
+      let r = Oneway.sync ~old_file new_file in
+      String.equal r.reconstructed new_file)
+
+(* ---- single-round preset and phase stats ---- *)
+
+let test_single_round_preset () =
+  (match Fsync_core.Config.validate Fsync_core.Config.single_round with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  let old_file = lines_file 16 1500 in
+  let rng = Prng.create 16L in
+  let new_file =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.light
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      old_file
+  in
+  let r =
+    Fsync_core.Protocol.run ~config:Fsync_core.Config.single_round ~old_file new_file
+  in
+  Alcotest.(check bool) "reconstructs" true (String.equal r.reconstructed new_file);
+  Alcotest.(check int) "one hash round" 1 r.report.rounds;
+  Alcotest.(check bool) "few roundtrips" true (r.report.roundtrips <= 4)
+
+let test_phase_stats_reported () =
+  let old_file = lines_file 17 1500 in
+  let rng = Prng.create 17L in
+  let new_file =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.medium
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      old_file
+  in
+  let r = Fsync_core.Protocol.run ~config:Fsync_core.Config.tuned ~old_file new_file in
+  let stats = r.report.phase_stats in
+  Alcotest.(check bool) "global phase present" true (List.mem_assoc "global" stats);
+  Alcotest.(check bool) "cont phase present" true (List.mem_assoc "cont" stats);
+  List.iter
+    (fun (_, (st : Fsync_core.Protocol.phase_stat)) ->
+      Alcotest.(check bool) "hits <= hashes" true (st.hits <= st.hashes);
+      Alcotest.(check bool) "confirms <= hits" true (st.confirms <= st.hits))
+    stats;
+  let total_hashes =
+    List.fold_left (fun acc (_, (st : Fsync_core.Protocol.phase_stat)) -> acc + st.hashes) 0 stats
+  in
+  Alcotest.(check int) "phases sum to hashes_sent" r.report.hashes_sent total_hashes
+
+let suite =
+  [
+    ("planner trivial cost", `Quick, test_planner_trivial_cost);
+    ("planner grouped cheaper", `Quick, test_planner_grouped_cheaper);
+    ("planner false confirms low", `Quick, test_planner_false_confirms_low);
+    ("planner recommend", `Quick, test_planner_recommend);
+    ("planner invalid", `Quick, test_planner_invalid);
+    ("liar no lies = binary search", `Quick, test_liar_no_lies_is_binary_search);
+    ("liar unverified errs", `Quick, test_liar_unverified_errs);
+    ("liar halving reliable", `Quick, test_liar_halving_reliable);
+    ("liar halving beats verify-each", `Quick, test_liar_halving_beats_verify_each_at_4bits);
+    ("liar invalid", `Quick, test_liar_invalid);
+    ("in-place simple edit", `Quick, test_in_place_simple_edit);
+    ("in-place swap cycle", `Quick, test_in_place_swap_cycle);
+    ("in-place identity", `Quick, test_in_place_identity);
+    in_place_random;
+    ("adaptive identical", `Quick, test_adaptive_identical);
+    ("adaptive unrelated", `Quick, test_adaptive_unrelated);
+    ("adaptive sync reconstructs", `Quick, test_adaptive_sync_reconstructs);
+    ("adaptive config valid", `Quick, test_adaptive_config_valid);
+    ("chunker covers", `Quick, test_chunker_covers);
+    ("chunker bounds", `Quick, test_chunker_bounds);
+    ("chunker shift resistance", `Quick, test_chunker_shift_resistance);
+    ("chunker empty/small", `Quick, test_chunker_empty_and_small);
+    ("lbfs reconstructs", `Quick, test_lbfs_reconstructs);
+    ("lbfs identical", `Quick, test_lbfs_identical);
+    ("driver cdc method", `Quick, test_driver_cdc_method);
+    ("oneway reconstructs", `Quick, test_oneway_reconstructs);
+    ("oneway edges", `Quick, test_oneway_edges);
+    ("oneway identical", `Quick, test_oneway_identical_payload_tiny);
+    ("oneway plain mode", `Quick, test_oneway_no_delta_mode);
+    ("oneway broadcast amortizes", `Quick, test_oneway_broadcast_amortizes);
+    ("oneway broadcast disagreement", `Quick, test_oneway_broadcast_disagreement);
+    oneway_random;
+    ("single-round preset", `Quick, test_single_round_preset);
+    ("phase stats reported", `Quick, test_phase_stats_reported);
+  ]

@@ -1,0 +1,277 @@
+(* Tests for Fsync_hash: MD5/MD4 vectors, Adler rolling, the decomposable
+   polynomial hash's algebraic identities. *)
+
+open Fsync_hash
+module Bytes_util = Fsync_util.Bytes_util
+module Prng = Fsync_util.Prng
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- MD5 ---- *)
+
+let md5_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let test_md5_vectors () =
+  List.iter
+    (fun (input, expect) ->
+      Alcotest.(check string) ("md5 " ^ input) expect (Md5.hex input))
+    md5_vectors
+
+let test_md5_against_stdlib () =
+  let rng = Prng.create 11L in
+  for _ = 1 to 20 do
+    let s = Bytes.to_string (Prng.bytes rng (Prng.int rng 5000)) in
+    Alcotest.(check string) "matches Digest"
+      (Digest.to_hex (Digest.string s))
+      (Bytes_util.to_hex (Md5.digest s))
+  done
+
+let test_md5_incremental () =
+  (* Feeding in odd-sized pieces must agree with one-shot digests. *)
+  let s = String.init 10_000 (fun i -> Char.chr ((i * 131) land 0xff)) in
+  let ctx = Md5.init () in
+  let rec feed pos step =
+    if pos < String.length s then begin
+      let len = min step (String.length s - pos) in
+      Md5.feed ctx s ~pos ~len;
+      feed (pos + len) ((step * 2 mod 97) + 1)
+    end
+  in
+  feed 0 1;
+  Alcotest.(check string) "incremental" (Md5.digest s) (Md5.finalize ctx)
+
+let test_md5_sub () =
+  let s = "xxhelloyy" in
+  Alcotest.(check string) "digest_sub" (Md5.digest "hello")
+    (Md5.digest_sub s ~pos:2 ~len:5)
+
+let test_md5_truncated () =
+  let t = Md5.truncated "abc" ~bits:16 in
+  Alcotest.(check bool) "in range" true (t >= 0 && t < 65536);
+  let dg = Md5.digest "abc" in
+  Alcotest.(check int) "consistent with digest" t (Md5.truncated_digest dg ~bits:16);
+  Alcotest.(check int) "0 bits" 0 (Md5.truncated "abc" ~bits:0)
+
+let test_md5_feed_bounds () =
+  let ctx = Md5.init () in
+  Alcotest.check_raises "bad range" (Invalid_argument "Md5.feed: bad range")
+    (fun () -> Md5.feed ctx "abc" ~pos:1 ~len:5)
+
+(* ---- MD4 ---- *)
+
+let md4_vectors =
+  [
+    ("", "31d6cfe0d16ae931b73c59d7e0c089c0");
+    ("a", "bde52cb31de33e46245e05fbdbd6fb24");
+    ("abc", "a448017aaf21d8525fc10ae87aa6729d");
+    ("message digest", "d9130a8164549fe818874806e1c7014b");
+    ("abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "043f8582f241db351ce627e153e7f0e4" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "e33b4ddc9c38f2199c3e7b164fcc0536" );
+  ]
+
+let test_md4_vectors () =
+  List.iter
+    (fun (input, expect) ->
+      Alcotest.(check string) ("md4 " ^ input) expect (Md4.hex input))
+    md4_vectors
+
+let test_md4_sub_truncated () =
+  Alcotest.(check string) "sub" (Md4.digest "lo wor")
+    (Md4.digest_sub "hello world" ~pos:3 ~len:6);
+  Alcotest.(check int) "trunc len" 2
+    (String.length (Md4.truncated_sub "hello" ~pos:0 ~len:5 ~bytes_used:2))
+
+(* ---- Adler32 ---- *)
+
+let test_adler_known () =
+  (* Adler-32 of "Wikipedia" is 0x11E60398 (well-known example). *)
+  Alcotest.(check int) "wikipedia" 0x11E60398 (Adler32.digest "Wikipedia")
+
+let adler_roll_prop =
+  qtest "adler32: roll = recompute"
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 80 300)) (int_range 1 64))
+    (fun (s, wl) ->
+      let n = String.length s in
+      let w = min wl (n - 1) in
+      let a = ref (Adler32.of_sub s ~pos:0 ~len:w) in
+      let ok = ref true in
+      for p = 1 to n - w do
+        a := Adler32.roll !a ~out:s.[p - 1] ~in_:s.[p + w - 1];
+        if Adler32.value !a <> Adler32.value (Adler32.of_sub s ~pos:p ~len:w) then
+          ok := false
+      done;
+      !ok)
+
+let test_adler_value_packing () =
+  let t = Adler32.of_sub "abc" ~pos:0 ~len:3 in
+  Alcotest.(check bool) "32-bit" true (Adler32.value t >= 0 && Adler32.value t < 1 lsl 32);
+  Alcotest.(check bool) "equal_value" true (Adler32.equal_value t t)
+
+(* ---- Poly_hash ---- *)
+
+let string_gen = QCheck2.Gen.(string_size ~gen:char (int_range 2 400))
+
+let poly_combine_prop =
+  qtest "poly: combine(left,right) = whole" string_gen (fun s ->
+      let n = String.length s in
+      let m = n / 2 in
+      let whole = Poly_hash.hash_sub s ~pos:0 ~len:n in
+      let left = Poly_hash.hash_sub s ~pos:0 ~len:m in
+      let right = Poly_hash.hash_sub s ~pos:m ~len:(n - m) in
+      Poly_hash.combine ~left ~right ~right_len:(n - m) = whole)
+
+let poly_derive_prop =
+  qtest "poly: derive siblings" string_gen (fun s ->
+      let n = String.length s in
+      let m = n / 2 in
+      let parent = Poly_hash.hash_sub s ~pos:0 ~len:n in
+      let left = Poly_hash.hash_sub s ~pos:0 ~len:m in
+      let right = Poly_hash.hash_sub s ~pos:m ~len:(n - m) in
+      Poly_hash.derive_right ~parent ~left ~right_len:(n - m) = right
+      && Poly_hash.derive_left ~parent ~right ~right_len:(n - m) = left)
+
+let poly_bit_prefix_prop =
+  qtest "poly: bit-prefix decomposability"
+    QCheck2.Gen.(pair string_gen (int_range 1 30))
+    (fun (s, bits) ->
+      let n = String.length s in
+      let m = n / 2 in
+      let parent = Poly_hash.hash_sub s ~pos:0 ~len:n in
+      let left = Poly_hash.hash_sub s ~pos:0 ~len:m in
+      let right = Poly_hash.hash_sub s ~pos:m ~len:(n - m) in
+      Poly_hash.derive_right_trunc
+        ~parent:(Poly_hash.truncate parent ~bits)
+        ~left:(Poly_hash.truncate left ~bits)
+        ~right_len:(n - m) ~bits
+      = Poly_hash.truncate right ~bits
+      && Poly_hash.derive_left_trunc
+           ~parent:(Poly_hash.truncate parent ~bits)
+           ~right:(Poly_hash.truncate right ~bits)
+           ~right_len:(n - m) ~bits
+         = Poly_hash.truncate left ~bits)
+
+let poly_roller_prop =
+  qtest "poly: roller = recompute"
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 50 300)) (int_range 1 40))
+    (fun (s, wl) ->
+      let n = String.length s in
+      let w = min wl (n - 1) in
+      let r = Poly_hash.Roller.create s ~window:w ~pos:0 in
+      let ok = ref true in
+      while Poly_hash.Roller.can_roll r do
+        Poly_hash.Roller.roll r;
+        let p = Poly_hash.Roller.pos r in
+        if Poly_hash.Roller.value r <> Poly_hash.hash_sub s ~pos:p ~len:w then
+          ok := false
+      done;
+      !ok)
+
+let test_poly_position_independence () =
+  (* The same content at different offsets hashes identically. *)
+  let s = "abcXYZabc" in
+  Alcotest.(check bool) "same content same hash" true
+    (Poly_hash.hash_sub s ~pos:0 ~len:3 = Poly_hash.hash_sub s ~pos:6 ~len:3)
+
+let test_poly_permutation_sensitive () =
+  (* Unlike a plain Adler sum, permuted strings hash differently. *)
+  Alcotest.(check bool) "ab <> ba" true
+    (Poly_hash.hash_sub "ab" ~pos:0 ~len:2 <> Poly_hash.hash_sub "ba" ~pos:0 ~len:2)
+
+let test_poly_pow_inverse () =
+  for n = 0 to 20 do
+    Alcotest.(check int) "pow * pow_inv = 1" 1
+      (Poly_hash.pow n * Poly_hash.pow_inv n)
+  done
+
+let window_hashes_prop =
+  qtest "poly: window_hashes = per-position truncation"
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 20 300)) (int_range 1 32))
+    (fun (s, wl) ->
+      let w = min wl (String.length s - 1) in
+      let bits = 19 in
+      let hs = Poly_hash.window_hashes s ~window:w ~bits in
+      Array.length hs = String.length s - w + 1
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun p h ->
+                h = Poly_hash.truncate (Poly_hash.hash_sub s ~pos:p ~len:w) ~bits)
+              hs))
+
+let test_poly_bounds () =
+  Alcotest.check_raises "bad range" (Invalid_argument "Poly_hash.hash_sub: bad range")
+    (fun () -> ignore (Poly_hash.hash_sub "abc" ~pos:0 ~len:4));
+  Alcotest.check_raises "roll at end" (Invalid_argument "Poly_hash.Roller.roll: at end")
+    (fun () ->
+      let r = Poly_hash.Roller.create "abc" ~window:3 ~pos:0 in
+      Poly_hash.Roller.roll r)
+
+let test_poly_collision_rate () =
+  (* Truncated to k bits, distinct random 16-byte strings should collide at
+     roughly 2^-k; sanity-check it is not catastrophically worse. *)
+  let rng = Prng.create 123L in
+  let bits = 16 in
+  let n = 2000 in
+  let seen = Hashtbl.create n in
+  let collisions = ref 0 in
+  for _ = 1 to n do
+    let s = Bytes.to_string (Prng.bytes rng 16) in
+    let h = Poly_hash.truncate (Poly_hash.hash_sub s ~pos:0 ~len:16) ~bits in
+    if Hashtbl.mem seen h then incr collisions else Hashtbl.replace seen h ()
+  done;
+  (* Expected birthday collisions: ~ n^2 / 2^(bits+1) = ~30.  Allow 4x. *)
+  if !collisions > 120 then
+    Alcotest.failf "too many collisions: %d" !collisions
+
+(* ---- Fingerprint ---- *)
+
+let test_fingerprint () =
+  let fp = Fingerprint.of_string "hello" in
+  Alcotest.(check bool) "equal" true (Fingerprint.equal fp (Fingerprint.of_string "hello"));
+  Alcotest.(check bool) "not equal" false (Fingerprint.equal fp (Fingerprint.of_string "hellp"));
+  Alcotest.(check int) "raw size" 16 (String.length (Fingerprint.to_raw fp));
+  Alcotest.(check bool) "raw roundtrip" true
+    (Fingerprint.equal fp (Fingerprint.of_raw (Fingerprint.to_raw fp)));
+  Alcotest.check_raises "bad raw"
+    (Invalid_argument "Fingerprint.of_raw: expected 16 bytes") (fun () ->
+      ignore (Fingerprint.of_raw "short"))
+
+let suite =
+  [
+    ("md5 RFC vectors", `Quick, test_md5_vectors);
+    ("md5 vs stdlib", `Quick, test_md5_against_stdlib);
+    ("md5 incremental", `Quick, test_md5_incremental);
+    ("md5 digest_sub", `Quick, test_md5_sub);
+    ("md5 truncated", `Quick, test_md5_truncated);
+    ("md5 feed bounds", `Quick, test_md5_feed_bounds);
+    ("md4 RFC vectors", `Quick, test_md4_vectors);
+    ("md4 sub/truncated", `Quick, test_md4_sub_truncated);
+    ("adler known value", `Quick, test_adler_known);
+    adler_roll_prop;
+    ("adler packing", `Quick, test_adler_value_packing);
+    poly_combine_prop;
+    poly_derive_prop;
+    poly_bit_prefix_prop;
+    poly_roller_prop;
+    ("poly position independence", `Quick, test_poly_position_independence);
+    ("poly permutation sensitive", `Quick, test_poly_permutation_sensitive);
+    ("poly pow inverse", `Quick, test_poly_pow_inverse);
+    window_hashes_prop;
+    ("poly bounds", `Quick, test_poly_bounds);
+    ("poly collision rate", `Quick, test_poly_collision_rate);
+    ("fingerprint", `Quick, test_fingerprint);
+  ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "fsync"
+    [
+      ("util", Test_util.suite);
+      ("hash", Test_hash.suite);
+      ("compress", Test_compress.suite);
+      ("delta", Test_delta.suite);
+      ("rsync", Test_rsync.suite);
+      ("net", Test_net.suite);
+      ("core", Test_core.suite);
+      ("collection", Test_collection.suite);
+      ("extensions", Test_extensions.suite);
+      ("workload", Test_workload.suite);
+    ]

@@ -1,0 +1,106 @@
+(* Tests for Fsync_net.Channel: byte accounting, round-trip counting, the
+   message queue, and the simulated link time. *)
+
+open Fsync_net
+
+let test_byte_counters () =
+  let ch = Channel.create () in
+  Channel.send ch Channel.Client_to_server "abc";
+  Channel.send ch Channel.Server_to_client "defgh";
+  Channel.send ch Channel.Client_to_server "";
+  Alcotest.(check int) "c2s" 3 (Channel.bytes ch Channel.Client_to_server);
+  Alcotest.(check int) "s2c" 5 (Channel.bytes ch Channel.Server_to_client);
+  Alcotest.(check int) "total" 8 (Channel.total_bytes ch);
+  Alcotest.(check int) "messages" 3 (Channel.messages ch)
+
+let test_roundtrips () =
+  let ch = Channel.create () in
+  Alcotest.(check int) "none yet" 0 (Channel.roundtrips ch);
+  Channel.send ch Channel.Client_to_server "q1";
+  (* Consecutive same-direction messages piggyback on one trip. *)
+  Channel.send ch Channel.Client_to_server "q2";
+  Channel.send ch Channel.Server_to_client "a1";
+  Alcotest.(check int) "one roundtrip" 1 (Channel.roundtrips ch);
+  Channel.send ch Channel.Client_to_server "q3";
+  Channel.send ch Channel.Server_to_client "a2";
+  Alcotest.(check int) "two roundtrips" 2 (Channel.roundtrips ch)
+
+let test_queue_fifo () =
+  let ch = Channel.create () in
+  Channel.send ch Channel.Client_to_server "first";
+  Channel.send ch Channel.Client_to_server "second";
+  Alcotest.(check string) "fifo 1" "first" (Channel.recv ch Channel.Client_to_server);
+  Alcotest.(check string) "fifo 2" "second" (Channel.recv ch Channel.Client_to_server);
+  Alcotest.check_raises "empty" (Invalid_argument "Channel.recv: no pending message")
+    (fun () -> ignore (Channel.recv ch Channel.Client_to_server))
+
+let test_directions_independent () =
+  let ch = Channel.create () in
+  Channel.send ch Channel.Client_to_server "up";
+  Channel.send ch Channel.Server_to_client "down";
+  Alcotest.(check string) "down" "down" (Channel.recv ch Channel.Server_to_client);
+  Alcotest.(check string) "up" "up" (Channel.recv ch Channel.Client_to_server)
+
+let test_elapsed () =
+  let ch = Channel.create ~latency_s:0.1 ~bandwidth_bps:8000.0 () in
+  Channel.send ch Channel.Client_to_server (String.make 1000 'x');
+  Channel.send ch Channel.Server_to_client "ok";
+  (* 1 roundtrip * 2 * 0.1s + 1002 bytes / 1000 B/s *)
+  let t = Channel.elapsed_s ch in
+  Alcotest.(check bool) (Printf.sprintf "elapsed %.3f" t) true
+    (t > 1.19 && t < 1.22)
+
+let test_transcript_and_reset () =
+  let ch = Channel.create () in
+  Channel.send ch ~label:"hello" Channel.Client_to_server "xy";
+  let tr = Channel.transcript ch in
+  (match tr with
+  | [ (Channel.Client_to_server, "hello", 2) ] -> ()
+  | _ -> Alcotest.fail "unexpected transcript");
+  Channel.reset ch;
+  Alcotest.(check int) "reset bytes" 0 (Channel.total_bytes ch);
+  Alcotest.(check int) "reset messages" 0 (Channel.messages ch);
+  Alcotest.(check (list unit)) "reset transcript" []
+    (List.map (fun _ -> ()) (Channel.transcript ch))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1))
+  in
+  nn = 0 || loop 0
+
+let test_trace_render () =
+  let ch = Channel.create () in
+  Channel.send ch ~label:"hello" Channel.Client_to_server "abc";
+  Channel.send ch ~label:"info" Channel.Server_to_client "defg";
+  Channel.send ch ~label:"resp" Channel.Client_to_server "x";
+  let out = Fsync_net.Trace.render ch in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains out needle))
+    [ "hello"; "info"; "resp"; "round trip 2" ]
+
+let test_trace_summary () =
+  let ch = Channel.create () in
+  Channel.send ch ~label:"a" Channel.Client_to_server "12345";
+  Channel.send ch ~label:"b" Channel.Server_to_client "123";
+  Channel.send ch ~label:"a" Channel.Client_to_server "12";
+  match Fsync_net.Trace.summary_by_label ch with
+  | [ ("a", 2, 7); ("b", 1, 3) ] -> ()
+  | other ->
+      Alcotest.failf "unexpected summary: %s"
+        (String.concat ";"
+           (List.map (fun (l, c, b) -> Printf.sprintf "%s/%d/%d" l c b) other))
+
+let suite =
+  [
+    ("byte counters", `Quick, test_byte_counters);
+    ("roundtrip counting", `Quick, test_roundtrips);
+    ("queue fifo", `Quick, test_queue_fifo);
+    ("directions independent", `Quick, test_directions_independent);
+    ("elapsed time", `Quick, test_elapsed);
+    ("transcript and reset", `Quick, test_transcript_and_reset);
+    ("trace render", `Quick, test_trace_render);
+    ("trace summary", `Quick, test_trace_summary);
+  ]

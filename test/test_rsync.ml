@@ -1,0 +1,167 @@
+(* Tests for Fsync_rsync: signatures, token streams, the matcher, and the
+   end-to-end baseline. *)
+
+open Fsync_rsync
+module Prng = Fsync_util.Prng
+
+let qtest ?(count = 80) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let lines_file seed n =
+  let rng = Prng.create (Int64.of_int seed) in
+  let buf = Buffer.create (n * 20) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "line %04d salt %d payload xyz\n" i (Prng.int rng 1000))
+  done;
+  Buffer.contents buf
+
+(* ---- Signature ---- *)
+
+let test_signature_blocks () =
+  let sg = Signature.create ~block_size:100 (String.make 250 'a') in
+  Alcotest.(check int) "count" 3 (Array.length sg.blocks);
+  Alcotest.(check int) "tail len" 50 sg.blocks.(2).len;
+  Alcotest.(check int) "start" 200 (Signature.block_start sg 2)
+
+let test_signature_wire_bytes () =
+  let sg = Signature.create ~block_size:100 (String.make 1000 'a') in
+  (* 10 blocks * (4 + 2) + header *)
+  Alcotest.(check int) "wire" (12 + 60) (Signature.wire_bytes sg)
+
+let test_signature_invalid () =
+  Alcotest.check_raises "bad block size"
+    (Invalid_argument "Signature.create: block_size <= 0") (fun () ->
+      ignore (Signature.create ~block_size:0 "x"))
+
+let test_signature_empty_file () =
+  let sg = Signature.create ~block_size:100 "" in
+  Alcotest.(check int) "no blocks" 0 (Array.length sg.blocks)
+
+(* ---- Token ---- *)
+
+let test_token_coalesce () =
+  let ops =
+    [ Token.Data "ab"; Token.Data "cd";
+      Token.Copy { index = 0; count = 1 }; Token.Copy { index = 1; count = 2 };
+      Token.Copy { index = 5; count = 1 }; Token.Data "" ]
+  in
+  Alcotest.(check int) "coalesced" 3 (List.length (Token.coalesce ops))
+
+let test_token_roundtrip () =
+  let ops =
+    [ Token.Data "hello"; Token.Copy { index = 3; count = 2 }; Token.Data "world" ]
+  in
+  let decoded = Token.decode (Token.encode ops) in
+  Alcotest.(check int) "ops" (List.length ops) (List.length decoded)
+
+let test_token_apply_oob () =
+  let sg = Signature.create ~block_size:4 "0123456789" in
+  Alcotest.check_raises "oob" (Invalid_argument "Token.apply: block run out of range")
+    (fun () ->
+      ignore (Token.apply sg ~old_file:"0123456789" [ Token.Copy { index = 2; count = 5 } ]))
+
+(* ---- end-to-end ---- *)
+
+let rsync_reconstructs =
+  qtest "rsync: reconstructs for random edits"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 16 900))
+    (fun (seed, block_size) ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let old_file = lines_file seed 150 in
+      let new_file =
+        Fsync_workload.Edit_model.mutate rng
+          ~profile:Fsync_workload.Edit_model.medium
+          ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+          old_file
+      in
+      let r =
+        Rsync.sync ~config:{ Rsync.default_config with block_size } ~old_file new_file
+      in
+      r.reconstructed = new_file)
+
+let test_rsync_identical_files () =
+  let f = lines_file 1 500 in
+  let r = Rsync.sync ~old_file:f f in
+  Alcotest.(check string) "reconstruct" f r.reconstructed;
+  (* Everything matches: the stream is a single block run, tiny. *)
+  Alcotest.(check bool) "tiny stream" true (r.cost.server_to_client < 64);
+  Alcotest.(check int) "no literals" 0 r.literal_bytes
+
+let test_rsync_disjoint_files () =
+  let a = lines_file 2 200 and b = lines_file 3 200 in
+  let r = Rsync.sync ~old_file:a b in
+  Alcotest.(check string) "reconstruct" b r.reconstructed;
+  Alcotest.(check int) "no matches" 0 r.matched_blocks
+
+let test_rsync_shifted_content () =
+  (* An insertion at the front misaligns every block; the rolling search
+     must still find all of them. *)
+  let f = lines_file 4 400 in
+  let shifted = "INSERTED PREFIX 123\n" ^ f in
+  let r = Rsync.sync ~config:{ Rsync.default_config with block_size = 256 } ~old_file:f shifted in
+  Alcotest.(check string) "reconstruct" shifted r.reconstructed;
+  Alcotest.(check bool) "most blocks matched" true
+    (r.matched_blocks * 256 > String.length f * 3 / 4)
+
+let test_rsync_edge_files () =
+  List.iter
+    (fun (o, n) ->
+      let r = Rsync.sync ~old_file:o n in
+      Alcotest.(check string) "edge reconstruct" n r.reconstructed)
+    [ ("", ""); ("abc", ""); ("", "abc"); ("short", "short");
+      (String.make 699 'a', String.make 699 'a');
+      (String.make 700 'b', String.make 1400 'b') ]
+
+let test_rsync_tail_block_match () =
+  (* File whose length is not a multiple of the block size, unchanged: the
+     short tail must be matched, not re-sent. *)
+  let f = lines_file 5 123 in
+  let r = Rsync.sync ~config:{ Rsync.default_config with block_size = 512 } ~old_file:f f in
+  Alcotest.(check int) "no literal bytes" 0 r.literal_bytes
+
+let test_rsync_cost_direction () =
+  let f = lines_file 6 300 in
+  let r = Rsync.sync ~old_file:f f in
+  let expected_sig =
+    Signature.wire_bytes (Signature.create ~block_size:700 f)
+  in
+  Alcotest.(check int) "c2s = signature bytes" expected_sig r.cost.client_to_server
+
+let test_best_block_size () =
+  let old_file = lines_file 7 800 in
+  let rng = Prng.create 7L in
+  let new_file =
+    Fsync_workload.Edit_model.mutate rng ~profile:Fsync_workload.Edit_model.light
+      ~gen_text:(fun rng n -> String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+      old_file
+  in
+  let bs, best = Rsync.best_block_size ~old_file new_file in
+  Alcotest.(check bool) "candidate" true (List.mem bs Rsync.candidate_block_sizes);
+  let default_cost = Rsync.total (Rsync.cost_only ~old_file new_file) in
+  Alcotest.(check bool) "best <= default" true (Rsync.total best <= default_cost)
+
+let test_best_block_size_no_candidates () =
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Rsync.best_block_size: no candidates") (fun () ->
+      ignore (Rsync.best_block_size ~candidates:[] ~old_file:"a" "b"))
+
+let suite =
+  [
+    ("signature blocks", `Quick, test_signature_blocks);
+    ("signature wire bytes", `Quick, test_signature_wire_bytes);
+    ("signature invalid", `Quick, test_signature_invalid);
+    ("signature empty file", `Quick, test_signature_empty_file);
+    ("token coalesce", `Quick, test_token_coalesce);
+    ("token roundtrip", `Quick, test_token_roundtrip);
+    ("token apply oob", `Quick, test_token_apply_oob);
+    rsync_reconstructs;
+    ("rsync identical", `Quick, test_rsync_identical_files);
+    ("rsync disjoint", `Quick, test_rsync_disjoint_files);
+    ("rsync shifted", `Quick, test_rsync_shifted_content);
+    ("rsync edges", `Quick, test_rsync_edge_files);
+    ("rsync tail match", `Quick, test_rsync_tail_block_match);
+    ("rsync cost direction", `Quick, test_rsync_cost_direction);
+    ("rsync best block size", `Quick, test_best_block_size);
+    ("rsync best block no candidates", `Quick, test_best_block_size_no_candidates);
+  ]

@@ -1,0 +1,356 @@
+(* Tests for Fsync_util: bit IO, varints, PRNG, segments, bytes, stats. *)
+
+open Fsync_util
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Bitio ---- *)
+
+let test_bitio_simple () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put_bits w 0b101 ~width:3;
+  Bitio.Writer.put_bits w 0xff ~width:8;
+  Bitio.Writer.put_bit w 1;
+  Alcotest.(check int) "bit length" 12 (Bitio.Writer.bit_length w);
+  let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+  Alcotest.(check int) "first" 0b101 (Bitio.Reader.get_bits r ~width:3);
+  Alcotest.(check int) "second" 0xff (Bitio.Reader.get_bits r ~width:8);
+  Alcotest.(check int) "third" 1 (Bitio.Reader.get_bit r)
+
+let test_bitio_align () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put_bits w 0b11 ~width:2;
+  Bitio.Writer.align_byte w;
+  Bitio.Writer.put_bits w 0xab ~width:8;
+  let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+  ignore (Bitio.Reader.get_bits r ~width:2);
+  Bitio.Reader.align_byte r;
+  Alcotest.(check int) "aligned byte" 0xab (Bitio.Reader.get_bits r ~width:8)
+
+let test_bitio_empty () =
+  let w = Bitio.Writer.create () in
+  Alcotest.(check string) "empty" "" (Bitio.Writer.contents w);
+  let r = Bitio.Reader.of_string "" in
+  Alcotest.(check int) "no bits" 0 (Bitio.Reader.bits_left r);
+  Alcotest.check_raises "read past end" (Invalid_argument "Bitio.Reader.get_bit: past end")
+    (fun () -> ignore (Bitio.Reader.get_bit r))
+
+let test_bitio_width_bounds () =
+  let w = Bitio.Writer.create () in
+  Alcotest.check_raises "width 58"
+    (Invalid_argument "Bitio.Writer.put_bits: width out of [0,57]") (fun () ->
+      Bitio.Writer.put_bits w 0 ~width:58)
+
+let test_bitio_64 () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put_bits64 w 0xDEADBEEFCAFEBABEL ~width:64;
+  let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+  Alcotest.(check int64) "64-bit roundtrip" 0xDEADBEEFCAFEBABEL
+    (Bitio.Reader.get_bits64 r ~width:64)
+
+let bitio_roundtrip_prop =
+  let gen =
+    QCheck2.Gen.(
+      small_list (pair (int_bound 0xffffff) (int_range 1 24)))
+  in
+  qtest "bitio: mixed-width roundtrip" gen (fun fields ->
+      let w = Bitio.Writer.create () in
+      List.iter
+        (fun (v, width) -> Bitio.Writer.put_bits w (v land ((1 lsl width) - 1)) ~width)
+        fields;
+      let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+      List.for_all
+        (fun (v, width) ->
+          Bitio.Reader.get_bits r ~width = v land ((1 lsl width) - 1))
+        fields)
+
+(* ---- Varint ---- *)
+
+let test_varint_known () =
+  let enc n =
+    let b = Buffer.create 8 in
+    Varint.write b n;
+    Buffer.contents b
+  in
+  Alcotest.(check string) "0" "\x00" (enc 0);
+  Alcotest.(check string) "127" "\x7f" (enc 127);
+  Alcotest.(check string) "128" "\x80\x01" (enc 128);
+  Alcotest.(check int) "size 300" 2 (Varint.size 300);
+  Alcotest.check_raises "negative" (Invalid_argument "Varint.write: negative")
+    (fun () -> ignore (enc (-1)))
+
+let varint_roundtrip_prop =
+  qtest "varint: roundtrip" QCheck2.Gen.(list nat) (fun ns ->
+      let b = Buffer.create 64 in
+      List.iter (Varint.write b) ns;
+      let s = Buffer.contents b in
+      let rec loop pos = function
+        | [] -> pos = String.length s
+        | n :: rest ->
+            let v, pos = Varint.read s ~pos in
+            v = n && loop pos rest
+      in
+      loop 0 ns)
+
+let varint_signed_prop =
+  qtest "varint: signed roundtrip" QCheck2.Gen.(list int) (fun ns ->
+      let ns = List.map (fun n -> n asr 2) ns in
+      let b = Buffer.create 64 in
+      List.iter (Varint.write_signed b) ns;
+      let s = Buffer.contents b in
+      let rec loop pos = function
+        | [] -> true
+        | n :: rest ->
+            let v, pos = Varint.read_signed s ~pos in
+            v = n && loop pos rest
+      in
+      loop 0 ns)
+
+let test_varint_truncated () =
+  Alcotest.check_raises "truncated" (Invalid_argument "Varint.read: truncated")
+    (fun () -> ignore (Varint.read "\x80" ~pos:0))
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_int_range () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.fail "int_in out of range"
+  done
+
+let test_prng_bernoulli_mean () =
+  let rng = Prng.create 9L in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if p < 0.27 || p > 0.33 then
+    Alcotest.failf "bernoulli mean off: %.3f" p
+
+let test_prng_split_independent () =
+  let a = Prng.create 1L in
+  let child = Prng.split a in
+  (* Parent advanced; child produces a different stream. *)
+  let xs = List.init 10 (fun _ -> Prng.next64 a) in
+  let ys = List.init 10 (fun _ -> Prng.next64 child) in
+  Alcotest.(check bool) "different streams" false (xs = ys)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 3L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_pareto_min () =
+  let rng = Prng.create 5L in
+  for _ = 1 to 1000 do
+    if Prng.pareto rng ~alpha:1.5 ~x_min:10.0 < 10.0 then
+      Alcotest.fail "pareto below x_min"
+  done
+
+(* ---- Segments ---- *)
+
+let seg_testable =
+  Alcotest.testable Segments.pp Segments.equal
+
+let test_segments_normalize () =
+  let s = Segments.of_list [ (5, 10); (0, 3); (9, 12); (3, 4) ] in
+  Alcotest.(check (list (pair int int))) "merged" [ (0, 4); (5, 12) ]
+    (Segments.to_list s)
+
+let test_segments_empty_spans_dropped () =
+  let s = Segments.of_list [ (5, 5); (7, 6) ] in
+  Alcotest.(check bool) "empty" true (Segments.is_empty s)
+
+let test_segments_ops () =
+  let a = Segments.of_list [ (0, 10); (20, 30) ] in
+  let b = Segments.of_list [ (5, 25) ] in
+  Alcotest.check seg_testable "union"
+    (Segments.of_list [ (0, 30) ])
+    (Segments.union a b);
+  Alcotest.check seg_testable "inter"
+    (Segments.of_list [ (5, 10); (20, 25) ])
+    (Segments.inter a b);
+  Alcotest.check seg_testable "diff"
+    (Segments.of_list [ (0, 5); (25, 30) ])
+    (Segments.diff a b);
+  Alcotest.check seg_testable "complement"
+    (Segments.of_list [ (10, 20) ])
+    (Segments.complement a ~lo:0 ~hi:30)
+
+let test_segments_mem () =
+  let s = Segments.of_list [ (2, 5) ] in
+  Alcotest.(check bool) "in" true (Segments.mem s 2);
+  Alcotest.(check bool) "hi exclusive" false (Segments.mem s 5);
+  Alcotest.(check bool) "contains" true (Segments.contains_span s ~lo:3 ~hi:5);
+  Alcotest.(check bool) "not contains" false (Segments.contains_span s ~lo:3 ~hi:6);
+  Alcotest.(check bool) "empty span contained" true
+    (Segments.contains_span s ~lo:9 ~hi:9)
+
+(* Model-based property: compare against a boolean-array implementation on
+   a small universe. *)
+let seg_gen =
+  QCheck2.Gen.(small_list (pair (int_bound 40) (int_bound 40)))
+
+let to_bools s =
+  Array.init 64 (fun i -> Segments.mem s i)
+
+let model_of pairs =
+  let a = Array.make 64 false in
+  List.iter
+    (fun (x, y) ->
+      let lo = min x y and hi = max x y in
+      for i = lo to hi - 1 do
+        a.(i) <- true
+      done)
+    pairs;
+  a
+
+let norm_pairs pairs = List.map (fun (x, y) -> (min x y, max x y)) pairs
+
+let segments_model_union =
+  qtest "segments: union matches model" QCheck2.Gen.(pair seg_gen seg_gen)
+    (fun (p1, p2) ->
+      let s =
+        Segments.union
+          (Segments.of_list (norm_pairs p1))
+          (Segments.of_list (norm_pairs p2))
+      in
+      let m = model_of p1 and m2 = model_of p2 in
+      to_bools s = Array.mapi (fun i v -> v || m2.(i)) m)
+
+let segments_model_inter =
+  qtest "segments: inter matches model" QCheck2.Gen.(pair seg_gen seg_gen)
+    (fun (p1, p2) ->
+      let s =
+        Segments.inter
+          (Segments.of_list (norm_pairs p1))
+          (Segments.of_list (norm_pairs p2))
+      in
+      let m = model_of p1 and m2 = model_of p2 in
+      to_bools s = Array.mapi (fun i v -> v && m2.(i)) m)
+
+let segments_model_diff =
+  qtest "segments: diff matches model" QCheck2.Gen.(pair seg_gen seg_gen)
+    (fun (p1, p2) ->
+      let s =
+        Segments.diff
+          (Segments.of_list (norm_pairs p1))
+          (Segments.of_list (norm_pairs p2))
+      in
+      let m = model_of p1 and m2 = model_of p2 in
+      to_bools s = Array.mapi (fun i v -> v && not m2.(i)) m)
+
+let segments_total_length =
+  qtest "segments: total_length = covered points" seg_gen (fun pairs ->
+      let s = Segments.of_list (norm_pairs pairs) in
+      let m = model_of pairs in
+      Segments.total_length s = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 m)
+
+(* ---- Bytes_util ---- *)
+
+let test_hex_roundtrip () =
+  let s = "\x00\x01\xfe\xff random" in
+  Alcotest.(check string) "roundtrip" s (Bytes_util.of_hex (Bytes_util.to_hex s));
+  Alcotest.(check string) "hex" "00ff" (Bytes_util.to_hex "\x00\xff")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd" (Invalid_argument "Bytes_util.of_hex: odd length")
+    (fun () -> ignore (Bytes_util.of_hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Bytes_util.of_hex: bad digit")
+    (fun () -> ignore (Bytes_util.of_hex "zz"))
+
+let test_common_prefix_suffix () =
+  Alcotest.(check int) "prefix" 3 (Bytes_util.common_prefix "abcde" 0 "abcxy" 0);
+  Alcotest.(check int) "prefix offset" 2 (Bytes_util.common_prefix "xxab" 2 "ab" 0);
+  Alcotest.(check int) "suffix" 2 (Bytes_util.common_suffix "xyab" 4 "zzab" 4);
+  Alcotest.(check int) "suffix zero" 0 (Bytes_util.common_suffix "a" 0 "a" 0)
+
+let test_equal_sub () =
+  Alcotest.(check bool) "eq" true (Bytes_util.equal_sub "hello" 1 "yell" 1 3);
+  Alcotest.(check bool) "neq" false (Bytes_util.equal_sub "hello" 0 "jello" 0 5);
+  Alcotest.(check bool) "oob" false (Bytes_util.equal_sub "abc" 1 "abc" 0 3)
+
+let test_chunks () =
+  Alcotest.(check (list (pair int int))) "chunks" [ (0, 4); (4, 4); (8, 2) ]
+    (Bytes_util.chunks "0123456789" ~size:4);
+  Alcotest.(check (list (pair int int))) "empty" [] (Bytes_util.chunks "" ~size:4)
+
+let test_hamming () =
+  Alcotest.(check int) "zero" 0 (Bytes_util.hamming_bits "abc" "abc");
+  Alcotest.(check int) "one bit" 1 (Bytes_util.hamming_bits "\x00" "\x01");
+  Alcotest.(check int) "all bits" 8 (Bytes_util.hamming_bits "\x00" "\xff")
+
+(* ---- Stats / Table ---- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.max
+
+let test_stats_kb () =
+  Alcotest.(check (float 1e-9)) "kb" 2.0 (Stats.kb 2048)
+
+let test_table_render () =
+  let t = Table.create ~caption:"cap" [ ("name", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ "a"; "10" ];
+  Table.add_row t [ "bb"; "5" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "caption" true (String.length out > 0 && String.sub out 0 3 = "cap");
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let suite =
+  [
+    ("bitio simple", `Quick, test_bitio_simple);
+    ("bitio align", `Quick, test_bitio_align);
+    ("bitio empty", `Quick, test_bitio_empty);
+    ("bitio width bounds", `Quick, test_bitio_width_bounds);
+    ("bitio 64-bit", `Quick, test_bitio_64);
+    bitio_roundtrip_prop;
+    ("varint known", `Quick, test_varint_known);
+    varint_roundtrip_prop;
+    varint_signed_prop;
+    ("varint truncated", `Quick, test_varint_truncated);
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng ranges", `Quick, test_prng_int_range);
+    ("prng bernoulli mean", `Quick, test_prng_bernoulli_mean);
+    ("prng split", `Quick, test_prng_split_independent);
+    ("prng shuffle", `Quick, test_prng_shuffle_permutation);
+    ("prng pareto min", `Quick, test_prng_pareto_min);
+    ("segments normalize", `Quick, test_segments_normalize);
+    ("segments empties", `Quick, test_segments_empty_spans_dropped);
+    ("segments ops", `Quick, test_segments_ops);
+    ("segments mem", `Quick, test_segments_mem);
+    segments_model_union;
+    segments_model_inter;
+    segments_model_diff;
+    segments_total_length;
+    ("hex roundtrip", `Quick, test_hex_roundtrip);
+    ("hex invalid", `Quick, test_hex_invalid);
+    ("common prefix/suffix", `Quick, test_common_prefix_suffix);
+    ("equal_sub", `Quick, test_equal_sub);
+    ("chunks", `Quick, test_chunks);
+    ("hamming", `Quick, test_hamming);
+    ("stats summary", `Quick, test_stats_summary);
+    ("stats kb", `Quick, test_stats_kb);
+    ("table render", `Quick, test_table_render);
+  ]

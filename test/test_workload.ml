@@ -1,0 +1,231 @@
+(* Tests for Fsync_workload: generator determinism, the edit model's
+   semantics, and the statistical shape of the synthetic datasets. *)
+
+open Fsync_workload
+module Prng = Fsync_util.Prng
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Edit_model.apply semantics ---- *)
+
+let test_apply_insert () =
+  Alcotest.(check string) "insert" "abXcd"
+    (Edit_model.apply "abcd" [ Edit_model.Insert { pos = 2; text = "X" } ])
+
+let test_apply_delete () =
+  Alcotest.(check string) "delete" "ad"
+    (Edit_model.apply "abcd" [ Edit_model.Delete { pos = 1; len = 2 } ])
+
+let test_apply_replace () =
+  Alcotest.(check string) "replace" "aXYd"
+    (Edit_model.apply "abcd" [ Edit_model.Replace { pos = 1; len = 2; text = "XY" } ])
+
+let test_apply_multiple_order_independent () =
+  let edits =
+    [ Edit_model.Delete { pos = 4; len = 1 };
+      Edit_model.Insert { pos = 0; text = ">" } ]
+  in
+  Alcotest.(check string) "combined" ">abcd" (Edit_model.apply "abcde" edits);
+  Alcotest.(check string) "reversed list same result" ">abcd"
+    (Edit_model.apply "abcde" (List.rev edits))
+
+let test_apply_touching_edits () =
+  let edits =
+    [ Edit_model.Delete { pos = 0; len = 2 };
+      Edit_model.Insert { pos = 2; text = "X" } ]
+  in
+  Alcotest.(check string) "touching" "Xcd" (Edit_model.apply "abcd" edits)
+
+let test_apply_overlap_rejected () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Edit_model.apply: overlapping edits") (fun () ->
+      ignore
+        (Edit_model.apply "abcdef"
+           [ Edit_model.Delete { pos = 0; len = 3 };
+             Edit_model.Replace { pos = 2; len = 2; text = "z" } ]))
+
+let test_apply_out_of_range () =
+  Alcotest.check_raises "oob" (Invalid_argument "Edit_model.apply: out of range")
+    (fun () -> ignore (Edit_model.apply "ab" [ Edit_model.Delete { pos = 1; len = 5 } ]))
+
+let gen_text rng n = String.init n (fun _ -> Char.chr (97 + Prng.int rng 26))
+
+let random_edits_valid =
+  qtest "edit model: random scripts apply cleanly"
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 100 5000))
+    (fun (seed, size) ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let s = Bytes.to_string (Prng.bytes rng size) in
+      let edits = Edit_model.random_edits rng ~profile:Edit_model.medium ~gen_text s in
+      let out = Edit_model.apply s edits in
+      String.length out >= 0)
+
+let test_profiles_magnitude () =
+  (* Heavier profiles change more bytes (measured by delta size). *)
+  let rng = Prng.create 5L in
+  let s = Text_gen.c_like rng ~lines:3000 in
+  let changed profile =
+    let rng = Prng.create 6L in
+    let out = Edit_model.mutate rng ~profile ~gen_text s in
+    Fsync_delta.Delta.encoded_size ~reference:s out
+  in
+  let l = changed Edit_model.light in
+  let m = changed Edit_model.medium in
+  let h = changed Edit_model.heavy in
+  Alcotest.(check bool) (Printf.sprintf "light(%d) < medium(%d)" l m) true (l < m);
+  Alcotest.(check bool) (Printf.sprintf "medium(%d) < heavy(%d)" m h) true (m < h)
+
+(* ---- Text_gen ---- *)
+
+let test_text_gen_deterministic () =
+  let a = Text_gen.c_like (Prng.create 1L) ~lines:100 in
+  let b = Text_gen.c_like (Prng.create 1L) ~lines:100 in
+  Alcotest.(check string) "same seed same text" a b;
+  let c = Text_gen.c_like (Prng.create 2L) ~lines:100 in
+  Alcotest.(check bool) "different seed different text" false (a = c)
+
+let test_text_gen_compressible () =
+  (* Token-repetitive text must compress like source code (< 40%). *)
+  List.iter
+    (fun s ->
+      let ratio =
+        float_of_int (Fsync_compress.Deflate.compressed_size s)
+        /. float_of_int (String.length s)
+      in
+      Alcotest.(check bool) (Printf.sprintf "ratio %.2f" ratio) true (ratio < 0.4))
+    [
+      Text_gen.c_like (Prng.create 3L) ~lines:1000;
+      Text_gen.lisp_like (Prng.create 4L) ~lines:1000;
+      Text_gen.html_like (Prng.create 5L) ~body_words:2000
+        ~boilerplate:(Text_gen.boilerplate (Prng.create 6L));
+    ]
+
+let test_text_gen_sizes () =
+  let s = Text_gen.c_like (Prng.create 7L) ~lines:500 in
+  let actual_lines = List.length (String.split_on_char '\n' s) in
+  Alcotest.(check bool)
+    (Printf.sprintf "line count %d" actual_lines)
+    true
+    (actual_lines > 250 && actual_lines < 1500)
+
+(* ---- Source_tree ---- *)
+
+let small_gcc = Source_tree.gcc_preset ~scale:0.02
+let small_emacs = Source_tree.emacs_preset ~scale:0.02
+
+let test_source_tree_deterministic () =
+  let p1 = Source_tree.generate small_gcc in
+  let p2 = Source_tree.generate small_gcc in
+  Alcotest.(check bool) "same pair" true
+    (List.map (fun (f : Source_tree.file) -> f.content) p1.new_version
+    = List.map (fun (f : Source_tree.file) -> f.content) p2.new_version)
+
+let test_source_tree_change_profile () =
+  let pair = Source_tree.generate small_gcc in
+  let files = Source_tree.changed_files pair in
+  Alcotest.(check int) "file count" small_gcc.n_files (List.length files);
+  let unchanged =
+    List.length (List.filter (fun ((o : Source_tree.file), (n : Source_tree.file)) -> o.content = n.content) files)
+  in
+  let frac = float_of_int unchanged /. float_of_int (List.length files) in
+  (* Preset says ~55% unchanged; allow a wide band for a small sample. *)
+  Alcotest.(check bool) (Printf.sprintf "unchanged frac %.2f" frac) true
+    (frac > 0.3 && frac < 0.8)
+
+let test_source_tree_distinct_paths () =
+  let pair = Source_tree.generate small_emacs in
+  let paths = List.map (fun (f : Source_tree.file) -> f.path) pair.old_version in
+  Alcotest.(check int) "unique paths" (List.length paths)
+    (List.length (List.sort_uniq compare paths))
+
+let test_source_tree_versions_similar () =
+  (* Changed files should still be highly similar: total delta is a small
+     fraction of the collection size. *)
+  let pair = Source_tree.generate small_gcc in
+  let total = Source_tree.total_bytes pair.new_version in
+  let delta_total =
+    List.fold_left
+      (fun acc ((o : Source_tree.file), (n : Source_tree.file)) ->
+        acc + Fsync_delta.Delta.encoded_size ~reference:o.content n.content)
+      0
+      (Source_tree.changed_files pair)
+  in
+  let frac = float_of_int delta_total /. float_of_int total in
+  Alcotest.(check bool) (Printf.sprintf "delta fraction %.3f" frac) true (frac < 0.10)
+
+(* ---- Web_collection ---- *)
+
+let web_preset = Web_collection.default_preset ~scale:0.01
+
+let test_web_deterministic () =
+  let a = Web_collection.base web_preset in
+  let b = Web_collection.base web_preset in
+  Alcotest.(check bool) "deterministic" true (a = b)
+
+let test_web_evolution_fraction () =
+  let base = Web_collection.base web_preset in
+  let day1 = Web_collection.evolve web_preset base ~days:1 in
+  Alcotest.(check int) "same page count" (Array.length base) (Array.length day1);
+  let changed = ref 0 in
+  Array.iteri
+    (fun i (p : Web_collection.page) ->
+      if p.content <> day1.(i).content then incr changed)
+    base;
+  let frac = float_of_int !changed /. float_of_int (Array.length base) in
+  (* p_change 0.18 plus churny pages: expect roughly 15-35%. *)
+  Alcotest.(check bool) (Printf.sprintf "changed frac %.2f" frac) true
+    (frac > 0.08 && frac < 0.45)
+
+let test_web_evolution_cumulative () =
+  let base = Web_collection.base web_preset in
+  let d1 = Web_collection.evolve web_preset base ~days:1 in
+  let d7 = Web_collection.evolve web_preset base ~days:7 in
+  let delta_vs snap =
+    Array.to_list snap
+    |> List.mapi (fun i (p : Web_collection.page) ->
+           Fsync_delta.Delta.encoded_size ~reference:base.(i).content p.content)
+    |> List.fold_left ( + ) 0
+  in
+  let c1 = delta_vs d1 and c7 = delta_vs d7 in
+  Alcotest.(check bool) (Printf.sprintf "more days more change %d < %d" c1 c7)
+    true (c1 < c7)
+
+let test_web_urls_stable () =
+  let base = Web_collection.base web_preset in
+  let d3 = Web_collection.evolve web_preset base ~days:3 in
+  Array.iteri
+    (fun i (p : Web_collection.page) ->
+      if p.url <> d3.(i).url then Alcotest.fail "url changed")
+    base
+
+let test_datasets_scale_env () =
+  (* Datasets honours FSYNC_SCALE; just check the accessor parses. *)
+  let s = Datasets.scale () in
+  Alcotest.(check bool) "positive" true (s > 0.0);
+  Alcotest.(check bool) "name nonempty" true (String.length (Datasets.scale_name ()) > 0)
+
+let suite =
+  [
+    ("apply insert", `Quick, test_apply_insert);
+    ("apply delete", `Quick, test_apply_delete);
+    ("apply replace", `Quick, test_apply_replace);
+    ("apply order independent", `Quick, test_apply_multiple_order_independent);
+    ("apply touching", `Quick, test_apply_touching_edits);
+    ("apply overlap rejected", `Quick, test_apply_overlap_rejected);
+    ("apply out of range", `Quick, test_apply_out_of_range);
+    random_edits_valid;
+    ("profiles magnitude", `Slow, test_profiles_magnitude);
+    ("text gen deterministic", `Quick, test_text_gen_deterministic);
+    ("text gen compressible", `Quick, test_text_gen_compressible);
+    ("text gen sizes", `Quick, test_text_gen_sizes);
+    ("source tree deterministic", `Slow, test_source_tree_deterministic);
+    ("source tree change profile", `Slow, test_source_tree_change_profile);
+    ("source tree distinct paths", `Quick, test_source_tree_distinct_paths);
+    ("source tree versions similar", `Slow, test_source_tree_versions_similar);
+    ("web deterministic", `Quick, test_web_deterministic);
+    ("web evolution fraction", `Quick, test_web_evolution_fraction);
+    ("web evolution cumulative", `Quick, test_web_evolution_cumulative);
+    ("web urls stable", `Quick, test_web_urls_stable);
+    ("datasets scale env", `Quick, test_datasets_scale_env);
+  ]
