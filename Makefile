@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test check bench examples doc clean
 
 all: build
 
@@ -8,14 +8,26 @@ build:
 test:
 	dune runtest
 
+# What CI runs: full build (including examples and benches) plus the test
+# suite.
+check: build test
+
+# QUICK=1 runs only the metadata scenario on its reduced matrix — a smoke
+# test fast enough for CI.
 bench:
+ifeq ($(QUICK),1)
+	QUICK=1 dune exec bench/main.exe -- metadata
+else
 	dune exec bench/main.exe
+endif
 
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/source_tree_sync.exe
 	dune exec examples/web_mirror.exe
 	dune exec examples/tuning.exe
+	dune exec examples/broadcast_mirror.exe
+	dune exec examples/metadata_recon.exe
 
 doc:
 	dune build @doc

@@ -139,21 +139,49 @@ let dir_cmd =
          & info [ "m"; "method" ] ~docv:"METHOD"
              ~doc:"Transfer method: full, rsync, rsync-best, fsync, zdelta, cdc.")
   in
+  let metadata_conv =
+    let parse = function
+      | "linear" -> Ok Fsync_collection.Driver.Linear
+      | "merkle" -> Ok Fsync_collection.Driver.Merkle
+      | s -> Error (`Msg (Printf.sprintf "unknown metadata mode %S (linear|merkle)" s))
+    in
+    Arg.conv (parse, fun ppf m ->
+        Format.fprintf ppf "%s" (Fsync_collection.Driver.metadata_name m))
+  in
+  let metadata_arg =
+    Arg.(value & opt metadata_conv Fsync_collection.Driver.Linear
+         & info [ "metadata" ] ~docv:"MODE"
+             ~doc:"Metadata reconciliation: linear (announce every \
+                   fingerprint) or merkle (hash-tree descent, cost scales \
+                   with the diff).")
+  in
   let apply_arg =
     Arg.(value & flag & info [ "apply" ]
            ~doc:"Actually update CLIENT on disk (default: report only).")
   in
-  let run method_ client_dir server_dir apply =
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print the metadata-phase message timeline (shows the \
+                 recon:level-k descent under --metadata merkle).")
+  in
+  let run method_ metadata client_dir server_dir apply trace =
     let client = Fsync_collection.Snapshot.load_dir client_dir in
     let server = Fsync_collection.Snapshot.load_dir server_dir in
-    let updated, summary = Fsync_collection.Driver.sync method_ ~client ~server in
+    let meta_channel = Fsync_net.Channel.create () in
+    let updated, summary =
+      Fsync_collection.Driver.sync ~metadata ~meta_channel method_ ~client ~server
+    in
+    if trace then Fsync_net.Trace.print meta_channel;
     Format.printf "%a@." Fsync_collection.Driver.pp_summary summary;
     if apply then begin
       Fsync_collection.Snapshot.store_dir client_dir updated;
       Format.printf "client updated in place@."
     end
   in
-  let term = Term.(const run $ method_arg $ client_arg $ server_arg $ apply_arg) in
+  let term =
+    Term.(const run $ method_arg $ metadata_arg $ client_arg $ server_arg
+          $ apply_arg $ trace_arg)
+  in
   Cmd.v
     (Cmd.info "dir" ~doc:"Synchronize a directory tree and report costs.")
     term

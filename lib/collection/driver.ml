@@ -2,6 +2,14 @@ module Deflate = Fsync_compress.Deflate
 module Delta = Fsync_delta.Delta
 module Rsync = Fsync_rsync.Rsync
 module Fp = Fsync_hash.Fingerprint
+module Varint = Fsync_util.Varint
+module Channel = Fsync_net.Channel
+module Merkle = Fsync_reconcile.Merkle
+module Recon = Fsync_reconcile.Recon
+
+type metadata_mode = Linear | Merkle
+
+let metadata_name = function Linear -> "linear" | Merkle -> "merkle"
 
 type method_ =
   | Full_raw
@@ -33,18 +41,23 @@ type file_outcome = {
 
 type summary = {
   method_used : string;
+  metadata_used : string;
   files_total : int;
   files_unchanged : int;
   files_new : int;
   files_deleted : int;
   bytes_old : int;
   bytes_new : int;
+  meta_c2s : int;
+  meta_s2c : int;
+  meta_rounds : int;
   total_c2s : int;
   total_s2c : int;
   outcomes : file_outcome list;
 }
 
 let total s = s.total_c2s + s.total_s2c
+let meta_total s = s.meta_c2s + s.meta_s2c
 
 (* One file through the chosen method; returns (reconstructed, c2s, s2c).
    The per-file header/fingerprint exchange is accounted at collection
@@ -86,32 +99,144 @@ let transfer method_ ~old_file ~new_file =
           r.cost.client_to_server,
           r.cost.server_to_client + String.length payload )
 
-let sync method_ ~client ~server =
+(* ---- metadata phase ----
+
+   Before any file content moves, the two sides must agree on *which*
+   paths changed.  [Linear] is the paper's fingerprint exchange: the
+   client announces every (path, fingerprint) pair and the server answers
+   with a verdict bitmap plus the list of new paths — O(total files)
+   bytes however small the diff.  [Merkle] runs the hash-tree
+   reconciliation of {!Fsync_reconcile.Recon}: cost proportional to the
+   diff, at the price of O(log n) round trips. *)
+
+type meta_outcome = {
+  unchanged_paths : (string, unit) Hashtbl.t;
+  new_count : int;
+  deleted_count : int;
+  m_c2s : int;
+  m_s2c : int;
+  m_rounds : int;
+}
+
+let linear_metadata ch ~client_files ~server_files ~client_map ~server_map =
+  (* Client leg: (varint path length, path, 16-byte fingerprint) per
+     file.  The varint width matters: a 1-byte prefix silently
+     undercounts paths of 128 bytes or more. *)
+  let announce =
+    let b = Buffer.create (64 * List.length client_files) in
+    List.iter
+      (fun (path, content) ->
+        Varint.write b (String.length path);
+        Buffer.add_string b path;
+        Buffer.add_string b (Fp.to_raw (Fp.of_string content)))
+      client_files;
+    Buffer.contents b
+  in
+  Channel.send ch ~label:"linear:announce" Channel.Client_to_server announce;
+  (* Server leg: parse the announcement, answer one verdict bit per
+     announced path (1 = unchanged) plus the new-path list, again with
+     varint-prefixed paths. *)
+  let msg = Channel.recv ch Channel.Client_to_server in
+  let announced = ref [] in
+  let pos = ref 0 in
+  while !pos < String.length msg do
+    let len, p = Varint.read msg ~pos:!pos in
+    let path = String.sub msg p len in
+    let fp = Fp.of_raw (String.sub msg (p + len) Fp.size_bytes) in
+    pos := p + len + Fp.size_bytes;
+    announced := (path, fp) :: !announced
+  done;
+  let announced = List.rev !announced in
+  let n = List.length announced in
+  let bitmap = Bytes.make ((n + 7) / 8) '\000' in
+  List.iteri
+    (fun i (path, fp) ->
+      let same =
+        match Hashtbl.find_opt server_map path with
+        | Some content -> Fp.equal fp (Fp.of_string content)
+        | None -> false
+      in
+      if same then
+        Bytes.set bitmap (i / 8)
+          (Char.chr (Char.code (Bytes.get bitmap (i / 8)) lor (1 lsl (i mod 8)))))
+    announced;
+  let verdict =
+    let b = Buffer.create 64 in
+    Buffer.add_bytes b bitmap;
+    let new_paths =
+      List.filter (fun (p, _) -> not (Hashtbl.mem client_map p)) server_files
+    in
+    (* The new-path section is omitted entirely when empty (the bitmap
+       length is implied by the announcement, so parsing stays unambiguous). *)
+    if new_paths <> [] then begin
+      Varint.write b (List.length new_paths);
+      List.iter
+        (fun (p, _) ->
+          Varint.write b (String.length p);
+          Buffer.add_string b p)
+        new_paths
+    end;
+    Buffer.contents b
+  in
+  Channel.send ch ~label:"linear:verdict" Channel.Server_to_client verdict;
+  (* Client leg: read the verdict back. *)
+  let msg = Channel.recv ch Channel.Server_to_client in
+  let unchanged_paths = Hashtbl.create 64 in
+  List.iteri
+    (fun i (path, _) ->
+      if Char.code msg.[i / 8] land (1 lsl (i mod 8)) <> 0 then
+        Hashtbl.replace unchanged_paths path ())
+    announced;
+  let n_new =
+    if Bytes.length bitmap >= String.length msg then 0
+    else fst (Varint.read msg ~pos:(Bytes.length bitmap))
+  in
+  let deleted_count =
+    List.length
+      (List.filter (fun (p, _) -> not (Hashtbl.mem server_map p)) client_files)
+  in
+  {
+    unchanged_paths;
+    new_count = n_new;
+    deleted_count;
+    m_c2s = String.length announce;
+    m_s2c = String.length verdict;
+    m_rounds = 1;
+  }
+
+let merkle_metadata ch ~client_files ~server_files ~client_map =
+  let ctree = Merkle.of_files client_files in
+  let stree = Merkle.of_files server_files in
+  let r = Recon.run ~channel:ch ~client:ctree ~server:stree () in
+  let changed = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace changed p ()) r.Recon.changed;
+  let unchanged_paths = Hashtbl.create 64 in
+  List.iter
+    (fun (p, _) ->
+      if Hashtbl.mem client_map p && not (Hashtbl.mem changed p) then
+        Hashtbl.replace unchanged_paths p ())
+    server_files;
+  {
+    unchanged_paths;
+    new_count = List.length r.Recon.added;
+    deleted_count = List.length r.Recon.deleted;
+    m_c2s = r.Recon.c2s_bytes;
+    m_s2c = r.Recon.s2c_bytes;
+    m_rounds = r.Recon.rounds;
+  }
+
+let sync ?(metadata = Linear) ?meta_channel method_ ~client ~server =
   let client_files = Snapshot.files client in
   let server_files = Snapshot.files server in
-  (* Fingerprint exchange: client announces (path, fingerprint) for each of
-     its files; the server answers with a per-file verdict bit and the list
-     of new paths. *)
-  let fp_c2s =
-    List.fold_left
-      (fun acc (path, content) ->
-        ignore content;
-        acc + String.length path + 1 + Fp.size_bytes)
-      0 client_files
-  in
+  let ch = match meta_channel with Some c -> c | None -> Channel.create () in
   let server_map = Hashtbl.create 64 in
   List.iter (fun (p, c) -> Hashtbl.replace server_map p c) server_files;
   let client_map = Hashtbl.create 64 in
   List.iter (fun (p, c) -> Hashtbl.replace client_map p c) client_files;
-  let new_paths =
-    List.filter (fun (p, _) -> not (Hashtbl.mem client_map p)) server_files
-  in
-  let deleted =
-    List.filter (fun (p, _) -> not (Hashtbl.mem server_map p)) client_files
-  in
-  let verdict_s2c =
-    ((List.length client_files + 7) / 8)
-    + List.fold_left (fun acc (p, _) -> acc + String.length p + 1) 0 new_paths
+  let meta =
+    match metadata with
+    | Linear -> linear_metadata ch ~client_files ~server_files ~client_map ~server_map
+    | Merkle -> merkle_metadata ch ~client_files ~server_files ~client_map
   in
   let outcomes = ref [] in
   let unchanged = ref 0 in
@@ -119,7 +244,7 @@ let sync method_ ~client ~server =
     List.map
       (fun (path, new_content) ->
         match Hashtbl.find_opt client_map path with
-        | Some old_content when String.equal old_content new_content ->
+        | Some old_content when Hashtbl.mem meta.unchanged_paths path ->
             incr unchanged;
             outcomes :=
               {
@@ -169,20 +294,25 @@ let sync method_ ~client ~server =
   ( result,
     {
       method_used = method_name method_;
+      metadata_used = metadata_name metadata;
       files_total = List.length server_files;
       files_unchanged = !unchanged;
-      files_new = List.length new_paths;
-      files_deleted = List.length deleted;
+      files_new = meta.new_count;
+      files_deleted = meta.deleted_count;
       bytes_old = Snapshot.total_bytes client;
       bytes_new = Snapshot.total_bytes server;
-      total_c2s = fp_c2s + sum (fun o -> o.c2s);
-      total_s2c = verdict_s2c + sum (fun o -> o.s2c);
+      meta_c2s = meta.m_c2s;
+      meta_s2c = meta.m_s2c;
+      meta_rounds = meta.m_rounds;
+      total_c2s = meta.m_c2s + sum (fun o -> o.c2s);
+      total_s2c = meta.m_s2c + sum (fun o -> o.s2c);
       outcomes;
     } )
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>%s: %d files (%d unchanged, %d new, %d deleted)@ old=%d new=%d \
-     bytes; c2s=%d s2c=%d total=%d@]"
+     bytes; c2s=%d s2c=%d total=%d@ metadata (%s): c2s=%d s2c=%d rounds=%d@]"
     s.method_used s.files_total s.files_unchanged s.files_new s.files_deleted
-    s.bytes_old s.bytes_new s.total_c2s s.total_s2c (total s)
+    s.bytes_old s.bytes_new s.total_c2s s.total_s2c (total s) s.metadata_used
+    s.meta_c2s s.meta_s2c s.meta_rounds

@@ -2,10 +2,23 @@
     the server's, file by file, with any of the methods the paper
     compares (Table 6.2).
 
-    Per-file fingerprints are exchanged first (16 bytes + path accounting
-    per file), unchanged files are skipped, deleted files cost one path
-    mention, new files are sent compressed; changed files go through the
-    selected transfer method. *)
+    The driver is a two-phase system.  A *metadata phase* first decides
+    which paths changed: either the paper's linear fingerprint exchange
+    (every path + 16-byte fingerprint crosses the wire) or the Merkle
+    anti-entropy reconciliation of {!Fsync_reconcile.Recon}, whose cost
+    scales with the diff instead of the collection.  A *transfer phase*
+    then moves the changed files with the selected per-file method:
+    unchanged files are skipped, deleted files cost nothing beyond the
+    metadata dialogue, new files are sent compressed; changed files go
+    through the selected transfer method. *)
+
+type metadata_mode =
+  | Linear  (** announce every (path, fingerprint); O(total files) bytes,
+                one round trip *)
+  | Merkle  (** hash-tree recursive descent; O(diff * log n) bytes,
+                O(log n) round trips *)
+
+val metadata_name : metadata_mode -> string
 
 type method_ =
   | Full_raw        (** send changed files uncompressed *)
@@ -28,26 +41,40 @@ type file_outcome = {
   new_bytes : int;
   c2s : int;
   s2c : int;
-  skipped : bool;  (** unchanged, detected via fingerprints *)
+  skipped : bool;  (** unchanged, detected during the metadata phase *)
 }
 
 type summary = {
   method_used : string;
+  metadata_used : string;
   files_total : int;
   files_unchanged : int;
   files_new : int;
   files_deleted : int;
   bytes_old : int;
   bytes_new : int;
+  meta_c2s : int;    (** metadata-phase bytes, client to server *)
+  meta_s2c : int;    (** metadata-phase bytes, server to client *)
+  meta_rounds : int; (** metadata-phase round trips *)
   total_c2s : int;
   total_s2c : int;
   outcomes : file_outcome list;
 }
 
 val total : summary -> int
+val meta_total : summary -> int
 
-val sync : method_ -> client:Snapshot.t -> server:Snapshot.t -> Snapshot.t * summary
+val sync :
+  ?metadata:metadata_mode ->
+  ?meta_channel:Fsync_net.Channel.t ->
+  method_ ->
+  client:Snapshot.t ->
+  server:Snapshot.t ->
+  Snapshot.t * summary
 (** Returns the client's updated snapshot (always equal to the server's)
-    and the cost summary. *)
+    and the cost summary.  [metadata] defaults to [Linear].  The
+    metadata dialogue runs over [meta_channel] when given (its transcript
+    then shows the [recon:level-k] descent or the [linear:announce] /
+    [linear:verdict] exchange); a private channel is used otherwise. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -42,3 +42,15 @@ let summary_by_label ch =
     (Channel.transcript ch);
   Hashtbl.fold (fun label (count, bytes) acc -> (label, count, bytes) :: acc) tbl []
   |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let bytes_with_prefix ch prefix =
+  let plen = String.length prefix in
+  List.fold_left
+    (fun (c2s, s2c) (dir, label, size) ->
+      if String.length label >= plen && String.equal (String.sub label 0 plen) prefix
+      then
+        match dir with
+        | Channel.Client_to_server -> (c2s + size, s2c)
+        | Channel.Server_to_client -> (c2s, s2c + size)
+      else (c2s, s2c))
+    (0, 0) (Channel.transcript ch)

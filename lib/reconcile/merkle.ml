@@ -1,0 +1,253 @@
+module Md5 = Fsync_hash.Md5
+module Fp = Fsync_hash.Fingerprint
+module Varint = Fsync_util.Varint
+
+type config = { fanout : int; bucket_size : int }
+
+let default_config = { fanout = 16; bucket_size = 8 }
+
+let key_bits = 61
+let key_space = 1 lsl key_bits
+
+type range = { lo : int; size : int }
+
+let root_range = { lo = 0; size = key_space }
+
+(* A leaf stores the raw 16-byte fingerprint; the key is derived from the
+   path so both replicas place the same path at the same point of the key
+   space regardless of insertion order. *)
+type leaf = { key : int; path : string; fp : string }
+
+type node =
+  | Bucket of { digest : string; leaves : leaf list (* (key, path) order *) }
+  | Split of { digest : string; count : int; children : node array }
+
+type t = { cfg : config; root : node }
+
+let config t = t.cfg
+
+let key_of_path path =
+  let d = Md5.digest path in
+  let k = ref 0L in
+  for i = 0 to 7 do
+    k := Int64.logor (Int64.shift_left !k 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  Int64.to_int (Int64.shift_right_logical !k (64 - key_bits))
+
+let leaf_compare a b =
+  match compare a.key b.key with 0 -> compare a.path b.path | c -> c
+
+(* ---- digests ---- *)
+
+let bucket_digest leaves =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf 'L';
+  List.iter
+    (fun l ->
+      Varint.write buf (String.length l.path);
+      Buffer.add_string buf l.path;
+      Buffer.add_string buf l.fp)
+    leaves;
+  Md5.digest (Buffer.contents buf)
+
+let split_digest children =
+  let buf = Buffer.create (1 + (16 * Array.length children)) in
+  Buffer.add_char buf 'N';
+  Array.iter
+    (fun child ->
+      Buffer.add_string buf
+        (match child with Bucket b -> b.digest | Split s -> s.digest))
+    children;
+  Md5.digest (Buffer.contents buf)
+
+let node_digest = function Bucket b -> b.digest | Split s -> s.digest
+let node_count = function Bucket b -> List.length b.leaves | Split s -> s.count
+
+(* ---- canonical ranges ---- *)
+
+(* [split_point size fanout i] is the offset of the i-th child boundary;
+   exact partition without overflow even for the full 2^61 key space. *)
+let split_point size fanout i = ((size / fanout) * i) + min i (size mod fanout)
+
+let children cfg r =
+  if r.size <= 1 then [||]
+  else
+    Array.init cfg.fanout (fun i ->
+        let l = r.lo + split_point r.size cfg.fanout i in
+        let h = r.lo + split_point r.size cfg.fanout (i + 1) in
+        { lo = l; size = h - l })
+
+let in_range r key = key >= r.lo && key < r.lo + r.size
+
+let child_index cfg r key =
+  let chs = children cfg r in
+  let rec find i =
+    if i >= Array.length chs then
+      invalid_arg "Merkle.child_index: key outside range"
+    else if in_range chs.(i) key then (i, chs)
+    else find (i + 1)
+  in
+  find 0
+
+(* ---- construction ---- *)
+
+(* Deterministic structure: a canonical range splits iff it holds more
+   than [bucket_size] leaves and can still be subdivided.  The digest of
+   a range is therefore a pure function of its leaf set. *)
+let rec make cfg r leaves n =
+  if n <= cfg.bucket_size || r.size <= 1 then
+    Bucket { digest = bucket_digest leaves; leaves }
+  else
+    let chs = children cfg r in
+    let rest = ref leaves in
+    let nodes =
+      Array.map
+        (fun cr ->
+          let mine, others =
+            (* leaves are (key, path)-sorted, so each child takes a prefix *)
+            let rec take acc = function
+              | l :: tl when in_range cr l.key -> take (l :: acc) tl
+              | tl -> (List.rev acc, tl)
+            in
+            take [] !rest
+          in
+          rest := others;
+          make cfg cr mine (List.length mine))
+        chs
+    in
+    Split { digest = split_digest nodes; count = n; children = nodes }
+
+let validate_config cfg =
+  if cfg.fanout < 2 then invalid_arg "Merkle: fanout must be >= 2";
+  if cfg.bucket_size < 1 then invalid_arg "Merkle: bucket_size must be >= 1"
+
+let build ?(config = default_config) pairs =
+  validate_config config;
+  let leaves =
+    List.map
+      (fun (path, fp) -> { key = key_of_path path; path; fp = Fp.to_raw fp })
+      pairs
+    |> List.sort leaf_compare
+  in
+  let rec check = function
+    | a :: (b :: _ as tl) ->
+        if String.equal a.path b.path then
+          invalid_arg
+            (Printf.sprintf "Merkle.build: duplicate path %s" a.path);
+        check tl
+    | _ -> ()
+  in
+  check leaves;
+  { cfg = config; root = make config root_range leaves (List.length leaves) }
+
+let of_files ?config pairs =
+  build ?config
+    (List.map (fun (p, content) -> (p, Fp.of_string content)) pairs)
+
+let cardinal t = node_count t.root
+let root_digest t = node_digest t.root
+
+(* ---- queries ---- *)
+
+let rec collect acc = function
+  | Bucket b -> List.rev_append b.leaves acc
+  | Split s -> Array.fold_left collect acc s.children
+
+let leaves t =
+  collect [] t.root
+  |> List.sort (fun a b -> compare a.path b.path)
+  |> List.map (fun l -> (l.path, Fp.of_raw l.fp))
+
+let find t path =
+  let key = key_of_path path in
+  let rec go r node =
+    match node with
+    | Bucket b ->
+        List.find_opt (fun l -> String.equal l.path path) b.leaves
+        |> Option.map (fun l -> Fp.of_raw l.fp)
+    | Split s ->
+        let i, chs = child_index t.cfg r key in
+        go chs.(i) s.children.(i)
+  in
+  go root_range t.root
+
+(* Walk to the deepest explicit node containing the canonical range, then
+   apply [on_node] if the node covers exactly the range, or [on_bucket]
+   with the leaves filtered to the range when the local tree stopped
+   splitting above it. *)
+let rec seek cfg r node target ~on_node ~on_bucket =
+  if r.lo = target.lo && r.size = target.size then on_node node
+  else
+    match node with
+    | Bucket b ->
+        on_bucket (List.filter (fun l -> in_range target l.key) b.leaves)
+    | Split s ->
+        let i, chs = child_index cfg r target.lo in
+        seek cfg chs.(i) s.children.(i) target ~on_node ~on_bucket
+
+let digest_of_range t target =
+  if target.size = 0 then bucket_digest []
+  else
+    seek t.cfg root_range t.root target
+      ~on_node:node_digest
+      ~on_bucket:(fun ls -> bucket_digest ls)
+
+let count_in_range t target =
+  if target.size = 0 then 0
+  else
+    seek t.cfg root_range t.root target
+      ~on_node:node_count
+      ~on_bucket:List.length
+
+let leaves_in_range t target =
+  if target.size = 0 then []
+  else
+    seek t.cfg root_range t.root target
+      ~on_node:(fun n -> List.sort leaf_compare (collect [] n))
+      ~on_bucket:(fun ls -> ls)
+    |> List.map (fun l -> (l.path, Fp.of_raw l.fp))
+
+(* ---- incremental update ---- *)
+
+(* Replace/insert/delete one path, recomputing digests only along the
+   root spine; a bucket that overflows is re-split locally, a split node
+   whose count drops to [bucket_size] collapses back to a bucket, so the
+   structure stays the deterministic function of the leaf set that the
+   digest rule requires. *)
+let update t path fp_opt =
+  let key = key_of_path path in
+  let leaf = Option.map (fun fp -> { key; path; fp = Fp.to_raw fp }) fp_opt in
+  let apply_bucket leaves =
+    let without = List.filter (fun l -> not (String.equal l.path path)) leaves in
+    match leaf with
+    | None -> without
+    | Some l -> List.sort leaf_compare (l :: without)
+  in
+  let rec go r node =
+    match node with
+    | Bucket b ->
+        let leaves = apply_bucket b.leaves in
+        make t.cfg r leaves (List.length leaves)
+    | Split s ->
+        let i, chs = child_index t.cfg r key in
+        let old_child = s.children.(i) in
+        let new_child = go chs.(i) old_child in
+        let count = s.count - node_count old_child + node_count new_child in
+        if count <= t.cfg.bucket_size then
+          let leaves =
+            let all = ref [] in
+            Array.iteri
+              (fun j c -> all := collect !all (if j = i then new_child else c))
+              s.children;
+            List.sort leaf_compare !all
+          in
+          Bucket { digest = bucket_digest leaves; leaves }
+        else
+          let nodes = Array.copy s.children in
+          nodes.(i) <- new_child;
+          Split { digest = split_digest nodes; count; children = nodes }
+  in
+  { t with root = go root_range t.root }
+
+let set t path fp = update t path (Some fp)
+let remove t path = update t path None

@@ -1,0 +1,82 @@
+(** Deterministic hash tree over the path space of a collection.
+
+    Leaves are (path, whole-file fingerprint) pairs placed in a fixed
+    61-bit key space by hashing the path; internal nodes cover canonical
+    key ranges obtained by recursively splitting the space into [fanout]
+    subranges.  The digest of a range is a pure function of the set of
+    leaves whose key falls inside it — independent of how either replica
+    happens to represent that range locally — so two replicas agree on a
+    range digest exactly when they agree on every file in the range.
+    This is what lets the reconciliation protocol ({!Recon}) descend
+    only into differing subtrees, mirroring the paper's recursive
+    splitting of unmatched file regions at the collection level.
+
+    Digest rule for a canonical range [R] holding leaf set [S]:
+    - if [|S| <= bucket_size] (or [R] can no longer be split):
+      [MD5 ("L" ++ serialized leaves of S in (key, path) order)];
+    - otherwise [MD5 ("N" ++ concatenated child-range digests)].
+
+    Trees are persistent; {!set} / {!remove} rebuild only the spine from
+    the touched leaf to the root (O(depth) digest recomputations). *)
+
+type config = {
+  fanout : int;       (** children per internal node; >= 2 *)
+  bucket_size : int;  (** max leaves summarized by a single leaf node; >= 1 *)
+}
+
+val default_config : config
+(** fanout 16, bucket_size 8. *)
+
+type t
+
+val build : ?config:config -> (string * Fsync_hash.Fingerprint.t) list -> t
+(** Build from (path, fingerprint) pairs.
+    @raise Invalid_argument on duplicate paths or invalid config. *)
+
+val of_files : ?config:config -> (string * string) list -> t
+(** [build] over (path, contents) pairs, fingerprinting each content. *)
+
+val config : t -> config
+val cardinal : t -> int
+
+val root_digest : t -> string
+(** 16 bytes; equal on two replicas iff their (path, fingerprint) sets
+    are equal (up to MD5 collisions). *)
+
+val find : t -> string -> Fsync_hash.Fingerprint.t option
+
+val leaves : t -> (string * Fsync_hash.Fingerprint.t) list
+(** Sorted by path. *)
+
+val set : t -> string -> Fsync_hash.Fingerprint.t -> t
+(** Insert or replace one leaf, recomputing only the root spine. *)
+
+val remove : t -> string -> t
+(** Remove a leaf if present. *)
+
+(** {2 Canonical ranges}
+
+    The reconciliation protocol addresses subtrees by canonical key
+    range; both endpoints derive identical ranges from [config] alone. *)
+
+type range = { lo : int; size : int }
+
+val root_range : range
+(** The whole key space, [{lo = 0; size = 2^61}]. *)
+
+val children : config -> range -> range array
+(** The [fanout] canonical subranges of a range (empty array when the
+    range has size 1 and cannot be split). *)
+
+val key_of_path : string -> int
+(** The 61-bit key a path hashes to. *)
+
+val digest_of_range : t -> range -> string
+(** Digest of the canonical range per the rule above, regardless of how
+    this tree represents the range internally.  16 bytes. *)
+
+val count_in_range : t -> range -> int
+
+val leaves_in_range : t -> range -> (string * Fsync_hash.Fingerprint.t) list
+(** Leaves whose key falls in the range, in (key, path) order — the
+    serialization order of the digest rule. *)

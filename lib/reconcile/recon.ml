@@ -1,0 +1,282 @@
+module Channel = Fsync_net.Channel
+module Varint = Fsync_util.Varint
+module Fp = Fsync_hash.Fingerprint
+
+type config = { digest_bytes : int }
+
+let default_config = { digest_bytes = 4 }
+
+type round = { label : string; c2s : int; s2c : int }
+
+type result = {
+  changed : string list;
+  added : string list;
+  deleted : string list;
+  rounds : int;
+  c2s_bytes : int;
+  s2c_bytes : int;
+  round_log : round list;
+  widened : bool;
+  fell_back : bool;
+}
+
+let total_bytes r = r.c2s_bytes + r.s2c_bytes
+
+(* ---- wire helpers ---- *)
+
+let pack_bitmap flags =
+  let n = Array.length flags in
+  let b = Bytes.make ((n + 7) / 8) '\000' in
+  Array.iteri
+    (fun i f ->
+      if f then
+        Bytes.set b (i / 8)
+          (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8)))))
+    flags;
+  Bytes.to_string b
+
+let bitmap_get s i = Char.code s.[i / 8] land (1 lsl (i mod 8)) <> 0
+
+let write_leaves buf leaves =
+  Varint.write buf (List.length leaves);
+  List.iter
+    (fun (path, fp) ->
+      Varint.write buf (String.length path);
+      Buffer.add_string buf path;
+      Buffer.add_string buf (Fp.to_raw fp))
+    leaves
+
+let read_leaves s pos =
+  let n, pos = Varint.read s ~pos in
+  let pos = ref pos in
+  let out =
+    List.init n (fun _ ->
+        let len, p = Varint.read s ~pos:!pos in
+        let path = String.sub s p len in
+        let fp = Fp.of_raw (String.sub s (p + len) Fp.size_bytes) in
+        pos := p + len + Fp.size_bytes;
+        (path, fp))
+  in
+  (out, !pos)
+
+(* ---- the protocol ---- *)
+
+type hypothesis = {
+  h_changed : (string, Fp.t) Hashtbl.t;
+  h_added : (string, Fp.t) Hashtbl.t;
+  mutable h_deleted : string list;
+}
+
+let diff_leaf_lists hyp ~local ~remote =
+  let local_tbl = Hashtbl.create 16 in
+  List.iter (fun (p, fp) -> Hashtbl.replace local_tbl p fp) local;
+  List.iter
+    (fun (p, fp) ->
+      match Hashtbl.find_opt local_tbl p with
+      | None -> Hashtbl.replace hyp.h_added p fp
+      | Some mine ->
+          if not (Fp.equal mine fp) then Hashtbl.replace hyp.h_changed p fp)
+    remote;
+  let remote_tbl = Hashtbl.create 16 in
+  List.iter (fun (p, _) -> Hashtbl.replace remote_tbl p ()) remote;
+  List.iter
+    (fun (p, _) ->
+      if not (Hashtbl.mem remote_tbl p) then
+        hyp.h_deleted <- p :: hyp.h_deleted)
+    local
+
+let run ?channel ?(config = default_config) ~client ~server () =
+  if config.digest_bytes < 1 || config.digest_bytes > 16 then
+    invalid_arg "Recon.run: digest_bytes must be in 1..16";
+  if Merkle.config client <> Merkle.config server then
+    invalid_arg "Recon.run: replicas must agree on the tree configuration";
+  let mcfg = Merkle.config client in
+  let ch = match channel with Some c -> c | None -> Channel.create () in
+  let log = ref [] in
+  let send_c2s label payload =
+    Channel.send ch ~label Channel.Client_to_server payload
+  in
+  let send_s2c label payload =
+    Channel.send ch ~label Channel.Server_to_client payload
+  in
+  let record label c2s s2c = log := { label; c2s; s2c } :: !log in
+
+  (* One full recursive descent at the given digest width.  Returns
+     [`Clean] when the full-width roots already agree, or the diff
+     hypothesis accumulated from truncated-digest comparisons. *)
+  let descend width =
+    let truncate d = String.sub d 0 width in
+    (* level 0: client announces the width; server answers count + full
+       root digest. *)
+    let hello =
+      let b = Buffer.create 2 in
+      Varint.write b width;
+      Buffer.contents b
+    in
+    send_c2s "recon:level-0" hello;
+    (* server endpoint *)
+    let server_width, _ = Varint.read (Channel.recv ch Channel.Client_to_server) ~pos:0 in
+    let root_msg =
+      let b = Buffer.create 20 in
+      Varint.write b (Merkle.cardinal server);
+      Buffer.add_string b (Merkle.root_digest server);
+      Buffer.contents b
+    in
+    send_s2c "recon:level-0" root_msg;
+    (* client endpoint *)
+    let msg = Channel.recv ch Channel.Server_to_client in
+    let _server_count, pos = Varint.read msg ~pos:0 in
+    let server_root = String.sub msg pos 16 in
+    record "recon:level-0" (String.length hello) (String.length root_msg);
+    if String.equal server_root (Merkle.root_digest client) then `Clean
+    else begin
+      let hyp =
+        {
+          h_changed = Hashtbl.create 16;
+          h_added = Hashtbl.create 16;
+          h_deleted = [];
+        }
+      in
+      (* Both endpoints track the list of ranges whose digests were
+         offered in the previous round; the client's bitmap refers to
+         that shared order, so ranges never travel on the wire. *)
+      let offered = ref [| Merkle.root_range |] in
+      let wants = ref [| true |] in
+      let level = ref 0 in
+      while Array.exists Fun.id !wants do
+        incr level;
+        let label = Printf.sprintf "recon:level-%d" !level in
+        let bitmap = pack_bitmap !wants in
+        send_c2s label bitmap;
+        (* server endpoint: expand every selected range. *)
+        let req = Channel.recv ch Channel.Client_to_server in
+        let selected =
+          Array.to_list !offered
+          |> List.filteri (fun i _ -> bitmap_get req i)
+        in
+        let reply = Buffer.create 256 in
+        List.iter
+          (fun (r : Merkle.range) ->
+            if Merkle.count_in_range server r <= mcfg.bucket_size || r.size <= 1
+            then begin
+              Buffer.add_char reply 'L';
+              write_leaves reply (Merkle.leaves_in_range server r)
+            end
+            else begin
+              Buffer.add_char reply 'S';
+              Array.iter
+                (fun child ->
+                  Buffer.add_string reply
+                    (String.sub (Merkle.digest_of_range server child) 0
+                       server_width))
+                (Merkle.children mcfg r)
+            end)
+          selected;
+        send_s2c label (Buffer.contents reply);
+        (* client endpoint: compare child digests / diff leaf lists. *)
+        let resp = Channel.recv ch Channel.Server_to_client in
+        let next_offered = ref [] and next_wants = ref [] in
+        let pos = ref 0 in
+        List.iter
+          (fun (r : Merkle.range) ->
+            let tag = resp.[!pos] in
+            incr pos;
+            match tag with
+            | 'L' ->
+                let remote, p = read_leaves resp !pos in
+                pos := p;
+                diff_leaf_lists hyp ~local:(Merkle.leaves_in_range client r)
+                  ~remote
+            | 'S' ->
+                Array.iter
+                  (fun (child : Merkle.range) ->
+                    let theirs = String.sub resp !pos width in
+                    pos := !pos + width;
+                    let mine = truncate (Merkle.digest_of_range client child) in
+                    next_offered := child :: !next_offered;
+                    next_wants := (not (String.equal mine theirs)) :: !next_wants)
+                  (Merkle.children mcfg r)
+            | c -> invalid_arg (Printf.sprintf "Recon: bad tag %C" c))
+          selected;
+        offered := Array.of_list (List.rev !next_offered);
+        wants := Array.of_list (List.rev !next_wants);
+        record label (String.length bitmap) (String.length resp)
+      done;
+      `Diff hyp
+    end
+  in
+
+  let finish ~widened ~fell_back hyp =
+    let sorted_keys tbl =
+      Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+    in
+    let rounds_list = List.rev !log in
+    {
+      changed = sorted_keys hyp.h_changed;
+      added = sorted_keys hyp.h_added;
+      deleted = List.sort compare hyp.h_deleted;
+      rounds = List.length rounds_list;
+      c2s_bytes = List.fold_left (fun a r -> a + r.c2s) 0 rounds_list;
+      s2c_bytes = List.fold_left (fun a r -> a + r.s2c) 0 rounds_list;
+      round_log = rounds_list;
+      widened;
+      fell_back;
+    }
+  in
+  let empty_hyp =
+    { h_changed = Hashtbl.create 1; h_added = Hashtbl.create 1; h_deleted = [] }
+  in
+
+  (* Ultimate safety net: exchange the complete leaf list, making the
+     diff exact even under MD5 collisions in interior digests. *)
+  let fallback ~widened =
+    send_c2s "recon:fallback" "\001";
+    ignore (Channel.recv ch Channel.Client_to_server);
+    let msg = Buffer.create 1024 in
+    write_leaves msg (Merkle.leaves server);
+    send_s2c "recon:fallback" (Buffer.contents msg);
+    let resp = Channel.recv ch Channel.Server_to_client in
+    let remote, _ = read_leaves resp 0 in
+    let hyp =
+      { h_changed = Hashtbl.create 16; h_added = Hashtbl.create 16; h_deleted = [] }
+    in
+    diff_leaf_lists hyp ~local:(Merkle.leaves client) ~remote;
+    record "recon:fallback" 1 (String.length resp);
+    finish ~widened ~fell_back:true hyp
+  in
+
+  let rec attempt width ~widened =
+    match descend width with
+    | `Clean -> finish ~widened ~fell_back:false empty_hyp
+    | `Diff hyp ->
+        (* Confirmation: apply the hypothesis to the client's own tree
+           (incremental updates) and check the resulting root against the
+           server's at full width. *)
+        let expected =
+          let t = ref client in
+          Hashtbl.iter (fun p fp -> t := Merkle.set !t p fp) hyp.h_changed;
+          Hashtbl.iter (fun p fp -> t := Merkle.set !t p fp) hyp.h_added;
+          List.iter (fun p -> t := Merkle.remove !t p) hyp.h_deleted;
+          !t
+        in
+        send_c2s "recon:confirm" (Merkle.root_digest expected);
+        let claim = Channel.recv ch Channel.Client_to_server in
+        let verdict =
+          if String.equal claim (Merkle.root_digest server) then "\001" else "\000"
+        in
+        send_s2c "recon:confirm" verdict;
+        let ok = String.equal (Channel.recv ch Channel.Server_to_client) "\001" in
+        record "recon:confirm" 16 1;
+        if ok then finish ~widened ~fell_back:false hyp
+        else if width < 16 then attempt 16 ~widened:true
+        else fallback ~widened
+  in
+  attempt config.digest_bytes ~widened:false
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>recon: %d changed, %d new, %d deleted; %d rounds, c2s=%d s2c=%d%s%s@]"
+    (List.length r.changed) (List.length r.added) (List.length r.deleted)
+    r.rounds r.c2s_bytes r.s2c_bytes
+    (if r.widened then " (widened)" else "")
+    (if r.fell_back then " (fell back)" else "")

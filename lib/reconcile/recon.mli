@@ -1,0 +1,69 @@
+(** Merkle anti-entropy reconciliation of collection metadata.
+
+    A multi-round dialogue over {!Fsync_net.Channel} that computes the
+    exact changed / new / deleted path sets between two replicas while
+    spending bytes proportional to the size of the *diff*, not the size
+    of the collection — the collection-level analogue of the paper's
+    recursive splitting of unmatched file regions (§5.1): the client
+    descends only into subtrees whose digests differ, narrowing
+    geometrically each round.
+
+    Round structure (one round trip per tree level, so a whole
+    collection costs [O(log n)] trips however many files differ):
+    - [recon:level-0] — client announces the digest width, server
+      answers with its leaf count and *full-width* root digest;
+    - [recon:level-k] — client sends a bitmap selecting the offered
+      ranges whose digests disagreed; the server expands each selected
+      range into either child digests (truncated to [digest_bytes]) or,
+      once few enough leaves remain, the (path, fingerprint) leaves
+      themselves;
+    - [recon:confirm] — the client applies the hypothesised diff to its
+      own tree and sends the resulting full-width root; the server
+      acknowledges.  A truncated-digest collision can hide a differing
+      subtree, so a failed confirmation re-runs the descent at full
+      16-byte width ([widened = true]); if even that fails (an MD5
+      collision), [recon:fallback] exchanges the complete leaf list, so
+      the returned diff is exact unconditionally. *)
+
+type config = {
+  digest_bytes : int;
+      (** wire width of interior digests, 1..16; leaf fingerprints are
+          always sent at full width *)
+}
+
+val default_config : config
+(** [digest_bytes = 4]: collisions are ~2^-32 per comparison and are
+    caught by the confirmation round. *)
+
+type round = { label : string; c2s : int; s2c : int }
+(** Byte accounting for one round trip, labelled as on the channel. *)
+
+type result = {
+  changed : string list;  (** on both replicas, fingerprints differ *)
+  added : string list;    (** on the server only *)
+  deleted : string list;  (** on the client only *)
+  rounds : int;           (** round trips consumed *)
+  c2s_bytes : int;
+  s2c_bytes : int;
+  round_log : round list; (** per-round accounting, in protocol order *)
+  widened : bool;         (** a truncated-digest collision forced a
+                              full-width re-descent *)
+  fell_back : bool;       (** the full leaf list had to be exchanged *)
+}
+
+val total_bytes : result -> int
+
+val run :
+  ?channel:Fsync_net.Channel.t ->
+  ?config:config ->
+  client:Merkle.t ->
+  server:Merkle.t ->
+  unit ->
+  result
+(** Run both endpoints over the channel (created if not supplied); every
+    reported byte crosses a real serialize/parse boundary.  All path
+    lists in the result are sorted.
+    @raise Invalid_argument if the two trees disagree on fanout or
+    bucket size, or if [digest_bytes] is outside 1..16. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -149,6 +149,68 @@ let test_driver_accounting () =
   Alcotest.(check bool) "c2s >= file costs" true (summary.total_c2s >= sum_c2s);
   Alcotest.(check int) "bytes_new" (Snapshot.total_bytes server) summary.bytes_new
 
+let test_driver_merkle_metadata () =
+  (* Every method must still reconstruct exactly under Merkle metadata, and
+     the resulting snapshot must be identical to the Linear-mode result. *)
+  let old_files = mk_files 6 12 in
+  let new_files = mutate_some 6 old_files in
+  let client = Snapshot.of_files old_files in
+  let server = Snapshot.of_files new_files in
+  List.iter
+    (fun m ->
+      let linear, _ = Driver.sync ~metadata:Driver.Linear m ~client ~server in
+      let merkle, summary = Driver.sync ~metadata:Driver.Merkle m ~client ~server in
+      if Snapshot.files merkle <> Snapshot.files server then
+        Alcotest.failf "%s (merkle) did not reconstruct" (Driver.method_name m);
+      Alcotest.(check (list (pair string string)))
+        "same result across metadata modes" (Snapshot.files linear)
+        (Snapshot.files merkle);
+      Alcotest.(check string) "metadata_used" "merkle" summary.metadata_used;
+      Alcotest.(check bool) "rounds >= 1" true (summary.meta_rounds >= 1);
+      Alcotest.(check bool) "meta bytes counted" true
+        (Driver.meta_total summary > 0))
+    methods
+
+let test_driver_merkle_cheaper_when_little_changed () =
+  (* On a collection where only one file changed, the recursive-descent
+     metadata exchange must beat the linear fingerprint announcement. *)
+  let files = mk_files 7 400 in
+  let changed =
+    List.mapi
+      (fun i (p, c) -> if i = 123 then (p, c ^ "\n// touched\n") else (p, c))
+      files
+  in
+  let client = Snapshot.of_files files in
+  let server = Snapshot.of_files changed in
+  let _, lin = Driver.sync ~metadata:Driver.Linear Driver.Full_raw ~client ~server in
+  let _, mrk = Driver.sync ~metadata:Driver.Merkle Driver.Full_raw ~client ~server in
+  Alcotest.(check int) "linear finds the change" 399 lin.files_unchanged;
+  Alcotest.(check int) "merkle finds the change" 399 mrk.files_unchanged;
+  Alcotest.(check bool)
+    (Printf.sprintf "merkle meta (%d) < linear meta (%d)" (Driver.meta_total mrk)
+       (Driver.meta_total lin))
+    true
+    (Driver.meta_total mrk < Driver.meta_total lin);
+  (* Linear resolves in one round; merkle pays extra rounds for the savings. *)
+  Alcotest.(check int) "linear rounds" 1 lin.meta_rounds;
+  Alcotest.(check bool) "merkle descends" true (mrk.meta_rounds > 1)
+
+let test_driver_merkle_empty_diff () =
+  let files = mk_files 8 50 in
+  let client = Snapshot.of_files files in
+  let server = Snapshot.of_files files in
+  let result, summary =
+    Driver.sync ~metadata:Driver.Merkle Driver.Rsync_default ~client ~server
+  in
+  Alcotest.(check (list (pair string string)))
+    "identical" (Snapshot.files server) (Snapshot.files result);
+  Alcotest.(check int) "all unchanged" 50 summary.files_unchanged;
+  (* Equal roots: one round, a few dozen bytes, no file content moved. *)
+  Alcotest.(check int) "one round" 1 summary.meta_rounds;
+  Alcotest.(check bool) "tiny metadata" true (Driver.meta_total summary < 64);
+  Alcotest.(check int) "total = metadata" (Driver.meta_total summary)
+    (Driver.total summary)
+
 (* ---- Pipeline ---- *)
 
 let test_pipeline_reconstructs () =
@@ -218,6 +280,9 @@ let suite =
     ("driver new and deleted", `Quick, test_driver_new_and_deleted);
     ("driver cost ordering", `Slow, test_driver_ordering);
     ("driver accounting", `Quick, test_driver_accounting);
+    ("driver merkle metadata", `Slow, test_driver_merkle_metadata);
+    ("driver merkle cheaper", `Quick, test_driver_merkle_cheaper_when_little_changed);
+    ("driver merkle empty diff", `Quick, test_driver_merkle_empty_diff);
     ("pipeline reconstructs", `Quick, test_pipeline_reconstructs);
     ("pipeline empty", `Quick, test_pipeline_empty);
     ("driver empty collections", `Quick, test_driver_empty_collections);

@@ -9,6 +9,7 @@ let () =
       ("net", Test_net.suite);
       ("core", Test_core.suite);
       ("collection", Test_collection.suite);
+      ("reconcile", Test_reconcile.suite);
       ("extensions", Test_extensions.suite);
       ("workload", Test_workload.suite);
     ]

@@ -1,0 +1,319 @@
+(* Tests for Fsync_reconcile: the Merkle tree over the path space and the
+   recursive-descent reconciliation protocol, checked against a naive
+   path-map diff across fanouts, digest widths, and random edit scripts. *)
+
+module Merkle = Fsync_reconcile.Merkle
+module Recon = Fsync_reconcile.Recon
+module Fp = Fsync_hash.Fingerprint
+module Prng = Fsync_util.Prng
+
+let gen_text rng n =
+  String.init n (fun _ -> Char.chr (97 + Prng.int rng 26))
+
+let mk_files seed n =
+  let rng = Prng.create (Int64.of_int seed) in
+  List.init n (fun i ->
+      ( Printf.sprintf "dir%d/sub%d/file%04d.txt" (i mod 5) (i mod 11) i,
+        Fsync_workload.Text_gen.c_like rng ~lines:(3 + Prng.int rng 12) ))
+
+(* Random collection mutation: edit some contents through the paper's
+   edit model, delete some paths, add some fresh ones. *)
+let mutate_collection rng files =
+  let edited =
+    List.filter_map
+      (fun (path, content) ->
+        if Prng.bernoulli rng 0.15 then None (* deleted *)
+        else if Prng.bernoulli rng 0.3 then
+          Some
+            ( path,
+              Fsync_workload.Edit_model.mutate rng
+                ~profile:Fsync_workload.Edit_model.medium ~gen_text content )
+        else Some (path, content))
+      files
+  in
+  let added =
+    List.init (Prng.int rng 6) (fun i ->
+        (Printf.sprintf "fresh/new%04d_%d.txt" (Prng.int rng 10_000) i,
+         gen_text rng (10 + Prng.int rng 50)))
+  in
+  edited @ added
+
+(* The reference answer: a naive diff over path maps. *)
+let naive_diff client_files server_files =
+  let ct = Hashtbl.create 64 and st = Hashtbl.create 64 in
+  List.iter (fun (p, c) -> Hashtbl.replace ct p c) client_files;
+  List.iter (fun (p, c) -> Hashtbl.replace st p c) server_files;
+  let changed =
+    List.filter_map
+      (fun (p, c) ->
+        match Hashtbl.find_opt ct p with
+        | Some old when not (String.equal old c) -> Some p
+        | _ -> None)
+      server_files
+  and added =
+    List.filter_map
+      (fun (p, _) -> if Hashtbl.mem ct p then None else Some p)
+      server_files
+  and deleted =
+    List.filter_map
+      (fun (p, _) -> if Hashtbl.mem st p then None else Some p)
+      client_files
+  in
+  (List.sort compare changed, List.sort compare added, List.sort compare deleted)
+
+let check_exact ~cfg ~digest_bytes client_files server_files =
+  let client = Merkle.of_files ~config:cfg client_files in
+  let server = Merkle.of_files ~config:cfg server_files in
+  let r = Recon.run ~config:{ digest_bytes } ~client ~server () in
+  let changed, added, deleted = naive_diff client_files server_files in
+  let sl = Alcotest.(check (list string)) in
+  sl "changed" changed r.changed;
+  sl "added" added r.added;
+  sl "deleted" deleted r.deleted;
+  r
+
+(* ---- Merkle tree ---- *)
+
+let test_merkle_root_stability () =
+  let files = mk_files 10 40 in
+  let a = Merkle.of_files files in
+  let b = Merkle.of_files (List.rev files) in
+  Alcotest.(check string) "order independent" (Merkle.root_digest a)
+    (Merkle.root_digest b);
+  Alcotest.(check int) "cardinal" 40 (Merkle.cardinal a);
+  let paths = List.map fst (Merkle.leaves a) in
+  Alcotest.(check (list string)) "leaves sorted by path"
+    (List.sort compare (List.map fst files)) paths
+
+let test_merkle_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Merkle.build: duplicate path a") (fun () ->
+      ignore (Merkle.of_files [ ("a", "1"); ("a", "2") ]))
+
+let test_merkle_incremental_update () =
+  (* set/remove must agree with a from-scratch rebuild, including bucket
+     splits (insertions past bucket_size) and collapses (deletions). *)
+  let cfg = { Merkle.fanout = 4; bucket_size = 2 } in
+  let files = mk_files 11 30 in
+  let t = ref (Merkle.of_files ~config:cfg []) in
+  List.iter (fun (p, c) -> t := Merkle.set !t p (Fp.of_string c)) files;
+  let rebuilt = Merkle.of_files ~config:cfg files in
+  Alcotest.(check string) "inserts" (Merkle.root_digest rebuilt)
+    (Merkle.root_digest !t);
+  (* replace one leaf *)
+  let p0 = fst (List.hd files) in
+  let t2 = Merkle.set !t p0 (Fp.of_string "other content") in
+  Alcotest.(check bool) "root moved" false
+    (String.equal (Merkle.root_digest t2) (Merkle.root_digest !t));
+  Alcotest.(check string) "replace = rebuild"
+    (Merkle.root_digest
+       (Merkle.of_files ~config:cfg
+          ((p0, "other content") :: List.tl files)))
+    (Merkle.root_digest t2);
+  (* delete down to a handful of leaves: splits must collapse back *)
+  let kept = List.filteri (fun i _ -> i < 3) files in
+  let t3 =
+    List.fold_left
+      (fun t (p, _) -> Merkle.remove t p)
+      !t
+      (List.filteri (fun i _ -> i >= 3) files)
+  in
+  Alcotest.(check string) "deletes = rebuild"
+    (Merkle.root_digest (Merkle.of_files ~config:cfg kept))
+    (Merkle.root_digest t3);
+  Alcotest.(check int) "cardinal after deletes" 3 (Merkle.cardinal t3)
+
+let test_merkle_find () =
+  let files = mk_files 12 25 in
+  let t = Merkle.of_files files in
+  List.iter
+    (fun (p, c) ->
+      match Merkle.find t p with
+      | Some fp -> Alcotest.(check bool) p true (Fp.equal fp (Fp.of_string c))
+      | None -> Alcotest.failf "%s not found" p)
+    files;
+  Alcotest.(check bool) "missing" true (Merkle.find t "no/such/path" = None)
+
+let test_merkle_range_digest_agreement () =
+  (* digest_of_range must be structure-independent: a replica holding only
+     a few of the leaves (big buckets) and one holding many (deep splits)
+     agree on every canonical range where their leaf sets agree. *)
+  let files = mk_files 13 60 in
+  let small = { Merkle.fanout = 2; bucket_size = 1 } in
+  let big = { Merkle.fanout = 2; bucket_size = 64 } in
+  let a = Merkle.of_files ~config:small files in
+  let b = Merkle.of_files ~config:small files in
+  let shallow = Merkle.of_files ~config:big files in
+  ignore shallow;
+  let rec walk r depth =
+    Alcotest.(check string)
+      (Printf.sprintf "range lo=%d size=%d" r.Merkle.lo r.Merkle.size)
+      (Merkle.digest_of_range a r) (Merkle.digest_of_range b r);
+    if depth > 0 then
+      Array.iter (fun c -> walk c (depth - 1)) (Merkle.children small r)
+  in
+  walk Merkle.root_range 4
+
+(* ---- reconciliation: exactness across fanouts and digest widths ---- *)
+
+let test_recon_matches_naive () =
+  List.iter
+    (fun fanout ->
+      List.iter
+        (fun digest_bytes ->
+          List.iter
+            (fun seed ->
+              let rng = Prng.create (Int64.of_int (900 + seed)) in
+              let base = mk_files seed (10 + Prng.int rng 50) in
+              let server_files = mutate_collection rng base in
+              let cfg = { Merkle.fanout; bucket_size = 1 + Prng.int rng 6 } in
+              ignore (check_exact ~cfg ~digest_bytes base server_files))
+            [ 1; 2; 3 ])
+        [ 2; 4; 16 ])
+    [ 2; 4; 16 ]
+
+let test_recon_narrow_digests_exact () =
+  (* 1-byte digests collide constantly; the confirmation round plus
+     full-width re-descent must still deliver the exact diff. *)
+  let widened = ref false in
+  for seed = 1 to 12 do
+    let rng = Prng.create (Int64.of_int (3000 + seed)) in
+    let base = mk_files (40 + seed) 80 in
+    let server_files = mutate_collection rng base in
+    let r =
+      check_exact
+        ~cfg:{ Merkle.fanout = 2; bucket_size = 1 }
+        ~digest_bytes:1 base server_files
+    in
+    if r.widened then widened := true
+  done;
+  ignore !widened
+
+let test_recon_empty_diff () =
+  let files = mk_files 20 30 in
+  let cfg = Merkle.default_config in
+  let r = check_exact ~cfg ~digest_bytes:4 files files in
+  Alcotest.(check int) "single round" 1 r.rounds;
+  Alcotest.(check bool) "tiny cost" true (Recon.total_bytes r < 64);
+  Alcotest.(check bool) "no widening" true (not r.widened && not r.fell_back)
+
+let test_recon_everything_changed () =
+  let files = mk_files 21 40 in
+  let rng = Prng.create 99L in
+  let server_files =
+    List.map (fun (p, c) -> (p, c ^ gen_text rng 8)) files
+  in
+  let r =
+    check_exact ~cfg:{ Merkle.fanout = 4; bucket_size = 2 } ~digest_bytes:4
+      files server_files
+  in
+  Alcotest.(check int) "all changed" 40 (List.length r.changed)
+
+let test_recon_one_side_empty () =
+  let files = mk_files 22 25 in
+  let cfg = Merkle.default_config in
+  let r = check_exact ~cfg ~digest_bytes:4 [] files in
+  Alcotest.(check int) "all added" 25 (List.length r.added);
+  let r' = check_exact ~cfg ~digest_bytes:4 files [] in
+  Alcotest.(check int) "all deleted" 25 (List.length r'.deleted);
+  let r'' = check_exact ~cfg ~digest_bytes:4 [] [] in
+  Alcotest.(check int) "empty vs empty is free" 1 r''.rounds
+
+let test_recon_long_paths () =
+  (* Paths of >= 256 bytes must survive the varint framing. *)
+  let long i = String.concat "/" (List.init 40 (fun j -> Printf.sprintf "d%02d_%02d" i j)) in
+  let client = List.init 8 (fun i -> (long i, Printf.sprintf "body %d" i)) in
+  let server =
+    List.map (fun (p, c) -> if String.length c mod 2 = 0 then (p, c ^ "!") else (p, c)) client
+  in
+  List.iter (fun (p, _) -> Alcotest.(check bool) "long" true (String.length p >= 256)) client;
+  ignore (check_exact ~cfg:Merkle.default_config ~digest_bytes:4 client server)
+
+let test_recon_config_mismatch () =
+  let a = Merkle.of_files ~config:{ Merkle.fanout = 2; bucket_size = 2 } [] in
+  let b = Merkle.of_files ~config:{ Merkle.fanout = 4; bucket_size = 2 } [] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Recon.run: replicas must agree on the tree configuration")
+    (fun () -> ignore (Recon.run ~client:a ~server:b ()))
+
+(* ---- trace: the descent must be visible per level ---- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let test_recon_trace_labels () =
+  let rng = Prng.create 55L in
+  let base = mk_files 30 60 in
+  let server_files = mutate_collection rng base in
+  let cfg = { Merkle.fanout = 4; bucket_size = 2 } in
+  let client = Merkle.of_files ~config:cfg base in
+  let server = Merkle.of_files ~config:cfg server_files in
+  let ch = Fsync_net.Channel.create () in
+  let r = Recon.run ~channel:ch ~client ~server () in
+  let rendered = Fsync_net.Trace.render ch in
+  (* Every level of the descent appears with its own label, the way
+     Figure 5.2 shows map construction round by round. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains rendered needle))
+    [ "recon:level-0"; "recon:level-1"; "recon:level-2"; "recon:confirm" ];
+  (* The channel agrees with the protocol's own accounting. *)
+  let c2s, s2c = Fsync_net.Trace.bytes_with_prefix ch "recon:" in
+  Alcotest.(check int) "c2s accounted" r.c2s_bytes c2s;
+  Alcotest.(check int) "s2c accounted" r.s2c_bytes s2c;
+  Alcotest.(check int) "roundtrips = rounds" r.rounds
+    (Fsync_net.Channel.roundtrips ch);
+  (* summary_by_label sees one entry per level, two messages each. *)
+  List.iter
+    (fun (label, count, bytes) ->
+      if contains label "recon:level-" then begin
+        Alcotest.(check int) (label ^ " messages") 2 count;
+        Alcotest.(check bool) (label ^ " nonempty") true (bytes > 0)
+      end)
+    (Fsync_net.Trace.summary_by_label ch)
+
+(* ---- cost scaling: the point of the subsystem ---- *)
+
+let test_recon_cost_scales_with_diff () =
+  let n = 1500 in
+  let base =
+    List.init n (fun i ->
+        (Printf.sprintf "c/%03d/f%05d.dat" (i mod 41) i, Printf.sprintf "content-%d" i))
+  in
+  let server_files =
+    List.mapi (fun i (p, c) -> if i mod 150 = 7 then (p, c ^ "x") else (p, c)) base
+  in
+  let client = Merkle.of_files base in
+  let server = Merkle.of_files server_files in
+  let r = Recon.run ~client ~server () in
+  let linear_cost =
+    List.fold_left
+      (fun acc (p, _) ->
+        acc + Fsync_util.Varint.size (String.length p) + String.length p + 16)
+      0 base
+  in
+  Alcotest.(check int) "ten changed" 10 (List.length r.changed);
+  Alcotest.(check bool)
+    (Printf.sprintf "merkle %d << linear %d" (Recon.total_bytes r) linear_cost)
+    true
+    (Recon.total_bytes r * 5 < linear_cost)
+
+let suite =
+  [
+    ("merkle root stability", `Quick, test_merkle_root_stability);
+    ("merkle duplicate path", `Quick, test_merkle_duplicate);
+    ("merkle incremental update", `Quick, test_merkle_incremental_update);
+    ("merkle find", `Quick, test_merkle_find);
+    ("merkle range digests agree", `Quick, test_merkle_range_digest_agreement);
+    ("recon matches naive diff", `Slow, test_recon_matches_naive);
+    ("recon exact under narrow digests", `Slow, test_recon_narrow_digests_exact);
+    ("recon empty diff", `Quick, test_recon_empty_diff);
+    ("recon everything changed", `Quick, test_recon_everything_changed);
+    ("recon one side empty", `Quick, test_recon_one_side_empty);
+    ("recon long paths", `Quick, test_recon_long_paths);
+    ("recon config mismatch", `Quick, test_recon_config_mismatch);
+    ("recon trace labels", `Quick, test_recon_trace_labels);
+    ("recon cost scales with diff", `Quick, test_recon_cost_scales_with_diff);
+  ]
