@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples doc clean
+.PHONY: all build test check bench examples doc clean soak
 
 all: build
 
@@ -28,6 +28,12 @@ examples:
 	dune exec examples/tuning.exe
 	dune exec examples/broadcast_mirror.exe
 	dune exec examples/metadata_recon.exe
+	dune exec examples/faulty_link.exe
+
+# The fault-injection matrix: frame/fault unit tests, decoder fuzzing and
+# the 200-schedule soak.
+soak:
+	dune exec test/test_main.exe -- test resilience
 
 doc:
 	dune build @doc

@@ -164,23 +164,90 @@ let dir_cmd =
            ~doc:"Print the metadata-phase message timeline (shows the \
                  recon:level-k descent under --metadata merkle).")
   in
-  let run method_ metadata client_dir server_dir apply trace =
+  let faults_conv =
+    let parse s =
+      match Fsync_net.Fault.parse s with
+      | Ok spec -> Ok spec
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, fun ppf s ->
+        Format.fprintf ppf "%s" (Fsync_net.Fault.to_string s))
+  in
+  let faults_arg =
+    Arg.(value & opt (some faults_conv) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Inject link faults and run the resilient session \
+                   (implies --resilient).  SPEC is 'none', 'dirty', or a \
+                   comma list such as \
+                   'drop=0.02,corrupt=0.01,disc=0.001'; keys: drop, \
+                   corrupt, trunc, dup, disc, disc-after, max-disc.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Fault-schedule seed; the same seed replays the same \
+                   faults exactly.")
+  in
+  let resilient_arg =
+    Arg.(value & flag
+         & info [ "resilient" ]
+             ~doc:"Run the resilient session layer (CRC framing, \
+                   retransmit, per-file verification, checkpoint/resume) \
+                   even on a clean link.")
+  in
+  let no_frame_arg =
+    Arg.(value & flag
+         & info [ "no-frame" ]
+             ~doc:"Disable the framing session layer (per-file \
+                   verification and retries remain); only meaningful with \
+                   --resilient or --faults.")
+  in
+  let run method_ metadata client_dir server_dir apply trace faults seed
+      resilient no_frame =
     let client = Fsync_collection.Snapshot.load_dir client_dir in
     let server = Fsync_collection.Snapshot.load_dir server_dir in
     let meta_channel = Fsync_net.Channel.create () in
-    let updated, summary =
-      Fsync_collection.Driver.sync ~metadata ~meta_channel method_ ~client ~server
+    let finish updated summary =
+      if trace then Fsync_net.Trace.print meta_channel;
+      Format.printf "%a@." Fsync_collection.Driver.pp_summary summary;
+      if apply then begin
+        Fsync_collection.Snapshot.store_dir client_dir updated;
+        Format.printf "client updated in place@."
+      end;
+      `Ok ()
     in
-    if trace then Fsync_net.Trace.print meta_channel;
-    Format.printf "%a@." Fsync_collection.Driver.pp_summary summary;
-    if apply then begin
-      Fsync_collection.Snapshot.store_dir client_dir updated;
-      Format.printf "client updated in place@."
+    if resilient || faults <> None then begin
+      let resilience =
+        {
+          Fsync_collection.Driver.default_resilience with
+          faults =
+            Option.value faults ~default:Fsync_net.Fault.none;
+          seed;
+          frame = not no_frame;
+        }
+      in
+      match
+        Fsync_collection.Driver.sync_resilient ~metadata ~resilience
+          ~meta_channel method_ ~client ~server
+      with
+      | Ok (updated, summary) -> finish updated summary
+      | Error e ->
+          `Error (false,
+                  Printf.sprintf "synchronization failed: %s"
+                    (Fsync_core.Error.to_string e))
     end
+    else
+      let updated, summary =
+        Fsync_collection.Driver.sync ~metadata ~meta_channel method_ ~client
+          ~server
+      in
+      finish updated summary
   in
   let term =
-    Term.(const run $ method_arg $ metadata_arg $ client_arg $ server_arg
-          $ apply_arg $ trace_arg)
+    Term.(ret
+            (const run $ method_arg $ metadata_arg $ client_arg $ server_arg
+            $ apply_arg $ trace_arg $ faults_arg $ seed_arg $ resilient_arg
+            $ no_frame_arg))
   in
   Cmd.v
     (Cmd.info "dir" ~doc:"Synchronize a directory tree and report costs.")

@@ -42,6 +42,9 @@ type file_outcome = {
   c2s : int;
   s2c : int;
   skipped : bool;  (** unchanged, detected during the metadata phase *)
+  fell_back : bool;
+      (** resilient mode only: the method kept failing over the faulty
+          link and the file was re-sent as a compressed full transfer *)
 }
 
 type summary = {
@@ -58,6 +61,9 @@ type summary = {
   meta_rounds : int; (** metadata-phase round trips *)
   total_c2s : int;
   total_s2c : int;
+  fallbacks : int;   (** files that fell back to a compressed full send *)
+  retransmits : int; (** session-layer frame retransmissions *)
+  resumed : int;     (** session restarts after a disconnect *)
   outcomes : file_outcome list;
 }
 
@@ -76,5 +82,55 @@ val sync :
     metadata dialogue runs over [meta_channel] when given (its transcript
     then shows the [recon:level-k] descent or the [linear:announce] /
     [linear:verdict] exchange); a private channel is used otherwise. *)
+
+(** {2 Resilient sessions}
+
+    [sync] assumes a perfect link.  [sync_resilient] runs the same
+    two-phase synchronization over a channel that may corrupt, drop,
+    truncate, duplicate or disconnect ({!Fsync_net.Fault}), and layers
+    the defenses of the robustness stack on top: CRC framing with
+    NAK/retransmit ({!Fsync_net.Frame}), per-file end-to-end strong
+    fingerprints, automatic fallback to a compressed full transfer, a
+    whole-collection verification round, and checkpoint/resume across
+    disconnects.  Every run ends with the client equal to the server or
+    with a typed error — never silent corruption. *)
+
+type resilience = {
+  frame : bool;                 (** install the {!Fsync_net.Frame} layer *)
+  frame_config : Fsync_net.Frame.config;
+  faults : Fsync_net.Fault.spec; (** [Fault.none] leaves the link perfect *)
+  seed : int;                    (** fault-schedule seed *)
+  max_restarts : int;
+      (** session-level budget: disconnect resumes, metadata redos and
+          full redos after a failed collection verification *)
+  file_retries : int;
+      (** per-file decode/transfer attempts before the compressed
+          fallback (and per fallback before giving up) *)
+}
+
+val default_resilience : resilience
+(** Framing on (default config), no faults, seed 1, 8 restarts, 2 file
+    retries. *)
+
+val sync_resilient :
+  ?metadata:metadata_mode ->
+  ?resilience:resilience ->
+  ?meta_channel:Fsync_net.Channel.t ->
+  method_ ->
+  client:Snapshot.t ->
+  server:Snapshot.t ->
+  (Snapshot.t * summary, Fsync_core.Error.t) result
+(** Like {!sync}, but the {e whole} session (metadata and file
+    transfers) runs over the channel, so injected faults genuinely hit
+    the traffic.  [Fsync _] runs its real multi-round protocol on the
+    link; other methods ship one self-contained verified message per
+    changed file (raw / deflate / delta against the client's old copy) —
+    their byte counts here measure the resilient session, not the
+    method's own wire format (use {!sync} for Table 6.2-style
+    comparisons).  [summary.total_c2s]/[total_s2c] are channel-measured
+    and include framing overhead, retransmissions and traffic wasted by
+    restarts.  On success the returned snapshot always equals [server];
+    exhausted budgets surface as [Error].
+    @raise Invalid_argument on a negative retry budget. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,51 @@
+type t =
+  | Truncated of string
+  | Malformed of string
+  | Limit_exceeded of string
+  | Channel_empty of string
+  | Retry_exhausted of string
+  | Disconnected of string
+  | Verification_failed of string
+
+exception E of t
+
+let fail e = raise (E e)
+
+let truncated fmt = Printf.ksprintf (fun s -> fail (Truncated s)) fmt
+let malformed fmt = Printf.ksprintf (fun s -> fail (Malformed s)) fmt
+let limit fmt = Printf.ksprintf (fun s -> fail (Limit_exceeded s)) fmt
+let channel_empty fmt = Printf.ksprintf (fun s -> fail (Channel_empty s)) fmt
+
+let to_string = function
+  | Truncated s -> "truncated message: " ^ s
+  | Malformed s -> "malformed message: " ^ s
+  | Limit_exceeded s -> "decode limit exceeded: " ^ s
+  | Channel_empty s -> "no pending message: " ^ s
+  | Retry_exhausted s -> "retry budget exhausted: " ^ s
+  | Disconnected s -> "disconnected: " ^ s
+  | Verification_failed s -> "verification failed: " ^ s
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | E e -> Some ("Fsync_core.Error.E: " ^ to_string e)
+    | _ -> None)
+
+let of_exn = function
+  | E e -> Some e
+  | Invalid_argument msg | Failure msg -> Some (Malformed msg)
+  | Not_found -> Some (Malformed "lookup failed on malformed input")
+  | Fsync_net.Frame.Failed err ->
+      Some (Retry_exhausted (Fsync_net.Frame.error_message err))
+  | _ -> None
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception (Fsync_net.Fault.Disconnected _ as e) ->
+      (* Deliberately not converted: session drivers catch disconnects to
+         checkpoint and resume.  Re-raise. *)
+      raise e
+  | exception exn -> (
+      match of_exn exn with Some e -> Error e | None -> raise exn)

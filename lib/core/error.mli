@@ -1,0 +1,44 @@
+(** Typed protocol errors.
+
+    Every decoder in the stack ({!Wire}, {!Protocol},
+    {!Fsync_reconcile.Recon}, the collection driver) reports malformed,
+    truncated or missing input through this one type instead of crashing
+    with a bare [Invalid_argument] or [Failure].  Internally decoders
+    raise {!E}; the [*_result] entry points wrap execution in {!guard}
+    so no exception escapes to callers — corrupt bytes can produce a
+    typed error, never a crash and never an unbounded allocation. *)
+
+type t =
+  | Truncated of string          (** input ended before the field did *)
+  | Malformed of string          (** structurally invalid input *)
+  | Limit_exceeded of string     (** a defensive decode limit tripped *)
+  | Channel_empty of string      (** expected message never arrived *)
+  | Retry_exhausted of string    (** the session layer gave up *)
+  | Disconnected of string       (** connection loss, resume budget spent *)
+  | Verification_failed of string
+      (** end-to-end strong-hash check failed even after fallback *)
+
+exception E of t
+
+val fail : t -> 'a
+
+val truncated : ('a, unit, string, 'b) format4 -> 'a
+val malformed : ('a, unit, string, 'b) format4 -> 'a
+val limit : ('a, unit, string, 'b) format4 -> 'a
+val channel_empty : ('a, unit, string, 'b) format4 -> 'a
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_exn : exn -> t option
+(** Typed view of an exception: {!E} unwrapped; [Invalid_argument],
+    [Failure] and [Not_found] (raised by hardened lower layers on bad
+    input) as [Malformed]; {!Fsync_net.Frame.Failed} as
+    [Retry_exhausted]; anything else [None]. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run a decoder or protocol endpoint, converting every recognized
+    exception to a typed error.  {!Fsync_net.Fault.Disconnected} is
+    deliberately {e not} converted — session drivers catch it above the
+    guard to checkpoint and resume.  Unrecognized exceptions (genuine
+    bugs) propagate. *)

@@ -90,7 +90,15 @@ let run ?channel ~config ~old_file new_file =
     | _, Delta_k -> cnt.c_delta <- cnt.c_delta + len
     | _, Fallback_k -> cnt.c_fallback <- cnt.c_fallback + len
   in
-  let recv dir = Channel.recv ch dir in
+  let recv dir =
+    match Channel.recv_opt ch dir with
+    | Some msg -> msg
+    | None ->
+        Error.channel_empty "Protocol: expected a %s message"
+          (match dir with
+          | Channel.Client_to_server -> "client-to-server"
+          | Channel.Server_to_client -> "server-to-client")
+  in
   let bump_phase name f =
     let cur =
       match List.assoc_opt name cnt.c_phase with
@@ -718,6 +726,9 @@ let run ?channel ~config ~old_file new_file =
       }
     end
   end
+
+let run_result ?channel ~config ~old_file new_file =
+  Error.guard (fun () -> run ?channel ~config ~old_file new_file)
 
 let pp_report ppf r =
   Format.fprintf ppf

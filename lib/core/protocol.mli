@@ -53,6 +53,20 @@ val run :
     reconstruction always equals [new_file] (via fallback in the
     collision case).
     @raise Invalid_argument if the configuration fails
-    {!Config.validate}. *)
+    {!Config.validate}.
+    @raise Error.E if the channel delivers corrupt or missing messages
+    (only possible over a faulty link — see {!Fsync_net.Fault}); use
+    {!run_result} in that setting. *)
+
+val run_result :
+  ?channel:Fsync_net.Channel.t ->
+  config:Config.t ->
+  old_file:string ->
+  string ->
+  (result, Error.t) Stdlib.result
+(** {!run} wrapped in {!Error.guard}: over a faulty channel, corrupt or
+    missing messages surface as a typed error instead of an exception.
+    {!Fsync_net.Fault.Disconnected} still propagates so a session driver
+    can checkpoint and resume. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -16,23 +16,45 @@ let pack ?(compress = false) f =
 let unpack ?(compress = false) s =
   let raw =
     if not compress then s
-    else if String.length s = 0 then invalid_arg "Wire.unpack: empty message"
+    else if String.length s = 0 then Error.truncated "Wire.unpack: empty message"
     else
       let body = String.sub s 1 (String.length s - 1) in
       match s.[0] with
       | '\000' -> body
-      | '\001' -> Deflate.decompress body
-      | _ -> invalid_arg "Wire.unpack: bad flag"
+      | '\001' -> (
+          (* The decompressor is bounded by its declared output length,
+             but corrupt input makes it raise; surface that as a typed
+             error. *)
+          match Deflate.decompress body with
+          | raw -> raw
+          | exception Invalid_argument msg -> Error.malformed "Wire.unpack: %s" msg)
+      | c -> Error.malformed "Wire.unpack: bad flag byte %#x" (Char.code c)
   in
   Bitio.Reader.of_string raw
 
+(* Every read checks the remaining bit budget before touching the
+   reader, so malformed input yields a typed error instead of an
+   [Invalid_argument] escaping from {!Fsync_util.Bitio}. *)
+
+let need r ~bits what =
+  if bits < 0 then Error.malformed "Wire.%s: negative size" what;
+  if Bitio.Reader.bits_left r < bits then
+    Error.truncated "Wire.%s: %d bits needed, %d left" what bits
+      (Bitio.Reader.bits_left r)
+
 let put_bitmap w bits = List.iter (fun b -> Bitio.Writer.put_bit w (if b then 1 else 0)) bits
 
-let get_bitmap r ~n = Array.init n (fun _ -> Bitio.Reader.get_bit r = 1)
+let get_bitmap r ~n =
+  need r ~bits:n "get_bitmap";
+  Array.init n (fun _ -> Bitio.Reader.get_bit r = 1)
 
 let put_hash w v ~width = Bitio.Writer.put_bits w v ~width
 
-let get_hash r ~width = Bitio.Reader.get_bits r ~width
+let get_hash r ~width =
+  if width < 0 || width > 57 then
+    Error.malformed "Wire.get_hash: width %d out of [0,57]" width;
+  need r ~bits:width "get_hash";
+  Bitio.Reader.get_bits r ~width
 
 let rec put_varint w v =
   if v < 0 then invalid_arg "Wire.put_varint: negative";
@@ -44,6 +66,11 @@ let rec put_varint w v =
 
 let get_varint r =
   let rec loop shift acc =
+    (* More than 9 septets cannot encode an OCaml int we produced; an
+       attacker-supplied run of continuation bytes must not shift past
+       the word size or walk the whole message. *)
+    if shift > 56 then Error.limit "Wire.get_varint: overlong encoding";
+    need r ~bits:8 "get_varint";
     let b = Bitio.Reader.get_bits r ~width:8 in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b < 0x80 then acc else loop (shift + 7) acc
@@ -58,4 +85,10 @@ let put_string w s =
 let get_string r =
   let n = get_varint r in
   Bitio.Reader.align_byte r;
+  (* Check the declared length against what is actually present before
+     allocating: a corrupted length prefix must not trigger an
+     arbitrarily large allocation or an over-read. *)
+  if n < 0 || n > Bitio.Reader.bits_left r / 8 then
+    Error.truncated "Wire.get_string: declared %d bytes, %d available" n
+      (Bitio.Reader.bits_left r / 8);
   String.init n (fun _ -> Char.chr (Bitio.Reader.get_bits r ~width:8))

@@ -5,26 +5,41 @@
     (see {!Block_tree}), so a message is just densely packed hash bits and
     bitmaps.  Messages are optionally passed through {!Fsync_compress.Deflate}
     (bitmaps and literal streams compress; raw hash bits do not, and the
-    stored mode keeps the overhead bounded). *)
+    stored mode keeps the overhead bounded).
+
+    Every reader is hardened against malformed input: lengths and widths
+    are validated against the remaining message budget {e before} any
+    read or allocation, and varints are bounded, so corrupt bytes raise
+    {!Error.E} (a typed error) — never a bare exception, an over-read,
+    an unbounded loop or an unbounded allocation.  Wrap decoding
+    endpoints in {!Error.guard} to obtain a [result]. *)
 
 val pack : ?compress:bool -> (Fsync_util.Bitio.Writer.t -> unit) -> string
 (** Build a message with a writer callback. *)
 
 val unpack : ?compress:bool -> string -> Fsync_util.Bitio.Reader.t
-(** Open a message for reading. *)
+(** Open a message for reading.
+    @raise Error.E on an empty or malformed compressed envelope. *)
 
 val put_bitmap : Fsync_util.Bitio.Writer.t -> bool list -> unit
+
 val get_bitmap : Fsync_util.Bitio.Reader.t -> n:int -> bool array
+(** @raise Error.E if fewer than [n] bits remain. *)
 
 val put_hash : Fsync_util.Bitio.Writer.t -> int -> width:int -> unit
+
 val get_hash : Fsync_util.Bitio.Reader.t -> width:int -> int
+(** @raise Error.E on an invalid width or truncated input. *)
 
 val put_varint : Fsync_util.Bitio.Writer.t -> int -> unit
 (** LEB128-in-bits: 7 value bits + continuation bit per septet. *)
 
 val get_varint : Fsync_util.Bitio.Reader.t -> int
+(** @raise Error.E on truncation or an overlong (> 9 septet) encoding. *)
 
 val put_string : Fsync_util.Bitio.Writer.t -> string -> unit
 (** Length-prefixed, byte-aligned. *)
 
 val get_string : Fsync_util.Bitio.Reader.t -> string
+(** @raise Error.E if the declared length exceeds the bytes present
+    (checked before allocating). *)

@@ -1,5 +1,7 @@
 type direction = Client_to_server | Server_to_client
 
+type transmission = Delivered of string | Lost of int
+
 type t = {
   latency_s : float;
   bandwidth_bps : float;
@@ -11,6 +13,15 @@ type t = {
   c2s_queue : string Queue.t;
   s2c_queue : string Queue.t;
   mutable log : (direction * string * int) list; (* reversed *)
+  (* Wire-level transform applied to every transmission (fault
+     injection lives here); [None] is the perfect lossless link. *)
+  mutable wire_hook : (direction -> string -> transmission list) option;
+  (* Session layer (framing / retransmission).  When set, the public
+     [send]/[recv_opt] dispatch through these instead of the raw
+     queue operations, so protocol drivers run unmodified on top of a
+     session layer they never see. *)
+  mutable session_send : (t -> label:string -> direction -> string -> unit) option;
+  mutable session_recv : (t -> direction -> string option) option;
 }
 
 let create ?(latency_s = 0.05) ?(bandwidth_bps = 1_000_000.0) () =
@@ -25,17 +36,15 @@ let create ?(latency_s = 0.05) ?(bandwidth_bps = 1_000_000.0) () =
     c2s_queue = Queue.create ();
     s2c_queue = Queue.create ();
     log = [];
+    wire_hook = None;
+    session_send = None;
+    session_recv = None;
   }
 
-let send t ?(label = "") dir payload =
-  let len = String.length payload in
+let account t dir label len =
   (match dir with
-  | Client_to_server ->
-      t.c2s_bytes <- t.c2s_bytes + len;
-      Queue.add payload t.c2s_queue
-  | Server_to_client ->
-      t.s2c_bytes <- t.s2c_bytes + len;
-      Queue.add payload t.s2c_queue);
+  | Client_to_server -> t.c2s_bytes <- t.c2s_bytes + len
+  | Server_to_client -> t.s2c_bytes <- t.s2c_bytes + len);
   t.n_messages <- t.n_messages + 1;
   (match t.last_direction with
   | Some d when d <> dir -> t.alternations <- t.alternations + 1
@@ -43,14 +52,58 @@ let send t ?(label = "") dir payload =
   t.last_direction <- Some dir;
   t.log <- (dir, label, len) :: t.log
 
-let recv t dir =
-  let q =
-    match dir with
-    | Client_to_server -> t.c2s_queue
-    | Server_to_client -> t.s2c_queue
+let queue_of t = function
+  | Client_to_server -> t.c2s_queue
+  | Server_to_client -> t.s2c_queue
+
+let note t ?(label = "") dir len = account t dir label len
+
+let raw_send t ?(label = "") dir payload =
+  let transmissions =
+    match t.wire_hook with
+    | None -> [ Delivered payload ]
+    | Some hook -> hook dir payload
   in
-  if Queue.is_empty q then invalid_arg "Channel.recv: no pending message";
-  Queue.pop q
+  List.iter
+    (fun tx ->
+      match tx with
+      | Delivered p ->
+          account t dir label (String.length p);
+          Queue.add p (queue_of t dir)
+      | Lost n ->
+          (* The bytes crossed the sender's link even though nothing
+             arrives: lost traffic is part of the true cost. *)
+          account t dir label n)
+    transmissions
+
+let raw_recv_opt t dir =
+  let q = queue_of t dir in
+  if Queue.is_empty q then None else Some (Queue.pop q)
+
+let send t ?(label = "") dir payload =
+  match t.session_send with
+  | Some f -> f t ~label dir payload
+  | None -> raw_send t ~label dir payload
+
+let recv_opt t dir =
+  match t.session_recv with
+  | Some f -> f t dir
+  | None -> raw_recv_opt t dir
+
+let recv t dir =
+  match recv_opt t dir with
+  | Some p -> p
+  | None -> invalid_arg "Channel.recv: no pending message"
+
+let set_wire_hook t hook = t.wire_hook <- hook
+
+let set_session t ~send ~recv =
+  t.session_send <- Some send;
+  t.session_recv <- Some recv
+
+let clear_session t =
+  t.session_send <- None;
+  t.session_recv <- None
 
 let bytes t = function
   | Client_to_server -> t.c2s_bytes

@@ -5,9 +5,26 @@
     count ("roundtrip latencies are not incurred for each file since many
     files can be processed simultaneously", §2.3).  The channel therefore
     counts bytes and direction alternations exactly, and derives a
-    simulated wall-clock time for a configurable link. *)
+    simulated wall-clock time for a configurable link.
+
+    Two optional layers can be interposed without any change to the
+    protocol drivers that hold a [t]:
+
+    - a {e wire hook} transforms each transmission at the physical level
+      ({!Fault} injects loss, corruption, truncation, duplication and
+      disconnects there);
+    - a {e session layer} replaces the public [send]/[recv_opt] pair
+      ({!Frame} adds CRC-checked, sequence-numbered frames with
+      NAK/retransmit on top of the raw queue operations).
+
+    With neither installed, behavior and byte accounting are exactly the
+    perfect lossless pipe of the original channel. *)
 
 type direction = Client_to_server | Server_to_client
+
+type transmission =
+  | Delivered of string  (** arrives (possibly corrupted or truncated) *)
+  | Lost of int          (** lost in flight; the sender still paid the bytes *)
 
 type t
 
@@ -18,10 +35,18 @@ val create : ?latency_s:float -> ?bandwidth_bps:float -> unit -> t
 val send : t -> ?label:string -> direction -> string -> unit
 (** Record a message.  The payload itself is queued so a peer can
     [recv] it; protocol drivers in this code base pass data directly and
-    use the channel for accounting only, but tests exercise the queue. *)
+    use the channel for accounting only, but tests exercise the queue.
+    Dispatches through the session layer when one is installed. *)
+
+val recv_opt : t -> direction -> string option
+(** Dequeue the oldest in-flight message in the given direction, or
+    [None] if nothing is pending.  Protocol code should use this (an
+    unexpectedly empty queue is a protocol or link failure to be handled,
+    not a programming error).  Dispatches through the session layer when
+    one is installed. *)
 
 val recv : t -> direction -> string
-(** Dequeue the oldest in-flight message in the given direction.
+(** [recv_opt] for contexts where an empty queue is a caller bug.
     @raise Invalid_argument if none is pending. *)
 
 val bytes : t -> direction -> int
@@ -42,3 +67,41 @@ val transcript : t -> (direction * string * int) list
 (** (direction, label, size) per message, in order. *)
 
 val reset : t -> unit
+(** Clear traffic counters and queues.  Installed wire hooks and session
+    layers are configuration and survive a reset. *)
+
+(** {2 Layering primitives}
+
+    Used by {!Fault} and {!Frame}; protocol drivers never call these. *)
+
+val raw_send : t -> ?label:string -> direction -> string -> unit
+(** Bypass the session layer: apply the wire hook and enqueue. *)
+
+val raw_recv_opt : t -> direction -> string option
+(** Bypass the session layer: pop straight from the queue. *)
+
+val note : t -> ?label:string -> direction -> int -> unit
+(** Account [len] bytes of control traffic (message count, round-trip
+    alternation, transcript entry) without enqueueing a payload — for
+    control messages that are consumed out-of-band by the session layer,
+    e.g. a NAK answered synchronously by a retransmission. *)
+
+val set_wire_hook :
+  t -> (direction -> string -> transmission list) option -> unit
+(** Install or remove the wire-level transform.  The hook maps each
+    logical send to the list of physical transmissions actually put on
+    the link: [[Delivered p]] is the identity, [[]] nothing at all,
+    [[Delivered p; Delivered p]] a duplication, [[Lost n]] a loss that
+    still cost [n] bytes.  The hook may raise (e.g. {!Fault.Disconnected})
+    to model a broken connection. *)
+
+val set_session :
+  t ->
+  send:(t -> label:string -> direction -> string -> unit) ->
+  recv:(t -> direction -> string option) ->
+  unit
+(** Install a session layer: all subsequent {!send} / {!recv_opt} /
+    {!recv} calls dispatch through it.  The layer itself must use
+    {!raw_send} / {!raw_recv_opt}. *)
+
+val clear_session : t -> unit

@@ -1,0 +1,263 @@
+module Prng = Fsync_util.Prng
+
+type spec = {
+  p_drop : float;
+  p_corrupt : float;
+  p_truncate : float;
+  p_duplicate : float;
+  p_disconnect : float;
+  disconnect_after : int option;
+  max_disconnects : int;
+}
+
+let none =
+  {
+    p_drop = 0.0;
+    p_corrupt = 0.0;
+    p_truncate = 0.0;
+    p_duplicate = 0.0;
+    p_disconnect = 0.0;
+    disconnect_after = None;
+    max_disconnects = 0;
+  }
+
+let dirty =
+  {
+    p_drop = 0.02;
+    p_corrupt = 0.02;
+    p_truncate = 0.01;
+    p_duplicate = 0.01;
+    p_disconnect = 0.002;
+    disconnect_after = None;
+    max_disconnects = 3;
+  }
+
+exception Disconnected of { direction : Channel.direction; message_index : int }
+
+let () =
+  Printexc.register_printer (function
+    | Disconnected { direction; message_index } ->
+        Some
+          (Printf.sprintf "Fsync_net.Fault.Disconnected(%s, message %d)"
+             (match direction with
+             | Channel.Client_to_server -> "c2s"
+             | Channel.Server_to_client -> "s2c")
+             message_index)
+    | _ -> None)
+
+type stats = {
+  transmissions : int;
+  dropped : int;
+  corrupted : int;
+  truncated : int;
+  duplicated : int;
+  disconnects : int;
+}
+
+type t = {
+  channel : Channel.t;
+  spec : spec;
+  rng : Prng.t;
+  mutable connected : bool;
+  mutable n_seen : int;  (* messages offered to the hook *)
+  mutable s_transmissions : int;
+  mutable s_dropped : int;
+  mutable s_corrupted : int;
+  mutable s_truncated : int;
+  mutable s_duplicated : int;
+  mutable s_disconnects : int;
+}
+
+let stats t =
+  {
+    transmissions = t.s_transmissions;
+    dropped = t.s_dropped;
+    corrupted = t.s_corrupted;
+    truncated = t.s_truncated;
+    duplicated = t.s_duplicated;
+    disconnects = t.s_disconnects;
+  }
+
+let validate spec =
+  let prob name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault: %s=%g not a probability" name p)
+  in
+  prob "drop" spec.p_drop;
+  prob "corrupt" spec.p_corrupt;
+  prob "trunc" spec.p_truncate;
+  prob "dup" spec.p_duplicate;
+  prob "disc" spec.p_disconnect;
+  if spec.max_disconnects < 0 then invalid_arg "Fault: max_disconnects < 0"
+
+let flip_bits rng payload =
+  let b = Bytes.of_string payload in
+  let n_bits = 1 + Prng.int rng 3 in
+  for _ = 1 to n_bits do
+    let bit = Prng.int rng (8 * Bytes.length b) in
+    let i = bit / 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))))
+  done;
+  Bytes.to_string b
+
+let hook t dir payload =
+  if not t.connected then
+    raise (Disconnected { direction = dir; message_index = t.n_seen });
+  t.n_seen <- t.n_seen + 1;
+  t.s_transmissions <- t.s_transmissions + 1;
+  let len = String.length payload in
+  let sp = t.spec in
+  let may_disconnect =
+    sp.max_disconnects > 0 && t.s_disconnects < sp.max_disconnects
+  in
+  let deterministic_disconnect =
+    match sp.disconnect_after with
+    | Some n -> t.n_seen = n  (* fires on the n-th transmission *)
+    | None -> false
+  in
+  if
+    may_disconnect
+    && (deterministic_disconnect || Prng.bernoulli t.rng sp.p_disconnect)
+  then begin
+    t.s_disconnects <- t.s_disconnects + 1;
+    t.connected <- false;
+    raise (Disconnected { direction = dir; message_index = t.n_seen - 1 })
+  end;
+  if Prng.bernoulli t.rng sp.p_drop then begin
+    t.s_dropped <- t.s_dropped + 1;
+    [ Channel.Lost len ]
+  end
+  else if len > 0 && Prng.bernoulli t.rng sp.p_truncate then begin
+    t.s_truncated <- t.s_truncated + 1;
+    [ Channel.Delivered (String.sub payload 0 (Prng.int t.rng len)) ]
+  end
+  else if len > 0 && Prng.bernoulli t.rng sp.p_corrupt then begin
+    t.s_corrupted <- t.s_corrupted + 1;
+    [ Channel.Delivered (flip_bits t.rng payload) ]
+  end
+  else if Prng.bernoulli t.rng sp.p_duplicate then begin
+    t.s_duplicated <- t.s_duplicated + 1;
+    [ Channel.Delivered payload; Channel.Delivered payload ]
+  end
+  else [ Channel.Delivered payload ]
+
+let attach ?(seed = 1) channel spec =
+  validate spec;
+  let t =
+    {
+      channel;
+      spec;
+      rng = Prng.create (Int64.of_int seed);
+      connected = true;
+      n_seen = 0;
+      s_transmissions = 0;
+      s_dropped = 0;
+      s_corrupted = 0;
+      s_truncated = 0;
+      s_duplicated = 0;
+      s_disconnects = 0;
+    }
+  in
+  Channel.set_wire_hook channel (Some (hook t));
+  t
+
+let detach t = Channel.set_wire_hook t.channel None
+
+let connected t = t.connected
+
+let reconnect t = t.connected <- true
+
+(* ---- spec strings: "drop=0.01,corrupt=0.02,disc=0.001" ---- *)
+
+let to_string s =
+  let fields =
+    [
+      ("drop", s.p_drop);
+      ("corrupt", s.p_corrupt);
+      ("trunc", s.p_truncate);
+      ("dup", s.p_duplicate);
+      ("disc", s.p_disconnect);
+    ]
+  in
+  let parts =
+    List.filter_map
+      (fun (k, v) -> if v > 0.0 then Some (Printf.sprintf "%s=%g" k v) else None)
+      fields
+  in
+  let parts =
+    match s.disconnect_after with
+    | Some n -> parts @ [ Printf.sprintf "disc-after=%d" n ]
+    | None -> parts
+  in
+  let parts =
+    if s.max_disconnects <> 0 && s.max_disconnects <> none.max_disconnects then
+      parts @ [ Printf.sprintf "max-disc=%d" s.max_disconnects ]
+    else parts
+  in
+  if parts = [] then "none" else String.concat "," parts
+
+let parse str =
+  if String.trim str = "none" then Ok none
+  else if String.trim str = "dirty" then Ok dirty
+  else
+    let parts = String.split_on_char ',' str in
+    let rec loop acc = function
+      | [] -> Ok acc
+      | part :: rest -> (
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "fault spec: %S is not key=value" part)
+          | Some i -> (
+              let key = String.trim (String.sub part 0 i) in
+              let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+              let fl () =
+                match float_of_string_opt v with
+                | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+                | _ -> Error (Printf.sprintf "fault spec: %s=%S not a probability" key v)
+              in
+              let it () =
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Ok n
+                | _ -> Error (Printf.sprintf "fault spec: %s=%S not a count" key v)
+              in
+              let update =
+                match key with
+                | "drop" -> Result.map (fun f -> { acc with p_drop = f }) (fl ())
+                | "corrupt" -> Result.map (fun f -> { acc with p_corrupt = f }) (fl ())
+                | "trunc" | "truncate" ->
+                    Result.map (fun f -> { acc with p_truncate = f }) (fl ())
+                | "dup" | "duplicate" ->
+                    Result.map (fun f -> { acc with p_duplicate = f }) (fl ())
+                | "disc" | "disconnect" ->
+                    Result.map
+                      (fun f ->
+                        {
+                          acc with
+                          p_disconnect = f;
+                          max_disconnects = max acc.max_disconnects 3;
+                        })
+                      (fl ())
+                | "disc-after" ->
+                    Result.map
+                      (fun n ->
+                        {
+                          acc with
+                          disconnect_after = Some n;
+                          max_disconnects = max acc.max_disconnects 1;
+                        })
+                      (it ())
+                | "max-disc" ->
+                    Result.map (fun n -> { acc with max_disconnects = n }) (it ())
+                | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key)
+              in
+              match update with
+              | Ok acc -> loop acc rest
+              | Error _ as e -> e))
+    in
+    loop none parts
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "faults: %d transmissions, %d dropped, %d corrupted, %d truncated, %d \
+     duplicated, %d disconnects"
+    s.transmissions s.dropped s.corrupted s.truncated s.duplicated
+    s.disconnects

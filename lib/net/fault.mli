@@ -1,0 +1,77 @@
+(** Deterministic, seed-driven fault injection for {!Channel}.
+
+    The paper's protocols are evaluated over a perfect in-memory pipe;
+    real slow links corrupt, lose, truncate, duplicate and disconnect.
+    [Fault.attach] installs a wire hook on a channel so that every
+    existing protocol driver runs unmodified over a faulty link; the
+    schedule is a pure function of the seed, so any failing run can be
+    replayed exactly.
+
+    At most one fault is applied per transmission, rolled in priority
+    order disconnect > drop > truncate > corrupt > duplicate.
+    Corruption flips 1–3 random bits; truncation keeps a uniform prefix
+    (possibly empty).  A dropped or truncated message still charges the
+    transmitted bytes to the channel: lost traffic is part of the true
+    cost of the link. *)
+
+type spec = {
+  p_drop : float;               (** probability a message is lost in flight *)
+  p_corrupt : float;            (** probability of a 1–3 bit flip *)
+  p_truncate : float;           (** probability the tail is cut off *)
+  p_duplicate : float;          (** probability the message arrives twice *)
+  p_disconnect : float;         (** probability the connection breaks on send *)
+  disconnect_after : int option;
+      (** deterministic break on the n-th transmission (1-based), for
+          reproducible resume tests; independent of [p_disconnect] *)
+  max_disconnects : int;
+      (** total disconnect budget — keeps every schedule finite so a
+          retrying session eventually completes or fails cleanly *)
+}
+
+val none : spec
+val dirty : spec
+(** A representative dirty link: 2% drop, 2% corrupt, 1% truncate,
+    1% duplicate, 0.2% disconnect (at most 3). *)
+
+exception Disconnected of { direction : Channel.direction; message_index : int }
+(** Raised from inside [Channel.send] when the schedule breaks the
+    connection, and on every later send until {!reconnect}.  Session
+    drivers catch this to checkpoint and resume. *)
+
+type t
+
+val attach : ?seed:int -> Channel.t -> spec -> t
+(** Install the fault schedule on the channel's wire hook.
+    @raise Invalid_argument if the spec is malformed. *)
+
+val detach : t -> unit
+(** Restore the perfect link. *)
+
+val connected : t -> bool
+
+val reconnect : t -> unit
+(** Re-establish the connection after a [Disconnected]; the schedule
+    (and its PRNG state) continues where it left off. *)
+
+type stats = {
+  transmissions : int;
+  dropped : int;
+  corrupted : int;
+  truncated : int;
+  duplicated : int;
+  disconnects : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val parse : string -> (spec, string) result
+(** Parse a CLI spec such as ["drop=0.02,corrupt=0.01,disc=0.001"].
+    Keys: [drop], [corrupt], [trunc]/[truncate], [dup]/[duplicate],
+    [disc]/[disconnect] (probabilities in [0,1]); [disc-after=N]
+    (deterministic break on the N-th transmission); [max-disc=N].
+    The words ["none"] and ["dirty"] name the corresponding presets.
+    Specifying [disc] or [disc-after] without [max-disc] implies a
+    small positive disconnect budget. *)
+
+val to_string : spec -> string

@@ -1,0 +1,279 @@
+module Varint = Fsync_util.Varint
+module Crc32 = Fsync_util.Crc32
+
+type config = {
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+}
+
+let default_config = { max_retries = 16; backoff_base_s = 0.05; backoff_max_s = 2.0 }
+
+type error =
+  | Retry_exhausted of { direction : Channel.direction; seq : int; attempts : int }
+
+exception Failed of error
+
+let error_message = function
+  | Retry_exhausted { direction; seq; attempts } ->
+      Printf.sprintf
+        "frame retry budget exhausted: %s seq %d after %d attempts"
+        (match direction with
+        | Channel.Client_to_server -> "c2s"
+        | Channel.Server_to_client -> "s2c")
+        seq attempts
+
+let () =
+  Printexc.register_printer (function
+    | Failed e -> Some ("Fsync_net.Frame.Failed: " ^ error_message e)
+    | _ -> None)
+
+type stats = {
+  frames : int;           (* data frames first put on the wire *)
+  retransmits : int;
+  naks : int;
+  dup_discards : int;
+  bad_frames : int;       (* CRC or header failures detected *)
+  overhead_bytes : int;   (* header + NAK + retransmitted frame bytes *)
+  backoff_s : float;      (* simulated retry backoff time *)
+}
+
+type dir_state = {
+  mutable next_seq : int;        (* sender side *)
+  mutable expected : int;        (* receiver side *)
+  history : (int, string) Hashtbl.t;  (* unacknowledged logical payloads *)
+  reorder : (int, string) Hashtbl.t;  (* frames received past a gap *)
+  mutable attempts : int;        (* NAKs issued for the current expected *)
+  mutable retransmit_inflight : bool;
+}
+
+let make_dir_state () =
+  {
+    next_seq = 0;
+    expected = 0;
+    history = Hashtbl.create 16;
+    reorder = Hashtbl.create 16;
+    attempts = 0;
+    retransmit_inflight = false;
+  }
+
+type t = {
+  channel : Channel.t;
+  config : config;
+  c2s : dir_state;
+  s2c : dir_state;
+  mutable s_frames : int;
+  mutable s_retransmits : int;
+  mutable s_naks : int;
+  mutable s_dups : int;
+  mutable s_bad : int;
+  mutable s_overhead : int;
+  mutable s_backoff : float;
+}
+
+let state t = function
+  | Channel.Client_to_server -> t.c2s
+  | Channel.Server_to_client -> t.s2c
+
+let opposite = function
+  | Channel.Client_to_server -> Channel.Server_to_client
+  | Channel.Server_to_client -> Channel.Client_to_server
+
+let stats t =
+  {
+    frames = t.s_frames;
+    retransmits = t.s_retransmits;
+    naks = t.s_naks;
+    dup_discards = t.s_dups;
+    bad_frames = t.s_bad;
+    overhead_bytes = t.s_overhead;
+    backoff_s = t.s_backoff;
+  }
+
+(* ---- wire format: varint seq | crc32-le(seq-bytes ++ payload) | payload ---- *)
+
+let encode seq payload =
+  let b = Buffer.create (String.length payload + 8) in
+  Varint.write b seq;
+  let seq_bytes = Buffer.contents b in
+  let crc =
+    Crc32.update
+      (Crc32.string seq_bytes)
+      payload ~pos:0 ~len:(String.length payload)
+  in
+  Buffer.add_string b (Crc32.to_bytes_le crc);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode wire =
+  match Varint.read wire ~pos:0 with
+  | exception Invalid_argument _ -> Error `Header
+  | seq, pos ->
+      if seq < 0 || pos + 4 > String.length wire then Error `Header
+      else
+        let stored = Crc32.of_bytes_le wire ~pos in
+        let payload_pos = pos + 4 in
+        let computed =
+          Crc32.update
+            (Crc32.update 0 wire ~pos:0 ~len:pos)
+            wire ~pos:payload_pos
+            ~len:(String.length wire - payload_pos)
+        in
+        if computed <> stored then Error `Crc
+        else Ok (seq, String.sub wire payload_pos (String.length wire - payload_pos))
+
+(* ---- sender ---- *)
+
+let send_framed t ~label dir payload =
+  let st = state t dir in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  Hashtbl.replace st.history seq payload;
+  let wire = encode seq payload in
+  t.s_frames <- t.s_frames + 1;
+  t.s_overhead <- t.s_overhead + (String.length wire - String.length payload);
+  Channel.raw_send t.channel ~label dir wire
+
+(* ---- receiver ---- *)
+
+(* Ask the peer to retransmit [st.expected].  In-process, the NAK is
+   consumed synchronously: we account its bytes and round trip on the
+   reverse direction, then replay the frame from the sender's history
+   through the (possibly faulty) wire.  [force] bypasses the
+   one-outstanding-retransmission limit — used when the link went quiet,
+   i.e. the previous retransmission itself was lost. *)
+let nak_and_retransmit t dir ~force =
+  let st = state t dir in
+  if force || not st.retransmit_inflight then begin
+    if st.attempts >= t.config.max_retries then
+      raise
+        (Failed
+           (Retry_exhausted
+              { direction = dir; seq = st.expected; attempts = st.attempts }));
+    st.attempts <- st.attempts + 1;
+    let backoff =
+      min
+        (t.config.backoff_base_s *. (2.0 ** float_of_int (st.attempts - 1)))
+        t.config.backoff_max_s
+    in
+    t.s_backoff <- t.s_backoff +. backoff;
+    t.s_naks <- t.s_naks + 1;
+    let nak_len = 1 + Varint.size st.expected in
+    t.s_overhead <- t.s_overhead + nak_len;
+    Channel.note t.channel ~label:"frame:nak" (opposite dir) nak_len;
+    match Hashtbl.find_opt st.history st.expected with
+    | Some payload ->
+        let wire = encode st.expected payload in
+        t.s_retransmits <- t.s_retransmits + 1;
+        t.s_overhead <- t.s_overhead + String.length wire;
+        Channel.raw_send t.channel ~label:"frame:retransmit" dir wire;
+        st.retransmit_inflight <- true
+    | None ->
+        (* The peer has nothing unacknowledged at this sequence — the
+           bad frame was a stray duplicate.  Nothing to replay. *)
+        ()
+  end
+
+let recv_framed t dir =
+  let st = state t dir in
+  let deliver seq payload =
+    Hashtbl.remove st.history seq;
+    st.expected <- seq + 1;
+    st.attempts <- 0;
+    st.retransmit_inflight <- false;
+    Some payload
+  in
+  let rec loop () =
+    match Hashtbl.find_opt st.reorder st.expected with
+    | Some payload ->
+        Hashtbl.remove st.reorder st.expected;
+        deliver st.expected payload
+    | None -> (
+        match Channel.raw_recv_opt t.channel dir with
+        | None ->
+            if Hashtbl.mem st.history st.expected then begin
+              (* The link went quiet with the frame unacknowledged: it
+                 (or its retransmission) was lost in flight. *)
+              nak_and_retransmit t dir ~force:true;
+              loop ()
+            end
+            else None
+        | Some wire -> (
+            match decode wire with
+            | Error (`Crc | `Header) ->
+                t.s_bad <- t.s_bad + 1;
+                nak_and_retransmit t dir ~force:false;
+                loop ()
+            | Ok (seq, payload) ->
+                if seq < st.expected then begin
+                  t.s_dups <- t.s_dups + 1;
+                  loop ()
+                end
+                else if seq = st.expected then deliver seq payload
+                else begin
+                  (* Gap: [expected] was lost; stash this frame and
+                     request the missing one. *)
+                  Hashtbl.replace st.reorder seq payload;
+                  nak_and_retransmit t dir ~force:false;
+                  loop ()
+                end))
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+let attach ?(config = default_config) channel =
+  if config.max_retries < 1 then invalid_arg "Frame.attach: max_retries < 1";
+  let t =
+    {
+      channel;
+      config;
+      c2s = make_dir_state ();
+      s2c = make_dir_state ();
+      s_frames = 0;
+      s_retransmits = 0;
+      s_naks = 0;
+      s_dups = 0;
+      s_bad = 0;
+      s_overhead = 0;
+      s_backoff = 0.0;
+    }
+  in
+  Channel.set_session channel
+    ~send:(fun _ch ~label dir payload -> send_framed t ~label dir payload)
+    ~recv:(fun _ch dir -> recv_framed t dir);
+  t
+
+let detach t = Channel.clear_session t.channel
+
+let resync t =
+  (* Abandon every in-flight exchange: drop queued frames, forget
+     unacknowledged history and reorder stashes, and restart the
+     receiver expectations at the senders' next sequence numbers.  Both
+     endpoints of the simulated link resynchronize together; a small
+     control note per direction accounts for the handshake. *)
+  List.iter
+    (fun dir ->
+      let st = state t dir in
+      let rec drain () =
+        match Channel.raw_recv_opt t.channel dir with
+        | Some _ -> drain ()
+        | None -> ()
+      in
+      drain ();
+      Hashtbl.reset st.history;
+      Hashtbl.reset st.reorder;
+      st.expected <- st.next_seq;
+      st.attempts <- 0;
+      st.retransmit_inflight <- false;
+      let len = 1 + Varint.size st.next_seq in
+      t.s_overhead <- t.s_overhead + len;
+      Channel.note t.channel ~label:"frame:resync" dir len)
+    [ Channel.Client_to_server; Channel.Server_to_client ]
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "frames: %d sent, %d retransmits, %d naks, %d dups discarded, %d bad, \
+     overhead %d B, backoff %.2f s"
+    s.frames s.retransmits s.naks s.dup_discards s.bad_frames s.overhead_bytes
+    s.backoff_s

@@ -1,6 +1,7 @@
 module Channel = Fsync_net.Channel
 module Varint = Fsync_util.Varint
 module Fp = Fsync_hash.Fingerprint
+module Error = Fsync_core.Error
 
 type config = { digest_bytes : int }
 
@@ -35,7 +36,20 @@ let pack_bitmap flags =
     flags;
   Bytes.to_string b
 
-let bitmap_get s i = Char.code s.[i / 8] land (1 lsl (i mod 8)) <> 0
+let bitmap_get s i =
+  let byte = i / 8 in
+  if byte >= String.length s then
+    Error.truncated "Recon: bitmap bit %d past %d bytes" i (String.length s);
+  Char.code s.[byte] land (1 lsl (i mod 8)) <> 0
+
+(* Bounds-checked substring: a corrupted length prefix must produce a
+   typed error, never an [Invalid_argument] from [String.sub] or an
+   allocation beyond the message. *)
+let safe_sub s pos len what =
+  if len < 0 || pos < 0 || pos + len > String.length s then
+    Error.truncated "Recon: %s needs [%d,%d) of a %d-byte message" what pos
+      (pos + len) (String.length s)
+  else String.sub s pos len
 
 let write_leaves buf leaves =
   Varint.write buf (List.length leaves);
@@ -48,12 +62,17 @@ let write_leaves buf leaves =
 
 let read_leaves s pos =
   let n, pos = Varint.read s ~pos in
+  (* Each leaf costs at least 1 length byte + 16 fingerprint bytes, so a
+     declared count beyond this bound cannot be honest: reject before
+     allocating the list. *)
+  if n < 0 || n > (String.length s - pos) / (1 + Fp.size_bytes) then
+    Error.limit "Recon: leaf count %d exceeds message capacity" n;
   let pos = ref pos in
   let out =
     List.init n (fun _ ->
         let len, p = Varint.read s ~pos:!pos in
-        let path = String.sub s p len in
-        let fp = Fp.of_raw (String.sub s (p + len) Fp.size_bytes) in
+        let path = safe_sub s p len "leaf path" in
+        let fp = Fp.of_raw (safe_sub s (p + len) Fp.size_bytes "leaf fingerprint") in
         pos := p + len + Fp.size_bytes;
         (path, fp))
   in
@@ -92,6 +111,15 @@ let run ?channel ?(config = default_config) ~client ~server () =
     invalid_arg "Recon.run: replicas must agree on the tree configuration";
   let mcfg = Merkle.config client in
   let ch = match channel with Some c -> c | None -> Channel.create () in
+  let recv dir =
+    match Channel.recv_opt ch dir with
+    | Some msg -> msg
+    | None ->
+        Error.channel_empty "Recon: expected a %s message"
+          (match dir with
+          | Channel.Client_to_server -> "client-to-server"
+          | Channel.Server_to_client -> "server-to-client")
+  in
   let log = ref [] in
   let send_c2s label payload =
     Channel.send ch ~label Channel.Client_to_server payload
@@ -115,7 +143,10 @@ let run ?channel ?(config = default_config) ~client ~server () =
     in
     send_c2s "recon:level-0" hello;
     (* server endpoint *)
-    let server_width, _ = Varint.read (Channel.recv ch Channel.Client_to_server) ~pos:0 in
+    let server_width, _ = Varint.read (recv Channel.Client_to_server) ~pos:0 in
+    if server_width < 1 || server_width > 16 then
+      Error.malformed "Recon: announced digest width %d out of 1..16"
+        server_width;
     let root_msg =
       let b = Buffer.create 20 in
       Varint.write b (Merkle.cardinal server);
@@ -124,9 +155,9 @@ let run ?channel ?(config = default_config) ~client ~server () =
     in
     send_s2c "recon:level-0" root_msg;
     (* client endpoint *)
-    let msg = Channel.recv ch Channel.Server_to_client in
+    let msg = recv Channel.Server_to_client in
     let _server_count, pos = Varint.read msg ~pos:0 in
-    let server_root = String.sub msg pos 16 in
+    let server_root = safe_sub msg pos 16 "root digest" in
     record "recon:level-0" (String.length hello) (String.length root_msg);
     if String.equal server_root (Merkle.root_digest client) then `Clean
     else begin
@@ -149,7 +180,7 @@ let run ?channel ?(config = default_config) ~client ~server () =
         let bitmap = pack_bitmap !wants in
         send_c2s label bitmap;
         (* server endpoint: expand every selected range. *)
-        let req = Channel.recv ch Channel.Client_to_server in
+        let req = recv Channel.Client_to_server in
         let selected =
           Array.to_list !offered
           |> List.filteri (fun i _ -> bitmap_get req i)
@@ -174,11 +205,14 @@ let run ?channel ?(config = default_config) ~client ~server () =
           selected;
         send_s2c label (Buffer.contents reply);
         (* client endpoint: compare child digests / diff leaf lists. *)
-        let resp = Channel.recv ch Channel.Server_to_client in
+        let resp = recv Channel.Server_to_client in
         let next_offered = ref [] and next_wants = ref [] in
         let pos = ref 0 in
         List.iter
           (fun (r : Merkle.range) ->
+            if !pos >= String.length resp then
+              Error.truncated "Recon: reply ends before range %d expansions"
+                (Array.length !offered);
             let tag = resp.[!pos] in
             incr pos;
             match tag with
@@ -190,13 +224,13 @@ let run ?channel ?(config = default_config) ~client ~server () =
             | 'S' ->
                 Array.iter
                   (fun (child : Merkle.range) ->
-                    let theirs = String.sub resp !pos width in
+                    let theirs = safe_sub resp !pos width "child digest" in
                     pos := !pos + width;
                     let mine = truncate (Merkle.digest_of_range client child) in
                     next_offered := child :: !next_offered;
                     next_wants := (not (String.equal mine theirs)) :: !next_wants)
                   (Merkle.children mcfg r)
-            | c -> invalid_arg (Printf.sprintf "Recon: bad tag %C" c))
+            | c -> Error.malformed "Recon: bad tag %C" c)
           selected;
         offered := Array.of_list (List.rev !next_offered);
         wants := Array.of_list (List.rev !next_wants);
@@ -231,11 +265,11 @@ let run ?channel ?(config = default_config) ~client ~server () =
      diff exact even under MD5 collisions in interior digests. *)
   let fallback ~widened =
     send_c2s "recon:fallback" "\001";
-    ignore (Channel.recv ch Channel.Client_to_server);
+    ignore (recv Channel.Client_to_server);
     let msg = Buffer.create 1024 in
     write_leaves msg (Merkle.leaves server);
     send_s2c "recon:fallback" (Buffer.contents msg);
-    let resp = Channel.recv ch Channel.Server_to_client in
+    let resp = recv Channel.Server_to_client in
     let remote, _ = read_leaves resp 0 in
     let hyp =
       { h_changed = Hashtbl.create 16; h_added = Hashtbl.create 16; h_deleted = [] }
@@ -260,18 +294,21 @@ let run ?channel ?(config = default_config) ~client ~server () =
           !t
         in
         send_c2s "recon:confirm" (Merkle.root_digest expected);
-        let claim = Channel.recv ch Channel.Client_to_server in
+        let claim = recv Channel.Client_to_server in
         let verdict =
           if String.equal claim (Merkle.root_digest server) then "\001" else "\000"
         in
         send_s2c "recon:confirm" verdict;
-        let ok = String.equal (Channel.recv ch Channel.Server_to_client) "\001" in
+        let ok = String.equal (recv Channel.Server_to_client) "\001" in
         record "recon:confirm" 16 1;
         if ok then finish ~widened ~fell_back:false hyp
         else if width < 16 then attempt 16 ~widened:true
         else fallback ~widened
   in
   attempt config.digest_bytes ~widened:false
+
+let run_result ?channel ?config ~client ~server () =
+  Error.guard (fun () -> run ?channel ?config ~client ~server ())
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -64,6 +64,23 @@ val run :
     reported byte crosses a real serialize/parse boundary.  All path
     lists in the result are sorted.
     @raise Invalid_argument if the two trees disagree on fanout or
-    bucket size, or if [digest_bytes] is outside 1..16. *)
+    bucket size, or if [digest_bytes] is outside 1..16.
+    @raise Fsync_core.Error.E if the channel delivers corrupt or missing
+    messages (only possible over a faulty link — see {!Fsync_net.Fault});
+    every decode is bounds-checked before any read or allocation, so
+    malformed bytes surface as a typed error, never a bare exception or
+    an unbounded allocation.  Use {!run_result} in that setting. *)
+
+val run_result :
+  ?channel:Fsync_net.Channel.t ->
+  ?config:config ->
+  client:Merkle.t ->
+  server:Merkle.t ->
+  unit ->
+  (result, Fsync_core.Error.t) Stdlib.result
+(** {!run} wrapped in {!Fsync_core.Error.guard}: over a faulty channel,
+    corrupt or missing messages surface as a typed error instead of an
+    exception.  {!Fsync_net.Fault.Disconnected} still propagates so a
+    session driver can checkpoint and resume. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,22 @@
+(** CRC-32 (IEEE 802.3) checksums.
+
+    Used by the session layer ({!Fsync_net.Frame}) to detect corrupted
+    frames before any protocol decoder sees the bytes.  A CRC is an
+    error-*detection* code, not a cryptographic hash: it reliably
+    catches the bit flips and truncations a dirty link produces, while
+    end-to-end strong fingerprints remain the final correctness check. *)
+
+val string : string -> int
+(** CRC-32 of a whole string, in [0, 2^32). *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Incremental: [update crc s ~pos ~len] extends [crc] with a substring.
+    [string s = update 0 s ~pos:0 ~len:(String.length s)].
+    @raise Invalid_argument if the substring is out of bounds. *)
+
+val to_bytes_le : int -> string
+(** 4 bytes, little-endian. *)
+
+val of_bytes_le : string -> pos:int -> int
+(** Read 4 little-endian bytes.
+    @raise Invalid_argument if out of bounds. *)

@@ -13,6 +13,11 @@ let read s ~pos =
   let len = String.length s in
   let rec loop pos shift acc =
     if pos >= len then invalid_arg "Varint.read: truncated";
+    (* An OCaml int holds at most 63 bits: more than 9 septets cannot
+       encode a value we produced, so the input is malformed.  Without
+       this bound a crafted run of 0x80 bytes would walk the whole
+       message and shift past the word size (undefined for [lsl]). *)
+    if shift > 56 then invalid_arg "Varint.read: overlong encoding";
     let b = Char.code (String.unsafe_get s pos) in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b < 0x80 then (acc, pos + 1) else loop (pos + 1) (shift + 7) acc

@@ -9,7 +9,9 @@ val write : Buffer.t -> int -> unit
 
 val read : string -> pos:int -> int * int
 (** [read s ~pos] decodes a varint at byte offset [pos]; returns
-    [(value, next_pos)].  @raise Invalid_argument on truncated input. *)
+    [(value, next_pos)].  @raise Invalid_argument on truncated input or
+    an overlong encoding (more than 9 continuation septets — nothing we
+    ever emit, and unbounded shifts would otherwise be undefined). *)
 
 val size : int -> int
 (** Encoded byte length of [n]. *)

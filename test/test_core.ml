@@ -335,10 +335,15 @@ let test_wire_roundtrip () =
   Alcotest.(check string) "string" "payload" (Wire.get_string r)
 
 let test_wire_bad_flag () =
-  Alcotest.check_raises "bad flag" (Invalid_argument "Wire.unpack: bad flag")
-    (fun () -> ignore (Wire.unpack ~compress:true "\002zzz"));
-  Alcotest.check_raises "empty" (Invalid_argument "Wire.unpack: empty message")
-    (fun () -> ignore (Wire.unpack ~compress:true ""))
+  (* Malformed envelopes surface as typed errors, never bare exceptions. *)
+  let typed what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected a typed error" what
+    | exception Fsync_core.Error.E (Fsync_core.Error.Malformed _) -> ()
+    | exception Fsync_core.Error.E (Fsync_core.Error.Truncated _) -> ()
+  in
+  typed "bad flag" (fun () -> Wire.unpack ~compress:true "\002zzz");
+  typed "empty" (fun () -> Wire.unpack ~compress:true "")
 
 let test_wire_compressed () =
   let msg =

@@ -1,0 +1,603 @@
+(* The robustness stack: CRC32, fault injection, the framing session
+   layer, typed decode errors under fuzzed input, and the resilient
+   collection driver — including the ≥200-schedule soak the design
+   demands: every run ends with an exact reconstruction or a clean typed
+   error, never an escaped exception and never silent corruption. *)
+
+open Fsync_net
+module Crc32 = Fsync_util.Crc32
+module Prng = Fsync_util.Prng
+module Wire = Fsync_core.Wire
+module Error = Fsync_core.Error
+module Snapshot = Fsync_collection.Snapshot
+module Driver = Fsync_collection.Driver
+
+let prop ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- CRC32 ---- *)
+
+let test_crc32_vectors () =
+  (* The standard check value. *)
+  Alcotest.(check int) "123456789" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  (* Incremental chaining equals the one-shot digest. *)
+  let a = "hello, " and b = "world" in
+  Alcotest.(check int) "chained"
+    (Crc32.string (a ^ b))
+    (Crc32.update (Crc32.update 0 a ~pos:0 ~len:(String.length a)) b ~pos:0
+       ~len:(String.length b));
+  let c = Crc32.string "some frame payload" in
+  Alcotest.(check int) "le round-trip" c
+    (Crc32.of_bytes_le (Crc32.to_bytes_le c) ~pos:0)
+
+let crc32_detects =
+  prop ~count:300 "crc32 detects bit flips"
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 1 200)) (int_range 0 10_000))
+    (fun (s, r) ->
+      let bit = r mod (8 * String.length s) in
+      let b = Bytes.of_string s in
+      Bytes.set b (bit / 8)
+        (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))));
+      Crc32.string s <> Crc32.string (Bytes.to_string b))
+
+(* ---- fault injection ---- *)
+
+let spec_probs d c t u =
+  { Fault.none with p_drop = d; p_corrupt = c; p_truncate = t; p_duplicate = u }
+
+let test_fault_deterministic () =
+  let run () =
+    let ch = Channel.create () in
+    let f = Fault.attach ~seed:42 ch (spec_probs 0.2 0.2 0.1 0.1) in
+    let delivered = ref [] in
+    for i = 1 to 200 do
+      Channel.send ch Channel.Client_to_server (Printf.sprintf "msg-%03d" i);
+      match Channel.recv_opt ch Channel.Client_to_server with
+      | Some m -> delivered := m :: !delivered
+      | None -> ()
+    done;
+    let st = Fault.stats f in
+    Fault.detach f;
+    (!delivered, st)
+  in
+  let d1, s1 = run () and d2, s2 = run () in
+  Alcotest.(check bool) "same deliveries" true (d1 = d2);
+  Alcotest.(check bool) "same stats" true (s1 = s2);
+  Alcotest.(check bool) "faults occurred" true
+    (s1.Fault.dropped > 0 && s1.Fault.corrupted > 0)
+
+let test_fault_drop_charges_bytes () =
+  let ch = Channel.create () in
+  let f = Fault.attach ~seed:7 ch { Fault.none with p_drop = 1.0 } in
+  Channel.send ch Channel.Client_to_server "twelve bytes";
+  Alcotest.(check (option string)) "lost" None
+    (Channel.recv_opt ch Channel.Client_to_server);
+  Alcotest.(check int) "bytes still charged" 12
+    (Channel.bytes ch Channel.Client_to_server);
+  Fault.detach f
+
+let test_fault_disconnect_after () =
+  let ch = Channel.create () in
+  let f =
+    Fault.attach ~seed:1 ch
+      { Fault.none with disconnect_after = Some 3; max_disconnects = 1 }
+  in
+  Channel.send ch Channel.Client_to_server "one";
+  Channel.send ch Channel.Server_to_client "two";
+  (match Channel.send ch Channel.Client_to_server "three" with
+  | () -> Alcotest.fail "expected a disconnect on the 3rd transmission"
+  | exception Fault.Disconnected _ -> ());
+  Alcotest.(check bool) "disconnected" false (Fault.connected f);
+  (* Every send fails until reconnect. *)
+  (match Channel.send ch Channel.Client_to_server "again" with
+  | () -> Alcotest.fail "still disconnected"
+  | exception Fault.Disconnected _ -> ());
+  Fault.reconnect f;
+  Channel.send ch Channel.Client_to_server "after";
+  Alcotest.(check bool) "delivered after reconnect" true
+    (Channel.recv_opt ch Channel.Client_to_server <> None);
+  Fault.detach f
+
+let test_fault_parse () =
+  (match Fault.parse "drop=0.02,corrupt=0.01,disc=0.001" with
+  | Ok s ->
+      Alcotest.(check (float 1e-9)) "drop" 0.02 s.Fault.p_drop;
+      Alcotest.(check (float 1e-9)) "corrupt" 0.01 s.Fault.p_corrupt;
+      Alcotest.(check (float 1e-9)) "disc" 0.001 s.Fault.p_disconnect;
+      Alcotest.(check bool) "disc budget implied" true (s.Fault.max_disconnects > 0)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Fault.parse "dirty" with
+  | Ok s -> Alcotest.(check bool) "dirty preset" true (s = Fault.dirty)
+  | Error e -> Alcotest.failf "dirty failed: %s" e);
+  (match Fault.parse "drop=2.0" with
+  | Ok _ -> Alcotest.fail "out-of-range probability accepted"
+  | Error _ -> ());
+  (match Fault.parse "bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error _ -> ());
+  (* Round-trip through the printer. *)
+  match Fault.parse (Fault.to_string Fault.dirty) with
+  | Ok s -> Alcotest.(check bool) "to_string round-trip" true (s = Fault.dirty)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+(* ---- framing ---- *)
+
+let test_frame_transparent () =
+  let ch = Channel.create () in
+  let f = Frame.attach ch in
+  let payloads = [ "alpha"; ""; String.make 5000 'x'; "omega" ] in
+  List.iter (fun p -> Channel.send ch Channel.Client_to_server p) payloads;
+  let got =
+    List.map
+      (fun _ ->
+        match Channel.recv_opt ch Channel.Client_to_server with
+        | Some m -> m
+        | None -> Alcotest.fail "frame lost on a clean link")
+      payloads
+  in
+  Alcotest.(check (list string)) "payloads unchanged" payloads got;
+  let st = Frame.stats f in
+  Alcotest.(check int) "no retransmits" 0 st.Frame.retransmits;
+  Alcotest.(check bool) "overhead accounted" true (st.Frame.overhead_bytes > 0);
+  Alcotest.(check int) "channel sees payload + overhead"
+    (List.fold_left (fun a p -> a + String.length p) 0 payloads
+    + st.Frame.overhead_bytes)
+    (Channel.bytes ch Channel.Client_to_server);
+  Frame.detach f
+
+let test_frame_survives_corruption () =
+  let ch = Channel.create () in
+  let fault = Fault.attach ~seed:11 ch (spec_probs 0.15 0.15 0.1 0.1) in
+  let frame = Frame.attach ch in
+  let n = 300 in
+  let lost = ref 0 in
+  for i = 1 to n do
+    let payload = Printf.sprintf "payload-%04d:%s" i (String.make (i mod 97) 'q') in
+    Channel.send ch Channel.Client_to_server payload;
+    match Channel.recv_opt ch Channel.Client_to_server with
+    | Some m ->
+        Alcotest.(check string) (Printf.sprintf "frame %d intact" i) payload m
+    | None -> incr lost
+  done;
+  let st = Frame.stats frame in
+  Alcotest.(check int) "nothing lost" 0 !lost;
+  Alcotest.(check bool) "retransmissions happened" true (st.Frame.retransmits > 0);
+  Alcotest.(check bool) "bad frames detected" true (st.Frame.bad_frames > 0);
+  Frame.detach frame;
+  Fault.detach fault
+
+let test_frame_retry_exhaustion () =
+  let ch = Channel.create () in
+  let fault = Fault.attach ~seed:3 ch { Fault.none with p_drop = 1.0 } in
+  let frame = Frame.attach ~config:{ Frame.default_config with max_retries = 4 } ch in
+  Channel.send ch Channel.Client_to_server "doomed";
+  (match Channel.recv_opt ch Channel.Client_to_server with
+  | _ -> Alcotest.fail "expected retry exhaustion"
+  | exception Frame.Failed (Frame.Retry_exhausted r) ->
+      Alcotest.(check int) "attempts" 4 r.attempts);
+  (* [Error.guard] turns the session-layer failure into a typed error. *)
+  Channel.send ch Channel.Client_to_server "doomed too";
+  (match Error.guard (fun () -> Channel.recv_opt ch Channel.Client_to_server) with
+  | Error (Error.Retry_exhausted _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected retry exhaustion");
+  Frame.detach frame;
+  Fault.detach fault
+
+let test_frame_resync () =
+  let ch = Channel.create () in
+  let frame = Frame.attach ch in
+  (* An abandoned exchange leaves frames in flight. *)
+  Channel.send ch Channel.Client_to_server "stale-1";
+  Channel.send ch Channel.Client_to_server "stale-2";
+  Frame.resync frame;
+  Alcotest.(check (option string)) "queue drained" None
+    (Channel.recv_opt ch Channel.Client_to_server);
+  Channel.send ch Channel.Client_to_server "fresh";
+  Alcotest.(check (option string)) "fresh traffic flows" (Some "fresh")
+    (Channel.recv_opt ch Channel.Client_to_server);
+  Frame.detach frame
+
+(* ---- decoder fuzz: typed errors only ---- *)
+
+exception Escaped of string
+
+(* Run a decoder on hostile bytes: success and typed errors are both
+   fine; any other exception is a hardening bug. *)
+let contained f =
+  match Error.guard f with
+  | Ok _ | Error _ -> true
+  | exception e -> raise (Escaped (Printexc.to_string e))
+
+let hostile_bytes =
+  QCheck2.Gen.(string_size ~gen:char (int_range 0 400))
+
+let wire_fuzz_random =
+  prop ~count:500 "wire readers contain random bytes" hostile_bytes (fun s ->
+      contained (fun () ->
+          let r = Wire.unpack s in
+          let _ = Wire.get_varint r in
+          let _ = Wire.get_string r in
+          let _ = Wire.get_bitmap r ~n:32 in
+          Wire.get_hash r ~width:24)
+      && contained (fun () -> Wire.unpack ~compress:true s)
+      && contained (fun () -> Wire.get_string (Wire.unpack s)))
+
+let wire_fuzz_mangled =
+  prop ~count:500 "wire readers contain mangled valid messages"
+    QCheck2.Gen.(triple (string_size ~gen:char (int_range 0 120)) (int_range 0 7) (int_range 0 10_000))
+    (fun (payload, kind, r) ->
+      let msg =
+        Wire.pack ~compress:true (fun w ->
+            Wire.put_varint w (String.length payload);
+            Wire.put_string w payload;
+            Wire.put_bitmap w [ true; false; true; true ];
+            Wire.put_hash w 0x1234 ~width:20)
+      in
+      let mangled =
+        let n = String.length msg in
+        match kind with
+        | 0 -> String.sub msg 0 (r mod (n + 1)) (* truncate *)
+        | 1 ->
+            let b = Bytes.of_string msg in
+            let bit = r mod (8 * n) in
+            Bytes.set b (bit / 8)
+              (Char.chr
+                 (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))));
+            Bytes.to_string b
+        | 2 -> msg ^ "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"
+        | 3 -> String.make 1 '\001' ^ String.sub msg 0 (r mod (n + 1))
+        | _ -> msg
+      in
+      contained (fun () ->
+          let rd = Wire.unpack ~compress:true mangled in
+          let n = Wire.get_varint rd in
+          let s = Wire.get_string rd in
+          ignore (n, s);
+          let _ = Wire.get_bitmap rd ~n:4 in
+          Wire.get_hash rd ~width:20))
+
+let varint_overlong () =
+  (* Ten continuation septets cannot encode an OCaml int: the reader
+     must stop with a typed error instead of shifting past the word. *)
+  let evil =
+    Wire.unpack (String.concat "" (List.init 10 (fun _ -> "\xff")))
+  in
+  match Wire.get_varint evil with
+  | _ -> Alcotest.fail "overlong varint accepted"
+  | exception Error.E (Error.Limit_exceeded _) -> ()
+
+(* Recon over an actively hostile link (no framing): the result must be
+   a value or a typed error; correctness under corruption is the
+   driver's job, non-crashing decode is Recon's. *)
+let recon_fuzz =
+  prop ~count:120 "recon decoding contains a corrupting link"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 77)) in
+      let files n =
+        List.init n (fun i ->
+            ( Printf.sprintf "f%02d" i,
+              Bytes.to_string (Prng.bytes rng (1 + Prng.int rng 40)) ))
+      in
+      let client = Fsync_reconcile.Merkle.of_files (files 12) in
+      let server = Fsync_reconcile.Merkle.of_files (files 12) in
+      let ch = Channel.create () in
+      let fault = Fault.attach ~seed ch (spec_probs 0.1 0.25 0.2 0.1) in
+      let ok =
+        match Fsync_reconcile.Recon.run_result ~channel:ch ~client ~server () with
+        | Ok _ | Error _ -> true
+        | exception e -> raise (Escaped (Printexc.to_string e))
+      in
+      Fault.detach fault;
+      ok)
+
+(* Protocol endpoints over a corrupting link.  Bare link: the protocol
+   cannot promise exactness (its own verdict messages can be corrupted —
+   the driver's per-file fingerprints exist for that), but it must
+   contain every decode failure as a typed error.  Framed link: CRC +
+   retransmit hand the protocol clean messages, so a successful run
+   must have reconstructed the file exactly. *)
+let protocol_fuzz_files seed =
+  let rng = Prng.create (Int64.of_int (seed + 1234)) in
+  let old_file = Bytes.to_string (Prng.bytes rng 3000) in
+  let new_file =
+    let b = Bytes.of_string old_file in
+    Bytes.blit (Prng.bytes rng 100) 0 b (Prng.int rng 2900) 100;
+    Bytes.to_string b
+  in
+  (old_file, new_file)
+
+let protocol_fuzz_bare =
+  prop ~count:120 "protocol decoding contains a corrupting link"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let old_file, new_file = protocol_fuzz_files seed in
+      let ch = Channel.create () in
+      let fault = Fault.attach ~seed ch (spec_probs 0.05 0.15 0.1 0.05) in
+      let ok =
+        match
+          Fsync_core.Protocol.run_result ~channel:ch
+            ~config:Fsync_core.Config.tuned ~old_file new_file
+        with
+        | Ok _ | Error _ -> true
+        | exception e -> raise (Escaped (Printexc.to_string e))
+      in
+      Fault.detach fault;
+      ok)
+
+let protocol_fuzz_framed =
+  prop ~count:60 "protocol over framed corrupting link is exact"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let old_file, new_file = protocol_fuzz_files seed in
+      let ch = Channel.create () in
+      let fault = Fault.attach ~seed ch (spec_probs 0.05 0.1 0.05 0.05) in
+      let frame = Frame.attach ch in
+      let ok =
+        match
+          Fsync_core.Protocol.run_result ~channel:ch
+            ~config:Fsync_core.Config.tuned ~old_file new_file
+        with
+        | Ok r -> String.equal r.Fsync_core.Protocol.reconstructed new_file
+        | Error _ -> true (* retry budget exhausted: a clean typed failure *)
+        | exception e -> raise (Escaped (Printexc.to_string e))
+      in
+      Frame.detach frame;
+      Fault.detach fault;
+      ok)
+
+(* ---- resilient driver ---- *)
+
+let mk_collections rng n =
+  let base =
+    List.init n (fun i ->
+        let chunk = Bytes.to_string (Prng.bytes rng 64) in
+        let reps = 4 + Prng.int rng 30 in
+        let b = Buffer.create (64 * reps) in
+        for _ = 1 to reps do
+          Buffer.add_string b chunk;
+          Buffer.add_string b (Bytes.to_string (Prng.bytes rng 16))
+        done;
+        (Printf.sprintf "d%d/file%02d.dat" (i mod 3) i, Buffer.contents b))
+  in
+  let edit content =
+    let b = Bytes.of_string content in
+    let n = Bytes.length b in
+    for _ = 1 to 1 + Prng.int rng 3 do
+      let off = Prng.int rng n in
+      let len = min (1 + Prng.int rng 64) (n - off) in
+      Bytes.blit (Prng.bytes rng len) 0 b off len
+    done;
+    Bytes.to_string b
+  in
+  let server =
+    List.filteri (fun i _ -> i <> 1) base
+    |> List.map (fun (p, c) ->
+           if Prng.bernoulli rng 0.4 then (p, edit c) else (p, c))
+  in
+  let server = ("d0/newfile.dat", Bytes.to_string (Prng.bytes rng 500)) :: server in
+  (Snapshot.of_files base, Snapshot.of_files server)
+
+let test_resilient_clean_link () =
+  let rng = Prng.create 99L in
+  let client, server = mk_collections rng 10 in
+  List.iter
+    (fun method_ ->
+      match Driver.sync_resilient method_ ~client ~server with
+      | Ok (snap, s) ->
+          Alcotest.(check bool) "converged" true
+            (Snapshot.files snap = Snapshot.files server);
+          Alcotest.(check int) "no fallbacks" 0 s.Driver.fallbacks;
+          Alcotest.(check int) "no retransmits" 0 s.Driver.retransmits;
+          Alcotest.(check int) "no resumes" 0 s.Driver.resumed
+      | Error e -> Alcotest.failf "clean link failed: %s" (Error.to_string e))
+    [
+      Driver.Full_raw;
+      Driver.Rsync_default;
+      Driver.Fsync Fsync_core.Config.tuned;
+    ]
+
+let test_resilient_dirty_link () =
+  let rng = Prng.create 123L in
+  let client, server = mk_collections rng 10 in
+  let resilience =
+    { Driver.default_resilience with faults = Fault.dirty; seed = 5 }
+  in
+  match
+    Driver.sync_resilient ~metadata:Driver.Merkle ~resilience
+      Driver.Rsync_default ~client ~server
+  with
+  | Ok (snap, _) ->
+      Alcotest.(check bool) "converged over a dirty link" true
+        (Snapshot.files snap = Snapshot.files server)
+  | Error e -> Alcotest.failf "dirty link failed: %s" (Error.to_string e)
+
+let test_resume_cheaper_than_cold () =
+  let rng = Prng.create 2024L in
+  let client, server = mk_collections rng 24 in
+  let clean =
+    match Driver.sync_resilient Driver.Full_compressed ~client ~server with
+    | Ok (_, s) -> Driver.total s
+    | Error e -> Alcotest.failf "clean run failed: %s" (Error.to_string e)
+  in
+  (* Break the link deterministically mid-transfer; the session must
+     resume from its checkpoint, not start over. *)
+  let resilience =
+    {
+      Driver.default_resilience with
+      faults =
+        { Fault.none with disconnect_after = Some 12; max_disconnects = 1 };
+      seed = 3;
+    }
+  in
+  match Driver.sync_resilient ~resilience Driver.Full_compressed ~client ~server with
+  | Ok (snap, s) ->
+      Alcotest.(check bool) "converged after resume" true
+        (Snapshot.files snap = Snapshot.files server);
+      Alcotest.(check int) "resumed once" 1 s.Driver.resumed;
+      (* A cold restart pays the whole session again on top of the
+         partial work; a resume must stay well under that. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "resume %d < cold restart %d" (Driver.total s)
+           (2 * clean))
+        true
+        (Driver.total s < 2 * clean)
+  | Error e -> Alcotest.failf "resumed run failed: %s" (Error.to_string e)
+
+let test_fallback_ladder () =
+  (* A link so corrupt that the method cannot get a delta through intact
+     often enough: the per-file ladder must still converge (fallback or
+     retries) or fail with a typed error — and when it converges, the
+     outcome records tell the story. *)
+  let rng = Prng.create 555L in
+  let client, server = mk_collections rng 6 in
+  let resilience =
+    {
+      Driver.default_resilience with
+      frame = false;
+      faults = spec_probs 0.0 0.45 0.0 0.0;
+      seed = 9;
+      max_restarts = 20;
+      file_retries = 4;
+    }
+  in
+  match Driver.sync_resilient ~resilience Driver.Rsync_default ~client ~server with
+  | Ok (snap, _) ->
+      Alcotest.(check bool) "converged" true
+        (Snapshot.files snap = Snapshot.files server)
+  | Error _ -> () (* a clean typed failure is an acceptable outcome *)
+
+(* ---- the soak: ≥200 randomized seeded fault schedules ---- *)
+
+let soak_methods =
+  [|
+    Driver.Rsync_default;
+    Driver.Fsync Fsync_core.Config.tuned;
+    Driver.Full_compressed;
+  |]
+
+let soak_one i =
+  let rng = Prng.create (Int64.of_int (0x50AC + (i * 7919))) in
+  let client, server = mk_collections rng (6 + Prng.int rng 6) in
+  let p bound = Prng.float rng bound in
+  let faults =
+    {
+      Fault.p_drop = p 0.04;
+      p_corrupt = p 0.05;
+      p_truncate = p 0.03;
+      p_duplicate = p 0.03;
+      p_disconnect = p 0.006;
+      disconnect_after = None;
+      max_disconnects = 2;
+    }
+  in
+  let resilience =
+    {
+      Driver.default_resilience with
+      faults;
+      seed = i;
+      frame = i mod 4 <> 3 (* every 4th run: bare link, no framing *);
+    }
+  in
+  let metadata = if i mod 2 = 0 then Driver.Linear else Driver.Merkle in
+  let method_ = soak_methods.(i mod Array.length soak_methods) in
+  match Driver.sync_resilient ~metadata ~resilience method_ ~client ~server with
+  | Ok (snap, _) ->
+      if Snapshot.files snap <> Snapshot.files server then
+        Alcotest.failf "soak %d: silent corruption (method %s, %s metadata)" i
+          (Driver.method_name method_)
+          (Driver.metadata_name metadata);
+      `Converged
+  | Error _ -> `Typed_failure
+  | exception e ->
+      Alcotest.failf "soak %d: exception escaped: %s" i (Printexc.to_string e)
+
+let test_soak () =
+  let runs = 200 in
+  let converged = ref 0 and failed = ref 0 in
+  for i = 0 to runs - 1 do
+    match soak_one i with
+    | `Converged -> incr converged
+    | `Typed_failure -> incr failed
+  done;
+  (* Clean typed failures are legal but must be the exception: the
+     resilience stack is supposed to win against these fault rates. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "most runs converge (%d/%d, %d typed failures)" !converged
+       runs !failed)
+    true
+    (!converged * 10 >= runs * 9)
+
+(* ---- framing overhead on the metadata scenario ---- *)
+
+let test_framing_overhead_bounded () =
+  (* The acceptance bound: with faults disabled, the framing layer adds
+     < 3% bytes over the whole metadata bench scenario (both metadata
+     modes across several change fractions). *)
+  let rng = Prng.create 7L in
+  let base =
+    List.init 120 (fun i ->
+        (Printf.sprintf "site/page%03d.html" i, Bytes.to_string (Prng.bytes rng 400)))
+  in
+  let perturb frac =
+    List.mapi
+      (fun i (p, c) ->
+        if float_of_int i < frac *. 120.0 then
+          (p, c ^ Bytes.to_string (Prng.bytes rng 8))
+        else (p, c))
+      base
+  in
+  let client = Snapshot.of_files base in
+  let scenario framed =
+    let bytes = ref 0 in
+    List.iter
+      (fun metadata ->
+        List.iter
+          (fun frac ->
+            let server = Snapshot.of_files (perturb frac) in
+            let ch = Channel.create () in
+            let frame = if framed then Some (Frame.attach ch) else None in
+            let _, _ =
+              Driver.sync ~metadata ~meta_channel:ch Driver.Full_raw ~client
+                ~server
+            in
+            (match frame with Some f -> Frame.detach f | None -> ());
+            bytes := !bytes + Channel.total_bytes ch)
+          [ 0.01; 0.1; 0.5 ])
+      [ Driver.Linear; Driver.Merkle ];
+    !bytes
+  in
+  let plain = scenario false in
+  let framed = scenario true in
+  let overhead = float_of_int (framed - plain) /. float_of_int plain in
+  Alcotest.(check bool)
+    (Printf.sprintf "framing overhead %.2f%% < 3%%" (100.0 *. overhead))
+    true (overhead < 0.03)
+
+let suite =
+  [
+    ("crc32 vectors", `Quick, test_crc32_vectors);
+    crc32_detects;
+    ("fault schedule deterministic", `Quick, test_fault_deterministic);
+    ("fault drop charges bytes", `Quick, test_fault_drop_charges_bytes);
+    ("fault disconnect after", `Quick, test_fault_disconnect_after);
+    ("fault spec parse", `Quick, test_fault_parse);
+    ("frame transparent on clean link", `Quick, test_frame_transparent);
+    ("frame survives corruption", `Quick, test_frame_survives_corruption);
+    ("frame retry exhaustion", `Quick, test_frame_retry_exhaustion);
+    ("frame resync", `Quick, test_frame_resync);
+    wire_fuzz_random;
+    wire_fuzz_mangled;
+    ("varint overlong bounded", `Quick, varint_overlong);
+    recon_fuzz;
+    protocol_fuzz_bare;
+    protocol_fuzz_framed;
+    ("resilient sync, clean link", `Quick, test_resilient_clean_link);
+    ("resilient sync, dirty link", `Quick, test_resilient_dirty_link);
+    ("resume cheaper than cold restart", `Quick, test_resume_cheaper_than_cold);
+    ("fallback ladder", `Quick, test_fallback_ladder);
+    ("soak: 200 fault schedules", `Slow, test_soak);
+    ("framing overhead < 3%", `Quick, test_framing_overhead_bounded);
+  ]
