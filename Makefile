@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples doc clean soak
+.PHONY: all build test check bench examples doc clean soak lint
 
 all: build
 
@@ -8,9 +8,17 @@ build:
 test:
 	dune runtest
 
-# What CI runs: full build (including examples and benches) plus the test
-# suite.
-check: build test
+# Repo-specific static analysis (tools/lint).  Fails on any finding not
+# recorded in tools/lint/baseline.txt; the baseline only shrinks.  After
+# paying down debt, regenerate with:
+#   dune exec tools/lint/fsynlint.exe -- --update-baseline
+lint:
+	dune build tools/lint/fsynlint.exe
+	dune exec tools/lint/fsynlint.exe --
+
+# What CI runs: full build (including examples and benches), the test
+# suite, and the lint ratchet.
+check: build test lint
 
 # QUICK=1 runs only the metadata scenario on its reduced matrix — a smoke
 # test fast enough for CI.

@@ -55,7 +55,7 @@ let lookup t key =
     let lo = t.offsets.(b) and hi = t.offsets.(b + 1) in
     let acc = ref [] in
     for s = hi - 1 downto lo do
-      if t.keys.(s) = key then acc := t.pos.(s) :: !acc
+      if Int.equal t.keys.(s) key then acc := t.pos.(s) :: !acc
     done;
     (* Positions ascend within a bucket because the placement pass scans
        ascending positions. *)
@@ -70,7 +70,7 @@ let select ~cap ~predicted positions =
     | None -> positions
     | Some p ->
         List.stable_sort
-          (fun a b -> compare (abs (a - p)) (abs (b - p)))
+          (fun a b -> Int.compare (abs (a - p)) (abs (b - p)))
           positions
   in
   List.filteri (fun i _ -> i < cap) ranked

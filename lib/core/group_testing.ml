@@ -1,5 +1,16 @@
 type status = Uncertain | Confirmed | Dead | Await_retry
 
+(* Monomorphic equality: verification state drives wire messages, so its
+   comparisons must not depend on runtime representation (R1). *)
+let equal_status a b =
+  match (a, b) with
+  | Uncertain, Uncertain
+  | Confirmed, Confirmed
+  | Dead, Dead
+  | Await_retry, Await_retry ->
+      true
+  | (Uncertain | Confirmed | Dead | Await_retry), _ -> false
+
 type cand = { mutable acc_bits : int; mutable st : status }
 
 type t = {
@@ -21,10 +32,10 @@ let create ~n (v : Config.verification) =
 
 let uncertain_indices t =
   let acc = ref [] in
-  Array.iteri (fun i c -> if c.st = Uncertain then acc := i :: !acc) t.cands;
+  Array.iteri (fun i c -> if equal_status c.st Uncertain then acc := i :: !acc) t.cands;
   List.rev !acc
 
-let has_uncertain t = Array.exists (fun c -> c.st = Uncertain) t.cands
+let has_uncertain t = Array.exists (fun c -> equal_status c.st Uncertain) t.cands
 
 let current_batch t =
   if t.awaiting_retry then None
@@ -37,7 +48,7 @@ let chunk size xs =
   let rec loop acc cur k = function
     | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
     | x :: rest ->
-        if k = size then loop (List.rev cur :: acc) [ x ] 1 rest
+        if Int.equal k size then loop (List.rev cur :: acc) [ x ] 1 rest
         else loop acc (x :: cur) (k + 1) rest
   in
   loop [] [] 0 xs
@@ -49,16 +60,16 @@ let groups t =
 
 let pending_retries t =
   let acc = ref [] in
-  Array.iteri (fun i c -> if c.st = Await_retry then acc := i :: !acc) t.cands;
+  Array.iteri (fun i c -> if equal_status c.st Await_retry then acc := i :: !acc) t.cands;
   List.rev !acc
 
 let apply_results t results =
   match current_batch t with
-  | None -> invalid_arg "Group_testing.apply_results: no active batch"
+  | None -> Error.malformed "Group_testing.apply_results: no active batch"
   | Some b ->
       let gs = groups t in
-      if Array.length results <> List.length gs then
-        invalid_arg "Group_testing.apply_results: arity mismatch";
+      if not (Int.equal (Array.length results) (List.length gs)) then
+        Error.malformed "Group_testing.apply_results: arity mismatch";
       let more_batches = List.length t.remaining > 1 in
       List.iteri
         (fun gi members ->
@@ -70,7 +81,7 @@ let apply_results t results =
                 c.acc_bits <- c.acc_bits + b.bits;
                 if c.acc_bits >= t.confirm_bits then c.st <- Confirmed
               end
-              else if b.group_size = 1 then begin
+              else if Int.equal b.group_size 1 then begin
                 c.acc_bits <- 0;
                 c.st <-
                   (if t.retry && more_batches then Await_retry else Dead)
@@ -84,8 +95,8 @@ let apply_results t results =
 
 let resolve_retries t decisions =
   let pending = pending_retries t in
-  if Array.length decisions <> List.length pending then
-    invalid_arg "Group_testing.resolve_retries: arity mismatch";
+  if not (Int.equal (Array.length decisions) (List.length pending)) then
+    Error.malformed "Group_testing.resolve_retries: arity mismatch";
   List.iteri
     (fun k i ->
       let c = t.cands.(i) in
@@ -96,6 +107,6 @@ let resolve_retries t decisions =
 
 let status t i = t.cands.(i).st
 
-let confirmed t = Array.map (fun c -> c.st = Confirmed) t.cands
+let confirmed t = Array.map (fun c -> equal_status c.st Confirmed) t.cands
 
-let finished t = current_batch t = None && not t.awaiting_retry
+let finished t = Option.is_none (current_batch t) && not t.awaiting_retry

@@ -62,7 +62,7 @@ let simulate ?(trials = 2000) ?(seed = 11L) strategy ~lie_bits ~verify_bits
                  hash over the a-byte extension *)
               bits := !bits + verify_bits;
               incr queries;
-              a = l
+              Int.equal a l
             in
             if ok || k >= 10 then (a, ok) else attempt (k + 1)
           in
@@ -72,7 +72,7 @@ let simulate ?(trials = 2000) ?(seed = 11L) strategy ~lie_bits ~verify_bits
     in
     (match strategy with
     | Halving -> () (* errors already counted *)
-    | Verify_each | Optimistic -> if answer <> l then incr errors);
+    | Verify_each | Optimistic -> if not (Int.equal answer l) then incr errors);
     total_bits := !total_bits + !bits;
     total_queries := !total_queries + !queries
   done;

@@ -27,14 +27,14 @@ let add t e =
   let e, t =
     match pred with
     | Some (k, p)
-      when p.t_off + p.len = e.t_off && p.s_off + p.len = e.s_off ->
+      when Int.equal (p.t_off + p.len) e.t_off && Int.equal (p.s_off + p.len) e.s_off ->
         ({ t_off = p.t_off; s_off = p.s_off; len = p.len + e.len }, M.remove k t)
     | _ -> (e, t)
   in
   let e, t =
     match succ with
     | Some (k, s)
-      when e.t_off + e.len = s.t_off && e.s_off + e.len = s.s_off ->
+      when Int.equal (e.t_off + e.len) s.t_off && Int.equal (e.s_off + e.len) s.s_off ->
         ({ e with len = e.len + s.len }, M.remove k t)
     | _ -> (e, t)
   in
@@ -49,7 +49,7 @@ let covered_bytes t = M.fold (fun _ e acc -> acc + e.len) t 0
 
 let find_ending_at t pos =
   match M.find_last_opt (fun k -> k < pos) t with
-  | Some (_, e) when e.t_off + e.len = pos -> Some e
+  | Some (_, e) when Int.equal (e.t_off + e.len) pos -> Some e
   | _ -> None
 
 let find_starting_at t pos = M.find_opt pos t

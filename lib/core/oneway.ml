@@ -53,8 +53,9 @@ let match_blocks cfg ~old_file ~new_file =
       let candidates = Candidates.lookup idx weak in
       List.find_opt
         (fun p ->
-          Md5.truncated_sub old_file ~pos:p ~len:b ~bits:(min cfg.strong_bits 57)
-          = strong)
+          Int.equal
+            (Md5.truncated_sub old_file ~pos:p ~len:b ~bits:(min cfg.strong_bits 57))
+            strong)
         candidates)
 
 let sync ?(config = default_config) ~old_file new_file =
@@ -63,12 +64,12 @@ let sync ?(config = default_config) ~old_file new_file =
   let n_new = String.length new_file in
   let matches = match_blocks cfg ~old_file ~new_file in
   let n_blocks = Array.length matches in
-  let matched = Array.fold_left (fun a m -> if m <> None then a + 1 else a) 0 matches in
+  let matched = Array.fold_left (fun a m -> if Option.is_some m then a + 1 else a) 0 matches in
   (* Known target segments = matched blocks. *)
   let known =
     Seg.of_list
       (List.filteri
-         (fun i _ -> matches.(i) <> None)
+         (fun i _ -> Option.is_some matches.(i))
          (List.init n_blocks (fun i -> (i * b, (i + 1) * b))))
   in
   let unknown_spans = Seg.to_list (Seg.complement known ~lo:0 ~hi:n_new) in
@@ -88,10 +89,9 @@ let sync ?(config = default_config) ~old_file new_file =
   (* Client reconstruction from its own old file + the payload. *)
   let client_reference =
     String.concat ""
-      (List.filteri (fun i _ -> matches.(i) <> None) (Array.to_list matches)
-      |> List.map (function
-           | Some p -> String.sub old_file p b
-           | None -> assert false))
+      (List.filter_map
+         (Option.map (fun p -> String.sub old_file p b))
+         (Array.to_list matches))
   in
   let reconstruct () =
     let unknown_c =
@@ -103,10 +103,10 @@ let sync ?(config = default_config) ~old_file new_file =
     let pos = ref 0 in
     while !pos < n_new do
       let block_i = !pos / b in
-      if block_i < n_blocks && matches.(block_i) <> None then begin
+      if block_i < n_blocks && Option.is_some matches.(block_i) then begin
         (match matches.(block_i) with
         | Some p -> Buffer.add_substring buf old_file p b
-        | None -> assert false);
+        | None -> Error.malformed "Oneway: unmatched block %d during reconstruction" block_i);
         pos := !pos + b
       end
       else begin
@@ -114,7 +114,7 @@ let sync ?(config = default_config) ~old_file new_file =
         let next_known =
           let rec find i =
             if i >= n_blocks then n_new
-            else if matches.(i) <> None then i * b
+            else if Option.is_some matches.(i) then i * b
             else find (i + 1)
           in
           find (block_i + 1)
@@ -161,6 +161,8 @@ let broadcast_cost ?config ~clients () =
           (fun (old_file, new_file) -> (sync ?config ~old_file new_file).report)
           clients
       in
-      let signature = (List.hd reports).signature_bytes in
-      signature
-      + List.fold_left (fun acc r -> acc + r.payload_bytes) 0 reports
+      match reports with
+      | [] -> 0
+      | first :: _ ->
+          first.signature_bytes
+          + List.fold_left (fun acc r -> acc + r.payload_bytes) 0 reports

@@ -56,12 +56,19 @@ type phase = Cont | Local | Global
 
 let phase_label = function Cont -> "cont" | Local -> "local" | Global -> "global"
 
+(* Monomorphic equality for the phase marker (R1): phases select wire
+   behavior, so their comparison must not go through polymorphic [=]. *)
+let equal_phase a b =
+  match (a, b) with
+  | Cont, Cont | Local, Local | Global, Global -> true
+  | (Cont | Local | Global), _ -> false
+
 let mask_bits bits = (1 lsl bits) - 1
 
 let run ?channel ~config ~old_file new_file =
   (match Config.validate config with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Protocol.run: " ^ e));
+  | Error e -> Error.malformed "Protocol.run: %s" e);
   let cfg : Config.t = config in
   let ch = match channel with Some c -> c | None -> Channel.create () in
   let f_old = old_file and f_new = new_file in
@@ -148,7 +155,7 @@ let run ?channel ~config ~old_file new_file =
       hashes_sent = cnt.c_hashes;
       candidates_tested = cnt.c_cands;
       phase_stats =
-        List.sort (fun (a, _) (b, _) -> compare a b) cnt.c_phase;
+        List.sort (fun (a, _) (b, _) -> String.compare a b) cnt.c_phase;
       unchanged;
       fallback;
     }
@@ -208,7 +215,10 @@ let run ?channel ~config ~old_file new_file =
             let b : Block_tree.block = fst tested.(ti) in
             match !(cur.(ti)) with
             | pos :: _ -> Md5.feed ctx f_old ~pos ~len:b.len
-            | [] -> assert false)
+            | [] ->
+                Error.malformed
+                  "Protocol: verification group references a block with no \
+                   remaining candidate")
           group;
         Md5.truncated_digest (Md5.finalize ctx) ~bits
       in
@@ -241,7 +251,7 @@ let run ?channel ~config ~old_file new_file =
       let srv_found = Wire.get_bitmap r ~n in
       ignore srv_found;
       (* Mark continuation hits on both trees (used by the skip rules). *)
-      if phase = Cont then
+      if equal_phase phase Cont then
         Array.iteri
           (fun i (bc, bs) ->
             bc.Block_tree.cont_hit <- found.(i);
@@ -257,13 +267,13 @@ let run ?channel ~config ~old_file new_file =
               List.map
                 (fun g ->
                   let got = Wire.get_hash reader ~width:b.bits in
-                  got = server_group_hash g b.bits)
+                  Int.equal got (server_group_hash g b.bits))
                 gs
             in
             Array.of_list results
       in
       let results = step_server r in
-      if Array.length results > 0 || Group_testing.current_batch eng_s <> None
+      if Array.length results > 0 || Option.is_some (Group_testing.current_batch eng_s)
       then begin
         send Server_to_client Map
           (phase_label phase ^ ":confirm")
@@ -272,9 +282,9 @@ let run ?channel ~config ~old_file new_file =
         let rc = Wire.unpack ~compress (recv Server_to_client) in
         let n_groups_c = List.length (Group_testing.groups eng_c) in
         let cli_results = Wire.get_bitmap rc ~n:n_groups_c in
-        if Group_testing.current_batch eng_s <> None then
+        if Option.is_some (Group_testing.current_batch eng_s) then
           Group_testing.apply_results eng_s results;
-        if Group_testing.current_batch eng_c <> None then
+        if Option.is_some (Group_testing.current_batch eng_c) then
           Group_testing.apply_results eng_c cli_results
       end;
       (* Subsequent batches. *)
@@ -306,7 +316,7 @@ let run ?channel ~config ~old_file new_file =
               let srv_pending = List.length (Group_testing.pending_retries eng_s) in
               let srv_dec = Wire.get_bitmap r ~n:srv_pending in
               Group_testing.resolve_retries eng_s srv_dec;
-              continue_ := Group_testing.current_batch eng_s <> None
+              continue_ := Option.is_some (Group_testing.current_batch eng_s)
           | Some (b : Config.batch) ->
               send Client_to_server Map
                 (phase_label phase ^ ":verif")
@@ -370,10 +380,16 @@ let run ?channel ~config ~old_file new_file =
           if ok then begin
             let ti = found_idx.(gk) in
             let bc, bs = tested.(ti) in
-            let pos = List.hd !(cur.(ti)) in
+            let pos =
+              match !(cur.(ti)) with
+              | pos :: _ -> pos
+              | [] ->
+                  Error.malformed
+                    "Protocol: confirmed block has no candidate position"
+            in
             bc.Block_tree.confirmed <- true;
             bs.Block_tree.confirmed <- true;
-            if phase = Cont then begin
+            if equal_phase phase Cont then begin
               bc.Block_tree.confirmed_by_cont <- true;
               bs.Block_tree.confirmed_by_cont <- true
             end;
@@ -438,8 +454,8 @@ let run ?channel ~config ~old_file new_file =
                 (fun p ->
                   p >= 0
                   && p + bc.len <= n_old
-                  && Poly.truncate (Poly.hash_sub f_old ~pos:p ~len:bc.len) ~bits = h)
-                (List.sort_uniq compare !preds))
+                  && Int.equal (Poly.truncate (Poly.hash_sub f_old ~pos:p ~len:bc.len) ~bits) h)
+                (List.sort_uniq Int.compare !preds))
             tested
         in
         verify ~phase:Cont ~tested ~cand_lists
@@ -467,7 +483,7 @@ let run ?channel ~config ~old_file new_file =
         in
         let eligible =
           List.filter
-            (fun (b : Block_tree.block) -> b.len = size && near_confirmed b)
+            (fun (b : Block_tree.block) -> Int.equal b.len size && near_confirmed b)
             (Block_tree.active_blocks tree_s)
         in
         if eligible <> [] then begin
@@ -500,7 +516,7 @@ let run ?channel ~config ~old_file new_file =
                       let roller = Poly.Roller.create f_old ~window:bc.len ~pos:lo in
                       let rec scan () =
                         let p = Poly.Roller.pos roller in
-                        if Poly.truncate (Poly.Roller.value roller) ~bits = h then
+                        if Int.equal (Poly.truncate (Poly.Roller.value roller) ~bits) h then
                           hits := p :: !hits;
                         if p < hi && Poly.Roller.can_roll roller then begin
                           Poly.Roller.roll roller;
@@ -539,7 +555,7 @@ let run ?channel ~config ~old_file new_file =
         in
         let eligible =
           List.filter
-            (fun (b : Block_tree.block) -> b.len = size && not (skip b))
+            (fun (b : Block_tree.block) -> Int.equal b.len size && not (skip b))
             (Block_tree.active_blocks tree_s)
         in
         if eligible <> [] then begin
@@ -578,7 +594,7 @@ let run ?channel ~config ~old_file new_file =
                 let width = width_of bc in
                 let top = if width > 0 then Wire.get_hash r ~width else 0 in
                 let h_k =
-                  if width = k_global then top
+                  if Int.equal width k_global then top
                   else begin
                     let pbits = k_global - width in
                     match bc.derive_from with
@@ -592,7 +608,10 @@ let run ?channel ~config ~old_file new_file =
                             ~right_len:bc.len ~bits:pbits
                         in
                         low lor (top lsl pbits)
-                    | None -> assert false
+                    | None ->
+                        Error.malformed
+                          "Protocol: truncated global hash for a block with \
+                           no derivation parent"
                   end
                 in
                 Hashtbl.replace hash_store bc.id (h_k, k_global);
@@ -668,7 +687,7 @@ let run ?channel ~config ~old_file new_file =
       let ei = ref 0 in
       let pos = ref 0 in
       while !pos < cli_n_new do
-        if !ki < Array.length known && fst known.(!ki) = !pos then begin
+        if !ki < Array.length known && Int.equal (fst known.(!ki)) !pos then begin
           let _lo, hi = known.(!ki) in
           (* copy the covered entries from the old file *)
           while
@@ -699,7 +718,7 @@ let run ?channel ~config ~old_file new_file =
       | exception Invalid_argument _ -> ""
     in
     let ok =
-      String.length candidate = cli_n_new
+      Int.equal (String.length candidate) cli_n_new
       && Fp.equal (Fp.of_string candidate) cli_fp_new
     in
     if ok then

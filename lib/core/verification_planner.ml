@@ -118,7 +118,11 @@ let recommend ?trials ?seed ~p_genuine ~n () =
       scored
   in
   let pool = if acceptable = [] then scored else acceptable in
-  List.fold_left
-    (fun (bv, bo) (v, o) ->
-      if o.bits_per_candidate < bo.bits_per_candidate then (v, o) else (bv, bo))
-    (List.hd pool) (List.tl pool)
+  match pool with
+  | [] -> Error.malformed "Verification_planner.recommend: empty menu"
+  | first :: rest ->
+      List.fold_left
+        (fun (bv, bo) (v, o) ->
+          if o.bits_per_candidate < bo.bits_per_candidate then (v, o)
+          else (bv, bo))
+        first rest

@@ -57,7 +57,7 @@ let get_hash r ~width =
   Bitio.Reader.get_bits r ~width
 
 let rec put_varint w v =
-  if v < 0 then invalid_arg "Wire.put_varint: negative";
+  if v < 0 then Error.malformed "Wire.put_varint: negative value %d" v;
   if v < 0x80 then Bitio.Writer.put_bits w v ~width:8
   else begin
     Bitio.Writer.put_bits w (0x80 lor (v land 0x7f)) ~width:8;

@@ -81,7 +81,9 @@ let best_in_index idx ~limit ~target ~tpos ~depth =
              which keeps decode trivial and loses little. *)
           let rec run k =
             if k < cap
-               && String.unsafe_get idx.data (j + k) = String.unsafe_get target (tpos + k)
+               && Char.equal
+                    (String.unsafe_get idx.data (j + k))
+                    (String.unsafe_get target (tpos + k))
             then run (k + 1)
             else k
           in

@@ -20,6 +20,6 @@ let roll t ~out ~in_ =
 
 let value t = (t.b lsl 16) lor t.a
 
-let equal_value x y = value x = value y
+let equal_value x y = Int.equal (value x) (value y)
 
 let digest s = value (of_sub s ~pos:0 ~len:(String.length s))

@@ -11,6 +11,6 @@ let to_hex = Fsync_util.Bytes_util.to_hex
 let to_raw t = t
 
 let of_raw s =
-  if String.length s <> size_bytes then
+  if not (Int.equal (String.length s) size_bytes) then
     invalid_arg "Fingerprint.of_raw: expected 16 bytes";
   s

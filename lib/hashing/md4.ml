@@ -53,7 +53,7 @@ let digest_sub s ~pos ~len =
   let m = Array.make 16 0 in
   let get_byte i =
     if i < len then Char.code (String.unsafe_get s (pos + i))
-    else if i = len then 0x80
+    else if Int.equal i len then 0x80
     else if i < len + 1 + pad_zeros then 0
     else
       let j = i - (len + 1 + pad_zeros) in

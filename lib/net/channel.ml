@@ -1,5 +1,11 @@
 type direction = Client_to_server | Server_to_client
 
+let equal_direction a b =
+  match (a, b) with
+  | Client_to_server, Client_to_server | Server_to_client, Server_to_client ->
+      true
+  | (Client_to_server | Server_to_client), _ -> false
+
 type transmission = Delivered of string | Lost of int
 
 type t = {
@@ -47,7 +53,7 @@ let account t dir label len =
   | Server_to_client -> t.s2c_bytes <- t.s2c_bytes + len);
   t.n_messages <- t.n_messages + 1;
   (match t.last_direction with
-  | Some d when d <> dir -> t.alternations <- t.alternations + 1
+  | Some d when not (equal_direction d dir) -> t.alternations <- t.alternations + 1
   | _ -> ());
   t.last_direction <- Some dir;
   t.log <- (dir, label, len) :: t.log

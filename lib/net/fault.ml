@@ -112,7 +112,7 @@ let hook t dir payload =
   in
   let deterministic_disconnect =
     match sp.disconnect_after with
-    | Some n -> t.n_seen = n  (* fires on the n-th transmission *)
+    | Some n -> Int.equal t.n_seen n (* fires on the n-th transmission *)
     | None -> false
   in
   if
@@ -190,15 +190,16 @@ let to_string s =
     | None -> parts
   in
   let parts =
-    if s.max_disconnects <> 0 && s.max_disconnects <> none.max_disconnects then
+    if s.max_disconnects <> 0 && not (Int.equal s.max_disconnects none.max_disconnects)
+    then
       parts @ [ Printf.sprintf "max-disc=%d" s.max_disconnects ]
     else parts
   in
   if parts = [] then "none" else String.concat "," parts
 
 let parse str =
-  if String.trim str = "none" then Ok none
-  else if String.trim str = "dirty" then Ok dirty
+  if String.equal (String.trim str) "none" then Ok none
+  else if String.equal (String.trim str) "dirty" then Ok dirty
   else
     let parts = String.split_on_char ',' str in
     let rec loop acc = function

@@ -119,7 +119,7 @@ let decode wire =
             wire ~pos:payload_pos
             ~len:(String.length wire - payload_pos)
         in
-        if computed <> stored then Error `Crc
+        if not (Int.equal computed stored) then Error `Crc
         else Ok (seq, String.sub wire payload_pos (String.length wire - payload_pos))
 
 (* ---- sender ---- *)
@@ -209,7 +209,7 @@ let recv_framed t dir =
                   t.s_dups <- t.s_dups + 1;
                   loop ()
                 end
-                else if seq = st.expected then deliver seq payload
+                else if Int.equal seq st.expected then deliver seq payload
                 else begin
                   (* Gap: [expected] was lost; stash this frame and
                      request the missing one. *)

@@ -1,4 +1,5 @@
 module Md5 = Fsync_hash.Md5
+module Error = Fsync_core.Error
 module Fp = Fsync_hash.Fingerprint
 module Varint = Fsync_util.Varint
 
@@ -35,7 +36,9 @@ let key_of_path path =
   Int64.to_int (Int64.shift_right_logical !k (64 - key_bits))
 
 let leaf_compare a b =
-  match compare a.key b.key with 0 -> compare a.path b.path | c -> c
+  match Int.compare a.key b.key with
+  | 0 -> String.compare a.path b.path
+  | c -> c
 
 (* ---- digests ---- *)
 
@@ -83,7 +86,8 @@ let child_index cfg r key =
   let chs = children cfg r in
   let rec find i =
     if i >= Array.length chs then
-      invalid_arg "Merkle.child_index: key outside range"
+      Error.malformed "Merkle.child_index: key %d outside range [%d,%d)" key
+        r.lo (r.lo + r.size)
     else if in_range chs.(i) key then (i, chs)
     else find (i + 1)
   in
@@ -117,9 +121,12 @@ let rec make cfg r leaves n =
     in
     Split { digest = split_digest nodes; count = n; children = nodes }
 
+let equal_config a b =
+  Int.equal a.fanout b.fanout && Int.equal a.bucket_size b.bucket_size
+
 let validate_config cfg =
-  if cfg.fanout < 2 then invalid_arg "Merkle: fanout must be >= 2";
-  if cfg.bucket_size < 1 then invalid_arg "Merkle: bucket_size must be >= 1"
+  if cfg.fanout < 2 then Error.malformed "Merkle: fanout must be >= 2";
+  if cfg.bucket_size < 1 then Error.malformed "Merkle: bucket_size must be >= 1"
 
 let build ?(config = default_config) pairs =
   validate_config config;
@@ -132,8 +139,7 @@ let build ?(config = default_config) pairs =
   let rec check = function
     | a :: (b :: _ as tl) ->
         if String.equal a.path b.path then
-          invalid_arg
-            (Printf.sprintf "Merkle.build: duplicate path %s" a.path);
+          Error.malformed "Merkle.build: duplicate path %s" a.path;
         check tl
     | _ -> ()
   in
@@ -155,7 +161,7 @@ let rec collect acc = function
 
 let leaves t =
   collect [] t.root
-  |> List.sort (fun a b -> compare a.path b.path)
+  |> List.sort (fun a b -> String.compare a.path b.path)
   |> List.map (fun l -> (l.path, Fp.of_raw l.fp))
 
 let find t path =
@@ -176,7 +182,7 @@ let find t path =
    with the leaves filtered to the range when the local tree stopped
    splitting above it. *)
 let rec seek cfg r node target ~on_node ~on_bucket =
-  if r.lo = target.lo && r.size = target.size then on_node node
+  if Int.equal r.lo target.lo && Int.equal r.size target.size then on_node node
   else
     match node with
     | Bucket b ->
@@ -237,7 +243,7 @@ let update t path fp_opt =
           let leaves =
             let all = ref [] in
             Array.iteri
-              (fun j c -> all := collect !all (if j = i then new_child else c))
+              (fun j c -> all := collect !all (if Int.equal j i then new_child else c))
               s.children;
             List.sort leaf_compare !all
           in

@@ -29,9 +29,14 @@ val default_config : config
 
 type t
 
+val equal_config : config -> config -> bool
+(** Monomorphic equality (R1): replicas must agree on the tree shape
+    before digests are comparable. *)
+
 val build : ?config:config -> (string * Fsync_hash.Fingerprint.t) list -> t
 (** Build from (path, fingerprint) pairs.
-    @raise Invalid_argument on duplicate paths or invalid config. *)
+    @raise Fsync_core.Error.E ([Malformed]) on duplicate paths or an
+    invalid config. *)
 
 val of_files : ?config:config -> (string * string) list -> t
 (** [build] over (path, contents) pairs, fingerprinting each content. *)

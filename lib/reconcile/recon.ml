@@ -106,9 +106,10 @@ let diff_leaf_lists hyp ~local ~remote =
 
 let run ?channel ?(config = default_config) ~client ~server () =
   if config.digest_bytes < 1 || config.digest_bytes > 16 then
-    invalid_arg "Recon.run: digest_bytes must be in 1..16";
-  if Merkle.config client <> Merkle.config server then
-    invalid_arg "Recon.run: replicas must agree on the tree configuration";
+    Error.malformed "Recon.run: digest_bytes %d out of 1..16" config.digest_bytes;
+  if not (Merkle.equal_config (Merkle.config client) (Merkle.config server))
+  then
+    Error.malformed "Recon.run: replicas must agree on the tree configuration";
   let mcfg = Merkle.config client in
   let ch = match channel with Some c -> c | None -> Channel.create () in
   let recv dir =
@@ -242,13 +243,13 @@ let run ?channel ?(config = default_config) ~client ~server () =
 
   let finish ~widened ~fell_back hyp =
     let sorted_keys tbl =
-      Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+      Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
     in
     let rounds_list = List.rev !log in
     {
       changed = sorted_keys hyp.h_changed;
       added = sorted_keys hyp.h_added;
-      deleted = List.sort compare hyp.h_deleted;
+      deleted = List.sort String.compare hyp.h_deleted;
       rounds = List.length rounds_list;
       c2s_bytes = List.fold_left (fun a r -> a + r.c2s) 0 rounds_list;
       s2c_bytes = List.fold_left (fun a r -> a + r.s2c) 0 rounds_list;

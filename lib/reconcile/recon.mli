@@ -63,10 +63,9 @@ val run :
 (** Run both endpoints over the channel (created if not supplied); every
     reported byte crosses a real serialize/parse boundary.  All path
     lists in the result are sorted.
-    @raise Invalid_argument if the two trees disagree on fanout or
-    bucket size, or if [digest_bytes] is outside 1..16.
-    @raise Fsync_core.Error.E if the channel delivers corrupt or missing
-    messages (only possible over a faulty link — see {!Fsync_net.Fault});
+    @raise Fsync_core.Error.E ([Malformed]) if the two trees disagree on
+    fanout or bucket size, or if [digest_bytes] is outside 1..16; also
+    if the channel delivers corrupt or missing messages (only possible over a faulty link — see {!Fsync_net.Fault});
     every decode is bounds-checked before any read or allocation, so
     malformed bytes surface as a typed error, never a bare exception or
     an unbounded allocation.  Use {!run_result} in that setting. *)

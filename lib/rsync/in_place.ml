@@ -66,7 +66,7 @@ let analyze (sg : Signature.t) ~old_file ops =
   in
   (* reader A -> clobberer B means A must run before B. *)
   let must_precede a b =
-    a.idx <> b.idx
+    (not (Int.equal a.idx b.idx))
     &&
     match a.read with
     | None -> false
@@ -84,7 +84,8 @@ let analyze (sg : Signature.t) ~old_file ops =
            about to overwrite. *)
         let blocked = ref false in
         for j = 0 to n - 1 do
-          if (not placed.(j)) && j <> i && must_precede nodes.(j) a then
+          if (not placed.(j)) && not (Int.equal j i) && must_precede nodes.(j) a
+          then
             blocked := true
         done;
         if not !blocked then begin
@@ -100,7 +101,7 @@ let analyze (sg : Signature.t) ~old_file ops =
          the first remaining copy into a literal, freeing its readers. *)
       let rec first i =
         if i >= n then None
-        else if (not placed.(i)) && nodes.(i).read <> None then Some i
+        else if (not placed.(i)) && Option.is_some nodes.(i).read then Some i
         else first (i + 1)
       in
       match first 0 with

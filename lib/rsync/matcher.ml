@@ -19,7 +19,7 @@ let run (sg : Signature.t) ~new_file =
   in
   Array.iter
     (fun (blk : Signature.block) ->
-      if blk.len = b then begin
+      if Int.equal blk.len b then begin
         let k = fold16 blk.weak in
         table.(k) <- blk :: table.(k)
       end)
@@ -33,7 +33,7 @@ let run (sg : Signature.t) ~new_file =
   let try_tail pos =
     (* Try to match the short tail block against the file suffix. *)
     match tail_block with
-    | Some blk when n - pos = blk.len && blk.len > 0 ->
+    | Some blk when Int.equal (n - pos) blk.len && blk.len > 0 ->
         let strong =
           Md4.truncated_sub new_file ~pos ~len:blk.len ~bytes_used:sg.strong_bytes
         in
@@ -49,7 +49,7 @@ let run (sg : Signature.t) ~new_file =
       let matched =
         List.find_opt
           (fun (blk : Signature.block) ->
-            blk.weak = weak
+            Int.equal blk.weak weak
             && String.equal
                  (Md4.truncated_sub new_file ~pos:!pos ~len:b
                     ~bytes_used:sg.strong_bytes)

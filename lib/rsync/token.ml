@@ -11,7 +11,7 @@ let coalesce ops =
     | Data "" :: rest -> loop acc rest
     | Data a :: Data b :: rest -> loop acc (Data (a ^ b) :: rest)
     | Copy { index = i1; count = c1 } :: Copy { index = i2; count = c2 } :: rest
-      when i1 + c1 = i2 ->
+      when Int.equal (i1 + c1) i2 ->
         loop acc (Copy { index = i1; count = c1 + c2 } :: rest)
     | op :: rest -> loop (op :: acc) rest
   in

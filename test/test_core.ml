@@ -280,7 +280,8 @@ let test_group_weak_pass_insufficient () =
 let test_group_arity_mismatch () =
   let e = Group_testing.create ~n:2 v_trivial in
   Alcotest.check_raises "arity"
-    (Invalid_argument "Group_testing.apply_results: arity mismatch") (fun () ->
+    (Fsync_core.Error.E
+       (Malformed "Group_testing.apply_results: arity mismatch")) (fun () ->
       Group_testing.apply_results e [| true |])
 
 (* ---- Candidates ---- *)
@@ -510,11 +511,12 @@ let test_protocol_channel_reuse () =
     (Fsync_net.Channel.total_bytes ch)
     (Protocol.total_bytes r.report);
   Alcotest.(check bool) "transcript labelled" true
-    (List.exists (fun (_, l, _) -> l = "delta") (Fsync_net.Channel.transcript ch))
+    (List.exists (fun (_, l, _) -> String.equal l "delta") (Fsync_net.Channel.transcript ch))
 
 let test_protocol_invalid_config () =
   Alcotest.check_raises "invalid config"
-    (Invalid_argument "Protocol.run: start_block 1000 not a power of two")
+    (Fsync_core.Error.E
+       (Malformed "Protocol.run: start_block 1000 not a power of two"))
     (fun () ->
       ignore
         (Protocol.run

@@ -87,7 +87,7 @@ let test_merkle_root_stability () =
 
 let test_merkle_duplicate () =
   Alcotest.check_raises "duplicate"
-    (Invalid_argument "Merkle.build: duplicate path a") (fun () ->
+    (Fsync_core.Error.E (Malformed "Merkle.build: duplicate path a")) (fun () ->
       ignore (Merkle.of_files [ ("a", "1"); ("a", "2") ]))
 
 let test_merkle_incremental_update () =
@@ -233,8 +233,59 @@ let test_recon_config_mismatch () =
   let a = Merkle.of_files ~config:{ Merkle.fanout = 2; bucket_size = 2 } [] in
   let b = Merkle.of_files ~config:{ Merkle.fanout = 4; bucket_size = 2 } [] in
   Alcotest.check_raises "mismatch"
-    (Invalid_argument "Recon.run: replicas must agree on the tree configuration")
+    (Fsync_core.Error.E
+       (Malformed "Recon.run: replicas must agree on the tree configuration"))
     (fun () -> ignore (Recon.run ~client:a ~server:b ()))
+
+(* ---- malformed input: typed errors, never bare exceptions ----
+
+   Every precondition and decode failure in Merkle/Recon must surface as
+   [Fsync_core.Error] (raised as [Error.E], or returned as [Error _] by
+   [run_result]); the fault-matrix suite (test_resilience) fuzzes the
+   corrupting-link side of the same contract. *)
+
+let test_merkle_bad_config () =
+  Alcotest.check_raises "fanout < 2"
+    (Fsync_core.Error.E (Malformed "Merkle: fanout must be >= 2"))
+    (fun () ->
+      ignore (Merkle.of_files ~config:{ Merkle.fanout = 1; bucket_size = 4 } []));
+  Alcotest.check_raises "bucket_size < 1"
+    (Fsync_core.Error.E (Malformed "Merkle: bucket_size must be >= 1"))
+    (fun () ->
+      ignore (Merkle.of_files ~config:{ Merkle.fanout = 4; bucket_size = 0 } []))
+
+let test_recon_bad_digest_width () =
+  let t = Merkle.of_files [ ("a", "1") ] in
+  List.iter
+    (fun digest_bytes ->
+      Alcotest.check_raises
+        (Printf.sprintf "digest_bytes %d" digest_bytes)
+        (Fsync_core.Error.E
+           (Malformed
+              (Printf.sprintf "Recon.run: digest_bytes %d out of 1..16"
+                 digest_bytes)))
+        (fun () ->
+          ignore (Recon.run ~config:{ digest_bytes } ~client:t ~server:t ())))
+    [ 0; 17; -1 ]
+
+let test_recon_run_result_is_total () =
+  (* [run_result] turns the typed raise into a value, so a driver probing
+     a peer with an incompatible configuration branches on [Error] instead
+     of catching exceptions. *)
+  let a = Merkle.of_files ~config:{ Merkle.fanout = 2; bucket_size = 2 } [] in
+  let b = Merkle.of_files ~config:{ Merkle.fanout = 4; bucket_size = 2 } [] in
+  (match Recon.run_result ~client:a ~server:b () with
+  | Ok _ -> Alcotest.fail "expected Error on config mismatch"
+  | Error (Fsync_core.Error.Malformed _) -> ()
+  | Error e ->
+      Alcotest.failf "unexpected error class: %s" (Fsync_core.Error.to_string e));
+  match
+    Recon.run_result ~config:{ digest_bytes = 99 } ~client:a ~server:a ()
+  with
+  | Ok _ -> Alcotest.fail "expected Error on bad digest width"
+  | Error (Fsync_core.Error.Malformed _) -> ()
+  | Error e ->
+      Alcotest.failf "unexpected error class: %s" (Fsync_core.Error.to_string e)
 
 (* ---- trace: the descent must be visible per level ---- *)
 
@@ -314,6 +365,9 @@ let suite =
     ("recon one side empty", `Quick, test_recon_one_side_empty);
     ("recon long paths", `Quick, test_recon_long_paths);
     ("recon config mismatch", `Quick, test_recon_config_mismatch);
+    ("merkle bad config is typed", `Quick, test_merkle_bad_config);
+    ("recon bad digest width is typed", `Quick, test_recon_bad_digest_width);
+    ("recon run_result is total", `Quick, test_recon_run_result_is_total);
     ("recon trace labels", `Quick, test_recon_trace_labels);
     ("recon cost scales with diff", `Quick, test_recon_cost_scales_with_diff);
   ]

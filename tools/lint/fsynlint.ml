@@ -1,0 +1,180 @@
+(* fsynlint command-line driver.
+
+   Usage (from the repository root):
+
+     fsynlint [options] [roots...]
+
+   Default roots are `lib bin bench`; the default mode checks findings
+   against the baseline ratchet and exits non-zero on any new violation
+   or stale baseline entry.  See `fsynlint --help`. *)
+
+module Lint = Fsynlint_lib.Lint
+
+let default_roots = [ "lib"; "bin"; "bench" ]
+let default_baseline = "tools/lint/baseline.txt"
+
+let usage =
+  "fsynlint — repo-specific static analysis with a baseline ratchet\n\n\
+   usage: fsynlint [options] [roots...]\n\n\
+   Parses every .ml/.mli under the roots (default: lib bin bench) and\n\
+   enforces rules R1-R5 (see --explain).  Findings are compared against\n\
+   the baseline (default: tools/lint/baseline.txt): new violations and\n\
+   stale baseline entries fail the run.\n\n\
+   options:\n\
+  \  --baseline FILE     baseline file (default tools/lint/baseline.txt)\n\
+  \  --no-baseline       ignore the baseline: report every finding\n\
+  \  --update-baseline   rewrite the baseline from the current scan;\n\
+  \                      refuses to grow existing debt unless --allow-growth\n\
+  \  --allow-growth      permit --update-baseline to record new debt\n\
+  \  --list              print every finding (not just deltas) and exit 0\n\
+  \  --explain           print the rationale for each rule and exit\n\
+  \  --help              this message\n"
+
+type mode = Check | Update | List_all
+
+type opts = {
+  mutable mode : mode;
+  mutable baseline : string option;
+  mutable allow_growth : bool;
+  mutable roots : string list;
+}
+
+let parse_args argv =
+  let o =
+    { mode = Check; baseline = Some default_baseline; allow_growth = false;
+      roots = [] }
+  in
+  let rec go = function
+    | [] -> o
+    | "--help" :: _ | "-h" :: _ ->
+        print_string usage;
+        exit 0
+    | "--explain" :: _ ->
+        List.iter
+          (fun r -> Printf.printf "%s\n\n" (Lint.explain r))
+          Lint.all_rules;
+        exit 0
+    | "--baseline" :: file :: rest ->
+        o.baseline <- Some file;
+        go rest
+    | "--baseline" :: [] ->
+        prerr_endline "fsynlint: --baseline needs a file argument";
+        exit 2
+    | "--no-baseline" :: rest ->
+        o.baseline <- None;
+        go rest
+    | "--update-baseline" :: rest ->
+        o.mode <- Update;
+        go rest
+    | "--allow-growth" :: rest ->
+        o.allow_growth <- true;
+        go rest
+    | "--list" :: rest ->
+        o.mode <- List_all;
+        go rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "fsynlint: unknown option %s\n%s" arg usage;
+        exit 2
+    | root :: rest ->
+        o.roots <- root :: o.roots;
+        go rest
+  in
+  go (List.tl (Array.to_list argv))
+
+let hint = "      (run with --explain for the rule rationale)"
+
+let () =
+  let o = parse_args Sys.argv in
+  let roots = if o.roots = [] then default_roots else List.rev o.roots in
+  match
+    let findings = Lint.scan roots in
+    match o.mode with
+    | List_all ->
+        List.iter
+          (fun f -> Format.printf "%a@." Lint.pp_finding f)
+          findings;
+        Printf.printf "fsynlint: %d finding(s) across %d rule/file pair(s)\n"
+          (List.length findings)
+          (Lint.KeyMap.cardinal (Lint.counts findings));
+        0
+    | Update ->
+        let file =
+          match o.baseline with Some f -> f | None -> default_baseline
+        in
+        let old = Lint.read_baseline file in
+        let grown = Lint.growth ~baseline:old findings in
+        if grown <> [] && not o.allow_growth then begin
+          Printf.eprintf
+            "fsynlint: refusing to grow the baseline (the ratchet only \
+             shrinks).  Debt would grow for:\n";
+          List.iter
+            (fun (r, f) ->
+              Printf.eprintf "  %s %s\n" (Lint.rule_name r) f)
+            grown;
+          Printf.eprintf
+            "Fix the new violations, or pass --allow-growth to record them \
+             deliberately.\n";
+          1
+        end
+        else begin
+          let oc = open_out file in
+          output_string oc (Lint.render_baseline (Lint.counts findings));
+          close_out oc;
+          Printf.printf "fsynlint: baseline %s updated (%d entries)\n" file
+            (Lint.KeyMap.cardinal (Lint.counts findings));
+          0
+        end
+    | Check -> (
+        match o.baseline with
+        | None ->
+            List.iter
+              (fun f -> Format.printf "%a@." Lint.pp_finding f)
+              findings;
+            if findings = [] then begin
+              print_endline "fsynlint: clean";
+              0
+            end
+            else begin
+              Printf.printf "fsynlint: %d finding(s)\n" (List.length findings);
+              1
+            end
+        | Some file ->
+            let baseline = Lint.read_baseline file in
+            let v = Lint.check ~baseline findings in
+            List.iter
+              (fun (r, f, fs) ->
+                Printf.printf
+                  "fsynlint: new %s violation(s) in %s (baseline allows %d, \
+                   found %d):\n"
+                  (Lint.rule_name r) f
+                  (Option.value
+                     (Lint.KeyMap.find_opt (r, f) baseline)
+                     ~default:0)
+                  (List.length fs);
+                List.iter
+                  (fun x -> Format.printf "  %a@." Lint.pp_finding x)
+                  fs;
+                print_endline hint)
+              v.new_violations;
+            List.iter
+              (fun (r, f, b, c) ->
+                Printf.printf
+                  "fsynlint: stale baseline for %s %s (recorded %d, found \
+                   %d) — debt was paid down; lock it in with\n\
+                  \  dune exec tools/lint/fsynlint.exe -- --update-baseline\n"
+                  (Lint.rule_name r) f b c)
+              v.stale;
+            if Lint.clean v then begin
+              Printf.printf
+                "fsynlint: clean (%d finding(s) within baseline across %d \
+                 file(s))\n"
+                (List.length findings)
+                (Lint.KeyMap.cardinal (Lint.counts findings));
+              0
+            end
+            else 1)
+  with
+  | code -> exit code
+  | exception Lint.Parse_error msg ->
+      Printf.eprintf "fsynlint: %s\n" msg;
+      exit 2

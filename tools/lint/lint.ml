@@ -1,0 +1,577 @@
+(* fsynlint — repo-specific static analysis for the fsync code base.
+
+   The sync protocols only work when both endpoints compute byte-identical
+   hashes, maps and wire encodings.  A single use of OCaml's polymorphic
+   [=] / [compare] / [Hashtbl.hash] on a protocol type, or an untyped
+   [failwith] escaping a decode path, silently breaks the guarantees the
+   typed-error layer ({!Fsync_core.Error}) provides.  These invariants are
+   machine-enforced here rather than left to convention.
+
+   The tool parses every [.ml]/[.mli] under the requested roots with the
+   compiler's own front end ([Parse] + [Ast_iterator] from
+   compiler-libs.common — no new dependencies) and applies the rules
+   below.  Findings are diffed against a checked-in baseline — the
+   ratchet: pre-existing debt is recorded per (rule, file); new
+   violations fail the build; fixing a violation makes the recorded
+   baseline stale, which also fails until the baseline is regenerated —
+   so the baseline can only shrink. *)
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_of_name s =
+  match String.lowercase_ascii s with
+  | "r1" -> Some R1
+  | "r2" -> Some R2
+  | "r3" -> Some R3
+  | "r4" -> Some R4
+  | "r5" -> Some R5
+  | _ -> None
+
+let explain = function
+  | R1 ->
+      "R1 polymorphic-comparison: no `=`, `<>`, `compare` or `Hashtbl.hash` \
+       in wire-sensitive libraries (core, net, reconcile, hashing, rsync, \
+       delta).  Polymorphic comparison walks runtime representations, so \
+       its verdict depends on in-memory layout rather than the wire \
+       encoding both endpoints agreed on, and it is also slower than the \
+       monomorphic equivalent on hot paths.  Use `String.equal`, \
+       `Int.equal`, `Option.is_some`, a dedicated `equal`/`compare` for \
+       the type, or pattern matching.  Comparisons against immediate \
+       literals (`= 0`, `<> '\\n'`, `= true`, `= []`, `= ()`) are exempt: \
+       the compiler specializes them and no protocol type is involved."
+  | R2 ->
+      "R2 crash-point: no `failwith`, `invalid_arg`, `assert false`, \
+       `List.hd` or `Option.get` in library code.  Malformed or truncated \
+       input reaching a decode/receive path must surface as a typed \
+       `Fsync_core.Error`, never as an untyped exception that callers \
+       cannot distinguish from a bug."
+  | R3 ->
+      "R3 direct-output: no `Printf.printf`, `print_string`, `prerr_*` \
+       and friends in `lib/`.  Libraries report through `Fsync_net.Trace` \
+       (or return data); only binaries talk to stdout/stderr."
+  | R4 ->
+      "R4 missing-interface: every `lib/**/*.ml` has a corresponding \
+       `.mli`.  An unconstrained module leaks representation details the \
+       wire format must not depend on."
+  | R5 ->
+      "R5 codec-asymmetry: every top-level `write_x`/`put_x` in a \
+       wire-sensitive library has a matching `read_x`/`get_x` in the same \
+       module.  An encoder without its decoder is either dead weight or a \
+       message the peer cannot parse."
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type finding = { rule : rule; file : string; line : int; col : int; msg : string }
+
+let finding_compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare (rule_name a.rule) (rule_name b.rule)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_name f.rule)
+    f.msg
+
+(* ------------------------------------------------------------------ *)
+(* Scope: which rules apply to which paths                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Libraries whose values travel on (or directly shape) the wire. *)
+let wire_sensitive_dirs =
+  [ "lib/core"; "lib/net"; "lib/reconcile"; "lib/hashing"; "lib/rsync";
+    "lib/delta" ]
+
+let normalize path =
+  (* The tool is run from the repository root; strip a leading "./". *)
+  if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let is_wire_sensitive path =
+  List.exists (fun d -> starts_with ~prefix:(d ^ "/") path) wire_sensitive_dirs
+
+let in_lib path = starts_with ~prefix:"lib/" path
+
+let rules_for path =
+  (if is_wire_sensitive path then [ R1; R5 ] else [])
+  @ if in_lib path then [ R2; R3; R4 ] else []
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let with_lexbuf path f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      try f lexbuf
+      with exn ->
+        let detail =
+          match Location.error_of_exn exn with
+          | Some (`Ok (e : Location.error)) ->
+              Format.asprintf "%a" Location.print_report e
+          | _ -> Printexc.to_string exn
+        in
+        raise (Parse_error (Printf.sprintf "%s: %s" path detail)))
+
+let parse_implementation path = with_lexbuf path Parse.implementation
+let parse_interface path = with_lexbuf path Parse.interface
+
+(* ------------------------------------------------------------------ *)
+(* AST predicates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+open Parsetree
+
+(* R1: polymorphic comparison entry points.  [Stdlib.] qualification is
+   recognized so aliasing does not dodge the rule. *)
+let r1_ident (id : Longident.t) =
+  match id with
+  | Lident (("=" | "<>" | "compare") as n)
+  | Ldot (Lident "Stdlib", (("=" | "<>" | "compare") as n)) ->
+      Some n
+  | Ldot (Lident "Hashtbl", "hash")
+  | Ldot (Ldot (Lident "Stdlib", "Hashtbl"), "hash") ->
+      Some "Hashtbl.hash"
+  | _ -> None
+
+(* Comparing against an immediate literal ([x = 0], [c <> '\n'],
+   [flag = true], [l = []], [u = ()]) is specialized by the compiler and
+   cannot involve a protocol type's structure; exempting it keeps the
+   rule focused on real determinism and perf hazards. *)
+let immediate_literal (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | Pexp_construct ({ txt = Lident ("true" | "false" | "()" | "[]"); _ }, None)
+    ->
+      true
+  | _ -> false
+
+(* R2: untyped crash points. *)
+let r2_ident (id : Longident.t) =
+  match id with
+  | Lident (("failwith" | "invalid_arg") as n)
+  | Ldot (Lident "Stdlib", (("failwith" | "invalid_arg") as n)) ->
+      Some n
+  | Ldot (Lident "List", "hd") -> Some "List.hd"
+  | Ldot (Lident "Option", "get") -> Some "Option.get"
+  | _ -> None
+
+(* R3: direct console output. *)
+let r3_ident (id : Longident.t) =
+  let chan_fn n =
+    match n with
+    | "print_string" | "print_endline" | "print_newline" | "print_char"
+    | "print_int" | "print_float" | "print_bytes" | "prerr_string"
+    | "prerr_endline" | "prerr_newline" | "prerr_char" | "prerr_int"
+    | "prerr_float" | "prerr_bytes" ->
+        true
+    | _ -> false
+  in
+  match id with
+  | Lident n when chan_fn n -> Some n
+  | Ldot (Lident "Stdlib", n) when chan_fn n -> Some ("Stdlib." ^ n)
+  | Ldot (Lident (("Printf" | "Format") as m), (("printf" | "eprintf") as n))
+    ->
+      Some (m ^ "." ^ n)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberate, reviewed exception is annotated at the source:
+
+     let print ch = print_string (render ch) [@@fsynlint.allow r3]
+
+   The payload is a space-separated list of rule names.  Suppressions
+   scope over the annotated binding or expression only, and are the
+   escape hatch for sanctioned sinks (e.g. [Trace.print] is exactly the
+   place where library output is allowed to reach stdout). *)
+let allowed_rules_of_attrs (attrs : attributes) =
+  List.concat_map
+    (fun (a : attribute) ->
+      if not (String.equal a.attr_name.txt "fsynlint.allow") then []
+      else
+        match a.attr_payload with
+        | PStr
+            [ { pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _ } ] ->
+            String.split_on_char ' ' s
+            |> List.filter_map rule_of_name
+        | _ -> [])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* The scanner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scan_structure ~path (str : structure) =
+  let applicable = rules_for path in
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let add rule (loc : Location.t) msg =
+    if List.mem rule applicable && not (List.mem rule !suppressed) then
+      let p = loc.loc_start in
+      findings :=
+        { rule; file = path; line = p.pos_lnum;
+          col = p.pos_cnum - p.pos_bol; msg }
+        :: !findings
+  in
+  let with_allows attrs k =
+    match allowed_rules_of_attrs attrs with
+    | [] -> k ()
+    | allows ->
+        let saved = !suppressed in
+        suppressed := allows @ saved;
+        Fun.protect ~finally:(fun () -> suppressed := saved) k
+  in
+  (* Top-level value names, for the R5 codec-symmetry check. *)
+  let top_names = ref [] in
+  let record_top_level (vb : value_binding) =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt; _ } -> top_names := (txt, vb.pvb_pat.ppat_loc) :: !top_names
+    | _ -> ()
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    with_allows e.pexp_attributes @@ fun () ->
+    match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+      when r1_ident txt <> None
+           || r2_ident txt <> None
+           || r3_ident txt <> None -> (
+        (match (r1_ident txt, args) with
+        | Some (("=" | "<>") as n), [ (_, a); (_, b) ]
+          when immediate_literal a || immediate_literal b ->
+            ignore n (* literal comparison: exempt *)
+        | Some (("=" | "<>") as n), _ ->
+            add R1 loc
+              (Printf.sprintf
+                 "polymorphic `%s` — use a monomorphic equality \
+                  (String.equal, Int.equal, a dedicated `equal`, or a match)"
+                 n)
+        | Some "compare", _ ->
+            add R1 loc
+              "polymorphic `compare` — use String.compare / Int.compare / a \
+               dedicated `compare` for the type"
+        | Some n, _ ->
+            add R1 loc
+              (Printf.sprintf
+                 "`%s` mixes representation into the hash — use the \
+                  repo's deterministic hash functions" n)
+        | None, _ -> ());
+        (match r2_ident txt with
+        | Some n ->
+            add R2 loc
+              (Printf.sprintf
+                 "`%s` is an untyped crash point — fail through \
+                  Fsync_core.Error instead" n)
+        | None -> ());
+        (match r3_ident txt with
+        | Some n ->
+            add R3 loc
+              (Printf.sprintf
+                 "`%s` writes directly to the console — route library \
+                  output through Trace" n)
+        | None -> ());
+        (* The callee ident was judged above; only the operands recurse. *)
+        List.iter (fun (_, a) -> it.expr it a) args)
+    | Pexp_ident { txt; loc } ->
+        (match r1_ident txt with
+        | Some n ->
+            add R1 loc
+              (Printf.sprintf
+                 "polymorphic `%s` used as a value — pass a monomorphic \
+                  function instead" n)
+        | None -> ());
+        (match r2_ident txt with
+        | Some n ->
+            add R2 loc
+              (Printf.sprintf
+                 "`%s` is an untyped crash point — fail through \
+                  Fsync_core.Error instead" n)
+        | None -> ());
+        (match r3_ident txt with
+        | Some n ->
+            add R3 loc
+              (Printf.sprintf
+                 "`%s` writes directly to the console — route library \
+                  output through Trace" n)
+        | None -> ())
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      ->
+        add R2 e.pexp_loc
+          "`assert false` is an untyped crash point — fail through \
+           Fsync_core.Error instead"
+    | _ -> super.expr it e
+  in
+  let value_binding (it : Ast_iterator.iterator) (vb : value_binding) =
+    with_allows vb.pvb_attributes @@ fun () -> super.value_binding it vb
+  in
+  let structure_item (it : Ast_iterator.iterator) (si : structure_item) =
+    (match si.pstr_desc with
+    | Pstr_value (_, vbs) -> List.iter record_top_level vbs
+    | _ -> ());
+    super.structure_item it si
+  in
+  let iter = { super with expr; value_binding; structure_item } in
+  iter.structure iter str;
+  (* R5: encoder/decoder symmetry by name. *)
+  let names = List.map fst !top_names in
+  let has n = List.exists (String.equal n) names in
+  List.iter
+    (fun (name, loc) ->
+      let check ~w ~r =
+        if starts_with ~prefix:w name then begin
+          let suffix =
+            String.sub name (String.length w)
+              (String.length name - String.length w)
+          in
+          let want = r ^ suffix in
+          if not (has want) then
+            let p = (loc : Location.t).loc_start in
+            findings :=
+              { rule = R5; file = path; line = p.pos_lnum;
+                col = p.pos_cnum - p.pos_bol;
+                msg =
+                  Printf.sprintf
+                    "encoder `%s` has no matching decoder `%s` in this \
+                     module" name want }
+              :: !findings
+        end
+      in
+      if List.mem R5 applicable then begin
+        check ~w:"write_" ~r:"read_";
+        check ~w:"put_" ~r:"get_"
+      end)
+    (List.rev !top_names);
+  !findings
+
+(* R4 plus parse validation for an interface: nothing inside an [.mli]
+   can violate R1–R3 (no expressions), but it must parse. *)
+let scan_ml_file path =
+  let str = parse_implementation path in
+  let ast_findings = scan_structure ~path str in
+  let r4 =
+    if List.mem R4 (rules_for path) && not (Sys.file_exists (path ^ "i")) then
+      [ { rule = R4; file = path; line = 1; col = 0;
+          msg =
+            Printf.sprintf "module has no interface — add %si to pin its \
+                            public surface" path } ]
+    else []
+  in
+  r4 @ ast_findings
+
+let scan_file path =
+  let path = normalize path in
+  if Filename.check_suffix path ".mli" then begin
+    ignore (parse_interface path);
+    []
+  end
+  else List.sort finding_compare (scan_ml_file path)
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk dir acc =
+  if not (Sys.file_exists dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        let p = Filename.concat dir entry in
+        if Sys.is_directory p then
+          if String.equal entry "_build" || String.equal entry ".git" then acc
+          else walk p acc
+        else if
+          Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli"
+        then p :: acc
+        else acc)
+      acc
+      (let entries = Sys.readdir dir in
+       Array.sort String.compare entries;
+       entries)
+
+let discover roots =
+  List.concat_map
+    (fun root ->
+      let root = normalize root in
+      if Sys.file_exists root && not (Sys.is_directory root) then [ root ]
+      else List.rev (walk root []))
+    roots
+
+let scan roots =
+  discover roots |> List.concat_map scan_file |> List.sort finding_compare
+
+(* ------------------------------------------------------------------ *)
+(* Baseline ratchet                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The baseline records known debt as one line per (rule, file):
+
+     R2 lib/core/oneway.ml 3
+
+   Comparing a fresh scan against it yields three error classes, all
+   fatal in check mode:
+
+   - a (rule, file) count above its baseline → new violations;
+   - a (rule, file) not in the baseline at all → new violations;
+   - a baseline count above the current count → the debt shrank but the
+     baseline was not regenerated; refresh it so the improvement is
+     locked in (this is what makes the ratchet one-way).  *)
+
+module Key = struct
+  type t = rule * string
+
+  let compare (r1, f1) (r2, f2) =
+    match String.compare (rule_name r1) (rule_name r2) with
+    | 0 -> String.compare f1 f2
+    | c -> c
+end
+
+module KeyMap = Map.Make (Key)
+
+let counts findings =
+  List.fold_left
+    (fun m f ->
+      KeyMap.update (f.rule, f.file)
+        (fun v -> Some (1 + Option.value v ~default:0))
+        m)
+    KeyMap.empty findings
+
+let parse_baseline_line ~file lineno line =
+  let line = String.trim line in
+  if String.equal line "" || line.[0] = '#' then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ rule; path; count ] -> (
+        match (rule_of_name rule, int_of_string_opt count) with
+        | Some r, Some n when n > 0 -> Some ((r, path), n)
+        | _ ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "%s:%d: malformed baseline entry %S" file
+                    lineno line)))
+    | _ ->
+        raise
+          (Parse_error
+             (Printf.sprintf "%s:%d: malformed baseline entry %S" file lineno
+                line))
+
+let read_baseline file =
+  if not (Sys.file_exists file) then KeyMap.empty
+  else begin
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> acc
+          | line -> (
+              match parse_baseline_line ~file lineno line with
+              | None -> go (lineno + 1) acc
+              | Some (k, n) -> go (lineno + 1) (KeyMap.add k n acc))
+        in
+        go 1 KeyMap.empty)
+  end
+
+let render_baseline counts =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "# fsynlint baseline — the ratchet of known violations.\n\
+     # One line per (rule, file): `RULE path count`.\n\
+     # New violations fail the build; when debt is paid down, regenerate\n\
+     # with `dune exec tools/lint/fsynlint.exe -- --update-baseline` so\n\
+     # the count can only shrink.  See DESIGN.md §8.\n";
+  KeyMap.iter
+    (fun (r, f) n ->
+      Buffer.add_string b (Printf.sprintf "%s %s %d\n" (rule_name r) f n))
+    counts;
+  Buffer.contents b
+
+type verdict = {
+  new_violations : (rule * string * finding list) list;
+      (* (rule, file, the findings) where count exceeds the baseline *)
+  stale : (rule * string * int * int) list;
+      (* (rule, file, baseline, current) where the baseline overstates *)
+}
+
+let clean v = v.new_violations = [] && v.stale = []
+
+let rule_equal a b = String.equal (rule_name a) (rule_name b)
+
+let check ~baseline findings =
+  let cur = counts findings in
+  let keys =
+    KeyMap.union
+      (fun _ a _ -> Some a)
+      (KeyMap.map (fun _ -> ()) cur)
+      (KeyMap.map (fun _ -> ()) baseline)
+    |> KeyMap.bindings |> List.map fst
+  in
+  let v =
+    List.fold_left
+      (fun v k ->
+        let r, file = k in
+        let c = Option.value (KeyMap.find_opt k cur) ~default:0 in
+        let b = Option.value (KeyMap.find_opt k baseline) ~default:0 in
+        if c > b then
+          let fs =
+            List.filter
+              (fun f -> rule_equal f.rule r && String.equal f.file file)
+              findings
+          in
+          { v with new_violations = (r, file, fs) :: v.new_violations }
+        else if c < b then { v with stale = (r, file, b, c) :: v.stale }
+        else v)
+      { new_violations = []; stale = [] }
+      keys
+  in
+  { new_violations = List.rev v.new_violations; stale = List.rev v.stale }
+
+let growth ~baseline findings =
+  (* (rule, file) keys whose current count exceeds the baseline; used to
+     refuse `--update-baseline` runs that would grow the debt. *)
+  KeyMap.fold
+    (fun k c acc ->
+      let b = Option.value (KeyMap.find_opt k baseline) ~default:0 in
+      if c > b then k :: acc else acc)
+    (counts findings) []
+  |> List.rev

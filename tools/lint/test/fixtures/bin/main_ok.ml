@@ -1,0 +1,7 @@
+(* Binaries may crash on bad CLI args and talk to the console: no rules
+   apply under bin/, the file is only parse-checked. *)
+
+let () =
+  if Array.length Sys.argv < 2 then failwith "usage: main_ok ARG";
+  print_endline Sys.argv.(1);
+  exit (compare 1 2 + 1)

@@ -1,0 +1,11 @@
+(* A compliant wire-sensitive module: zero findings. *)
+
+let put_count buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let get_count s = if String.length s = 0 then None else Some (Char.code s.[0])
+
+let equal_digest a b = String.equal a b
+
+let order xs = List.sort String.compare xs
+
+let first = function [] -> None | x :: _ -> Some x

@@ -1,0 +1,5 @@
+val put_count : Buffer.t -> int -> unit
+val get_count : string -> int option
+val equal_digest : string -> string -> bool
+val order : string list -> string list
+val first : 'a list -> 'a option

@@ -1,0 +1,3 @@
+(* R4 fixture: a module without an interface.  One violation. *)
+
+let exposed_internal = 42

@@ -1,0 +1,19 @@
+(* R1 fixture: polymorphic comparisons in a wire-sensitive library.
+   Exactly five violations, at the lines asserted by the test suite. *)
+
+let digests_equal a b = a = b (* line 4: poly `=` on strings *)
+
+let tokens_differ a b = a <> b (* line 6: poly `<>` *)
+
+let order xs = List.sort compare xs (* line 8: poly `compare` as a value *)
+
+let rank a b = compare a b (* line 10: applied poly `compare` *)
+
+let bucket x = Hashtbl.hash x mod 16 (* line 12: representation hash *)
+
+(* Exempt: comparisons against immediate literals are specialized. *)
+let is_zero n = n = 0
+let not_newline c = c <> '\n'
+let is_empty l = l = []
+let truthy b = b = true
+let unit_eq u = u = ()

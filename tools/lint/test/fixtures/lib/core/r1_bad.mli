@@ -1,0 +1,10 @@
+val digests_equal : string -> string -> bool
+val tokens_differ : string -> string -> bool
+val order : int list -> int list
+val rank : int -> int -> int
+val bucket : string -> int
+val is_zero : int -> bool
+val not_newline : char -> bool
+val is_empty : int list -> bool
+val truthy : bool -> bool
+val unit_eq : unit -> bool

@@ -1,0 +1,11 @@
+(* R2 fixture: untyped crash points.  Exactly five violations. *)
+
+let decode = function
+  | "" -> failwith "empty" (* line 4 *)
+  | "x" -> invalid_arg "x" (* line 5 *)
+  | "y" -> assert false (* line 6 *)
+  | s -> s
+
+let first xs = List.hd xs (* line 9 *)
+
+let force o = Option.get o (* line 11 *)

@@ -1,0 +1,3 @@
+val decode : string -> string
+val first : int list -> int
+val force : int option -> int

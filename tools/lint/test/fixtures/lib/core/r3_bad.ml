@@ -1,0 +1,9 @@
+(* R3 fixture: console output from library code.  Two violations plus a
+   suppressed sanctioned sink. *)
+
+let report x = Printf.printf "%d\n" x (* line 4 *)
+
+let warn s = prerr_endline s (* line 6 *)
+
+(* Suppression: an annotated binding is the reviewed escape hatch. *)
+let sanctioned s = (print_string s [@fsynlint.allow "r3"])

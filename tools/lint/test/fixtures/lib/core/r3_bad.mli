@@ -1,0 +1,3 @@
+val report : int -> unit
+val warn : string -> unit
+val sanctioned : string -> unit

@@ -1,0 +1,10 @@
+(* R5 fixture: encoder/decoder symmetry.  [write_header] and [put_len]
+   lack decoders (two violations); [write_body]/[read_body] pair up. *)
+
+let write_header buf n = Buffer.add_string buf (string_of_int n) (* line 4 *)
+
+let put_len buf n = Buffer.add_char buf (Char.chr n) (* line 6 *)
+
+let write_body buf s = Buffer.add_string buf s
+
+let read_body s = s

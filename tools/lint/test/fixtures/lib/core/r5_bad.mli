@@ -1,0 +1,4 @@
+val write_header : Buffer.t -> int -> unit
+val put_len : Buffer.t -> int -> unit
+val write_body : Buffer.t -> string -> unit
+val read_body : string -> string

@@ -1,0 +1,8 @@
+(* Outside the wire-sensitive set R1/R5 do not apply, but R2/R3/R4 do:
+   this file's only finding is its [failwith] (R2). *)
+
+let sort_anything xs = List.sort compare xs
+
+let write_only buf s = Buffer.add_string buf s
+
+let boom () = failwith "boom" (* line 8: R2 *)

@@ -1,0 +1,3 @@
+val sort_anything : 'a list -> 'a list
+val write_only : Buffer.t -> string -> unit
+val boom : unit -> 'a

@@ -1,0 +1,287 @@
+(* fsynlint's own tests: every rule against fixture files with known
+   violations, rule scoping across the mirrored repo layout, attribute
+   suppression, and the baseline ratchet's three failure classes. *)
+
+module Lint = Fsynlint_lib.Lint
+
+(* The fixture tree mirrors the repository layout; scope resolution is
+   path-prefix based, so the suite chdirs to the fixture root once. *)
+let () =
+  if Sys.file_exists "fixtures" then Sys.chdir "fixtures"
+
+let findings_of file = Lint.scan_file file
+
+let by_rule rule fs =
+  List.filter (fun (f : Lint.finding) -> Lint.rule_equal f.rule rule) fs
+
+let lines fs = List.map (fun (f : Lint.finding) -> f.line) fs
+
+let check_lines what rule file expected =
+  let fs = by_rule rule (findings_of file) in
+  Alcotest.(check (list int)) what expected (lines fs)
+
+(* ---- rule R1: polymorphic comparison ---- *)
+
+let test_r1_flags_poly_compare () =
+  check_lines "five R1 findings at known lines" Lint.R1 "lib/core/r1_bad.ml"
+    [ 4; 6; 8; 10; 12 ]
+
+let test_r1_literal_exemption () =
+  (* The fixture's literal comparisons (= 0, <> '\n', = [], = true, = ())
+     sit on lines 15-19 and none of them may be flagged. *)
+  let fs = by_rule Lint.R1 (findings_of "lib/core/r1_bad.ml") in
+  Alcotest.(check bool)
+    "no finding past line 12" true
+    (List.for_all (fun l -> l <= 12) (lines fs))
+
+let test_r1_not_applied_outside_wire_libs () =
+  check_lines "lib/workload is exempt from R1" Lint.R1
+    "lib/workload/poly_ok.ml" []
+
+(* ---- rule R2: crash points ---- *)
+
+let test_r2_flags_crash_points () =
+  check_lines "five R2 findings at known lines" Lint.R2 "lib/core/r2_bad.ml"
+    [ 4; 5; 6; 9; 11 ]
+
+let test_r2_applies_to_all_lib () =
+  check_lines "R2 applies outside the wire-sensitive set" Lint.R2
+    "lib/workload/poly_ok.ml" [ 8 ]
+
+(* ---- rule R3: console output ---- *)
+
+let test_r3_flags_prints () =
+  check_lines "two R3 findings" Lint.R3 "lib/core/r3_bad.ml" [ 4; 6 ]
+
+let test_r3_suppression_attribute () =
+  (* Line 9's print_string carries [@fsynlint.allow "r3"]: no finding. *)
+  let fs = by_rule Lint.R3 (findings_of "lib/core/r3_bad.ml") in
+  Alcotest.(check bool)
+    "annotated sink not flagged" true
+    (not (List.mem 9 (lines fs)))
+
+(* ---- rule R4: missing interface ---- *)
+
+let test_r4_missing_mli () =
+  check_lines "module without .mli flagged" Lint.R4 "lib/core/no_mli.ml" [ 1 ]
+
+let test_r4_present_mli () =
+  check_lines "module with .mli clean" Lint.R4 "lib/core/clean.ml" []
+
+(* ---- rule R5: codec symmetry ---- *)
+
+let test_r5_encoder_without_decoder () =
+  check_lines "write_/put_ without read_/get_ flagged" Lint.R5
+    "lib/core/r5_bad.ml" [ 4; 6 ]
+
+let test_r5_symmetric_pair_clean () =
+  check_lines "put_count/get_count pair clean" Lint.R5 "lib/core/clean.ml" []
+
+let test_r5_not_applied_outside_wire_libs () =
+  check_lines "write-only helper fine outside wire libs" Lint.R5
+    "lib/workload/poly_ok.ml" []
+
+(* ---- scoping ---- *)
+
+let test_clean_file_has_no_findings () =
+  Alcotest.(check int) "clean module" 0
+    (List.length (findings_of "lib/core/clean.ml"))
+
+let test_bin_is_rule_free () =
+  (* main_ok.ml uses failwith, print_endline and compare: all fine under
+     bin/, where files are only parse-checked. *)
+  Alcotest.(check int) "bin/ has no applicable rules" 0
+    (List.length (findings_of "bin/main_ok.ml"))
+
+let test_scan_discovers_recursively () =
+  let fs = Lint.scan [ "lib"; "bin" ] in
+  (* 5 R1 + (5+1) R2 + 2 R3 + 1 R4 + 2 R5 = 16 across the tree. *)
+  Alcotest.(check int) "total findings across the fixture tree" 16
+    (List.length fs)
+
+(* ---- the baseline ratchet ---- *)
+
+let scan_fixtures () = Lint.scan [ "lib"; "bin" ]
+
+let test_ratchet_clean_when_baseline_matches () =
+  let fs = scan_fixtures () in
+  let baseline = Lint.counts fs in
+  Alcotest.(check bool)
+    "scan == baseline is clean" true
+    (Lint.clean (Lint.check ~baseline fs))
+
+let test_ratchet_fails_on_new_violation () =
+  (* A fixture introducing a new violation must fail the check: simulate
+     by recording a baseline that predates r2_bad.ml's List.hd. *)
+  let fs = scan_fixtures () in
+  let baseline =
+    Lint.KeyMap.update
+      (Lint.R2, "lib/core/r2_bad.ml")
+      (function Some n -> Some (n - 1) | None -> None)
+      (Lint.counts fs)
+  in
+  let v = Lint.check ~baseline fs in
+  Alcotest.(check bool) "not clean" false (Lint.clean v);
+  match v.new_violations with
+  | [ (r, file, offending) ] ->
+      Alcotest.(check string) "rule" "R2" (Lint.rule_name r);
+      Alcotest.(check string) "file" "lib/core/r2_bad.ml" file;
+      Alcotest.(check int) "all findings for the pair reported" 5
+        (List.length offending)
+  | _ -> Alcotest.fail "expected exactly one new-violation entry"
+
+let test_ratchet_fails_on_unknown_file () =
+  (* A violating file absent from the baseline is also a failure. *)
+  let fs = scan_fixtures () in
+  let baseline =
+    Lint.KeyMap.remove (Lint.R4, "lib/core/no_mli.ml") (Lint.counts fs)
+  in
+  let v = Lint.check ~baseline fs in
+  Alcotest.(check bool) "not clean" false (Lint.clean v);
+  Alcotest.(check int) "one new-violation entry" 1
+    (List.length v.new_violations)
+
+let test_ratchet_flags_stale_baseline () =
+  (* Paid-down debt must force a baseline refresh (one-way ratchet). *)
+  let fs = scan_fixtures () in
+  let baseline =
+    Lint.KeyMap.update
+      (Lint.R1, "lib/core/r1_bad.ml")
+      (function Some n -> Some (n + 2) | None -> Some 2)
+      (Lint.counts fs)
+  in
+  let v = Lint.check ~baseline fs in
+  Alcotest.(check bool) "not clean" false (Lint.clean v);
+  match v.stale with
+  | [ (r, file, recorded, current) ] ->
+      Alcotest.(check string) "rule" "R1" (Lint.rule_name r);
+      Alcotest.(check string) "file" "lib/core/r1_bad.ml" file;
+      Alcotest.(check int) "recorded" (current + 2) recorded
+  | _ -> Alcotest.fail "expected exactly one stale entry"
+
+let test_ratchet_growth_detection () =
+  let fs = scan_fixtures () in
+  let baseline =
+    Lint.KeyMap.update
+      (Lint.R2, "lib/core/r2_bad.ml")
+      (function Some n -> Some (n - 1) | None -> None)
+      (Lint.counts fs)
+  in
+  (match Lint.growth ~baseline fs with
+  | [ (r, file) ] ->
+      Alcotest.(check string) "rule" "R2" (Lint.rule_name r);
+      Alcotest.(check string) "file" "lib/core/r2_bad.ml" file
+  | _ -> Alcotest.fail "expected one grown key");
+  Alcotest.(check int) "no growth against an exact baseline" 0
+    (List.length (Lint.growth ~baseline:(Lint.counts fs) fs))
+
+let test_baseline_roundtrip () =
+  let fs = scan_fixtures () in
+  let counts = Lint.counts fs in
+  let file = Filename.temp_file "fsynlint" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc (Lint.render_baseline counts);
+      close_out oc;
+      let back = Lint.read_baseline file in
+      Alcotest.(check bool)
+        "serialized baseline reads back identically" true
+        (Lint.KeyMap.equal Int.equal counts back))
+
+let test_baseline_missing_file_is_empty () =
+  Alcotest.(check int) "missing baseline = no recorded debt" 0
+    (Lint.KeyMap.cardinal (Lint.read_baseline "does-not-exist.txt"))
+
+let test_baseline_rejects_garbage () =
+  let file = Filename.temp_file "fsynlint" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "R9 nonsense notanumber\n";
+      close_out oc;
+      match Lint.read_baseline file with
+      | _ -> Alcotest.fail "garbage baseline accepted"
+      | exception Lint.Parse_error _ -> ())
+
+(* ---- rule metadata ---- *)
+
+let test_rule_names_roundtrip () =
+  List.iter
+    (fun r ->
+      match Lint.rule_of_name (Lint.rule_name r) with
+      | Some r' ->
+          Alcotest.(check string) "roundtrip" (Lint.rule_name r)
+            (Lint.rule_name r')
+      | None -> Alcotest.fail "rule name did not parse back")
+    Lint.all_rules;
+  Alcotest.(check bool) "unknown rule rejected" true
+    (Option.is_none (Lint.rule_of_name "r9"))
+
+let test_scope_predicates () =
+  Alcotest.(check bool) "core is wire-sensitive" true
+    (Lint.is_wire_sensitive "lib/core/wire.ml");
+  Alcotest.(check bool) "workload is not" false
+    (Lint.is_wire_sensitive "lib/workload/datasets.ml");
+  Alcotest.(check bool) "bin has no rules" true
+    (Lint.rules_for "bin/fsync.ml" = [])
+
+let () =
+  Alcotest.run "fsynlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 flags poly compare" `Quick
+            test_r1_flags_poly_compare;
+          Alcotest.test_case "R1 literal exemption" `Quick
+            test_r1_literal_exemption;
+          Alcotest.test_case "R1 scoped to wire libs" `Quick
+            test_r1_not_applied_outside_wire_libs;
+          Alcotest.test_case "R2 flags crash points" `Quick
+            test_r2_flags_crash_points;
+          Alcotest.test_case "R2 applies to all lib" `Quick
+            test_r2_applies_to_all_lib;
+          Alcotest.test_case "R3 flags prints" `Quick test_r3_flags_prints;
+          Alcotest.test_case "R3 suppression attribute" `Quick
+            test_r3_suppression_attribute;
+          Alcotest.test_case "R4 missing mli" `Quick test_r4_missing_mli;
+          Alcotest.test_case "R4 present mli" `Quick test_r4_present_mli;
+          Alcotest.test_case "R5 encoder without decoder" `Quick
+            test_r5_encoder_without_decoder;
+          Alcotest.test_case "R5 symmetric pair" `Quick
+            test_r5_symmetric_pair_clean;
+          Alcotest.test_case "R5 scoped to wire libs" `Quick
+            test_r5_not_applied_outside_wire_libs;
+        ] );
+      ( "scoping",
+        [
+          Alcotest.test_case "clean file" `Quick test_clean_file_has_no_findings;
+          Alcotest.test_case "bin is rule-free" `Quick test_bin_is_rule_free;
+          Alcotest.test_case "recursive discovery" `Quick
+            test_scan_discovers_recursively;
+          Alcotest.test_case "scope predicates" `Quick test_scope_predicates;
+          Alcotest.test_case "rule names roundtrip" `Quick
+            test_rule_names_roundtrip;
+        ] );
+      ( "ratchet",
+        [
+          Alcotest.test_case "clean when baseline matches" `Quick
+            test_ratchet_clean_when_baseline_matches;
+          Alcotest.test_case "fails on new violation" `Quick
+            test_ratchet_fails_on_new_violation;
+          Alcotest.test_case "fails on unknown file" `Quick
+            test_ratchet_fails_on_unknown_file;
+          Alcotest.test_case "flags stale baseline" `Quick
+            test_ratchet_flags_stale_baseline;
+          Alcotest.test_case "growth detection" `Quick
+            test_ratchet_growth_detection;
+          Alcotest.test_case "baseline roundtrip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "missing baseline is empty" `Quick
+            test_baseline_missing_file_is_empty;
+          Alcotest.test_case "rejects garbage baseline" `Quick
+            test_baseline_rejects_garbage;
+        ] );
+    ]
