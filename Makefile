@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples doc clean soak lint
+.PHONY: all build test check bench bench-smoke examples doc clean soak lint
 
 all: build
 
@@ -17,17 +17,24 @@ lint:
 	dune exec tools/lint/fsynlint.exe --
 
 # What CI runs: full build (including examples and benches), the test
-# suite, and the lint ratchet.
-check: build test lint
+# suite, the lint ratchet, and the bench-smoke JSON round trip.
+check: build test lint bench-smoke
 
-# QUICK=1 runs only the metadata scenario on its reduced matrix — a smoke
-# test fast enough for CI.
+# QUICK=1 runs only the JSON-exporting scenarios on their reduced
+# matrices — a smoke test fast enough for CI.
 bench:
 ifeq ($(QUICK),1)
-	QUICK=1 dune exec bench/main.exe -- metadata
+	QUICK=1 dune exec bench/main.exe -- metadata collection
 else
 	dune exec bench/main.exe
 endif
+
+# CI smoke: run the reduced bench matrix and verify the machine-readable
+# exports parse and carry the fsync-bench/1 shape (tools/benchjson).
+bench-smoke:
+	$(MAKE) bench QUICK=1
+	dune exec tools/benchjson/benchjson.exe -- \
+	  BENCH_metadata.json BENCH_collection.json
 
 examples:
 	dune exec examples/quickstart.exe

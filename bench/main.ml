@@ -8,7 +8,11 @@
      table61  Table 6.1  best results, all techniques
      table62  Table 6.2  web collection update cost
      metadata linear vs Merkle collection-metadata reconciliation
-              (QUICK=1 shrinks the matrix for CI smoke tests)
+              (QUICK=1 shrinks the matrix for CI smoke tests); also
+              writes BENCH_metadata.json
+     collection  web-collection update costs per method, exported as
+              BENCH_collection.json (scenario x config records with
+              bytes, rounds, times and observability counters)
      ablate   ablations: decomposable / skip rules / candidate cap / local
      speed    bechamel micro-benchmarks (hashes, compressors, protocol)
      all      everything above (default)
@@ -28,6 +32,75 @@ module Driver = Fsync_collection.Driver
 module Snapshot = Fsync_collection.Snapshot
 
 let kb = Table.cell_kb
+
+(* ---- machine-readable export (BENCH_*.json) ----
+
+   The [metadata] and [collection] targets additionally write one JSON
+   document each so CI (and scripts) can track the trajectory without
+   scraping tables.  Schema: a header plus a [records] array of
+   scenario x config rows; each row carries the link costs, the
+   simulated slow-link time, the measured wall clock, and every
+   observability counter the run produced (DESIGN.md §9). *)
+
+module Json = Fsync_obs.Json
+
+let quick_mode () =
+  match Sys.getenv_opt "QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* The default slow link of the paper's evaluation: 50 ms one-way
+   latency, 1 Mbit/s. *)
+let slow_link_time ~rounds bytes =
+  (2.0 *. 0.05 *. float_of_int rounds)
+  +. (float_of_int bytes /. (1_000_000.0 /. 8.0))
+
+let bench_record ~scenario ~config ~bytes_up ~bytes_down ~rounds ~elapsed_s
+    ~wall_ns reg =
+  Json.Obj
+    [
+      ("scenario", Json.String scenario);
+      ("config", Json.String config);
+      ("bytes_up", Json.Int bytes_up);
+      ("bytes_down", Json.Int bytes_down);
+      ("rounds", Json.Int rounds);
+      ("elapsed_s", Json.Float elapsed_s);
+      ("wall_ns", Json.Int wall_ns);
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (name, v) -> (name, Json.Int v))
+             (Fsync_obs.Registry.counters reg)) );
+    ]
+
+let write_bench_json path records =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "fsync-bench/1");
+        ("generated_unix_s", Json.Float (Unix.gettimeofday ()));
+        ("scale", Json.String (Datasets.scale_name ()));
+        ("quick", Json.Bool (quick_mode ()));
+        ("records", Json.List records);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d records)\n" path (List.length records)
+
+(* Run [f] under a fresh registry; returns its result, the registry, and
+   the measured wall clock in nanoseconds. *)
+let observed f =
+  let reg = Fsync_obs.Registry.create () in
+  let scope = Fsync_obs.Scope.of_registry reg in
+  let w0 = Unix.gettimeofday () in
+  let x = f scope in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. w0) *. 1e9) in
+  (x, reg, wall_ns)
 
 (* ---- aggregated costs over a list of (old, new) file pairs ---- *)
 
@@ -583,11 +656,7 @@ let metadata () =
      collection size x changed fraction and compares the linear exchange
      against the Merkle anti-entropy descent, including simulated time on
      the default slow link (50 ms one-way, 1 Mbit/s). *)
-  let quick =
-    match Sys.getenv_opt "QUICK" with
-    | Some ("1" | "true" | "yes") -> true
-    | _ -> false
-  in
+  let quick = quick_mode () in
   let sizes = if quick then [ 100; 1000 ] else [ 100; 1000; 10_000 ] in
   let fractions = if quick then [ 0.01; 0.1 ] else [ 0.001; 0.01; 0.1 ] in
   let latency_s = 0.05 and bandwidth_bps = 1_000_000.0 in
@@ -596,6 +665,7 @@ let metadata () =
     +. (float_of_int bytes /. (bandwidth_bps /. 8.0))
   in
   let plain_meta_bytes = ref 0 and framed_meta_bytes = ref 0 in
+  let records = ref [] in
   let t =
     Table.create
       ~caption:
@@ -641,14 +711,30 @@ let metadata () =
           in
           let server = Snapshot.of_files server_files in
           let run metadata =
-            let updated, summary =
-              Driver.sync ~metadata Driver.Full_raw ~client ~server
-            in
-            assert (Snapshot.files updated = Snapshot.files server);
-            summary
+            observed (fun scope ->
+                let updated, summary =
+                  Driver.sync ~metadata ~scope Driver.Full_raw ~client ~server
+                in
+                assert (Snapshot.files updated = Snapshot.files server);
+                summary)
           in
-          let lin = run Driver.Linear and mer = run Driver.Merkle in
+          let lin, lin_reg, lin_ns = run Driver.Linear in
+          let mer, mer_reg, mer_ns = run Driver.Merkle in
           let lb = Driver.meta_total lin and mb = Driver.meta_total mer in
+          let scenario =
+            Printf.sprintf "metadata/files=%d/changed=%.3f" n fraction
+          in
+          let record (s : Driver.summary) reg wall_ns =
+            bench_record ~scenario ~config:s.metadata_used
+              ~bytes_up:s.meta_c2s ~bytes_down:s.meta_s2c
+              ~rounds:s.meta_rounds
+              ~elapsed_s:
+                (slow_link_time ~rounds:s.meta_rounds (Driver.meta_total s))
+              ~wall_ns reg
+          in
+          records :=
+            record mer mer_reg mer_ns :: record lin lin_reg lin_ns
+            :: !records;
           (* Framing-overhead audit: replay the same metadata dialogues
              over a channel with the reliability layer installed and
              accumulate both byte counts across the whole scenario. *)
@@ -698,7 +784,67 @@ let metadata () =
     "merkle wins when the changed fraction is small (the paper's nightly\n\
      recrawl regime); linear wins on heavily-changed collections where the\n\
      descent must open most subtrees anyway.  Rounds grow O(log n) and are\n\
-     amortized across the collection exactly like the per-file protocol's."
+     amortized across the collection exactly like the per-file protocol's.";
+  write_bench_json "BENCH_metadata.json" (List.rev !records)
+
+(* ---- collection: whole-driver costs, machine-readable ---- *)
+
+let collection () =
+  (* The web-collection scenario of Table 6.2, exported as
+     BENCH_collection.json: one record per update interval x transfer
+     method, carrying both directions' bytes, metadata rounds, the
+     simulated slow-link time and the observability counters. *)
+  let quick = quick_mode () in
+  let days = if quick then [ 1 ] else [ 1; 2; 7 ] in
+  let base = Datasets.web_base () in
+  let snapshots = Datasets.web_snapshots ~days in
+  Printf.printf "collection export [%s scale]: %d pages, %d update intervals\n"
+    (Datasets.scale_name ()) (Array.length base) (List.length days);
+  let to_snapshot pages =
+    Snapshot.of_files
+      (Array.to_list
+         (Array.map
+            (fun (p : Fsync_workload.Web_collection.page) -> (p.url, p.content))
+            pages))
+  in
+  let client = to_snapshot base in
+  let methods =
+    if quick then [ Driver.Full_compressed; Driver.Fsync Config.tuned ]
+    else
+      [
+        Driver.Full_compressed;
+        Driver.Rsync_default;
+        Driver.Fsync Config.tuned;
+        Driver.Delta_lower_bound Delta.Zdelta;
+      ]
+  in
+  let records =
+    List.concat_map
+      (fun (day, pages) ->
+        let server = to_snapshot pages in
+        List.map
+          (fun m ->
+            let (summary : Driver.summary), reg, wall_ns =
+              observed (fun scope ->
+                  let updated, summary =
+                    Driver.sync ~metadata:Driver.Merkle ~scope m ~client
+                      ~server
+                  in
+                  assert (Snapshot.files updated = Snapshot.files server);
+                  summary)
+            in
+            bench_record
+              ~scenario:(Printf.sprintf "web/day=%d" day)
+              ~config:(Driver.method_name m) ~bytes_up:summary.total_c2s
+              ~bytes_down:summary.total_s2c ~rounds:summary.meta_rounds
+              ~elapsed_s:
+                (slow_link_time ~rounds:summary.meta_rounds
+                   (Driver.total summary))
+              ~wall_ns reg)
+          methods)
+      (List.combine days snapshots)
+  in
+  write_bench_json "BENCH_collection.json" records
 
 (* ---- theory: group-testing planner and searching-with-liars ---- *)
 
@@ -850,7 +996,7 @@ let speed () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig61|fig62|fig63|fig64|table61|table62|metadata|ablate|dispersion|latency|broadcast|theory|speed|all]"
+     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|ablate|dispersion|latency|broadcast|theory|speed|all]"
 
 let () =
   let targets =
@@ -864,6 +1010,7 @@ let () =
     | "table61" -> table61 ()
     | "table62" -> table62 ()
     | "metadata" -> metadata ()
+    | "collection" -> collection ()
     | "ablate" -> ablate ()
     | "dispersion" -> dispersion ()
     | "latency" -> latency ()
@@ -878,6 +1025,7 @@ let () =
         table61 ();
         table62 ();
         metadata ();
+        collection ();
         ablate ();
         dispersion ();
         latency ();

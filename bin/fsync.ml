@@ -54,6 +54,43 @@ let apply_overrides config min_block =
   | None -> config
   | Some m -> { config with Fsync_core.Config.min_global_block = m }
 
+(* ---- observability arguments (sync and dir) ---- *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect counters, histograms and spans during the run and \
+              print a Prometheus-style text exposition after the summary.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:"Collect metrics and spans and write a JSONL event stream \
+              (one JSON object per line: meta, span, counter, gauge, \
+              histogram) to $(docv).")
+
+(* A registry is only allocated when either flag asks for it; otherwise
+   the scope stays disabled and instrumentation costs one branch. *)
+let make_obs ~metrics ~trace_json =
+  if metrics || Option.is_some trace_json then
+    let reg = Fsync_obs.Registry.create () in
+    (Some reg, Fsync_obs.Scope.of_registry reg)
+  else (None, Fsync_obs.Scope.disabled)
+
+let emit_obs ~metrics ~trace_json reg_opt =
+  Option.iter
+    (fun reg ->
+      Option.iter
+        (fun path ->
+          write_file path (Fsync_obs.Registry.to_jsonl reg);
+          Format.printf "trace written to %s@." path)
+        trace_json;
+      if metrics then print_string (Fsync_obs.Registry.to_prometheus reg))
+    reg_opt
+
 let pp_report rep =
   Format.printf "%a@." Fsync_core.Protocol.pp_report rep
 
@@ -80,18 +117,23 @@ let sync_cmd =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print the message timeline (Fig 5.2 style).")
   in
-  let run config min_block adaptive trace old_path new_path out =
+  let run config min_block adaptive trace metrics trace_json old_path
+      new_path out =
     let config = apply_overrides config min_block in
     let old_file = read_file old_path and new_file = read_file new_path in
     let channel = Fsync_net.Channel.create () in
+    let reg, scope = make_obs ~metrics ~trace_json in
+    if Fsync_obs.Scope.is_enabled scope then
+      Fsync_net.Channel.set_scope channel scope;
     let r =
       if adaptive then begin
         let pr = Fsync_core.Adaptive.probe ~old_file new_file in
         Format.printf "adaptive: similarity %.2f -> %s (probe %d+%d bytes)@."
           pr.similarity pr.rationale pr.probe_c2s pr.probe_s2c;
-        Fsync_core.Protocol.run ~channel ~config:pr.chosen ~old_file new_file
+        Fsync_core.Protocol.run ~channel ~scope ~config:pr.chosen ~old_file
+          new_file
       end
-      else Fsync_core.Protocol.run ~channel ~config ~old_file new_file
+      else Fsync_core.Protocol.run ~channel ~scope ~config ~old_file new_file
     in
     assert (String.equal r.reconstructed new_file);
     if trace then Fsync_net.Trace.print channel;
@@ -100,12 +142,13 @@ let sync_cmd =
     Format.printf "transfer: %d bytes for a %d-byte file (%.1f%%)@." total
       (String.length new_file)
       (100.0 *. float_of_int total /. float_of_int (max 1 (String.length new_file)));
-    Option.iter (fun p -> write_file p r.reconstructed) out
+    Option.iter (fun p -> write_file p r.reconstructed) out;
+    emit_obs ~metrics ~trace_json reg
   in
   let term =
     Term.(
       const run $ config_arg $ min_block_arg $ adaptive_arg $ trace_arg
-      $ old_arg $ new_arg $ out_arg)
+      $ metrics_arg $ trace_json_arg $ old_arg $ new_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "sync" ~doc:"Synchronize one file and report transfer costs.")
@@ -202,18 +245,25 @@ let dir_cmd =
                    verification and retries remain); only meaningful with \
                    --resilient or --faults.")
   in
-  let run method_ metadata client_dir server_dir apply trace faults seed
-      resilient no_frame =
+  let run method_ metadata client_dir server_dir apply trace metrics
+      trace_json faults seed resilient no_frame =
     let client = Fsync_collection.Snapshot.load_dir client_dir in
     let server = Fsync_collection.Snapshot.load_dir server_dir in
     let meta_channel = Fsync_net.Channel.create () in
+    let reg, scope = make_obs ~metrics ~trace_json in
     let finish updated summary =
       if trace then Fsync_net.Trace.print meta_channel;
-      Format.printf "%a@." Fsync_collection.Driver.pp_summary summary;
+      (match reg with
+      | Some registry when metrics ->
+          Format.printf "%a@."
+            (Fsync_collection.Driver.pp_summary_with_metrics ~registry)
+            summary
+      | _ -> Format.printf "%a@." Fsync_collection.Driver.pp_summary summary);
       if apply then begin
         Fsync_collection.Snapshot.store_dir client_dir updated;
         Format.printf "client updated in place@."
       end;
+      emit_obs ~metrics ~trace_json reg;
       `Ok ()
     in
     if resilient || faults <> None then begin
@@ -228,7 +278,7 @@ let dir_cmd =
       in
       match
         Fsync_collection.Driver.sync_resilient ~metadata ~resilience
-          ~meta_channel method_ ~client ~server
+          ~meta_channel ~scope method_ ~client ~server
       with
       | Ok (updated, summary) -> finish updated summary
       | Error e ->
@@ -238,16 +288,16 @@ let dir_cmd =
     end
     else
       let updated, summary =
-        Fsync_collection.Driver.sync ~metadata ~meta_channel method_ ~client
-          ~server
+        Fsync_collection.Driver.sync ~metadata ~meta_channel ~scope method_
+          ~client ~server
       in
       finish updated summary
   in
   let term =
     Term.(ret
             (const run $ method_arg $ metadata_arg $ client_arg $ server_arg
-            $ apply_arg $ trace_arg $ faults_arg $ seed_arg $ resilient_arg
-            $ no_frame_arg))
+            $ apply_arg $ trace_arg $ metrics_arg $ trace_json_arg
+            $ faults_arg $ seed_arg $ resilient_arg $ no_frame_arg))
   in
   Cmd.v
     (Cmd.info "dir" ~doc:"Synchronize a directory tree and report costs.")

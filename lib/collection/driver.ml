@@ -10,6 +10,7 @@ module Merkle = Fsync_reconcile.Merkle
 module Recon = Fsync_reconcile.Recon
 module Protocol = Fsync_core.Protocol
 module Error = Fsync_core.Error
+module Scope = Fsync_obs.Scope
 
 type metadata_mode = Linear | Merkle
 
@@ -70,7 +71,7 @@ let meta_total s = s.meta_c2s + s.meta_s2c
 (* One file through the chosen method; returns (reconstructed, c2s, s2c).
    The per-file header/fingerprint exchange is accounted at collection
    level, so the protocol's own header bytes are deducted. *)
-let transfer method_ ~old_file ~new_file =
+let transfer ?(scope = Scope.disabled) method_ ~old_file ~new_file =
   match method_ with
   | Full_raw -> (new_file, 0, String.length new_file)
   | Full_compressed ->
@@ -87,7 +88,7 @@ let transfer method_ ~old_file ~new_file =
       in
       (r.reconstructed, cost.client_to_server, cost.server_to_client)
   | Fsync config ->
-      let r = Fsync_core.Protocol.run ~config ~old_file new_file in
+      let r = Fsync_core.Protocol.run ~scope ~config ~old_file new_file in
       let rep = r.report in
       ( r.reconstructed,
         rep.total_c2s - rep.header_c2s,
@@ -229,10 +230,10 @@ let linear_metadata ch ~client_files ~server_files ~client_map ~server_map =
     m_rounds = 1;
   }
 
-let merkle_metadata ch ~client_files ~server_files ~client_map =
-  let ctree = Merkle.of_files client_files in
+let merkle_metadata ?scope ch ~client_files ~server_files ~client_map =
+  let ctree = Merkle.of_files ?scope client_files in
   let stree = Merkle.of_files server_files in
-  let r = Recon.run ~channel:ch ~client:ctree ~server:stree () in
+  let r = Recon.run ~channel:ch ?scope ~client:ctree ~server:stree () in
   let changed = Hashtbl.create 64 in
   List.iter (fun p -> Hashtbl.replace changed p ()) r.Recon.changed;
   let unchanged_paths = Hashtbl.create 64 in
@@ -250,21 +251,27 @@ let merkle_metadata ch ~client_files ~server_files ~client_map =
     m_rounds = r.Recon.rounds;
   }
 
-let sync ?(metadata = Linear) ?meta_channel method_ ~client ~server =
+let sync ?(metadata = Linear) ?meta_channel ?(scope = Scope.disabled) method_
+    ~client ~server =
   let client_files = Snapshot.files client in
   let server_files = Snapshot.files server in
   let ch = match meta_channel with Some c -> c | None -> Channel.create () in
+  if Scope.is_enabled scope then Channel.set_scope ch scope;
   let server_map = Hashtbl.create 64 in
   List.iter (fun (p, c) -> Hashtbl.replace server_map p c) server_files;
   let client_map = Hashtbl.create 64 in
   List.iter (fun (p, c) -> Hashtbl.replace client_map p c) client_files;
   let meta =
-    match metadata with
-    | Linear -> linear_metadata ch ~client_files ~server_files ~client_map ~server_map
-    | Merkle -> merkle_metadata ch ~client_files ~server_files ~client_map
+    Scope.timed scope "metadata" (fun () ->
+        match metadata with
+        | Linear ->
+            linear_metadata ch ~client_files ~server_files ~client_map
+              ~server_map
+        | Merkle -> merkle_metadata ~scope ch ~client_files ~server_files ~client_map)
   in
   let outcomes = ref [] in
   let unchanged = ref 0 in
+  let sp_transfer = Scope.enter scope "transfer" in
   let updated =
     List.map
       (fun (path, new_content) ->
@@ -285,8 +292,9 @@ let sync ?(metadata = Linear) ?meta_channel method_ ~client ~server =
             (path, old_content)
         | Some old_content ->
             let reconstructed, c2s, s2c =
-              transfer method_ ~old_file:old_content ~new_file:new_content
+              transfer ~scope method_ ~old_file:old_content ~new_file:new_content
             in
+            Scope.observe scope "file_bytes_sent" (float_of_int (c2s + s2c));
             outcomes :=
               {
                 path;
@@ -302,6 +310,8 @@ let sync ?(metadata = Linear) ?meta_channel method_ ~client ~server =
         | None ->
             (* New file: sent compressed regardless of method. *)
             let payload = Deflate.compress new_content in
+            Scope.observe scope "file_bytes_sent"
+              (float_of_int (String.length payload));
             outcomes :=
               {
                 path;
@@ -316,6 +326,7 @@ let sync ?(metadata = Linear) ?meta_channel method_ ~client ~server =
             (path, Deflate.decompress payload))
       server_files
   in
+  Scope.leave scope sp_transfer;
   let outcomes = List.rev !outcomes in
   let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
   let result = Snapshot.of_files updated in
@@ -444,15 +455,19 @@ let resilient_payload method_ ~old_content ~new_content =
       ('D', Delta.encode ~profile ~reference:old_content new_content)
   | Rsync_default | Rsync_best | Cdc ->
       ('D', Delta.encode ~profile:Delta.Zdelta ~reference:old_content new_content)
-  | Fsync _ -> assert false (* handled interactively *)
+  | Fsync _ ->
+      (* Handled interactively by the caller; reaching here is a driver
+         bug surfaced as a typed error rather than a crash. *)
+      Error.malformed "Driver: resilient_payload called on the fsync method"
 
 let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
-    ?meta_channel method_ ~client ~server =
+    ?meta_channel ?(scope = Scope.disabled) method_ ~client ~server =
   if resilience.max_restarts < 0 || resilience.file_retries < 0 then
-    invalid_arg "Driver.sync_resilient: negative retry budget";
+    Error.malformed "Driver.sync_resilient: negative retry budget";
   let client_files = Snapshot.files client in
   let server_files = Snapshot.files server in
   let ch = match meta_channel with Some c -> c | None -> Channel.create () in
+  if Scope.is_enabled scope then Channel.set_scope ch scope;
   let base_c2s = Channel.bytes ch Channel.Client_to_server in
   let base_s2c = Channel.bytes ch Channel.Server_to_client in
   let fault =
@@ -461,7 +476,7 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
   in
   let frame =
     if resilience.frame then
-      Some (Frame.attach ~config:resilience.frame_config ch)
+      Some (Frame.attach ~config:resilience.frame_config ~scope ch)
     else None
   in
   let detach_layers () =
@@ -505,12 +520,14 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
         let m =
           match
             Error.guard (fun () ->
-                match metadata with
-                | Linear ->
-                    linear_metadata ch ~client_files ~server_files ~client_map
-                      ~server_map
-                | Merkle ->
-                    merkle_metadata ch ~client_files ~server_files ~client_map)
+                Scope.timed scope "metadata" (fun () ->
+                    match metadata with
+                    | Linear ->
+                        linear_metadata ch ~client_files ~server_files
+                          ~client_map ~server_map
+                    | Merkle ->
+                        merkle_metadata ~scope ch ~client_files ~server_files
+                          ~client_map))
           with
           | Ok m -> m
           | Stdlib.Error e -> Error.fail e
@@ -545,8 +562,8 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
                 match (method_, old_opt) with
                 | Fsync config, Some _ when not fb ->
                     let r =
-                      Protocol.run ~channel:ch ~config ~old_file:old_content
-                        new_content
+                      Protocol.run ~channel:ch ~scope ~config
+                        ~old_file:old_content new_content
                     in
                     if not (String.equal r.Protocol.reconstructed new_content)
                     then
@@ -585,8 +602,13 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
             | Error e -> Error.fail e
           in
           let content, fb = attempt 0 ~fb:false in
-          if fb then incr fallbacks;
+          if fb then begin
+            incr fallbacks;
+            Scope.incr scope "ladder_fallbacks"
+          end;
           let c1, s1 = mark () in
+          Scope.observe scope "file_bytes_sent"
+            (float_of_int (c1 - c0 + s1 - s0));
           Hashtbl.replace done_files path content;
           Hashtbl.replace outcomes_tbl path
             {
@@ -662,6 +684,7 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
     | `Disconnected ->
         (match fault with Some f -> Fault.reconnect f | None -> ());
         incr resumed;
+        Scope.incr scope "session_resumes";
         retry_or
           (Error.Disconnected
              (Printf.sprintf "Driver: restart budget (%d) exhausted"
@@ -676,7 +699,7 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
              "Driver: collection verification kept failing")
     | `Err e -> retry_or e
   in
-  let outcome = session 0 in
+  let outcome = Scope.timed scope "session" (fun () -> session 0) in
   let retransmits =
     match frame with Some f -> (Frame.stats f).Frame.retransmits | None -> 0
   in
@@ -684,7 +707,13 @@ let sync_resilient ?(metadata = Linear) ?(resilience = default_resilience)
   match outcome with
   | Stdlib.Error e -> Stdlib.Error e
   | Ok () ->
-      let meta = Option.get !meta_ckpt in
+      let meta =
+        match !meta_ckpt with
+        | Some m -> m
+        | None ->
+            (* A successful session always ran the metadata phase. *)
+            Error.malformed "Driver: session finished without metadata"
+      in
       let outcomes =
         List.map (fun (p, _) -> Hashtbl.find outcomes_tbl p) server_files
       in
@@ -728,3 +757,7 @@ let pp_summary ppf s =
         Format.fprintf ppf
           "@ resilience: %d fallbacks, %d retransmits, %d resumes" s.fallbacks
           s.retransmits s.resumed)
+
+let pp_summary_with_metrics ~registry ppf s =
+  Format.fprintf ppf "%a@ metrics:@ %a" pp_summary s Fsync_obs.Registry.pp_table
+    registry

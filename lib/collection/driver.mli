@@ -73,6 +73,7 @@ val meta_total : summary -> int
 val sync :
   ?metadata:metadata_mode ->
   ?meta_channel:Fsync_net.Channel.t ->
+  ?scope:Fsync_obs.Scope.t ->
   method_ ->
   client:Snapshot.t ->
   server:Snapshot.t ->
@@ -81,7 +82,12 @@ val sync :
     and the cost summary.  [metadata] defaults to [Linear].  The
     metadata dialogue runs over [meta_channel] when given (its transcript
     then shows the [recon:level-k] descent or the [linear:announce] /
-    [linear:verdict] exchange); a private channel is used otherwise. *)
+    [linear:verdict] exchange); a private channel is used otherwise.
+
+    An enabled [scope] is attached to the channel (byte / message
+    counters), threaded into the protocol and reconciliation layers, and
+    records [metadata] / [transfer] spans plus a [file_bytes_sent]
+    histogram. *)
 
 (** {2 Resilient sessions}
 
@@ -116,6 +122,7 @@ val sync_resilient :
   ?metadata:metadata_mode ->
   ?resilience:resilience ->
   ?meta_channel:Fsync_net.Channel.t ->
+  ?scope:Fsync_obs.Scope.t ->
   method_ ->
   client:Snapshot.t ->
   server:Snapshot.t ->
@@ -131,6 +138,15 @@ val sync_resilient :
     and include framing overhead, retransmissions and traffic wasted by
     restarts.  On success the returned snapshot always equals [server];
     exhausted budgets surface as [Error].
-    @raise Invalid_argument on a negative retry budget. *)
+
+    An enabled [scope] additionally counts [ladder_fallbacks] and
+    [session_resumes], inherits the frame layer's reliability counters,
+    and wraps the whole run in a [session] span.
+    @raise Fsync_core.Error.E ([Malformed]) on a negative retry budget. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val pp_summary_with_metrics :
+  registry:Fsync_obs.Registry.t -> Format.formatter -> summary -> unit
+(** {!pp_summary} followed by the registry's human-readable metric table
+    — what [fsync --metrics] prints. *)

@@ -45,7 +45,7 @@ let fresh t ~off ~len ~derive_from ~sibling_id =
   b
 
 let create ~file_len ~start_block =
-  if start_block <= 0 then invalid_arg "Block_tree.create: start_block <= 0";
+  if start_block <= 0 then Error.malformed "Block_tree.create: start_block <= 0";
   let size = min start_block (pow2_floor (max file_len 1)) in
   let t =
     {
@@ -80,7 +80,7 @@ let find t id =
 
 let split t =
   let size' = t.size / 2 in
-  if size' < 1 then invalid_arg "Block_tree.split: cannot split below 1";
+  if size' < 1 then Error.malformed "Block_tree.split: cannot split below 1";
   let split_one b =
     if b.confirmed then [ b ]
     else if b.len <= size' then begin

@@ -16,7 +16,7 @@ let max_bucket_bits = 20
 
 let build data ~window ~bits =
   let n = String.length data in
-  if window <= 0 then invalid_arg "Candidates.build: window <= 0";
+  if window <= 0 then Error.malformed "Candidates.build: window <= 0";
   let count = n - window + 1 in
   if count <= 0 then
     { keys = [||]; pos = [||]; offsets = [| 0; 0 |]; bucket_mask = 0; window }

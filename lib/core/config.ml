@@ -64,7 +64,7 @@ let grouped_verification = function
         confirm_bits = 14;
         retry_alternates = true;
       }
-  | n -> invalid_arg (Printf.sprintf "grouped_verification: %d not in 1-3" n)
+  | n -> Error.malformed "grouped_verification: %d not in 1-3" n
 
 let no_continuation = { cont_enabled = false; cont_bits = 4; cont_min_block = 16 }
 

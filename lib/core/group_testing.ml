@@ -1,3 +1,5 @@
+module Scope = Fsync_obs.Scope
+
 type status = Uncertain | Confirmed | Dead | Await_retry
 
 (* Monomorphic equality: verification state drives wire messages, so its
@@ -17,15 +19,17 @@ type t = {
   cands : cand array;
   confirm_bits : int;
   retry : bool;
+  scope : Scope.t;
   mutable remaining : Config.batch list;
   mutable awaiting_retry : bool;
 }
 
-let create ~n (v : Config.verification) =
+let create ?(scope = Scope.disabled) ~n (v : Config.verification) =
   {
     cands = Array.init n (fun _ -> { acc_bits = 0; st = Uncertain });
     confirm_bits = v.confirm_bits;
     retry = v.retry_alternates;
+    scope;
     remaining = v.batches;
     awaiting_retry = false;
   }
@@ -74,6 +78,8 @@ let apply_results t results =
       List.iteri
         (fun gi members ->
           let pass = results.(gi) in
+          Scope.incr t.scope "group_tests_total";
+          Scope.incr t.scope (if pass then "group_tests_passed" else "group_tests_failed");
           List.iter
             (fun i ->
               let c = t.cands.(i) in

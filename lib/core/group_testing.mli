@@ -18,8 +18,10 @@ type status = Uncertain | Confirmed | Dead | Await_retry
 
 type t
 
-val create : n:int -> Config.verification -> t
-(** Engine over [n] candidates, all initially uncertain. *)
+val create : ?scope:Fsync_obs.Scope.t -> n:int -> Config.verification -> t
+(** Engine over [n] candidates, all initially uncertain.  An enabled
+    [scope] counts [group_tests_total] / [group_tests_passed] /
+    [group_tests_failed] as results are applied. *)
 
 val current_batch : t -> Config.batch option
 (** [None] once the schedule is exhausted (or nothing is uncertain). *)
@@ -31,7 +33,7 @@ val groups : t -> int list list
 val apply_results : t -> bool array -> unit
 (** One pass/fail bit per group of {!groups}; updates statuses and, if no
     retries are pending, advances to the next batch.
-    @raise Invalid_argument on arity mismatch. *)
+    @raise Error.E ([Malformed]) on arity mismatch. *)
 
 val pending_retries : t -> int list
 (** Candidates waiting for the client's retry decision, canonical order. *)

@@ -1,4 +1,5 @@
 module Prng = Fsync_util.Prng
+module Scope = Fsync_obs.Scope
 
 type strategy = Halving | Verify_each | Optimistic
 
@@ -17,10 +18,10 @@ let strategy_name = function
    truthfully when the extent does reach m, and lies "yes" with
    probability 2^-lie_bits when it does not (a continuation hash
    collision).  A strong query is exact. *)
-let simulate ?(trials = 2000) ?(seed = 11L) strategy ~lie_bits ~verify_bits
-    ~max_extent =
+let simulate ?(trials = 2000) ?(seed = 11L) ?(scope = Scope.disabled) strategy
+    ~lie_bits ~verify_bits ~max_extent =
   if lie_bits <= 0 || verify_bits <= 0 || max_extent <= 0 then
-    invalid_arg "Liar_search.simulate: non-positive parameter";
+    Error.malformed "Liar_search.simulate: non-positive parameter";
   let rng = Prng.create seed in
   let lie_p = 1.0 /. float_of_int (1 lsl min lie_bits 30) in
   let total_bits = ref 0 and total_queries = ref 0 and errors = ref 0 in
@@ -76,6 +77,7 @@ let simulate ?(trials = 2000) ?(seed = 11L) strategy ~lie_bits ~verify_bits
     total_bits := !total_bits + !bits;
     total_queries := !total_queries + !queries
   done;
+  Scope.add scope "liar_search_rounds" !total_queries;
   let fl = float_of_int in
   {
     avg_query_bits = fl !total_bits /. fl trials;

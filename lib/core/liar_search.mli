@@ -33,6 +33,7 @@ type result = {
 val simulate :
   ?trials:int ->
   ?seed:int64 ->
+  ?scope:Fsync_obs.Scope.t ->
   strategy ->
   lie_bits:int ->
   verify_bits:int ->
@@ -42,7 +43,9 @@ val simulate :
     extension length is uniform in [\[0, max_extent\]]; each weak
     comparison costs [lie_bits] and lies one-sidedly with probability
     [2^-lie_bits]; strong verifications cost [verify_bits] and are exact.
-    @raise Invalid_argument on non-positive parameters. *)
+    An enabled [scope] accumulates the total comparison count in the
+    [liar_search_rounds] counter.
+    @raise Error.E (Malformed) on non-positive parameters. *)
 
 val compare_strategies :
   ?trials:int -> lie_bits:int -> verify_bits:int -> max_extent:int -> unit ->

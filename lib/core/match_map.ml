@@ -13,12 +13,12 @@ let overlaps a b =
   a.t_off < b.t_off + b.len && b.t_off < a.t_off + a.len
 
 let add t e =
-  if e.len <= 0 then invalid_arg "Match_map.add: empty entry";
+  if e.len <= 0 then Error.malformed "Match_map.add: empty entry";
   (* Check the neighbors for overlap. *)
   let pred = M.find_last_opt (fun k -> k <= e.t_off) t in
   let succ = M.find_first_opt (fun k -> k > e.t_off) t in
   let check = function
-    | Some (_, n) when overlaps n e -> invalid_arg "Match_map.add: overlap"
+    | Some (_, n) when overlaps n e -> Error.malformed "Match_map.add: overlap"
     | _ -> ()
   in
   check pred;

@@ -13,7 +13,7 @@ type t
 val empty : t
 val add : t -> entry -> t
 (** Insert a confirmed match.  Overlapping target ranges are not expected
-    from the protocol and raise [Invalid_argument]; touching entries that
+    from the protocol and raise {!Error.E} ([Malformed]); touching entries that
     are also contiguous in source space are merged. *)
 
 val entries : t -> entry list

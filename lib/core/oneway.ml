@@ -4,6 +4,7 @@ module Fp = Fsync_hash.Fingerprint
 module Seg = Fsync_util.Segments
 module Delta = Fsync_delta.Delta
 module Deflate = Fsync_compress.Deflate
+module Scope = Fsync_obs.Scope
 
 type config = {
   block_size : int;
@@ -58,13 +59,16 @@ let match_blocks cfg ~old_file ~new_file =
             strong)
         candidates)
 
-let sync ?(config = default_config) ~old_file new_file =
+let sync ?(config = default_config) ?(scope = Scope.disabled) ~old_file new_file =
   let cfg = config in
   let b = cfg.block_size in
   let n_new = String.length new_file in
+  let sp = Scope.enter scope "oneway_sync" in
   let matches = match_blocks cfg ~old_file ~new_file in
   let n_blocks = Array.length matches in
   let matched = Array.fold_left (fun a m -> if Option.is_some m then a + 1 else a) 0 matches in
+  Scope.add scope "oneway_blocks_total" n_blocks;
+  Scope.add scope "oneway_blocks_matched" matched;
   (* Known target segments = matched blocks. *)
   let known =
     Seg.of_list
@@ -138,6 +142,7 @@ let sync ?(config = default_config) ~old_file new_file =
       (Deflate.decompress full, String.length payload + String.length full)
     end
   in
+  Scope.leave scope sp;
   {
     reconstructed;
     report =
@@ -155,7 +160,7 @@ let broadcast_cost ?config ~clients () =
   | [] -> 0
   | (_, first_new) :: rest ->
       if List.exists (fun (_, nf) -> not (String.equal nf first_new)) rest then
-        invalid_arg "Oneway.broadcast_cost: clients disagree on the new file";
+        Error.malformed "Oneway.broadcast_cost: clients disagree on the new file";
       let reports =
         List.map
           (fun (old_file, new_file) -> (sync ?config ~old_file new_file).report)

@@ -43,12 +43,15 @@ val total_bytes : report -> int
 
 type result = { reconstructed : string; report : report }
 
-val sync : ?config:config -> old_file:string -> string -> result
+val sync :
+  ?config:config -> ?scope:Fsync_obs.Scope.t -> old_file:string -> string -> result
 (** [sync ~old_file new_file].  The reconstruction always equals the new
     file: the final fingerprint check falls back to a full compressed
-    payload on (improbable) strong-hash collisions. *)
+    payload on (improbable) strong-hash collisions.  An enabled [scope]
+    records an [oneway_sync] span and the [oneway_blocks_total] /
+    [oneway_blocks_matched] counters. *)
 
 val broadcast_cost : ?config:config -> clients:(string * string) list -> unit -> int
 (** Total server upload to synchronize all [(old, new)] clients of the
     same new file: one signature plus each client's payload.
-    @raise Invalid_argument if the clients disagree on the new file. *)
+    @raise Error.E (Malformed) if the clients disagree on the new file. *)

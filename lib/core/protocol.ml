@@ -5,6 +5,7 @@ module Fp = Fsync_hash.Fingerprint
 module Channel = Fsync_net.Channel
 module Delta = Fsync_delta.Delta
 module Deflate = Fsync_compress.Deflate
+module Scope = Fsync_obs.Scope
 
 type report = {
   header_c2s : int;
@@ -65,7 +66,7 @@ let equal_phase a b =
 
 let mask_bits bits = (1 lsl bits) - 1
 
-let run ?channel ~config ~old_file new_file =
+let run ?channel ?(scope = Scope.disabled) ~config ~old_file new_file =
   (match Config.validate config with
   | Ok () -> ()
   | Error e -> Error.malformed "Protocol.run: %s" e);
@@ -203,7 +204,11 @@ let run ?channel ~config ~old_file new_file =
       in
       let nf = Array.length found_idx in
       let eng_c = Group_testing.create ~n:nf cfg.verification in
-      let eng_s = Group_testing.create ~n:nf cfg.verification in
+      (* Only the server engine carries the scope so each group test is
+         counted once, not once per endpoint. *)
+      let eng_s = Group_testing.create ~scope ~n:nf cfg.verification in
+      Scope.add scope "weak_candidates_found" nf;
+      let retried = Array.make (max nf 1) false in
       Array.iter (fun l -> cnt.c_cands <- cnt.c_cands + if l <> [] then 1 else 0) cand_lists;
       bump_phase (phase_label phase) (fun st ->
           { st with hits = st.hits + Array.length found_idx });
@@ -300,6 +305,8 @@ let run ?channel ~config ~old_file new_file =
                 match !(cur.(ti)) with
                 | _ :: (_ :: _ as rest) ->
                     cur.(ti) := rest;
+                    retried.(gk) <- true;
+                    Scope.incr scope "salvage_retries";
                     true
                 | _ -> false)
               pending
@@ -370,14 +377,20 @@ let run ?channel ~config ~old_file new_file =
       done;
       (* Apply confirmations on both endpoints. *)
       let conf_c = Group_testing.confirmed eng_c in
+      let n_confirmed =
+        Array.fold_left (fun a ok -> if ok then a + 1 else a) 0 conf_c
+      in
       bump_phase (phase_label phase) (fun st ->
-          { st with
-            confirms =
-              st.confirms
-              + Array.fold_left (fun a ok -> if ok then a + 1 else a) 0 conf_c });
+          { st with confirms = st.confirms + n_confirmed });
+      Scope.add scope "weak_candidates_confirmed" n_confirmed;
+      if equal_phase phase Cont then begin
+        Scope.add scope "cont_accepts" n_confirmed;
+        Scope.add scope "cont_rejects" (nf - n_confirmed)
+      end;
       Array.iteri
         (fun gk ok ->
           if ok then begin
+            if retried.(gk) then Scope.incr scope "salvage_recoveries";
             let ti = found_idx.(gk) in
             let bc, bs = tested.(ti) in
             let pos =
@@ -635,9 +648,14 @@ let run ?channel ~config ~old_file new_file =
     let continue_rounds = ref (Block_tree.active_blocks tree_s <> []) in
     while !continue_rounds do
       incr rounds;
-      run_cont_phase ();
-      run_local_phase ();
-      run_global_phase ();
+      let sp_round = Scope.enter scope "round" in
+      let hashes_before = cnt.c_hashes in
+      Scope.timed scope "phase_cont" run_cont_phase;
+      Scope.timed scope "phase_local" run_local_phase;
+      Scope.timed scope "phase_global" run_global_phase;
+      Scope.observe scope "round_hashes"
+        (float_of_int (cnt.c_hashes - hashes_before));
+      Scope.leave scope sp_round;
       let size = Block_tree.current_size tree_s in
       let next = size / 2 in
       let global_possible = next >= cfg.min_global_block in
@@ -656,6 +674,7 @@ let run ?channel ~config ~old_file new_file =
     done;
 
     (* ---- delta phase (§5.1 phase 2) ---- *)
+    let sp_delta = Scope.enter scope "phase_delta" in
     let known_spans = Seg.to_list !segs in
     let unknown_spans = Seg.to_list (Seg.complement !segs ~lo:0 ~hi:n_new) in
     (* server reference: the matched parts of the current file *)
@@ -721,6 +740,7 @@ let run ?channel ~config ~old_file new_file =
       Int.equal (String.length candidate) cli_n_new
       && Fp.equal (Fp.of_string candidate) cli_fp_new
     in
+    Scope.leave scope sp_delta;
     if ok then
       {
         reconstructed = candidate;
@@ -732,6 +752,7 @@ let run ?channel ~config ~old_file new_file =
     else begin
       (* Residual hash-collision failure: fall back to a full compressed
          transfer (§2.2: "or we can simply transfer the entire file"). *)
+      Scope.incr scope "protocol_fallbacks";
       send Client_to_server Header "resend" "!";
       ignore (recv Client_to_server);
       send Server_to_client Fallback_k "full" (Deflate.compress f_new);
@@ -746,8 +767,8 @@ let run ?channel ~config ~old_file new_file =
     end
   end
 
-let run_result ?channel ~config ~old_file new_file =
-  Error.guard (fun () -> run ?channel ~config ~old_file new_file)
+let run_result ?channel ?scope ~config ~old_file new_file =
+  Error.guard (fun () -> run ?channel ?scope ~config ~old_file new_file)
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -45,6 +45,7 @@ type result = { reconstructed : string; report : report }
 
 val run :
   ?channel:Fsync_net.Channel.t ->
+  ?scope:Fsync_obs.Scope.t ->
   config:Config.t ->
   old_file:string ->
   string ->
@@ -52,7 +53,15 @@ val run :
 (** [run ~config ~old_file new_file] synchronizes one file; the returned
     reconstruction always equals [new_file] (via fallback in the
     collision case).
-    @raise Invalid_argument if the configuration fails
+
+    An enabled [scope] records per-round spans ([round], [phase_cont],
+    [phase_local], [phase_global], [phase_delta]), paper-metric counters
+    ([weak_candidates_found] / [weak_candidates_confirmed],
+    [cont_accepts] / [cont_rejects], [salvage_retries] /
+    [salvage_recoveries], [protocol_fallbacks], and the group-testing
+    counters via the server-side engine) and a [round_hashes] histogram.
+    The default disabled scope costs one branch per event.
+    @raise Error.E ([Malformed]) if the configuration fails
     {!Config.validate}.
     @raise Error.E if the channel delivers corrupt or missing messages
     (only possible over a faulty link — see {!Fsync_net.Fault}); use
@@ -60,6 +69,7 @@ val run :
 
 val run_result :
   ?channel:Fsync_net.Channel.t ->
+  ?scope:Fsync_obs.Scope.t ->
   config:Config.t ->
   old_file:string ->
   string ->

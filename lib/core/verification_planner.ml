@@ -62,8 +62,8 @@ let simulate_once rng (v : Config.verification) ~p_genuine ~n =
 
 let expected_cost ?(trials = 400) ?(seed = 7L) ~p_genuine ~n v =
   if p_genuine < 0.0 || p_genuine > 1.0 then
-    invalid_arg "Verification_planner.expected_cost: p_genuine out of [0,1]";
-  if n <= 0 then invalid_arg "Verification_planner.expected_cost: n <= 0";
+    Error.malformed "Verification_planner.expected_cost: p_genuine out of [0,1]";
+  if n <= 0 then Error.malformed "Verification_planner.expected_cost: n <= 0";
   let rng = Prng.create seed in
   let sent = ref 0 and replied = ref 0 and trips = ref 0 in
   let g_total = ref 0 and g_conf = ref 0 and s_total = ref 0 and s_conf = ref 0 in

@@ -35,7 +35,7 @@ val expected_cost :
   Config.verification ->
   outcome
 (** Simulate the schedule on [n] candidates per trial.
-    @raise Invalid_argument if [p_genuine] is outside [0,1] or [n <= 0]. *)
+    @raise Error.E ([Malformed]) if [p_genuine] is outside [0,1] or [n <= 0]. *)
 
 val menu : Config.verification list
 (** The schedules searched by {!recommend}: trivial, the 1-3 round-trip

@@ -1,3 +1,5 @@
+module Scope = Fsync_obs.Scope
+
 type direction = Client_to_server | Server_to_client
 
 let equal_direction a b =
@@ -28,6 +30,8 @@ type t = {
      session layer they never see. *)
   mutable session_send : (t -> label:string -> direction -> string -> unit) option;
   mutable session_recv : (t -> direction -> string option) option;
+  (* Observability: a disabled scope costs one branch per account. *)
+  mutable scope : Scope.t;
 }
 
 let create ?(latency_s = 0.05) ?(bandwidth_bps = 1_000_000.0) () =
@@ -45,12 +49,18 @@ let create ?(latency_s = 0.05) ?(bandwidth_bps = 1_000_000.0) () =
     wire_hook = None;
     session_send = None;
     session_recv = None;
+    scope = Scope.disabled;
   }
 
 let account t dir label len =
   (match dir with
-  | Client_to_server -> t.c2s_bytes <- t.c2s_bytes + len
-  | Server_to_client -> t.s2c_bytes <- t.s2c_bytes + len);
+  | Client_to_server ->
+      t.c2s_bytes <- t.c2s_bytes + len;
+      Scope.add t.scope "channel_bytes_c2s" len
+  | Server_to_client ->
+      t.s2c_bytes <- t.s2c_bytes + len;
+      Scope.add t.scope "channel_bytes_s2c" len);
+  Scope.incr t.scope "channel_messages";
   t.n_messages <- t.n_messages + 1;
   (match t.last_direction with
   | Some d when not (equal_direction d dir) -> t.alternations <- t.alternations + 1
@@ -102,6 +112,8 @@ let recv t dir =
   | None -> invalid_arg "Channel.recv: no pending message"
 
 let set_wire_hook t hook = t.wire_hook <- hook
+
+let set_scope t scope = t.scope <- scope
 
 let set_session t ~send ~recv =
   t.session_send <- Some send;

@@ -86,6 +86,12 @@ val note : t -> ?label:string -> direction -> int -> unit
     control messages that are consumed out-of-band by the session layer,
     e.g. a NAK answered synchronously by a retransmission. *)
 
+val set_scope : t -> Fsync_obs.Scope.t -> unit
+(** Attach an observability scope: every accounted transmission bumps
+    the [channel_messages] / [channel_bytes_c2s] / [channel_bytes_s2c]
+    counters.  The default disabled scope costs one branch per
+    message. *)
+
 val set_wire_hook :
   t -> (direction -> string -> transmission list) option -> unit
 (** Install or remove the wire-level transform.  The hook maps each

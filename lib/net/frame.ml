@@ -1,5 +1,6 @@
 module Varint = Fsync_util.Varint
 module Crc32 = Fsync_util.Crc32
+module Scope = Fsync_obs.Scope
 
 type config = {
   max_retries : int;
@@ -60,6 +61,7 @@ let make_dir_state () =
 type t = {
   channel : Channel.t;
   config : config;
+  scope : Scope.t;
   c2s : dir_state;
   s2c : dir_state;
   mutable s_frames : int;
@@ -158,6 +160,7 @@ let nak_and_retransmit t dir ~force =
     in
     t.s_backoff <- t.s_backoff +. backoff;
     t.s_naks <- t.s_naks + 1;
+    Scope.incr t.scope "frame_naks";
     let nak_len = 1 + Varint.size st.expected in
     t.s_overhead <- t.s_overhead + nak_len;
     Channel.note t.channel ~label:"frame:nak" (opposite dir) nak_len;
@@ -165,6 +168,7 @@ let nak_and_retransmit t dir ~force =
     | Some payload ->
         let wire = encode st.expected payload in
         t.s_retransmits <- t.s_retransmits + 1;
+        Scope.incr t.scope "frame_retransmits";
         t.s_overhead <- t.s_overhead + String.length wire;
         Channel.raw_send t.channel ~label:"frame:retransmit" dir wire;
         st.retransmit_inflight <- true
@@ -202,11 +206,13 @@ let recv_framed t dir =
             match decode wire with
             | Error (`Crc | `Header) ->
                 t.s_bad <- t.s_bad + 1;
+                Scope.incr t.scope "frame_bad";
                 nak_and_retransmit t dir ~force:false;
                 loop ()
             | Ok (seq, payload) ->
                 if seq < st.expected then begin
                   t.s_dups <- t.s_dups + 1;
+                  Scope.incr t.scope "frame_dups";
                   loop ()
                 end
                 else if Int.equal seq st.expected then deliver seq payload
@@ -222,12 +228,13 @@ let recv_framed t dir =
 
 (* ---- lifecycle ---- *)
 
-let attach ?(config = default_config) channel =
+let attach ?(config = default_config) ?(scope = Scope.disabled) channel =
   if config.max_retries < 1 then invalid_arg "Frame.attach: max_retries < 1";
   let t =
     {
       channel;
       config;
+      scope;
       c2s = make_dir_state ();
       s2c = make_dir_state ();
       s_frames = 0;

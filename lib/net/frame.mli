@@ -54,10 +54,12 @@ type stats = {
 
 type t
 
-val attach : ?config:config -> Channel.t -> t
+val attach : ?config:config -> ?scope:Fsync_obs.Scope.t -> Channel.t -> t
 (** Install the session layer.  Composes with {!Fault}: faults apply at
     the wire level underneath the framing, which is exactly what the
-    framing exists to survive. *)
+    framing exists to survive.  When [scope] is enabled, the layer bumps
+    the [frame_naks] / [frame_retransmits] / [frame_bad] / [frame_dups]
+    counters as reliability events occur. *)
 
 val detach : t -> unit
 

@@ -44,14 +44,13 @@ let summary_by_label ch =
       Hashtbl.replace tbl label (count + 1, bytes + size))
     (Channel.transcript ch);
   Hashtbl.fold (fun label (count, bytes) acc -> (label, count, bytes) :: acc) tbl []
-  |> List.sort (fun (_, _, a) (_, _, b) -> Int.compare b a)
+  |> List.sort (fun (la, _, a) (lb, _, b) ->
+         match Int.compare b a with 0 -> String.compare la lb | c -> c)
 
 let bytes_with_prefix ch prefix =
-  let plen = String.length prefix in
   List.fold_left
     (fun (c2s, s2c) (dir, label, size) ->
-      if String.length label >= plen && String.equal (String.sub label 0 plen) prefix
-      then
+      if String.starts_with ~prefix label then
         match dir with
         | Channel.Client_to_server -> (c2s + size, s2c)
         | Channel.Server_to_client -> (c2s, s2c + size)

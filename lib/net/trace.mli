@@ -11,7 +11,8 @@ val print : Channel.t -> unit
 
 val summary_by_label : Channel.t -> (string * int * int) list
 (** Aggregated (label, message count, total bytes), sorted by bytes
-    descending — where did the budget go? *)
+    descending (ties broken by label, ascending) — where did the budget
+    go? *)
 
 val bytes_with_prefix : Channel.t -> string -> int * int
 (** [(c2s, s2c)] bytes of every message whose label starts with the

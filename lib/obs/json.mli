@@ -1,0 +1,39 @@
+(** Minimal JSON writer + strict reader.
+
+    Zero-dependency support for the observability exporters
+    ({!Registry.to_jsonl}) and the machine-readable bench trajectory
+    files ([BENCH_*.json]).  Not a general-purpose JSON library: no
+    streaming, no surrogate pairs, numbers limited to what
+    [int_of_string] / [float_of_string] accept — exactly the dialect the
+    exporters emit, which the reader round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization.  [Float] values that are whole
+    numbers print with a trailing [.0] so they stay floats on re-read;
+    NaN/infinity degrade to [null]. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document; trailing bytes are an
+    error.  Whole-number literals come back as [Int], everything else
+    numeric as [Float]. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both read as floats. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,281 @@
+module Stats = Fsync_util.Stats
+
+(* A span is one timed, named interval with parent nesting — protocol
+   phases, merkle descents, per-file transfers.  [t1 < 0] marks a span
+   still open (exported with a null end time, so a crashed run's partial
+   trace is still parseable). *)
+type span = {
+  id : int;
+  parent : int; (* -1 = root *)
+  name : string;
+  t0 : float;
+  mutable t1 : float;
+}
+
+type t = {
+  clock : unit -> float;
+  origin : float;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, float list ref) Hashtbl.t;
+  mutable spans : span list; (* creation order, reversed *)
+  mutable open_stack : span list; (* innermost first *)
+  mutable next_span : int;
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    clock;
+    origin = clock ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+    spans = [];
+    open_stack = [];
+    next_span = 0;
+  }
+
+(* ---- counters / gauges / histograms ---- *)
+
+let add t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+let observe t name v =
+  match Hashtbl.find_opt t.hists name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.replace t.hists name (ref [ v ])
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let sorted_bindings tbl read =
+  Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters (fun r -> !r)
+let gauges t = sorted_bindings t.gauges (fun r -> !r)
+let histograms t = sorted_bindings t.hists (fun r -> Stats.summarize_opt (List.rev !r))
+
+(* ---- spans ---- *)
+
+let span_enter t name =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  let parent = match t.open_stack with [] -> -1 | s :: _ -> s.id in
+  let s = { id; parent; name; t0 = t.clock (); t1 = -1.0 } in
+  t.spans <- s :: t.spans;
+  t.open_stack <- s :: t.open_stack;
+  id
+
+let span_exit t id =
+  (* Close the identified span; any nested span left open above it (a
+     driver bailing out of a phase through an exception) is closed at
+     the same instant so the trace stays well-nested. *)
+  let now = t.clock () in
+  let rec pop = function
+    | [] -> []
+    | s :: rest ->
+        if s.t1 < 0.0 then s.t1 <- now;
+        if Int.equal s.id id then rest else pop rest
+  in
+  if List.exists (fun s -> Int.equal s.id id) t.open_stack then
+    t.open_stack <- pop t.open_stack
+
+let with_span t name f =
+  let id = span_enter t name in
+  Fun.protect ~finally:(fun () -> span_exit t id) f
+
+let spans t = List.rev t.spans
+
+let span_count t = t.next_span
+
+(* ---- exporters ---- *)
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; span and histogram names
+   in this code base use ':' and '-' freely, so sanitize. *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "fsync_" ^ Bytes.to_string b
+
+let jsonl_events t =
+  let meta =
+    Json.Obj
+      [
+        ("type", Json.String "meta");
+        ("origin_s", Json.Float t.origin);
+        ("spans", Json.Int (span_count t));
+      ]
+  in
+  let span_events =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("type", Json.String "span");
+            ("id", Json.Int s.id);
+            ("parent", if s.parent < 0 then Json.Null else Json.Int s.parent);
+            ("name", Json.String s.name);
+            ("start_s", Json.Float (s.t0 -. t.origin));
+            ( "end_s",
+              if s.t1 < 0.0 then Json.Null else Json.Float (s.t1 -. t.origin) );
+            ( "dur_s",
+              if s.t1 < 0.0 then Json.Null else Json.Float (s.t1 -. s.t0) );
+          ])
+      (spans t)
+  in
+  let counter_events =
+    List.map
+      (fun (name, v) ->
+        Json.Obj
+          [
+            ("type", Json.String "counter");
+            ("name", Json.String name);
+            ("value", Json.Int v);
+          ])
+      (counters t)
+  in
+  let gauge_events =
+    List.map
+      (fun (name, v) ->
+        Json.Obj
+          [
+            ("type", Json.String "gauge");
+            ("name", Json.String name);
+            ("value", Json.Float v);
+          ])
+      (gauges t)
+  in
+  let hist_events =
+    List.filter_map
+      (fun (name, summary) ->
+        match summary with
+        | None -> None
+        | Some (s : Stats.summary) ->
+            Some
+              (Json.Obj
+                 [
+                   ("type", Json.String "histogram");
+                   ("name", Json.String name);
+                   ("count", Json.Int s.count);
+                   ("sum", Json.Float s.total);
+                   ("mean", Json.Float s.mean);
+                   ("min", Json.Float s.min);
+                   ("max", Json.Float s.max);
+                   ("p50", Json.Float s.p50);
+                   ("p90", Json.Float s.p90);
+                   ("p99", Json.Float s.p99);
+                 ]))
+      (histograms t)
+  in
+  (meta :: span_events) @ counter_events @ gauge_events @ hist_events
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string ev);
+      Buffer.add_char buf '\n')
+    (jsonl_events t);
+  Buffer.contents buf
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" p p v))
+    (counters t);
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" p p (Json.to_string (Json.Float v))))
+    (gauges t);
+  List.iter
+    (fun (name, summary) ->
+      match summary with
+      | None -> ()
+      | Some (s : Stats.summary) ->
+          let p = prom_name name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" p);
+          List.iter
+            (fun (q, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" p q
+                   (Json.to_string (Json.Float v))))
+            [ ("0.5", s.p50); ("0.9", s.p90); ("0.99", s.p99) ];
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n%s_count %d\n" p
+               (Json.to_string (Json.Float s.total))
+               p s.count))
+    (histograms t);
+  (* Per-name span aggregates: how long each phase took in total. *)
+  let agg = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.t1 >= 0.0 then begin
+        let count, sum =
+          match Hashtbl.find_opt agg s.name with Some v -> v | None -> (0, 0.0)
+        in
+        Hashtbl.replace agg s.name (count + 1, sum +. (s.t1 -. s.t0))
+      end)
+    t.spans;
+  List.iter
+    (fun (name, (count, sum)) ->
+      let p = prom_name ("span_" ^ name ^ "_seconds") in
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s summary\n%s_sum %s\n%s_count %d\n" p p
+           (Json.to_string (Json.Float sum))
+           p count))
+    (sorted_bindings agg (fun v -> v));
+  Buffer.contents buf
+
+let pp_table ppf t =
+  let rows = ref [] in
+  List.iter (fun (n, v) -> rows := (n, string_of_int v) :: !rows) (counters t);
+  List.iter (fun (n, v) -> rows := (n, Printf.sprintf "%.3f" v) :: !rows) (gauges t);
+  List.iter
+    (fun (n, s) ->
+      match s with
+      | None -> ()
+      | Some (s : Stats.summary) ->
+          rows :=
+            ( n,
+              Printf.sprintf "n=%d mean=%.1f p50=%.1f p99=%.1f" s.count s.mean
+                s.p50 s.p99 )
+            :: !rows)
+    (histograms t);
+  let rows = List.rev !rows in
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 rows
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf "%-*s  %s" width n v)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,95 @@
+(** Metric registry: counters, gauges, histograms, and structured spans.
+
+    The quantitative backbone of the paper is bytes / rounds / hash
+    budgets per protocol phase; this registry gives every layer a place
+    to put those numbers so one run can be dissected after the fact.
+    Protocol code never holds a registry directly — it threads a
+    {!Scope.t}, which is either disabled (free) or backed by one of
+    these.
+
+    {b Canonical metric names} (see DESIGN.md §9 for the full registry):
+    counters [weak_candidates_found], [weak_candidates_confirmed],
+    [group_tests_total], [group_tests_passed], [group_tests_failed],
+    [salvage_retries], [salvage_recoveries], [cont_accepts],
+    [cont_rejects], [liar_search_rounds], [oneway_blocks_total],
+    [oneway_blocks_matched], [merkle_leaves_built],
+    [merkle_nodes_visited],
+    [recon_rounds], [recon_widened], [recon_fallbacks], [frame_naks],
+    [frame_retransmits], [frame_bad], [frame_dups],
+    [protocol_fallbacks], [ladder_fallbacks], [session_resumes],
+    [channel_messages], [channel_bytes_c2s], [channel_bytes_s2c];
+    histograms [file_bytes_sent], [round_hashes]. *)
+
+type t
+
+type span = {
+  id : int;
+  parent : int;  (** -1 for a root span *)
+  name : string;
+  t0 : float;
+  mutable t1 : float;  (** negative while the span is still open *)
+}
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** Fresh registry.  [clock] defaults to [Unix.gettimeofday]; tests
+    inject a deterministic clock. *)
+
+(** {2 Counters, gauges, histograms} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val counter : t -> string -> int
+(** 0 for a counter never touched. *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+
+val observe : t -> string -> float -> unit
+val histogram : t -> string -> float list
+(** Raw observations in insertion order. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * Fsync_util.Stats.summary option) list
+(** Summaries via {!Fsync_util.Stats.summarize_opt}; [None] never occurs
+    for a histogram that received at least one observation. *)
+
+(** {2 Spans} *)
+
+val span_enter : t -> string -> int
+(** Open a span nested under the innermost currently-open span; returns
+    its id. *)
+
+val span_exit : t -> int -> unit
+(** Close the identified span.  Nested spans left open above it are
+    closed at the same instant so the trace stays well-nested; an
+    unknown id is ignored. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [span_enter]/[span_exit] around [f], exception-safe. *)
+
+val spans : t -> span list
+(** All spans in creation order (open ones included). *)
+
+val span_count : t -> int
+
+(** {2 Exporters} *)
+
+val jsonl_events : t -> Json.t list
+(** One event per line of {!to_jsonl}: a [meta] header, then [span],
+    [counter], [gauge] and [histogram] events. *)
+
+val to_jsonl : t -> string
+(** JSONL event stream — what [--trace-json FILE] writes. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: counters, gauges, histogram summaries
+    with p50/p90/p99 quantiles, and per-name span time aggregates.
+    Metric names are prefixed [fsync_] and sanitized to
+    [[a-zA-Z0-9_]]. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Human-readable name/value table (folded into the driver summary
+    under [--metrics]). *)

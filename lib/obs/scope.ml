@@ -1,0 +1,37 @@
+(* The handle protocol code actually threads.  [Disabled] must cost
+   nothing on hot paths: every operation below is a single constructor
+   match with no allocation, so an uninstrumented run pays one branch
+   per call site and nothing else.  Span helpers that take a closure
+   ([timed]) allocate the closure at the call site regardless of state —
+   they are for phase-granularity call sites only; block-granularity
+   code uses [enter]/[leave], which are allocation-free when disabled. *)
+
+type t = Disabled | Enabled of Registry.t
+
+let disabled = Disabled
+let of_registry r = Enabled r
+let is_enabled = function Disabled -> false | Enabled _ -> true
+let registry = function Disabled -> None | Enabled r -> Some r
+
+let incr t name =
+  match t with Disabled -> () | Enabled r -> Registry.incr r name
+
+let add t name n =
+  match t with Disabled -> () | Enabled r -> Registry.add r name n
+
+let set_gauge t name v =
+  match t with Disabled -> () | Enabled r -> Registry.set_gauge r name v
+
+let observe t name v =
+  match t with Disabled -> () | Enabled r -> Registry.observe r name v
+
+let enter t name =
+  match t with Disabled -> -1 | Enabled r -> Registry.span_enter r name
+
+let leave t id =
+  match t with
+  | Disabled -> ()
+  | Enabled r -> if id >= 0 then Registry.span_exit r id
+
+let timed t name f =
+  match t with Disabled -> f () | Enabled r -> Registry.with_span r name f

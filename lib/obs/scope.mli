@@ -1,0 +1,39 @@
+(** The observability handle protocol code threads.
+
+    Every instrumented entry point takes [?scope] defaulting to
+    {!disabled}.  A disabled scope is a contract, not a convention:
+    every counter/gauge/span operation on it is a single constructor
+    match — no allocation, no table lookup — so instrumentation on hot
+    paths (per block, per group test, per frame) is free unless the
+    caller opted in.
+
+    [timed] takes a closure and therefore allocates at the call site
+    even when disabled; reserve it for phase-granularity spans and use
+    {!enter}/{!leave} where allocation matters. *)
+
+type t
+
+val disabled : t
+(** The no-op scope; the default everywhere. *)
+
+val of_registry : Registry.t -> t
+
+val is_enabled : t -> bool
+(** Guard for instrumentation whose argument is itself costly to build
+    (e.g. a [Printf.sprintf] span name). *)
+
+val registry : t -> Registry.t option
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set_gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+
+val enter : t -> string -> int
+(** Open a span; returns an id ([-1] when disabled — {!leave} accepts
+    it). *)
+
+val leave : t -> int -> unit
+
+val timed : t -> string -> (unit -> 'a) -> 'a
+(** [with_span] through the scope; runs [f] bare when disabled. *)

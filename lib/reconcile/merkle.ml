@@ -2,6 +2,7 @@ module Md5 = Fsync_hash.Md5
 module Error = Fsync_core.Error
 module Fp = Fsync_hash.Fingerprint
 module Varint = Fsync_util.Varint
+module Scope = Fsync_obs.Scope
 
 type config = { fanout : int; bucket_size : int }
 
@@ -128,8 +129,9 @@ let validate_config cfg =
   if cfg.fanout < 2 then Error.malformed "Merkle: fanout must be >= 2";
   if cfg.bucket_size < 1 then Error.malformed "Merkle: bucket_size must be >= 1"
 
-let build ?(config = default_config) pairs =
+let build ?(config = default_config) ?(scope = Scope.disabled) pairs =
   validate_config config;
+  let sp = Scope.enter scope "merkle_build" in
   let leaves =
     List.map
       (fun (path, fp) -> { key = key_of_path path; path; fp = Fp.to_raw fp })
@@ -144,10 +146,14 @@ let build ?(config = default_config) pairs =
     | _ -> ()
   in
   check leaves;
-  { cfg = config; root = make config root_range leaves (List.length leaves) }
+  let n = List.length leaves in
+  let t = { cfg = config; root = make config root_range leaves n } in
+  Scope.add scope "merkle_leaves_built" n;
+  Scope.leave scope sp;
+  t
 
-let of_files ?config pairs =
-  build ?config
+let of_files ?config ?scope pairs =
+  build ?config ?scope
     (List.map (fun (p, content) -> (p, Fp.of_string content)) pairs)
 
 let cardinal t = node_count t.root

@@ -33,12 +33,18 @@ val equal_config : config -> config -> bool
 (** Monomorphic equality (R1): replicas must agree on the tree shape
     before digests are comparable. *)
 
-val build : ?config:config -> (string * Fsync_hash.Fingerprint.t) list -> t
-(** Build from (path, fingerprint) pairs.
+val build :
+  ?config:config ->
+  ?scope:Fsync_obs.Scope.t ->
+  (string * Fsync_hash.Fingerprint.t) list ->
+  t
+(** Build from (path, fingerprint) pairs.  An enabled [scope] records a
+    [merkle_build] span and the [merkle_leaves_built] counter.
     @raise Fsync_core.Error.E ([Malformed]) on duplicate paths or an
     invalid config. *)
 
-val of_files : ?config:config -> (string * string) list -> t
+val of_files :
+  ?config:config -> ?scope:Fsync_obs.Scope.t -> (string * string) list -> t
 (** [build] over (path, contents) pairs, fingerprinting each content. *)
 
 val config : t -> config

@@ -2,6 +2,7 @@ module Channel = Fsync_net.Channel
 module Varint = Fsync_util.Varint
 module Fp = Fsync_hash.Fingerprint
 module Error = Fsync_core.Error
+module Scope = Fsync_obs.Scope
 
 type config = { digest_bytes : int }
 
@@ -104,7 +105,8 @@ let diff_leaf_lists hyp ~local ~remote =
         hyp.h_deleted <- p :: hyp.h_deleted)
     local
 
-let run ?channel ?(config = default_config) ~client ~server () =
+let run ?channel ?(config = default_config) ?(scope = Scope.disabled) ~client
+    ~server () =
   if config.digest_bytes < 1 || config.digest_bytes > 16 then
     Error.malformed "Recon.run: digest_bytes %d out of 1..16" config.digest_bytes;
   if not (Merkle.equal_config (Merkle.config client) (Merkle.config server))
@@ -128,7 +130,10 @@ let run ?channel ?(config = default_config) ~client ~server () =
   let send_s2c label payload =
     Channel.send ch ~label Channel.Server_to_client payload
   in
-  let record label c2s s2c = log := { label; c2s; s2c } :: !log in
+  let record label c2s s2c =
+    Scope.incr scope "recon_rounds";
+    log := { label; c2s; s2c } :: !log
+  in
 
   (* One full recursive descent at the given digest width.  Returns
      [`Clean] when the full-width roots already agree, or the diff
@@ -160,6 +165,7 @@ let run ?channel ?(config = default_config) ~client ~server () =
     let _server_count, pos = Varint.read msg ~pos:0 in
     let server_root = safe_sub msg pos 16 "root digest" in
     record "recon:level-0" (String.length hello) (String.length root_msg);
+    Scope.incr scope "merkle_nodes_visited";
     if String.equal server_root (Merkle.root_digest client) then `Clean
     else begin
       let hyp =
@@ -178,6 +184,7 @@ let run ?channel ?(config = default_config) ~client ~server () =
       while Array.exists Fun.id !wants do
         incr level;
         let label = Printf.sprintf "recon:level-%d" !level in
+        let sp_level = Scope.enter scope label in
         let bitmap = pack_bitmap !wants in
         send_c2s label bitmap;
         (* server endpoint: expand every selected range. *)
@@ -220,6 +227,7 @@ let run ?channel ?(config = default_config) ~client ~server () =
             | 'L' ->
                 let remote, p = read_leaves resp !pos in
                 pos := p;
+                Scope.incr scope "merkle_nodes_visited";
                 diff_leaf_lists hyp ~local:(Merkle.leaves_in_range client r)
                   ~remote
             | 'S' ->
@@ -227,6 +235,7 @@ let run ?channel ?(config = default_config) ~client ~server () =
                   (fun (child : Merkle.range) ->
                     let theirs = safe_sub resp !pos width "child digest" in
                     pos := !pos + width;
+                    Scope.incr scope "merkle_nodes_visited";
                     let mine = truncate (Merkle.digest_of_range client child) in
                     next_offered := child :: !next_offered;
                     next_wants := (not (String.equal mine theirs)) :: !next_wants)
@@ -235,7 +244,8 @@ let run ?channel ?(config = default_config) ~client ~server () =
           selected;
         offered := Array.of_list (List.rev !next_offered);
         wants := Array.of_list (List.rev !next_wants);
-        record label (String.length bitmap) (String.length resp)
+        record label (String.length bitmap) (String.length resp);
+        Scope.leave scope sp_level
       done;
       `Diff hyp
     end
@@ -265,6 +275,7 @@ let run ?channel ?(config = default_config) ~client ~server () =
   (* Ultimate safety net: exchange the complete leaf list, making the
      diff exact even under MD5 collisions in interior digests. *)
   let fallback ~widened =
+    Scope.incr scope "recon_fallbacks";
     send_c2s "recon:fallback" "\001";
     ignore (recv Channel.Client_to_server);
     let msg = Buffer.create 1024 in
@@ -303,13 +314,17 @@ let run ?channel ?(config = default_config) ~client ~server () =
         let ok = String.equal (recv Channel.Server_to_client) "\001" in
         record "recon:confirm" 16 1;
         if ok then finish ~widened ~fell_back:false hyp
-        else if width < 16 then attempt 16 ~widened:true
+        else if width < 16 then begin
+          Scope.incr scope "recon_widened";
+          attempt 16 ~widened:true
+        end
         else fallback ~widened
   in
-  attempt config.digest_bytes ~widened:false
+  Scope.timed scope "recon" (fun () ->
+      attempt config.digest_bytes ~widened:false)
 
-let run_result ?channel ?config ~client ~server () =
-  Error.guard (fun () -> run ?channel ?config ~client ~server ())
+let run_result ?channel ?config ?scope ~client ~server () =
+  Error.guard (fun () -> run ?channel ?config ?scope ~client ~server ())
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -56,6 +56,7 @@ val total_bytes : result -> int
 val run :
   ?channel:Fsync_net.Channel.t ->
   ?config:config ->
+  ?scope:Fsync_obs.Scope.t ->
   client:Merkle.t ->
   server:Merkle.t ->
   unit ->
@@ -63,6 +64,10 @@ val run :
 (** Run both endpoints over the channel (created if not supplied); every
     reported byte crosses a real serialize/parse boundary.  All path
     lists in the result are sorted.
+
+    An enabled [scope] records a [recon] span with one child span per
+    descent level, and the [recon_rounds] / [recon_widened] /
+    [recon_fallbacks] / [merkle_nodes_visited] counters.
     @raise Fsync_core.Error.E ([Malformed]) if the two trees disagree on
     fanout or bucket size, or if [digest_bytes] is outside 1..16; also
     if the channel delivers corrupt or missing messages (only possible over a faulty link — see {!Fsync_net.Fault});
@@ -73,6 +78,7 @@ val run :
 val run_result :
   ?channel:Fsync_net.Channel.t ->
   ?config:config ->
+  ?scope:Fsync_obs.Scope.t ->
   client:Merkle.t ->
   server:Merkle.t ->
   unit ->

@@ -12,17 +12,19 @@ type summary = {
 
 let percentile sorted q =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty";
+  (* Bench-only report helper; library code reaches percentiles through
+     [summarize_opt], which never calls this on an empty array. *)
+  if n = 0 then (invalid_arg "Stats.percentile: empty" [@fsynlint.allow "r2"]);
   let q = Float.max 0.0 (Float.min 1.0 q) in
   let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
   sorted.(idx)
 
-let summarize xs =
+let summarize_opt xs =
   match xs with
-  | [] -> invalid_arg "Stats.summarize: empty"
+  | [] -> None
   | _ ->
       let a = Array.of_list xs in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       let n = Array.length a in
       let total = Array.fold_left ( +. ) 0.0 a in
       let mean = total /. float_of_int n in
@@ -30,17 +32,25 @@ let summarize xs =
         Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a
         /. float_of_int n
       in
-      {
-        count = n;
-        total;
-        mean;
-        min = a.(0);
-        max = a.(n - 1);
-        stddev = sqrt var;
-        p50 = percentile a 0.5;
-        p90 = percentile a 0.9;
-        p99 = percentile a 0.99;
-      }
+      Some
+        {
+          count = n;
+          total;
+          mean;
+          min = a.(0);
+          max = a.(n - 1);
+          stddev = sqrt var;
+          p50 = percentile a 0.5;
+          p90 = percentile a 0.9;
+          p99 = percentile a 0.99;
+        }
+
+let summarize xs =
+  match summarize_opt xs with
+  | Some s -> s
+  (* Raising wrapper kept for bench/report code where an empty sample is
+     a bug in the experiment, not a data condition. *)
+  | None -> (invalid_arg "Stats.summarize: empty" [@fsynlint.allow "r2"])
 
 let ratio a b = if b = 0.0 then 0.0 else a /. b
 

@@ -12,8 +12,14 @@ type summary = {
   p99 : float;
 }
 
+val summarize_opt : float list -> summary option
+(** Total version: [None] on an empty sample.  Library code must use
+    this one — an empty histogram is a data condition, not a bug. *)
+
 val summarize : float list -> summary
-(** @raise Invalid_argument on an empty list. *)
+(** Raising wrapper over {!summarize_opt} for bench/report code where an
+    empty sample indicates a broken experiment.
+    @raise Invalid_argument on an empty list. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [\[0,1\]]; nearest-rank on a sorted

@@ -69,7 +69,8 @@ let test_match_map_merge_backward () =
 
 let test_match_map_overlap_rejected () =
   let m = Match_map.add Match_map.empty { t_off = 0; s_off = 0; len = 10 } in
-  Alcotest.check_raises "overlap" (Invalid_argument "Match_map.add: overlap")
+  Alcotest.check_raises "overlap"
+    (Fsync_core.Error.E (Fsync_core.Error.Malformed "Match_map.add: overlap"))
     (fun () -> ignore (Match_map.add m { t_off = 5; s_off = 50; len = 10 }))
 
 let test_match_map_lookups () =

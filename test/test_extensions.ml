@@ -46,12 +46,16 @@ let test_planner_recommend () =
 
 let test_planner_invalid () =
   Alcotest.check_raises "bad p"
-    (Invalid_argument "Verification_planner.expected_cost: p_genuine out of [0,1]")
+    (Fsync_core.Error.E
+       (Fsync_core.Error.Malformed
+          "Verification_planner.expected_cost: p_genuine out of [0,1]"))
     (fun () ->
       ignore
         (VP.expected_cost ~p_genuine:1.5 ~n:4 Fsync_core.Config.trivial_verification));
   Alcotest.check_raises "bad n"
-    (Invalid_argument "Verification_planner.expected_cost: n <= 0") (fun () ->
+    (Fsync_core.Error.E
+       (Fsync_core.Error.Malformed "Verification_planner.expected_cost: n <= 0"))
+    (fun () ->
       ignore
         (VP.expected_cost ~p_genuine:0.5 ~n:0 Fsync_core.Config.trivial_verification))
 
@@ -87,7 +91,9 @@ let test_liar_halving_beats_verify_each_at_4bits () =
 
 let test_liar_invalid () =
   Alcotest.check_raises "bad params"
-    (Invalid_argument "Liar_search.simulate: non-positive parameter") (fun () ->
+    (Fsync_core.Error.E
+       (Fsync_core.Error.Malformed "Liar_search.simulate: non-positive parameter"))
+    (fun () ->
       ignore (LS.simulate LS.Halving ~lie_bits:0 ~verify_bits:16 ~max_extent:10))
 
 (* ---- In_place ---- *)
@@ -396,7 +402,9 @@ let test_oneway_broadcast_amortizes () =
 
 let test_oneway_broadcast_disagreement () =
   Alcotest.check_raises "disagree"
-    (Invalid_argument "Oneway.broadcast_cost: clients disagree on the new file")
+    (Fsync_core.Error.E
+       (Fsync_core.Error.Malformed
+          "Oneway.broadcast_cost: clients disagree on the new file"))
     (fun () ->
       ignore (Oneway.broadcast_cost ~clients:[ ("a", "x"); ("b", "y") ] ()))
 

@@ -7,6 +7,7 @@ let () =
       ("delta", Test_delta.suite);
       ("rsync", Test_rsync.suite);
       ("net", Test_net.suite);
+      ("obs", Test_obs.suite);
       ("resilience", Test_resilience.suite);
       ("core", Test_core.suite);
       ("collection", Test_collection.suite);

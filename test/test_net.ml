@@ -93,6 +93,68 @@ let test_trace_summary () =
         (String.concat ";"
            (List.map (fun (l, c, b) -> Printf.sprintf "%s/%d/%d" l c b) other))
 
+let test_trace_roundtrip_numbering () =
+  (* Render numbers trips exactly like Channel.roundtrips: a c2s message
+     after s2c traffic (or at the very start) opens the next trip. *)
+  let ch = Channel.create () in
+  Channel.send ch ~label:"q1" Channel.Client_to_server "aa";
+  Channel.send ch ~label:"a1" Channel.Server_to_client "bb";
+  Channel.send ch ~label:"q2" Channel.Client_to_server "cc";
+  Channel.send ch ~label:"q2b" Channel.Client_to_server "dd";
+  Channel.send ch ~label:"a2" Channel.Server_to_client "ee";
+  Channel.send ch ~label:"q3" Channel.Client_to_server "ff";
+  let out = Fsync_net.Trace.render ch in
+  let index needle =
+    let nn = String.length needle and nh = String.length out in
+    let rec loop i =
+      if i + nn > nh then Alcotest.failf "missing %S in render" needle
+      else if String.sub out i nn = needle then i
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  let i1 = index "-- round trip 1 --"
+  and i2 = index "-- round trip 2 --"
+  and i3 = index "-- round trip 3 --" in
+  Alcotest.(check bool) "trips in order" true (i1 < i2 && i2 < i3);
+  Alcotest.(check bool) "no fourth trip" true (not (contains out "round trip 4"));
+  (* The trailing q3 has no reply yet: the channel counts completed
+     trips (2) while render numbers each initiated one (3). *)
+  Alcotest.(check bool) "footer agrees" true (contains out "2 round trips");
+  Alcotest.(check int) "channel agrees" 2 (Channel.roundtrips ch)
+
+let test_trace_summary_ties () =
+  (* Equal byte totals must come back in a deterministic order: label
+     ascending. *)
+  let ch = Channel.create () in
+  Channel.send ch ~label:"zeta" Channel.Client_to_server "1234";
+  Channel.send ch ~label:"alpha" Channel.Server_to_client "12";
+  Channel.send ch ~label:"alpha" Channel.Client_to_server "34";
+  Channel.send ch ~label:"mid" Channel.Server_to_client "123456";
+  match Fsync_net.Trace.summary_by_label ch with
+  | [ ("mid", 1, 6); ("alpha", 2, 4); ("zeta", 1, 4) ] -> ()
+  | other ->
+      Alcotest.failf "unexpected summary: %s"
+        (String.concat ";"
+           (List.map (fun (l, c, b) -> Printf.sprintf "%s/%d/%d" l c b) other))
+
+let test_bytes_with_prefix () =
+  let ch = Channel.create () in
+  Channel.send ch ~label:"recon:level-1" Channel.Client_to_server "abc";
+  Channel.send ch ~label:"recon:level-1" Channel.Server_to_client "defgh";
+  Channel.send ch ~label:"recon" Channel.Client_to_server "zz";
+  Channel.send ch ~label:"file" Channel.Server_to_client "0123456";
+  (* The empty prefix matches every label. *)
+  Alcotest.(check (pair int int)) "empty prefix = totals" (5, 12)
+    (Fsync_net.Trace.bytes_with_prefix ch "");
+  (* A prefix exactly as long as the label still matches it. *)
+  Alcotest.(check (pair int int)) "exact-length label" (5, 5)
+    (Fsync_net.Trace.bytes_with_prefix ch "recon");
+  Alcotest.(check (pair int int)) "longer prefix excludes short label" (3, 5)
+    (Fsync_net.Trace.bytes_with_prefix ch "recon:");
+  Alcotest.(check (pair int int)) "no match" (0, 0)
+    (Fsync_net.Trace.bytes_with_prefix ch "recon:level-10")
+
 let suite =
   [
     ("byte counters", `Quick, test_byte_counters);
@@ -103,4 +165,7 @@ let suite =
     ("transcript and reset", `Quick, test_transcript_and_reset);
     ("trace render", `Quick, test_trace_render);
     ("trace summary", `Quick, test_trace_summary);
+    ("trace roundtrip numbering", `Quick, test_trace_roundtrip_numbering);
+    ("trace summary ties", `Quick, test_trace_summary_ties);
+    ("trace bytes_with_prefix", `Quick, test_bytes_with_prefix);
   ]

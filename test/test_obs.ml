@@ -1,0 +1,283 @@
+(* Tests for Fsync_obs: registry semantics, span nesting under an
+   injected clock, exporter round-trips through the strict JSON reader,
+   the disabled-scope contract, and the end-to-end claim that a faulty
+   merkle collection sync actually populates the paper-metric
+   counters. *)
+
+module Json = Fsync_obs.Json
+module Registry = Fsync_obs.Registry
+module Scope = Fsync_obs.Scope
+
+(* ---- registry: counters / gauges / histograms ---- *)
+
+let test_counters () =
+  let reg = Registry.create () in
+  Alcotest.(check int) "untouched counter reads 0" 0 (Registry.counter reg "x");
+  Registry.incr reg "b";
+  Registry.incr reg "b";
+  Registry.add reg "a" 5;
+  Registry.add reg "b" 3;
+  Alcotest.(check int) "a" 5 (Registry.counter reg "a");
+  Alcotest.(check int) "b" 5 (Registry.counter reg "b");
+  Alcotest.(check (list (pair string int))) "sorted by name"
+    [ ("a", 5); ("b", 5) ] (Registry.counters reg)
+
+let test_gauges_histograms () =
+  let reg = Registry.create () in
+  Alcotest.(check (option (float 0.0))) "unset gauge" None
+    (Registry.gauge reg "g");
+  Registry.set_gauge reg "g" 1.5;
+  Registry.set_gauge reg "g" 2.5;
+  Alcotest.(check (option (float 0.0))) "gauge keeps last" (Some 2.5)
+    (Registry.gauge reg "g");
+  List.iter (Registry.observe reg "h") [ 1.0; 3.0; 2.0 ];
+  Alcotest.(check (list (float 0.0))) "raw observations in order"
+    [ 1.0; 3.0; 2.0 ]
+    (Registry.histogram reg "h");
+  match Registry.histograms reg with
+  | [ ("h", Some s) ] ->
+      Alcotest.(check int) "count" 3 s.Fsync_util.Stats.count;
+      Alcotest.(check (float 1e-9)) "mean" 2.0 s.Fsync_util.Stats.mean
+  | _ -> Alcotest.fail "expected one summarized histogram"
+
+(* ---- spans ---- *)
+
+(* A deterministic clock: every read advances time by 1.0 s. *)
+let ticking_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let now = !t in
+    t := now +. 1.0;
+    now
+
+let test_span_nesting () =
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  let outer = Registry.span_enter reg "outer" in
+  let inner = Registry.span_enter reg "inner" in
+  Registry.span_exit reg inner;
+  Registry.span_exit reg outer;
+  Registry.with_span reg "sibling" (fun () -> ());
+  match Registry.spans reg with
+  | [ o; i; s ] ->
+      Alcotest.(check string) "outer name" "outer" o.Registry.name;
+      Alcotest.(check int) "outer is root" (-1) o.Registry.parent;
+      Alcotest.(check int) "inner nests under outer" o.Registry.id
+        i.Registry.parent;
+      Alcotest.(check int) "sibling is root" (-1) s.Registry.parent;
+      (* Injected clock: outer spans [t=0, t=3], inner [1, 2]. *)
+      Alcotest.(check (float 1e-9)) "inner duration" 1.0
+        (i.Registry.t1 -. i.Registry.t0);
+      Alcotest.(check (float 1e-9)) "outer duration" 3.0
+        (o.Registry.t1 -. o.Registry.t0);
+      Alcotest.(check bool) "well nested" true
+        (o.Registry.t0 <= i.Registry.t0 && i.Registry.t1 <= o.Registry.t1)
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l)
+
+let test_span_exit_closes_children () =
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  let outer = Registry.span_enter reg "outer" in
+  let _inner = Registry.span_enter reg "inner" in
+  (* Exiting the outer span force-closes the still-open inner one. *)
+  Registry.span_exit reg outer;
+  List.iter
+    (fun (s : Registry.span) ->
+      Alcotest.(check bool) (s.Registry.name ^ " closed") true
+        (s.Registry.t1 >= s.Registry.t0))
+    (Registry.spans reg);
+  (* An unknown id is ignored, not an error. *)
+  Registry.span_exit reg 999;
+  Alcotest.(check int) "span count" 2 (Registry.span_count reg)
+
+(* ---- exporters ---- *)
+
+let test_jsonl_round_trip () =
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  Registry.add reg "group_tests_total" 7;
+  Registry.set_gauge reg "similarity" 0.25;
+  Registry.observe reg "round_hashes" 12.0;
+  Registry.with_span reg "round" (fun () -> ());
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Registry.to_jsonl reg))
+  in
+  let events =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "unparseable JSONL line %S: %s" line e)
+      lines
+  in
+  let typ j =
+    match Option.bind (Json.member "type" j) Json.to_string_opt with
+    | Some t -> t
+    | None -> Alcotest.fail "event without a type"
+  in
+  (match events with
+  | meta :: _ -> Alcotest.(check string) "meta first" "meta" (typ meta)
+  | [] -> Alcotest.fail "empty JSONL export");
+  let find t name =
+    List.find_opt
+      (fun j ->
+        typ j = t
+        && Option.bind (Json.member "name" j) Json.to_string_opt = Some name)
+      events
+  in
+  (match find "counter" "group_tests_total" with
+  | Some j ->
+      Alcotest.(check (option int)) "counter value" (Some 7)
+        (Option.bind (Json.member "value" j) Json.to_int_opt)
+  | None -> Alcotest.fail "missing counter event");
+  (match find "gauge" "similarity" with
+  | Some j ->
+      Alcotest.(check (option (float 1e-9))) "gauge value" (Some 0.25)
+        (Option.bind (Json.member "value" j) Json.to_float_opt)
+  | None -> Alcotest.fail "missing gauge event");
+  (match find "histogram" "round_hashes" with
+  | Some j ->
+      Alcotest.(check (option int)) "histogram count" (Some 1)
+        (Option.bind (Json.member "count" j) Json.to_int_opt)
+  | None -> Alcotest.fail "missing histogram event");
+  match find "span" "round" with
+  | Some j ->
+      Alcotest.(check bool) "span has duration" true
+        (Option.bind (Json.member "dur_s" j) Json.to_float_opt <> None)
+  | None -> Alcotest.fail "missing span event"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1))
+  in
+  nn = 0 || loop 0
+
+let test_prometheus_export () =
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  Registry.add reg "frame_naks" 3;
+  Registry.set_gauge reg "similarity" 0.5;
+  List.iter (Registry.observe reg "file_bytes_sent") [ 10.0; 20.0; 30.0 ];
+  Registry.with_span reg "phase cont" (fun () -> ());
+  let out = Registry.to_prometheus reg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains out needle))
+    [
+      "fsync_frame_naks 3";
+      "fsync_similarity 0.5";
+      "fsync_file_bytes_sent_count 3";
+      "quantile=\"0.5\"";
+      (* span names are sanitized to [a-zA-Z0-9_] *)
+      "fsync_span_phase_cont_seconds";
+    ];
+  Alcotest.(check bool) "no unsanitized name" true
+    (not (contains out "phase cont"))
+
+(* ---- the disabled-scope contract ---- *)
+
+let test_disabled_scope () =
+  let s = Scope.disabled in
+  Alcotest.(check bool) "disabled" false (Scope.is_enabled s);
+  Alcotest.(check bool) "no registry" true (Scope.registry s = None);
+  (* All operations are no-ops and enter hands back -1. *)
+  Scope.incr s "c";
+  Scope.add s "c" 10;
+  Scope.set_gauge s "g" 1.0;
+  Scope.observe s "h" 1.0;
+  Alcotest.(check int) "enter returns -1" (-1) (Scope.enter s "span");
+  Scope.leave s (-1);
+  Alcotest.(check int) "timed runs f" 41 (Scope.timed s "t" (fun () -> 41))
+
+let test_enabled_scope () =
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  let s = Scope.of_registry reg in
+  Alcotest.(check bool) "enabled" true (Scope.is_enabled s);
+  Scope.incr s "c";
+  Scope.add s "c" 2;
+  let id = Scope.enter s "span" in
+  Alcotest.(check bool) "real id" true (id >= 0);
+  Scope.leave s id;
+  Alcotest.(check int) "counter reaches registry" 3 (Registry.counter reg "c");
+  Alcotest.(check int) "span recorded" 1 (Registry.span_count reg)
+
+(* ---- paper metrics populate on a faulty merkle collection sync ---- *)
+
+let test_faulty_merkle_counters () =
+  let module Driver = Fsync_collection.Driver in
+  let module Snapshot = Fsync_collection.Snapshot in
+  (* Changed files differ in a handful of lines only, so the protocol
+     finds plenty of genuine weak candidates to confirm. *)
+  let mk ?(edited = false) i =
+    ( Printf.sprintf "dir%d/file%02d.txt" (i mod 3) i,
+      String.concat "\n"
+        (List.init 120 (fun l ->
+             if edited && l mod 40 = 7 then
+               Printf.sprintf "EDITED line %d of file %d" l i
+             else Printf.sprintf "line %d of file %d, some shared payload" l i))
+    )
+  in
+  let client = Snapshot.of_files (List.init 12 (fun i -> mk i)) in
+  let server =
+    Snapshot.of_files (List.init 12 (fun i -> mk ~edited:(i mod 4 = 0) i))
+  in
+  let reg = Registry.create () in
+  let scope = Scope.of_registry reg in
+  let resilience =
+    {
+      Driver.default_resilience with
+      faults =
+        {
+          Fsync_net.Fault.none with
+          Fsync_net.Fault.p_corrupt = 0.05;
+          max_disconnects = 0;
+        };
+      seed = 3;
+    }
+  in
+  match
+    Driver.sync_resilient ~metadata:Driver.Merkle ~resilience ~scope
+      (Driver.Fsync Fsync_core.Config.tuned) ~client ~server
+  with
+  | Error e ->
+      Alcotest.failf "resilient sync failed: %s" (Fsync_core.Error.to_string e)
+  | Ok (updated, _summary) ->
+      Alcotest.(check bool) "converged" true
+        (Snapshot.files updated = Snapshot.files server);
+      let positive name =
+        Alcotest.(check bool)
+          (name ^ " > 0")
+          true
+          (Registry.counter reg name > 0)
+      in
+      (* Metadata phase: the merkle descent ran and visited nodes. *)
+      positive "merkle_leaves_built";
+      positive "merkle_nodes_visited";
+      positive "recon_rounds";
+      (* Transfer phase: the multi-round protocol found and verified
+         weak candidates via group testing. *)
+      positive "weak_candidates_found";
+      positive "weak_candidates_confirmed";
+      positive "group_tests_total";
+      positive "group_tests_passed";
+      (* Link accounting flowed through the channel scope. *)
+      positive "channel_messages";
+      positive "channel_bytes_c2s";
+      positive "channel_bytes_s2c";
+      (* The corrupting link forced the frame layer to reject and
+         recover at least one frame. *)
+      positive "frame_bad";
+      positive "frame_naks";
+      positive "frame_retransmits"
+
+let suite =
+  [
+    ("registry counters", `Quick, test_counters);
+    ("registry gauges and histograms", `Quick, test_gauges_histograms);
+    ("span nesting", `Quick, test_span_nesting);
+    ("span exit closes children", `Quick, test_span_exit_closes_children);
+    ("jsonl round trip", `Quick, test_jsonl_round_trip);
+    ("prometheus export", `Quick, test_prometheus_export);
+    ("disabled scope", `Quick, test_disabled_scope);
+    ("enabled scope", `Quick, test_enabled_scope);
+    ("faulty merkle counters", `Quick, test_faulty_merkle_counters);
+  ]

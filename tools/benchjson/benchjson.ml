@@ -1,0 +1,91 @@
+(* benchjson — validator for the machine-readable bench exports.
+
+   CI runs the QUICK bench, which writes BENCH_metadata.json and
+   BENCH_collection.json, then calls this on both.  It parses each file
+   with the same strict reader the exporters use (Fsync_obs.Json) and
+   checks the fsync-bench/1 shape: header fields, a non-empty [records]
+   array, and the required typed fields on every record.  Any failure
+   exits non-zero so a malformed export breaks the build instead of
+   silently producing an unusable artifact. *)
+
+module Json = Fsync_obs.Json
+
+let errors = ref 0
+
+let fail path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "benchjson: %s: %s\n" path msg)
+    fmt
+
+let check_record path i r =
+  let where = Printf.sprintf "records[%d]" i in
+  let str name =
+    match Option.bind (Json.member name r) Json.to_string_opt with
+    | Some _ -> ()
+    | None -> fail path "%s: missing string field %S" where name
+  in
+  let num name =
+    match Option.bind (Json.member name r) Json.to_float_opt with
+    | Some v when v >= 0.0 -> ()
+    | Some _ -> fail path "%s: field %S is negative" where name
+    | None -> fail path "%s: missing numeric field %S" where name
+  in
+  str "scenario";
+  str "config";
+  num "bytes_up";
+  num "bytes_down";
+  num "rounds";
+  num "elapsed_s";
+  num "wall_ns";
+  match Json.member "counters" r with
+  | Some (Json.Obj kvs) ->
+      List.iter
+        (fun (name, v) ->
+          match Json.to_int_opt v with
+          | Some _ -> ()
+          | None -> fail path "%s: counter %S is not an integer" where name)
+        kvs
+  | Some _ -> fail path "%s: \"counters\" is not an object" where
+  | None -> fail path "%s: missing field \"counters\"" where
+
+let validate path =
+  if not (Sys.file_exists path) then fail path "file not found"
+  else begin
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse (String.trim contents) with
+    | Error e -> fail path "JSON parse error: %s" e
+    | Ok doc -> (
+        (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+        | Some "fsync-bench/1" -> ()
+        | Some other -> fail path "unknown schema %S" other
+        | None -> fail path "missing \"schema\" field");
+        (match Option.bind (Json.member "scale" doc) Json.to_string_opt with
+        | Some _ -> ()
+        | None -> fail path "missing \"scale\" field");
+        match Option.bind (Json.member "records" doc) Json.to_list_opt with
+        | Some [] -> fail path "\"records\" is empty"
+        | Some records ->
+            List.iteri (check_record path) records;
+            if !errors = 0 then
+              Printf.printf "benchjson: %s: ok (%d records)\n" path
+                (List.length records)
+        | None -> fail path "missing \"records\" array")
+  end
+
+let () =
+  let paths =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] ->
+        prerr_endline "usage: benchjson FILE.json [FILE.json ...]";
+        exit 2
+    | _ :: rest -> rest
+  in
+  List.iter validate paths;
+  if !errors > 0 then exit 1
