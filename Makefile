@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke examples doc clean soak lint
+.PHONY: all build test check bench bench-smoke serve-smoke examples doc clean soak lint
 
 all: build
 
@@ -17,14 +17,15 @@ lint:
 	dune exec tools/lint/fsynlint.exe --
 
 # What CI runs: full build (including examples and benches), the test
-# suite, the lint ratchet, and the bench-smoke JSON round trip.
-check: build test lint bench-smoke
+# suite, the lint ratchet, the bench-smoke JSON round trip, and the
+# daemon end-to-end smoke (serve + concurrent pulls over TCP).
+check: build test lint bench-smoke serve-smoke
 
 # QUICK=1 runs only the JSON-exporting scenarios on their reduced
 # matrices — a smoke test fast enough for CI.
 bench:
 ifeq ($(QUICK),1)
-	QUICK=1 dune exec bench/main.exe -- metadata collection
+	QUICK=1 dune exec bench/main.exe -- metadata collection server
 else
 	dune exec bench/main.exe
 endif
@@ -34,7 +35,14 @@ endif
 bench-smoke:
 	$(MAKE) bench QUICK=1
 	dune exec tools/benchjson/benchjson.exe -- \
-	  BENCH_metadata.json BENCH_collection.json
+	  BENCH_metadata.json BENCH_collection.json BENCH_server.json
+
+# Daemon end-to-end smoke: start `fsync serve` on an ephemeral TCP port,
+# run four concurrent `fsync pull`s (one through an injected-fault link),
+# verify the replicas byte-for-byte and shut the daemon down cleanly.
+serve-smoke:
+	dune build bin/fsync.exe
+	sh tools/serve_smoke.sh
 
 examples:
 	dune exec examples/quickstart.exe

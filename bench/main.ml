@@ -13,6 +13,10 @@
      collection  web-collection update costs per method, exported as
               BENCH_collection.json (scenario x config records with
               bytes, rounds, times and observability counters)
+     server   concurrent-daemon throughput: client fleets pulling one
+              collection through Fsync_server over the loopback driver,
+              exported as BENCH_server.json with the shared
+              signature-cache hit rate per run
      ablate   ablations: decomposable / skip rules / candidate cap / local
      speed    bechamel micro-benchmarks (hashes, compressors, protocol)
      all      everything above (default)
@@ -43,6 +47,13 @@ let kb = Table.cell_kb
    observability counter the run produced (DESIGN.md §9). *)
 
 module Json = Fsync_obs.Json
+
+(* [Table.print] left the library (console I/O is the binary's job, R3);
+   render here and print ourselves. *)
+let print_table t =
+  print_string (Fsync_util.Table.render t);
+  print_newline ()
+
 
 let quick_mode () =
   match Sys.getenv_opt "QUICK" with
@@ -199,7 +210,7 @@ let fig_basic ~fig (pair : Source_tree.pair) =
     [ "rsync (best block)"; kb bs2c; kb bc2s; "-"; "-"; kb (bc2s + bs2c); "1" ];
   let z = run_delta Delta.Zdelta pairs in
   Table.add_row t [ "zdelta (lower bound)"; "-"; "-"; kb z; "-"; kb z; "1" ];
-  Table.print t
+  print_table t
 
 (* ---- Fig 6.3: continuation hashes ---- *)
 
@@ -237,7 +248,7 @@ let fig63 () =
             (Printf.sprintf "down to %d B" cont_min)
             (Config.with_continuation ~cont_min_block:cont_min base_cfg))
         [ 64; 32; 16; 8 ];
-      Table.print t)
+      print_table t)
     [ Datasets.gcc (); Datasets.emacs () ]
 
 (* ---- Fig 6.4: match verification strategies ---- *)
@@ -269,7 +280,7 @@ let fig64 () =
       ("+ individual salvage, retry", 3, Config.grouped_verification 2);
       ("+ growing groups", 4, Config.grouped_verification 3);
     ];
-  Table.print t
+  print_table t
 
 (* ---- Table 6.1: best results with all techniques ---- *)
 
@@ -318,7 +329,7 @@ let table61 () =
   add "ours (all techniques)" (costs (fun p -> (run_ours Config.tuned p).total));
   add "vcdiff (lower bound)" (costs (run_delta Delta.Vcdiff));
   add "zdelta (lower bound)" (costs (run_delta Delta.Zdelta));
-  Table.print t
+  print_table t
 
 (* ---- Table 6.2: web collection update cost ---- *)
 
@@ -371,7 +382,7 @@ let table62 () =
       in
       Table.add_row t (Driver.method_name m :: cells))
     methods;
-  Table.print t
+  print_table t
 
 (* ---- ablations ---- *)
 
@@ -409,7 +420,7 @@ let ablate () =
   run "+ message compression" { tuned with compress_messages = true };
   run "vcdiff delta profile" { tuned with delta_profile = Delta.Vcdiff };
   run "single-round preset" Config.single_round;
-  Table.print t;
+  print_table t;
   (* Adaptive selection (S7): per-file probing then the chosen config. *)
   let ad_total, probe_total =
     List.fold_left
@@ -456,7 +467,7 @@ let ablate () =
             [ name; string_of_int h; string_of_int hit; string_of_int c;
               Printf.sprintf "%.1f%%" (100.0 *. float_of_int c /. float_of_int (max h 1)) ])
     [ "cont"; "global"; "local" ];
-  Table.print ht
+  print_table ht
 
 (* ---- broadcast: the asymmetric one-way setting (S7) ---- *)
 
@@ -506,7 +517,7 @@ let broadcast () =
           kb (oneway / max n 1);
         ])
     [ 1; 4; 16; 64 ];
-  Table.print t;
+  print_table t;
   print_endline
     "one-way trades bytes for server passivity: no per-client rounds, a\n\
      broadcastable signature, ~4x below a full compressed send; the\n\
@@ -562,7 +573,7 @@ let latency () =
       ("modem: 150 ms, 56 kbit/s", 0.15, 56_000.0);
       ("LAN: 1 ms, 100 Mbit/s", 0.001, 100_000_000.0);
     ];
-  Table.print t
+  print_table t
 
 (* ---- dispersion: clustered vs dispersed changes (S2.3) ---- *)
 
@@ -612,7 +623,7 @@ let dispersion () =
           Printf.sprintf "%.2fx" (float_of_int rsync /. float_of_int ours);
         ])
     [ 0.95; 0.7; 0.4; 0.0 ];
-  Table.print t;
+  print_table t;
   (* The adversarial extreme: exactly one character changed every
      [stride] bytes, so no [stride]-sized block survives intact. *)
   let t2 =
@@ -646,7 +657,7 @@ let dispersion () =
           Printf.sprintf "%.2fx" (float_of_int rsync /. float_of_int ours);
         ])
     [ 4096; 1024; 600; 256 ];
-  Table.print t2
+  print_table t2
 
 (* ---- metadata: linear fingerprint exchange vs Merkle reconciliation ---- *)
 
@@ -770,7 +781,7 @@ let metadata () =
         fractions;
       Table.add_rule t)
     sizes;
-  Table.print t;
+  print_table t;
   let overhead =
     100.0
     *. float_of_int (!framed_meta_bytes - !plain_meta_bytes)
@@ -846,6 +857,100 @@ let collection () =
   in
   write_bench_json "BENCH_collection.json" records
 
+(* ---- server: concurrent daemon throughput over the loopback driver ---- *)
+
+let server () =
+  (* Fleets of outdated clients pulling the same collection from one
+     {!Fsync_server.Daemon} over socketpairs, exported as
+     BENCH_server.json: one record per collection size x fleet size,
+     with the aggregate bytes both ways, the max round-trip count of
+     any client, the wall clock of the whole pump loop, and the shared
+     signature cache's hit rate — the number the daemon exists for
+     (every client after the first should find its level hashes hot). *)
+  let module Daemon = Fsync_server.Daemon in
+  let module Loopback = Fsync_server.Loopback in
+  let module Sigcache = Fsync_server.Sigcache in
+  let module Prng = Fsync_util.Prng in
+  let quick = quick_mode () in
+  let matrix =
+    if quick then [ (12, 4) ]
+    else [ (12, 2); (12, 8); (48, 2); (48, 8) ]
+  in
+  Printf.printf "server scenario [%s]: files x clients = %s\n"
+    (if quick then "quick" else "full")
+    (String.concat ", "
+       (List.map (fun (f, c) -> Printf.sprintf "%dx%d" f c) matrix));
+  let collection ~files seed =
+    let rng = Prng.create (Int64.of_int seed) in
+    List.init files (fun i ->
+        ( Printf.sprintf "src/mod%02d.c" i,
+          Fsync_workload.Text_gen.c_like rng ~lines:(80 + Prng.int rng 120) ))
+  in
+  let outdate ~seed files =
+    (* Each client lags differently: some files intact, some locally
+       edited (lines dropped and appended), one stale extra. *)
+    let rng = Prng.create (Int64.of_int seed) in
+    let lagged =
+      List.filter_map
+        (fun (path, content) ->
+          if Prng.bernoulli rng 0.4 then Some (path, content)
+          else if Prng.bernoulli rng 0.1 then None
+          else
+            let lines = String.split_on_char '\n' content in
+            let kept =
+              List.filteri (fun i _ -> not (Int.equal (i mod 17) (seed mod 17)))
+                lines
+            in
+            Some
+              ( path,
+                String.concat "\n" kept
+                ^ Fsync_workload.Text_gen.boilerplate rng ))
+        files
+    in
+    ("old/stale.txt", Fsync_workload.Text_gen.boilerplate rng) :: lagged
+  in
+  let records =
+    List.map
+      (fun (files, clients) ->
+        let server_files = collection ~files (files * 7) in
+        let replicas =
+          List.init clients (fun i -> outdate ~seed:((i * 131) + 17) server_files)
+        in
+        let (results, cache_rate), reg, wall_ns =
+          observed (fun scope ->
+              let daemon = Daemon.create ~scope server_files in
+              let results = Loopback.run_pulls ~daemon replicas in
+              let rate = Sigcache.hit_rate (Daemon.cache daemon) in
+              Daemon.shutdown daemon;
+              (results, rate))
+        in
+        List.iter
+          (fun (r : Loopback.pull_result) ->
+            assert (r.files = server_files))
+          results;
+        let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+        let bytes_up = sum (fun (r : Loopback.pull_result) -> r.c2s_bytes) in
+        let bytes_down = sum (fun (r : Loopback.pull_result) -> r.s2c_bytes) in
+        let rounds =
+          List.fold_left
+            (fun a (r : Loopback.pull_result) -> max a r.roundtrips)
+            0 results
+        in
+        Printf.printf
+          "  %2d files x %d clients: %6d up / %7d down, %2d rounds, \
+           sig-cache %.0f%%\n"
+          files clients bytes_up bytes_down rounds (100.0 *. cache_rate);
+        bench_record
+          ~scenario:(Printf.sprintf "server/files=%d" files)
+          ~config:
+            (Printf.sprintf "clients=%d,cache=%.3f" clients cache_rate)
+          ~bytes_up ~bytes_down ~rounds
+          ~elapsed_s:(slow_link_time ~rounds (bytes_up + bytes_down))
+          ~wall_ns reg)
+      matrix
+  in
+  write_bench_json "BENCH_server.json" records
+
 (* ---- theory: group-testing planner and searching-with-liars ---- *)
 
 let theory () =
@@ -884,7 +989,7 @@ let theory () =
         VP.menu;
       Table.add_rule t)
     [ 0.5; 0.9; 0.99 ];
-  Table.print t;
+  print_table t;
   List.iter
     (fun p ->
       let v, o = VP.recommend ~p_genuine:p ~n:64 () in
@@ -919,7 +1024,7 @@ let theory () =
         (LS.compare_strategies ~lie_bits ~verify_bits:16 ~max_extent:256 ());
       Table.add_rule lt)
     [ 2; 4; 8 ];
-  Table.print lt
+  print_table lt
 
 (* ---- bechamel micro-benchmarks ---- *)
 
@@ -996,7 +1101,7 @@ let speed () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|ablate|dispersion|latency|broadcast|theory|speed|all]"
+     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|ablate|dispersion|latency|broadcast|theory|speed|all]"
 
 let () =
   let targets =
@@ -1011,6 +1116,7 @@ let () =
     | "table62" -> table62 ()
     | "metadata" -> metadata ()
     | "collection" -> collection ()
+    | "server" -> server ()
     | "ablate" -> ablate ()
     | "dispersion" -> dispersion ()
     | "latency" -> latency ()
@@ -1026,6 +1132,7 @@ let () =
         table62 ();
         metadata ();
         collection ();
+        server ();
         ablate ();
         dispersion ();
         latency ();

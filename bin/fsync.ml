@@ -7,6 +7,8 @@
      patch    apply a delta to REFERENCE
      rsync    run the rsync baseline on a file pair, report costs
      gen      generate a synthetic dataset onto disk
+     serve    run the sync daemon over TCP for concurrent pull clients
+     pull     synchronize a local replica from a running daemon
      info     describe a configuration preset *)
 
 open Cmdliner
@@ -441,6 +443,239 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic dataset onto disk.")
     Term.(const run $ dataset_arg $ out_arg $ scale_arg)
 
+(* ---- serve / pull: the daemon over real sockets ---- *)
+
+let host_port_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 -> Ok (host, p)
+        | Some _ | None ->
+            Error (`Msg (Printf.sprintf "bad port in %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let log_to_stderr () =
+  Fsync_net.Trace.set_log_sink (Some (fun line -> Printf.eprintf "%s\n%!" line))
+
+let serve_cmd =
+  let root_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"ROOT" ~doc:"Directory tree to serve.")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "0.0.0.0"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Numeric address to bind.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 9430
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Stop accepting while this many sessions are live.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "session-timeout" ] ~docv:"SECONDS"
+          ~doc:"Idle sessions are torn down after this long.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Signature-cache capacity (level vectors, shared across \
+                sessions).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event logging.")
+  in
+  let run root host port max_sessions session_timeout_s cache_entries quiet
+      metrics trace_json =
+    if not quiet then log_to_stderr ();
+    let files =
+      Fsync_collection.Snapshot.files (Fsync_collection.Snapshot.load_dir root)
+    in
+    let reg, scope = make_obs ~metrics ~trace_json in
+    let config =
+      {
+        Fsync_server.Daemon.default_config with
+        Fsync_server.Daemon.max_sessions;
+        session_timeout_s;
+        cache_entries;
+      }
+    in
+    let daemon = Fsync_server.Daemon.create ~config ~scope files in
+    match Fsync_server.Daemon.listen daemon ~host ~port with
+    | actual_port ->
+        Printf.eprintf "fsyncd: serving %d files from %s on %s:%d\n%!"
+          (List.length files) root host actual_port;
+        let stop _ = Fsync_server.Daemon.request_stop daemon in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Fsync_server.Daemon.run daemon;
+        let st = Fsync_server.Daemon.stats daemon in
+        let cs = Fsync_server.Sigcache.stats (Fsync_server.Daemon.cache daemon) in
+        Format.printf
+          "sessions: %d accepted, %d completed, %d failed, %d timeouts@."
+          st.Fsync_server.Daemon.accepted st.Fsync_server.Daemon.completed
+          st.Fsync_server.Daemon.failed st.Fsync_server.Daemon.timeouts;
+        Format.printf "sig cache: %d hits, %d misses, %d entries@."
+          cs.Fsync_server.Sigcache.hits cs.Fsync_server.Sigcache.misses
+          cs.Fsync_server.Sigcache.entries;
+        emit_obs ~metrics ~trace_json reg;
+        `Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot listen on %s:%d: %s" host port
+              (Unix.error_message e) )
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ root_arg $ host_arg $ port_arg $ max_sessions_arg
+       $ timeout_arg $ cache_arg $ quiet_arg $ metrics_arg $ trace_json_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a directory tree to concurrent pull clients over TCP \
+          (single-threaded event loop, shared signature cache).")
+    term
+
+let pull_cmd =
+  let faults_conv =
+    let parse s =
+      match Fsync_net.Fault.parse s with
+      | Ok spec -> Ok spec
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, fun ppf s ->
+        Format.pp_print_string ppf (Fsync_net.Fault.to_string s))
+  in
+  let addr_arg =
+    Arg.(
+      required
+      & pos 0 (some host_port_conv) None
+      & info [] ~docv:"HOST:PORT" ~doc:"Daemon address (numeric host).")
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Local replica directory to update.")
+  in
+  let apply_arg =
+    Arg.(
+      value & flag
+      & info [ "apply" ] ~doc:"Write the synchronized replica back to DIR.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:"Inject link faults on the client side of the connection \
+                (same SPEC syntax as $(b,dir) --faults); the pull retries \
+                with a reseeded schedule on failure.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Base fault-schedule seed.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N" ~doc:"Connection attempts before giving up.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Abort an attempt when the server is silent this long.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event logging.")
+  in
+  let run (host, port) dir apply fault seed attempts idle_timeout_s quiet =
+    if not quiet then log_to_stderr ();
+    let old_files =
+      if Sys.file_exists dir && Sys.is_directory dir then
+        Fsync_collection.Snapshot.files
+          (Fsync_collection.Snapshot.load_dir dir)
+      else []
+    in
+    match
+      Fsync_server.Pull.run ~attempts ?fault ~seed ~idle_timeout_s ~host
+        ~port old_files
+    with
+    | r ->
+        let total_new =
+          List.fold_left
+            (fun acc (_, c) -> acc + String.length c)
+            0 r.Fsync_server.Pull.files
+        in
+        Format.printf
+          "pulled %d files (%d bytes) in %d attempt(s); wire: %d up, %d \
+           down@."
+          (List.length r.Fsync_server.Pull.files)
+          total_new r.Fsync_server.Pull.attempts
+          r.Fsync_server.Pull.c2s_bytes r.Fsync_server.Pull.s2c_bytes;
+        if apply then begin
+          Fsync_collection.Snapshot.store_dir dir
+            (Fsync_collection.Snapshot.of_files r.Fsync_server.Pull.files);
+          (* [store_dir] only writes; paths the server no longer has must
+             be removed here for the replica to mirror the collection. *)
+          let keep (path, _) = String.equal path in
+          List.iter
+            (fun (old_path, _) ->
+              if
+                not
+                  (List.exists
+                     (fun f -> keep f old_path)
+                     r.Fsync_server.Pull.files)
+              then
+                match Sys.remove (Filename.concat dir old_path) with
+                | () -> ()
+                | exception Sys_error _ -> ())
+            old_files;
+          Format.printf "replica updated in place@."
+        end;
+        `Ok ()
+    | exception Fsync_core.Error.E e ->
+        `Error
+          (false, Printf.sprintf "pull failed: %s" (Fsync_core.Error.to_string e))
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot reach %s:%d: %s" host port
+              (Unix.error_message e) )
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ addr_arg $ dir_arg $ apply_arg $ faults_arg $ seed_arg
+       $ attempts_arg $ timeout_arg $ quiet_arg))
+  in
+  Cmd.v
+    (Cmd.info "pull"
+       ~doc:"Synchronize a local replica from a running fsync daemon.")
+    term
+
 (* ---- info ---- *)
 
 let info_cmd =
@@ -453,6 +688,16 @@ let info_cmd =
 let main =
   let doc = "bandwidth-efficient file synchronization (Suel-Noel-Trendafilov, ICDE 2004)" in
   Cmd.group (Cmd.info "fsync" ~version:"1.0.0" ~doc)
-    [ sync_cmd; dir_cmd; delta_cmd; patch_cmd; rsync_cmd; gen_cmd; info_cmd ]
+    [
+      sync_cmd;
+      dir_cmd;
+      delta_cmd;
+      patch_cmd;
+      rsync_cmd;
+      gen_cmd;
+      serve_cmd;
+      pull_cmd;
+      info_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

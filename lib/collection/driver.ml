@@ -2,7 +2,6 @@ module Deflate = Fsync_compress.Deflate
 module Delta = Fsync_delta.Delta
 module Rsync = Fsync_rsync.Rsync
 module Fp = Fsync_hash.Fingerprint
-module Varint = Fsync_util.Varint
 module Channel = Fsync_net.Channel
 module Fault = Fsync_net.Fault
 module Frame = Fsync_net.Frame
@@ -135,95 +134,50 @@ type meta_outcome = {
 }
 
 let linear_metadata ch ~client_files ~server_files ~client_map ~server_map =
-  (* Client leg: (varint path length, path, 16-byte fingerprint) per
-     file.  The varint width matters: a 1-byte prefix silently
-     undercounts paths of 128 bytes or more. *)
+  (* Client leg: one (path, fingerprint) entry per file — the encoding
+     lives in {!Meta_wire} so the daemon serves identical bytes. *)
   let announce =
-    let b = Buffer.create (64 * List.length client_files) in
-    List.iter
-      (fun (path, content) ->
-        Varint.write b (String.length path);
-        Buffer.add_string b path;
-        Buffer.add_string b (Fp.to_raw (Fp.of_string content)))
-      client_files;
-    Buffer.contents b
+    Meta_wire.encode_announce
+      (List.map (fun (path, content) -> (path, Fp.of_string content))
+         client_files)
   in
   Channel.send ch ~label:"linear:announce" Channel.Client_to_server announce;
   (* Server leg: parse the announcement, answer one verdict bit per
-     announced path (1 = unchanged) plus the new-path list, again with
-     varint-prefixed paths. *)
+     announced path (1 = unchanged) plus the new-path list. *)
   let msg = recv_or_fail ch Channel.Client_to_server "the linear announcement" in
-  let announced = ref [] in
-  let pos = ref 0 in
-  while !pos < String.length msg do
-    let len, p = Varint.read msg ~pos:!pos in
-    (* Validate the declared length against the remaining bytes before
-       any [String.sub]: a corrupted prefix must produce a typed error,
-       not an [Invalid_argument] or an over-read. *)
-    if len < 0 || p + len + Fp.size_bytes > String.length msg then
-      Error.truncated "Driver: announcement entry needs %d bytes, %d left"
-        (len + Fp.size_bytes)
-        (String.length msg - p);
-    let path = String.sub msg p len in
-    let fp = Fp.of_raw (String.sub msg (p + len) Fp.size_bytes) in
-    pos := p + len + Fp.size_bytes;
-    announced := (path, fp) :: !announced
-  done;
-  let announced = List.rev !announced in
-  let n = List.length announced in
-  let bitmap = Bytes.make ((n + 7) / 8) '\000' in
-  List.iteri
-    (fun i (path, fp) ->
-      let same =
+  let announced = Meta_wire.decode_announce msg in
+  let bits =
+    List.map
+      (fun (path, fp) ->
         match Hashtbl.find_opt server_map path with
         | Some content -> Fp.equal fp (Fp.of_string content)
-        | None -> false
-      in
-      if same then
-        Bytes.set bitmap (i / 8)
-          (Char.chr (Char.code (Bytes.get bitmap (i / 8)) lor (1 lsl (i mod 8)))))
-    announced;
-  let verdict =
-    let b = Buffer.create 64 in
-    Buffer.add_bytes b bitmap;
-    let new_paths =
-      List.filter (fun (p, _) -> not (Hashtbl.mem client_map p)) server_files
-    in
-    (* The new-path section is omitted entirely when empty (the bitmap
-       length is implied by the announcement, so parsing stays unambiguous). *)
-    if new_paths <> [] then begin
-      Varint.write b (List.length new_paths);
-      List.iter
-        (fun (p, _) ->
-          Varint.write b (String.length p);
-          Buffer.add_string b p)
-        new_paths
-    end;
-    Buffer.contents b
+        | None -> false)
+      announced
   in
+  let new_paths =
+    List.filter_map
+      (fun (p, _) -> if Hashtbl.mem client_map p then None else Some p)
+      server_files
+  in
+  let verdict = Meta_wire.encode_verdict ~bits ~new_paths in
   Channel.send ch ~label:"linear:verdict" Channel.Server_to_client verdict;
   (* Client leg: read the verdict back. *)
   let msg = recv_or_fail ch Channel.Server_to_client "the linear verdict" in
-  if String.length msg < Bytes.length bitmap then
-    Error.truncated "Driver: verdict bitmap needs %d bytes, got %d"
-      (Bytes.length bitmap) (String.length msg);
+  let verdict_bits, verdict_new =
+    Meta_wire.decode_verdict ~n_announced:(List.length announced) msg
+  in
   let unchanged_paths = Hashtbl.create 64 in
   List.iteri
     (fun i (path, _) ->
-      if Char.code msg.[i / 8] land (1 lsl (i mod 8)) <> 0 then
-        Hashtbl.replace unchanged_paths path ())
+      if verdict_bits.(i) then Hashtbl.replace unchanged_paths path ())
     announced;
-  let n_new =
-    if Bytes.length bitmap >= String.length msg then 0
-    else fst (Varint.read msg ~pos:(Bytes.length bitmap))
-  in
   let deleted_count =
     List.length
       (List.filter (fun (p, _) -> not (Hashtbl.mem server_map p)) client_files)
   in
   {
     unchanged_paths;
-    new_count = n_new;
+    new_count = List.length verdict_new;
     deleted_count;
     m_c2s = String.length announce;
     m_s2c = String.length verdict;
@@ -390,59 +344,11 @@ let default_resilience =
     file_retries = 2;
   }
 
-(* Order-independent collection digest: both replicas hash their sorted
-   (path, content-fingerprint) list for the final session check. *)
-let collection_root files =
-  let b = Buffer.create 256 in
-  List.iter
-    (fun (p, c) ->
-      Buffer.add_string b p;
-      Buffer.add_char b '\000';
-      Buffer.add_string b (Fp.to_raw (Fp.of_string c)))
-    (List.sort compare files);
-  Fp.of_string (Buffer.contents b)
-
-let encode_file_msg ~path ~fp ~tag ~body =
-  let b = Buffer.create (String.length body + String.length path + 24) in
-  Varint.write b (String.length path);
-  Buffer.add_string b path;
-  Buffer.add_string b (Fp.to_raw fp);
-  Buffer.add_char b tag;
-  Buffer.add_string b body;
-  Buffer.contents b
-
-(* Decode + end-to-end verify.  Every length is checked before any read
-   or allocation; the fingerprint check catches whatever slipped past
-   the CRC (or everything, when framing is off). *)
-let decode_file_msg ~old_content msg =
-  let len, p = Varint.read msg ~pos:0 in
-  if len < 0 || p + len + Fp.size_bytes + 1 > String.length msg then
-    Error.truncated "Driver: file message header overruns %d bytes"
-      (String.length msg);
-  let path = String.sub msg p len in
-  let fp = Fp.of_raw (String.sub msg (p + len) Fp.size_bytes) in
-  let tag = msg.[p + len + Fp.size_bytes] in
-  let body_pos = p + len + Fp.size_bytes + 1 in
-  let body = String.sub msg body_pos (String.length msg - body_pos) in
-  let content =
-    match tag with
-    | 'R' -> body
-    | 'Z' -> (
-        match Deflate.decompress body with
-        | c -> c
-        | exception Invalid_argument m -> Error.malformed "Driver: %s" m)
-    | 'D' -> (
-        match Delta.decode ~reference:old_content body with
-        | c -> c
-        | exception Invalid_argument m -> Error.malformed "Driver: %s" m)
-    | c -> Error.malformed "Driver: bad file tag %C" c
-  in
-  if not (Fp.equal (Fp.of_string content) fp) then
-    Error.fail
-      (Error.Verification_failed
-         (Printf.sprintf "Driver: %S failed its end-to-end fingerprint check"
-            path));
-  (path, content)
+(* The collection digest and the verified per-file message live in
+   {!Meta_wire}, shared with the daemon. *)
+let collection_root = Meta_wire.collection_root
+let encode_file_msg = Meta_wire.encode_file_msg
+let decode_file_msg = Meta_wire.decode_file_msg
 
 (* What the server ships for a changed file, per method.  The 'D' body
    uses the method's own delta profile when it has one and the zdelta

@@ -1,0 +1,153 @@
+module Fp = Fsync_hash.Fingerprint
+module Varint = Fsync_util.Varint
+module Deflate = Fsync_compress.Deflate
+module Delta = Fsync_delta.Delta
+module Error = Fsync_core.Error
+
+(* ---- linear announcement ---- *)
+
+let encode_announce entries =
+  let b = Buffer.create (64 * List.length entries) in
+  List.iter
+    (fun (path, fp) ->
+      Varint.write b (String.length path);
+      Buffer.add_string b path;
+      Buffer.add_string b (Fp.to_raw fp))
+    entries;
+  Buffer.contents b
+
+let decode_announce msg =
+  let announced = ref [] in
+  let pos = ref 0 in
+  while !pos < String.length msg do
+    let len, p = Varint.read msg ~pos:!pos in
+    (* Validate the declared length against the remaining bytes before
+       any [String.sub]: a corrupted prefix must produce a typed error,
+       not an [Invalid_argument] or an over-read. *)
+    if len < 0 || p + len + Fp.size_bytes > String.length msg then
+      Error.truncated "Meta_wire: announcement entry needs %d bytes, %d left"
+        (len + Fp.size_bytes)
+        (String.length msg - p);
+    let path = String.sub msg p len in
+    let fp = Fp.of_raw (String.sub msg (p + len) Fp.size_bytes) in
+    pos := p + len + Fp.size_bytes;
+    announced := (path, fp) :: !announced
+  done;
+  List.rev !announced
+
+(* ---- verdict ---- *)
+
+let encode_verdict ~bits ~new_paths =
+  let n = List.length bits in
+  let bitmap = Bytes.make ((n + 7) / 8) '\000' in
+  List.iteri
+    (fun i same ->
+      if same then
+        Bytes.set bitmap (i / 8)
+          (Char.chr (Char.code (Bytes.get bitmap (i / 8)) lor (1 lsl (i mod 8)))))
+    bits;
+  let b = Buffer.create 64 in
+  Buffer.add_bytes b bitmap;
+  (* The new-path section is omitted entirely when empty (the bitmap
+     length is implied by the announcement, so parsing stays
+     unambiguous). *)
+  (match new_paths with
+  | [] -> ()
+  | _ :: _ ->
+      Varint.write b (List.length new_paths);
+      List.iter
+        (fun p ->
+          Varint.write b (String.length p);
+          Buffer.add_string b p)
+        new_paths);
+  Buffer.contents b
+
+let decode_verdict ~n_announced msg =
+  let bitmap_len = (n_announced + 7) / 8 in
+  if String.length msg < bitmap_len then
+    Error.truncated "Meta_wire: verdict bitmap needs %d bytes, got %d"
+      bitmap_len (String.length msg);
+  let bits =
+    Array.init n_announced (fun i ->
+        Char.code msg.[i / 8] land (1 lsl (i mod 8)) <> 0)
+  in
+  let new_paths =
+    if String.length msg <= bitmap_len then []
+    else begin
+      let count, p0 = Varint.read msg ~pos:bitmap_len in
+      if count < 0 || count > String.length msg then
+        Error.malformed "Meta_wire: verdict claims %d new paths" count;
+      let pos = ref p0 in
+      let acc = ref [] in
+      for _ = 1 to count do
+        let len, p = Varint.read msg ~pos:!pos in
+        if len < 0 || p + len > String.length msg then
+          Error.truncated "Meta_wire: new path needs %d bytes, %d left" len
+            (String.length msg - p);
+        acc := String.sub msg p len :: !acc;
+        pos := p + len
+      done;
+      List.rev !acc
+    end
+  in
+  (bits, new_paths)
+
+(* ---- collection digest ---- *)
+
+(* Order-independent collection digest: both replicas hash their sorted
+   (path, content-fingerprint) list for the final session check. *)
+let collection_root files =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (p, c) ->
+      Buffer.add_string b p;
+      Buffer.add_char b '\000';
+      Buffer.add_string b (Fp.to_raw (Fp.of_string c)))
+    (List.sort
+       (fun (pa, _) (pb, _) -> String.compare pa pb)
+       files);
+  Fp.of_string (Buffer.contents b)
+
+(* ---- self-contained verified file message ---- *)
+
+let encode_file_msg ~path ~fp ~tag ~body =
+  let b = Buffer.create (String.length body + String.length path + 24) in
+  Varint.write b (String.length path);
+  Buffer.add_string b path;
+  Buffer.add_string b (Fp.to_raw fp);
+  Buffer.add_char b tag;
+  Buffer.add_string b body;
+  Buffer.contents b
+
+(* Decode + end-to-end verify.  Every length is checked before any read
+   or allocation; the fingerprint check catches whatever slipped past
+   the CRC (or everything, when framing is off). *)
+let decode_file_msg ~old_content msg =
+  let len, p = Varint.read msg ~pos:0 in
+  if len < 0 || p + len + Fp.size_bytes + 1 > String.length msg then
+    Error.truncated "Meta_wire: file message header overruns %d bytes"
+      (String.length msg);
+  let path = String.sub msg p len in
+  let fp = Fp.of_raw (String.sub msg (p + len) Fp.size_bytes) in
+  let tag = msg.[p + len + Fp.size_bytes] in
+  let body_pos = p + len + Fp.size_bytes + 1 in
+  let body = String.sub msg body_pos (String.length msg - body_pos) in
+  let content =
+    match tag with
+    | 'R' -> body
+    | 'Z' -> (
+        match Deflate.decompress body with
+        | c -> c
+        | exception Invalid_argument m -> Error.malformed "Meta_wire: %s" m)
+    | 'D' -> (
+        match Delta.decode ~reference:old_content body with
+        | c -> c
+        | exception Invalid_argument m -> Error.malformed "Meta_wire: %s" m)
+    | c -> Error.malformed "Meta_wire: bad file tag %C" c
+  in
+  if not (Fp.equal (Fp.of_string content) fp) then
+    Error.fail
+      (Error.Verification_failed
+         (Printf.sprintf
+            "Meta_wire: %S failed its end-to-end fingerprint check" path));
+  (path, content)

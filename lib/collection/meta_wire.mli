@@ -1,0 +1,48 @@
+(** Wire codec for the collection-metadata exchange and the verified
+    per-file message.
+
+    One encoding, two transports: {!Driver} runs these bytes over the
+    in-memory channel, {!Fsync_server} serves the very same bytes over
+    real sockets — the formats live here so the two cannot drift.
+
+    All decoders are hardened: every declared length is validated before
+    any read or allocation, and failures surface as typed
+    {!Fsync_core.Error} values, never crashes. *)
+
+(** {2 Linear announcement (client → server)} *)
+
+val encode_announce : (string * Fsync_hash.Fingerprint.t) list -> string
+(** Per file: varint path length, path, 16-byte fingerprint.  The varint
+    width matters: a 1-byte prefix silently undercounts paths of 128
+    bytes or more. *)
+
+val decode_announce : string -> (string * Fsync_hash.Fingerprint.t) list
+
+(** {2 Verdict (server → client)} *)
+
+val encode_verdict : bits:bool list -> new_paths:string list -> string
+(** One bit per announced path in announcement order (1 = unchanged),
+    then — only when non-empty — a varint count of server-only paths
+    followed by each as a varint-prefixed string. *)
+
+val decode_verdict : n_announced:int -> string -> bool array * string list
+
+(** {2 Collection digest} *)
+
+val collection_root : (string * string) list -> Fsync_hash.Fingerprint.t
+(** Order-independent digest of a [(path, content)] list: fingerprint of
+    the path-sorted [(path, content-fingerprint)] sequence.  Both
+    replicas compare roots for the final session check. *)
+
+(** {2 Verified file message} *)
+
+val encode_file_msg :
+  path:string -> fp:Fsync_hash.Fingerprint.t -> tag:char -> body:string ->
+  string
+(** [varint |path| ‖ path ‖ fp ‖ tag ‖ body] with tag ['R'] (raw),
+    ['Z'] (deflate) or ['D'] (delta against the receiver's old copy). *)
+
+val decode_file_msg : old_content:string -> string -> string * string
+(** Decode and end-to-end verify; returns [(path, content)].  Raises a
+    typed [Verification_failed] when the reconstructed content does not
+    match the carried fingerprint. *)

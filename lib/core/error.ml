@@ -38,6 +38,9 @@ let of_exn = function
   | Not_found -> Some (Malformed "lookup failed on malformed input")
   | Fsync_net.Frame.Failed err ->
       Some (Retry_exhausted (Fsync_net.Frame.error_message err))
+  | Fsync_net.Fd_transport.Closed -> Some (Disconnected "peer closed")
+  | Fsync_net.Fd_transport.Oversized n ->
+      Some (Limit_exceeded (Printf.sprintf "frame of %d bytes" n))
   | _ -> None
 
 let guard f =

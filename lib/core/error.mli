@@ -34,7 +34,9 @@ val of_exn : exn -> t option
 (** Typed view of an exception: {!E} unwrapped; [Invalid_argument],
     [Failure] and [Not_found] (raised by hardened lower layers on bad
     input) as [Malformed]; {!Fsync_net.Frame.Failed} as
-    [Retry_exhausted]; anything else [None]. *)
+    [Retry_exhausted]; {!Fsync_net.Fd_transport.Closed} as
+    [Disconnected] and {!Fsync_net.Fd_transport.Oversized} as
+    [Limit_exceeded]; anything else [None]. *)
 
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run a decoder or protocol endpoint, converting every recognized

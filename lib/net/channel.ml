@@ -74,12 +74,13 @@ let queue_of t = function
 
 let note t ?(label = "") dir len = account t dir label len
 
+let apply_wire_hook t dir payload =
+  match t.wire_hook with
+  | None -> [ Delivered payload ]
+  | Some hook -> hook dir payload
+
 let raw_send t ?(label = "") dir payload =
-  let transmissions =
-    match t.wire_hook with
-    | None -> [ Delivered payload ]
-    | Some hook -> hook dir payload
-  in
+  let transmissions = apply_wire_hook t dir payload in
   List.iter
     (fun tx ->
       match tx with
@@ -105,11 +106,6 @@ let recv_opt t dir =
   match t.session_recv with
   | Some f -> f t dir
   | None -> raw_recv_opt t dir
-
-let recv t dir =
-  match recv_opt t dir with
-  | Some p -> p
-  | None -> invalid_arg "Channel.recv: no pending message"
 
 let set_wire_hook t hook = t.wire_hook <- hook
 

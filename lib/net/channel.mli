@@ -45,10 +45,6 @@ val recv_opt : t -> direction -> string option
     not a programming error).  Dispatches through the session layer when
     one is installed. *)
 
-val recv : t -> direction -> string
-(** [recv_opt] for contexts where an empty queue is a caller bug.
-    @raise Invalid_argument if none is pending. *)
-
 val bytes : t -> direction -> int
 (** Total payload bytes sent in the given direction. *)
 
@@ -79,6 +75,14 @@ val raw_send : t -> ?label:string -> direction -> string -> unit
 
 val raw_recv_opt : t -> direction -> string option
 (** Bypass the session layer: pop straight from the queue. *)
+
+val apply_wire_hook : t -> direction -> string -> transmission list
+(** Map a logical payload through the installed wire hook (the identity
+    [[Delivered payload]] when none is installed) {e without} touching
+    the queues or the accounting.  This is how an external transport
+    ({!Fd_transport}) runs the same fault schedules as the in-memory
+    queues: it asks the channel what physically crosses the link, then
+    writes that to its file descriptor and accounts it with {!note}. *)
 
 val note : t -> ?label:string -> direction -> int -> unit
 (** Account [len] bytes of control traffic (message count, round-trip

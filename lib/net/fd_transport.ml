@@ -1,0 +1,193 @@
+exception Closed
+
+exception Oversized of int
+
+(* 4-byte big-endian length prefix; one frame per logical message. *)
+let header_bytes = 4
+
+let max_frame = 1 lsl 28 (* 256 MB: nothing in the protocol comes close *)
+
+type endpoint = {
+  write_fd : Unix.file_descr;
+  read_fd : Unix.file_descr;
+  mutable pending : string; (* bytes read but not yet framed out *)
+}
+
+type t = {
+  ch : Channel.t;
+  c2s : endpoint;
+  s2c : endpoint;
+  single : bool; (* both endpoints are the same record (one fd) *)
+  owned : Unix.file_descr list;
+  mutable closed : bool;
+}
+
+let endpoint t = function
+  | Channel.Client_to_server -> t.c2s
+  | Channel.Server_to_client -> t.s2c
+
+(* ---- byte-level plumbing ---- *)
+
+let be32_put len =
+  let b = Bytes.create header_bytes in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  b
+
+let be32_get s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* Read whatever is available right now without blocking; true iff the
+   peer has closed its end. *)
+let drain_into ep =
+  let chunk_len = 65536 in
+  let chunk = Bytes.create chunk_len in
+  let rec loop () =
+    match Unix.read ep.read_fd chunk 0 chunk_len with
+    | 0 -> true
+    | n ->
+        ep.pending <- ep.pending ^ Bytes.sub_string chunk 0 n;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+  in
+  loop ()
+
+let frame_len_opt ep =
+  let n = String.length ep.pending in
+  if n < header_bytes then None
+  else
+    let len = be32_get ep.pending 0 in
+    if len > max_frame then raise (Oversized len) else Some len
+
+let read_frame ep =
+  match frame_len_opt ep with
+  | None -> None
+  | Some len ->
+      let n = String.length ep.pending in
+      if n < header_bytes + len then None
+      else begin
+        let payload = String.sub ep.pending header_bytes len in
+        ep.pending <-
+          String.sub ep.pending (header_bytes + len)
+            (n - header_bytes - len);
+        Some payload
+      end
+
+let has_frame ep =
+  match frame_len_opt ep with
+  | None -> false
+  | Some len -> String.length ep.pending >= header_bytes + len
+
+let write_frame t ep payload =
+  let len = String.length payload in
+  if len > max_frame then raise (Oversized len);
+  let data = Bytes.cat (be32_put len) (Bytes.of_string payload) in
+  let total = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < total do
+    match Unix.write ep.write_fd data !pos (total - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* The kernel buffer is full.  In single-process (socketpair)
+           use the reader lives in this very process, so drain both
+           inbound buffers while we wait — otherwise a large in-flight
+           payload deadlocks against our own unread data. *)
+        ignore (drain_into t.c2s);
+        if not t.single then ignore (drain_into t.s2c);
+        (match Unix.select [] [ ep.write_fd ] [] 0.05 with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN), _, _) ->
+        raise Closed
+  done
+
+(* ---- the session layer installed on the channel ---- *)
+
+let session_send t ~label dir payload =
+  if t.closed then raise Closed;
+  List.iter
+    (fun tx ->
+      match tx with
+      | Channel.Delivered p ->
+          write_frame t (endpoint t dir) p;
+          Channel.note t.ch ~label dir (String.length p + header_bytes)
+      | Channel.Lost n ->
+          (* Dropped on the simulated wire: the bytes never reach the fd
+             but the sender still paid for them. *)
+          Channel.note t.ch ~label dir (n + header_bytes))
+    (Channel.apply_wire_hook t.ch dir payload)
+
+let session_recv t dir =
+  if t.closed then raise Closed;
+  let ep = endpoint t dir in
+  (* On a single-fd transport this process is one peer and the frames it
+     receives were sent by the other, so they must be accounted here for
+     the channel's byte/round-trip bookkeeping to cover both directions.
+     On a socketpair both peers share this very channel and the send
+     side already accounted every frame. *)
+  let noted f =
+    (match f with
+    | Some p when t.single ->
+        Channel.note t.ch dir (String.length p + header_bytes)
+    | Some _ | None -> ());
+    f
+  in
+  match read_frame ep with
+  | Some _ as f -> noted f
+  | None ->
+      let eof = drain_into ep in
+      let f = read_frame ep in
+      (match f with
+      | Some _ -> noted f
+      | None -> if eof then raise Closed else None)
+
+let make ~latency_s ~bandwidth_bps ~c2s ~s2c ~single ~owned =
+  let ch = Channel.create ?latency_s ?bandwidth_bps () in
+  let t = { ch; c2s; s2c; single; owned; closed = false } in
+  List.iter (fun fd -> Unix.set_nonblock fd) owned;
+  Channel.set_session ch
+    ~send:(fun _ ~label dir payload -> session_send t ~label dir payload)
+    ~recv:(fun _ dir -> session_recv t dir);
+  t
+
+let of_socketpair ?latency_s ?bandwidth_bps () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* [a] is the client's end, [b] the server's: client-to-server frames
+     enter at [a] and leave at [b], and symmetrically. *)
+  let c2s = { write_fd = a; read_fd = b; pending = "" } in
+  let s2c = { write_fd = b; read_fd = a; pending = "" } in
+  make ~latency_s ~bandwidth_bps ~c2s ~s2c ~single:false ~owned:[ a; b ]
+
+let of_fd ?latency_s ?bandwidth_bps fd =
+  let ep = { write_fd = fd; read_fd = fd; pending = "" } in
+  make ~latency_s ~bandwidth_bps ~c2s:ep ~s2c:ep ~single:true ~owned:[ fd ]
+
+let channel t = t.ch
+
+let wait_readable t dir ~timeout_s =
+  let ep = endpoint t dir in
+  if has_frame ep then true
+  else
+    match Unix.select [ ep.read_fd ] [] [] timeout_s with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun fd -> match Unix.close fd with () -> () | exception Unix.Unix_error _ -> ())
+      t.owned
+  end

@@ -229,7 +229,9 @@ let recv_framed t dir =
 (* ---- lifecycle ---- *)
 
 let attach ?(config = default_config) ?(scope = Scope.disabled) channel =
-  if config.max_retries < 1 then invalid_arg "Frame.attach: max_retries < 1";
+  (* A retry budget below one frame is meaningless; clamp rather than
+     crash so [attach] is total. *)
+  let config = { config with max_retries = max 1 config.max_retries } in
   let t =
     {
       channel;

@@ -47,6 +47,21 @@ let summary_by_label ch =
   |> List.sort (fun (la, _, a) (lb, _, b) ->
          match Int.compare b a with 0 -> String.compare la lb | c -> c)
 
+(* ---- log sink ----
+
+   Library code (in particular the {!Fsync_server} daemon) never touches
+   the console (R3); it reports through this sink, and the binary decides
+   where lines go (stderr, a file, nowhere). *)
+
+let log_sink : (string -> unit) option ref = ref None
+
+let set_log_sink sink = log_sink := sink
+
+let log fmt =
+  Printf.ksprintf
+    (fun line -> match !log_sink with None -> () | Some sink -> sink line)
+    fmt
+
 let bytes_with_prefix ch prefix =
   List.fold_left
     (fun (c2s, s2c) (dir, label, size) ->

@@ -14,6 +14,17 @@ val summary_by_label : Channel.t -> (string * int * int) list
     descending (ties broken by label, ascending) — where did the budget
     go? *)
 
+val set_log_sink : (string -> unit) option -> unit
+(** Install (or remove) the process-wide log sink used by {!log}.
+    Library code must not write to the console (lint rule R3); the
+    daemon and other long-running components format their diagnostics
+    through {!log} and the binary decides where each line goes —
+    stderr, a file, or (the default) nowhere. *)
+
+val log : ('a, unit, string, unit) format4 -> 'a
+(** Format a diagnostic line and hand it to the installed sink; free
+    when no sink is installed. *)
+
 val bytes_with_prefix : Channel.t -> string -> int * int
 (** [(c2s, s2c)] bytes of every message whose label starts with the
     prefix — e.g. ["recon:"] isolates the metadata-reconciliation phase

@@ -50,15 +50,19 @@ let cost_only ?config ~old_file new_file =
 let candidate_block_sizes = [ 128; 256; 512; 700; 1024; 2048; 4096; 8192 ]
 
 let best_block_size ?(candidates = candidate_block_sizes) ~old_file new_file =
-  match candidates with
-  | [] -> invalid_arg "Rsync.best_block_size: no candidates"
-  | first :: rest ->
-      let eval bs =
-        cost_only ~config:{ default_config with block_size = bs } ~old_file
-          new_file
-      in
-      List.fold_left
-        (fun (best_bs, best_cost) bs ->
-          let c = eval bs in
-          if total c < total best_cost then (bs, c) else (best_bs, best_cost))
-        (first, eval first) rest
+  let eval bs =
+    cost_only ~config:{ default_config with block_size = bs } ~old_file
+      new_file
+  in
+  (* An empty candidate list would leave nothing to pick from; fall back
+     to the default configuration's block size so the search is total. *)
+  let first, rest =
+    match candidates with
+    | [] -> (default_config.block_size, [])
+    | first :: rest -> (first, rest)
+  in
+  List.fold_left
+    (fun (best_bs, best_cost) bs ->
+      let c = eval bs in
+      if total c < total best_cost then (bs, c) else (best_bs, best_cost))
+    (first, eval first) rest

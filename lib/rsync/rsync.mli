@@ -38,4 +38,5 @@ val candidate_block_sizes : int list
 val best_block_size :
   ?candidates:int list -> old_file:string -> string -> int * cost
 (** The idealized rsync of the paper's figures: the per-file block size
-    minimizing total transfer. *)
+    minimizing total transfer.  An empty [candidates] list degenerates
+    to the default configuration's block size. *)

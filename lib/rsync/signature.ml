@@ -13,7 +13,9 @@ type t = {
 let header_bytes = 12 (* block size, strong width, block count *)
 
 let create ?(strong_bytes = 2) ~block_size data =
-  if block_size <= 0 then invalid_arg "Signature.create: block_size <= 0";
+  (* A non-positive block size cannot tile anything; clamp to one byte
+     per block so construction is total. *)
+  let block_size = max 1 block_size in
   let n = String.length data in
   let nblocks = (n + block_size - 1) / block_size in
   let blocks =

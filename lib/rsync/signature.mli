@@ -21,7 +21,7 @@ type t = {
 }
 
 val create : ?strong_bytes:int -> block_size:int -> string -> t
-(** @raise Invalid_argument if [block_size <= 0]. *)
+(** Block sizes below 1 are clamped to 1. *)
 
 val wire_bytes : t -> int
 (** Bytes the client sends: 4 (rolling) + [strong_bytes] per block, plus a

@@ -1,0 +1,152 @@
+module Error = Fsync_core.Error
+
+let header_bytes = Fsync_net.Fd_transport.header_bytes
+
+let max_frame = Fsync_net.Fd_transport.max_frame
+
+type t = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;         (* raw bytes read, not yet framed out *)
+  outbox : Bytes.t Queue.t;       (* framed messages awaiting the socket *)
+  mutable out_head_pos : int;     (* bytes of the queue head already sent *)
+  mutable out_bytes : int;        (* total unsent bytes in the outbox *)
+  max_outbox : int;
+  mutable closed : bool;
+  mutable bytes_in : int;         (* payload bytes received *)
+  mutable bytes_out : int;        (* payload bytes queued for sending *)
+}
+
+let create ?(max_outbox = 4 * 1024 * 1024) fd =
+  Unix.set_nonblock fd;
+  {
+    fd;
+    inbuf = "";
+    outbox = Queue.create ();
+    out_head_pos = 0;
+    out_bytes = 0;
+    max_outbox;
+    closed = false;
+    bytes_in = 0;
+    bytes_out = 0;
+  }
+
+let fd t = t.fd
+
+let closed t = t.closed
+
+let bytes_in t = t.bytes_in
+
+let bytes_out t = t.bytes_out
+
+let pending_out t = t.out_bytes
+
+let wants_write t = (not t.closed) && t.out_bytes > 0
+
+(* Backpressure: while more than [max_outbox] bytes sit unsent, the
+   event loop stops reading from this connection (and from producing
+   more replies for it) until the socket drains. *)
+let over_backpressure t = t.out_bytes > t.max_outbox
+
+let be32_put len =
+  let b = Bytes.create header_bytes in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  b
+
+let be32_get s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let queue_msg t payload =
+  let len = String.length payload in
+  if len > max_frame then Error.limit "Conn: frame of %d bytes" len;
+  if not t.closed then begin
+    let framed = Bytes.cat (be32_put len) (Bytes.of_string payload) in
+    Queue.add framed t.outbox;
+    t.out_bytes <- t.out_bytes + Bytes.length framed;
+    t.bytes_out <- t.bytes_out + len
+  end
+
+(* Pop every complete frame out of [inbuf]. *)
+let read_frames t =
+  let frames = ref [] in
+  let continue = ref true in
+  while !continue do
+    let n = String.length t.inbuf in
+    if n < header_bytes then continue := false
+    else begin
+      let len = be32_get t.inbuf 0 in
+      if len > max_frame then Error.limit "Conn: incoming frame of %d bytes" len;
+      if n < header_bytes + len then continue := false
+      else begin
+        frames := String.sub t.inbuf header_bytes len :: !frames;
+        t.inbuf <-
+          String.sub t.inbuf (header_bytes + len) (n - header_bytes - len);
+        t.bytes_in <- t.bytes_in + len
+      end
+    end
+  done;
+  List.rev !frames
+
+let handle_readable t =
+  if t.closed then `Eof
+  else begin
+    let chunk_len = 65536 in
+    let chunk = Bytes.create chunk_len in
+    let eof = ref false in
+    let continue = ref true in
+    while !continue do
+      match Unix.read t.fd chunk 0 chunk_len with
+      | 0 ->
+          eof := true;
+          continue := false
+      | n -> t.inbuf <- t.inbuf ^ Bytes.sub_string chunk 0 n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          eof := true;
+          continue := false
+    done;
+    let frames = read_frames t in
+    match frames with
+    | [] when !eof -> `Eof
+    | frames -> `Msgs (frames, !eof)
+  end
+
+let handle_writable t =
+  if not t.closed then begin
+    let continue = ref true in
+    while !continue && not (Queue.is_empty t.outbox) do
+      let head = Queue.peek t.outbox in
+      let remaining = Bytes.length head - t.out_head_pos in
+      match Unix.write t.fd head t.out_head_pos remaining with
+      | n ->
+          t.out_bytes <- t.out_bytes - n;
+          if Int.equal n remaining then begin
+            ignore (Queue.pop t.outbox);
+            t.out_head_pos <- 0
+          end
+          else t.out_head_pos <- t.out_head_pos + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN), _, _) ->
+          t.closed <- true;
+          continue := false
+    done
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match Unix.close t.fd with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,296 @@
+module Error = Fsync_core.Error
+module Scope = Fsync_obs.Scope
+module Trace = Fsync_net.Trace
+
+type config = {
+  sync : Msg.sync_config;
+  max_sessions : int;
+  session_timeout_s : float;
+  max_outbox : int;
+  cache_entries : int;
+}
+
+let default_config =
+  {
+    sync = Msg.default_sync_config;
+    max_sessions = 64;
+    session_timeout_s = 30.0;
+    max_outbox = 4 * 1024 * 1024;
+    cache_entries = 1024;
+  }
+
+type client = {
+  conn : Conn.t;
+  session : Session.t;
+  mutable last_activity : float;
+  mutable failing : bool; (* teardown queued; close once the outbox drains *)
+  t0 : float;
+}
+
+type t = {
+  config : config;
+  files : (string * string) list;
+  scope : Scope.t;
+  cache : Sigcache.t;
+  mutable listener : Unix.file_descr option;
+  mutable clients : client list;
+  mutable stop : bool;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable timeouts : int;
+  mutable iterations : int;
+}
+
+let create ?(config = default_config) ?(scope = Scope.disabled) files =
+  let config = { config with sync = Msg.validate_sync_config config.sync } in
+  {
+    config;
+    files;
+    scope;
+    cache = Sigcache.create ~max_entries:config.cache_entries ~scope ();
+    listener = None;
+    clients = [];
+    stop = false;
+    accepted = 0;
+    completed = 0;
+    failed = 0;
+    timeouts = 0;
+    iterations = 0;
+  }
+
+let cache t = t.cache
+
+let active_sessions t = List.length t.clients
+
+let set_gauge t =
+  Scope.set_gauge t.scope "sessions_active"
+    (float_of_int (List.length t.clients))
+
+let listen t ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 16;
+  Unix.set_nonblock fd;
+  t.listener <- Some fd;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> port
+
+let add_connection t fd =
+  let conn = Conn.create ~max_outbox:t.config.max_outbox fd in
+  let session =
+    Session.create ~config:t.config.sync ~scope:t.scope ~cache:t.cache
+      t.files
+  in
+  let now = Unix.gettimeofday () in
+  t.clients <-
+    { conn; session; last_activity = now; failing = false; t0 = now }
+    :: t.clients;
+  t.accepted <- t.accepted + 1;
+  Scope.incr t.scope "sessions_accepted";
+  set_gauge t
+
+(* Queue the typed teardown notification and let the outbox drain it;
+   the connection closes on the next sweep. *)
+let teardown t c err =
+  if not c.failing then begin
+    c.failing <- true;
+    Trace.log "daemon: session teardown: %s" (Error.to_string err);
+    match
+      Conn.queue_msg c.conn
+        (Msg.encode ~config:t.config.sync
+           (Msg.Error_msg (Error.to_string err)))
+    with
+    | () -> ()
+    | exception Error.E _ -> ()
+  end
+
+let feed_session t c frames =
+  List.iter
+    (fun frame ->
+      if not c.failing then
+        match Error.guard (fun () -> Session.on_message c.session frame) with
+        | Ok replies -> List.iter (Conn.queue_msg c.conn) replies
+        | Error err -> teardown t c err)
+    frames
+
+let accept_ready t fd =
+  let continue = ref true in
+  while
+    !continue
+    && List.length t.clients < t.config.max_sessions
+    && not t.stop
+  do
+    match Unix.accept fd with
+    | client_fd, _ -> add_connection t client_fd
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Trace.log "daemon: accept: %s" (Unix.error_message e);
+        continue := false
+  done
+
+let finish t c ~ok =
+  Conn.close c.conn;
+  if ok then begin
+    t.completed <- t.completed + 1;
+    Scope.incr t.scope "sessions_completed";
+    Scope.observe t.scope "session_duration_s" (Unix.gettimeofday () -. c.t0)
+  end
+  else begin
+    t.failed <- t.failed + 1;
+    Scope.incr t.scope "sessions_failed"
+  end
+
+let sweep t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      if not (Conn.closed c.conn) then begin
+        (* Timeouts: one typed notification, then one more period to
+           flush it before the close below reaps the connection. *)
+        if
+          (not c.failing)
+          && (not (Session.finished c.session))
+          && now -. c.last_activity > t.config.session_timeout_s
+        then begin
+          t.timeouts <- t.timeouts + 1;
+          Scope.incr t.scope "session_timeouts";
+          teardown t c
+            (Error.Disconnected
+               (Printf.sprintf "Session: idle for %.1f s"
+                  (now -. c.last_activity)));
+          c.last_activity <- now
+        end;
+        if not (Conn.wants_write c.conn) then
+          if Session.finished c.session then finish t c ~ok:true
+          else if c.failing then finish t c ~ok:false
+      end)
+    t.clients;
+  let before = List.length t.clients in
+  t.clients <- List.filter (fun c -> not (Conn.closed c.conn)) t.clients;
+  if not (Int.equal before (List.length t.clients)) then set_gauge t
+
+let step ?(timeout_s = 0.05) t =
+  t.iterations <- t.iterations + 1;
+  Scope.incr t.scope "select_iterations";
+  let accept_fd =
+    match t.listener with
+    | Some fd
+      when List.length t.clients < t.config.max_sessions && not t.stop ->
+        [ fd ]
+    | Some _ | None -> []
+  in
+  let readable =
+    List.filter
+      (fun c ->
+        (not (Conn.closed c.conn))
+        && (not c.failing)
+        && not (Conn.over_backpressure c.conn))
+      t.clients
+  in
+  let writable =
+    List.filter
+      (fun c -> (not (Conn.closed c.conn)) && Conn.wants_write c.conn)
+      t.clients
+  in
+  let rfds = accept_fd @ List.map (fun c -> Conn.fd c.conn) readable in
+  let wfds = List.map (fun c -> Conn.fd c.conn) writable in
+  (match Unix.select rfds wfds [] timeout_s with
+  | ready_r, ready_w, _ ->
+      let is_ready fds fd = List.memq fd fds in
+      (match t.listener with
+      | Some fd when is_ready ready_r fd -> accept_ready t fd
+      | Some _ | None -> ());
+      List.iter
+        (fun c ->
+          if is_ready ready_r (Conn.fd c.conn) then begin
+            c.last_activity <- Unix.gettimeofday ();
+            match Conn.handle_readable c.conn with
+            | `Eof ->
+                if not (Session.finished c.session) then
+                  teardown t c (Error.Disconnected "Session: peer went away");
+                Conn.close c.conn;
+                finish t c ~ok:(Session.finished c.session)
+            | `Msgs (frames, eof) ->
+                feed_session t c frames;
+                if eof && not (Session.finished c.session) then begin
+                  Conn.close c.conn;
+                  finish t c ~ok:false
+                end
+          end)
+        readable;
+      List.iter
+        (fun c ->
+          if is_ready ready_w (Conn.fd c.conn) then
+            Conn.handle_writable c.conn)
+        writable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+      (* A peer vanished between the sweep and the select; the next
+         sweep reaps it. *)
+      ());
+  sweep t
+
+let request_stop t = t.stop <- true
+
+let shutdown t =
+  List.iter
+    (fun c ->
+      if not (Conn.closed c.conn) then begin
+        Conn.handle_writable c.conn;
+        Conn.close c.conn;
+        finish t c ~ok:(Session.finished c.session)
+      end)
+    t.clients;
+  t.clients <- [];
+  set_gauge t;
+  (match t.listener with
+  | Some fd -> (
+      t.listener <- None;
+      match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+  | None -> ());
+  Trace.log "daemon: shut down after %d sessions (%d completed, %d failed)"
+    t.accepted t.completed t.failed
+
+let run ?(timeout_s = 0.05) ?(drain_s = 2.0) t =
+  while not t.stop do
+    step ~timeout_s t
+  done;
+  (* Stop requested: notify every unfinished session, give the outboxes
+     a bounded drain window, then close whatever remains. *)
+  List.iter
+    (fun c ->
+      if not (Session.finished c.session) then
+        teardown t c (Error.Disconnected "Session: server shutting down"))
+    t.clients;
+  let deadline = Unix.gettimeofday () +. drain_s in
+  while
+    (match t.clients with [] -> false | _ :: _ -> true)
+    && Unix.gettimeofday () < deadline
+  do
+    step ~timeout_s:0.02 t
+  done;
+  shutdown t
+
+type stats = {
+  accepted : int;
+  completed : int;
+  failed : int;
+  timeouts : int;
+  iterations : int;
+}
+
+let stats (t : t) =
+  {
+    accepted = t.accepted;
+    completed = t.completed;
+    failed = t.failed;
+    timeouts = t.timeouts;
+    iterations = t.iterations;
+  }

@@ -1,0 +1,76 @@
+(** The sync daemon: a single-threaded [Unix.select] event loop serving
+    many fsyncd/1 sessions concurrently.
+
+    Concurrency comes from interleaving, not threads: every connection
+    owns a non-blocking {!Conn} and a {!Session} state machine, and each
+    {!step} advances whichever of them have I/O ready.  A client that
+    reads slowly only parks its own outbox — once it crosses the
+    backpressure bound the loop stops reading from it (so the session
+    produces nothing more for it) until the socket drains, while every
+    other session keeps moving.
+
+    All sessions share one {!Sigcache}, so the level hashes of a given
+    file are computed once for the whole fleet of clients.
+
+    Lifecycle: accepts stop at [max_sessions]; a session idle longer
+    than [session_timeout_s] gets a typed [Error_msg] teardown; signal
+    handlers may call {!request_stop} (it only flips a flag), after
+    which {!run} notifies unfinished sessions, drains for a bounded
+    window and closes everything. *)
+
+type t
+
+type config = {
+  sync : Msg.sync_config;
+  max_sessions : int;       (** accepting pauses at this many live sessions *)
+  session_timeout_s : float;
+  max_outbox : int;         (** per-connection backpressure bound, bytes *)
+  cache_entries : int;      (** shared signature-cache capacity *)
+}
+
+val default_config : config
+(** 64 sessions, 30 s timeout, 4 MiB outbox, 1024 cache entries. *)
+
+val create :
+  ?config:config -> ?scope:Fsync_obs.Scope.t -> (string * string) list -> t
+(** Serve the given [(path, content)] collection. *)
+
+val listen : t -> host:string -> port:int -> int
+(** Bind and listen on [host] (numeric, e.g. ["127.0.0.1"]) and [port];
+    returns the actual port (useful with port [0]).
+    @raise Unix.Unix_error on bind failure. *)
+
+val add_connection : t -> Unix.file_descr -> unit
+(** Register an already-connected descriptor (e.g. one end of a
+    socketpair under the loopback test driver) as a new session.  The
+    fd is made non-blocking and owned by the daemon from here on. *)
+
+val step : ?timeout_s:float -> t -> unit
+(** One event-loop iteration: select (default 50 ms), accept, read and
+    feed sessions, flush outboxes, reap finished / failed / timed-out
+    connections.  Never raises on peer misbehavior. *)
+
+val run : ?timeout_s:float -> ?drain_s:float -> t -> unit
+(** {!step} until {!request_stop}, then notify, drain (default 2 s
+    budget) and {!shutdown}. *)
+
+val request_stop : t -> unit
+(** Async-signal-safe: only sets a flag read by {!run}. *)
+
+val shutdown : t -> unit
+(** Flush what can be flushed without waiting, close every connection
+    and the listener. *)
+
+val active_sessions : t -> int
+
+val cache : t -> Sigcache.t
+
+type stats = {
+  accepted : int;
+  completed : int;
+  failed : int;
+  timeouts : int;
+  iterations : int; (** select iterations *)
+}
+
+val stats : t -> stats

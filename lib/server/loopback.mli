@@ -1,0 +1,47 @@
+(** Deterministic single-process drivers for the daemon and the puller.
+
+    [run_pulls] wires N clients to a {!Daemon} over socketpairs and
+    pumps everything round-robin in one thread: one {!Daemon.step}, then
+    one frame per client, repeat.  Interleaving is therefore exercised
+    for real — all sessions are mid-flight in the same loop — while the
+    schedule stays reproducible.  [run_in_memory] runs the same two
+    state machines over a plain in-memory {!Fsync_net.Channel}; because
+    transport framing is the only difference, it is the byte-for-byte
+    reference the socket path is compared against in tests. *)
+
+type pull_result = {
+  files : (string * string) list; (** the synchronized replica *)
+  stats : Puller.stats;
+  c2s_bytes : int;
+      (** accounted bytes, client to server: payload only over the
+          in-memory channel, payload plus the 4-byte frame header per
+          message over a transport *)
+  s2c_bytes : int;
+  c2s_msgs : int;    (** accounted messages per direction — subtracting
+                         [4 * msgs] from a transport run's bytes
+                         recovers the payload for parity checks *)
+  s2c_msgs : int;
+  roundtrips : int;
+}
+
+val run_pulls :
+  ?max_iterations:int ->
+  ?prepare:(int -> Fsync_net.Channel.t -> unit) ->
+  daemon:Daemon.t ->
+  (string * string) list list ->
+  pull_result list
+(** One pull per listed replica, all concurrent against [daemon].
+    [prepare i ch] runs before client [i]'s first frame — the place to
+    attach {!Fsync_net.Fault} schedules to its transport channel.
+    Raises a typed error if the system stalls ([max_iterations],
+    default 1e6, bounds the pump loop). *)
+
+val run_in_memory :
+  ?config:Msg.sync_config ->
+  ?scope:Fsync_obs.Scope.t ->
+  cache:Sigcache.t ->
+  server:(string * string) list ->
+  client:(string * string) list ->
+  unit ->
+  pull_result * Session.stats
+(** The reference run: same machines, no file descriptors. *)

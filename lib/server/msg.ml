@@ -1,0 +1,235 @@
+module Fp = Fsync_hash.Fingerprint
+module Varint = Fsync_util.Varint
+module Error = Fsync_core.Error
+
+let version = 1
+
+type sync_config = { start_block : int; min_block : int; hash_bits : int }
+
+let default_sync_config = { start_block = 2048; min_block = 64; hash_bits = 30 }
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let validate_sync_config c =
+  let hash_bits = clamp 8 56 c.hash_bits in
+  let min_block = max 16 c.min_block in
+  let start_block = max min_block c.start_block in
+  { start_block; min_block; hash_bits }
+
+let hash_width c = (c.hash_bits + 7) / 8
+
+type t =
+  | Hello of { version : int }
+  | Welcome of {
+      version : int;
+      file_count : int;
+      root : Fp.t;
+      config : sync_config;
+    }
+  | Announce of string
+  | Verdict of string
+  | File_begin of { path : string; new_len : int; fp : Fp.t }
+  | Hashes of int array
+  | Matched of string
+  | Tail of string
+  | Full of string
+  | File_ack of bool
+  | Bye of { root : Fp.t }
+  | Error_msg of string
+
+let tag_of = function
+  | Hello _ -> 'H'
+  | Welcome _ -> 'W'
+  | Announce _ -> 'A'
+  | Verdict _ -> 'V'
+  | File_begin _ -> 'B'
+  | Hashes _ -> 'S'
+  | Matched _ -> 'M'
+  | Tail _ -> 'T'
+  | Full _ -> 'F'
+  | File_ack _ -> 'K'
+  | Bye _ -> 'Y'
+  | Error_msg _ -> 'E'
+
+let label = function
+  | Hello _ -> "srv:hello"
+  | Welcome _ -> "srv:welcome"
+  | Announce _ -> "linear:announce"
+  | Verdict _ -> "linear:verdict"
+  | File_begin _ -> "srv:file-begin"
+  | Hashes _ -> "srv:hashes"
+  | Matched _ -> "srv:matched"
+  | Tail _ -> "srv:tail"
+  | Full _ -> "file:data"
+  | File_ack _ -> "srv:ack"
+  | Bye _ -> "srv:bye"
+  | Error_msg _ -> "srv:error"
+
+(* Label an already-encoded frame by its tag byte alone, for channel
+   transcripts on transports that never decode what they carry. *)
+let wire_label raw =
+  if Int.equal (String.length raw) 0 then "srv:?"
+  else
+    match raw.[0] with
+    | 'H' -> "srv:hello"
+    | 'W' -> "srv:welcome"
+    | 'A' -> "linear:announce"
+    | 'V' -> "linear:verdict"
+    | 'B' -> "srv:file-begin"
+    | 'S' -> "srv:hashes"
+    | 'M' -> "srv:matched"
+    | 'T' -> "srv:tail"
+    | 'F' -> "file:data"
+    | 'K' -> "srv:ack"
+    | 'Y' -> "srv:bye"
+    | 'E' -> "srv:error"
+    | _ -> "srv:?"
+
+(* ---- encoding ---- *)
+
+let put_string b s =
+  Varint.write b (String.length s);
+  Buffer.add_string b s
+
+let put_hash_le b ~width v =
+  for i = 0 to width - 1 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let encode ~config msg =
+  let b = Buffer.create 64 in
+  Buffer.add_char b (tag_of msg);
+  (match msg with
+  | Hello { version } -> Varint.write b version
+  | Welcome { version; file_count; root; config } ->
+      Varint.write b version;
+      Varint.write b file_count;
+      Buffer.add_string b (Fp.to_raw root);
+      Varint.write b config.start_block;
+      Varint.write b config.min_block;
+      Varint.write b config.hash_bits
+  | Announce body | Verdict body | Matched body | Tail body | Full body ->
+      Buffer.add_string b body
+  | File_begin { path; new_len; fp } ->
+      put_string b path;
+      Varint.write b new_len;
+      Buffer.add_string b (Fp.to_raw fp)
+  | Hashes hs ->
+      let width = hash_width config in
+      Varint.write b (Array.length hs);
+      Array.iter (fun h -> put_hash_le b ~width h) hs
+  | File_ack ok -> Buffer.add_char b (if ok then '\001' else '\000')
+  | Bye { root } -> Buffer.add_string b (Fp.to_raw root)
+  | Error_msg m -> put_string b m);
+  Buffer.contents b
+
+(* ---- decoding (hardened: every length validated before any read) ---- *)
+
+let need msg pos n what =
+  if pos + n > String.length msg then
+    Error.truncated "Msg: %s needs %d bytes, %d left" what n
+      (String.length msg - pos)
+
+let get_string msg ~pos what =
+  let len, p = Varint.read msg ~pos in
+  if len < 0 then Error.malformed "Msg: negative %s length" what;
+  need msg p len what;
+  (String.sub msg p len, p + len)
+
+let get_fp msg ~pos what =
+  need msg pos Fp.size_bytes what;
+  (Fp.of_raw (String.sub msg pos Fp.size_bytes), pos + Fp.size_bytes)
+
+let get_hash_le msg ~pos ~width =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    v := !v lor (Char.code msg.[pos + i] lsl (8 * i))
+  done;
+  !v
+
+let rest msg pos = String.sub msg pos (String.length msg - pos)
+
+let decode ~config msg =
+  if String.equal msg "" then Error.truncated "Msg: empty message";
+  let pos = 1 in
+  match msg.[0] with
+  | 'H' ->
+      let version, _ = Varint.read msg ~pos in
+      Hello { version }
+  | 'W' ->
+      let version, pos = Varint.read msg ~pos in
+      let file_count, pos = Varint.read msg ~pos in
+      if file_count < 0 then Error.malformed "Msg: negative file count";
+      let root, pos = get_fp msg ~pos "welcome root" in
+      let start_block, pos = Varint.read msg ~pos in
+      let min_block, pos = Varint.read msg ~pos in
+      let hash_bits, _ = Varint.read msg ~pos in
+      let config =
+        validate_sync_config { start_block; min_block; hash_bits }
+      in
+      Welcome { version; file_count; root; config }
+  | 'A' -> Announce (rest msg pos)
+  | 'V' -> Verdict (rest msg pos)
+  | 'B' ->
+      let path, pos = get_string msg ~pos "file path" in
+      let new_len, pos = Varint.read msg ~pos in
+      if new_len < 0 then Error.malformed "Msg: negative file length";
+      let fp, _ = get_fp msg ~pos "file fingerprint" in
+      File_begin { path; new_len; fp }
+  | 'S' ->
+      let width = hash_width config in
+      let count, pos = Varint.read msg ~pos in
+      if count < 0 || pos + (count * width) > String.length msg then
+        Error.truncated "Msg: %d hashes of %d bytes overrun %d" count width
+          (String.length msg);
+      Hashes
+        (Array.init count (fun i -> get_hash_le msg ~pos:(pos + (i * width)) ~width))
+  | 'M' -> Matched (rest msg pos)
+  | 'T' -> Tail (rest msg pos)
+  | 'F' -> Full (rest msg pos)
+  | 'K' ->
+      need msg pos 1 "ack";
+      File_ack (Char.equal msg.[pos] '\001')
+  | 'Y' ->
+      let root, _ = get_fp msg ~pos "bye root" in
+      Bye { root }
+  | 'E' ->
+      let m, _ = get_string msg ~pos "error text" in
+      Error_msg m
+  | c -> Error.malformed "Msg: unknown tag %C" c
+
+(* ---- shared protocol rules ----
+
+   Both endpoints mirror the same block tree, so the bitmap order and
+   the split-vs-tail decision must be computed identically on each side
+   from public state only.  They live here, next to the codec, so the
+   daemon and the puller cannot drift. *)
+
+let encode_bitmap bits =
+  let count = List.length bits in
+  let b = Bytes.make ((count + 7) / 8) '\000' in
+  List.iteri
+    (fun i v ->
+      if v then begin
+        let byte = i / 8 and bit = 7 - (i mod 8) in
+        Bytes.set b byte
+          (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl bit)))
+      end)
+    bits;
+  Bytes.to_string b
+
+let decode_bitmap ~count s =
+  if not (Int.equal (String.length s) ((count + 7) / 8)) then
+    Error.malformed "Msg: bitmap of %d bytes for %d blocks" (String.length s)
+      count;
+  Array.init count (fun i ->
+      let byte = i / 8 and bit = 7 - (i mod 8) in
+      not (Int.equal ((Char.code s.[byte] lsr bit) land 1) 0))
+
+let decide_next ~config tree =
+  match Fsync_core.Block_tree.active_blocks tree with
+  | [] -> `Tail
+  | _ :: _ ->
+      if Fsync_core.Block_tree.current_size tree / 2 < config.min_block then
+        `Tail
+      else `Split

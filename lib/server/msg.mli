@@ -1,0 +1,102 @@
+(** fsyncd/1 message codec: one tag byte plus a varint-framed body.
+
+    The daemon and the puller exchange these over a frame transport
+    ({!Conn} server-side, {!Fsync_net.Fd_transport} client-side); one
+    frame carries exactly one message.  The metadata bodies ([Announce],
+    [Verdict]) and the verified full-file message ([Full]) are opaque
+    here — their encodings live in {!Fsync_collection.Meta_wire} so the
+    daemon serves byte-identical metadata to the in-memory driver.
+
+    Session flow:
+    {v
+    client                           server
+      Hello            ->
+                       <-  Welcome (count, root, sync parameters)
+      Announce         ->
+                       <-  Verdict
+                       <-  File_begin (path, len, fp)   per changed file
+                       <-  Hashes (level hashes)        per round
+      Matched (bitmap) ->
+                       <-  ... Hashes / Tail (literals)
+      File_ack ok      ->
+                       <-  Full (on ack failure / new files)
+                       <-  Bye (collection root)
+    v} *)
+
+val version : int
+
+type sync_config = {
+  start_block : int;  (** initial block size; both sides build the same
+                          {!Fsync_core.Block_tree} from it *)
+  min_block : int;    (** no split below this block size *)
+  hash_bits : int;    (** truncated poly-hash width per block *)
+}
+
+val default_sync_config : sync_config
+(** 2048 / 64 / 30 — mirrors the protocol defaults.  30-bit block hashes
+    have no interactive verification here; collisions are caught by the
+    per-file fingerprint and repaired by the [Full] fallback. *)
+
+val validate_sync_config : sync_config -> sync_config
+(** Clamp to sane bounds (hash bits 8–56, blocks ≥ 16). *)
+
+val hash_width : sync_config -> int
+(** Bytes per truncated hash on the wire. *)
+
+type t =
+  | Hello of { version : int }
+  | Welcome of {
+      version : int;
+      file_count : int;
+      root : Fsync_hash.Fingerprint.t;
+      config : sync_config;
+    }
+  | Announce of string  (** {!Fsync_collection.Meta_wire} announce bytes *)
+  | Verdict of string   (** {!Fsync_collection.Meta_wire} verdict bytes *)
+  | File_begin of {
+      path : string;
+      new_len : int;
+      fp : Fsync_hash.Fingerprint.t;
+    }
+  | Hashes of int array
+      (** truncated level hashes, one per active block in canonical
+          (ascending-offset) order — never block ids: both sides derive
+          the same tree *)
+  | Matched of string   (** bitmap, one bit per active block, 1 = matched *)
+  | Tail of string      (** deflated literals of the unconfirmed blocks *)
+  | Full of string      (** {!Fsync_collection.Meta_wire} file message *)
+  | File_ack of bool    (** false asks for the [Full] fallback *)
+  | Bye of { root : Fsync_hash.Fingerprint.t }
+  | Error_msg of string (** typed teardown notification *)
+
+val label : t -> string
+(** Channel transcript label ([srv:*], plus the shared [linear:*] /
+    [file:data] labels for the phases the driver also has). *)
+
+val wire_label : string -> string
+(** {!label} from the tag byte of an already-encoded frame, without
+    decoding the body. *)
+
+val encode : config:sync_config -> t -> string
+
+val decode : config:sync_config -> string -> t
+(** Raises typed {!Fsync_core.Error} values on malformed input (via the
+    hardened readers); never crashes.  [config] fixes the hash width for
+    [Hashes]. *)
+
+(** {2 Shared protocol rules}
+
+    Both endpoints mirror the same {!Fsync_core.Block_tree}; the bitmap
+    order and the split-vs-tail decision are functions of public state
+    only and must agree bit for bit. *)
+
+val encode_bitmap : bool list -> string
+(** One bit per active block in canonical order, MSB first. *)
+
+val decode_bitmap : count:int -> string -> bool array
+(** Inverse; the byte length must match [count] exactly. *)
+
+val decide_next : config:sync_config -> Fsync_core.Block_tree.t -> [ `Split | `Tail ]
+(** After a round's confirmations: split and hash again while blocks
+    remain and the next size stays at or above [min_block], otherwise
+    ship the unconfirmed bytes as deflated literals. *)

@@ -1,0 +1,30 @@
+(** Blocking TCP pull client with bounded retry.
+
+    Connects to a {!Daemon}, wraps the socket in
+    {!Fsync_net.Fd_transport} (so [--faults] schedules run on a real
+    connection exactly as on the in-memory channel) and drives a
+    {!Puller} to completion.  Any typed error — disconnect, corrupted
+    frame, idle timeout — burns one attempt; each attempt reseeds the
+    fault schedule so deterministic faults cannot pin the same frame
+    forever. *)
+
+type outcome = {
+  files : (string * string) list;
+  stats : Puller.stats;
+  c2s_bytes : int;
+  s2c_bytes : int;
+  attempts : int; (** attempts consumed, [>= 1] *)
+}
+
+val run :
+  ?attempts:int ->
+  ?fault:Fsync_net.Fault.spec ->
+  ?seed:int ->
+  ?idle_timeout_s:float ->
+  host:string ->
+  port:int ->
+  (string * string) list ->
+  outcome
+(** Pull against the replica's old [(path, content)] files.  Defaults:
+    3 attempts, no faults, 30 s idle timeout, numeric [host].  Raises
+    the last failure when every attempt is spent. *)

@@ -1,0 +1,252 @@
+module Fp = Fsync_hash.Fingerprint
+module Block_tree = Fsync_core.Block_tree
+module Candidates = Fsync_core.Candidates
+module Poly_hash = Fsync_hash.Poly_hash
+module Error = Fsync_core.Error
+module Deflate = Fsync_compress.Deflate
+module Meta_wire = Fsync_collection.Meta_wire
+
+type file_progress = {
+  path : string;
+  new_len : int;
+  fp : Fp.t;
+  old : string;
+  tree : Block_tree.t;
+  mutable matches : (int * int * int) list; (* (new_off, len, old_pos), rev *)
+  mutable delta : int; (* last observed old_pos - new_off: offset prediction *)
+  mutable index : (int * Candidates.t) option; (* per-level window index *)
+  mutable expect_tail : bool;
+}
+
+type phase =
+  | Expect_welcome
+  | Expect_verdict
+  | Expect_file
+  | In_file of file_progress
+  | Done
+
+type t = {
+  files : (string * string) list; (* the old replica, announce order *)
+  mutable config : Msg.sync_config;
+  mutable phase : phase;
+  mutable unchanged : (string * string) list;
+  mutable received : (string * string) list; (* rev *)
+  mutable rounds : int;
+  mutable matched_bytes : int;
+  mutable literal_bytes : int;
+}
+
+let create files =
+  {
+    files;
+    config = Msg.default_sync_config;
+    phase = Expect_welcome;
+    unchanged = [];
+    received = [];
+    rounds = 0;
+    matched_bytes = 0;
+    literal_bytes = 0;
+  }
+
+let enc t m = Msg.encode ~config:t.config m
+
+let start t = [ enc t (Msg.Hello { version = Msg.version }) ]
+
+let finished t = match t.phase with Done -> true | _ -> false
+
+let result t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (t.unchanged @ List.rev t.received)
+
+let find_old t path =
+  match List.find_opt (fun (p, _) -> String.equal p path) t.files with
+  | Some (_, content) -> content
+  | None -> ""
+
+(* ---- per-round matching ---- *)
+
+let level_index p ~size ~bits =
+  if String.length p.old < size then None
+  else
+    match p.index with
+    | Some (s, idx) when Int.equal s size -> Some idx
+    | _ ->
+        let idx = Candidates.build p.old ~window:size ~bits in
+        p.index <- Some (size, idx);
+        Some idx
+
+(* A block shorter than the round's window (the file tail) cannot use
+   the rolling index; probe the predicted and the same-offset positions
+   directly. *)
+let match_short p (b : Block_tree.block) ~bits h =
+  let try_pos pos =
+    pos >= 0
+    && pos + b.len <= String.length p.old
+    && Int.equal
+         (Poly_hash.truncate
+            (Poly_hash.hash_sub p.old ~pos ~len:b.len)
+            ~bits)
+         h
+  in
+  let predicted = b.off + p.delta in
+  if try_pos predicted then Some predicted
+  else if (not (Int.equal predicted b.off)) && try_pos b.off then Some b.off
+  else None
+
+let match_block p idx ~size ~bits (b : Block_tree.block) h =
+  if Int.equal b.len size then
+    match idx with
+    | None -> None
+    | Some idx -> (
+        match
+          Candidates.select ~cap:1
+            ~predicted:(Some (b.off + p.delta))
+            (Candidates.lookup idx h)
+        with
+        | pos :: _ -> Some pos
+        | [] -> None)
+  else match_short p b ~bits h
+
+let on_hashes t p hs =
+  let active = Block_tree.active_blocks p.tree in
+  if not (Int.equal (Array.length hs) (List.length active)) then
+    Error.malformed "Puller: %d hashes for %d active blocks"
+      (Array.length hs) (List.length active);
+  let size = Block_tree.current_size p.tree in
+  let bits = t.config.hash_bits in
+  let idx = level_index p ~size ~bits in
+  let bits_out =
+    List.mapi
+      (fun i (b : Block_tree.block) ->
+        match match_block p idx ~size ~bits b hs.(i) with
+        | Some pos ->
+            b.confirmed <- true;
+            p.matches <- (b.off, b.len, pos) :: p.matches;
+            p.delta <- pos - b.off;
+            true
+        | None -> false)
+      active
+  in
+  t.rounds <- t.rounds + 1;
+  (* Mirror the server's decision so the next message is unambiguous. *)
+  (match Msg.decide_next ~config:t.config p.tree with
+  | `Split -> Block_tree.split p.tree
+  | `Tail -> p.expect_tail <- true);
+  [ Msg.Matched (Msg.encode_bitmap bits_out) ]
+
+(* ---- reconstruction ---- *)
+
+let on_tail t p z =
+  let literals = Deflate.decompress z in
+  let remaining = Block_tree.active_blocks p.tree in
+  let needed =
+    List.fold_left (fun acc (b : Block_tree.block) -> acc + b.len) 0 remaining
+  in
+  if not (Int.equal (String.length literals) needed) then
+    Error.malformed "Puller: %d literal bytes for %d unconfirmed"
+      (String.length literals) needed;
+  let matched =
+    List.fold_left (fun acc (_, len, _) -> acc + len) 0 p.matches
+  in
+  if not (Int.equal (matched + needed) p.new_len) then
+    Error.malformed "Puller: %d matched + %d literal <> %d file bytes" matched
+      needed p.new_len;
+  let out = Bytes.create p.new_len in
+  List.iter
+    (fun (off, len, pos) -> Bytes.blit_string p.old pos out off len)
+    p.matches;
+  let cursor = ref 0 in
+  List.iter
+    (fun (b : Block_tree.block) ->
+      Bytes.blit_string literals !cursor out b.off b.len;
+      cursor := !cursor + b.len)
+    remaining;
+  let content = Bytes.to_string out in
+  t.matched_bytes <- t.matched_bytes + matched;
+  t.literal_bytes <- t.literal_bytes + needed;
+  t.phase <- Expect_file;
+  if Fp.equal (Fp.of_string content) p.fp then begin
+    t.received <- (p.path, content) :: t.received;
+    [ Msg.File_ack true ]
+  end
+  else
+    (* Weak-hash collision led us astray; ask for the verified full
+       copy instead of guessing further. *)
+    [ Msg.File_ack false ]
+
+let on_bye t root =
+  let final = t.unchanged @ List.rev t.received in
+  let actual = Meta_wire.collection_root final in
+  if not (Fp.equal actual root) then
+    Error.fail
+      (Error.Verification_failed
+         (Printf.sprintf "Puller: collection root %s, server announced %s"
+            (Fp.to_hex actual) (Fp.to_hex root)));
+  t.phase <- Done;
+  []
+
+let on_message t raw =
+  let msg = Msg.decode ~config:t.config raw in
+  let replies =
+    match (t.phase, msg) with
+    | Expect_welcome, Msg.Welcome { version; config; _ } ->
+        if not (Int.equal version Msg.version) then
+          Error.malformed "Puller: protocol version %d, want %d" version
+            Msg.version;
+        t.config <- config;
+        t.phase <- Expect_verdict;
+        [
+          Msg.Announce
+            (Meta_wire.encode_announce
+               (List.map (fun (p, c) -> (p, Fp.of_string c)) t.files));
+        ]
+    | Expect_verdict, Msg.Verdict body ->
+        let bits, _new_paths =
+          Meta_wire.decode_verdict ~n_announced:(List.length t.files) body
+        in
+        t.unchanged <-
+          List.filteri (fun i _ -> bits.(i)) t.files;
+        t.phase <- Expect_file;
+        []
+    | Expect_file, Msg.File_begin { path; new_len; fp } ->
+        let old = find_old t path in
+        t.phase <-
+          In_file
+            {
+              path;
+              new_len;
+              fp;
+              old;
+              tree =
+                Block_tree.create ~file_len:new_len
+                  ~start_block:t.config.start_block;
+              matches = [];
+              delta = 0;
+              index = None;
+              expect_tail = false;
+            };
+        []
+    | In_file p, Msg.Hashes hs when not p.expect_tail -> on_hashes t p hs
+    | In_file p, Msg.Tail z when p.expect_tail -> on_tail t p z
+    | Expect_file, Msg.Full body ->
+        let path, content = Meta_wire.decode_file_msg ~old_content:"" body in
+        t.received <- (path, content) :: t.received;
+        t.literal_bytes <- t.literal_bytes + String.length content;
+        [ Msg.File_ack true ]
+    | Expect_file, Msg.Bye { root } -> on_bye t root
+    | _, Msg.Error_msg m ->
+        Error.fail
+          (Error.Disconnected (Printf.sprintf "Puller: server error: %s" m))
+    | _, other -> Error.malformed "Puller: unexpected %s" (Msg.label other)
+  in
+  List.map (enc t) replies
+
+type stats = { rounds : int; matched_bytes : int; literal_bytes : int }
+
+let stats (t : t) =
+  {
+    rounds = t.rounds;
+    matched_bytes = t.matched_bytes;
+    literal_bytes = t.literal_bytes;
+  }

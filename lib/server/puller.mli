@@ -1,0 +1,40 @@
+(** Client side of one fsyncd/1 session, as a pure message-in /
+    messages-out state machine.
+
+    Symmetric to {!Session}: the transport (a blocking TCP pull, a
+    socketpair under the loopback test driver, or a plain in-memory
+    channel) feeds frames to {!on_message} and sends whatever comes
+    back.  The puller mirrors the server's {!Fsync_core.Block_tree},
+    matches each round's hashes against all same-length substrings of
+    its old copy (predicted-offset first), and reconstructs each file
+    from matches plus the deflated tail — falling back to the verified
+    full transfer when the weak hashes misled it. *)
+
+type t
+
+val create : (string * string) list -> t
+(** Over the client's old [(path, content)] replica, in announce
+    order. *)
+
+val start : t -> string list
+(** The opening frames to send ([Hello]). *)
+
+val on_message : t -> string -> string list
+(** Feed one received frame; returns encoded frames to send back.
+    Raises typed {!Fsync_core.Error} values on protocol violations or
+    when end-to-end verification fails ([Bye] root mismatch). *)
+
+val finished : t -> bool
+
+val result : t -> (string * string) list
+(** The synchronized replica, path-sorted: unchanged files kept,
+    changed/new files as received, absent-on-server files dropped.
+    Meaningful once {!finished}. *)
+
+type stats = {
+  rounds : int;
+  matched_bytes : int;  (** bytes reused from the old copy *)
+  literal_bytes : int;  (** bytes that crossed the wire as literals *)
+}
+
+val stats : t -> stats

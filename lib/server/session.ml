@@ -1,0 +1,241 @@
+module Fp = Fsync_hash.Fingerprint
+module Block_tree = Fsync_core.Block_tree
+module Error = Fsync_core.Error
+module Deflate = Fsync_compress.Deflate
+module Meta_wire = Fsync_collection.Meta_wire
+module Scope = Fsync_obs.Scope
+
+type job = { path : string; content : string; fp : Fp.t; has_old : bool }
+
+type file_state = { job : job; tree : Block_tree.t }
+
+type ack_state = { ack_job : job; mutable full_sent : bool }
+
+type phase =
+  | Expect_hello
+  | Expect_announce
+  | Expect_matched of file_state
+  | Expect_ack of ack_state
+  | Done
+  | Failed
+
+type t = {
+  config : Msg.sync_config;
+  files : (string * string) list;
+  root : Fp.t;
+  cache : Sigcache.t;
+  scope : Scope.t;
+  mutable phase : phase;
+  mutable queue : job list;
+  mutable hashes_total : int;
+  mutable hashes_cached : int;
+  mutable full_fallbacks : int;
+  mutable rounds : int;
+}
+
+let create ?(config = Msg.default_sync_config) ?(scope = Scope.disabled)
+    ~cache files =
+  let config = Msg.validate_sync_config config in
+  {
+    config;
+    files;
+    root = Meta_wire.collection_root files;
+    cache;
+    scope;
+    phase = Expect_hello;
+    queue = [];
+    hashes_total = 0;
+    hashes_cached = 0;
+    full_fallbacks = 0;
+    rounds = 0;
+  }
+
+let finished t = match t.phase with Done -> true | _ -> false
+
+let failed t = match t.phase with Failed -> true | _ -> false
+
+let find_file t path =
+  match List.find_opt (fun (p, _) -> String.equal p path) t.files with
+  | Some (_, content) -> Some content
+  | None -> None
+
+(* The verified full-file fallback ('Z' when compression pays, 'R'
+   otherwise; never 'D' — the daemon does not hold the client's copy). *)
+let full_msg job =
+  let z = Deflate.compress job.content in
+  let tag, body =
+    if String.length z < String.length job.content then ('Z', z)
+    else ('R', job.content)
+  in
+  Msg.Full (Meta_wire.encode_file_msg ~path:job.path ~fp:job.fp ~tag ~body)
+
+(* One round's hash burst: the cached full-level vector indexed by
+   [off / size] covers every active block, whichever client asks. *)
+let level_hashes t (st : file_state) =
+  let size = Block_tree.current_size st.tree in
+  let vector, hit =
+    Sigcache.find_or_compute t.cache ~fp:st.job.fp ~size
+      ~bits:t.config.hash_bits st.job.content
+  in
+  let hs =
+    Array.of_list
+      (List.map
+         (fun (b : Block_tree.block) -> vector.(b.off / size))
+         (Block_tree.active_blocks st.tree))
+  in
+  t.hashes_total <- t.hashes_total + Array.length hs;
+  if hit then t.hashes_cached <- t.hashes_cached + Array.length hs;
+  hs
+
+let open_job t job =
+  if (not job.has_old) || String.length job.content < 2 * t.config.min_block
+  then begin
+    (* No old copy to match against, or too small for even one split:
+       the verified full transfer is strictly cheaper than a round. *)
+    t.phase <- Expect_ack { ack_job = job; full_sent = true };
+    [ full_msg job ]
+  end
+  else begin
+    let tree =
+      Block_tree.create
+        ~file_len:(String.length job.content)
+        ~start_block:t.config.start_block
+    in
+    let st = { job; tree } in
+    t.phase <- Expect_matched st;
+    [
+      Msg.File_begin
+        { path = job.path; new_len = String.length job.content; fp = job.fp };
+      Msg.Hashes (level_hashes t st);
+    ]
+  end
+
+let advance t =
+  match t.queue with
+  | [] ->
+      t.phase <- Done;
+      [ Msg.Bye { root = t.root } ]
+  | job :: rest ->
+      t.queue <- rest;
+      open_job t job
+
+let on_announce t body =
+  let announced = Meta_wire.decode_announce body in
+  let changed = ref [] in
+  let bits =
+    List.map
+      (fun (path, client_fp) ->
+        match find_file t path with
+        | None -> false (* gone from the collection: client deletes *)
+        | Some content ->
+            let fp = Fp.of_string content in
+            if Fp.equal fp client_fp then true
+            else begin
+              changed := { path; content; fp; has_old = true } :: !changed;
+              false
+            end)
+      announced
+  in
+  let announced_paths = List.map fst announced in
+  let is_announced p = List.exists (String.equal p) announced_paths in
+  let new_jobs =
+    List.filter_map
+      (fun (path, content) ->
+        if is_announced path then None
+        else
+          Some { path; content; fp = Fp.of_string content; has_old = false })
+      t.files
+  in
+  let new_jobs =
+    List.sort (fun a b -> String.compare a.path b.path) new_jobs
+  in
+  let verdict =
+    Meta_wire.encode_verdict ~bits
+      ~new_paths:(List.map (fun j -> j.path) new_jobs)
+  in
+  t.queue <- List.rev !changed @ new_jobs;
+  Msg.Verdict verdict :: advance t
+
+let on_matched t st bitmap =
+  let active = Block_tree.active_blocks st.tree in
+  let flags = Msg.decode_bitmap ~count:(List.length active) bitmap in
+  List.iteri
+    (fun i (b : Block_tree.block) -> if flags.(i) then b.confirmed <- true)
+    active;
+  t.rounds <- t.rounds + 1;
+  match Msg.decide_next ~config:t.config st.tree with
+  | `Split ->
+      Block_tree.split st.tree;
+      [ Msg.Hashes (level_hashes t st) ]
+  | `Tail ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (b : Block_tree.block) ->
+          Buffer.add_substring buf st.job.content b.off b.len)
+        (Block_tree.active_blocks st.tree);
+      t.phase <- Expect_ack { ack_job = st.job; full_sent = false };
+      [ Msg.Tail (Deflate.compress (Buffer.contents buf)) ]
+
+let on_ack t ack ok =
+  if ok then advance t
+  else if ack.full_sent then begin
+    t.phase <- Failed;
+    Error.fail
+      (Error.Verification_failed
+         (Printf.sprintf "Session: %s rejected after verified full transfer"
+            ack.ack_job.path))
+  end
+  else begin
+    ack.full_sent <- true;
+    t.full_fallbacks <- t.full_fallbacks + 1;
+    Scope.incr t.scope "server_full_fallbacks";
+    [ full_msg ack.ack_job ]
+  end
+
+let on_message t raw =
+  let msg = Msg.decode ~config:t.config raw in
+  let replies =
+    match (t.phase, msg) with
+    | Expect_hello, Msg.Hello { version } ->
+        if not (Int.equal version Msg.version) then begin
+          t.phase <- Failed;
+          Error.malformed "Session: protocol version %d, want %d" version
+            Msg.version
+        end;
+        t.phase <- Expect_announce;
+        [
+          Msg.Welcome
+            {
+              version = Msg.version;
+              file_count = List.length t.files;
+              root = t.root;
+              config = t.config;
+            };
+        ]
+    | Expect_announce, Msg.Announce body -> on_announce t body
+    | Expect_matched st, Msg.Matched bitmap -> on_matched t st bitmap
+    | Expect_ack ack, Msg.File_ack ok -> on_ack t ack ok
+    | _, Msg.Error_msg m ->
+        t.phase <- Failed;
+        Error.fail
+          (Error.Disconnected (Printf.sprintf "Session: peer error: %s" m))
+    | _, other ->
+        t.phase <- Failed;
+        Error.malformed "Session: unexpected %s" (Msg.label other)
+  in
+  List.map (fun m -> Msg.encode ~config:t.config m) replies
+
+type stats = {
+  hashes_total : int;
+  hashes_cached : int;
+  full_fallbacks : int;
+  rounds : int;
+}
+
+let stats (t : t) =
+  {
+    hashes_total = t.hashes_total;
+    hashes_cached = t.hashes_cached;
+    full_fallbacks = t.full_fallbacks;
+    rounds = t.rounds;
+  }

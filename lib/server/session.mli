@@ -1,0 +1,49 @@
+(** Server side of one fsyncd/1 session, as a pure message-in /
+    messages-out state machine.
+
+    The machine never touches a socket: the daemon feeds it decoded
+    frames via {!on_message} and writes the encoded replies it returns
+    into the connection's outbox.  That keeps one slow client from
+    stalling the others (the loop interleaves machines) and lets the
+    tests drive the very same logic over an in-memory channel for
+    byte-parity checks.
+
+    Phases mirror the protocol: hello, announce, then one file at a
+    time — hash rounds against the mirrored {!Fsync_core.Block_tree}
+    until {!Msg.decide_next} says tail, then the client's ack (a failed
+    ack triggers one verified [Full] fallback) — and finally [Bye] with
+    the collection root. *)
+
+type t
+
+val create :
+  ?config:Msg.sync_config ->
+  ?scope:Fsync_obs.Scope.t ->
+  cache:Sigcache.t ->
+  (string * string) list ->
+  t
+(** One machine per client over the server's [(path, content)]
+    collection.  [cache] is shared across sessions — that is the point
+    of it. *)
+
+val on_message : t -> string -> string list
+(** Feed one decoded frame; returns encoded reply frames in send order.
+    Raises typed {!Fsync_core.Error} values ([E]) on protocol
+    violations — the daemon converts those into an [Error_msg] teardown.
+    After an error the machine is {!failed} and rejects further
+    input. *)
+
+val finished : t -> bool
+(** [Bye] has been emitted; the daemon may close once the outbox
+    drains. *)
+
+val failed : t -> bool
+
+type stats = {
+  hashes_total : int;   (** level hashes sent over all rounds *)
+  hashes_cached : int;  (** of those, served from the signature cache *)
+  full_fallbacks : int; (** failed acks repaired by a verified [Full] *)
+  rounds : int;
+}
+
+val stats : t -> stats

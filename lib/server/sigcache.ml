@@ -1,0 +1,95 @@
+module Poly_hash = Fsync_hash.Poly_hash
+module Fp = Fsync_hash.Fingerprint
+module Scope = Fsync_obs.Scope
+
+(* (raw fingerprint, block size, hash bits): the level vector is a pure
+   function of this triple, independent of any client's match state. *)
+type key = string * int * int
+
+type entry = { hashes : int array; mutable stamp : int }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  max_entries : int;
+  scope : Scope.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(max_entries = 1024) ?(scope = Scope.disabled) () =
+  {
+    table = Hashtbl.create 64;
+    max_entries = max 1 max_entries;
+    scope;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* The level vector is a pure function of (content, size): the truncated
+   hash of every size-aligned block, the short tail included.  Every
+   block the session tree ever exposes at nominal size [size] starts at
+   a multiple of [size] with length [min size (n - off)], so one vector
+   serves every client and every round at that level. *)
+let compute content ~size ~bits =
+  let n = String.length content in
+  if size <= 0 || n = 0 then [||]
+  else begin
+    let count = (n + size - 1) / size in
+    Array.init count (fun i ->
+        let off = i * size in
+        let len = min size (n - off) in
+        Poly_hash.truncate (Poly_hash.hash_sub content ~pos:off ~len) ~bits)
+  end
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1;
+      Scope.incr t.scope "sig_cache_evictions"
+  | None -> ()
+
+let find_or_compute t ~fp ~size ~bits content =
+  let key = (Fp.to_raw fp, size, bits) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.stamp <- tick t;
+      t.hits <- t.hits + 1;
+      Scope.incr t.scope "sig_cache_hits";
+      (e.hashes, true)
+  | None ->
+      t.misses <- t.misses + 1;
+      Scope.incr t.scope "sig_cache_misses";
+      let hashes = compute content ~size ~bits in
+      if Hashtbl.length t.table >= t.max_entries then evict_lru t;
+      Hashtbl.replace t.table key { hashes; stamp = tick t };
+      (hashes, false)
+
+type stats = { hits : int; misses : int; entries : int; evictions : int }
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    entries = Hashtbl.length t.table;
+    evictions = t.evictions;
+  }
+
+let hit_rate (t : t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

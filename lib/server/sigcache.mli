@@ -1,0 +1,35 @@
+(** Server-side signature cache.
+
+    The daemon recomputes nothing per client: the truncated level hashes
+    of a file are a pure function of (content fingerprint, block size,
+    hash width), so one cached vector serves every session and every
+    round that visits that level.  Entries are evicted LRU once
+    [max_entries] files-at-a-level are resident.
+
+    Correctness note: every block {!Fsync_core.Block_tree} exposes at
+    nominal size [s] starts at a multiple of [s] with length
+    [min s (file_len - off)], so the full level vector indexed by
+    [off / s] covers every active block at that level — client state
+    never leaks into the cache key. *)
+
+type t
+
+val create : ?max_entries:int -> ?scope:Fsync_obs.Scope.t -> unit -> t
+(** [max_entries] defaults to 1024 (level vectors, not bytes). *)
+
+val compute : string -> size:int -> bits:int -> int array
+(** The uncached level vector: one truncated poly-hash per size-aligned
+    block of the content, short tail included.  Exposed for tests. *)
+
+val find_or_compute :
+  t -> fp:Fsync_hash.Fingerprint.t -> size:int -> bits:int -> string
+  -> int array * bool
+(** Returns the level vector and whether it was served from cache.
+    Inserts on miss, evicting the least-recently-used entry if full. *)
+
+type stats = { hits : int; misses : int; entries : int; evictions : int }
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** Hits over lookups, 0.0 when untouched. *)

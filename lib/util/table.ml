@@ -11,9 +11,16 @@ type t = {
 let create ?caption header = { caption; header; rows = [] }
 
 let add_row t cells =
-  if List.length cells <> List.length t.header then
-    invalid_arg "Table.add_row: arity mismatch";
-  t.rows <- Cells cells :: t.rows
+  (* Total: a row that is too short is padded with blanks, one that is
+     too long is truncated — a report renderer should render, not
+     crash. *)
+  let arity = List.length t.header in
+  let rec fit n = function
+    | _ when n = 0 -> []
+    | [] -> "" :: fit (n - 1) []
+    | c :: rest -> c :: fit (n - 1) rest
+  in
+  t.rows <- Cells (fit arity cells) :: t.rows
 
 let add_rule t = t.rows <- Rule :: t.rows
 
@@ -65,10 +72,6 @@ let render t =
     (function Cells cells -> emit_cells cells | Rule -> emit_rule ())
     (List.rev t.rows);
   Buffer.contents buf
-
-let print t =
-  print_string (render t);
-  print_newline ()
 
 let cell_f x = Printf.sprintf "%.2f" x
 

@@ -12,15 +12,15 @@ val create : ?caption:string -> (string * align) list -> t
 (** Table with the given header cells. *)
 
 val add_row : t -> string list -> unit
-(** @raise Invalid_argument if the arity differs from the header. *)
+(** Rows shorter than the header are padded with blank cells, longer
+    ones truncated. *)
 
 val add_rule : t -> unit
 (** Horizontal separator row. *)
 
 val render : t -> string
-
-val print : t -> unit
-(** [render] to stdout followed by a blank line. *)
+(** Callers print the rendering themselves: library code never touches
+    the console (R3). *)
 
 val cell_f : float -> string
 (** Standard numeric cell: two decimals. *)

@@ -14,4 +14,5 @@ let () =
       ("reconcile", Test_reconcile.suite);
       ("extensions", Test_extensions.suite);
       ("workload", Test_workload.suite);
+      ("server", Test_server.suite);
     ]

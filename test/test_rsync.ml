@@ -30,9 +30,10 @@ let test_signature_wire_bytes () =
   Alcotest.(check int) "wire" (12 + 60) (Signature.wire_bytes sg)
 
 let test_signature_invalid () =
-  Alcotest.check_raises "bad block size"
-    (Invalid_argument "Signature.create: block_size <= 0") (fun () ->
-      ignore (Signature.create ~block_size:0 "x"))
+  (* Non-positive block sizes are clamped to 1 rather than crashing. *)
+  let sg = Signature.create ~block_size:0 "xy" in
+  Alcotest.(check int) "clamped block size" 1 sg.Signature.block_size;
+  Alcotest.(check int) "one block per byte" 2 (Array.length sg.Signature.blocks)
 
 let test_signature_empty_file () =
   let sg = Signature.create ~block_size:100 "" in
@@ -142,9 +143,10 @@ let test_best_block_size () =
   Alcotest.(check bool) "best <= default" true (Rsync.total best <= default_cost)
 
 let test_best_block_size_no_candidates () =
-  Alcotest.check_raises "no candidates"
-    (Invalid_argument "Rsync.best_block_size: no candidates") (fun () ->
-      ignore (Rsync.best_block_size ~candidates:[] ~old_file:"a" "b"))
+  (* An empty grid degenerates to the default block size, totally. *)
+  let bs, _ = Rsync.best_block_size ~candidates:[] ~old_file:"a" "b" in
+  Alcotest.(check int) "default block size"
+    Rsync.default_config.Rsync.block_size bs
 
 let suite =
   [

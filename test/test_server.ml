@@ -1,0 +1,410 @@
+(* Tests for Fsync_server: message codec, signature cache, the
+   session/puller state machines (in memory and over socketpairs against
+   the daemon event loop), timeouts, backpressure, and the blocking TCP
+   pull client against a forked daemon. *)
+
+open Fsync_server
+module Prng = Fsync_util.Prng
+module Fp = Fsync_hash.Fingerprint
+module Channel = Fsync_net.Channel
+module Meta_wire = Fsync_collection.Meta_wire
+
+let cfg = Msg.default_sync_config
+
+let mk_files seed n =
+  let rng = Prng.create (Int64.of_int seed) in
+  List.init n (fun i ->
+      ( Printf.sprintf "dir%d/file%03d.txt" (i mod 3) i,
+        Fsync_workload.Text_gen.c_like rng ~lines:(20 + Prng.int rng 80) ))
+
+let mutate_some seed files =
+  let rng = Prng.create (Int64.of_int ((seed * 37) + 5)) in
+  List.map
+    (fun (path, content) ->
+      if Prng.bernoulli rng 0.5 then (path, content)
+      else
+        ( path,
+          Fsync_workload.Edit_model.mutate rng
+            ~profile:Fsync_workload.Edit_model.medium
+            ~gen_text:(fun rng n ->
+              String.init n (fun _ -> Char.chr (97 + Prng.int rng 26)))
+            content ))
+    files
+
+let sorted files =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) files
+
+let check_files what expected actual =
+  Alcotest.(check (list (pair string string))) what (sorted expected) actual
+
+(* ---- Msg codec ---- *)
+
+let roundtrip m =
+  Msg.decode ~config:cfg (Msg.encode ~config:cfg m)
+
+let test_msg_roundtrip () =
+  let fp = Fp.of_string "content" in
+  let check_eq what a b =
+    Alcotest.(check string)
+      what
+      (Msg.encode ~config:cfg a)
+      (Msg.encode ~config:cfg b)
+  in
+  List.iter
+    (fun m -> check_eq (Msg.label m) m (roundtrip m))
+    [
+      Msg.Hello { version = Msg.version };
+      Msg.Welcome
+        { version = 1; file_count = 42; root = fp; config = cfg };
+      Msg.Announce "announce-bytes";
+      Msg.Verdict "verdict-bytes";
+      Msg.File_begin { path = "a/b.txt"; new_len = 123_456; fp };
+      Msg.Hashes [| 0; 1; 0x3fffffff; 12345 |];
+      Msg.Matched "\x80\x01";
+      Msg.Tail "literals";
+      Msg.Full "full-bytes";
+      Msg.File_ack true;
+      Msg.File_ack false;
+      Msg.Bye { root = fp };
+      Msg.Error_msg "went wrong";
+    ]
+
+let test_msg_malformed () =
+  let expect_error raw =
+    match Msg.decode ~config:cfg raw with
+    | _ -> Alcotest.fail "expected a typed error"
+    | exception Fsync_core.Error.E _ -> ()
+  in
+  expect_error "";
+  expect_error "Q";
+  expect_error "B\x05ab";
+  (* hash array overrunning the message *)
+  expect_error "S\x7f";
+  expect_error "K"
+
+let test_bitmap_roundtrip () =
+  let cases =
+    [ []; [ true ]; [ false ]; [ true; false; true ];
+      List.init 17 (fun i -> Int.equal (i mod 3) 0) ]
+  in
+  List.iter
+    (fun bits ->
+      let encoded = Msg.encode_bitmap bits in
+      Alcotest.(check int)
+        "byte length"
+        ((List.length bits + 7) / 8)
+        (String.length encoded);
+      Alcotest.(check (list bool))
+        "roundtrip" bits
+        (Array.to_list (Msg.decode_bitmap ~count:(List.length bits) encoded)))
+    cases
+
+(* ---- Sigcache ---- *)
+
+let test_sigcache_hits_and_eviction () =
+  let c = Sigcache.create ~max_entries:2 () in
+  let content = String.make 5000 'a' ^ String.make 3000 'b' in
+  let fp = Fp.of_string content in
+  let v1, hit1 = Sigcache.find_or_compute c ~fp ~size:2048 ~bits:30 content in
+  Alcotest.(check bool) "first is a miss" false hit1;
+  Alcotest.(check int) "vector covers the file" 4 (Array.length v1);
+  Alcotest.(check (array int))
+    "pure function" v1
+    (Sigcache.compute content ~size:2048 ~bits:30);
+  let v2, hit2 = Sigcache.find_or_compute c ~fp ~size:2048 ~bits:30 content in
+  Alcotest.(check bool) "second is a hit" true hit2;
+  Alcotest.(check (array int)) "same vector" v1 v2;
+  (* Distinct levels are distinct entries; a third evicts the LRU. *)
+  ignore (Sigcache.find_or_compute c ~fp ~size:1024 ~bits:30 content);
+  ignore (Sigcache.find_or_compute c ~fp ~size:512 ~bits:30 content);
+  let s = Sigcache.stats c in
+  Alcotest.(check int) "bounded" 2 s.Sigcache.entries;
+  Alcotest.(check int) "evicted one" 1 s.Sigcache.evictions;
+  Alcotest.(check int) "hits" 1 s.Sigcache.hits;
+  Alcotest.(check int) "misses" 3 s.Sigcache.misses
+
+(* ---- session + puller, in memory ---- *)
+
+let test_in_memory_sync () =
+  let server_files = mk_files 1 12 in
+  (* Old replica: mutated copies, one deleted file, one extra file the
+     server no longer has. *)
+  let client_files =
+    mutate_some 1 (List.filteri (fun i _ -> i < 11) server_files)
+    @ [ ("zzz/stale.txt", "to be deleted") ]
+  in
+  let cache = Sigcache.create () in
+  let r, st =
+    Loopback.run_in_memory ~cache ~server:server_files ~client:client_files ()
+  in
+  check_files "replica converges" server_files r.Loopback.files;
+  Alcotest.(check bool)
+    "hash rounds happened" true
+    (st.Session.rounds > 0);
+  Alcotest.(check bool)
+    "old bytes reused" true
+    (r.Loopback.stats.Puller.matched_bytes > 0)
+
+let test_in_memory_identical_and_empty () =
+  let files = mk_files 2 5 in
+  let cache = Sigcache.create () in
+  let r, st = Loopback.run_in_memory ~cache ~server:files ~client:files () in
+  check_files "identical replicas" files r.Loopback.files;
+  Alcotest.(check int) "no rounds" 0 st.Session.rounds;
+  let r2, _ = Loopback.run_in_memory ~cache ~server:[] ~client:[] () in
+  check_files "empty collections" [] r2.Loopback.files;
+  let r3, _ = Loopback.run_in_memory ~cache ~server:files ~client:[] () in
+  check_files "bootstrap from nothing" files r3.Loopback.files
+
+let test_sigcache_across_clients () =
+  (* Second client syncing the same outdated replica must be served
+     almost entirely from the shared cache. *)
+  let server_files = mk_files 3 10 in
+  let client_files = mutate_some 3 server_files in
+  let cache = Sigcache.create () in
+  let _, st1 =
+    Loopback.run_in_memory ~cache ~server:server_files ~client:client_files ()
+  in
+  let _, st2 =
+    Loopback.run_in_memory ~cache ~server:server_files ~client:client_files ()
+  in
+  Alcotest.(check bool)
+    "first client computes" true
+    (st1.Session.hashes_total > 0);
+  let ratio =
+    float_of_int st2.Session.hashes_cached
+    /. float_of_int (max 1 st2.Session.hashes_total)
+  in
+  if ratio < 0.9 then
+    Alcotest.failf "second client cached ratio %.2f < 0.9 (%d/%d)" ratio
+      st2.Session.hashes_cached st2.Session.hashes_total
+
+(* ---- the daemon over socketpairs: concurrent interleaved sessions ---- *)
+
+let test_loopback_eight_clients () =
+  let server_files = mk_files 7 10 in
+  let daemon = Daemon.create server_files in
+  let clients = List.init 8 (fun i -> mutate_some (i + 10) server_files) in
+  let results = Loopback.run_pulls ~daemon clients in
+  Alcotest.(check int) "eight results" 8 (List.length results);
+  List.iteri
+    (fun i r ->
+      check_files
+        (Printf.sprintf "client %d converges" i)
+        server_files r.Loopback.files)
+    results;
+  let ds = Daemon.stats daemon in
+  Alcotest.(check int) "eight accepted" 8 ds.Daemon.accepted;
+  Alcotest.(check int) "eight completed" 8 ds.Daemon.completed;
+  Alcotest.(check int) "none failed" 0 ds.Daemon.failed;
+  (* The shared cache was exercised across the fleet. *)
+  let cs = Sigcache.stats (Daemon.cache daemon) in
+  Alcotest.(check bool) "cache hits across clients" true (cs.Sigcache.hits > 0);
+  Daemon.shutdown daemon
+
+let test_loopback_matches_in_memory () =
+  (* The socket path and the in-memory path run the same state
+     machines: results byte-identical, payload bytes identical (the
+     transport only adds the 4-byte frame headers). *)
+  (* Realistically sized files: the 4-byte frame headers are the only
+     difference between the accountings and must stay inside the 3%
+     budget. *)
+  let rng = Prng.create 99L in
+  let server_files =
+    List.init 8 (fun i ->
+        ( Printf.sprintf "src/mod%02d.ml" i,
+          Fsync_workload.Text_gen.c_like rng ~lines:(250 + Prng.int rng 150)
+        ))
+  in
+  let client_files = mutate_some 9 server_files in
+  let daemon = Daemon.create server_files in
+  let tcp =
+    match Loopback.run_pulls ~daemon [ client_files ] with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "one result expected"
+  in
+  Daemon.shutdown daemon;
+  let mem, _ =
+    Loopback.run_in_memory
+      ~cache:(Sigcache.create ())
+      ~server:server_files ~client:client_files ()
+  in
+  check_files "same replica" mem.Loopback.files tcp.Loopback.files;
+  Alcotest.(check int)
+    "same roundtrips" mem.Loopback.roundtrips tcp.Loopback.roundtrips;
+  (* Same machines, same frames: stripping the 4-byte frame header from
+     the socket accounting must recover the in-memory payload exactly —
+     which trivially lands inside the 3% parity budget. *)
+  let payload bytes msgs = bytes - (4 * msgs) in
+  Alcotest.(check int)
+    "c2s payload identical" mem.Loopback.c2s_bytes
+    (payload tcp.Loopback.c2s_bytes tcp.Loopback.c2s_msgs);
+  Alcotest.(check int)
+    "s2c payload identical" mem.Loopback.s2c_bytes
+    (payload tcp.Loopback.s2c_bytes tcp.Loopback.s2c_msgs);
+  (* And even with headers included the slack stays single-digit
+     percent on a realistic collection. *)
+  let total_mem = mem.Loopback.c2s_bytes + mem.Loopback.s2c_bytes in
+  let total_tcp = tcp.Loopback.c2s_bytes + tcp.Loopback.s2c_bytes in
+  if float_of_int (total_tcp - total_mem) > 0.10 *. float_of_int total_mem
+  then
+    Alcotest.failf "transport overhead %d of %d bytes (> 10%%)"
+      (total_tcp - total_mem) total_mem
+
+let test_timeout_teardown () =
+  let config =
+    { Daemon.default_config with Daemon.session_timeout_s = 0.05 }
+  in
+  let daemon = Daemon.create ~config (mk_files 4 3) in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Daemon.add_connection daemon b;
+  (* Say hello, then go silent. *)
+  let tr = Fsync_net.Fd_transport.of_fd a in
+  let ch = Fsync_net.Fd_transport.channel tr in
+  Channel.send ch ~label:"t" Channel.Client_to_server
+    (Msg.encode ~config:cfg (Msg.Hello { version = Msg.version }));
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Daemon.active_sessions daemon > 0 && Unix.gettimeofday () < deadline do
+    Daemon.step ~timeout_s:0.01 daemon
+  done;
+  Alcotest.(check int) "session reaped" 0 (Daemon.active_sessions daemon);
+  let ds = Daemon.stats daemon in
+  Alcotest.(check int) "one timeout" 1 ds.Daemon.timeouts;
+  Alcotest.(check int) "one failure" 1 ds.Daemon.failed;
+  (* The teardown is typed: Welcome first, then Error_msg. *)
+  (match Channel.recv_opt ch Channel.Server_to_client with
+  | Some raw -> (
+      match Msg.decode ~config:cfg raw with
+      | Msg.Welcome _ -> ()
+      | m -> Alcotest.failf "expected Welcome, got %s" (Msg.label m))
+  | None -> Alcotest.fail "expected the Welcome reply");
+  (match Channel.recv_opt ch Channel.Server_to_client with
+  | Some raw -> (
+      match Msg.decode ~config:cfg raw with
+      | Msg.Error_msg _ -> ()
+      | m -> Alcotest.failf "expected Error_msg, got %s" (Msg.label m))
+  | None -> Alcotest.fail "expected the typed teardown");
+  Fsync_net.Fd_transport.close tr;
+  Daemon.shutdown daemon
+
+let test_protocol_violation_teardown () =
+  let daemon = Daemon.create (mk_files 5 2) in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Daemon.add_connection daemon b;
+  let tr = Fsync_net.Fd_transport.of_fd a in
+  let ch = Fsync_net.Fd_transport.channel tr in
+  (* An Announce before Hello is a protocol violation. *)
+  Channel.send ch ~label:"t" Channel.Client_to_server
+    (Msg.encode ~config:cfg (Msg.Announce "x"));
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Daemon.active_sessions daemon > 0 && Unix.gettimeofday () < deadline do
+    Daemon.step ~timeout_s:0.01 daemon
+  done;
+  let ds = Daemon.stats daemon in
+  Alcotest.(check int) "failed, not completed" 1 ds.Daemon.failed;
+  Alcotest.(check int) "not completed" 0 ds.Daemon.completed;
+  (match Channel.recv_opt ch Channel.Server_to_client with
+  | Some raw -> (
+      match Msg.decode ~config:cfg raw with
+      | Msg.Error_msg _ -> ()
+      | m -> Alcotest.failf "expected Error_msg, got %s" (Msg.label m))
+  | None -> Alcotest.fail "expected the typed teardown");
+  Fsync_net.Fd_transport.close tr;
+  Daemon.shutdown daemon
+
+(* ---- Conn: backpressure ---- *)
+
+let test_conn_backpressure () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Conn.create ~max_outbox:1024 a in
+  Conn.queue_msg conn (String.make 4096 'x');
+  Alcotest.(check bool) "wants write" true (Conn.wants_write conn);
+  Alcotest.(check bool)
+    "over backpressure" true
+    (Conn.over_backpressure conn);
+  (* Drain by reading the peer until the outbox empties. *)
+  let buf = Bytes.create 65536 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let received = ref 0 in
+  while Conn.wants_write conn && Unix.gettimeofday () < deadline do
+    Conn.handle_writable conn;
+    match Unix.read b buf 0 (Bytes.length buf) with
+    | n -> received := !received + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+  done;
+  Alcotest.(check bool) "drained" false (Conn.over_backpressure conn);
+  Alcotest.(check int) "frame on the wire" (4096 + 4) !received;
+  Alcotest.(check int) "payload accounting" 4096 (Conn.bytes_out conn);
+  Conn.close conn;
+  (match Unix.close b with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  (* Close is idempotent and queue_msg after close is a no-op. *)
+  Conn.close conn;
+  Conn.queue_msg conn "late";
+  Alcotest.(check bool) "still closed" true (Conn.closed conn)
+
+(* ---- the real thing: TCP against a forked daemon ---- *)
+
+let with_forked_daemon files f =
+  let daemon = Daemon.create files in
+  let port = Daemon.listen daemon ~host:"127.0.0.1" ~port:0 in
+  match Unix.fork () with
+  | 0 ->
+      (* Child: serve until SIGTERM flips the stop flag. *)
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Daemon.request_stop daemon));
+      (match Daemon.run ~timeout_s:0.02 ~drain_s:1.0 daemon with
+      | () -> ()
+      | exception _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (match Unix.kill pid Sys.sigterm with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid))
+        (fun () -> f port)
+
+let test_tcp_pull () =
+  let server_files = mk_files 11 8 in
+  let client_files = mutate_some 11 server_files in
+  with_forked_daemon server_files (fun port ->
+      let r =
+        Pull.run ~host:"127.0.0.1" ~port ~idle_timeout_s:10.0 client_files
+      in
+      check_files "tcp pull converges" server_files r.Pull.files;
+      Alcotest.(check int) "first attempt" 1 r.Pull.attempts;
+      (* A pull under a faulty link retries until it converges.  The
+         schedule is a pure function of the seed; this one corrupts
+         frames on the first attempts and lets a later one through. *)
+      let fault =
+        match Fsync_net.Fault.parse "corrupt=0.05" with
+        | Ok spec -> spec
+        | Error e -> Alcotest.fail e
+      in
+      let r2 =
+        Pull.run ~attempts:12 ~fault ~seed:42 ~host:"127.0.0.1" ~port
+          ~idle_timeout_s:5.0 client_files
+      in
+      check_files "faulted pull converges" server_files r2.Pull.files;
+      Alcotest.(check bool) "needed a retry" true (r2.Pull.attempts > 1))
+
+let suite =
+  [
+    ("msg roundtrip", `Quick, test_msg_roundtrip);
+    ("msg malformed", `Quick, test_msg_malformed);
+    ("bitmap roundtrip", `Quick, test_bitmap_roundtrip);
+    ("sigcache hits and eviction", `Quick, test_sigcache_hits_and_eviction);
+    ("in-memory sync", `Quick, test_in_memory_sync);
+    ("in-memory identical and empty", `Quick, test_in_memory_identical_and_empty);
+    ("sigcache across clients", `Quick, test_sigcache_across_clients);
+    ("loopback eight clients", `Quick, test_loopback_eight_clients);
+    ("loopback matches in-memory", `Quick, test_loopback_matches_in_memory);
+    ("timeout teardown", `Quick, test_timeout_teardown);
+    ("protocol violation teardown", `Quick, test_protocol_violation_teardown);
+    ("conn backpressure", `Quick, test_conn_backpressure);
+    ("tcp pull with faults", `Quick, test_tcp_pull);
+  ]

@@ -100,7 +100,7 @@ let pp_finding ppf f =
 (* Libraries whose values travel on (or directly shape) the wire. *)
 let wire_sensitive_dirs =
   [ "lib/core"; "lib/net"; "lib/reconcile"; "lib/hashing"; "lib/rsync";
-    "lib/delta" ]
+    "lib/delta"; "lib/server" ]
 
 let normalize path =
   (* The tool is run from the repository root; strip a leading "./". *)

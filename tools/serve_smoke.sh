@@ -1,0 +1,103 @@
+#!/bin/sh
+# End-to-end smoke test for the sync daemon (DESIGN.md §10).
+#
+#   1. build a small collection and four divergent client replicas
+#   2. start `fsync serve` on an ephemeral TCP port
+#   3. run four pulls concurrently — one of them through an
+#      injected-fault link (`--faults corrupt`), which must converge
+#      by retrying
+#   4. verify every replica is byte-for-byte identical to the served
+#      collection (including deletion of stale files)
+#   5. SIGTERM the daemon and check it reports a clean shutdown
+#
+# Run from the repository root (make serve-smoke does); requires only
+# POSIX sh + a built bin/fsync.exe.
+set -eu
+
+FSYNC=${FSYNC:-_build/default/bin/fsync.exe}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fsync-serve-smoke.XXXXXX")
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "serve-smoke: FAIL: $1" >&2; exit 1; }
+
+[ -x "$FSYNC" ] || fail "$FSYNC not built (run: dune build bin/fsync.exe)"
+
+# ---- 1. collection and four divergent replicas -----------------------
+mkdir -p "$WORK/server/src"
+seq 1 3000 > "$WORK/server/src/numbers.txt"
+seq 1 400 | sed 's/^/line /' > "$WORK/server/notes.txt"
+printf 'hello fsyncd\n' > "$WORK/server/hello.txt"
+
+for i in 1 2 3 4; do
+  mkdir -p "$WORK/client$i/src"
+  # numbers.txt: locally edited (a different slice dropped per client)
+  sed "${i}0,${i}5d" "$WORK/server/src/numbers.txt" \
+    > "$WORK/client$i/src/numbers.txt"
+  # notes.txt: client 1 & 2 up to date, 3 & 4 missing it entirely
+  if [ "$i" -le 2 ]; then cp "$WORK/server/notes.txt" "$WORK/client$i/"; fi
+  # a stale file the server no longer has: must be deleted by --apply
+  printf 'stale %s\n' "$i" > "$WORK/client$i/gone.txt"
+done
+
+# ---- 2. daemon on an ephemeral port ----------------------------------
+"$FSYNC" serve "$WORK/server" --host 127.0.0.1 --port 0 --metrics \
+  2> "$WORK/serve.log" &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+    "$WORK/serve.log" | head -n 1)
+  [ -n "$PORT" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died at startup:
+$(cat "$WORK/serve.log")"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "daemon never reported its port"
+echo "serve-smoke: daemon up on 127.0.0.1:$PORT (pid $DAEMON_PID)"
+
+# ---- 3. four concurrent pulls, one over a faulty link ----------------
+PIDS=""
+for i in 1 2 3; do
+  "$FSYNC" pull "127.0.0.1:$PORT" "$WORK/client$i" --apply -q \
+    > "$WORK/pull$i.log" 2>&1 &
+  PIDS="$PIDS $!"
+done
+"$FSYNC" pull "127.0.0.1:$PORT" "$WORK/client4" --apply -q \
+  --faults corrupt=0.03 --seed 11 --attempts 12 \
+  > "$WORK/pull4.log" 2>&1 &
+PIDS="$PIDS $!"
+
+for pid in $PIDS; do
+  wait "$pid" || fail "a pull failed:
+$(cat "$WORK"/pull*.log)"
+done
+
+# ---- 4. replicas must mirror the collection exactly ------------------
+for i in 1 2 3 4; do
+  diff -r "$WORK/server" "$WORK/client$i" >/dev/null 2>&1 \
+    || fail "client$i differs from the served collection:
+$(diff -r "$WORK/server" "$WORK/client$i" 2>&1 | head -5)"
+done
+echo "serve-smoke: 4 replicas byte-identical (incl. stale-file deletion)"
+
+# ---- 5. clean shutdown ----------------------------------------------
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+grep -q "shut down after" "$WORK/serve.log" \
+  || fail "no clean-shutdown line in serve.log:
+$(cat "$WORK/serve.log")"
+COMPLETED=$(sed -n 's/.*(\([0-9][0-9]*\) completed.*/\1/p' "$WORK/serve.log")
+[ "${COMPLETED:-0}" -ge 4 ] || fail "expected >=4 completed sessions, got \
+'${COMPLETED:-none}'"
+echo "serve-smoke: PASS ($(sed -n 's/^daemon: //p' "$WORK/serve.log"))"
