@@ -17,6 +17,11 @@ val fd : t -> Unix.file_descr
 
 val closed : t -> bool
 
+val peer_gone : t -> bool
+(** True once a write hit a dead peer (EPIPE and friends).  The fd is
+    still open — the owner must observe the flag, account the session
+    and call {!close}. *)
+
 val bytes_in : t -> int
 (** Payload bytes received (framing headers excluded). *)
 
@@ -39,11 +44,15 @@ val queue_msg : t -> string -> unit
 val handle_readable : t -> [ `Eof | `Msgs of string list * bool ]
 (** Drain the socket without blocking and return every complete frame.
     [`Msgs (frames, eof)] reports frames plus whether the peer closed
-    after sending them; [`Eof] means closed with nothing new. *)
+    after sending them; [`Eof] means closed with nothing new.  Raises a
+    typed {!Fsync_core.Error} when an incoming header declares a frame
+    over the protocol limit — callers must guard and tear down only
+    this connection. *)
 
 val handle_writable : t -> unit
 (** Push queued bytes until the socket would block or the outbox is
-    empty.  A broken pipe marks the connection closed. *)
+    empty.  A broken pipe drops the outbox and sets {!peer_gone}; the
+    fd stays open until {!close}. *)
 
 val close : t -> unit
 (** Idempotent; closes the fd. *)

@@ -149,26 +149,37 @@ let sweep t =
   let now = Unix.gettimeofday () in
   List.iter
     (fun c ->
-      if not (Conn.closed c.conn) then begin
-        (* Timeouts: one typed notification, then one more period to
-           flush it before the close below reaps the connection. *)
-        if
-          (not c.failing)
-          && (not (Session.finished c.session))
-          && now -. c.last_activity > t.config.session_timeout_s
-        then begin
-          t.timeouts <- t.timeouts + 1;
-          Scope.incr t.scope "session_timeouts";
-          teardown t c
-            (Error.Disconnected
-               (Printf.sprintf "Session: idle for %.1f s"
-                  (now -. c.last_activity)));
-          c.last_activity <- now
-        end;
-        if not (Conn.wants_write c.conn) then
-          if Session.finished c.session then finish t c ~ok:true
-          else if c.failing then finish t c ~ok:false
-      end)
+      if not (Conn.closed c.conn) then
+        if Conn.peer_gone c.conn then begin
+          (* A write hit a dead peer: nothing more can be delivered.
+             Close the fd and account the session instead of leaking
+             both. *)
+          if not (Session.finished c.session || c.failing) then
+            Trace.log "daemon: session teardown: %s"
+              (Error.to_string
+                 (Error.Disconnected "Session: peer went away mid-write"));
+          finish t c ~ok:(Session.finished c.session)
+        end
+        else begin
+          (* Timeouts: one typed notification, then one more period to
+             flush it before the close below reaps the connection. *)
+          if
+            (not c.failing)
+            && (not (Session.finished c.session))
+            && now -. c.last_activity > t.config.session_timeout_s
+          then begin
+            t.timeouts <- t.timeouts + 1;
+            Scope.incr t.scope "session_timeouts";
+            teardown t c
+              (Error.Disconnected
+                 (Printf.sprintf "Session: idle for %.1f s"
+                    (now -. c.last_activity)));
+            c.last_activity <- now
+          end;
+          if not (Conn.wants_write c.conn) then
+            if Session.finished c.session then finish t c ~ok:true
+            else if c.failing then finish t c ~ok:false
+        end)
     t.clients;
   let before = List.length t.clients in
   t.clients <- List.filter (fun c -> not (Conn.closed c.conn)) t.clients;
@@ -188,6 +199,7 @@ let step ?(timeout_s = 0.05) t =
     List.filter
       (fun c ->
         (not (Conn.closed c.conn))
+        && (not (Conn.peer_gone c.conn))
         && (not c.failing)
         && not (Conn.over_backpressure c.conn))
       t.clients
@@ -209,16 +221,25 @@ let step ?(timeout_s = 0.05) t =
         (fun c ->
           if is_ready ready_r (Conn.fd c.conn) then begin
             c.last_activity <- Unix.gettimeofday ();
-            match Conn.handle_readable c.conn with
-            | `Eof ->
+            (* Guard: a hostile header (frame > max_frame) raises a
+               typed error that must fail this session, not the loop. *)
+            match Error.guard (fun () -> Conn.handle_readable c.conn) with
+            | Error err -> teardown t c err
+            | Ok `Eof ->
+                (* The peer already closed: an Error_msg could never
+                   reach it, so skip the teardown queueing and just
+                   account the session. *)
                 if not (Session.finished c.session) then
-                  teardown t c (Error.Disconnected "Session: peer went away");
-                Conn.close c.conn;
+                  Trace.log "daemon: session teardown: %s"
+                    (Error.to_string
+                       (Error.Disconnected "Session: peer went away"));
                 finish t c ~ok:(Session.finished c.session)
-            | `Msgs (frames, eof) ->
+            | Ok (`Msgs (frames, eof)) ->
                 feed_session t c frames;
                 if eof && not (Session.finished c.session) then begin
-                  Conn.close c.conn;
+                  Trace.log "daemon: session teardown: %s"
+                    (Error.to_string
+                       (Error.Disconnected "Session: peer went away"));
                   finish t c ~ok:false
                 end
           end)

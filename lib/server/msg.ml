@@ -179,7 +179,10 @@ let decode ~config msg =
   | 'S' ->
       let width = hash_width config in
       let count, pos = Varint.read msg ~pos in
-      if count < 0 || pos + (count * width) > String.length msg then
+      (* Bound [count] before any multiplication: a hostile varint near
+         max_int would overflow [count * width] negative and slip past
+         a sum-based check. *)
+      if count < 0 || count > (String.length msg - pos) / width then
         Error.truncated "Msg: %d hashes of %d bytes overrun %d" count width
           (String.length msg);
       Hashes

@@ -80,6 +80,9 @@ let test_msg_malformed () =
   expect_error "B\x05ab";
   (* hash array overrunning the message *)
   expect_error "S\x7f";
+  (* hostile varint count (2^61): [count * width] would overflow
+     negative and slip past a sum-based bounds check *)
+  expect_error "S\x80\x80\x80\x80\x80\x80\x80\x80\x20abcd";
   expect_error "K"
 
 let test_bitmap_roundtrip () =
@@ -345,6 +348,139 @@ let test_conn_backpressure () =
   Conn.queue_msg conn "late";
   Alcotest.(check bool) "still closed" true (Conn.closed conn)
 
+let test_oversized_frame_teardown () =
+  (* A non-protocol peer (e.g. an HTTP probe) whose first 4 bytes decode
+     to a frame length over the limit must fail only its own session —
+     the daemon keeps serving everyone else. *)
+  let server_files = mk_files 13 6 in
+  let daemon = Daemon.create server_files in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Daemon.add_connection daemon b;
+  let probe = "GET / HTTP/1.1\r\n\r\n" in
+  let n = Unix.write_substring a probe 0 (String.length probe) in
+  Alcotest.(check int) "probe written" (String.length probe) n;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Daemon.active_sessions daemon > 0 && Unix.gettimeofday () < deadline do
+    Daemon.step ~timeout_s:0.01 daemon
+  done;
+  Alcotest.(check int) "probe reaped" 0 (Daemon.active_sessions daemon);
+  let ds = Daemon.stats daemon in
+  Alcotest.(check int) "one failure" 1 ds.Daemon.failed;
+  Alcotest.(check int) "no completion" 0 ds.Daemon.completed;
+  (* The typed teardown reached the probe's socket. *)
+  let tr = Fsync_net.Fd_transport.of_fd a in
+  (match
+     Channel.recv_opt (Fsync_net.Fd_transport.channel tr)
+       Channel.Server_to_client
+   with
+  | Some raw -> (
+      match Msg.decode ~config:cfg raw with
+      | Msg.Error_msg _ -> ()
+      | m -> Alcotest.failf "expected Error_msg, got %s" (Msg.label m))
+  | None -> Alcotest.fail "expected the typed teardown");
+  Fsync_net.Fd_transport.close tr;
+  (* The daemon survived: a real client still syncs through it. *)
+  let client_files = mutate_some 13 server_files in
+  (match Loopback.run_pulls ~daemon [ client_files ] with
+  | [ r ] -> check_files "daemon still serves" server_files r.Loopback.files
+  | _ -> Alcotest.fail "one result expected");
+  Daemon.shutdown daemon
+
+let test_conn_peer_gone () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Conn.create a in
+  Unix.close b;
+  Conn.queue_msg conn "undeliverable";
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Conn.peer_gone conn)) && Unix.gettimeofday () < deadline do
+    if not (Conn.wants_write conn) then Conn.queue_msg conn "undeliverable";
+    Conn.handle_writable conn
+  done;
+  Alcotest.(check bool) "peer gone" true (Conn.peer_gone conn);
+  Alcotest.(check bool) "not closed yet" false (Conn.closed conn);
+  Alcotest.(check bool) "outbox dropped" false (Conn.wants_write conn);
+  Alcotest.(check int) "no unsent bytes" 0 (Conn.pending_out conn);
+  (* queue_msg after peer_gone is a no-op. *)
+  Conn.queue_msg conn "late";
+  Alcotest.(check int) "still empty" 0 (Conn.pending_out conn);
+  (* close really releases the fd (regression: the old code marked the
+     connection closed on EPIPE and leaked the descriptor). *)
+  let fd = Conn.fd conn in
+  Conn.close conn;
+  match Unix.fstat fd with
+  | _ -> Alcotest.fail "fd still open after close"
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+
+let test_daemon_peer_gone_accounting () =
+  (* A peer that vanishes while a teardown notification is still queued
+     must be closed AND counted, not silently dropped from the stats. *)
+  let daemon = Daemon.create (mk_files 6 2) in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Daemon.add_connection daemon b;
+  let tr = Fsync_net.Fd_transport.of_fd a in
+  (* Announce before Hello: the violation queues a typed Error_msg... *)
+  Channel.send
+    (Fsync_net.Fd_transport.channel tr)
+    ~label:"t" Channel.Client_to_server
+    (Msg.encode ~config:cfg (Msg.Announce "x"));
+  Daemon.step ~timeout_s:0.0 daemon;
+  (* ...but the peer is gone before the outbox can flush it. *)
+  Fsync_net.Fd_transport.close tr;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Daemon.active_sessions daemon > 0 && Unix.gettimeofday () < deadline do
+    Daemon.step ~timeout_s:0.01 daemon
+  done;
+  Alcotest.(check int) "reaped" 0 (Daemon.active_sessions daemon);
+  let ds = Daemon.stats daemon in
+  Alcotest.(check int) "counted as failed" 1 ds.Daemon.failed;
+  Alcotest.(check int) "not completed" 0 ds.Daemon.completed;
+  Daemon.shutdown daemon
+
+let test_conn_chunked_frames () =
+  (* Frames arriving in many small pieces (and one large frame) must
+     reassemble byte-identically through the offset input buffer. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Conn.create b in
+  let frame s =
+    let len = String.length s in
+    let h = Bytes.create 4 in
+    Bytes.set h 0 (Char.chr ((len lsr 24) land 0xff));
+    Bytes.set h 1 (Char.chr ((len lsr 16) land 0xff));
+    Bytes.set h 2 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set h 3 (Char.chr (len land 0xff));
+    Bytes.to_string h ^ s
+  in
+  let big = String.init 200_000 (fun i -> Char.chr (i mod 251)) in
+  let small = "tiny" in
+  let raw = frame big ^ frame small in
+  let frames = ref [] in
+  let drain () =
+    match Conn.handle_readable conn with
+    | `Msgs (fs, _) -> frames := !frames @ fs
+    | `Eof -> Alcotest.fail "unexpected eof"
+  in
+  let pos = ref 0 in
+  while !pos < String.length raw do
+    let n = min 8192 (String.length raw - !pos) in
+    let w = Unix.write_substring a raw !pos n in
+    pos := !pos + w;
+    drain ()
+  done;
+  drain ();
+  (match !frames with
+  | [ f1; f2 ] ->
+      Alcotest.(check string) "big frame intact" big f1;
+      Alcotest.(check string) "small frame intact" small f2
+  | fs -> Alcotest.failf "expected 2 frames, got %d" (List.length fs));
+  Alcotest.(check int)
+    "payload accounting"
+    (String.length big + String.length small)
+    (Conn.bytes_in conn);
+  Conn.close conn;
+  match Unix.close a with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ()
+
 (* ---- the real thing: TCP against a forked daemon ---- *)
 
 let with_forked_daemon files f =
@@ -406,5 +542,9 @@ let suite =
     ("timeout teardown", `Quick, test_timeout_teardown);
     ("protocol violation teardown", `Quick, test_protocol_violation_teardown);
     ("conn backpressure", `Quick, test_conn_backpressure);
+    ("oversized frame teardown", `Quick, test_oversized_frame_teardown);
+    ("conn peer gone", `Quick, test_conn_peer_gone);
+    ("daemon peer gone accounting", `Quick, test_daemon_peer_gone_accounting);
+    ("conn chunked frames", `Quick, test_conn_chunked_frames);
     ("tcp pull with faults", `Quick, test_tcp_pull);
   ]
