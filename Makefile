@@ -25,7 +25,7 @@ check: build test lint bench-smoke serve-smoke
 # matrices — a smoke test fast enough for CI.
 bench:
 ifeq ($(QUICK),1)
-	QUICK=1 dune exec bench/main.exe -- metadata collection server
+	QUICK=1 dune exec bench/main.exe -- metadata collection server store
 else
 	dune exec bench/main.exe
 endif
@@ -35,7 +35,8 @@ endif
 bench-smoke:
 	$(MAKE) bench QUICK=1
 	dune exec tools/benchjson/benchjson.exe -- \
-	  BENCH_metadata.json BENCH_collection.json BENCH_server.json
+	  BENCH_metadata.json BENCH_collection.json BENCH_server.json \
+	  BENCH_store.json
 
 # Daemon end-to-end smoke: start `fsync serve` on an ephemeral TCP port,
 # run four concurrent `fsync pull`s (one through an injected-fault link),

@@ -17,6 +17,9 @@
               collection through Fsync_server over the loopback driver,
               exported as BENCH_server.json with the shared
               signature-cache hit rate per run
+     store    chunk-store dedup: overlapping client pushes with and
+              without the store (BENCH_store.json, dedup ratio and the
+              warm-restart signature-cache rate)
      ablate   ablations: decomposable / skip rules / candidate cap / local
      speed    bechamel micro-benchmarks (hashes, compressors, protocol)
      all      everything above (default)
@@ -951,6 +954,154 @@ let server () =
   in
   write_bench_json "BENCH_server.json" records
 
+(* ---- store: cross-client dedup and warm restart ---- *)
+
+let store () =
+  (* N clients push overlapping trees into one daemon, with and without
+     a chunk store behind it, exported as BENCH_store.json: the
+     store-less run is the PR-5 baseline, the store-backed run shows the
+     trailing clients' upload collapsing to their unique content
+     (dedup ratio in the config string).  A third record measures the
+     warm restart: pull, kill the daemon, reopen the same store root,
+     pull again — the signature cache must restart hot. *)
+  let module Daemon = Fsync_server.Daemon in
+  let module Loopback = Fsync_server.Loopback in
+  let module Sigcache = Fsync_server.Sigcache in
+  let module Store = Fsync_store.Store in
+  let module Prng = Fsync_util.Prng in
+  let quick = quick_mode () in
+  let matrix = if quick then [ (8, 3) ] else [ (8, 3); (24, 6) ] in
+  Printf.printf "store scenario [%s]: shared files x clients = %s\n"
+    (if quick then "quick" else "full")
+    (String.concat ", "
+       (List.map (fun (f, c) -> Printf.sprintf "%dx%d" f c) matrix));
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let with_store_root f =
+    let dir = Filename.temp_file "fsync_bench_store" "" in
+    Sys.remove dir;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  let trees ~shared ~clients =
+    let rng = Prng.create (Int64.of_int ((shared * 1009) + clients)) in
+    let gen lines = Fsync_workload.Text_gen.c_like rng ~lines in
+    let shared_files =
+      List.init shared (fun i -> (Printf.sprintf "shared/s%02d.c" i, gen 120))
+    in
+    List.init clients (fun c ->
+        shared_files
+        @ List.init
+            (max 1 (shared / 4))
+            (fun j -> (Printf.sprintf "c%d/u%02d.c" c j, gen 100)))
+  in
+  (* Sequential pushes: each client sees what its predecessors stored.
+     Returns the per-client accounted upload bytes, in client order. *)
+  let push_seq ~daemon ts =
+    List.map
+      (fun t ->
+        match Loopback.run_pushes ~daemon [ t ] with
+        | [ r ] -> r.Loopback.up_bytes
+        | _ -> (0 : int))
+      ts
+  in
+  let trailing = function [] -> 0 | _ :: rest -> List.fold_left ( + ) 0 rest in
+  let records =
+    List.concat_map
+      (fun (shared, clients) ->
+        let ts = trees ~shared ~clients in
+        (* PR-5 baseline: no store, every push uploads everything. *)
+        let base_ups, base_reg, base_wall =
+          observed (fun scope ->
+              let daemon = Daemon.create ~scope [] in
+              let ups = push_seq ~daemon ts in
+              Daemon.shutdown daemon;
+              ups)
+        in
+        let base_rec =
+          bench_record
+            ~scenario:(Printf.sprintf "store/push shared=%d" shared)
+            ~config:(Printf.sprintf "clients=%d,mode=baseline" clients)
+            ~bytes_up:(List.fold_left ( + ) 0 base_ups)
+            ~bytes_down:0 ~rounds:clients
+            ~elapsed_s:
+              (slow_link_time ~rounds:clients (List.fold_left ( + ) 0 base_ups))
+            ~wall_ns:base_wall base_reg
+        in
+        let store_recs =
+          with_store_root (fun root ->
+              let (ups, warm), reg, wall =
+                observed (fun scope ->
+                    let st = Store.open_store ~scope root in
+                    let daemon = Daemon.create ~scope ~store:st [] in
+                    let ups = push_seq ~daemon ts in
+                    (* Warm restart: an outdated replica pulls, the
+                       daemon dies, a fresh one over the same root
+                       serves the same pull from persisted vectors. *)
+                    let lag (path, content) =
+                      let lines = String.split_on_char '\n' content in
+                      ( path,
+                        String.concat "\n"
+                          (List.filteri (fun i _ -> i mod 9 <> 0) lines) )
+                    in
+                    let merged = Daemon.files daemon in
+                    let replica = List.map lag merged in
+                    ignore (Loopback.run_pulls ~daemon [ replica ]);
+                    Daemon.shutdown daemon;
+                    Store.close st;
+                    let st2 = Store.open_store ~scope root in
+                    let d2 = Daemon.create ~scope ~store:st2 merged in
+                    (match Loopback.run_pulls ~daemon:d2 [ replica ] with
+                    | [ r ] -> ignore r.Loopback.files
+                    | _ -> ());
+                    let warm =
+                      ( Daemon.sigs_loaded d2,
+                        Sigcache.warm_hit_rate (Daemon.cache d2) )
+                    in
+                    Daemon.shutdown d2;
+                    Store.close st2;
+                    (ups, warm))
+              in
+              let dedup =
+                1.0
+                -. (float_of_int (trailing ups)
+                   /. float_of_int (max 1 (trailing base_ups)))
+              in
+              let sigs_loaded, warm_rate = warm in
+              Printf.printf
+                "  %2d shared x %d clients: trailing up %6d -> %6d \
+                 (dedup %.0f%%), warm restart %d sigs, rate %.2f\n"
+                shared clients (trailing base_ups) (trailing ups)
+                (100.0 *. dedup) sigs_loaded warm_rate;
+              [
+                bench_record
+                  ~scenario:(Printf.sprintf "store/push shared=%d" shared)
+                  ~config:
+                    (Printf.sprintf "clients=%d,mode=store,dedup=%.3f" clients
+                       dedup)
+                  ~bytes_up:(List.fold_left ( + ) 0 ups)
+                  ~bytes_down:0 ~rounds:clients
+                  ~elapsed_s:
+                    (slow_link_time ~rounds:clients (List.fold_left ( + ) 0 ups))
+                  ~wall_ns:wall reg;
+                bench_record
+                  ~scenario:(Printf.sprintf "store/warm shared=%d" shared)
+                  ~config:
+                    (Printf.sprintf "sigs=%d,warm=%.3f" sigs_loaded warm_rate)
+                  ~bytes_up:0 ~bytes_down:0 ~rounds:1 ~elapsed_s:0.0
+                  ~wall_ns:wall reg;
+              ])
+        in
+        base_rec :: store_recs)
+      matrix
+  in
+  write_bench_json "BENCH_store.json" records
+
 (* ---- theory: group-testing planner and searching-with-liars ---- *)
 
 let theory () =
@@ -1101,7 +1252,7 @@ let speed () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|ablate|dispersion|latency|broadcast|theory|speed|all]"
+     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|store|ablate|dispersion|latency|broadcast|theory|speed|all]"
 
 let () =
   let targets =
@@ -1117,6 +1268,7 @@ let () =
     | "metadata" -> metadata ()
     | "collection" -> collection ()
     | "server" -> server ()
+    | "store" -> store ()
     | "ablate" -> ablate ()
     | "dispersion" -> dispersion ()
     | "latency" -> latency ()
@@ -1133,6 +1285,7 @@ let () =
         metadata ();
         collection ();
         server ();
+        store ();
         ablate ();
         dispersion ();
         latency ();

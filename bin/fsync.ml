@@ -9,6 +9,8 @@
      gen      generate a synthetic dataset onto disk
      serve    run the sync daemon over TCP for concurrent pull clients
      pull     synchronize a local replica from a running daemon
+     push     upload a tree into a running daemon (store-deduplicated)
+     store    inspect/maintain a persistent chunk store (stats|fsck|gc)
      info     describe a configuration preset *)
 
 open Cmdliner
@@ -502,8 +504,18 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event logging.")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Back the daemon with a persistent chunk store rooted at \
+                $(docv) (created if absent): pushes deduplicate against \
+                it, and signature-cache vectors persist under it so a \
+                restarted daemon warm-starts.")
+  in
   let run root host port max_sessions session_timeout_s cache_entries quiet
-      metrics trace_json =
+      store_dir metrics trace_json =
     if not quiet then log_to_stderr ();
     let files =
       Fsync_collection.Snapshot.files (Fsync_collection.Snapshot.load_dir root)
@@ -517,37 +529,72 @@ let serve_cmd =
         cache_entries;
       }
     in
-    let daemon = Fsync_server.Daemon.create ~config ~scope files in
-    match Fsync_server.Daemon.listen daemon ~host ~port with
-    | actual_port ->
-        Printf.eprintf "fsyncd: serving %d files from %s on %s:%d\n%!"
-          (List.length files) root host actual_port;
-        let stop _ = Fsync_server.Daemon.request_stop daemon in
-        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-        Fsync_server.Daemon.run daemon;
-        let st = Fsync_server.Daemon.stats daemon in
-        let cs = Fsync_server.Sigcache.stats (Fsync_server.Daemon.cache daemon) in
-        Format.printf
-          "sessions: %d accepted, %d completed, %d failed, %d timeouts@."
-          st.Fsync_server.Daemon.accepted st.Fsync_server.Daemon.completed
-          st.Fsync_server.Daemon.failed st.Fsync_server.Daemon.timeouts;
-        Format.printf "sig cache: %d hits, %d misses, %d entries@."
-          cs.Fsync_server.Sigcache.hits cs.Fsync_server.Sigcache.misses
-          cs.Fsync_server.Sigcache.entries;
-        emit_obs ~metrics ~trace_json reg;
-        `Ok ()
-    | exception Unix.Unix_error (e, _, _) ->
+    match
+      Option.map (fun dir -> Fsync_store.Store.open_store ~scope dir) store_dir
+    with
+    | exception Fsync_core.Error.E e ->
         `Error
           ( false,
-            Printf.sprintf "cannot listen on %s:%d: %s" host port
-              (Unix.error_message e) )
+            Printf.sprintf "cannot open store: %s"
+              (Fsync_core.Error.to_string e) )
+    | store -> (
+        let daemon = Fsync_server.Daemon.create ~config ~scope ?store files in
+        match Fsync_server.Daemon.listen daemon ~host ~port with
+        | actual_port ->
+            Printf.eprintf "fsyncd: serving %d files from %s on %s:%d\n%!"
+              (List.length files) root host actual_port;
+            Option.iter
+              (fun s ->
+                Printf.eprintf
+                  "fsyncd: store %s (%d sig vectors seeded)\n%!"
+                  (Fsync_store.Store.root s)
+                  (Fsync_server.Daemon.sigs_loaded daemon))
+              store;
+            let stop _ = Fsync_server.Daemon.request_stop daemon in
+            Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+            Fsync_server.Daemon.run daemon;
+            let st = Fsync_server.Daemon.stats daemon in
+            let cache = Fsync_server.Daemon.cache daemon in
+            let cs = Fsync_server.Sigcache.stats cache in
+            Format.printf
+              "sessions: %d accepted, %d completed, %d failed, %d timeouts@."
+              st.Fsync_server.Daemon.accepted st.Fsync_server.Daemon.completed
+              st.Fsync_server.Daemon.failed st.Fsync_server.Daemon.timeouts;
+            Format.printf
+              "sig cache: %d hits, %d misses, %d entries, %d lookups, %d \
+               warm hits, warm rate %.3f@."
+              cs.Fsync_server.Sigcache.hits cs.Fsync_server.Sigcache.misses
+              cs.Fsync_server.Sigcache.entries
+              cs.Fsync_server.Sigcache.lookups
+              cs.Fsync_server.Sigcache.warm_hits
+              (Fsync_server.Sigcache.warm_hit_rate cache);
+            Option.iter
+              (fun s ->
+                let ss = Fsync_store.Store.stats s in
+                Format.printf
+                  "store: %d chunks, %d bytes, %d manifests, %d bytes \
+                   deduped@."
+                  ss.Fsync_store.Store.chunks ss.Fsync_store.Store.bytes
+                  ss.Fsync_store.Store.manifests
+                  ss.Fsync_store.Store.bytes_deduped;
+                Fsync_store.Store.close s)
+              store;
+            emit_obs ~metrics ~trace_json reg;
+            `Ok ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Option.iter Fsync_store.Store.close store;
+            `Error
+              ( false,
+                Printf.sprintf "cannot listen on %s:%d: %s" host port
+                  (Unix.error_message e) ))
   in
   let term =
     Term.(
       ret
         (const run $ root_arg $ host_arg $ port_arg $ max_sessions_arg
-       $ timeout_arg $ cache_arg $ quiet_arg $ metrics_arg $ trace_json_arg))
+       $ timeout_arg $ cache_arg $ quiet_arg $ store_arg $ metrics_arg
+       $ trace_json_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -653,7 +700,14 @@ let pull_cmd =
                 | () -> ()
                 | exception Sys_error _ -> ())
             old_files;
-          Format.printf "replica updated in place@."
+          (* Deleting stale files can leave their directories behind;
+             sweep those bottom-up so the replica tree mirrors the
+             served one exactly. *)
+          let pruned = Fsync_collection.Snapshot.prune_empty_dirs dir in
+          if pruned > 0 then
+            Format.printf "replica updated in place (%d empty dir(s) removed)@."
+              pruned
+          else Format.printf "replica updated in place@."
         end;
         `Ok ()
     | exception Fsync_core.Error.E e ->
@@ -676,6 +730,145 @@ let pull_cmd =
        ~doc:"Synchronize a local replica from a running fsync daemon.")
     term
 
+let push_cmd =
+  let addr_arg =
+    Arg.(
+      required
+      & pos 0 (some host_port_conv) None
+      & info [] ~docv:"HOST:PORT" ~doc:"Daemon address (numeric host).")
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 1 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Local directory tree to upload.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Connection attempts before giving up.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Abort an attempt when the server is silent this long.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event logging.")
+  in
+  let run (host, port) dir attempts idle_timeout_s quiet =
+    if not quiet then log_to_stderr ();
+    let files =
+      Fsync_collection.Snapshot.files (Fsync_collection.Snapshot.load_dir dir)
+    in
+    match
+      Fsync_server.Push.run ~attempts ~idle_timeout_s ~host ~port files
+    with
+    | r ->
+        let s = r.Fsync_server.Push.stats in
+        Format.printf
+          "pushed %d files in %d attempt(s); chunks: %d sent of %d, %d \
+           bytes deduped; wire: %d up, %d down@."
+          s.Fsync_server.Pusher.files_pushed r.Fsync_server.Push.attempts
+          s.Fsync_server.Pusher.chunks_sent s.Fsync_server.Pusher.chunks_total
+          s.Fsync_server.Pusher.bytes_deduped r.Fsync_server.Push.c2s_bytes
+          r.Fsync_server.Push.s2c_bytes;
+        `Ok ()
+    | exception Fsync_core.Error.E e ->
+        `Error
+          (false, Printf.sprintf "push failed: %s" (Fsync_core.Error.to_string e))
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot reach %s:%d: %s" host port
+              (Unix.error_message e) )
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ addr_arg $ dir_arg $ attempts_arg $ timeout_arg
+       $ quiet_arg))
+  in
+  Cmd.v
+    (Cmd.info "push"
+       ~doc:
+         "Upload a directory tree into a running daemon; a store-backed \
+          daemon only asks for the chunks it does not already hold.")
+    term
+
+(* ---- store maintenance ---- *)
+
+let store_root_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STORE" ~doc:"Chunk-store root directory.")
+
+let with_store root f =
+  match Fsync_store.Store.open_store root with
+  | exception Fsync_core.Error.E e ->
+      `Error
+        (false, Printf.sprintf "store: %s" (Fsync_core.Error.to_string e))
+  | store ->
+      Fun.protect
+        ~finally:(fun () -> Fsync_store.Store.close store)
+        (fun () -> f store)
+
+let store_stats_cmd =
+  let run root =
+    with_store root (fun store ->
+        let s = Fsync_store.Store.stats store in
+        Format.printf
+          "store %s: %d chunks, %d bytes, %d manifests, %d compactions@."
+          root s.Fsync_store.Store.chunks s.Fsync_store.Store.bytes
+          s.Fsync_store.Store.manifests s.Fsync_store.Store.compactions;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print chunk, byte and manifest counts.")
+    Term.(ret (const run $ store_root_arg))
+
+let store_fsck_cmd =
+  let run root =
+    with_store root (fun store ->
+        let report = Fsync_store.Store.fsck store in
+        Format.printf "%a@." Fsync_store.Store.pp_fsck_report report;
+        match Fsync_store.Store.fsck_errors report with
+        | [] -> `Ok ()
+        | errors ->
+            `Error
+              ( false,
+                Printf.sprintf "fsck: %d error(s) in %s"
+                  (List.length errors) root ))
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify every chunk re-hashes to its key and every refcount \
+          matches the manifests; non-zero exit on damage.")
+    Term.(ret (const run $ store_root_arg))
+
+let store_gc_cmd =
+  let run root =
+    with_store root (fun store ->
+        let removed, bytes = Fsync_store.Store.gc store in
+        Format.printf "gc: removed %d chunk(s), reclaimed %d bytes@." removed
+          bytes;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Delete unreferenced chunks and compact the index.")
+    Term.(ret (const run $ store_root_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a persistent chunk store.")
+    [ store_stats_cmd; store_fsck_cmd; store_gc_cmd ]
+
 (* ---- info ---- *)
 
 let info_cmd =
@@ -697,6 +890,8 @@ let main =
       gen_cmd;
       serve_cmd;
       pull_cmd;
+      push_cmd;
+      store_cmd;
       info_cmd;
     ]
 

@@ -50,6 +50,23 @@ let load_dir root =
   walk "";
   of_files !acc
 
+let prune_empty_dirs root =
+  let removed = ref 0 in
+  (* Bottom-up: prune children first so a directory whose only content
+     was empty subdirectories is itself seen empty. *)
+  let rec walk abs =
+    if Sys.file_exists abs && Sys.is_directory abs then begin
+      Array.iter (fun name -> walk (Filename.concat abs name)) (Sys.readdir abs);
+      if Array.length (Sys.readdir abs) = 0 then
+        match Sys.rmdir abs with
+        | () -> incr removed
+        | exception Sys_error _ -> ()
+    end
+  in
+  if Sys.file_exists root && Sys.is_directory root then
+    Array.iter (fun name -> walk (Filename.concat root name)) (Sys.readdir root);
+  !removed
+
 let store_dir root t =
   mkdir_p root;
   M.iter

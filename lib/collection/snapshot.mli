@@ -22,3 +22,9 @@ val load_dir : string -> t
 
 val store_dir : string -> t -> unit
 (** Write all files under the root, creating directories as needed. *)
+
+val prune_empty_dirs : string -> int
+(** Remove every directory under [root] (never [root] itself) that
+    contains no files, bottom-up, so directories left empty by
+    stale-file deletion disappear too.  Returns how many were
+    removed. *)

@@ -1,6 +1,9 @@
 module Error = Fsync_core.Error
 module Scope = Fsync_obs.Scope
 module Trace = Fsync_net.Trace
+module Store = Fsync_store.Store
+module Sig_persist = Fsync_store.Sig_persist
+module Chunker = Fsync_cdc.Chunker
 
 type config = {
   sync : Msg.sync_config;
@@ -29,9 +32,10 @@ type client = {
 
 type t = {
   config : config;
-  files : (string * string) list;
+  mutable files : (string * string) list;
   scope : Scope.t;
   cache : Sigcache.t;
+  store : Store.t option;
   mutable listener : Unix.file_descr option;
   mutable clients : client list;
   mutable stop : bool;
@@ -40,15 +44,52 @@ type t = {
   mutable failed : int;
   mutable timeouts : int;
   mutable iterations : int;
+  sigs_loaded : int;
 }
 
-let create ?(config = default_config) ?(scope = Scope.disabled) files =
+(* Chunk the whole collection into the store so pull sessions can serve
+   from it and push bitmaps start warm.  [put] is ref-neutral and
+   [set_manifest] skips unchanged declarations, so re-ingesting the same
+   collection after a restart costs no index growth and no refcount
+   drift. *)
+let ingest_collection store files =
+  List.iter
+    (fun (path, content) ->
+      let fps =
+        List.map
+          (fun c -> Store.put store (Chunker.chunk_content content c))
+          (Chunker.chunks content)
+      in
+      Store.set_manifest store ~path fps)
+    files
+
+let create ?(config = default_config) ?(scope = Scope.disabled) ?store files
+    =
   let config = { config with sync = Msg.validate_sync_config config.sync } in
+  let cache = Sigcache.create ~max_entries:config.cache_entries ~scope () in
+  let sigs_loaded =
+    match store with
+    | None -> 0
+    | Some s ->
+        ingest_collection s files;
+        (* Wire the cache to the store's sigs/ directory: misses persist
+           their vectors, and whatever a previous daemon left there is
+           seeded back as warm entries before the first client. *)
+        let dir = Store.sig_dir s in
+        Sigcache.set_persist cache
+          {
+            save =
+              (fun ~fp ~size ~bits hashes ->
+                Sig_persist.save ~dir ~fp ~size ~bits hashes);
+          };
+        Sig_persist.load_all ~dir (Sigcache.seed cache)
+  in
   {
     config;
     files;
     scope;
-    cache = Sigcache.create ~max_entries:config.cache_entries ~scope ();
+    cache;
+    store;
     listener = None;
     clients = [];
     stop = false;
@@ -57,9 +98,29 @@ let create ?(config = default_config) ?(scope = Scope.disabled) files =
     failed = 0;
     timeouts = 0;
     iterations = 0;
+    sigs_loaded;
   }
 
 let cache t = t.cache
+
+let store t = t.store
+
+let files t = t.files
+
+let sigs_loaded t = t.sigs_loaded
+
+(* A verified push replaces (or adds) the file in the served collection;
+   sessions opened from now on serve the new content.  The path-sorted
+   order keeps announce/verdict behavior identical to a collection
+   loaded from disk. *)
+let publish t ~path ~content =
+  let others =
+    List.filter (fun (p, _) -> not (String.equal p path)) t.files
+  in
+  t.files <-
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      ((path, content) :: others)
 
 let active_sessions t = List.length t.clients
 
@@ -81,8 +142,9 @@ let listen t ~host ~port =
 let add_connection t fd =
   let conn = Conn.create ~max_outbox:t.config.max_outbox fd in
   let session =
-    Session.create ~config:t.config.sync ~scope:t.scope ~cache:t.cache
-      t.files
+    Session.create ~config:t.config.sync ~scope:t.scope ?store:t.store
+      ~publish:(fun ~path ~content -> publish t ~path ~content)
+      ~cache:t.cache t.files
   in
   let now = Unix.gettimeofday () in
   t.clients <-

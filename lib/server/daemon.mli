@@ -32,8 +32,18 @@ val default_config : config
 (** 64 sessions, 30 s timeout, 4 MiB outbox, 1024 cache entries. *)
 
 val create :
-  ?config:config -> ?scope:Fsync_obs.Scope.t -> (string * string) list -> t
-(** Serve the given [(path, content)] collection. *)
+  ?config:config ->
+  ?scope:Fsync_obs.Scope.t ->
+  ?store:Fsync_store.Store.t ->
+  (string * string) list ->
+  t
+(** Serve the given [(path, content)] collection.  With [store], the
+    collection is ingested (chunked, manifested) at startup, every
+    session shares the store for push dedup and store-served payloads,
+    and the signature cache is wired to the store's [sigs/] directory:
+    vectors computed on a miss persist, and persisted vectors from a
+    previous run are seeded back as warm entries — the warm-start
+    protocol of DESIGN.md §11. *)
 
 val listen : t -> host:string -> port:int -> int
 (** Bind and listen on [host] (numeric, e.g. ["127.0.0.1"]) and [port];
@@ -64,6 +74,14 @@ val shutdown : t -> unit
 val active_sessions : t -> int
 
 val cache : t -> Sigcache.t
+
+val store : t -> Fsync_store.Store.t option
+
+val files : t -> (string * string) list
+(** The currently served collection (pushes update it live). *)
+
+val sigs_loaded : t -> int
+(** Persisted signature vectors seeded into the cache at startup. *)
 
 type stats = {
   accepted : int;

@@ -83,6 +83,60 @@ let run_pulls ?(max_iterations = 1_000_000) ?prepare ~daemon clients =
       r)
     states
 
+type push_result = {
+  pusher : Pusher.stats;
+  up_bytes : int;
+  down_bytes : int;
+}
+
+(* Same pump as [run_pulls], upload direction: used concurrently for
+   interleaving coverage and one-client-at-a-time when a caller wants
+   each push to see the chunks its predecessors left in the store. *)
+let run_pushes ?(max_iterations = 1_000_000) ?params ~daemon clients =
+  let states =
+    List.map
+      (fun files ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Daemon.add_connection daemon b;
+        let tr = Fd_transport.of_fd a in
+        let pusher = Pusher.create ?params files in
+        send_all (Fd_transport.channel tr) (Pusher.start pusher);
+        (tr, pusher, ref false))
+      clients
+  in
+  let remaining () = List.exists (fun (_, _, d) -> not !d) states in
+  let iter = ref 0 in
+  while remaining () && !iter < max_iterations do
+    incr iter;
+    Daemon.step ~timeout_s:0.0 daemon;
+    List.iter
+      (fun (tr, pusher, done_) ->
+        if not !done_ then
+          let ch = Fd_transport.channel tr in
+          match Channel.recv_opt ch Channel.Server_to_client with
+          | Some frame ->
+              send_all ch (Pusher.on_message pusher frame);
+              if Pusher.finished pusher then done_ := true
+          | None -> ())
+      states
+  done;
+  if remaining () then
+    Error.fail
+      (Error.Channel_empty "Loopback: pushes stalled before completion");
+  List.map
+    (fun (tr, pusher, _) ->
+      let ch = Fd_transport.channel tr in
+      let r =
+        {
+          pusher = Pusher.stats pusher;
+          up_bytes = Channel.bytes ch Channel.Client_to_server;
+          down_bytes = Channel.bytes ch Channel.Server_to_client;
+        }
+      in
+      Fd_transport.close tr;
+      r)
+    states
+
 let run_in_memory ?config ?scope ~cache ~server ~client () =
   let ch = Channel.create () in
   let session = Session.create ?config ?scope ~cache server in

@@ -36,6 +36,23 @@ val run_pulls :
     Raises a typed error if the system stalls ([max_iterations],
     default 1e6, bounds the pump loop). *)
 
+type push_result = {
+  pusher : Pusher.stats;
+  up_bytes : int;   (** accounted client-to-server bytes (incl. framing) *)
+  down_bytes : int;
+}
+
+val run_pushes :
+  ?max_iterations:int ->
+  ?params:Fsync_cdc.Chunker.params ->
+  daemon:Daemon.t ->
+  (string * string) list list ->
+  push_result list
+(** One push per listed tree, all concurrent against [daemon] — the
+    upload mirror of {!run_pulls}.  Call it once per client instead to
+    let each push see the chunks its predecessors stored (that is how
+    the dedup benchmarks measure the second client's saving). *)
+
 val run_in_memory :
   ?config:Msg.sync_config ->
   ?scope:Fsync_obs.Scope.t ->

@@ -36,6 +36,15 @@ type t =
   | File_ack of bool
   | Bye of { root : Fp.t }
   | Error_msg of string
+  | Push_begin of {
+      path : string;
+      file_len : int;
+      fp : Fp.t;
+      manifest : (Fp.t * int) list;
+    }
+  | Chunk_need of string
+  | Chunk_data of string
+  | Push_done
 
 let tag_of = function
   | Hello _ -> 'H'
@@ -50,6 +59,10 @@ let tag_of = function
   | File_ack _ -> 'K'
   | Bye _ -> 'Y'
   | Error_msg _ -> 'E'
+  | Push_begin _ -> 'P'
+  | Chunk_need _ -> 'N'
+  | Chunk_data _ -> 'C'
+  | Push_done -> 'D'
 
 let label = function
   | Hello _ -> "srv:hello"
@@ -64,6 +77,10 @@ let label = function
   | File_ack _ -> "srv:ack"
   | Bye _ -> "srv:bye"
   | Error_msg _ -> "srv:error"
+  | Push_begin _ -> "push:begin"
+  | Chunk_need _ -> "push:need"
+  | Chunk_data _ -> "push:data"
+  | Push_done -> "push:done"
 
 (* Label an already-encoded frame by its tag byte alone, for channel
    transcripts on transports that never decode what they carry. *)
@@ -83,6 +100,10 @@ let wire_label raw =
     | 'K' -> "srv:ack"
     | 'Y' -> "srv:bye"
     | 'E' -> "srv:error"
+    | 'P' -> "push:begin"
+    | 'N' -> "push:need"
+    | 'C' -> "push:data"
+    | 'D' -> "push:done"
     | _ -> "srv:?"
 
 (* ---- encoding ---- *)
@@ -95,6 +116,14 @@ let put_hash_le b ~width v =
   for i = 0 to width - 1 do
     Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
   done
+
+let put_manifest b manifest =
+  Varint.write b (List.length manifest);
+  List.iter
+    (fun (fp, len) ->
+      Buffer.add_string b (Fp.to_raw fp);
+      Varint.write b len)
+    manifest
 
 let encode ~config msg =
   let b = Buffer.create 64 in
@@ -120,7 +149,15 @@ let encode ~config msg =
       Array.iter (fun h -> put_hash_le b ~width h) hs
   | File_ack ok -> Buffer.add_char b (if ok then '\001' else '\000')
   | Bye { root } -> Buffer.add_string b (Fp.to_raw root)
-  | Error_msg m -> put_string b m);
+  | Error_msg m -> put_string b m
+  | Push_begin { path; file_len; fp; manifest } ->
+      put_string b path;
+      Varint.write b file_len;
+      Buffer.add_string b (Fp.to_raw fp);
+      put_manifest b manifest
+  | Chunk_need bitmap -> Buffer.add_string b bitmap
+  | Chunk_data z -> Buffer.add_string b z
+  | Push_done -> ());
   Buffer.contents b
 
 (* ---- decoding (hardened: every length validated before any read) ---- *)
@@ -148,6 +185,25 @@ let get_hash_le msg ~pos ~width =
   !v
 
 let rest msg pos = String.sub msg pos (String.length msg - pos)
+
+let get_manifest msg ~pos =
+  let count, pos = Varint.read msg ~pos in
+  (* Each entry is at least fp + a 1-byte varint: bound [count] before
+     trusting it (same discipline as the Hashes decoder). *)
+  if count < 0 || count > (String.length msg - pos) / (Fp.size_bytes + 1)
+  then
+    Error.truncated "Msg: %d manifest entries overrun %d bytes" count
+      (String.length msg);
+  let pos = ref pos in
+  let entries =
+    List.init count (fun _ ->
+        let fp, p = get_fp msg ~pos:!pos "manifest chunk" in
+        let len, p = Varint.read msg ~pos:p in
+        if len < 0 then Error.malformed "Msg: negative chunk length";
+        pos := p;
+        (fp, len))
+  in
+  (entries, !pos)
 
 let decode ~config msg =
   if String.equal msg "" then Error.truncated "Msg: empty message";
@@ -199,6 +255,16 @@ let decode ~config msg =
   | 'E' ->
       let m, _ = get_string msg ~pos "error text" in
       Error_msg m
+  | 'P' ->
+      let path, pos = get_string msg ~pos "push path" in
+      let file_len, pos = Varint.read msg ~pos in
+      if file_len < 0 then Error.malformed "Msg: negative push file length";
+      let fp, pos = get_fp msg ~pos "push fingerprint" in
+      let manifest, _ = get_manifest msg ~pos in
+      Push_begin { path; file_len; fp; manifest }
+  | 'N' -> Chunk_need (rest msg pos)
+  | 'C' -> Chunk_data (rest msg pos)
+  | 'D' -> Push_done
   | c -> Error.malformed "Msg: unknown tag %C" c
 
 (* ---- shared protocol rules ----

@@ -21,6 +21,22 @@
       File_ack ok      ->
                        <-  Full (on ack failure / new files)
                        <-  Bye (collection root)
+    v}
+
+    Push flow (client uploads into a store-backed daemon; the [Hello] /
+    [Welcome] opening is shared, then the first [Push_begin] selects the
+    direction):
+    {v
+    client                           server
+      Push_begin       ->               (path, len, fp, chunk manifest)
+                       <-  Chunk_need (bitmap, 1 = upload it)
+      Chunk_data       ->               (deflated needed chunks, in order)
+                       <-  File_ack true
+                        |  Chunk_need (all-ones: store let the server
+                           down mid-assembly; retried at most once)
+      ... per file, then:
+      Push_done        ->
+                       <-  Bye (root of the pushed set)
     v} *)
 
 val version : int
@@ -68,6 +84,20 @@ type t =
   | File_ack of bool    (** false asks for the [Full] fallback *)
   | Bye of { root : Fsync_hash.Fingerprint.t }
   | Error_msg of string (** typed teardown notification *)
+  | Push_begin of {
+      path : string;
+      file_len : int;
+      fp : Fsync_hash.Fingerprint.t;
+      manifest : (Fsync_hash.Fingerprint.t * int) list;
+          (** the file as content-defined chunks, in order: (strong
+              fingerprint, length) per chunk *)
+    }
+  | Chunk_need of string
+      (** bitmap over the manifest, 1 = the server wants that chunk *)
+  | Chunk_data of string
+      (** deflated concatenation of exactly the needed chunks, manifest
+          order *)
+  | Push_done  (** no more files; the server answers [Bye] *)
 
 val label : t -> string
 (** Channel transcript label ([srv:*], plus the shared [linear:*] /

@@ -1,0 +1,29 @@
+(** Blocking TCP push client with bounded retry (the upload mirror of
+    {!Pull}).
+
+    Connects to a {!Daemon}, wraps the socket in
+    {!Fsync_net.Fd_transport} and drives a {!Pusher} to completion.
+    Retry is safe mid-upload: chunks are content-addressed and the
+    server's bitmap is recomputed per attempt, so a second attempt only
+    re-sends what the store still lacks. *)
+
+type outcome = {
+  stats : Pusher.stats;
+  c2s_bytes : int;
+  s2c_bytes : int;
+  attempts : int; (** attempts consumed, [>= 1] *)
+}
+
+val run :
+  ?attempts:int ->
+  ?fault:Fsync_net.Fault.spec ->
+  ?seed:int ->
+  ?idle_timeout_s:float ->
+  ?params:Fsync_cdc.Chunker.params ->
+  host:string ->
+  port:int ->
+  (string * string) list ->
+  outcome
+(** Push the [(path, content)] tree.  Defaults: 3 attempts, no faults,
+    30 s idle timeout, default chunker parameters, numeric [host].
+    Raises the last failure when every attempt is spent. *)

@@ -1,0 +1,155 @@
+module Fp = Fsync_hash.Fingerprint
+module Error = Fsync_core.Error
+module Deflate = Fsync_compress.Deflate
+module Meta_wire = Fsync_collection.Meta_wire
+module Chunker = Fsync_cdc.Chunker
+
+type job = {
+  path : string;
+  content : string;
+  fp : Fp.t;
+  chunks : (Fp.t * Chunker.chunk) list;
+}
+
+type phase =
+  | Expect_welcome
+  | Expect_need of job
+  | Expect_ack of job
+  | Expect_bye
+  | Done
+
+type t = {
+  mutable config : Msg.sync_config;
+  mutable phase : phase;
+  mutable queue : job list;
+  root : Fp.t;
+  mutable files_pushed : int;
+  mutable chunks_total : int;
+  mutable chunks_sent : int;
+  mutable bytes_sent : int;
+  mutable bytes_deduped : int;
+}
+
+let create ?params files =
+  let jobs =
+    List.map
+      (fun (path, content) ->
+        {
+          path;
+          content;
+          fp = Fp.of_string content;
+          chunks =
+            List.map
+              (fun c -> (Fp.of_string (Chunker.chunk_content content c), c))
+              (Chunker.chunks ?params content);
+        })
+      files
+  in
+  {
+    config = Msg.default_sync_config;
+    phase = Expect_welcome;
+    queue = jobs;
+    root = Meta_wire.collection_root files;
+    files_pushed = 0;
+    chunks_total = 0;
+    chunks_sent = 0;
+    bytes_sent = 0;
+    bytes_deduped = 0;
+  }
+
+let enc t m = Msg.encode ~config:t.config m
+
+let start t = [ enc t (Msg.Hello { version = Msg.version }) ]
+
+let finished t = match t.phase with Done -> true | _ -> false
+
+let advance t =
+  match t.queue with
+  | [] ->
+      t.phase <- Expect_bye;
+      [ Msg.Push_done ]
+  | job :: rest ->
+      t.queue <- rest;
+      t.chunks_total <- t.chunks_total + List.length job.chunks;
+      t.phase <- Expect_need job;
+      [
+        Msg.Push_begin
+          {
+            path = job.path;
+            file_len = String.length job.content;
+            fp = job.fp;
+            manifest =
+              List.map (fun (cfp, (c : Chunker.chunk)) -> (cfp, c.len)) job.chunks;
+          };
+      ]
+
+(* Answer a residency bitmap (initial or all-ones retry) with exactly
+   the requested chunks, manifest order, deflated as one payload. *)
+let on_need t job bitmap =
+  let flags = Msg.decode_bitmap ~count:(List.length job.chunks) bitmap in
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i (_, (c : Chunker.chunk)) ->
+      if flags.(i) then begin
+        Buffer.add_substring buf job.content c.off c.len;
+        t.chunks_sent <- t.chunks_sent + 1;
+        t.bytes_sent <- t.bytes_sent + c.len
+      end
+      else t.bytes_deduped <- t.bytes_deduped + c.len)
+    job.chunks;
+  t.phase <- Expect_ack job;
+  [ Msg.Chunk_data (Deflate.compress (Buffer.contents buf)) ]
+
+let on_message t raw =
+  let msg = Msg.decode ~config:t.config raw in
+  let replies =
+    match (t.phase, msg) with
+    | Expect_welcome, Msg.Welcome { version; config; _ } ->
+        if not (Int.equal version Msg.version) then
+          Error.malformed "Pusher: protocol version %d, want %d" version
+            Msg.version;
+        t.config <- config;
+        advance t
+    | Expect_need job, Msg.Chunk_need bitmap -> on_need t job bitmap
+    (* A Chunk_need after our data is the server's one store-failure
+       retry: re-send per the new (all-ones) bitmap. *)
+    | Expect_ack job, Msg.Chunk_need bitmap -> on_need t job bitmap
+    | Expect_ack _, Msg.File_ack true ->
+        t.files_pushed <- t.files_pushed + 1;
+        advance t
+    | Expect_ack job, Msg.File_ack false ->
+        Error.fail
+          (Error.Verification_failed
+             (Printf.sprintf "Pusher: server rejected verified push of %s"
+                job.path))
+    | Expect_bye, Msg.Bye { root } ->
+        if not (Fp.equal root t.root) then
+          Error.fail
+            (Error.Verification_failed
+               (Printf.sprintf "Pusher: pushed root %s, server recorded %s"
+                  (Fp.to_hex t.root) (Fp.to_hex root)));
+        t.phase <- Done;
+        []
+    | _, Msg.Error_msg m ->
+        Error.fail
+          (Error.Disconnected (Printf.sprintf "Pusher: server error: %s" m))
+    | _, other -> Error.malformed "Pusher: unexpected %s" (Msg.label other)
+  in
+  List.map (enc t) replies
+
+type stats = {
+  files_pushed : int;
+  chunks_total : int;
+  chunks_sent : int;
+  bytes_sent : int;
+  bytes_deduped : int;
+}
+
+let stats (t : t) =
+  {
+    files_pushed = t.files_pushed;
+    chunks_total = t.chunks_total;
+    chunks_sent = t.chunks_sent;
+    bytes_sent = t.bytes_sent;
+    bytes_deduped = t.bytes_deduped;
+  }

@@ -1,0 +1,39 @@
+(** Client side of one fsyncd/1 {e push} session, as a pure message-in /
+    messages-out state machine (the upload mirror of {!Puller}).
+
+    The pusher cuts every file into content-defined chunks
+    ({!Fsync_cdc.Chunker}) and, per file, offers the server the chunk
+    manifest.  The server's residency bitmap ({!Msg.Chunk_need}) names
+    the chunks it lacks; only those cross the wire, deflated.  A second
+    bitmap for the same file is the server's one store-failure retry
+    and is answered the same way.  After the last file the pusher sends
+    [Push_done] and verifies the server's [Bye] root against the root
+    of what it pushed — end-to-end, same as the pull direction. *)
+
+type t
+
+val create : ?params:Fsync_cdc.Chunker.params -> (string * string) list -> t
+(** Over the [(path, content)] tree to upload.  [params] tunes the
+    chunker (defaults match {!Fsync_cdc.Chunker.default_params});
+    boundaries are the client's choice alone — the server only ever
+    verifies hashes. *)
+
+val start : t -> string list
+(** The opening frames to send ([Hello]). *)
+
+val on_message : t -> string -> string list
+(** Feed one received frame; returns encoded frames to send back.
+    Raises typed {!Fsync_core.Error} values on protocol violations or
+    when the final root check fails. *)
+
+val finished : t -> bool
+
+type stats = {
+  files_pushed : int;
+  chunks_total : int;   (** manifest entries offered *)
+  chunks_sent : int;    (** of those, requested and uploaded *)
+  bytes_sent : int;     (** raw (pre-deflate) bytes uploaded *)
+  bytes_deduped : int;  (** raw bytes the server already had *)
+}
+
+val stats : t -> stats

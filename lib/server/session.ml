@@ -5,17 +5,30 @@ module Deflate = Fsync_compress.Deflate
 module Meta_wire = Fsync_collection.Meta_wire
 module Scope = Fsync_obs.Scope
 
+module Store = Fsync_store.Store
+
 type job = { path : string; content : string; fp : Fp.t; has_old : bool }
 
 type file_state = { job : job; tree : Block_tree.t }
 
 type ack_state = { ack_job : job; mutable full_sent : bool }
 
+type push_file = {
+  p_path : string;
+  p_len : int;
+  p_fp : Fp.t;
+  p_manifest : (Fp.t * int) list;
+  p_needed : bool array;
+  mutable p_retried : bool;
+}
+
 type phase =
   | Expect_hello
   | Expect_announce
   | Expect_matched of file_state
   | Expect_ack of ack_state
+  | Expect_push
+  | Expect_chunks of push_file
   | Done
   | Failed
 
@@ -24,30 +37,42 @@ type t = {
   files : (string * string) list;
   root : Fp.t;
   cache : Sigcache.t;
+  store : Store.t option;
+  publish : path:string -> content:string -> unit;
   scope : Scope.t;
   mutable phase : phase;
   mutable queue : job list;
+  mutable pushed : (string * string) list; (* rev *)
   mutable hashes_total : int;
   mutable hashes_cached : int;
   mutable full_fallbacks : int;
   mutable rounds : int;
+  mutable pushed_files : int;
+  mutable chunks_uploaded : int;
+  mutable chunks_deduped : int;
 }
 
 let create ?(config = Msg.default_sync_config) ?(scope = Scope.disabled)
-    ~cache files =
+    ?store ?(publish = fun ~path:_ ~content:_ -> ()) ~cache files =
   let config = Msg.validate_sync_config config in
   {
     config;
     files;
     root = Meta_wire.collection_root files;
     cache;
+    store;
+    publish;
     scope;
     phase = Expect_hello;
     queue = [];
+    pushed = [];
     hashes_total = 0;
     hashes_cached = 0;
     full_fallbacks = 0;
     rounds = 0;
+    pushed_files = 0;
+    chunks_uploaded = 0;
+    chunks_deduped = 0;
   }
 
 let finished t = match t.phase with Done -> true | _ -> false
@@ -59,13 +84,49 @@ let find_file t path =
   | Some (_, content) -> Some content
   | None -> None
 
+(* A full payload whose manifest is on record and whose chunks are all
+   resident is assembled out of the store instead of the in-memory copy
+   — the paper's "popular file costs one upload" made visible: the
+   probe counts [store_hits], and the end-to-end fingerprint check keeps
+   a corrupt store from ever reaching a client. *)
+let store_full_content t job =
+  match t.store with
+  | None -> None
+  | Some store -> (
+      match Store.manifest store ~path:job.path with
+      | None -> None
+      | Some entries ->
+          let buf = Buffer.create (String.length job.content) in
+          let ok =
+            List.for_all
+              (fun (cfp, _) ->
+                Store.mem store cfp
+                &&
+                match Store.get store cfp with
+                | Some c ->
+                    Buffer.add_string buf c;
+                    true
+                | None -> false)
+              entries
+          in
+          if ok && Fp.equal (Fp.of_string (Buffer.contents buf)) job.fp
+          then begin
+            Scope.incr t.scope "store_full_served";
+            Some (Buffer.contents buf)
+          end
+          else None)
+
 (* The verified full-file fallback ('Z' when compression pays, 'R'
    otherwise; never 'D' — the daemon does not hold the client's copy). *)
-let full_msg job =
-  let z = Deflate.compress job.content in
+let full_msg t job =
+  let content =
+    match store_full_content t job with
+    | Some c -> c
+    | None -> job.content
+  in
+  let z = Deflate.compress content in
   let tag, body =
-    if String.length z < String.length job.content then ('Z', z)
-    else ('R', job.content)
+    if String.length z < String.length content then ('Z', z) else ('R', content)
   in
   Msg.Full (Meta_wire.encode_file_msg ~path:job.path ~fp:job.fp ~tag ~body)
 
@@ -93,7 +154,7 @@ let open_job t job =
     (* No old copy to match against, or too small for even one split:
        the verified full transfer is strictly cheaper than a round. *)
     t.phase <- Expect_ack { ack_job = job; full_sent = true };
-    [ full_msg job ]
+    [ full_msg t job ]
   end
   else begin
     let tree =
@@ -189,8 +250,131 @@ let on_ack t ack ok =
     ack.full_sent <- true;
     t.full_fallbacks <- t.full_fallbacks + 1;
     Scope.incr t.scope "server_full_fallbacks";
-    [ full_msg ack.ack_job ]
+    [ full_msg t ack.ack_job ]
   end
+
+(* ---- push direction: the client uploads, the store deduplicates ---- *)
+
+let on_push_begin t ~path ~file_len ~fp ~manifest =
+  let total = List.fold_left (fun acc (_, l) -> acc + l) 0 manifest in
+  if not (Int.equal total file_len) then begin
+    t.phase <- Failed;
+    Error.malformed "Session: push manifest for %s sums to %d, file is %d"
+      path total file_len
+  end;
+  (* Residency decides the bitmap: without a store every chunk is
+     needed, with one only the chunks nobody ever uploaded are. *)
+  let needed =
+    match t.store with
+    | None -> List.map (fun _ -> true) manifest
+    | Some store -> List.map (fun (cfp, _) -> not (Store.mem store cfp)) manifest
+  in
+  List.iter
+    (fun n ->
+      if n then t.chunks_uploaded <- t.chunks_uploaded + 1
+      else t.chunks_deduped <- t.chunks_deduped + 1)
+    needed;
+  t.phase <-
+    Expect_chunks
+      {
+        p_path = path;
+        p_len = file_len;
+        p_fp = fp;
+        p_manifest = manifest;
+        p_needed = Array.of_list needed;
+        p_retried = false;
+      };
+  [ Msg.Chunk_need (Msg.encode_bitmap needed) ]
+
+(* The store let the assembly down (chunk lost or corrupted between the
+   bitmap and the read): ask the client for everything once, then give
+   up with a typed verification failure. *)
+let retry_or_fail t pf what =
+  if pf.p_retried then begin
+    t.phase <- Failed;
+    Error.fail
+      (Error.Verification_failed
+         (Printf.sprintf "Session: push of %s failed after store retry (%s)"
+            pf.p_path what))
+  end
+  else begin
+    pf.p_retried <- true;
+    Array.fill pf.p_needed 0 (Array.length pf.p_needed) true;
+    Scope.incr t.scope "push_store_retries";
+    [ Msg.Chunk_need (Msg.encode_bitmap (Array.to_list pf.p_needed)) ]
+  end
+
+let on_chunk_data t pf z =
+  let literals = Deflate.decompress z in
+  let buf = Buffer.create pf.p_len in
+  let received = ref [] in
+  let cursor = ref 0 in
+  let store_miss = ref None in
+  List.iteri
+    (fun i (cfp, len) ->
+      match !store_miss with
+      | Some _ -> ()
+      | None ->
+          if pf.p_needed.(i) then begin
+            if !cursor + len > String.length literals then begin
+              t.phase <- Failed;
+              Error.truncated
+                "Session: push literals for %s end inside chunk %d" pf.p_path i
+            end;
+            let chunk = String.sub literals !cursor len in
+            cursor := !cursor + len;
+            (* An uploaded chunk that does not hash to its manifest key
+               is the client's fault — typed teardown, no retry. *)
+            if not (Fp.equal (Fp.of_string chunk) cfp) then begin
+              t.phase <- Failed;
+              Error.malformed "Session: pushed chunk %d of %s fails its hash"
+                i pf.p_path
+            end;
+            received := chunk :: !received;
+            Buffer.add_string buf chunk
+          end
+          else
+            match t.store with
+            | None -> store_miss := Some "no store behind a dedup bitmap"
+            | Some store -> (
+                match Store.get store cfp with
+                | Some chunk when Fp.equal (Fp.of_string chunk) cfp ->
+                    Buffer.add_string buf chunk
+                | Some _ ->
+                    store_miss :=
+                      Some (Printf.sprintf "chunk %s corrupt" (Fp.to_hex cfp))
+                | None ->
+                    store_miss :=
+                      Some (Printf.sprintf "chunk %s vanished" (Fp.to_hex cfp))))
+    pf.p_manifest;
+  match !store_miss with
+  | Some what -> retry_or_fail t pf what
+  | None ->
+      if not (Int.equal !cursor (String.length literals)) then begin
+        t.phase <- Failed;
+        Error.malformed "Session: %d stray literal bytes after push of %s"
+          (String.length literals - !cursor)
+          pf.p_path
+      end;
+      let content = Buffer.contents buf in
+      if not (Fp.equal (Fp.of_string content) pf.p_fp) then
+        retry_or_fail t pf "assembled file fails its fingerprint"
+      else begin
+        (match t.store with
+        | Some store ->
+            List.iter
+              (fun chunk -> ignore (Store.put store chunk))
+              (List.rev !received);
+            Store.set_manifest store ~path:pf.p_path
+              (List.map fst pf.p_manifest)
+        | None -> ());
+        t.publish ~path:pf.p_path ~content;
+        t.pushed <- (pf.p_path, content) :: t.pushed;
+        t.pushed_files <- t.pushed_files + 1;
+        Scope.incr t.scope "push_files";
+        t.phase <- Expect_push;
+        [ Msg.File_ack true ]
+      end
 
 let on_message t raw =
   let msg = Msg.decode ~config:t.config raw in
@@ -215,6 +399,13 @@ let on_message t raw =
     | Expect_announce, Msg.Announce body -> on_announce t body
     | Expect_matched st, Msg.Matched bitmap -> on_matched t st bitmap
     | Expect_ack ack, Msg.File_ack ok -> on_ack t ack ok
+    | (Expect_announce | Expect_push), Msg.Push_begin { path; file_len; fp; manifest }
+      ->
+        on_push_begin t ~path ~file_len ~fp ~manifest
+    | Expect_chunks pf, Msg.Chunk_data z -> on_chunk_data t pf z
+    | (Expect_announce | Expect_push), Msg.Push_done ->
+        t.phase <- Done;
+        [ Msg.Bye { root = Meta_wire.collection_root (List.rev t.pushed) } ]
     | _, Msg.Error_msg m ->
         t.phase <- Failed;
         Error.fail
@@ -230,6 +421,9 @@ type stats = {
   hashes_cached : int;
   full_fallbacks : int;
   rounds : int;
+  pushed_files : int;
+  chunks_uploaded : int;
+  chunks_deduped : int;
 }
 
 let stats (t : t) =
@@ -238,4 +432,7 @@ let stats (t : t) =
     hashes_cached = t.hashes_cached;
     full_fallbacks = t.full_fallbacks;
     rounds = t.rounds;
+    pushed_files = t.pushed_files;
+    chunks_uploaded = t.chunks_uploaded;
+    chunks_deduped = t.chunks_deduped;
   }

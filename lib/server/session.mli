@@ -12,19 +12,34 @@
     time — hash rounds against the mirrored {!Fsync_core.Block_tree}
     until {!Msg.decide_next} says tail, then the client's ack (a failed
     ack triggers one verified [Full] fallback) — and finally [Bye] with
-    the collection root. *)
+    the collection root.
+
+    The first message after [Welcome] picks the direction: [Announce]
+    starts a pull as above, [Push_begin] starts an upload.  A push runs
+    per file: the client's chunk manifest is answered with a residency
+    bitmap from the shared {!Fsync_store.Store} (everything-needed when
+    the daemon has none), the uploaded chunks are hash-verified,
+    assembled with the resident ones and checked against the file
+    fingerprint, then persisted and published.  If the {e store} lets
+    the assembly down (a chunk vanished or corrupted underneath the
+    bitmap) the session re-requests every chunk once; a second failure
+    — or any client-side hash mismatch — is a typed teardown. *)
 
 type t
 
 val create :
   ?config:Msg.sync_config ->
   ?scope:Fsync_obs.Scope.t ->
+  ?store:Fsync_store.Store.t ->
+  ?publish:(path:string -> content:string -> unit) ->
   cache:Sigcache.t ->
   (string * string) list ->
   t
 (** One machine per client over the server's [(path, content)]
     collection.  [cache] is shared across sessions — that is the point
-    of it. *)
+    of it.  [store] (shared too) enables push dedup and store-assembled
+    full payloads; [publish] is called for every verified pushed file so
+    the daemon can fold it into the served collection. *)
 
 val on_message : t -> string -> string list
 (** Feed one decoded frame; returns encoded reply frames in send order.
@@ -44,6 +59,9 @@ type stats = {
   hashes_cached : int;  (** of those, served from the signature cache *)
   full_fallbacks : int; (** failed acks repaired by a verified [Full] *)
   rounds : int;
+  pushed_files : int;   (** files verified and published by pushes *)
+  chunks_uploaded : int;(** manifest entries the bitmap asked for *)
+  chunks_deduped : int; (** manifest entries already resident in the store *)
 }
 
 val stats : t -> stats

@@ -6,16 +6,24 @@ module Scope = Fsync_obs.Scope
    function of this triple, independent of any client's match state. *)
 type key = string * int * int
 
-type entry = { hashes : int array; mutable stamp : int }
+type entry = { hashes : int array; mutable stamp : int; warm : bool }
+
+type persist = {
+  save : fp:Fp.t -> size:int -> bits:int -> int array -> unit;
+}
 
 type t = {
   table : (key, entry) Hashtbl.t;
   max_entries : int;
   scope : Scope.t;
+  mutable persist : persist option;
   mutable clock : int;
+  mutable lookups : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable warmed : int;
+  mutable warm_hits : int;
 }
 
 let create ?(max_entries = 1024) ?(scope = Scope.disabled) () =
@@ -23,11 +31,17 @@ let create ?(max_entries = 1024) ?(scope = Scope.disabled) () =
     table = Hashtbl.create 64;
     max_entries = max 1 max_entries;
     scope;
+    persist = None;
     clock = 0;
+    lookups = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    warmed = 0;
+    warm_hits = 0;
   }
+
+let set_persist t p = t.persist <- Some p
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -64,32 +78,64 @@ let evict_lru t =
       Scope.incr t.scope "sig_cache_evictions"
   | None -> ()
 
+let seed t ~fp ~size ~bits hashes =
+  let key = (Fp.to_raw fp, size, bits) in
+  if
+    Hashtbl.length t.table < t.max_entries
+    && not (Hashtbl.mem t.table key)
+  then begin
+    Hashtbl.replace t.table key { hashes; stamp = tick t; warm = true };
+    t.warmed <- t.warmed + 1
+  end
+
 let find_or_compute t ~fp ~size ~bits content =
   let key = (Fp.to_raw fp, size, bits) in
+  t.lookups <- t.lookups + 1;
   match Hashtbl.find_opt t.table key with
   | Some e ->
       e.stamp <- tick t;
       t.hits <- t.hits + 1;
       Scope.incr t.scope "sig_cache_hits";
+      if e.warm then begin
+        t.warm_hits <- t.warm_hits + 1;
+        Scope.incr t.scope "sig_cache_warm_hits"
+      end;
       (e.hashes, true)
   | None ->
       t.misses <- t.misses + 1;
       Scope.incr t.scope "sig_cache_misses";
       let hashes = compute content ~size ~bits in
       if Hashtbl.length t.table >= t.max_entries then evict_lru t;
-      Hashtbl.replace t.table key { hashes; stamp = tick t };
+      Hashtbl.replace t.table key { hashes; stamp = tick t; warm = false };
+      (match t.persist with
+      | Some p -> p.save ~fp ~size ~bits hashes
+      | None -> ());
       (hashes, false)
 
-type stats = { hits : int; misses : int; entries : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  lookups : int;
+  entries : int;
+  evictions : int;
+  warmed : int;
+  warm_hits : int;
+}
 
 let stats (t : t) =
   {
     hits = t.hits;
     misses = t.misses;
+    lookups = t.lookups;
     entries = Hashtbl.length t.table;
     evictions = t.evictions;
+    warmed = t.warmed;
+    warm_hits = t.warm_hits;
   }
 
 let hit_rate (t : t) =
-  let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  if t.lookups = 0 then 0.0 else float_of_int t.hits /. float_of_int t.lookups
+
+let warm_hit_rate (t : t) =
+  if t.lookups = 0 then 0.0
+  else float_of_int t.warm_hits /. float_of_int t.lookups

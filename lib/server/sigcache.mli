@@ -6,6 +6,12 @@
     round that visits that level.  Entries are evicted LRU once
     [max_entries] files-at-a-level are resident.
 
+    The cache can outlive the process: {!set_persist} registers a save
+    callback fired on every computed (missed) vector, and {!seed}
+    re-inserts previously persisted vectors at startup, marked {e warm}.
+    A hit on a warm entry is work the restarted daemon did not redo —
+    {!warm_hit_rate} measures exactly that.
+
     Correctness note: every block {!Fsync_core.Block_tree} exposes at
     nominal size [s] starts at a multiple of [s] with length
     [min s (file_len - off)], so the full level vector indexed by
@@ -17,6 +23,24 @@ type t
 val create : ?max_entries:int -> ?scope:Fsync_obs.Scope.t -> unit -> t
 (** [max_entries] defaults to 1024 (level vectors, not bytes). *)
 
+type persist = {
+  save : fp:Fsync_hash.Fingerprint.t -> size:int -> bits:int -> int array
+         -> unit;
+}
+(** Persistence hooks, deliberately free of any storage type: the store
+    layer adapts itself to this record, not the other way round. *)
+
+val set_persist : t -> persist -> unit
+(** From now on, every vector computed on a miss is also handed to
+    [save].  Seeded (warm) entries are not re-saved. *)
+
+val seed :
+  t -> fp:Fsync_hash.Fingerprint.t -> size:int -> bits:int -> int array
+  -> unit
+(** Insert a previously persisted vector as a warm entry.  Silently
+    ignored once the cache is full or if the key is already resident;
+    does not count as a lookup. *)
+
 val compute : string -> size:int -> bits:int -> int array
 (** The uncached level vector: one truncated poly-hash per size-aligned
     block of the content, short tail included.  Exposed for tests. *)
@@ -27,9 +51,23 @@ val find_or_compute :
 (** Returns the level vector and whether it was served from cache.
     Inserts on miss, evicting the least-recently-used entry if full. *)
 
-type stats = { hits : int; misses : int; entries : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  lookups : int;  (** [hits + misses]: every {!find_or_compute} call *)
+  entries : int;
+  evictions : int;
+  warmed : int;  (** entries inserted via {!seed} *)
+  warm_hits : int;  (** hits served by a seeded entry *)
+}
 
 val stats : t -> stats
 
 val hit_rate : t -> float
-(** Hits over lookups, 0.0 when untouched. *)
+(** Hits over lookups.  Defined as [0.0] when [lookups = 0] — an
+    untouched cache has no hit rate, and reporting it as zero (rather
+    than 1.0 or NaN) keeps thresholds like "warm rate ≥ 0.9" honest. *)
+
+val warm_hit_rate : t -> float
+(** Warm hits over lookups; [0.0] when [lookups = 0] (same convention
+    as {!hit_rate}). *)

@@ -1,0 +1,91 @@
+module Fp = Fsync_hash.Fingerprint
+
+let header = "fsync-sigs/1"
+
+let entry_name ~fp ~size ~bits =
+  Printf.sprintf "%s.%d.%d" (Fp.to_hex fp) size bits
+
+let is_hex32 s =
+  Int.equal (String.length s) 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let save ~dir ~fp ~size ~bits hashes =
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int (Array.length hashes));
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun h ->
+      Buffer.add_string b (Printf.sprintf "%x" h);
+      Buffer.add_char b '\n')
+    hashes;
+  let dest = Filename.concat dir (entry_name ~fp ~size ~bits) in
+  let staging = dest ^ ".tmp" in
+  (* Best-effort: a failed save only costs a cold cache entry. *)
+  match
+    let oc = open_out_bin staging in
+    (match Buffer.output_buffer oc b with
+    | () -> close_out oc
+    | exception e ->
+        close_out_noerr oc;
+        raise e);
+    Unix.rename staging dest
+  with
+  | () -> ()
+  | exception Sys_error _ | exception Unix.Unix_error _ -> ()
+
+let parse_vector raw =
+  match String.split_on_char '\n' raw with
+  | hd :: count :: rest when String.equal hd header -> (
+      match int_of_string_opt count with
+      | Some n when n >= 0 && List.length rest >= n ->
+          let values = Array.make n 0 in
+          let ok = ref true in
+          List.iteri
+            (fun i line ->
+              if i < n then
+                match int_of_string_opt ("0x" ^ line) with
+                | Some v -> values.(i) <- v
+                | None -> ok := false)
+            rest;
+          if !ok then Some values else None
+      | _ -> None)
+  | _ -> None
+
+let load_entry ~dir name k =
+  match String.split_on_char '.' name with
+  | [ hex; size; bits ] when is_hex32 hex -> (
+      match (int_of_string_opt size, int_of_string_opt bits) with
+      | Some size, Some bits -> (
+          let read () =
+            let ic = open_in_bin (Filename.concat dir name) in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match parse_vector (read ()) with
+          | Some hashes ->
+              k ~fp:(Fp.of_raw (Fsync_util.Bytes_util.of_hex hex)) ~size ~bits
+                hashes;
+              true
+          | None -> false
+          | exception Sys_error _
+          | exception End_of_file
+          | exception Invalid_argument _ ->
+              false)
+      | _ -> false)
+  | _ -> false
+
+let load_all ~dir k =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun n name ->
+          if Filename.check_suffix name ".tmp" then n
+          else if load_entry ~dir name k then n + 1
+          else n)
+        0 names

@@ -1,0 +1,28 @@
+(** Persistence for signature-cache vectors (DESIGN.md §11).
+
+    The daemon's [Fsync_server.Sigcache] holds, per (file fingerprint ×
+    block size × hash bits), the vector of truncated level hashes it
+    computed while serving.  Those vectors are pure functions of
+    immutable content, so they survive a restart unchanged — this module
+    files each one under the store's [sigs/] directory and reloads the
+    lot at startup, turning a cold cache into a warm one without
+    re-hashing the corpus.
+
+    Entry files are named [<fp-hex>.<size>.<bits>] and written with the
+    store's temp-file + rename discipline, so a crash mid-save leaves
+    either the old vector or none.  [save] is best-effort (a full disk
+    must not fail a sync); [load_all] skips entries it cannot parse and
+    reports only how many it accepted. *)
+
+val save :
+  dir:string -> fp:Fsync_hash.Fingerprint.t -> size:int -> bits:int ->
+  int array -> unit
+(** Persist one level-hash vector.  Best-effort: I/O failures are
+    swallowed (the cache simply stays cold for that entry). *)
+
+val load_all :
+  dir:string ->
+  (fp:Fsync_hash.Fingerprint.t -> size:int -> bits:int -> int array -> unit) ->
+  int
+(** Feed every readable persisted vector to the callback and return how
+    many were loaded.  Unparseable or truncated entries are skipped. *)

@@ -1,0 +1,590 @@
+module Fp = Fsync_hash.Fingerprint
+module Error = Fsync_core.Error
+module Scope = Fsync_obs.Scope
+
+(* Every filesystem failure surfaces as a typed error so a store problem
+   tears down one session (or one CLI run), never the daemon loop. *)
+let io what f =
+  match f () with
+  | x -> x
+  | exception Sys_error m -> Error.malformed "Store: %s: %s" what m
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error.malformed "Store: %s: %s %s: %s" what fn arg
+        (Unix.error_message e)
+
+type chunk_info = { len : int; mutable crefs : int }
+
+type t = {
+  root : string;
+  chunks : (string, chunk_info) Hashtbl.t; (* hex -> info *)
+  manifests : (string, string list) Hashtbl.t; (* path -> hex list *)
+  scope : Scope.t;
+  mutable oc : out_channel option; (* index appender *)
+  mutable appends : int; (* log records since the last compaction *)
+  mutable tmp_seq : int;
+  mutable closed : bool;
+  (* handle-lifetime counters *)
+  mutable puts : int;
+  mutable dedup_puts : int;
+  mutable bytes_deduped : int;
+  mutable total_appends : int;
+  mutable compactions : int;
+}
+
+let root t = t.root
+let index_path t = Filename.concat t.root "index.log"
+let chunks_dir t = Filename.concat t.root "chunks"
+let sig_dir t = Filename.concat t.root "sigs"
+let tmp_dir t = Filename.concat t.root "tmp"
+let header = "fsync-store/1"
+
+let chunk_rel hex = Filename.concat (String.sub hex 0 2) hex
+let chunk_path t hex = Filename.concat (chunks_dir t) (chunk_rel hex)
+
+let rec mkdir_p dir =
+  if
+    (not (String.equal dir ""))
+    && (not (String.equal dir "."))
+    && (not (String.equal dir "/"))
+    && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ -> ()
+  end
+
+let read_file path =
+  io ("read " ^ path) (fun () ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+(* Crash-safe publication: stage under tmp/, fsync-free rename into
+   place.  A crash before the rename leaves only staging garbage; a
+   crash after it leaves at worst an index-less chunk that fsck reports
+   as an orphan. *)
+let write_file_atomic t ~dest content =
+  let staging =
+    t.tmp_seq <- t.tmp_seq + 1;
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "%d.%d.tmp" (Unix.getpid ()) t.tmp_seq)
+  in
+  io ("write " ^ dest) (fun () ->
+      let oc = open_out_bin staging in
+      (match output_string oc content with
+      | () -> close_out oc
+      | exception e ->
+          close_out_noerr oc;
+          raise e);
+      Unix.rename staging dest)
+
+(* ---- path escaping for index lines ----
+
+   Paths land in a whitespace-separated text log; every byte outside the
+   printable ASCII range (plus '%' itself) is percent-encoded so the
+   line structure survives any path. *)
+
+let hex_digit n = "0123456789abcdef".[n land 0xf]
+
+let esc_path p =
+  let b = Buffer.create (String.length p) in
+  String.iter
+    (fun c ->
+      let code = Char.code c in
+      if code <= 0x20 || code >= 0x7f || Char.equal c '%' then begin
+        Buffer.add_char b '%';
+        Buffer.add_char b (hex_digit (code lsr 4));
+        Buffer.add_char b (hex_digit code)
+      end
+      else Buffer.add_char b c)
+    p;
+  Buffer.contents b
+
+let unhex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> Error.malformed "Store: bad escape digit %C in index" c
+
+let unesc_path s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if Char.equal s.[!i] '%' then begin
+       if !i + 2 >= n then Error.malformed "Store: truncated escape in index";
+       Buffer.add_char b
+         (Char.chr ((unhex_digit s.[!i + 1] lsl 4) lor unhex_digit s.[!i + 2]));
+       i := !i + 3
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let is_hex32 s =
+  Int.equal (String.length s) 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let check_hex what s =
+  if not (is_hex32 s) then
+    Error.malformed "Store: %s is not a chunk key: %S" what s
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> Error.malformed "Store: non-numeric %s %S in index" what s
+
+(* ---- refcount bookkeeping (always via manifests) ---- *)
+
+let incref t hex =
+  match Hashtbl.find_opt t.chunks hex with
+  | Some info -> info.crefs <- info.crefs + 1
+  | None ->
+      (* Referenced before written: remember it so fsck can report the
+         missing chunk instead of silently losing the reference. *)
+      Hashtbl.replace t.chunks hex { len = 0; crefs = 1 }
+
+let decref t hex =
+  match Hashtbl.find_opt t.chunks hex with
+  | Some info -> info.crefs <- info.crefs - 1
+  | None -> Hashtbl.replace t.chunks hex { len = 0; crefs = -1 }
+
+let apply_manifest t path hexes =
+  (match Hashtbl.find_opt t.manifests path with
+  | Some old -> List.iter (decref t) old
+  | None -> ());
+  List.iter (incref t) hexes;
+  Hashtbl.replace t.manifests path hexes
+
+let apply_manifest_drop t path =
+  match Hashtbl.find_opt t.manifests path with
+  | Some old ->
+      List.iter (decref t) old;
+      Hashtbl.remove t.manifests path
+  | None -> ()
+
+(* ---- index replay ---- *)
+
+let replay_line t line =
+  match String.split_on_char ' ' line with
+  | [ "C"; hex; len ] ->
+      check_hex "C record" hex;
+      let len = int_field "chunk length" len in
+      let crefs =
+        match Hashtbl.find_opt t.chunks hex with
+        | Some i -> i.crefs
+        | None -> 0
+      in
+      Hashtbl.replace t.chunks hex { len; crefs }
+  | "M" :: path :: count :: hexes ->
+      let path = unesc_path path in
+      let count = int_field "manifest count" count in
+      if not (Int.equal count (List.length hexes)) then
+        Error.malformed "Store: manifest for %s declares %d chunks, has %d"
+          path count (List.length hexes);
+      List.iter (check_hex "manifest entry") hexes;
+      apply_manifest t path hexes
+  | [ "D"; path ] -> apply_manifest_drop t (unesc_path path)
+  | [ "R"; hex; refs ] -> (
+      check_hex "R record" hex;
+      let refs = int_field "refcount" refs in
+      match Hashtbl.find_opt t.chunks hex with
+      | Some info -> info.crefs <- refs
+      | None -> Hashtbl.replace t.chunks hex { len = 0; crefs = refs })
+  | _ -> Error.malformed "Store: unparseable index line %S" line
+
+let replay t =
+  let path = index_path t in
+  if Sys.file_exists path then begin
+    let raw = read_file path in
+    (* A file ending in '\n' splits into lines @ [""]; anything else
+       ends in a torn append, which replay ignores (the record never
+       committed). *)
+    let lines =
+      match List.rev (String.split_on_char '\n' raw) with
+      | _last_fragment :: rev -> List.rev rev
+      | [] -> []
+    in
+    match lines with
+    | [] -> ()
+    | first :: rest ->
+        if not (String.equal first header) then
+          Error.malformed "Store: %s does not start with %S" path header;
+        List.iter (replay_line t) rest
+  end
+
+(* ---- appending and compaction ---- *)
+
+let appender t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        io "open index" (fun () ->
+            let exists = Sys.file_exists (index_path t) in
+            let oc =
+              open_out_gen
+                [ Open_append; Open_creat; Open_binary ]
+                0o644 (index_path t)
+            in
+            if not exists then begin
+              output_string oc header;
+              output_char oc '\n'
+            end;
+            oc)
+      in
+      t.oc <- Some oc;
+      oc
+
+let snapshot_lines t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  let chunk_list =
+    List.sort String.compare
+      (Hashtbl.fold (fun hex _ acc -> hex :: acc) t.chunks [])
+  in
+  List.iter
+    (fun hex ->
+      let info = Hashtbl.find t.chunks hex in
+      Buffer.add_string b (Printf.sprintf "C %s %d\n" hex info.len))
+    chunk_list;
+  let paths =
+    List.sort String.compare
+      (Hashtbl.fold (fun p _ acc -> p :: acc) t.manifests [])
+  in
+  List.iter
+    (fun path ->
+      let hexes = Hashtbl.find t.manifests path in
+      Buffer.add_string b
+        (Printf.sprintf "M %s %d%s\n" (esc_path path) (List.length hexes)
+           (String.concat ""
+              (List.map (fun h -> " " ^ h) hexes))))
+    paths;
+  (* Refcount assertions: redundant with the manifests by construction,
+     recorded so fsck can detect a skewed or hand-edited index. *)
+  List.iter
+    (fun hex ->
+      let info = Hashtbl.find t.chunks hex in
+      Buffer.add_string b (Printf.sprintf "R %s %d\n" hex info.crefs))
+    chunk_list;
+  Buffer.contents b
+
+let compact t =
+  (match t.oc with
+  | Some oc ->
+      io "close index" (fun () -> close_out oc);
+      t.oc <- None
+  | None -> ());
+  write_file_atomic t ~dest:(index_path t) (snapshot_lines t);
+  t.appends <- 0;
+  t.compactions <- t.compactions + 1
+
+let live_records t = Hashtbl.length t.chunks + Hashtbl.length t.manifests
+
+let append t line =
+  let oc = appender t in
+  io "append index" (fun () ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc);
+  t.appends <- t.appends + 1;
+  t.total_appends <- t.total_appends + 1;
+  if t.appends > 64 && t.appends > 4 * live_records t then compact t
+
+(* ---- opening ---- *)
+
+let open_store ?(scope = Scope.disabled) root =
+  let t =
+    {
+      root;
+      chunks = Hashtbl.create 256;
+      manifests = Hashtbl.create 64;
+      scope;
+      oc = None;
+      appends = 0;
+      tmp_seq = 0;
+      closed = false;
+      puts = 0;
+      dedup_puts = 0;
+      bytes_deduped = 0;
+      total_appends = 0;
+      compactions = 0;
+    }
+  in
+  mkdir_p root;
+  mkdir_p (chunks_dir t);
+  mkdir_p (sig_dir t);
+  mkdir_p (tmp_dir t);
+  replay t;
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.oc with
+    | Some oc ->
+        (match close_out oc with
+        | () -> ()
+        | exception Sys_error _ -> ());
+        t.oc <- None
+    | None -> ()
+  end
+
+(* ---- chunk operations ---- *)
+
+let resident t hex =
+  match Hashtbl.find_opt t.chunks hex with
+  | Some _ -> Sys.file_exists (chunk_path t hex)
+  | None -> false
+
+let mem t fp =
+  let hit = resident t (Fp.to_hex fp) in
+  Scope.incr t.scope (if hit then "store_hits" else "store_misses");
+  hit
+
+let put t content =
+  let fp = Fp.of_string content in
+  let hex = Fp.to_hex fp in
+  if resident t hex then begin
+    t.dedup_puts <- t.dedup_puts + 1;
+    t.bytes_deduped <- t.bytes_deduped + String.length content;
+    Scope.add t.scope "store_bytes_deduped" (String.length content);
+    fp
+  end
+  else begin
+    mkdir_p (Filename.dirname (chunk_path t hex));
+    write_file_atomic t ~dest:(chunk_path t hex) content;
+    let crefs =
+      match Hashtbl.find_opt t.chunks hex with
+      | Some i -> i.crefs
+      | None -> 0
+    in
+    Hashtbl.replace t.chunks hex { len = String.length content; crefs };
+    append t (Printf.sprintf "C %s %d" hex (String.length content));
+    t.puts <- t.puts + 1;
+    fp
+  end
+
+let get t fp =
+  let hex = Fp.to_hex fp in
+  if resident t hex then Some (read_file (chunk_path t hex)) else None
+
+let refs t fp =
+  match Hashtbl.find_opt t.chunks (Fp.to_hex fp) with
+  | Some i -> i.crefs
+  | None -> 0
+
+(* ---- manifests ---- *)
+
+let set_manifest t ~path fps =
+  let hexes = List.map Fp.to_hex fps in
+  List.iter
+    (fun hex ->
+      if not (resident t hex) then
+        Error.malformed "Store: manifest for %s references absent chunk %s"
+          path hex)
+    hexes;
+  (* Idempotence guard: re-declaring the identical manifest (the daemon
+     re-ingesting its collection on restart) must not append a record
+     per file per restart. *)
+  let same =
+    match Hashtbl.find_opt t.manifests path with
+    | Some old -> List.equal String.equal old hexes
+    | None -> false
+  in
+  if not same then begin
+    apply_manifest t path hexes;
+    append t
+      (Printf.sprintf "M %s %d%s" (esc_path path) (List.length hexes)
+         (String.concat "" (List.map (fun h -> " " ^ h) hexes)))
+  end
+
+let remove_manifest t ~path =
+  if Hashtbl.mem t.manifests path then begin
+    apply_manifest_drop t path;
+    append t (Printf.sprintf "D %s" (esc_path path))
+  end
+
+let manifest t ~path =
+  match Hashtbl.find_opt t.manifests path with
+  | None -> None
+  | Some hexes ->
+      Some
+        (List.map
+           (fun hex ->
+             let len =
+               match Hashtbl.find_opt t.chunks hex with
+               | Some i -> i.len
+               | None -> 0
+             in
+             (Fp.of_raw (Fsync_util.Bytes_util.of_hex hex), len))
+           hexes)
+
+let manifest_paths t =
+  List.sort String.compare
+    (Hashtbl.fold (fun p _ acc -> p :: acc) t.manifests [])
+
+(* ---- gc ---- *)
+
+let gc t =
+  let victims =
+    Hashtbl.fold
+      (fun hex info acc -> if info.crefs <= 0 then (hex, info) :: acc else acc)
+      t.chunks []
+  in
+  let removed, bytes =
+    List.fold_left
+      (fun (n, b) (hex, (info : chunk_info)) ->
+        (match Sys.remove (chunk_path t hex) with
+        | () -> ()
+        | exception Sys_error _ -> ());
+        Hashtbl.remove t.chunks hex;
+        (n + 1, b + info.len))
+      (0, 0) victims
+  in
+  if removed > 0 then begin
+    Scope.add t.scope "gc_reclaimed" bytes;
+    compact t
+  end;
+  (removed, bytes)
+
+(* ---- stats ---- *)
+
+type stats = {
+  chunks : int;
+  bytes : int;
+  manifests : int;
+  puts : int;
+  dedup_puts : int;
+  bytes_deduped : int;
+  index_appends : int;
+  compactions : int;
+}
+
+let stats (t : t) =
+  {
+    chunks = Hashtbl.length t.chunks;
+    bytes = Hashtbl.fold (fun _ i acc -> acc + i.len) t.chunks 0;
+    manifests = Hashtbl.length t.manifests;
+    puts = t.puts;
+    dedup_puts = t.dedup_puts;
+    bytes_deduped = t.bytes_deduped;
+    index_appends = t.total_appends;
+    compactions = t.compactions;
+  }
+
+(* ---- fsck ---- *)
+
+type fsck_finding =
+  | Corrupt_chunk of { hex : string }
+  | Missing_chunk of { hex : string; refs : int }
+  | Orphan_chunk of { hex : string }
+  | Refcount_skew of { hex : string; index_refs : int; manifest_refs : int }
+
+type fsck_report = {
+  chunks_checked : int;
+  manifests_checked : int;
+  findings : fsck_finding list;
+  garbage_chunks : int;
+}
+
+let is_error = function
+  | Corrupt_chunk _ | Missing_chunk _ | Refcount_skew _ -> true
+  | Orphan_chunk _ -> false
+
+let fsck_errors r = List.filter is_error r.findings
+
+let fsck t =
+  let findings = ref [] in
+  let garbage = ref 0 in
+  let add f = findings := f :: !findings in
+  let checked = ref 0 in
+  (* 1. Every indexed chunk is resident and re-hashes to its key; a
+     refcount-zero record with no file is a half-finished gc, counted as
+     garbage rather than damage. *)
+  Hashtbl.iter
+    (fun hex (info : chunk_info) ->
+      incr checked;
+      let path = chunk_path t hex in
+      if Sys.file_exists path then begin
+        if info.crefs <= 0 then incr garbage;
+        let content = read_file path in
+        if not (String.equal (Fp.to_hex (Fp.of_string content)) hex) then
+          add (Corrupt_chunk { hex })
+      end
+      else if info.crefs > 0 then
+        add (Missing_chunk { hex; refs = info.crefs })
+      else incr garbage)
+    t.chunks;
+  (* 2. Every resident chunk file is indexed (torn put ⇒ orphan). *)
+  let scan_fan fan =
+    let dir = Filename.concat (chunks_dir t) fan in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Array.iter
+        (fun name ->
+          if is_hex32 name && not (Hashtbl.mem t.chunks name) then
+            add (Orphan_chunk { hex = name }))
+        (match Sys.readdir dir with
+        | a -> a
+        | exception Sys_error _ -> [||])
+  in
+  (match Sys.readdir (chunks_dir t) with
+  | fans -> Array.iter scan_fan fans
+  | exception Sys_error _ -> ());
+  (* 3. Refcounts must equal the number of manifest references: the
+     counts were replayed from the log (including R assertions), the
+     manifests are the ground truth. *)
+  let derived = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ hexes ->
+      List.iter
+        (fun hex ->
+          Hashtbl.replace derived hex
+            (1 + Option.value ~default:0 (Hashtbl.find_opt derived hex)))
+        hexes)
+    t.manifests;
+  Hashtbl.iter
+    (fun hex (info : chunk_info) ->
+      let want = Option.value ~default:0 (Hashtbl.find_opt derived hex) in
+      if not (Int.equal want info.crefs) then
+        add (Refcount_skew { hex; index_refs = info.crefs; manifest_refs = want }))
+    t.chunks;
+  let report =
+    {
+      chunks_checked = !checked;
+      manifests_checked = Hashtbl.length t.manifests;
+      findings = List.rev !findings;
+      garbage_chunks = !garbage;
+    }
+  in
+  Scope.add t.scope "fsck_errors" (List.length (fsck_errors report));
+  report
+
+let pp_fsck_finding ppf = function
+  | Corrupt_chunk { hex } ->
+      Format.fprintf ppf "corrupt chunk %s: bytes do not re-hash to the key"
+        hex
+  | Missing_chunk { hex; refs } ->
+      Format.fprintf ppf "missing chunk %s: %d reference(s), no file" hex refs
+  | Orphan_chunk { hex } ->
+      Format.fprintf ppf "orphan chunk %s: resident but not indexed" hex
+  | Refcount_skew { hex; index_refs; manifest_refs } ->
+      Format.fprintf ppf
+        "refcount skew on %s: index says %d, manifests reference it %d time(s)"
+        hex index_refs manifest_refs
+
+let pp_fsck_report ppf r =
+  Format.fprintf ppf
+    "fsck: %d chunk(s), %d manifest(s), %d garbage, %d finding(s)"
+    r.chunks_checked r.manifests_checked r.garbage_chunks
+    (List.length r.findings);
+  List.iter (fun f -> Format.fprintf ppf "@.  %a" pp_fsck_finding f) r.findings

@@ -1,0 +1,141 @@
+(** Persistent content-addressed chunk store (DESIGN.md §11).
+
+    Chunks are immutable blobs keyed by their strong 16-byte
+    {!Fsync_hash.Fingerprint}: a chunk shared by a thousand files (or a
+    thousand clients) is stored — and uploaded — once.  Reference counts
+    are not free-standing: every reference flows from a {e manifest},
+    the ordered chunk list of one named file, so a chunk's refcount is
+    always derivable as "how many manifest entries point at me".  The
+    daemon keeps one manifest per served or pushed path; replacing a
+    file's manifest releases the old chunks, and {!gc} reclaims whatever
+    nothing references any more.
+
+    On disk under [root]:
+    {v
+    root/
+      chunks/ab/<32-hex>   one file per chunk, named by its fingerprint
+      index.log            append-only event log (see below), compacted
+      sigs/                persisted signature-cache vectors (Sig_persist)
+      tmp/                 staging area for crash-safe writes
+    v}
+
+    The write path is crash-safe: a chunk is staged in [tmp/] and
+    published with [rename], so no partial chunk is ever visible under
+    [chunks/].  The index is append-only — [C] (chunk written), [M]
+    (manifest set), [D] (manifest dropped) — and is compacted in place
+    (also via temp-file + rename) once the log grows past 4× its live
+    content; compaction snapshots refcount assertions ([R] records) that
+    {!fsck} later re-verifies against the manifests.  A torn final line
+    (crash mid-append) is ignored on replay; any other malformed line is
+    a typed {!Fsync_core.Error}.
+
+    All failures are typed [Fsync_core.Error] values — never a bare
+    exception, never console output. *)
+
+type t
+
+val open_store : ?scope:Fsync_obs.Scope.t -> string -> t
+(** Open (creating layout directories if needed) the store rooted at the
+    given directory and replay its index.  Typed [Malformed] on an
+    unreadable or corrupt index. *)
+
+val close : t -> unit
+(** Flush and close the index appender.  Idempotent. *)
+
+val root : t -> string
+
+val sig_dir : t -> string
+(** The [sigs/] subdirectory where signature-cache vectors persist. *)
+
+(** {2 Chunks} *)
+
+val mem : t -> Fsync_hash.Fingerprint.t -> bool
+(** Residency probe; counted as [store_hits]/[store_misses] on the
+    scope. *)
+
+val put : t -> string -> Fsync_hash.Fingerprint.t
+(** Ensure the chunk is resident and return its fingerprint.  Reference
+    counts are untouched — references come from {!set_manifest} only.
+    A resident chunk costs no I/O and is accounted as deduplicated
+    ([store_bytes_deduped] on the scope). *)
+
+val get : t -> Fsync_hash.Fingerprint.t -> string option
+(** Raw chunk bytes, [None] when absent.  Contents are returned as
+    stored; callers that need end-to-end integrity re-hash (the daemon
+    does, {!fsck} audits the whole store). *)
+
+val refs : t -> Fsync_hash.Fingerprint.t -> int
+(** Current reference count (0 for unknown chunks). *)
+
+(** {2 Manifests: named files as chunk lists} *)
+
+val set_manifest : t -> path:string -> Fsync_hash.Fingerprint.t list -> unit
+(** Declare that [path] is now composed of exactly these chunks, in
+    order.  Increments the new chunks' refcounts and releases the
+    previous manifest of [path] (if any).  Typed [Malformed] if any
+    chunk is not resident. *)
+
+val remove_manifest : t -> path:string -> unit
+(** Drop [path]'s manifest, releasing its chunks.  No-op when absent. *)
+
+val manifest : t -> path:string -> (Fsync_hash.Fingerprint.t * int) list option
+(** The (chunk, length) list of [path], manifest order. *)
+
+val manifest_paths : t -> string list
+(** Sorted. *)
+
+(** {2 Maintenance} *)
+
+val gc : t -> int * int
+(** Delete every resident chunk whose refcount is [<= 0]; returns
+    [(chunks_removed, bytes_reclaimed)] and adds [gc_reclaimed] to the
+    scope.  Compacts the index afterwards so the removals persist. *)
+
+val compact : t -> unit
+(** Rewrite the index as a minimal snapshot (crash-safe). *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  chunks : int;          (** resident chunks *)
+  bytes : int;           (** their total payload bytes *)
+  manifests : int;       (** named files tracked *)
+  puts : int;            (** chunks written by this handle *)
+  dedup_puts : int;      (** puts that found the chunk already resident *)
+  bytes_deduped : int;   (** payload bytes those resident hits saved *)
+  index_appends : int;   (** log records appended by this handle *)
+  compactions : int;
+}
+
+val stats : t -> stats
+
+(** {2 Fsck} *)
+
+type fsck_finding =
+  | Corrupt_chunk of { hex : string }
+      (** resident bytes do not re-hash to the chunk's key *)
+  | Missing_chunk of { hex : string; refs : int }
+      (** the index references a chunk with no file behind it *)
+  | Orphan_chunk of { hex : string }
+      (** a chunk file the index does not know (torn put); warning *)
+  | Refcount_skew of { hex : string; index_refs : int; manifest_refs : int }
+      (** the replayed refcount disagrees with the manifests *)
+
+type fsck_report = {
+  chunks_checked : int;
+  manifests_checked : int;
+  findings : fsck_finding list;
+  garbage_chunks : int;  (** refcount 0, resident; gc candidates, not errors *)
+}
+
+val fsck : t -> fsck_report
+(** Verify every resident chunk re-hashes to its key, every referenced
+    chunk is resident, and every refcount matches the manifests.  Adds
+    [fsck_errors] (error findings, orphans excluded) to the scope. *)
+
+val fsck_errors : fsck_report -> fsck_finding list
+(** The findings that make the store unsound (everything but orphans). *)
+
+val pp_fsck_finding : Format.formatter -> fsck_finding -> unit
+
+val pp_fsck_report : Format.formatter -> fsck_report -> unit

@@ -62,6 +62,45 @@ let test_snapshot_load_missing () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected failure"
 
+let test_snapshot_prune_empty_dirs () =
+  let root = Filename.temp_file "fsync_prune" "" in
+  Sys.remove root;
+  Snapshot.store_dir root
+    (Snapshot.of_files
+       [ ("keep/a.txt", "x"); ("deep/one/two/stale.txt", "y") ]);
+  (* Simulate --apply's stale-file deletion leaving a dir chain behind,
+     plus a branch that was always empty. *)
+  Sys.remove (Filename.concat root "deep/one/two/stale.txt");
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+  in
+  mkdir_p (Filename.concat root "empty/branch/leaf");
+  let removed = Snapshot.prune_empty_dirs root in
+  (* deep/one/two, deep/one, deep + empty/branch/leaf, empty/branch,
+     empty — pruned bottom-up. *)
+  Alcotest.(check int) "six dirs removed" 6 removed;
+  Alcotest.(check bool) "chain gone" false
+    (Sys.file_exists (Filename.concat root "deep"));
+  Alcotest.(check bool) "empty branch gone" false
+    (Sys.file_exists (Filename.concat root "empty"));
+  Alcotest.(check bool) "populated dir kept" true
+    (Sys.file_exists (Filename.concat root "keep/a.txt"));
+  (* Idempotent, and the root itself is never removed. *)
+  Alcotest.(check int) "second pass is a no-op" 0
+    (Snapshot.prune_empty_dirs root);
+  Alcotest.(check bool) "root survives" true (Sys.is_directory root);
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm root
+
 (* ---- Driver ---- *)
 
 let methods =
@@ -274,6 +313,7 @@ let suite =
     ("snapshot basic", `Quick, test_snapshot_basic);
     ("snapshot duplicate", `Quick, test_snapshot_duplicate);
     ("snapshot disk roundtrip", `Quick, test_snapshot_disk_roundtrip);
+    ("snapshot prune empty dirs", `Quick, test_snapshot_prune_empty_dirs);
     ("snapshot load missing", `Quick, test_snapshot_load_missing);
     ("driver all methods reconstruct", `Slow, test_driver_all_methods_reconstruct);
     ("driver unchanged skipped", `Quick, test_driver_unchanged_skipped);

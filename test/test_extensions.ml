@@ -266,6 +266,64 @@ let test_chunker_empty_and_small () =
   let cs = Chunker.chunks "tiny" in
   Alcotest.(check int) "single" 1 (List.length cs)
 
+let test_chunker_below_min () =
+  (* Anything shorter than [min_size] is one undersized final chunk
+     with no cut points at all. *)
+  let params = Chunker.default_params in
+  let s = String.init (params.Chunker.min_size - 1) (fun i -> Char.chr (i land 0xff)) in
+  (match Chunker.chunks ~params s with
+  | [ (c : Chunker.chunk) ] ->
+      Alcotest.(check int) "offset" 0 c.off;
+      Alcotest.(check int) "whole input" (String.length s) c.len
+  | cs -> Alcotest.failf "expected 1 chunk, got %d" (List.length cs));
+  Alcotest.(check (list int)) "no boundaries" [] (Chunker.boundaries ~params s)
+
+let test_chunker_deterministic () =
+  (* Same bytes, same boundaries — across repeated runs and across a
+     physically distinct copy of the string. *)
+  let rng = Prng.create 14L in
+  let s = Bytes.to_string (Prng.bytes rng 80_000) in
+  let copy = String.init (String.length s) (String.get s) in
+  let b = Chunker.boundaries s in
+  Alcotest.(check (list int)) "re-run identical" b (Chunker.boundaries s);
+  Alcotest.(check (list int)) "copy identical" b (Chunker.boundaries copy);
+  Alcotest.(check bool) "has cuts" true (b <> [])
+
+let test_chunker_concat_local_damage () =
+  (* Concatenating two streams only perturbs boundaries near the join.
+     Two exact facts fall out of chunking being a left-to-right scan:
+     every cut of [a] was decided from [a]'s own prefix, so it is also a
+     cut of [a ^ b]; and once a post-join cut of [a ^ b] coincides with
+     a cut of [b], the chunker state matches from there on, so the tails
+     agree exactly. *)
+  let rng = Prng.create 15L in
+  let a = Bytes.to_string (Prng.bytes rng 100_000) in
+  let b = Bytes.to_string (Prng.bytes rng 100_000) in
+  let la = String.length a in
+  let ba = Chunker.boundaries a in
+  let bb = Chunker.boundaries b in
+  let bab = Chunker.boundaries (a ^ b) in
+  List.iter
+    (fun cut ->
+      if not (List.mem cut bab) then
+        Alcotest.failf "prefix cut %d lost in concatenation" cut)
+    ba;
+  (* Post-join cuts, re-based to [b]'s coordinates. *)
+  let tail = List.filter_map
+      (fun cut -> if cut > la then Some (cut - la) else None) bab
+  in
+  let params = Chunker.default_params in
+  (match List.find_opt (fun cut -> List.mem cut bb) tail with
+  | None -> Alcotest.fail "chunking never resynchronized after the join"
+  | Some sync ->
+      Alcotest.(check bool)
+        (Printf.sprintf "resync within 3 max chunks (at %d)" sync)
+        true
+        (sync <= 3 * params.Chunker.max_size);
+      let after l = List.filter (fun cut -> cut >= sync) l in
+      Alcotest.(check (list int))
+        "tails identical after resync" (after bb) (after tail))
+
 let test_lbfs_reconstructs () =
   let rng = Prng.create 13L in
   let old_file = Fsync_workload.Text_gen.c_like rng ~lines:3000 in
@@ -496,6 +554,9 @@ let suite =
     ("chunker bounds", `Quick, test_chunker_bounds);
     ("chunker shift resistance", `Quick, test_chunker_shift_resistance);
     ("chunker empty/small", `Quick, test_chunker_empty_and_small);
+    ("chunker below min", `Quick, test_chunker_below_min);
+    ("chunker deterministic", `Quick, test_chunker_deterministic);
+    ("chunker concat local damage", `Quick, test_chunker_concat_local_damage);
     ("lbfs reconstructs", `Quick, test_lbfs_reconstructs);
     ("lbfs identical", `Quick, test_lbfs_identical);
     ("driver cdc method", `Quick, test_driver_cdc_method);

@@ -15,4 +15,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
+      ("store", Test_store.suite);
     ]

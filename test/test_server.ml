@@ -67,6 +67,17 @@ let test_msg_roundtrip () =
       Msg.File_ack false;
       Msg.Bye { root = fp };
       Msg.Error_msg "went wrong";
+      Msg.Push_begin
+        {
+          path = "up/loaded.txt";
+          file_len = 123;
+          fp;
+          manifest = [ (fp, 100); (Fp.of_string "other chunk", 23) ];
+        };
+      Msg.Push_begin { path = "empty.txt"; file_len = 0; fp; manifest = [] };
+      Msg.Chunk_need "\x05\x80";
+      Msg.Chunk_data "deflated-chunk-bytes";
+      Msg.Push_done;
     ]
 
 let test_msg_malformed () =
@@ -528,6 +539,177 @@ let test_tcp_pull () =
       check_files "faulted pull converges" server_files r2.Pull.files;
       Alcotest.(check bool) "needed a retry" true (r2.Pull.attempts > 1))
 
+(* ---- sigcache lookup accounting (stats contract) ---- *)
+
+let test_sigcache_lookup_stats () =
+  let c = Sigcache.create () in
+  (* The zero-lookup convention: an untouched cache reports rate 0.0,
+     not NaN and not a flattering 1.0. *)
+  Alcotest.(check int) "no lookups yet" 0 (Sigcache.stats c).Sigcache.lookups;
+  Alcotest.(check (float 0.0)) "hit rate at zero lookups" 0.0
+    (Sigcache.hit_rate c);
+  Alcotest.(check (float 0.0)) "warm rate at zero lookups" 0.0
+    (Sigcache.warm_hit_rate c);
+  let saves = ref [] in
+  Sigcache.set_persist c
+    { Sigcache.save = (fun ~fp:_ ~size ~bits:_ _ -> saves := size :: !saves) };
+  let content = String.make 4096 'q' in
+  let fp = Fp.of_string content in
+  ignore (Sigcache.find_or_compute c ~fp ~size:2048 ~bits:30 content);
+  ignore (Sigcache.find_or_compute c ~fp ~size:2048 ~bits:30 content);
+  let s = Sigcache.stats c in
+  Alcotest.(check int) "lookups = hits + misses" 2 s.Sigcache.lookups;
+  Alcotest.(check int) "one hit" 1 s.Sigcache.hits;
+  Alcotest.(check int) "one miss" 1 s.Sigcache.misses;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Sigcache.hit_rate c);
+  Alcotest.(check (list int)) "miss persisted, hit not" [ 2048 ] !saves;
+  (* Seeding is not a lookup; a hit on the seeded entry is a warm hit. *)
+  let content2 = String.make 4096 'w' in
+  let fp2 = Fp.of_string content2 in
+  Sigcache.seed c ~fp:fp2 ~size:1024 ~bits:30
+    (Sigcache.compute content2 ~size:1024 ~bits:30);
+  Alcotest.(check int) "seed is no lookup" 2
+    (Sigcache.stats c).Sigcache.lookups;
+  Alcotest.(check int) "warmed" 1 (Sigcache.stats c).Sigcache.warmed;
+  let v, hit = Sigcache.find_or_compute c ~fp:fp2 ~size:1024 ~bits:30 content2 in
+  Alcotest.(check bool) "warm entry hits" true hit;
+  Alcotest.(check (array int)) "warm vector correct"
+    (Sigcache.compute content2 ~size:1024 ~bits:30) v;
+  Alcotest.(check int) "warm hit counted" 1
+    (Sigcache.stats c).Sigcache.warm_hits;
+  Alcotest.(check (list int)) "warm hit not re-persisted" [ 2048 ] !saves
+
+(* ---- push direction: loopback, dedup, warm restart ---- *)
+
+module Store = Fsync_store.Store
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store_root f =
+  let dir = Filename.temp_file "fsync_sstore" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_push_loopback () =
+  (* Storeless daemon: every chunk is requested, the pushed tree
+     replaces/extends the served collection. *)
+  let served = mk_files 21 4 in
+  let tree = mk_files 22 6 in
+  let daemon = Daemon.create served in
+  (match Loopback.run_pushes ~daemon [ tree ] with
+  | [ r ] ->
+      Alcotest.(check int) "all files pushed" 6
+        r.Loopback.pusher.Pusher.files_pushed;
+      Alcotest.(check int) "no store, everything uploaded"
+        r.Loopback.pusher.Pusher.chunks_total
+        r.Loopback.pusher.Pusher.chunks_sent
+  | _ -> Alcotest.fail "one result expected");
+  (* mk_files 22 6 covers every path of mk_files 21 4, so the daemon
+     now serves exactly the pushed tree — visible to the next puller. *)
+  (match Loopback.run_pulls ~daemon [ [] ] with
+  | [ r ] -> check_files "pushed tree served" tree r.Loopback.files
+  | _ -> Alcotest.fail "one result expected");
+  let ds = Daemon.stats daemon in
+  Alcotest.(check int) "both sessions completed" 2 ds.Daemon.completed;
+  Alcotest.(check int) "none failed" 0 ds.Daemon.failed;
+  Daemon.shutdown daemon
+
+let overlap_trees seed =
+  (* Two trees sharing > 50% of their content by byte volume. *)
+  let rng = Prng.create (Int64.of_int seed) in
+  let gen lines = Fsync_workload.Text_gen.c_like rng ~lines in
+  let shared =
+    List.init 6 (fun i -> (Printf.sprintf "shared/f%02d.txt" i, gen 120))
+  in
+  let uniq tag =
+    List.init 2 (fun i -> (Printf.sprintf "%s/g%02d.txt" tag i, gen 100))
+  in
+  (shared @ uniq "a", shared @ uniq "b")
+
+let push_two ~daemon tree_a tree_b =
+  (* Sequential runs so the second push sees what the first stored. *)
+  let first l = match l with [ r ] -> r | _ -> Alcotest.fail "one result" in
+  let _ = first (Loopback.run_pushes ~daemon [ tree_a ]) in
+  first (Loopback.run_pushes ~daemon [ tree_b ])
+
+let test_push_dedup_two_clients () =
+  let tree_a, tree_b = overlap_trees 33 in
+  (* Baseline: no store, the second client re-uploads everything. *)
+  let d0 = Daemon.create [] in
+  let base = push_two ~daemon:d0 tree_a tree_b in
+  Daemon.shutdown d0;
+  Alcotest.(check int) "baseline uploads all chunks"
+    base.Loopback.pusher.Pusher.chunks_total
+    base.Loopback.pusher.Pusher.chunks_sent;
+  with_store_root (fun root ->
+      let store = Store.open_store root in
+      let d1 = Daemon.create ~store [] in
+      let dedup = push_two ~daemon:d1 tree_a tree_b in
+      Daemon.shutdown d1;
+      Alcotest.(check bool) "shared chunks skipped" true
+        (dedup.Loopback.pusher.Pusher.chunks_sent
+        < dedup.Loopback.pusher.Pusher.chunks_total);
+      Alcotest.(check bool) "dedup bytes accounted" true
+        (dedup.Loopback.pusher.Pusher.bytes_deduped > 0);
+      (* The acceptance bar: the second client's wire bytes drop by at
+         least 40% against the store-less daemon. *)
+      let up = float_of_int dedup.Loopback.up_bytes in
+      let base_up = float_of_int base.Loopback.up_bytes in
+      if up > 0.6 *. base_up then
+        Alcotest.failf "second push sent %.0f bytes, baseline %.0f (%.0f%%)"
+          up base_up (100.0 *. up /. base_up);
+      (* Both full trees are served back intact. *)
+      (match Loopback.run_pulls ~daemon:d1 [ [] ] with
+      | [ r ] ->
+          check_files "merged collection served"
+            (sorted tree_b
+            @ List.filter (fun (p, _) -> not (List.mem_assoc p tree_b)) tree_a)
+            r.Loopback.files
+      | _ -> Alcotest.fail "one result expected");
+      Store.close store)
+
+let test_daemon_restart_warm () =
+  let server_files = mk_files 41 10 in
+  let client_files = mutate_some 41 server_files in
+  with_store_root (fun root ->
+      let misses_first =
+        let store = Store.open_store root in
+        let d = Daemon.create ~store server_files in
+        (match Loopback.run_pulls ~daemon:d [ client_files ] with
+        | [ r ] -> check_files "first pull converges" server_files r.Loopback.files
+        | _ -> Alcotest.fail "one result expected");
+        let s = Sigcache.stats (Daemon.cache d) in
+        Daemon.shutdown d;
+        Store.close store;
+        s.Sigcache.misses
+      in
+      Alcotest.(check bool) "first run computed vectors" true
+        (misses_first > 0);
+      (* Kill/restart: a fresh store handle and daemon over the same
+         root must warm-start from the persisted vectors. *)
+      let store = Store.open_store root in
+      let d = Daemon.create ~store server_files in
+      Alcotest.(check int) "every vector reloaded" misses_first
+        (Daemon.sigs_loaded d);
+      (match Loopback.run_pulls ~daemon:d [ client_files ] with
+      | [ r ] -> check_files "second pull converges" server_files r.Loopback.files
+      | _ -> Alcotest.fail "one result expected");
+      let c = Daemon.cache d in
+      let s = Sigcache.stats c in
+      Alcotest.(check int) "nothing recomputed" 0 s.Sigcache.misses;
+      let rate = Sigcache.warm_hit_rate c in
+      if rate < 0.9 then
+        Alcotest.failf "warm hit rate %.2f < 0.9 (%d/%d)" rate
+          s.Sigcache.warm_hits s.Sigcache.lookups;
+      Daemon.shutdown d;
+      Store.close store)
+
 let suite =
   [
     ("msg roundtrip", `Quick, test_msg_roundtrip);
@@ -547,4 +729,8 @@ let suite =
     ("daemon peer gone accounting", `Quick, test_daemon_peer_gone_accounting);
     ("conn chunked frames", `Quick, test_conn_chunked_frames);
     ("tcp pull with faults", `Quick, test_tcp_pull);
+    ("sigcache lookup stats", `Quick, test_sigcache_lookup_stats);
+    ("push loopback", `Quick, test_push_loopback);
+    ("push dedup two clients", `Quick, test_push_dedup_two_clients);
+    ("daemon restart warm", `Quick, test_daemon_restart_warm);
   ]

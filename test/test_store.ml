@@ -1,0 +1,325 @@
+(* Tests for Fsync_store: the content-addressed chunk store — put/get,
+   manifest-driven refcounts, index replay across close/reopen,
+   compaction, gc, fsck's corruption detectors, and the persisted
+   signature vectors (Sig_persist). *)
+
+module Store = Fsync_store.Store
+module Sig_persist = Fsync_store.Sig_persist
+module Fp = Fsync_hash.Fingerprint
+module Error = Fsync_core.Error
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_root f =
+  let dir = Filename.temp_file "fsync_store" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_store f =
+  with_root (fun dir ->
+      let s = Store.open_store dir in
+      Fun.protect ~finally:(fun () -> Store.close s) (fun () -> f dir s))
+
+(* Locate the on-disk file of a chunk (chunks/<2-hex>/<32-hex>). *)
+let chunk_file root fp =
+  let hex = Fp.to_hex fp in
+  Filename.concat
+    (Filename.concat (Filename.concat root "chunks") (String.sub hex 0 2))
+    hex
+
+let test_put_get_roundtrip () =
+  with_store (fun root s ->
+      let a = String.make 4000 'a' and b = "small chunk" in
+      let fa = Store.put s a and fb = Store.put s b in
+      Alcotest.(check bool) "a resident" true (Store.mem s fa);
+      Alcotest.(check bool) "b resident" true (Store.mem s fb);
+      Alcotest.(check bool) "key is the hash" true
+        (Fp.equal fa (Fp.of_string a));
+      Alcotest.(check (option string)) "a bytes" (Some a) (Store.get s fa);
+      Alcotest.(check (option string)) "b bytes" (Some b) (Store.get s fb);
+      Alcotest.(check (option string)) "absent" None
+        (Store.get s (Fp.of_string "never stored"));
+      Alcotest.(check bool) "chunk file exists" true
+        (Sys.file_exists (chunk_file root fa));
+      (* A second put of the same bytes is free and accounted as dedup. *)
+      let fa' = Store.put s a in
+      Alcotest.(check bool) "same key" true (Fp.equal fa fa');
+      let st = Store.stats s in
+      Alcotest.(check int) "chunks" 2 st.Store.chunks;
+      Alcotest.(check int) "bytes" (4000 + String.length b) st.Store.bytes;
+      Alcotest.(check int) "dedup_puts" 1 st.Store.dedup_puts;
+      Alcotest.(check int) "bytes_deduped" 4000 st.Store.bytes_deduped)
+
+let test_manifest_refcounts () =
+  with_store (fun _root s ->
+      let shared = Store.put s (String.make 600 's') in
+      let only1 = Store.put s (String.make 600 'x') in
+      let only2 = Store.put s (String.make 600 'y') in
+      (* put alone takes no references *)
+      Alcotest.(check int) "put is ref-neutral" 0 (Store.refs s shared);
+      Store.set_manifest s ~path:"one.txt" [ shared; only1 ];
+      Store.set_manifest s ~path:"two.txt" [ shared; only2 ];
+      Alcotest.(check int) "shared twice" 2 (Store.refs s shared);
+      Alcotest.(check int) "only1 once" 1 (Store.refs s only1);
+      Alcotest.(check (list string)) "paths sorted"
+        [ "one.txt"; "two.txt" ]
+        (Store.manifest_paths s);
+      (match Store.manifest s ~path:"one.txt" with
+      | Some [ (c0, l0); (c1, _) ] ->
+          Alcotest.(check bool) "manifest order" true (Fp.equal c0 shared);
+          Alcotest.(check bool) "then only1" true (Fp.equal c1 only1);
+          Alcotest.(check int) "length recorded" 600 l0
+      | _ -> Alcotest.fail "manifest of one.txt");
+      (* Replacing a manifest releases what it no longer uses. *)
+      Store.set_manifest s ~path:"one.txt" [ only1 ];
+      Alcotest.(check int) "shared released" 1 (Store.refs s shared);
+      Store.remove_manifest s ~path:"two.txt";
+      Alcotest.(check int) "shared unreferenced" 0 (Store.refs s shared);
+      Alcotest.(check int) "only2 unreferenced" 0 (Store.refs s only2);
+      (* Declaring a manifest over an absent chunk is a typed error. *)
+      match
+        Store.set_manifest s ~path:"bad.txt" [ Fp.of_string "not stored" ]
+      with
+      | () -> Alcotest.fail "expected a typed error"
+      | exception Error.E _ -> ())
+
+let test_replay_across_reopen () =
+  with_root (fun dir ->
+      let content = List.init 5 (fun i -> String.make (300 + i) 'k') in
+      let fps =
+        let s = Store.open_store dir in
+        let fps = List.map (Store.put s) content in
+        Store.set_manifest s ~path:"a/b c%d.txt" [ List.nth fps 0; List.nth fps 1 ];
+        Store.set_manifest s ~path:"plain.txt" [ List.nth fps 0 ];
+        Store.set_manifest s ~path:"dropped.txt" [ List.nth fps 2 ];
+        Store.remove_manifest s ~path:"dropped.txt";
+        Store.close s;
+        fps
+      in
+      let s = Store.open_store dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s)
+        (fun () ->
+          List.iter2
+            (fun fp c ->
+              Alcotest.(check (option string))
+                "chunk survives reopen" (Some c) (Store.get s fp))
+            fps content;
+          (* The escaped path replays byte-identical. *)
+          Alcotest.(check (list string))
+            "manifests survive"
+            [ "a/b c%d.txt"; "plain.txt" ]
+            (Store.manifest_paths s);
+          Alcotest.(check int) "refs replayed" 2
+            (Store.refs s (List.nth fps 0));
+          Alcotest.(check int) "drop replayed" 0
+            (Store.refs s (List.nth fps 2));
+          (* Re-declaring the identical manifest must not grow the log. *)
+          let before = (Store.stats s).Store.index_appends in
+          Store.set_manifest s ~path:"plain.txt" [ List.nth fps 0 ];
+          Alcotest.(check int) "idempotent redeclare" before
+            (Store.stats s).Store.index_appends))
+
+let test_compaction_and_gc () =
+  with_root (fun dir ->
+      let s = Store.open_store dir in
+      let keep = Store.put s (String.make 512 'K') in
+      let drop = Store.put s (String.make 2048 'D') in
+      Store.set_manifest s ~path:"keep.txt" [ keep ];
+      (* Churn one path many times: the live state is 2 chunks + 2
+         manifests but the log holds every revision, so the append
+         threshold trips and compaction rewrites it small. *)
+      for i = 1 to 200 do
+        Store.set_manifest s ~path:"churn.txt"
+          [ (if i mod 2 = 0 then keep else drop) ]
+      done;
+      Alcotest.(check bool) "auto-compacted" true
+        ((Store.stats s).Store.compactions > 0);
+      Store.set_manifest s ~path:"churn.txt" [ keep ];
+      let removed, reclaimed = Store.gc s in
+      Alcotest.(check int) "one chunk collected" 1 removed;
+      Alcotest.(check int) "its bytes reclaimed" 2048 reclaimed;
+      Alcotest.(check bool) "file gone" false
+        (Sys.file_exists (chunk_file dir drop));
+      Alcotest.(check bool) "kept chunk intact" true (Store.mem s keep);
+      Store.close s;
+      (* The compacted log replays to the same live state. *)
+      let s2 = Store.open_store dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s2)
+        (fun () ->
+          Alcotest.(check int) "chunks after gc" 1 (Store.stats s2).Store.chunks;
+          Alcotest.(check int) "refs after churn" 2 (Store.refs s2 keep);
+          Alcotest.(check bool) "dropped stays dropped" false
+            (Store.mem s2 drop)))
+
+let finding_names report =
+  List.map
+    (function
+      | Store.Corrupt_chunk _ -> "corrupt"
+      | Store.Missing_chunk _ -> "missing"
+      | Store.Orphan_chunk _ -> "orphan"
+      | Store.Refcount_skew _ -> "skew")
+    (List.sort compare report.Store.findings)
+
+let test_fsck_clean () =
+  with_store (fun _root s ->
+      let a = Store.put s (String.make 700 'a') in
+      let b = Store.put s (String.make 800 'b') in
+      Store.set_manifest s ~path:"f.txt" [ a; b ];
+      let r = Store.fsck s in
+      Alcotest.(check int) "chunks checked" 2 r.Store.chunks_checked;
+      Alcotest.(check int) "manifests checked" 1 r.Store.manifests_checked;
+      Alcotest.(check (list string)) "no findings" [] (finding_names r);
+      Alcotest.(check int) "no garbage" 0 r.Store.garbage_chunks)
+
+let test_fsck_detects_damage () =
+  with_root (fun dir ->
+      let corrupt, missing =
+        let s = Store.open_store dir in
+        let corrupt = Store.put s (String.make 900 'c') in
+        let missing = Store.put s (String.make 900 'm') in
+        Store.set_manifest s ~path:"f.txt" [ corrupt; missing ];
+        Store.close s;
+        (corrupt, missing)
+      in
+      (* Corrupt one chunk in place, delete the other outright, and
+         plant an orphan file the index has never heard of. *)
+      let oc = open_out_bin (chunk_file dir corrupt) in
+      output_string oc (String.make 900 'X');
+      close_out oc;
+      Sys.remove (chunk_file dir missing);
+      let orphan_hex = String.make 32 '0' in
+      let fan = Filename.concat (Filename.concat dir "chunks") "00" in
+      (if not (Sys.file_exists fan) then Sys.mkdir fan 0o755);
+      let oc = open_out_bin (Filename.concat fan orphan_hex) in
+      output_string oc "stray bytes";
+      close_out oc;
+      let s = Store.open_store dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s)
+        (fun () ->
+          let r = Store.fsck s in
+          Alcotest.(check (list string))
+            "all three found"
+            [ "corrupt"; "missing"; "orphan" ]
+            (finding_names r);
+          (* Orphans are warnings, not errors. *)
+          Alcotest.(check int) "two errors" 2
+            (List.length (Store.fsck_errors r));
+          Alcotest.(check bool) "orphan not an error" true
+            (List.for_all
+               (function Store.Orphan_chunk _ -> false | _ -> true)
+               (Store.fsck_errors r))))
+
+let test_fsck_detects_refcount_skew () =
+  with_root (fun dir ->
+      let fp =
+        let s = Store.open_store dir in
+        let fp = Store.put s (String.make 400 'r') in
+        Store.set_manifest s ~path:"f.txt" [ fp ];
+        Store.close s;
+        fp
+      in
+      (* Forge a compaction-style refcount assertion that contradicts
+         the manifests: replay trusts it, fsck re-derives and objects. *)
+      let oc =
+        open_out_gen
+          [ Open_append; Open_binary ]
+          0o644
+          (Filename.concat dir "index.log")
+      in
+      output_string oc (Printf.sprintf "R %s 7\n" (Fp.to_hex fp));
+      close_out oc;
+      let s = Store.open_store dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s)
+        (fun () ->
+          Alcotest.(check int) "forged count replayed" 7 (Store.refs s fp);
+          let r = Store.fsck s in
+          match Store.fsck_errors r with
+          | [ Store.Refcount_skew { index_refs; manifest_refs; _ } ] ->
+              Alcotest.(check int) "index side" 7 index_refs;
+              Alcotest.(check int) "manifest side" 1 manifest_refs
+          | _ -> Alcotest.failf "expected exactly a refcount skew"))
+
+let test_torn_index_append () =
+  with_root (fun dir ->
+      let fp =
+        let s = Store.open_store dir in
+        let fp = Store.put s (String.make 300 't') in
+        Store.set_manifest s ~path:"t.txt" [ fp ];
+        Store.close s;
+        fp
+      in
+      (* A crash mid-append leaves a final line with no newline; replay
+         must drop it and keep everything before. *)
+      let oc =
+        open_out_gen
+          [ Open_append; Open_binary ]
+          0o644
+          (Filename.concat dir "index.log")
+      in
+      output_string oc "M torn-manif";
+      close_out oc;
+      let s = Store.open_store dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s)
+        (fun () ->
+          Alcotest.(check (list string)) "only committed state"
+            [ "t.txt" ] (Store.manifest_paths s);
+          Alcotest.(check int) "refs intact" 1 (Store.refs s fp)))
+
+let test_sig_persist_roundtrip () =
+  with_store (fun _root s ->
+      let dir = Store.sig_dir s in
+      let v1 = [| 0; 1; 0x3fffffff; 123456; 42 |] in
+      let v2 = [| 7 |] in
+      let fp1 = Fp.of_string "file one" and fp2 = Fp.of_string "file two" in
+      Sig_persist.save ~dir ~fp:fp1 ~size:2048 ~bits:30 v1;
+      Sig_persist.save ~dir ~fp:fp2 ~size:512 ~bits:16 v2;
+      (* Unparseable droppings must be skipped, not fatal. *)
+      let oc = open_out_bin (Filename.concat dir "junk-file") in
+      output_string oc "not a vector";
+      close_out oc;
+      let seen = ref [] in
+      let n =
+        Sig_persist.load_all ~dir (fun ~fp ~size ~bits v ->
+            seen := (Fp.to_hex fp, size, bits, Array.to_list v) :: !seen)
+      in
+      Alcotest.(check int) "two loaded" 2 n;
+      let expect =
+        List.sort compare
+          [
+            (Fp.to_hex fp1, 2048, 30, Array.to_list v1);
+            (Fp.to_hex fp2, 512, 16, Array.to_list v2);
+          ]
+      in
+      Alcotest.(check bool) "vectors roundtrip" true
+        (List.sort compare !seen = expect);
+      (* Overwrite is last-writer-wins for the same key. *)
+      Sig_persist.save ~dir ~fp:fp1 ~size:2048 ~bits:30 v2;
+      let got = ref None in
+      ignore
+        (Sig_persist.load_all ~dir (fun ~fp ~size ~bits:_ v ->
+             if Fp.equal fp fp1 && size = 2048 then got := Some (Array.to_list v)));
+      Alcotest.(check (option (list int))) "overwritten" (Some [ 7 ]) !got)
+
+let suite =
+  [
+    ("put/get roundtrip", `Quick, test_put_get_roundtrip);
+    ("manifest refcounts", `Quick, test_manifest_refcounts);
+    ("replay across reopen", `Quick, test_replay_across_reopen);
+    ("compaction and gc", `Quick, test_compaction_and_gc);
+    ("fsck clean", `Quick, test_fsck_clean);
+    ("fsck detects damage", `Quick, test_fsck_detects_damage);
+    ("fsck detects refcount skew", `Quick, test_fsck_detects_refcount_skew);
+    ("torn index append", `Quick, test_torn_index_append);
+    ("sig_persist roundtrip", `Quick, test_sig_persist_roundtrip);
+  ]

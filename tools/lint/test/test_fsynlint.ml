@@ -226,7 +226,13 @@ let test_scope_predicates () =
   Alcotest.(check bool) "workload is not" false
     (Lint.is_wire_sensitive "lib/workload/datasets.ml");
   Alcotest.(check bool) "bin has no rules" true
-    (Lint.rules_for "bin/fsync.ml" = [])
+    (Lint.rules_for "bin/fsync.ml" = []);
+  (* The chunk store is a lib like any other: crash-point and
+     console-output rules apply without a baseline entry. *)
+  Alcotest.(check bool) "store gets R2" true
+    (List.mem Lint.R2 (Lint.rules_for "lib/store/store.ml"));
+  Alcotest.(check bool) "store gets R3" true
+    (List.mem Lint.R3 (Lint.rules_for "lib/store/sig_persist.ml"))
 
 let () =
   Alcotest.run "fsynlint"

@@ -100,4 +100,97 @@ $(cat "$WORK/serve.log")"
 COMPLETED=$(sed -n 's/.*(\([0-9][0-9]*\) completed.*/\1/p' "$WORK/serve.log")
 [ "${COMPLETED:-0}" -ge 4 ] || fail "expected >=4 completed sessions, got \
 '${COMPLETED:-none}'"
+echo "serve-smoke: daemon shut down cleanly"
+
+# ---- 6. store-backed variant: dedup push + warm restart --------------
+# Serve with --store, pull once and push an overlapping tree (the store
+# already holds the served chunks, so the push must dedup), kill the
+# daemon, restart it over the same store root and pull again: the
+# signature cache must warm-start from the persisted vectors.
+STORE="$WORK/store"
+
+start_store_daemon() {  # $1 = log tag; sets DAEMON_PID and PORT
+  "$FSYNC" serve "$WORK/server" --host 127.0.0.1 --port 0 --store "$STORE" \
+    > "$WORK/$1.out" 2> "$WORK/$1.log" &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+      "$WORK/$1.log" | head -n 1)
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "store daemon died at startup:
+$(cat "$WORK/$1.log")"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "store daemon never reported its port"
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+}
+
+# Two identical outdated replicas: one pull per daemon lifetime, so the
+# second run repeats exactly the first run's signature lookups.
+for i in 5 6; do
+  mkdir -p "$WORK/client$i/src"
+  sed '100,140d' "$WORK/server/src/numbers.txt" \
+    > "$WORK/client$i/src/numbers.txt"
+  cp "$WORK/server/notes.txt" "$WORK/client$i/"
+done
+# An upload tree that is mostly served content plus one new file.
+mkdir -p "$WORK/pushsrc"
+cp -R "$WORK/server/." "$WORK/pushsrc/"
+printf 'brand new content\n' > "$WORK/pushsrc/extra.txt"
+
+start_store_daemon serve_store1
+grep -q "fsyncd: store $STORE" "$WORK/serve_store1.log" \
+  || fail "daemon did not report its store"
+"$FSYNC" pull "127.0.0.1:$PORT" "$WORK/client5" --apply -q \
+  > "$WORK/pull5.log" 2>&1 || fail "store-backed pull failed:
+$(cat "$WORK/pull5.log")"
+"$FSYNC" push "127.0.0.1:$PORT" "$WORK/pushsrc" -q \
+  > "$WORK/push.log" 2>&1 || fail "push failed:
+$(cat "$WORK/push.log")"
+PUSH_DEDUPED=$(sed -n 's/.*, \([0-9]*\) bytes deduped.*/\1/p' "$WORK/push.log")
+[ "${PUSH_DEDUPED:-0}" -gt 0 ] || fail "push deduped nothing against the \
+store:
+$(cat "$WORK/push.log")"
+stop_daemon
+MISSES=$(sed -n 's/.*sig cache: [0-9]* hits, \([0-9]*\) misses.*/\1/p' \
+  "$WORK/serve_store1.out")
+[ "${MISSES:-0}" -gt 0 ] || fail "first run computed no signature vectors:
+$(cat "$WORK/serve_store1.out")"
+
+# Kill/restart over the same root: vectors must come back warm.
+start_store_daemon serve_store2
+SEEDED=$(sed -n 's/.*(\([0-9][0-9]*\) sig vectors seeded).*/\1/p' \
+  "$WORK/serve_store2.log")
+[ "${SEEDED:-0}" -ge "$MISSES" ] || fail "restart seeded ${SEEDED:-0} \
+vectors, first run computed $MISSES"
+"$FSYNC" pull "127.0.0.1:$PORT" "$WORK/client6" --apply -q \
+  > "$WORK/pull6.log" 2>&1 || fail "post-restart pull failed:
+$(cat "$WORK/pull6.log")"
+stop_daemon
+diff -r "$WORK/server" "$WORK/client6" >/dev/null 2>&1 \
+  || fail "client6 differs after the warm-restart pull"
+WARM_RATE=$(sed -n 's/.*warm rate \([0-9.]*\)$/\1/p' "$WORK/serve_store2.out")
+awk -v r="${WARM_RATE:-0}" 'BEGIN { exit !(r >= 0.9) }' \
+  || fail "warm hit rate ${WARM_RATE:-none} < 0.9 after restart:
+$(cat "$WORK/serve_store2.out")"
+STORE_DEDUPED=$(sed -n \
+  's/.*manifests, \([0-9]*\) bytes deduped$/\1/p' "$WORK/serve_store2.out")
+[ "${STORE_DEDUPED:-0}" -gt 0 ] || fail "restarted store re-ingested \
+without dedup:
+$(cat "$WORK/serve_store2.out")"
+echo "serve-smoke: warm restart rate $WARM_RATE, $STORE_DEDUPED bytes deduped"
+
+# ---- 7. store CLI: stats clean, fsck clean ---------------------------
+"$FSYNC" store stats "$STORE" > "$WORK/store_stats.log" 2>&1 \
+  || fail "store stats failed:
+$(cat "$WORK/store_stats.log")"
+"$FSYNC" store fsck "$STORE" > "$WORK/store_fsck.log" 2>&1 \
+  || fail "store fsck found damage:
+$(cat "$WORK/store_fsck.log")"
 echo "serve-smoke: PASS ($(sed -n 's/^daemon: //p' "$WORK/serve.log"))"
