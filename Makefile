@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke serve-smoke examples doc clean soak lint
+.PHONY: all build test check bench bench-smoke serve-smoke examples doc clean soak lint torture torture-smoke
 
 all: build
 
@@ -17,9 +17,10 @@ lint:
 	dune exec tools/lint/fsynlint.exe --
 
 # What CI runs: full build (including examples and benches), the test
-# suite, the lint ratchet, the bench-smoke JSON round trip, and the
-# daemon end-to-end smoke (serve + concurrent pulls over TCP).
-check: build test lint bench-smoke serve-smoke
+# suite, the lint ratchet, the bench-smoke JSON round trip, the daemon
+# end-to-end smoke (serve + concurrent pulls over TCP), and the reduced
+# crash-tolerance torture matrix.
+check: build test lint bench-smoke serve-smoke torture-smoke
 
 # QUICK=1 runs only the JSON-exporting scenarios on their reduced
 # matrices — a smoke test fast enough for CI.
@@ -58,6 +59,17 @@ examples:
 # the 200-schedule soak.
 soak:
 	dune exec test/test_main.exe -- test resilience
+
+# Crash-tolerance torture (DESIGN.md §12): the full {crash point x
+# disk-fault schedule} x {push, pull, gc, compact} matrix with restart,
+# fsck and convergence asserted per cell, plus the resumed-pull payload
+# bar; writes and validates BENCH_torture.json.  torture-smoke is the
+# QUICK-scaled variant CI runs inside `make check`.
+torture:
+	sh tools/torture.sh
+
+torture-smoke:
+	QUICK=1 sh tools/torture.sh
 
 doc:
 	dune build @doc

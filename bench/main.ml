@@ -20,6 +20,11 @@
      store    chunk-store dedup: overlapping client pushes with and
               without the store (BENCH_store.json, dedup ratio and the
               warm-restart signature-cache rate)
+     torture  crash-tolerance matrix: {crash point x disk-fault
+              schedule} x {push, pull, gc, compact} under injected
+              faults, restart + fsck + convergence asserted per cell,
+              plus the resumed-pull payload bar (BENCH_torture.json;
+              QUICK=1 shrinks the crash-point sweep)
      ablate   ablations: decomposable / skip rules / candidate cap / local
      speed    bechamel micro-benchmarks (hashes, compressors, protocol)
      all      everything above (default)
@@ -1102,6 +1107,346 @@ let store () =
   in
   write_bench_json "BENCH_store.json" records
 
+(* ---- torture: crash points x disk-fault schedules x workloads ---- *)
+
+let torture () =
+  (* Crash-tolerance matrix (DESIGN.md §12): every cell runs one store
+     or apply workload under a seeded {!Fsync_store.Fault_io} schedule
+     with a hard crash at the K-th mutating syscall, then models the
+     restart — reopen with a clean [Io], assert {!Store.fsck} reports
+     zero error findings (or roll the apply journal forward), re-run the
+     workload to completion and verify byte-identical convergence.  Any
+     violation aborts the run; a completed run means every cell held.
+     The resumed-pull measurement at the end asserts the fsyncd/1 resume
+     token re-transfers at most 25% of a cold pull's payload.  Exported
+     as BENCH_torture.json. *)
+  let module Store = Fsync_store.Store in
+  let module Fault_io = Fsync_store.Fault_io in
+  let module Apply = Fsync_collection.Apply in
+  let module Session = Fsync_server.Session in
+  let module Puller = Fsync_server.Puller in
+  let module Sigcache = Fsync_server.Sigcache in
+  let module Scope = Fsync_obs.Scope in
+  let module Prng = Fsync_util.Prng in
+  let quick = quick_mode () in
+  let crash_points =
+    if quick then [ 1; 3; 8; 21 ] else [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+  in
+  let schedules =
+    [
+      { Fault_io.none with Fault_io.p_enospc = 0.05 };
+      { Fault_io.none with Fault_io.p_eio = 0.05 };
+      { Fault_io.none with Fault_io.p_short = 0.1; Fault_io.p_eio = 0.02 };
+    ]
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let with_tmp_root f =
+    let dir = Filename.temp_file "fsync_torture" "" in
+    Sys.remove dir;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  let split content =
+    let n = String.length content in
+    if n = 0 then [ "" ]
+    else begin
+      let acc = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let len = min 1024 (n - !i) in
+        acc := String.sub content !i len :: !acc;
+        i := !i + len
+      done;
+      List.rev !acc
+    end
+  in
+  let tree seed n =
+    List.init n (fun i ->
+        ( Printf.sprintf "d%d/f%02d.txt" (i mod 3) i,
+          Fsync_workload.Text_gen.c_like
+            (Prng.create (Int64.of_int (seed + i)))
+            ~lines:(10 + ((i mod 7) * 5)) ))
+  in
+  let files = tree 400 6 in
+  let push_files st fs =
+    List.iter
+      (fun (path, content) ->
+        let fps = List.map (Store.put st) (split content) in
+        Store.set_manifest st ~path fps)
+      fs
+  in
+  let reconstruct st path =
+    match Store.manifest st ~path with
+    | None -> None
+    | Some chunks ->
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun (fp, _len) ->
+            match Store.get st fp with
+            | Some bytes -> Buffer.add_string buf bytes
+            | None ->
+                failwith (Printf.sprintf "torture: missing chunk of %s" path))
+          chunks;
+        Some (Buffer.contents buf)
+  in
+  let check_store st ~present ~absent =
+    List.iter
+      (fun (path, content) ->
+        match reconstruct st path with
+        | Some got when String.equal got content -> ()
+        | Some _ -> failwith (Printf.sprintf "torture: %s diverged" path)
+        | None -> failwith (Printf.sprintf "torture: %s missing" path))
+      present;
+    List.iter
+      (fun (path, _) ->
+        match Store.manifest st ~path with
+        | None -> ()
+        | Some _ ->
+            failwith (Printf.sprintf "torture: %s survived removal" path))
+      absent
+  in
+  let assert_fsck_clean what st =
+    match Store.fsck_errors (Store.fsck st) with
+    | [] -> ()
+    | errs ->
+        failwith
+          (Printf.sprintf "torture %s: fsck found %d error(s) after restart"
+             what (List.length errs))
+  in
+  (* Each workload: the faulty phase (crash/fault exceptions expected),
+     then the restart — clean handle, fsck, re-run, convergence. *)
+  let faulty f =
+    match f () with
+    | () -> ()
+    | exception Fault_io.Crash_point _ -> ()
+    | exception Fsync_core.Error.E _ -> ()
+  in
+  let run_push ~seed spec root =
+    let io, stats = Fault_io.wrap ~seed spec in
+    faulty (fun () ->
+        let st = Store.open_store ~io root in
+        push_files st files;
+        Store.close st);
+    let st = Store.open_store root in
+    assert_fsck_clean "push" st;
+    push_files st files;
+    check_store st ~present:files ~absent:[];
+    Store.close st;
+    stats ()
+  in
+  let doomed = List.filteri (fun i _ -> i mod 2 = 0) files in
+  let kept = List.filteri (fun i _ -> i mod 2 = 1) files in
+  let run_gc ~seed spec root =
+    let st0 = Store.open_store root in
+    push_files st0 files;
+    Store.close st0;
+    let io, stats = Fault_io.wrap ~seed spec in
+    let sweep st =
+      List.iter (fun (path, _) -> Store.remove_manifest st ~path) doomed;
+      ignore (Store.gc st : int * int)
+    in
+    faulty (fun () ->
+        let st = Store.open_store ~io root in
+        sweep st;
+        Store.close st);
+    let st = Store.open_store root in
+    assert_fsck_clean "gc" st;
+    sweep st;
+    check_store st ~present:kept ~absent:doomed;
+    Store.close st;
+    stats ()
+  in
+  let rewritten =
+    List.map (fun (p, c) -> (p, c ^ "\n/* rewritten */\n")) files
+  in
+  let run_compact ~seed spec root =
+    let st0 = Store.open_store root in
+    push_files st0 files;
+    Store.close st0;
+    let io, stats = Fault_io.wrap ~seed spec in
+    let churn st =
+      push_files st rewritten;
+      Store.compact st;
+      ignore (Store.gc st : int * int)
+    in
+    faulty (fun () ->
+        let st = Store.open_store ~io root in
+        churn st;
+        Store.close st);
+    let st = Store.open_store root in
+    assert_fsck_clean "compact" st;
+    churn st;
+    check_store st ~present:rewritten ~absent:[];
+    Store.close st;
+    stats ()
+  in
+  let old_files = tree 500 6 in
+  let new_files =
+    (* Edit half, delete one, add one: every journal record kind. *)
+    ("d0/added.txt", "fresh content\n")
+    :: List.filteri (fun i _ -> i <> 1) (
+         List.mapi
+           (fun i (p, c) -> if i mod 2 = 0 then (p, c ^ "\n// edited\n") else (p, c))
+           old_files)
+  in
+  let rec tree_of_dir acc dir rel =
+    Array.fold_left
+      (fun acc name ->
+        if rel = "" && String.equal name Apply.dirname then acc
+        else
+          let p = Filename.concat dir name in
+          let r = if rel = "" then name else rel ^ "/" ^ name in
+          if Sys.is_directory p then tree_of_dir acc p r
+          else
+            let ic = open_in_bin p in
+            let c =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            (r, c) :: acc)
+      acc (Sys.readdir dir)
+  in
+  let run_pull ~seed spec root =
+    ignore (Apply.apply ~root ~old_files:[] old_files : Apply.stats);
+    let io, stats = Fault_io.wrap ~seed spec in
+    faulty (fun () ->
+        ignore (Apply.apply ~io ~root ~old_files new_files : Apply.stats));
+    ignore (Apply.resume root : Apply.resumed);
+    let current = tree_of_dir [] root "" in
+    ignore (Apply.apply ~root ~old_files:current new_files : Apply.stats);
+    let final = List.sort compare (tree_of_dir [] root "") in
+    if final <> List.sort compare new_files then
+      failwith "torture pull: replica diverged after recovery";
+    stats ()
+  in
+  let workloads =
+    [
+      ("push", run_push); ("pull", run_pull); ("gc", run_gc);
+      ("compact", run_compact);
+    ]
+  in
+  Printf.printf
+    "torture [%s]: %d crash points x %d schedules x %d workloads\n"
+    (if quick then "quick" else "full")
+    (List.length crash_points) (List.length schedules)
+    (List.length workloads);
+  let records = ref [] in
+  List.iteri
+    (fun wi (wname, run) ->
+      List.iteri
+        (fun si spec ->
+          let cells, reg, wall_ns =
+            observed (fun scope ->
+                List.fold_left
+                  (fun cells k ->
+                    let spec = { spec with Fault_io.crash_at = Some k } in
+                    let seed = (wi * 1000) + (si * 100) + k in
+                    let st =
+                      with_tmp_root (fun root -> run ~seed spec root)
+                    in
+                    Scope.add scope "fault_ops" st.Fault_io.ops;
+                    Scope.add scope "fault_enospc" st.Fault_io.enospc;
+                    Scope.add scope "fault_eio" st.Fault_io.eio;
+                    Scope.add scope "fault_short" st.Fault_io.short_writes;
+                    if st.Fault_io.crashed then Scope.incr scope "crashes";
+                    Scope.incr scope "cells_converged";
+                    cells + 1)
+                  0 crash_points)
+          in
+          let sched =
+            Fault_io.to_string { spec with Fault_io.crash_at = None }
+          in
+          Printf.printf "  %-7s faults=%-24s %d cells converged, fsck clean\n"
+            wname sched cells;
+          records :=
+            bench_record
+              ~scenario:(Printf.sprintf "torture/%s" wname)
+              ~config:(Printf.sprintf "faults=%s,cells=%d" sched cells)
+              ~bytes_up:0 ~bytes_down:0 ~rounds:cells
+              ~elapsed_s:(float_of_int wall_ns /. 1e9)
+              ~wall_ns reg
+            :: !records)
+        schedules)
+    workloads;
+  (* Resume economy: kill a pull after 10 of 12 files, reconnect with
+     the resume token, and compare re-transferred payload to a cold
+     pull (the ISSUE 7 acceptance bar: at most 25%). *)
+  let server_files =
+    List.init 12 (fun i ->
+        ( Printf.sprintf "f%02d.txt" i,
+          Fsync_workload.Text_gen.c_like
+            (Prng.create (Int64.of_int (900 + i)))
+            ~lines:80 ))
+  in
+  let pump ?(abort_after = max_int) session puller =
+    let s2c = ref 0 in
+    let q = Queue.create () in
+    List.iter (fun f -> Queue.add f q) (Puller.start puller);
+    (try
+       while not (Queue.is_empty q || Puller.finished puller) do
+         let frame = Queue.pop q in
+         List.iter
+           (fun r ->
+             s2c := !s2c + String.length r;
+             let completed =
+               match Puller.resume_token puller with
+               | Some t -> List.length t.Puller.rt_completed
+               | None -> 0
+             in
+             if completed >= abort_after then raise Exit;
+             List.iter (fun f -> Queue.add f q) (Puller.on_message puller r))
+           (Session.on_message session frame)
+       done
+     with Exit -> ());
+    !s2c
+  in
+  let mk_session () = Session.create ~cache:(Sigcache.create ()) server_files in
+  let ratio, reg, wall_ns =
+    observed (fun scope ->
+        let cold_puller = Puller.create [] in
+        let cold = pump (mk_session ()) cold_puller in
+        if not (Puller.finished cold_puller) then
+          failwith "torture resume: cold pull did not finish";
+        let p1 = Puller.create [] in
+        let (_ : int) = pump ~abort_after:10 (mk_session ()) p1 in
+        let token =
+          match Puller.resume_token p1 with
+          | Some t -> t
+          | None -> failwith "torture resume: interrupted pull has no token"
+        in
+        let p2 = Puller.create ~resume:token [] in
+        let resumed = pump (mk_session ()) p2 in
+        if not (Puller.finished p2) then
+          failwith "torture resume: resumed pull did not finish";
+        Scope.add scope "cold_bytes" cold;
+        Scope.add scope "resumed_bytes" resumed;
+        let ratio = float_of_int resumed /. float_of_int (max 1 cold) in
+        Printf.printf "  resume: cold %d B, resumed %d B (%.1f%% re-sent)\n"
+          cold resumed (100.0 *. ratio);
+        if ratio > 0.25 then
+          failwith
+            (Printf.sprintf
+               "torture resume: re-transferred %.1f%% of the cold payload \
+                (bar: 25%%)"
+               (100.0 *. ratio));
+        ratio)
+  in
+  records :=
+    bench_record ~scenario:"torture/resume"
+      ~config:(Printf.sprintf "killed_after=10of12,ratio=%.3f" ratio)
+      ~bytes_up:0 ~bytes_down:0 ~rounds:1
+      ~elapsed_s:(float_of_int wall_ns /. 1e9)
+      ~wall_ns reg
+    :: !records;
+  write_bench_json "BENCH_torture.json" (List.rev !records)
+
 (* ---- theory: group-testing planner and searching-with-liars ---- *)
 
 let theory () =
@@ -1252,7 +1597,7 @@ let speed () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|store|ablate|dispersion|latency|broadcast|theory|speed|all]"
+     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|store|torture|ablate|dispersion|latency|broadcast|theory|speed|all]"
 
 let () =
   let targets =
@@ -1269,6 +1614,7 @@ let () =
     | "collection" -> collection ()
     | "server" -> server ()
     | "store" -> store ()
+    | "torture" -> torture ()
     | "ablate" -> ablate ()
     | "dispersion" -> dispersion ()
     | "latency" -> latency ()
@@ -1286,6 +1632,7 @@ let () =
         collection ();
         server ();
         store ();
+        torture ();
         ablate ();
         dispersion ();
         latency ();

@@ -558,9 +558,14 @@ let serve_cmd =
             let cache = Fsync_server.Daemon.cache daemon in
             let cs = Fsync_server.Sigcache.stats cache in
             Format.printf
-              "sessions: %d accepted, %d completed, %d failed, %d timeouts@."
+              "sessions: %d accepted, %d completed, %d failed, %d timeouts, \
+               %d shed busy@."
               st.Fsync_server.Daemon.accepted st.Fsync_server.Daemon.completed
-              st.Fsync_server.Daemon.failed st.Fsync_server.Daemon.timeouts;
+              st.Fsync_server.Daemon.failed st.Fsync_server.Daemon.timeouts
+              st.Fsync_server.Daemon.shed;
+            if st.Fsync_server.Daemon.sig_persist_errors > 0 then
+              Format.printf "sig persist errors: %d@."
+                st.Fsync_server.Daemon.sig_persist_errors;
             Format.printf
               "sig cache: %d hits, %d misses, %d entries, %d lookups, %d \
                warm hits, warm rate %.3f@."
@@ -660,6 +665,17 @@ let pull_cmd =
   in
   let run (host, port) dir apply fault seed attempts idle_timeout_s quiet =
     if not quiet then log_to_stderr ();
+    (* A crash during a previous [--apply] leaves a staging journal;
+       repair it before trusting the directory's contents as the old
+       replica. *)
+    (if Sys.file_exists dir && Sys.is_directory dir then
+       match Fsync_collection.Apply.resume dir with
+       | `Clean -> ()
+       | `Rolled_back ->
+           Format.printf "recovered: interrupted apply rolled back@."
+       | `Rolled_forward n ->
+           Format.printf
+             "recovered: interrupted apply rolled forward (%d records)@." n);
     let old_files =
       if Sys.file_exists dir && Sys.is_directory dir then
         Fsync_collection.Snapshot.files
@@ -683,31 +699,15 @@ let pull_cmd =
           total_new r.Fsync_server.Pull.attempts
           r.Fsync_server.Pull.c2s_bytes r.Fsync_server.Pull.s2c_bytes;
         if apply then begin
-          Fsync_collection.Snapshot.store_dir dir
-            (Fsync_collection.Snapshot.of_files r.Fsync_server.Pull.files);
-          (* [store_dir] only writes; paths the server no longer has must
-             be removed here for the replica to mirror the collection. *)
-          let keep (path, _) = String.equal path in
-          List.iter
-            (fun (old_path, _) ->
-              if
-                not
-                  (List.exists
-                     (fun f -> keep f old_path)
-                     r.Fsync_server.Pull.files)
-              then
-                match Sys.remove (Filename.concat dir old_path) with
-                | () -> ()
-                | exception Sys_error _ -> ())
-            old_files;
-          (* Deleting stale files can leave their directories behind;
-             sweep those bottom-up so the replica tree mirrors the
-             served one exactly. *)
-          let pruned = Fsync_collection.Snapshot.prune_empty_dirs dir in
-          if pruned > 0 then
-            Format.printf "replica updated in place (%d empty dir(s) removed)@."
-              pruned
-          else Format.printf "replica updated in place@."
+          (* Journaled atomic apply: stage + commit + rename, so a crash
+             here leaves either the old replica or the new one — never a
+             torn mix (DESIGN.md §12). *)
+          let st =
+            Fsync_collection.Apply.apply ~root:dir ~old_files
+              r.Fsync_server.Pull.files
+          in
+          Format.printf "replica updated (%d written, %d deleted)@."
+            st.Fsync_collection.Apply.wrote st.Fsync_collection.Apply.deleted
         end;
         `Ok ()
     | exception Fsync_core.Error.E e ->

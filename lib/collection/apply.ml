@@ -1,0 +1,259 @@
+module Io = Fsync_store.Io
+module Error = Fsync_core.Error
+module Fp = Fsync_hash.Fingerprint
+
+let dirname = ".fsync-apply"
+
+let staging_dir root = Filename.concat root dirname
+
+let journal_path root = Filename.concat (staging_dir root) "journal"
+
+let staged_name n = Printf.sprintf "f%d" n
+
+(* The real syscalls raise Sys_error/Unix_error; map them to the typed
+   discipline (same policy as the store's wrapper).  A Crash_point is
+   not an error to report — it is the simulated machine dying — so it
+   passes through untouched. *)
+let guard what f =
+  try f () with
+  | Sys_error msg -> Error.malformed "Apply: %s: %s" what msg
+  | Unix.Unix_error (e, fn, arg) ->
+      Error.malformed "Apply: %s: %s(%s): %s" what fn arg
+        (Unix.error_message e)
+
+(* ---- journal records ---- *)
+
+type record =
+  | W of { path : string; n : int; len : int; fp_hex : string }
+  | D of string
+
+(* Paths are percent-escaped so the journal stays one record per line
+   with space-separated fields, whatever bytes the path contains. *)
+let esc path =
+  let b = Buffer.create (String.length path) in
+  String.iter
+    (fun c ->
+      if Char.code c <= 0x20 || Char.equal c '%' || Int.equal (Char.code c) 0x7f
+      then Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+      else Buffer.add_char b c)
+    path;
+  Buffer.contents b
+
+let unesc s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' ->
+        if !i + 2 >= n then Error.malformed "Apply: truncated escape in %S" s;
+        (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+        | Some v -> Buffer.add_char b (Char.chr v)
+        | None -> Error.malformed "Apply: bad escape in %S" s);
+        i := !i + 2
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let header = "fsync-apply/1"
+
+let encode_journal records =
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | W { path; n; len; fp_hex } ->
+          Buffer.add_string b
+            (Printf.sprintf "W %s %d %d %s" (esc path) n len fp_hex)
+      | D path -> Buffer.add_string b (Printf.sprintf "D %s" (esc path)));
+      Buffer.add_char b '\n')
+    records;
+  Buffer.add_string b "commit\n";
+  Buffer.contents b
+
+let parse_record line =
+  match String.split_on_char ' ' line with
+  | [ "W"; p; n; len; fp_hex ] -> (
+      match (int_of_string_opt n, int_of_string_opt len) with
+      | Some n, Some len when n >= 0 && len >= 0 ->
+          W { path = unesc p; n; len; fp_hex }
+      | _ -> Error.malformed "Apply: bad W record %S" line)
+  | [ "D"; p ] -> D (unesc p)
+  | _ -> Error.malformed "Apply: bad journal record %S" line
+
+(* The journal was fsynced before the rename that published it, so a
+   committed journal is complete; a missing trailer means something
+   other than a crash damaged it, and we refuse to guess. *)
+let parse_journal data =
+  match String.split_on_char '\n' data with
+  | h :: rest when String.equal h header ->
+      let rec go acc = function
+        | [ "commit" ] | [ "commit"; "" ] -> List.rev acc
+        | line :: tl -> go (parse_record line :: acc) tl
+        | [] -> Error.malformed "Apply: journal missing commit trailer"
+      in
+      go [] rest
+  | _ -> Error.malformed "Apply: bad journal header"
+
+(* ---- repair ---- *)
+
+let unlink_if_exists (io : Io.t) path =
+  match io.Io.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* Empty directories left by the deletes, bottom-up; the staging
+   directory is the journal's home and is cleaned separately. *)
+let prune_dirs (io : Io.t) root =
+  let rec walk abs =
+    if io.Io.is_dir abs then begin
+      Array.iter (fun name -> walk (Filename.concat abs name)) (io.Io.readdir abs);
+      if Int.equal (Array.length (io.Io.readdir abs)) 0 then
+        match io.Io.rmdir abs with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ()
+    end
+  in
+  if io.Io.is_dir root then
+    Array.iter
+      (fun name ->
+        if not (String.equal name dirname) then
+          walk (Filename.concat root name))
+      (io.Io.readdir root)
+
+let clear_staging (io : Io.t) root =
+  let sdir = staging_dir root in
+  if io.Io.is_dir sdir then begin
+    Array.iter
+      (fun name -> unlink_if_exists io (Filename.concat sdir name))
+      (io.Io.readdir sdir);
+    match io.Io.rmdir sdir with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  end
+
+(* Replay a committed journal.  Every step is idempotent, so crashing
+   anywhere inside and replaying again converges: renames re-run or
+   verify, deletes tolerate ENOENT, the prune only removes what is
+   empty. *)
+let roll_forward (io : Io.t) root records =
+  let sdir = staging_dir root in
+  List.iter
+    (fun r ->
+      match r with
+      | D _ -> ()
+      | W { path; n; len; fp_hex } ->
+          let staged = Filename.concat sdir (staged_name n) in
+          let final = Filename.concat root path in
+          if io.Io.exists staged then begin
+            Io.mkdir_p io (Filename.dirname final);
+            io.Io.rename ~src:staged ~dst:final
+          end
+          else
+            (* Renamed before the crash: verify the journal's promise
+               instead of assuming it. *)
+            let data = io.Io.read_file final in
+            if
+              not
+                (Int.equal (String.length data) len
+                && String.equal (Fp.to_hex (Fp.of_string data)) fp_hex)
+            then
+              Error.fail
+                (Error.Verification_failed
+                   (Printf.sprintf
+                      "Apply: replayed %s does not match its journal record"
+                      path)))
+    records;
+  (* Deletes last: a crash during the writes never costs data that the
+     old replica still had. *)
+  List.iter
+    (fun r ->
+      match r with
+      | W _ -> ()
+      | D path -> unlink_if_exists io (Filename.concat root path))
+    records;
+  prune_dirs io root;
+  unlink_if_exists io (journal_path root);
+  clear_staging io root
+
+type resumed = [ `Clean | `Rolled_back | `Rolled_forward of int ]
+
+let resume_unguarded (io : Io.t) root : resumed =
+  let sdir = staging_dir root in
+  if not (io.Io.is_dir sdir) then `Clean
+  else begin
+    let j = journal_path root in
+    if io.Io.exists j then begin
+      let records = parse_journal (io.Io.read_file j) in
+      roll_forward io root records;
+      `Rolled_forward (List.length records)
+    end
+    else begin
+      (* No commit point reached: the replica was never touched, the
+         staging is garbage. *)
+      clear_staging io root;
+      `Rolled_back
+    end
+  end
+
+let resume ?(io = Io.real) root =
+  guard ("resume apply under " ^ root) (fun () -> resume_unguarded io root)
+
+(* ---- apply ---- *)
+
+type stats = { wrote : int; deleted : int }
+
+let plan ~old_files files =
+  let find_old p =
+    List.find_opt (fun (q, _) -> String.equal q p) old_files
+  in
+  let writes =
+    List.filter
+      (fun (p, c) ->
+        match find_old p with
+        | Some (_, old) -> not (String.equal old c)
+        | None -> true)
+      files
+  in
+  let deletes =
+    List.filter_map
+      (fun (p, _) ->
+        if List.exists (fun (q, _) -> String.equal q p) files then None
+        else Some p)
+      old_files
+  in
+  (writes, deletes)
+
+let apply ?(io = Io.real) ~root ~old_files files =
+  guard ("apply under " ^ root) (fun () ->
+      ignore (resume_unguarded io root);
+      match plan ~old_files files with
+      | [], [] -> { wrote = 0; deleted = 0 }
+      | writes, deletes ->
+          Io.mkdir_p io root;
+          io.Io.mkdir (staging_dir root);
+          let records =
+            List.mapi
+              (fun n (path, content) ->
+                Io.write_file io
+                  (Filename.concat (staging_dir root) (staged_name n))
+                  content;
+                W
+                  {
+                    path;
+                    n;
+                    len = String.length content;
+                    fp_hex = Fp.to_hex (Fp.of_string content);
+                  })
+              writes
+            @ List.map (fun p -> D p) deletes
+          in
+          (* Commit point: the fsynced journal renamed into place. *)
+          Io.write_file_atomic io
+            ~staging:(journal_path root ^ ".tmp")
+            ~dest:(journal_path root) (encode_journal records);
+          roll_forward io root records;
+          { wrote = List.length writes; deleted = List.length deletes })

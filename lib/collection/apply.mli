@@ -1,0 +1,53 @@
+(** Journaled atomic application of a pulled replica to a directory
+    (DESIGN.md §12).
+
+    [pull --apply] used to write files in place: a crash mid-apply left
+    a torn replica — some files new, some old, some half-written.  This
+    module stages instead: every new or changed file is written (and
+    fsynced) under [root/.fsync-apply/], then a journal of intent
+    records is fsynced and renamed into place — the commit point — and
+    only then are staged files renamed over their destinations, stale
+    files unlinked (deletes last), and empty directories pruned.
+
+    A crash therefore leaves one of two states, and {!resume} repairs
+    both: no committed journal — the staging directory is discarded and
+    the replica is untouched (roll back); committed journal — every
+    record is replayed idempotently (roll forward): a staged file still
+    present is renamed, one already renamed is verified against the
+    journal's length and fingerprint, deletes tolerate ENOENT.
+
+    All filesystem traffic goes through an injectable
+    {!Fsync_store.Io.t}, so the torture harness can drive this path
+    through seeded fault schedules and crash points. *)
+
+val dirname : string
+(** [".fsync-apply"] — the staging directory's name under the replica
+    root.  {!Snapshot.load_dir} skips it. *)
+
+type resumed =
+  [ `Clean  (** no interrupted apply found *)
+  | `Rolled_back  (** uncommitted staging discarded; replica untouched *)
+  | `Rolled_forward of int  (** committed journal replayed, [n] records *)
+  ]
+
+val resume : ?io:Fsync_store.Io.t -> string -> resumed
+(** Repair any interrupted apply under [root].  Idempotent; crashing
+    inside [resume] and running it again converges.  Raises typed
+    {!Fsync_core.Error} values on unreadable/corrupt journals or when a
+    replayed file fails verification. *)
+
+type stats = { wrote : int; deleted : int }
+
+val apply :
+  ?io:Fsync_store.Io.t ->
+  root:string ->
+  old_files:(string * string) list ->
+  (string * string) list ->
+  stats
+(** Make [root] hold exactly the given [(path, content)] files, given
+    that it currently holds [old_files]: unchanged paths are left
+    alone, new/changed paths staged and renamed in, paths absent from
+    the target unlinked.  Runs {!resume} first, so a torn earlier apply
+    never compounds.  Raises typed {!Fsync_core.Error} values on
+    filesystem failure (a {!Fsync_store.Fault_io.Crash_point}
+    propagates untyped, like the real crash it stands for). *)

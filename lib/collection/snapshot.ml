@@ -41,7 +41,10 @@ let load_dir root =
     if Sys.is_directory abs then
       Array.iter
         (fun name ->
-          walk (if rel = "" then name else Filename.concat rel name))
+          (* The apply journal's staging area is bookkeeping, not
+             replica content. *)
+          if not (rel = "" && name = Apply.dirname) then
+            walk (if rel = "" then name else Filename.concat rel name))
         (Sys.readdir abs)
     else acc := (rel, read_file abs) :: !acc
   in

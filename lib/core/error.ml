@@ -6,6 +6,7 @@ type t =
   | Retry_exhausted of string
   | Disconnected of string
   | Verification_failed of string
+  | Busy of { retry_after_s : float }
 
 exception E of t
 
@@ -24,6 +25,8 @@ let to_string = function
   | Retry_exhausted s -> "retry budget exhausted: " ^ s
   | Disconnected s -> "disconnected: " ^ s
   | Verification_failed s -> "verification failed: " ^ s
+  | Busy { retry_after_s } ->
+      Printf.sprintf "server busy: retry after %.3f s" retry_after_s
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -17,6 +17,9 @@ type t =
   | Disconnected of string       (** connection loss, resume budget spent *)
   | Verification_failed of string
       (** end-to-end strong-hash check failed even after fallback *)
+  | Busy of { retry_after_s : float }
+      (** the server shed this session at its capacity limit; retry
+          after the given delay (fsyncd/1 [Busy], DESIGN.md §12) *)
 
 exception E of t
 

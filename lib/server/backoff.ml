@@ -1,0 +1,15 @@
+module Prng = Fsync_util.Prng
+module Error = Fsync_core.Error
+
+let base_s = 0.05
+
+let max_s = 2.0
+
+let delay_s prng ~failed e =
+  match Error.of_exn e with
+  | Some (Error.Busy { retry_after_s }) -> retry_after_s
+  | Some _ | None ->
+      let exp_s =
+        Float.min (base_s *. (2.0 ** float_of_int (failed - 1))) max_s
+      in
+      exp_s *. (0.5 +. Prng.float prng 1.0)

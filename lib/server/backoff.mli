@@ -1,0 +1,19 @@
+(** Jittered exponential retry backoff shared by {!Pull} and {!Push}.
+
+    Between attempts a client waits [base * 2^(failed-1)] seconds
+    (capped), scaled by a deterministic jitter in [\[0.5, 1.5)] drawn
+    from the caller's {!Fsync_util.Prng} — so a fleet of clients
+    retrying after the same incident does not reconnect in lockstep,
+    yet every run is reproducible from its seed.  A typed
+    {!Fsync_core.Error.Busy} overrides the schedule: the server named
+    its own delay and we honour it. *)
+
+val base_s : float
+(** First-retry delay (0.05 s, matching {!Fsync_net.Frame}). *)
+
+val max_s : float
+(** Exponential cap (2.0 s, matching {!Fsync_net.Frame}). *)
+
+val delay_s : Fsync_util.Prng.t -> failed:int -> exn -> float
+(** Delay before the next attempt after [failed] (>= 1) failures, the
+    last of which raised the given exception. *)

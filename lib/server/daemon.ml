@@ -11,6 +11,7 @@ type config = {
   session_timeout_s : float;
   max_outbox : int;
   cache_entries : int;
+  busy_retry_after_s : float;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     session_timeout_s = 30.0;
     max_outbox = 4 * 1024 * 1024;
     cache_entries = 1024;
+    busy_retry_after_s = 0.5;
   }
 
 type client = {
@@ -38,12 +40,15 @@ type t = {
   store : Store.t option;
   mutable listener : Unix.file_descr option;
   mutable clients : client list;
+  mutable shedding : Conn.t list; (* over-capacity conns draining a Busy *)
   mutable stop : bool;
   mutable accepted : int;
   mutable completed : int;
   mutable failed : int;
   mutable timeouts : int;
+  mutable shed : int;
   mutable iterations : int;
+  sig_persist_errors : int ref;
   sigs_loaded : int;
 }
 
@@ -67,6 +72,7 @@ let create ?(config = default_config) ?(scope = Scope.disabled) ?store files
     =
   let config = { config with sync = Msg.validate_sync_config config.sync } in
   let cache = Sigcache.create ~max_entries:config.cache_entries ~scope () in
+  let sig_persist_errors = ref 0 in
   let sigs_loaded =
     match store with
     | None -> 0
@@ -74,13 +80,17 @@ let create ?(config = default_config) ?(scope = Scope.disabled) ?store files
         ingest_collection s files;
         (* Wire the cache to the store's sigs/ directory: misses persist
            their vectors, and whatever a previous daemon left there is
-           seeded back as warm entries before the first client. *)
+           seeded back as warm entries before the first client.  Persist
+           failures stay best-effort but are counted, not swallowed. *)
         let dir = Store.sig_dir s in
         Sigcache.set_persist cache
           {
             save =
               (fun ~fp ~size ~bits hashes ->
-                Sig_persist.save ~dir ~fp ~size ~bits hashes);
+                if not (Sig_persist.save ~dir ~fp ~size ~bits hashes) then begin
+                  incr sig_persist_errors;
+                  Scope.incr scope "sig_persist_errors"
+                end);
           };
         Sig_persist.load_all ~dir (Sigcache.seed cache)
   in
@@ -92,12 +102,15 @@ let create ?(config = default_config) ?(scope = Scope.disabled) ?store files
     store;
     listener = None;
     clients = [];
+    shedding = [];
     stop = false;
     accepted = 0;
     completed = 0;
     failed = 0;
     timeouts = 0;
+    shed = 0;
     iterations = 0;
+    sig_persist_errors;
     sigs_loaded;
   }
 
@@ -178,15 +191,36 @@ let feed_session t c frames =
         | Error err -> teardown t c err)
     frames
 
+(* Over capacity the daemon still accepts, but answers with a typed
+   [Busy] carrying a retry-after hint and closes once it drains —
+   instead of leaving the connection parked in the listen backlog until
+   the client's idle timeout fires (DESIGN.md §12). *)
+let shed_connection t fd =
+  let conn = Conn.create ~max_outbox:t.config.max_outbox fd in
+  (match
+     Conn.queue_msg conn
+       (Msg.encode ~config:t.config.sync
+          (Msg.Busy
+             {
+               retry_after_ms =
+                 int_of_float (t.config.busy_retry_after_s *. 1000.0);
+             }))
+   with
+  | () -> ()
+  | exception Error.E _ -> ());
+  Conn.handle_writable conn;
+  t.shedding <- conn :: t.shedding;
+  t.shed <- t.shed + 1;
+  Scope.incr t.scope "sessions_shed"
+
 let accept_ready t fd =
   let continue = ref true in
-  while
-    !continue
-    && List.length t.clients < t.config.max_sessions
-    && not t.stop
-  do
+  while !continue && not t.stop do
     match Unix.accept fd with
-    | client_fd, _ -> add_connection t client_fd
+    | client_fd, _ ->
+        if List.length t.clients < t.config.max_sessions then
+          add_connection t client_fd
+        else shed_connection t client_fd
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -245,16 +279,26 @@ let sweep t =
     t.clients;
   let before = List.length t.clients in
   t.clients <- List.filter (fun c -> not (Conn.closed c.conn)) t.clients;
-  if not (Int.equal before (List.length t.clients)) then set_gauge t
+  if not (Int.equal before (List.length t.clients)) then set_gauge t;
+  (* Shed connections close as soon as the Busy frame is out (or the
+     peer stopped caring). *)
+  t.shedding <-
+    List.filter
+      (fun conn ->
+        if Conn.closed conn then false
+        else if Conn.peer_gone conn || not (Conn.wants_write conn) then begin
+          Conn.close conn;
+          false
+        end
+        else true)
+      t.shedding
 
 let step ?(timeout_s = 0.05) t =
   t.iterations <- t.iterations + 1;
   Scope.incr t.scope "select_iterations";
   let accept_fd =
     match t.listener with
-    | Some fd
-      when List.length t.clients < t.config.max_sessions && not t.stop ->
-        [ fd ]
+    | Some fd when not t.stop -> [ fd ]
     | Some _ | None -> []
   in
   let readable =
@@ -271,8 +315,16 @@ let step ?(timeout_s = 0.05) t =
       (fun c -> (not (Conn.closed c.conn)) && Conn.wants_write c.conn)
       t.clients
   in
+  let shed_writable =
+    List.filter
+      (fun conn -> (not (Conn.closed conn)) && Conn.wants_write conn)
+      t.shedding
+  in
   let rfds = accept_fd @ List.map (fun c -> Conn.fd c.conn) readable in
-  let wfds = List.map (fun c -> Conn.fd c.conn) writable in
+  let wfds =
+    List.map (fun c -> Conn.fd c.conn) writable
+    @ List.map Conn.fd shed_writable
+  in
   (match Unix.select rfds wfds [] timeout_s with
   | ready_r, ready_w, _ ->
       let is_ready fds fd = List.memq fd fds in
@@ -310,7 +362,11 @@ let step ?(timeout_s = 0.05) t =
         (fun c ->
           if is_ready ready_w (Conn.fd c.conn) then
             Conn.handle_writable c.conn)
-        writable
+        writable;
+      List.iter
+        (fun conn ->
+          if is_ready ready_w (Conn.fd conn) then Conn.handle_writable conn)
+        shed_writable
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | exception Unix.Unix_error (Unix.EBADF, _, _) ->
       (* A peer vanished between the sweep and the select; the next
@@ -330,6 +386,8 @@ let shutdown t =
       end)
     t.clients;
   t.clients <- [];
+  List.iter Conn.close t.shedding;
+  t.shedding <- [];
   set_gauge t;
   (match t.listener with
   | Some fd -> (
@@ -366,6 +424,8 @@ type stats = {
   completed : int;
   failed : int;
   timeouts : int;
+  shed : int;
+  sig_persist_errors : int;
   iterations : int;
 }
 
@@ -375,5 +435,7 @@ let stats (t : t) =
     completed = t.completed;
     failed = t.failed;
     timeouts = t.timeouts;
+    shed = t.shed;
+    sig_persist_errors = !(t.sig_persist_errors);
     iterations = t.iterations;
   }

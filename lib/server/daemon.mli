@@ -12,24 +12,29 @@
     All sessions share one {!Sigcache}, so the level hashes of a given
     file are computed once for the whole fleet of clients.
 
-    Lifecycle: accepts stop at [max_sessions]; a session idle longer
-    than [session_timeout_s] gets a typed [Error_msg] teardown; signal
-    handlers may call {!request_stop} (it only flips a flag), after
-    which {!run} notifies unfinished sessions, drains for a bounded
-    window and closes everything. *)
+    Lifecycle: past [max_sessions] live sessions the daemon still
+    accepts, but answers each excess connection with a typed [Busy]
+    frame naming [busy_retry_after_s] and closes it once the frame
+    drains — explicit shedding instead of letting the backlog idle out.
+    A session idle longer than [session_timeout_s] gets a typed
+    [Error_msg] teardown; signal handlers may call {!request_stop} (it
+    only flips a flag), after which {!run} notifies unfinished sessions,
+    drains for a bounded window and closes everything. *)
 
 type t
 
 type config = {
   sync : Msg.sync_config;
-  max_sessions : int;       (** accepting pauses at this many live sessions *)
+  max_sessions : int;       (** excess connections are shed with [Busy] *)
   session_timeout_s : float;
   max_outbox : int;         (** per-connection backpressure bound, bytes *)
   cache_entries : int;      (** shared signature-cache capacity *)
+  busy_retry_after_s : float; (** retry-after hint carried by [Busy] *)
 }
 
 val default_config : config
-(** 64 sessions, 30 s timeout, 4 MiB outbox, 1024 cache entries. *)
+(** 64 sessions, 30 s timeout, 4 MiB outbox, 1024 cache entries, 0.5 s
+    busy retry-after. *)
 
 val create :
   ?config:config ->
@@ -88,6 +93,10 @@ type stats = {
   completed : int;
   failed : int;
   timeouts : int;
+  shed : int; (** connections answered with [Busy] at capacity *)
+  sig_persist_errors : int;
+      (** best-effort signature persists that failed (counted, never
+          raised — DESIGN.md §12) *)
   iterations : int; (** select iterations *)
 }
 

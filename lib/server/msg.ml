@@ -45,6 +45,8 @@ type t =
   | Chunk_need of string
   | Chunk_data of string
   | Push_done
+  | Resume of { root : Fp.t; bitmap : string }
+  | Busy of { retry_after_ms : int }
 
 let tag_of = function
   | Hello _ -> 'H'
@@ -63,6 +65,8 @@ let tag_of = function
   | Chunk_need _ -> 'N'
   | Chunk_data _ -> 'C'
   | Push_done -> 'D'
+  | Resume _ -> 'R'
+  | Busy _ -> 'U'
 
 let label = function
   | Hello _ -> "srv:hello"
@@ -81,6 +85,8 @@ let label = function
   | Chunk_need _ -> "push:need"
   | Chunk_data _ -> "push:data"
   | Push_done -> "push:done"
+  | Resume _ -> "srv:resume"
+  | Busy _ -> "srv:busy"
 
 (* Label an already-encoded frame by its tag byte alone, for channel
    transcripts on transports that never decode what they carry. *)
@@ -104,6 +110,8 @@ let wire_label raw =
     | 'N' -> "push:need"
     | 'C' -> "push:data"
     | 'D' -> "push:done"
+    | 'R' -> "srv:resume"
+    | 'U' -> "srv:busy"
     | _ -> "srv:?"
 
 (* ---- encoding ---- *)
@@ -157,7 +165,11 @@ let encode ~config msg =
       put_manifest b manifest
   | Chunk_need bitmap -> Buffer.add_string b bitmap
   | Chunk_data z -> Buffer.add_string b z
-  | Push_done -> ());
+  | Push_done -> ()
+  | Resume { root; bitmap } ->
+      Buffer.add_string b (Fp.to_raw root);
+      Buffer.add_string b bitmap
+  | Busy { retry_after_ms } -> Varint.write b retry_after_ms);
   Buffer.contents b
 
 (* ---- decoding (hardened: every length validated before any read) ---- *)
@@ -265,6 +277,13 @@ let decode ~config msg =
   | 'N' -> Chunk_need (rest msg pos)
   | 'C' -> Chunk_data (rest msg pos)
   | 'D' -> Push_done
+  | 'R' ->
+      let root, pos = get_fp msg ~pos "resume root" in
+      Resume { root; bitmap = rest msg pos }
+  | 'U' ->
+      let retry_after_ms, _ = Varint.read msg ~pos in
+      if retry_after_ms < 0 then Error.malformed "Msg: negative retry-after";
+      Busy { retry_after_ms }
   | c -> Error.malformed "Msg: unknown tag %C" c
 
 (* ---- shared protocol rules ----

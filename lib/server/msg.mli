@@ -98,6 +98,16 @@ type t =
       (** deflated concatenation of exactly the needed chunks, manifest
           order *)
   | Push_done  (** no more files; the server answers [Bye] *)
+  | Resume of { root : Fsync_hash.Fingerprint.t; bitmap : string }
+      (** client → server, between [Welcome] and [Announce]: the client
+          holds verified content for these jobs from an interrupted
+          session against the same collection [root].  The bitmap has
+          one bit per announced path (announce order) followed by one
+          bit per new path (path-sorted); 1 = already complete, skip it.
+          Ignored if [root] no longer matches the served collection. *)
+  | Busy of { retry_after_ms : int }
+      (** server → client, instead of [Welcome]: the daemon is at its
+          session cap; reconnect after the given delay (DESIGN.md §12) *)
 
 val label : t -> string
 (** Channel transcript label ([srv:*], plus the shared [linear:*] /

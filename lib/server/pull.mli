@@ -6,7 +6,12 @@
     {!Puller} to completion.  Any typed error — disconnect, corrupted
     frame, idle timeout — burns one attempt; each attempt reseeds the
     fault schedule so deterministic faults cannot pin the same frame
-    forever. *)
+    forever.
+
+    Attempts are separated by {!Backoff} delays (jittered exponential,
+    or the server's own [retry-after] on {!Fsync_core.Error.Busy}), and
+    the {!Puller.resume_token} of a failed attempt carries completed
+    files across, so a resumed pull re-transfers only the remainder. *)
 
 type outcome = {
   files : (string * string) list;
@@ -14,6 +19,7 @@ type outcome = {
   c2s_bytes : int;
   s2c_bytes : int;
   attempts : int; (** attempts consumed, [>= 1] *)
+  backoff_s : float; (** total inter-attempt backoff slept *)
 }
 
 val run :

@@ -25,24 +25,39 @@ type phase =
   | In_file of file_progress
   | Done
 
+type resume_token = {
+  rt_root : Fp.t; (* the collection root the crashed session synced toward *)
+  rt_announced : string list; (* announce paths, announce order *)
+  rt_new_paths : string list; (* verdict new paths, path-sorted *)
+  rt_completed : (string * string) list; (* verified (path, content) *)
+}
+
 type t = {
   files : (string * string) list; (* the old replica, announce order *)
+  resume : resume_token option;
   mutable config : Msg.sync_config;
   mutable phase : phase;
   mutable unchanged : (string * string) list;
   mutable received : (string * string) list; (* rev *)
+  mutable server_root : Fp.t option; (* from Welcome *)
+  mutable new_paths : string list option; (* from Verdict *)
+  mutable resumed_files : int; (* jobs skipped via the resume token *)
   mutable rounds : int;
   mutable matched_bytes : int;
   mutable literal_bytes : int;
 }
 
-let create files =
+let create ?resume files =
   {
     files;
+    resume;
     config = Msg.default_sync_config;
     phase = Expect_welcome;
     unchanged = [];
     received = [];
+    server_root = None;
+    new_paths = None;
+    resumed_files = 0;
     rounds = 0;
     matched_bytes = 0;
     literal_bytes = 0;
@@ -63,6 +78,14 @@ let find_old t path =
   match List.find_opt (fun (p, _) -> String.equal p path) t.files with
   | Some (_, content) -> content
   | None -> ""
+
+(* Replace-by-path: if a server ignores our resume bitmap and re-sends a
+   completed file, the fresh copy supersedes the primed one instead of
+   duplicating the path (which would poison the Bye root check). *)
+let add_received t path content =
+  t.received <-
+    (path, content)
+    :: List.filter (fun (p, _) -> not (String.equal p path)) t.received
 
 (* ---- per-round matching ---- *)
 
@@ -167,7 +190,7 @@ let on_tail t p z =
   t.literal_bytes <- t.literal_bytes + needed;
   t.phase <- Expect_file;
   if Fp.equal (Fp.of_string content) p.fp then begin
-    t.received <- (p.path, content) :: t.received;
+    add_received t p.path content;
     [ Msg.File_ack true ]
   end
   else
@@ -186,27 +209,60 @@ let on_bye t root =
   t.phase <- Done;
   []
 
+(* The resume token only applies when the server still serves the same
+   collection and this attempt announces the same replica: both index
+   spaces (announce order, sorted new paths) are then identical to the
+   crashed session's, so the bitmap means the same jobs on both ends. *)
+let usable_resume t ~root =
+  match t.resume with
+  | Some r
+    when Fp.equal r.rt_root root
+         && List.equal String.equal r.rt_announced (List.map fst t.files) ->
+      Some r
+  | Some _ | None -> None
+
+let resume_replies t ~root =
+  match usable_resume t ~root with
+  | None -> []
+  | Some r ->
+      let have p =
+        List.exists (fun (q, _) -> String.equal q p) r.rt_completed
+      in
+      t.received <- List.rev r.rt_completed;
+      t.resumed_files <- List.length r.rt_completed;
+      let bits =
+        List.map (fun (p, _) -> have p) t.files
+        @ List.map have r.rt_new_paths
+      in
+      [ Msg.Resume { root; bitmap = Msg.encode_bitmap bits } ]
+
 let on_message t raw =
   let msg = Msg.decode ~config:t.config raw in
   let replies =
     match (t.phase, msg) with
-    | Expect_welcome, Msg.Welcome { version; config; _ } ->
+    | Expect_welcome, Msg.Welcome { version; config; root; _ } ->
         if not (Int.equal version Msg.version) then
           Error.malformed "Puller: protocol version %d, want %d" version
             Msg.version;
         t.config <- config;
+        t.server_root <- Some root;
         t.phase <- Expect_verdict;
-        [
-          Msg.Announce
-            (Meta_wire.encode_announce
-               (List.map (fun (p, c) -> (p, Fp.of_string c)) t.files));
-        ]
+        resume_replies t ~root
+        @ [
+            Msg.Announce
+              (Meta_wire.encode_announce
+                 (List.map (fun (p, c) -> (p, Fp.of_string c)) t.files));
+          ]
+    | Expect_welcome, Msg.Busy { retry_after_ms } ->
+        Error.fail
+          (Error.Busy { retry_after_s = float_of_int retry_after_ms /. 1000. })
     | Expect_verdict, Msg.Verdict body ->
-        let bits, _new_paths =
+        let bits, new_paths =
           Meta_wire.decode_verdict ~n_announced:(List.length t.files) body
         in
         t.unchanged <-
           List.filteri (fun i _ -> bits.(i)) t.files;
+        t.new_paths <- Some new_paths;
         t.phase <- Expect_file;
         []
     | Expect_file, Msg.File_begin { path; new_len; fp } ->
@@ -231,7 +287,7 @@ let on_message t raw =
     | In_file p, Msg.Tail z when p.expect_tail -> on_tail t p z
     | Expect_file, Msg.Full body ->
         let path, content = Meta_wire.decode_file_msg ~old_content:"" body in
-        t.received <- (path, content) :: t.received;
+        add_received t path content;
         t.literal_bytes <- t.literal_bytes + String.length content;
         [ Msg.File_ack true ]
     | Expect_file, Msg.Bye { root } -> on_bye t root
@@ -242,11 +298,32 @@ let on_message t raw =
   in
   List.map (enc t) replies
 
-type stats = { rounds : int; matched_bytes : int; literal_bytes : int }
+(* Snapshot the session's progress for a future attempt.  Only useful
+   once the verdict arrived (the bitmap index space is known) and some
+   file actually completed. *)
+let resume_token t =
+  match (t.server_root, t.new_paths, t.received) with
+  | Some root, Some new_paths, (_ :: _ as received) ->
+      Some
+        {
+          rt_root = root;
+          rt_announced = List.map fst t.files;
+          rt_new_paths = new_paths;
+          rt_completed = List.rev received;
+        }
+  | _ -> ( match t.resume with Some _ as r -> r | None -> None)
+
+type stats = {
+  rounds : int;
+  matched_bytes : int;
+  literal_bytes : int;
+  resumed_files : int;
+}
 
 let stats (t : t) =
   {
     rounds = t.rounds;
     matched_bytes = t.matched_bytes;
     literal_bytes = t.literal_bytes;
+    resumed_files = t.resumed_files;
   }

@@ -12,9 +12,28 @@
 
 type t
 
-val create : (string * string) list -> t
+type resume_token = {
+  rt_root : Fsync_hash.Fingerprint.t;
+      (** the collection root the interrupted session was syncing toward *)
+  rt_announced : string list;  (** its announce paths, announce order *)
+  rt_new_paths : string list;  (** its verdict's new paths, path-sorted *)
+  rt_completed : (string * string) list;
+      (** files already received and fingerprint-verified *)
+}
+(** Client-side resume state (DESIGN.md §12).  A reconnecting puller
+    hands it back via [create ?resume]; if the server still serves the
+    same root and this attempt announces the same replica, the puller
+    opens with a [Resume] bitmap and the server skips the completed
+    jobs. *)
+
+val create : ?resume:resume_token -> (string * string) list -> t
 (** Over the client's old [(path, content)] replica, in announce
     order. *)
+
+val resume_token : t -> resume_token option
+(** Progress snapshot for a future attempt: [None] until at least one
+    file completed (falls back to the token [create] was given, so
+    progress is cumulative across attempts). *)
 
 val start : t -> string list
 (** The opening frames to send ([Hello]). *)
@@ -35,6 +54,7 @@ type stats = {
   rounds : int;
   matched_bytes : int;  (** bytes reused from the old copy *)
   literal_bytes : int;  (** bytes that crossed the wire as literals *)
+  resumed_files : int;  (** jobs skipped thanks to the resume token *)
 }
 
 val stats : t -> stats

@@ -3,12 +3,14 @@ module Fd_transport = Fsync_net.Fd_transport
 module Fault = Fsync_net.Fault
 module Error = Fsync_core.Error
 module Trace = Fsync_net.Trace
+module Prng = Fsync_util.Prng
 
 type outcome = {
   stats : Pusher.stats;
   c2s_bytes : int;
   s2c_bytes : int;
   attempts : int;
+  backoff_s : float;
 }
 
 let connect ~host ~port =
@@ -23,14 +25,13 @@ let connect ~host ~port =
       | exception Unix.Unix_error _ -> ());
       raise e
 
-let attempt ?fault ?seed ?params ~idle_timeout_s ~host ~port files =
+let attempt ?fault ?seed ~idle_timeout_s ~host ~port pusher =
   let fd = connect ~host ~port in
   let tr = Fd_transport.of_fd fd in
   let ch = Fd_transport.channel tr in
   (match fault with
   | Some spec -> ignore (Fault.attach ?seed ch spec)
   | None -> ());
-  let pusher = Pusher.create ?params files in
   let send msgs =
     List.iter
       (fun m ->
@@ -60,6 +61,7 @@ let attempt ?fault ?seed ?params ~idle_timeout_s ~host ~port files =
       c2s_bytes = Channel.bytes ch Channel.Client_to_server;
       s2c_bytes = Channel.bytes ch Channel.Server_to_client;
       attempts = 1;
+      backoff_s = 0.0;
     }
   in
   match go () with
@@ -89,18 +91,29 @@ let retryable = function
 let run ?(attempts = 3) ?fault ?(seed = 0) ?(idle_timeout_s = 30.0) ?params
     ~host ~port files =
   let attempts = max 1 attempts in
+  let prng = Prng.create (Int64.of_int ((seed * 0x9e3779b1) lxor 0x7073)) in
+  let backoff = ref 0.0 in
+  let skip = ref [] in
   let rec go n =
+    (* Files the server acknowledged in a failed attempt stay pushed
+       (chunks are content-addressed, publishes per-file), so the next
+       attempt skips them and pushes only the remainder. *)
+    let pusher = Pusher.create ?params ~skip:!skip files in
     match
-      attempt ?fault ~seed:(seed + n) ?params ~idle_timeout_s ~host ~port
-        files
+      attempt ?fault ~seed:(seed + n) ~idle_timeout_s ~host ~port pusher
     with
-    | r -> { r with attempts = n + 1 }
+    | r -> { r with attempts = n + 1; backoff_s = !backoff }
     | exception e when retryable e && n + 1 < attempts ->
-        Trace.log "push: attempt %d/%d failed (%s), retrying" (n + 1)
-          attempts
+        skip := Pusher.completed_paths pusher;
+        let delay = Backoff.delay_s prng ~failed:(n + 1) e in
+        backoff := !backoff +. delay;
+        Trace.log "push: attempt %d/%d failed (%s), retrying in %.3f s"
+          (n + 1) attempts
           (match Error.of_exn e with
           | Some err -> Error.to_string err
-          | None -> Printexc.to_string e);
+          | None -> Printexc.to_string e)
+          delay;
+        Unix.sleepf delay;
         go (n + 1)
   in
   go 0

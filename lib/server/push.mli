@@ -5,13 +5,17 @@
     {!Fsync_net.Fd_transport} and drives a {!Pusher} to completion.
     Retry is safe mid-upload: chunks are content-addressed and the
     server's bitmap is recomputed per attempt, so a second attempt only
-    re-sends what the store still lacks. *)
+    re-sends what the store still lacks — and files already
+    acknowledged are skipped outright via {!Pusher.completed_paths}.
+    Attempts are separated by {!Backoff} delays (jittered exponential,
+    or the server's own [retry-after] on {!Fsync_core.Error.Busy}). *)
 
 type outcome = {
   stats : Pusher.stats;
   c2s_bytes : int;
   s2c_bytes : int;
   attempts : int; (** attempts consumed, [>= 1] *)
+  backoff_s : float; (** total inter-attempt backoff slept *)
 }
 
 val run :

@@ -23,6 +23,8 @@ type t = {
   mutable phase : phase;
   mutable queue : job list;
   root : Fp.t;
+  resumed_files : int;
+  mutable acked : string list; (* paths the server ack'd, cumulative, rev *)
   mutable files_pushed : int;
   mutable chunks_total : int;
   mutable chunks_sent : int;
@@ -30,7 +32,13 @@ type t = {
   mutable bytes_deduped : int;
 }
 
-let create ?params files =
+(* [skip]: paths a previous attempt already pushed and saw ack'd — they
+   are left out of this session entirely, so the server's Bye root
+   covers exactly the files pushed now (the resume discipline of
+   DESIGN.md §12). *)
+let create ?params ?(skip = []) files =
+  let skipped p = List.exists (String.equal p) skip in
+  let remaining = List.filter (fun (p, _) -> not (skipped p)) files in
   let jobs =
     List.map
       (fun (path, content) ->
@@ -43,19 +51,23 @@ let create ?params files =
               (fun c -> (Fp.of_string (Chunker.chunk_content content c), c))
               (Chunker.chunks ?params content);
         })
-      files
+      remaining
   in
   {
     config = Msg.default_sync_config;
     phase = Expect_welcome;
     queue = jobs;
-    root = Meta_wire.collection_root files;
+    root = Meta_wire.collection_root remaining;
+    resumed_files = List.length files - List.length remaining;
+    acked = List.rev skip;
     files_pushed = 0;
     chunks_total = 0;
     chunks_sent = 0;
     bytes_sent = 0;
     bytes_deduped = 0;
   }
+
+let completed_paths t = List.rev t.acked
 
 let enc t m = Msg.encode ~config:t.config m
 
@@ -110,12 +122,16 @@ let on_message t raw =
             Msg.version;
         t.config <- config;
         advance t
+    | Expect_welcome, Msg.Busy { retry_after_ms } ->
+        Error.fail
+          (Error.Busy { retry_after_s = float_of_int retry_after_ms /. 1000. })
     | Expect_need job, Msg.Chunk_need bitmap -> on_need t job bitmap
     (* A Chunk_need after our data is the server's one store-failure
        retry: re-send per the new (all-ones) bitmap. *)
     | Expect_ack job, Msg.Chunk_need bitmap -> on_need t job bitmap
-    | Expect_ack _, Msg.File_ack true ->
+    | Expect_ack job, Msg.File_ack true ->
         t.files_pushed <- t.files_pushed + 1;
+        t.acked <- job.path :: t.acked;
         advance t
     | Expect_ack job, Msg.File_ack false ->
         Error.fail
@@ -143,6 +159,7 @@ type stats = {
   chunks_sent : int;
   bytes_sent : int;
   bytes_deduped : int;
+  resumed_files : int;
 }
 
 let stats (t : t) =
@@ -152,4 +169,5 @@ let stats (t : t) =
     chunks_sent = t.chunks_sent;
     bytes_sent = t.bytes_sent;
     bytes_deduped = t.bytes_deduped;
+    resumed_files = t.resumed_files;
   }

@@ -12,11 +12,22 @@
 
 type t
 
-val create : ?params:Fsync_cdc.Chunker.params -> (string * string) list -> t
+val create :
+  ?params:Fsync_cdc.Chunker.params ->
+  ?skip:string list ->
+  (string * string) list ->
+  t
 (** Over the [(path, content)] tree to upload.  [params] tunes the
     chunker (defaults match {!Fsync_cdc.Chunker.default_params});
     boundaries are the client's choice alone — the server only ever
-    verifies hashes. *)
+    verifies hashes.  [skip] names paths a previous interrupted attempt
+    already pushed to acknowledgement (DESIGN.md §12): they are dropped
+    from this session and the expected [Bye] root covers only the
+    files pushed now. *)
+
+val completed_paths : t -> string list
+(** Paths the server has acknowledged so far, cumulative with [skip] —
+    feed this back as the next attempt's [skip] to resume a push. *)
 
 val start : t -> string list
 (** The opening frames to send ([Hello]). *)
@@ -34,6 +45,7 @@ type stats = {
   chunks_sent : int;    (** of those, requested and uploaded *)
   bytes_sent : int;     (** raw (pre-deflate) bytes uploaded *)
   bytes_deduped : int;  (** raw bytes the server already had *)
+  resumed_files : int;  (** files skipped because [skip] named them *)
 }
 
 val stats : t -> stats

@@ -42,6 +42,8 @@ type t = {
   scope : Scope.t;
   mutable phase : phase;
   mutable queue : job list;
+  mutable pending_resume : (Fp.t * string) option; (* Resume before Announce *)
+  mutable resumed_jobs : int;
   mutable pushed : (string * string) list; (* rev *)
   mutable hashes_total : int;
   mutable hashes_cached : int;
@@ -65,6 +67,8 @@ let create ?(config = Msg.default_sync_config) ?(scope = Scope.disabled)
     scope;
     phase = Expect_hello;
     queue = [];
+    pending_resume = None;
+    resumed_jobs = 0;
     pushed = [];
     hashes_total = 0;
     hashes_cached = 0;
@@ -215,6 +219,37 @@ let on_announce t body =
       ~new_paths:(List.map (fun j -> j.path) new_jobs)
   in
   t.queue <- List.rev !changed @ new_jobs;
+  (* A resume bitmap from an interrupted session against the same root
+     marks jobs whose verified content the client already holds: drop
+     them from the queue instead of re-transferring.  The Bye root check
+     still covers the skipped files, so a stale claim fails typed.  A
+     mismatched root or bitmap length means the world changed under the
+     client — ignore the token and serve everything. *)
+  (match t.pending_resume with
+  | Some (rroot, bitmap) when Fp.equal rroot t.root ->
+      let count = List.length announced + List.length new_jobs in
+      if Int.equal (String.length bitmap) ((count + 7) / 8) then begin
+        let flags = Msg.decode_bitmap ~count bitmap in
+        let done_paths = Hashtbl.create 8 in
+        List.iteri
+          (fun i (p, _) -> if flags.(i) then Hashtbl.replace done_paths p ())
+          announced;
+        List.iteri
+          (fun i j ->
+            if flags.(List.length announced + i) then
+              Hashtbl.replace done_paths j.path ())
+          new_jobs;
+        let before = List.length t.queue in
+        t.queue <-
+          List.filter (fun j -> not (Hashtbl.mem done_paths j.path)) t.queue;
+        t.resumed_jobs <- before - List.length t.queue;
+        if t.resumed_jobs > 0 then begin
+          Scope.incr t.scope "srv_session_resumes";
+          Scope.add t.scope "resume_files_skipped" t.resumed_jobs
+        end
+      end
+  | Some _ | None -> ());
+  t.pending_resume <- None;
   Msg.Verdict verdict :: advance t
 
 let on_matched t st bitmap =
@@ -396,6 +431,9 @@ let on_message t raw =
               config = t.config;
             };
         ]
+    | Expect_announce, Msg.Resume { root; bitmap } ->
+        t.pending_resume <- Some (root, bitmap);
+        []
     | Expect_announce, Msg.Announce body -> on_announce t body
     | Expect_matched st, Msg.Matched bitmap -> on_matched t st bitmap
     | Expect_ack ack, Msg.File_ack ok -> on_ack t ack ok
@@ -424,6 +462,7 @@ type stats = {
   pushed_files : int;
   chunks_uploaded : int;
   chunks_deduped : int;
+  resumed_jobs : int;
 }
 
 let stats (t : t) =
@@ -435,4 +474,5 @@ let stats (t : t) =
     pushed_files = t.pushed_files;
     chunks_uploaded = t.chunks_uploaded;
     chunks_deduped = t.chunks_deduped;
+    resumed_jobs = t.resumed_jobs;
   }

@@ -62,6 +62,7 @@ type stats = {
   pushed_files : int;   (** files verified and published by pushes *)
   chunks_uploaded : int;(** manifest entries the bitmap asked for *)
   chunks_deduped : int; (** manifest entries already resident in the store *)
+  resumed_jobs : int;   (** jobs skipped for a valid [Resume] bitmap *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,188 @@
+module Prng = Fsync_util.Prng
+
+exception Crash_point of { op : string; k : int }
+
+type spec = {
+  p_enospc : float;
+  p_eio : float;
+  p_short : float;
+  crash_at : int option;
+}
+
+let none = { p_enospc = 0.0; p_eio = 0.0; p_short = 0.0; crash_at = None }
+
+type stats = {
+  ops : int;
+  enospc : int;
+  eio : int;
+  short_writes : int;
+  crashed : bool;
+}
+
+type state = {
+  spec : spec;
+  prng : Prng.t;
+  mutable ops : int;
+  mutable n_enospc : int;
+  mutable n_eio : int;
+  mutable n_short : int;
+  mutable crashed : bool;
+  mutable crash_k : int;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Crash_point { op; k } ->
+        Some (Printf.sprintf "Fault_io.Crash_point(%s, syscall %d)" op k)
+    | _ -> None)
+
+let unix_err e op = Unix.Unix_error (e, op, "<fault-injected>")
+
+(* One bookkeeping step per mutating syscall.  [`Crash] is returned (not
+   raised) so the write path can tear the buffer before dying. *)
+let check t op =
+  if t.crashed then raise (Crash_point { op; k = t.crash_k });
+  t.ops <- t.ops + 1;
+  match t.spec.crash_at with
+  | Some k when t.ops >= k ->
+      t.crashed <- true;
+      t.crash_k <- t.ops;
+      `Crash
+  | _ ->
+      if Prng.bernoulli t.prng t.spec.p_enospc then begin
+        t.n_enospc <- t.n_enospc + 1;
+        raise (unix_err Unix.ENOSPC op)
+      end
+      else if Prng.bernoulli t.prng t.spec.p_eio then begin
+        t.n_eio <- t.n_eio + 1;
+        raise (unix_err Unix.EIO op)
+      end
+      else `Ok
+
+let crash t op =
+  raise (Crash_point { op; k = t.crash_k })
+
+let mutating t op f =
+  match check t op with `Crash -> crash t op | `Ok -> f ()
+
+(* Reads carry no schedule of their own, but a crashed handle is a dead
+   process: everything raises. *)
+let reading t op f =
+  if t.crashed then raise (Crash_point { op; k = t.crash_k });
+  f ()
+
+let wrap ?(base = Io.real) ~seed spec =
+  let t =
+    {
+      spec;
+      prng = Prng.create (Int64.of_int (seed * 2654435761 + 97));
+      ops = 0;
+      n_enospc = 0;
+      n_eio = 0;
+      n_short = 0;
+      crashed = false;
+      crash_k = 0;
+    }
+  in
+  let wrap_handle (h : Io.handle) =
+    {
+      Io.h_write =
+        (fun s ->
+          match check t "write" with
+          | `Crash ->
+              (* The dying write tears: half the buffer lands first. *)
+              h.h_write (String.sub s 0 (String.length s / 2));
+              crash t "write"
+          | `Ok ->
+              let n = String.length s in
+              if n > 1 && Prng.bernoulli t.prng t.spec.p_short then begin
+                t.n_short <- t.n_short + 1;
+                h.h_write (String.sub s 0 (1 + Prng.int t.prng (n - 1)));
+                raise (unix_err Unix.EIO "write")
+              end
+              else h.h_write s);
+      h_fsync = (fun () -> mutating t "fsync" h.h_fsync);
+      h_close = (fun () -> mutating t "close" h.h_close);
+    }
+  in
+  let io =
+    {
+      Io.open_out =
+        (fun ~append path ->
+          mutating t "open" (fun () -> wrap_handle (base.Io.open_out ~append path)));
+      rename =
+        (fun ~src ~dst -> mutating t "rename" (fun () -> base.rename ~src ~dst));
+      unlink = (fun p -> mutating t "unlink" (fun () -> base.unlink p));
+      mkdir = (fun p -> mutating t "mkdir" (fun () -> base.mkdir p));
+      rmdir = (fun p -> mutating t "rmdir" (fun () -> base.rmdir p));
+      read_file = (fun p -> reading t "read" (fun () -> base.read_file p));
+      exists = (fun p -> reading t "exists" (fun () -> base.exists p));
+      is_dir = (fun p -> reading t "is_dir" (fun () -> base.is_dir p));
+      readdir = (fun p -> reading t "readdir" (fun () -> base.readdir p));
+    }
+  in
+  let stats () =
+    {
+      ops = t.ops;
+      enospc = t.n_enospc;
+      eio = t.n_eio;
+      short_writes = t.n_short;
+      crashed = t.crashed;
+    }
+  in
+  (io, stats)
+
+(* ---- CLI spec syntax, mirroring Fsync_net.Fault ---- *)
+
+let to_string s =
+  let parts = ref [] in
+  (match s.crash_at with
+  | Some k -> parts := Printf.sprintf "crash=%d" k :: !parts
+  | None -> ());
+  if s.p_short > 0.0 then parts := Printf.sprintf "short=%g" s.p_short :: !parts;
+  if s.p_eio > 0.0 then parts := Printf.sprintf "eio=%g" s.p_eio :: !parts;
+  if s.p_enospc > 0.0 then
+    parts := Printf.sprintf "enospc=%g" s.p_enospc :: !parts;
+  match !parts with [] -> "none" | ps -> String.concat "," ps
+
+let parse str =
+  let str = String.trim str in
+  if String.equal str "" || String.equal str "none" then Ok none
+  else
+    let fields = String.split_on_char ',' str in
+    List.fold_left
+      (fun acc field ->
+        match acc with
+        | Error _ -> acc
+        | Ok spec -> (
+            match String.index_opt field '=' with
+            | None -> Error (Printf.sprintf "fault_io: missing '=' in %S" field)
+            | Some i -> (
+                let key = String.sub field 0 i in
+                let value =
+                  String.sub field (i + 1) (String.length field - i - 1)
+                in
+                let prob () =
+                  match float_of_string_opt value with
+                  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+                  | _ ->
+                      Error
+                        (Printf.sprintf "fault_io: %s wants a probability, got %S"
+                           key value)
+                in
+                match key with
+                | "enospc" ->
+                    Result.map (fun p -> { spec with p_enospc = p }) (prob ())
+                | "eio" -> Result.map (fun p -> { spec with p_eio = p }) (prob ())
+                | "short" ->
+                    Result.map (fun p -> { spec with p_short = p }) (prob ())
+                | "crash" -> (
+                    match int_of_string_opt value with
+                    | Some k when k >= 1 -> Ok { spec with crash_at = Some k }
+                    | _ ->
+                        Error
+                          (Printf.sprintf
+                             "fault_io: crash wants a syscall index >= 1, got %S"
+                             value))
+                | _ -> Error (Printf.sprintf "fault_io: unknown field %S" key))))
+      (Ok none) fields

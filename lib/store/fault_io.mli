@@ -1,0 +1,54 @@
+(** Seeded disk-fault injection over {!Io} (DESIGN.md §12).
+
+    The storage-layer counterpart of [Fsync_net.Fault]: a deterministic
+    schedule, derived from an explicit seed, that makes an {!Io.t}
+    misbehave the way real disks do —
+
+    - [ENOSPC] / [EIO] raised from mutating syscalls with configured
+      probabilities;
+    - {e short writes}: a seeded prefix of the buffer lands on disk and
+      the write then fails with [EIO], leaving a torn file behind;
+    - a hard {!Crash_point} at exactly the [K]-th mutating syscall.
+      The first crash can tear a write in half; every operation after it
+      raises {!Crash_point} again, so the handle behaves like a process
+      that took SIGKILL — the caller must drop it and re-open with a
+      clean [Io] to model the restart.
+
+    Reads are never probabilistically faulted — the schedules model a
+    dying writer, and clean reads let a harness inspect state
+    mid-experiment — but a crashed handle is a dead process, so after
+    the crash point reads raise {!Crash_point} like everything else.
+    Mutating syscalls are counted in the order they happen, so a sweep
+    over [crash_at = 1..N] visits every intermediate on-disk state. *)
+
+exception Crash_point of { op : string; k : int }
+(** Raised by the [k]-th mutating syscall (1-based), and by every
+    operation thereafter.  [op] names the syscall that died. *)
+
+type spec = {
+  p_enospc : float;       (** probability of ENOSPC per mutating syscall *)
+  p_eio : float;          (** probability of EIO per mutating syscall *)
+  p_short : float;        (** probability of a torn (short) write *)
+  crash_at : int option;  (** raise {!Crash_point} at this syscall count *)
+}
+
+val none : spec
+
+type stats = {
+  ops : int;              (** mutating syscalls attempted *)
+  enospc : int;
+  eio : int;
+  short_writes : int;
+  crashed : bool;
+}
+
+val wrap : ?base:Io.t -> seed:int -> spec -> Io.t * (unit -> stats)
+(** An [Io.t] that forwards to [base] (default {!Io.real}) under the
+    schedule, plus a live stats probe. *)
+
+val parse : string -> (spec, string) result
+(** Parse a CLI spec: comma-separated [enospc=P], [eio=P], [short=P],
+    [crash=K].  [""] and ["none"] are {!none}. *)
+
+val to_string : spec -> string
+(** Inverse of {!parse} (canonical field order). *)

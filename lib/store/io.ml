@@ -1,0 +1,87 @@
+type handle = {
+  h_write : string -> unit;
+  h_fsync : unit -> unit;
+  h_close : unit -> unit;
+}
+
+type t = {
+  open_out : append:bool -> string -> handle;
+  rename : src:string -> dst:string -> unit;
+  unlink : string -> unit;
+  mkdir : string -> unit;
+  rmdir : string -> unit;
+  read_file : string -> string;
+  exists : string -> bool;
+  is_dir : string -> bool;
+  readdir : string -> string array;
+}
+
+let real_open_out ~append path =
+  let flags =
+    if append then Unix.[ O_WRONLY; O_CREAT; O_APPEND ]
+    else Unix.[ O_WRONLY; O_CREAT; O_TRUNC ]
+  in
+  let fd = Unix.openfile path flags 0o644 in
+  {
+    h_write =
+      (fun s ->
+        let n = String.length s in
+        let off = ref 0 in
+        while !off < n do
+          off := !off + Unix.write_substring fd s !off (n - !off)
+        done);
+    h_fsync = (fun () -> Unix.fsync fd);
+    h_close = (fun () -> Unix.close fd);
+  }
+
+let real =
+  {
+    open_out = real_open_out;
+    rename = (fun ~src ~dst -> Unix.rename src dst);
+    unlink = Unix.unlink;
+    mkdir =
+      (fun dir ->
+        match Unix.mkdir dir 0o755 with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    rmdir = Unix.rmdir;
+    read_file =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+    exists = (fun path -> Sys.file_exists path);
+    is_dir =
+      (fun path ->
+        match Sys.is_directory path with
+        | b -> b
+        | exception Sys_error _ -> false);
+    readdir = Sys.readdir;
+  }
+
+let write_file io path content =
+  let h = io.open_out ~append:false path in
+  match
+    h.h_write content;
+    h.h_fsync ()
+  with
+  | () -> h.h_close ()
+  | exception e ->
+      (try h.h_close () with _ -> ());
+      raise e
+
+let write_file_atomic io ~staging ~dest content =
+  write_file io staging content;
+  io.rename ~src:staging ~dst:dest
+
+let rec mkdir_p io dir =
+  if
+    (not (String.equal dir ""))
+    && (not (String.equal dir "."))
+    && (not (String.equal dir "/"))
+    && not (io.exists dir)
+  then begin
+    mkdir_p io (Filename.dirname dir);
+    io.mkdir dir
+  end

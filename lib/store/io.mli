@@ -1,0 +1,46 @@
+(** Injectable filesystem operations (DESIGN.md §12).
+
+    Every mutating syscall the storage layer performs — open, write,
+    fsync, rename, unlink, mkdir — goes through one of these records, so
+    a test (or the torture harness, [bench/main.exe torture]) can swap
+    in {!Fault_io} and drive the store, the signature persister, and the
+    journaled apply path through seeded ENOSPC/EIO/short-write schedules
+    and hard crash points without touching a real flaky disk.
+
+    The operations raise [Unix.Unix_error]/[Sys_error] exactly like the
+    real syscalls; callers are expected to wrap them in their own typed
+    error discipline (the store maps them to [Fsync_core.Error]). *)
+
+type handle = {
+  h_write : string -> unit;  (** append the bytes to the open file *)
+  h_fsync : unit -> unit;
+  h_close : unit -> unit;
+}
+(** An open file being written.  Handles are plain records of closures
+    so a fault-injecting implementation can wrap another. *)
+
+type t = {
+  open_out : append:bool -> string -> handle;
+      (** [append:false] creates/truncates; [append:true] opens for
+          append, creating if absent. *)
+  rename : src:string -> dst:string -> unit;
+  unlink : string -> unit;
+  mkdir : string -> unit;  (** one level; existing directory is a no-op *)
+  rmdir : string -> unit;
+  read_file : string -> string;
+  exists : string -> bool;
+  is_dir : string -> bool;
+  readdir : string -> string array;
+}
+
+val real : t
+(** The actual filesystem, via [Unix]. *)
+
+val write_file : t -> string -> string -> unit
+(** Open/truncate, write everything, fsync, close. *)
+
+val write_file_atomic : t -> staging:string -> dest:string -> string -> unit
+(** [write_file] to [staging], then rename over [dest]: readers see the
+    old bytes or the new bytes, never a prefix. *)
+
+val mkdir_p : t -> string -> unit

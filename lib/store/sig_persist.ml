@@ -11,7 +11,7 @@ let is_hex32 s =
        (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
        s
 
-let save ~dir ~fp ~size ~bits hashes =
+let save ?(io = Io.real) ~dir ~fp ~size ~bits hashes =
   let b = Buffer.create 256 in
   Buffer.add_string b header;
   Buffer.add_char b '\n';
@@ -24,18 +24,12 @@ let save ~dir ~fp ~size ~bits hashes =
     hashes;
   let dest = Filename.concat dir (entry_name ~fp ~size ~bits) in
   let staging = dest ^ ".tmp" in
-  (* Best-effort: a failed save only costs a cold cache entry. *)
-  match
-    let oc = open_out_bin staging in
-    (match Buffer.output_buffer oc b with
-    | () -> close_out oc
-    | exception e ->
-        close_out_noerr oc;
-        raise e);
-    Unix.rename staging dest
-  with
-  | () -> ()
-  | exception Sys_error _ | exception Unix.Unix_error _ -> ()
+  (* Best-effort: a failed save only costs a cold cache entry — but the
+     caller is told, so the failure can be counted
+     ([sig_persist_errors]) instead of vanishing. *)
+  match Io.write_file_atomic io ~staging ~dest (Buffer.contents b) with
+  | () -> true
+  | exception Sys_error _ | exception Unix.Unix_error _ -> false
 
 let parse_vector raw =
   match String.split_on_char '\n' raw with

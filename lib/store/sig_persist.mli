@@ -15,10 +15,13 @@
     reports only how many it accepted. *)
 
 val save :
+  ?io:Io.t ->
   dir:string -> fp:Fsync_hash.Fingerprint.t -> size:int -> bits:int ->
-  int array -> unit
+  int array -> bool
 (** Persist one level-hash vector.  Best-effort: I/O failures are
-    swallowed (the cache simply stays cold for that entry). *)
+    swallowed (the cache simply stays cold for that entry) but reported
+    as [false] so callers can count them ([sig_persist_errors]).
+    A {!Fault_io.Crash_point} from [io] is not swallowed. *)
 
 val load_all :
   dir:string ->

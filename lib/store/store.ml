@@ -16,10 +16,11 @@ type chunk_info = { len : int; mutable crefs : int }
 
 type t = {
   root : string;
+  fs : Io.t; (* every syscall goes through here (DESIGN.md §12) *)
   chunks : (string, chunk_info) Hashtbl.t; (* hex -> info *)
   manifests : (string, string list) Hashtbl.t; (* path -> hex list *)
   scope : Scope.t;
-  mutable oc : out_channel option; (* index appender *)
+  mutable oc : Io.handle option; (* index appender *)
   mutable appends : int; (* log records since the last compaction *)
   mutable tmp_seq : int;
   mutable closed : bool;
@@ -32,6 +33,7 @@ type t = {
 }
 
 let root t = t.root
+let fs t = t.fs
 let index_path t = Filename.concat t.root "index.log"
 let chunks_dir t = Filename.concat t.root "chunks"
 let sig_dir t = Filename.concat t.root "sigs"
@@ -41,30 +43,12 @@ let header = "fsync-store/1"
 let chunk_rel hex = Filename.concat (String.sub hex 0 2) hex
 let chunk_path t hex = Filename.concat (chunks_dir t) (chunk_rel hex)
 
-let rec mkdir_p dir =
-  if
-    (not (String.equal dir ""))
-    && (not (String.equal dir "."))
-    && (not (String.equal dir "/"))
-    && not (Sys.file_exists dir)
-  then begin
-    mkdir_p (Filename.dirname dir);
-    match Sys.mkdir dir 0o755 with
-    | () -> ()
-    | exception Sys_error _ -> ()
-  end
+let read_file t path = io ("read " ^ path) (fun () -> t.fs.Io.read_file path)
 
-let read_file path =
-  io ("read " ^ path) (fun () ->
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic)))
-
-(* Crash-safe publication: stage under tmp/, fsync-free rename into
-   place.  A crash before the rename leaves only staging garbage; a
-   crash after it leaves at worst an index-less chunk that fsck reports
-   as an orphan. *)
+(* Crash-safe publication: stage under tmp/, fsync, rename into place.
+   A crash before the rename leaves only staging garbage; a crash after
+   it leaves at worst an index-less chunk that fsck reports as an
+   orphan. *)
 let write_file_atomic t ~dest content =
   let staging =
     t.tmp_seq <- t.tmp_seq + 1;
@@ -72,13 +56,7 @@ let write_file_atomic t ~dest content =
       (Printf.sprintf "%d.%d.tmp" (Unix.getpid ()) t.tmp_seq)
   in
   io ("write " ^ dest) (fun () ->
-      let oc = open_out_bin staging in
-      (match output_string oc content with
-      | () -> close_out oc
-      | exception e ->
-          close_out_noerr oc;
-          raise e);
-      Unix.rename staging dest)
+      Io.write_file_atomic t.fs ~staging ~dest content)
 
 (* ---- path escaping for index lines ----
 
@@ -203,8 +181,8 @@ let replay_line t line =
 
 let replay t =
   let path = index_path t in
-  if Sys.file_exists path then begin
-    let raw = read_file path in
+  if t.fs.Io.exists path then begin
+    let raw = read_file t path in
     (* A file ending in '\n' splits into lines @ [""]; anything else
        ends in a torn append, which replay ignores (the record never
        committed). *)
@@ -225,24 +203,17 @@ let replay t =
 
 let appender t =
   match t.oc with
-  | Some oc -> oc
+  | Some h -> h
   | None ->
-      let oc =
+      let h =
         io "open index" (fun () ->
-            let exists = Sys.file_exists (index_path t) in
-            let oc =
-              open_out_gen
-                [ Open_append; Open_creat; Open_binary ]
-                0o644 (index_path t)
-            in
-            if not exists then begin
-              output_string oc header;
-              output_char oc '\n'
-            end;
-            oc)
+            let exists = t.fs.Io.exists (index_path t) in
+            let h = t.fs.Io.open_out ~append:true (index_path t) in
+            if not exists then h.Io.h_write (header ^ "\n");
+            h)
       in
-      t.oc <- Some oc;
-      oc
+      t.oc <- Some h;
+      h
 
 let snapshot_lines t =
   let b = Buffer.create 4096 in
@@ -280,8 +251,8 @@ let snapshot_lines t =
 
 let compact t =
   (match t.oc with
-  | Some oc ->
-      io "close index" (fun () -> close_out oc);
+  | Some h ->
+      io "close index" (fun () -> h.Io.h_close ());
       t.oc <- None
   | None -> ());
   write_file_atomic t ~dest:(index_path t) (snapshot_lines t);
@@ -290,22 +261,23 @@ let compact t =
 
 let live_records t = Hashtbl.length t.chunks + Hashtbl.length t.manifests
 
+(* One unbuffered write per record: a crash can only tear the final
+   line, which replay tolerates.  No fsync — losing the tail of the log
+   costs at worst orphan chunks, which fsck reports as warnings. *)
 let append t line =
-  let oc = appender t in
-  io "append index" (fun () ->
-      output_string oc line;
-      output_char oc '\n';
-      flush oc);
+  let h = appender t in
+  io "append index" (fun () -> h.Io.h_write (line ^ "\n"));
   t.appends <- t.appends + 1;
   t.total_appends <- t.total_appends + 1;
   if t.appends > 64 && t.appends > 4 * live_records t then compact t
 
 (* ---- opening ---- *)
 
-let open_store ?(scope = Scope.disabled) root =
+let open_store ?(scope = Scope.disabled) ?io:(fs = Io.real) root =
   let t =
     {
       root;
+      fs;
       chunks = Hashtbl.create 256;
       manifests = Hashtbl.create 64;
       scope;
@@ -320,10 +292,11 @@ let open_store ?(scope = Scope.disabled) root =
       compactions = 0;
     }
   in
-  mkdir_p root;
-  mkdir_p (chunks_dir t);
-  mkdir_p (sig_dir t);
-  mkdir_p (tmp_dir t);
+  io ("create layout under " ^ root) (fun () ->
+      Io.mkdir_p t.fs root;
+      Io.mkdir_p t.fs (chunks_dir t);
+      Io.mkdir_p t.fs (sig_dir t);
+      Io.mkdir_p t.fs (tmp_dir t));
   replay t;
   t
 
@@ -331,10 +304,10 @@ let close t =
   if not t.closed then begin
     t.closed <- true;
     match t.oc with
-    | Some oc ->
-        (match close_out oc with
+    | Some h ->
+        (match h.Io.h_close () with
         | () -> ()
-        | exception Sys_error _ -> ());
+        | exception Sys_error _ | exception Unix.Unix_error _ -> ());
         t.oc <- None
     | None -> ()
   end
@@ -343,7 +316,7 @@ let close t =
 
 let resident t hex =
   match Hashtbl.find_opt t.chunks hex with
-  | Some _ -> Sys.file_exists (chunk_path t hex)
+  | Some _ -> t.fs.Io.exists (chunk_path t hex)
   | None -> false
 
 let mem t fp =
@@ -361,7 +334,8 @@ let put t content =
     fp
   end
   else begin
-    mkdir_p (Filename.dirname (chunk_path t hex));
+    io "mkdir chunk fanout" (fun () ->
+        Io.mkdir_p t.fs (Filename.dirname (chunk_path t hex)));
     write_file_atomic t ~dest:(chunk_path t hex) content;
     let crefs =
       match Hashtbl.find_opt t.chunks hex with
@@ -376,7 +350,7 @@ let put t content =
 
 let get t fp =
   let hex = Fp.to_hex fp in
-  if resident t hex then Some (read_file (chunk_path t hex)) else None
+  if resident t hex then Some (read_file t (chunk_path t hex)) else None
 
 let refs t fp =
   match Hashtbl.find_opt t.chunks (Fp.to_hex fp) with
@@ -444,9 +418,10 @@ let gc t =
   let removed, bytes =
     List.fold_left
       (fun (n, b) (hex, (info : chunk_info)) ->
-        (match Sys.remove (chunk_path t hex) with
-        | () -> ()
-        | exception Sys_error _ -> ());
+        io ("gc unlink " ^ hex) (fun () ->
+            match t.fs.Io.unlink (chunk_path t hex) with
+            | () -> ()
+            | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
         Hashtbl.remove t.chunks hex;
         (n + 1, b + info.len))
       (0, 0) victims
@@ -515,9 +490,9 @@ let fsck t =
     (fun hex (info : chunk_info) ->
       incr checked;
       let path = chunk_path t hex in
-      if Sys.file_exists path then begin
+      if t.fs.Io.exists path then begin
         if info.crefs <= 0 then incr garbage;
-        let content = read_file path in
+        let content = read_file t path in
         if not (String.equal (Fp.to_hex (Fp.of_string content)) hex) then
           add (Corrupt_chunk { hex })
       end
@@ -528,18 +503,18 @@ let fsck t =
   (* 2. Every resident chunk file is indexed (torn put ⇒ orphan). *)
   let scan_fan fan =
     let dir = Filename.concat (chunks_dir t) fan in
-    if Sys.file_exists dir && Sys.is_directory dir then
+    if t.fs.Io.is_dir dir then
       Array.iter
         (fun name ->
           if is_hex32 name && not (Hashtbl.mem t.chunks name) then
             add (Orphan_chunk { hex = name }))
-        (match Sys.readdir dir with
+        (match t.fs.Io.readdir dir with
         | a -> a
-        | exception Sys_error _ -> [||])
+        | exception Sys_error _ | exception Unix.Unix_error _ -> [||])
   in
-  (match Sys.readdir (chunks_dir t) with
+  (match t.fs.Io.readdir (chunks_dir t) with
   | fans -> Array.iter scan_fan fans
-  | exception Sys_error _ -> ());
+  | exception Sys_error _ | exception Unix.Unix_error _ -> ());
   (* 3. Refcounts must equal the number of manifest references: the
      counts were replayed from the log (including R assertions), the
      manifests are the ground truth. *)

@@ -34,10 +34,15 @@
 
 type t
 
-val open_store : ?scope:Fsync_obs.Scope.t -> string -> t
+val open_store : ?scope:Fsync_obs.Scope.t -> ?io:Io.t -> string -> t
 (** Open (creating layout directories if needed) the store rooted at the
     given directory and replay its index.  Typed [Malformed] on an
-    unreadable or corrupt index. *)
+    unreadable or corrupt index.  [io] (default {!Io.real}) carries
+    every syscall the handle will make — pass a {!Fault_io} wrap to
+    torture the store (DESIGN.md §12). *)
+
+val fs : t -> Io.t
+(** The injectable filesystem this handle was opened with. *)
 
 val close : t -> unit
 (** Flush and close the index appender.  Idempotent. *)

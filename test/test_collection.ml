@@ -101,6 +101,162 @@ let test_snapshot_prune_empty_dirs () =
   in
   rm root
 
+(* ---- journaled atomic apply ---- *)
+
+module Fault_io = Fsync_store.Fault_io
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "fsync_apply" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let tree_of root =
+  if Sys.file_exists root then Snapshot.files (Snapshot.load_dir root) else []
+
+let check_tree what expected root =
+  Alcotest.(check (list (pair string string)))
+    what
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) expected)
+    (tree_of root)
+
+let test_apply_basic () =
+  with_tmp_dir (fun root ->
+      let old_files =
+        [
+          ("a.txt", "alpha");
+          ("deep/one/two/b.txt", "beta");
+          ("keep.txt", "kept");
+        ]
+      in
+      Snapshot.store_dir root (Snapshot.of_files old_files);
+      (* The new-path name exercises journal escaping: a space and a
+         percent sign. *)
+      let new_files =
+        [ ("a.txt", "alpha v2"); ("keep.txt", "kept"); ("new dir/c%d.txt", "gamma") ]
+      in
+      let st = Apply.apply ~root ~old_files new_files in
+      Alcotest.(check int) "wrote changed+new" 2 st.Apply.wrote;
+      Alcotest.(check int) "deleted stale" 1 st.Apply.deleted;
+      check_tree "tree matches target" new_files root;
+      Alcotest.(check bool) "staging cleaned up" false
+        (Sys.file_exists (Filename.concat root Apply.dirname));
+      Alcotest.(check bool) "stale dirs pruned" false
+        (Sys.file_exists (Filename.concat root "deep"));
+      (* Unchanged target: nothing to stage, nothing touched. *)
+      let st2 = Apply.apply ~root ~old_files:new_files new_files in
+      Alcotest.(check int) "no-op writes nothing" 0 st2.Apply.wrote;
+      Alcotest.(check int) "no-op deletes nothing" 0 st2.Apply.deleted;
+      (* Fresh root: apply bootstraps the directory. *)
+      let fresh = Filename.concat root "fresh-replica" in
+      ignore (Apply.apply ~root:fresh ~old_files:[] new_files);
+      check_tree "fresh root bootstrapped" new_files fresh)
+
+let test_apply_resume_clean () =
+  with_tmp_dir (fun root ->
+      Snapshot.store_dir root (Snapshot.of_files [ ("a", "1") ]);
+      match Apply.resume root with
+      | `Clean -> ()
+      | `Rolled_back | `Rolled_forward _ ->
+          Alcotest.fail "nothing to resume in a clean tree")
+
+let test_apply_corrupt_journal_refused () =
+  with_tmp_dir (fun root ->
+      Snapshot.store_dir root (Snapshot.of_files [ ("a", "1") ]);
+      let sdir = Filename.concat root Apply.dirname in
+      Sys.mkdir sdir 0o755;
+      let oc = open_out_bin (Filename.concat sdir "journal") in
+      output_string oc "fsync-apply/1\nW a 0 1 deadbeef\n";
+      (* no commit trailer *)
+      close_out oc;
+      match Apply.resume root with
+      | _ -> Alcotest.fail "truncated journal must be refused"
+      | exception Fsync_core.Error.E _ -> ())
+
+(* The tentpole invariant: kill the applier at the K-th syscall for
+   every K, and the replica is never torn — every file is wholly old or
+   wholly new at all times, and after recovery the tree is exactly the
+   old one (crash before the journal committed) or exactly the new one
+   (after).  Recovery itself may crash and is re-runnable. *)
+let test_apply_crash_matrix () =
+  let old_files =
+    [
+      ("a.txt", "old contents of a, long enough to notice tearing");
+      ("sub/b.txt", "old b");
+      ("gone/stale.txt", "stale");
+    ]
+  in
+  let new_files =
+    [
+      ("a.txt", "NEW contents of a, rather different from before");
+      ("sub/b.txt", "old b");
+      ("sub/new c.txt", "fresh file");
+    ]
+  in
+  let content_of l p =
+    Option.map snd (List.find_opt (fun (q, _) -> String.equal q p) l)
+  in
+  let no_torn_files what root =
+    List.iter
+      (fun (p, got) ->
+        let matches l =
+          match content_of l p with
+          | Some c -> String.equal c got
+          | None -> false
+        in
+        if not (matches old_files || matches new_files) then
+          Alcotest.failf "%s: %s holds torn bytes" what p)
+      (tree_of root)
+  in
+  let old_or_new what root =
+    let actual = tree_of root in
+    let s l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+    if actual <> s old_files && actual <> s new_files then
+      Alcotest.failf "%s: torn replica [%s]" what
+        (String.concat ";" (List.map fst actual))
+  in
+  let k = ref 1 in
+  let sweeping = ref true in
+  while !sweeping do
+    if !k > 120 then Alcotest.fail "crash sweep did not terminate";
+    with_tmp_dir (fun root ->
+        Snapshot.store_dir root (Snapshot.of_files old_files);
+        let io, _ =
+          Fault_io.wrap ~seed:!k
+            { Fault_io.none with Fault_io.crash_at = Some !k }
+        in
+        match Apply.apply ~io ~root ~old_files new_files with
+        | (_ : Apply.stats) ->
+            check_tree "uncrashed apply converges" new_files root;
+            sweeping := false
+        | exception Fault_io.Crash_point _ ->
+            let tag fmt = Printf.sprintf fmt !k in
+            no_torn_files (tag "after crash at %d") root;
+            (* Recovery can die too; a second recovery still converges. *)
+            let io2, _ =
+              Fault_io.wrap ~seed:(!k * 7)
+                { Fault_io.none with Fault_io.crash_at = Some 2 }
+            in
+            (match Apply.resume ~io:io2 root with
+            | (_ : Apply.resumed) -> ()
+            | exception Fault_io.Crash_point _ -> ());
+            no_torn_files (tag "after crashed resume at %d") root;
+            (match Apply.resume root with
+            | `Clean | `Rolled_back | `Rolled_forward _ -> ());
+            old_or_new (tag "after resume at %d") root;
+            (* And a clean re-apply lands the target exactly. *)
+            ignore (Apply.apply ~root ~old_files:(tree_of root) new_files);
+            check_tree (tag "re-apply after crash at %d") new_files root);
+    incr k
+  done
+
 (* ---- Driver ---- *)
 
 let methods =
@@ -315,6 +471,10 @@ let suite =
     ("snapshot disk roundtrip", `Quick, test_snapshot_disk_roundtrip);
     ("snapshot prune empty dirs", `Quick, test_snapshot_prune_empty_dirs);
     ("snapshot load missing", `Quick, test_snapshot_load_missing);
+    ("apply basic", `Quick, test_apply_basic);
+    ("apply resume clean", `Quick, test_apply_resume_clean);
+    ("apply corrupt journal refused", `Quick, test_apply_corrupt_journal_refused);
+    ("apply crash matrix", `Quick, test_apply_crash_matrix);
     ("driver all methods reconstruct", `Slow, test_driver_all_methods_reconstruct);
     ("driver unchanged skipped", `Quick, test_driver_unchanged_skipped);
     ("driver new and deleted", `Quick, test_driver_new_and_deleted);

@@ -78,6 +78,10 @@ let test_msg_roundtrip () =
       Msg.Chunk_need "\x05\x80";
       Msg.Chunk_data "deflated-chunk-bytes";
       Msg.Push_done;
+      Msg.Resume { root = fp; bitmap = "\x05\xff\x00" };
+      Msg.Resume { root = fp; bitmap = "" };
+      Msg.Busy { retry_after_ms = 0 };
+      Msg.Busy { retry_after_ms = 1500 };
     ]
 
 let test_msg_malformed () =
@@ -494,8 +498,8 @@ let test_conn_chunked_frames () =
 
 (* ---- the real thing: TCP against a forked daemon ---- *)
 
-let with_forked_daemon files f =
-  let daemon = Daemon.create files in
+let with_forked_daemon ?config files f =
+  let daemon = Daemon.create ?config files in
   let port = Daemon.listen daemon ~host:"127.0.0.1" ~port:0 in
   match Unix.fork () with
   | 0 ->
@@ -710,6 +714,186 @@ let test_daemon_restart_warm () =
       Daemon.shutdown d;
       Store.close store)
 
+(* ---- resumable sessions, busy shedding, SIGKILL soak ---- *)
+
+(* Drive puller<->session over an in-memory exchange; stop abruptly (a
+   simulated client kill) once [abort_after] files completed.  Returns
+   server-to-client payload bytes. *)
+let pump ?(abort_after = max_int) session puller =
+  let s2c = ref 0 in
+  let q = Queue.create () in
+  List.iter (fun f -> Queue.add f q) (Puller.start puller);
+  (try
+     while not (Queue.is_empty q || Puller.finished puller) do
+       let frame = Queue.pop q in
+       List.iter
+         (fun r ->
+           s2c := !s2c + String.length r;
+           let completed =
+             match Puller.resume_token puller with
+             | Some t -> List.length t.Puller.rt_completed
+             | None -> 0
+           in
+           if completed >= abort_after then raise Exit;
+           List.iter (fun f -> Queue.add f q) (Puller.on_message puller r))
+         (Session.on_message session frame)
+     done
+   with Exit -> ());
+  !s2c
+
+let test_resume_pull () =
+  let server_files =
+    List.init 12 (fun i ->
+        ( Printf.sprintf "f%02d.txt" i,
+          Fsync_workload.Text_gen.c_like
+            (Prng.create (Int64.of_int (50 + i)))
+            ~lines:60 ))
+  in
+  let mk_session () = Session.create ~cache:(Sigcache.create ()) server_files in
+  (* Cold pull from nothing: the baseline payload. *)
+  let cold_puller = Puller.create [] in
+  let cold = pump (mk_session ()) cold_puller in
+  Alcotest.(check bool) "cold pull finishes" true (Puller.finished cold_puller);
+  (* Kill the client after 10 of 12 files, reconnect with the token. *)
+  let p1 = Puller.create [] in
+  let (_ : int) = pump ~abort_after:10 (mk_session ()) p1 in
+  Alcotest.(check bool) "interrupted mid-session" false (Puller.finished p1);
+  let token =
+    match Puller.resume_token p1 with
+    | Some t -> t
+    | None -> Alcotest.fail "interrupted puller must yield a token"
+  in
+  Alcotest.(check int) "token carries completed files" 10
+    (List.length token.Puller.rt_completed);
+  let p2 = Puller.create ~resume:token [] in
+  let s2 = mk_session () in
+  let resumed = pump s2 p2 in
+  Alcotest.(check bool) "resumed pull finishes" true (Puller.finished p2);
+  check_files "resumed replica converges" server_files (Puller.result p2);
+  Alcotest.(check int) "server skipped the completed jobs" 10
+    (Session.stats s2).Session.resumed_jobs;
+  Alcotest.(check int) "client accounted the skips" 10
+    (Puller.stats p2).Puller.resumed_files;
+  (* The acceptance bar: a resumed pull re-transfers at most 25% of the
+     cold payload. *)
+  if float_of_int resumed > 0.25 *. float_of_int cold then
+    Alcotest.failf "resumed pull re-transferred %d of %d cold bytes (> 25%%)"
+      resumed cold;
+  (* A server whose collection moved on ignores the stale token: no
+     skips, but the pull still converges. *)
+  let changed =
+    ("f00.txt", "entirely different contents") :: List.tl server_files
+  in
+  let s3 = Session.create ~cache:(Sigcache.create ()) changed in
+  let p3 = Puller.create ~resume:token [] in
+  let (_ : int) = pump s3 p3 in
+  Alcotest.(check bool) "stale-token pull finishes" true (Puller.finished p3);
+  check_files "stale token converges on the new tree" changed
+    (Puller.result p3);
+  Alcotest.(check int) "stale token skips nothing" 0
+    (Session.stats s3).Session.resumed_jobs
+
+let test_busy_shed () =
+  (* max_sessions = 0: every connection is shed with a typed Busy. *)
+  let config = { Daemon.default_config with Daemon.max_sessions = 0 } in
+  with_forked_daemon ~config (mk_files 61 3) (fun port ->
+      (match
+         Pull.run ~attempts:1 ~host:"127.0.0.1" ~port ~idle_timeout_s:5.0 []
+       with
+      | _ -> Alcotest.fail "pull against a full daemon must raise Busy"
+      | exception
+          Fsync_core.Error.E (Fsync_core.Error.Busy { retry_after_s }) ->
+          Alcotest.(check bool) "retry-after carried" true
+            (retry_after_s > 0.0));
+      (* A retrying push honours the server's retry-after between
+         attempts before giving up with the same typed error. *)
+      let t0 = Unix.gettimeofday () in
+      match
+        Push.run ~attempts:2 ~host:"127.0.0.1" ~port ~idle_timeout_s:5.0
+          [ ("x.txt", "y") ]
+      with
+      | _ -> Alcotest.fail "push against a full daemon must raise Busy"
+      | exception Fsync_core.Error.E (Fsync_core.Error.Busy _) ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "slept retry-after between attempts (%.3fs)"
+               elapsed)
+            true
+            (elapsed >= 0.3))
+
+let fork_store_daemon ~root files =
+  let store = Store.open_store root in
+  let daemon = Daemon.create ~store files in
+  let port = Daemon.listen daemon ~host:"127.0.0.1" ~port:0 in
+  match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Daemon.request_stop daemon));
+      (match Daemon.run ~timeout_s:0.02 ~drain_s:1.0 daemon with
+      | () -> ()
+      | exception _ -> ());
+      Unix._exit 0
+  | pid ->
+      (* The child owns the store from here; drop the parent's handle. *)
+      Store.close store;
+      (port, pid)
+
+let test_sigkill_mid_push_soak () =
+  let base = mk_files 71 4 in
+  let tree = mk_files 72 10 in
+  with_store_root (fun root ->
+      (* SIGKILL the daemon at seeded instants mid-push; after every
+         kill the store must reopen fsck-clean. *)
+      List.iter
+        (fun delay ->
+          let port, pid = fork_store_daemon ~root base in
+          let killer =
+            match Unix.fork () with
+            | 0 ->
+                Unix.sleepf delay;
+                (match Unix.kill pid Sys.sigkill with
+                | () -> ()
+                | exception Unix.Unix_error _ -> ());
+                Unix._exit 0
+            | kpid -> kpid
+          in
+          (match
+             Push.run ~attempts:1 ~host:"127.0.0.1" ~port ~idle_timeout_s:2.0
+               tree
+           with
+          | (_ : Push.outcome) -> () (* the push beat the killer: fine *)
+          | exception Fsync_core.Error.E _ -> ()
+          | exception Fsync_net.Fd_transport.Closed -> ()
+          | exception Unix.Unix_error _ -> ());
+          (match Unix.kill pid Sys.sigkill with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          ignore (Unix.waitpid [] killer);
+          let s = Store.open_store root in
+          (match Store.fsck_errors (Store.fsck s) with
+          | [] -> ()
+          | errs ->
+              Alcotest.failf "fsck after SIGKILL at +%.3fs: %d error(s)" delay
+                (List.length errs));
+          Store.close s)
+        [ 0.005; 0.015; 0.03; 0.06 ];
+      (* Weather cleared: push then pull must converge byte-identically
+         (the pushed tree covers every base path). *)
+      let port, pid = fork_store_daemon ~root base in
+      Fun.protect
+        ~finally:(fun () ->
+          (match Unix.kill pid Sys.sigterm with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid))
+        (fun () ->
+          let (_ : Push.outcome) =
+            Push.run ~host:"127.0.0.1" ~port ~idle_timeout_s:10.0 tree
+          in
+          let r = Pull.run ~host:"127.0.0.1" ~port ~idle_timeout_s:10.0 [] in
+          check_files "post-crash push+pull converges" tree r.Pull.files))
+
 let suite =
   [
     ("msg roundtrip", `Quick, test_msg_roundtrip);
@@ -733,4 +917,7 @@ let suite =
     ("push loopback", `Quick, test_push_loopback);
     ("push dedup two clients", `Quick, test_push_dedup_two_clients);
     ("daemon restart warm", `Quick, test_daemon_restart_warm);
+    ("resume pull", `Quick, test_resume_pull);
+    ("busy shed", `Quick, test_busy_shed);
+    ("sigkill mid-push soak", `Quick, test_sigkill_mid_push_soak);
   ]

@@ -282,8 +282,10 @@ let test_sig_persist_roundtrip () =
       let v1 = [| 0; 1; 0x3fffffff; 123456; 42 |] in
       let v2 = [| 7 |] in
       let fp1 = Fp.of_string "file one" and fp2 = Fp.of_string "file two" in
-      Sig_persist.save ~dir ~fp:fp1 ~size:2048 ~bits:30 v1;
-      Sig_persist.save ~dir ~fp:fp2 ~size:512 ~bits:16 v2;
+      Alcotest.(check bool) "save one" true
+        (Sig_persist.save ~dir ~fp:fp1 ~size:2048 ~bits:30 v1);
+      Alcotest.(check bool) "save two" true
+        (Sig_persist.save ~dir ~fp:fp2 ~size:512 ~bits:16 v2);
       (* Unparseable droppings must be skipped, not fatal. *)
       let oc = open_out_bin (Filename.concat dir "junk-file") in
       output_string oc "not a vector";
@@ -304,12 +306,162 @@ let test_sig_persist_roundtrip () =
       Alcotest.(check bool) "vectors roundtrip" true
         (List.sort compare !seen = expect);
       (* Overwrite is last-writer-wins for the same key. *)
-      Sig_persist.save ~dir ~fp:fp1 ~size:2048 ~bits:30 v2;
+      Alcotest.(check bool) "save overwrite" true
+        (Sig_persist.save ~dir ~fp:fp1 ~size:2048 ~bits:30 v2);
       let got = ref None in
       ignore
         (Sig_persist.load_all ~dir (fun ~fp ~size ~bits:_ v ->
              if Fp.equal fp fp1 && size = 2048 then got := Some (Array.to_list v)));
       Alcotest.(check (option (list int))) "overwritten" (Some [ 7 ]) !got)
+
+(* ---- injected disk faults (Fault_io) ---- *)
+
+module Fault_io = Fsync_store.Fault_io
+
+let test_fault_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      match Fault_io.parse s with
+      | Ok spec ->
+          Alcotest.(check string) ("canonical " ^ s) s
+            (Fault_io.to_string spec)
+      | Error e -> Alcotest.failf "parse %S: %s" s e)
+    [ "none"; "enospc=0.1"; "eio=0.05,short=0.02"; "enospc=0.1,crash=7" ];
+  (match Fault_io.parse "crash=0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "crash=0 must be rejected");
+  match Fault_io.parse "bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown field must be rejected"
+
+let test_fault_io_deterministic () =
+  (* Same seed and schedule, same workload: identical fault stats. *)
+  let run () =
+    with_root (fun dir ->
+        let io, stats =
+          Fault_io.wrap ~seed:99
+            { Fault_io.none with Fault_io.p_eio = 0.2; p_short = 0.2 }
+        in
+        let s = Store.open_store ~io dir in
+        for i = 0 to 30 do
+          match Store.put s (String.make (100 + i) 'z') with
+          | _ -> ()
+          | exception Error.E _ -> ()
+        done;
+        (match Store.close s with () -> () | exception Error.E _ -> ());
+        stats ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "faults actually fired" true
+    (a.Fault_io.eio + a.Fault_io.short_writes > 0);
+  Alcotest.(check int) "eio deterministic" a.Fault_io.eio b.Fault_io.eio;
+  Alcotest.(check int) "short deterministic" a.Fault_io.short_writes
+    b.Fault_io.short_writes;
+  Alcotest.(check int) "ops deterministic" a.Fault_io.ops b.Fault_io.ops
+
+(* Sweep the crash point across every mutating syscall of a small
+   put/manifest workload: whatever instant the process "dies", a clean
+   reopen must fsck clean and the workload must complete on retry. *)
+let test_crash_point_sweep () =
+  let workload s =
+    let c1 = Store.put s (String.make 700 'p') in
+    let c2 = Store.put s (String.make 700 'q') in
+    Store.set_manifest s ~path:"one.txt" [ c1; c2 ];
+    Store.set_manifest s ~path:"two.txt" [ c2 ]
+  in
+  let k = ref 1 in
+  let sweeping = ref true in
+  while !sweeping do
+    if !k > 100 then Alcotest.fail "crash sweep did not terminate";
+    with_root (fun dir ->
+        let io, stats =
+          Fault_io.wrap ~seed:!k
+            { Fault_io.none with Fault_io.crash_at = Some !k }
+        in
+        (match
+           let s = Store.open_store ~io dir in
+           workload s;
+           Store.close s
+         with
+        | () -> sweeping := false (* schedule never fired: sweep done *)
+        | exception Fault_io.Crash_point _ ->
+            Alcotest.(check bool) (Printf.sprintf "crashed at %d" !k) true
+              (stats ()).Fault_io.crashed;
+            (* Restart: clean Io over whatever the crash left behind. *)
+            let s = Store.open_store dir in
+            let report = Store.fsck s in
+            (match Store.fsck_errors report with
+            | [] -> ()
+            | errs ->
+                Alcotest.failf "fsck after crash at %d: %d error finding(s)"
+                  !k (List.length errs));
+            workload s;
+            Alcotest.(check (option string))
+              (Printf.sprintf "converged after crash at %d" !k)
+              (Some (String.make 700 'p'))
+              (Store.get s (Fp.of_string (String.make 700 'p')));
+            Store.close s);
+        incr k)
+  done
+
+let test_enospc_schedule_recovers () =
+  (* Probabilistic ENOSPC/EIO bursts surface as typed errors, never as
+     silent corruption: after the weather clears, fsck is clean and the
+     data all lands. *)
+  with_root (fun dir ->
+      let io, stats =
+        Fault_io.wrap ~seed:7
+          { Fault_io.none with Fault_io.p_enospc = 0.25; p_eio = 0.1 }
+      in
+      let s = Store.open_store ~io dir in
+      let failures = ref 0 in
+      for i = 0 to 40 do
+        match Store.put s (Printf.sprintf "chunk %d %s" i (String.make 300 'e'))
+        with
+        | _ -> ()
+        | exception Error.E _ -> incr failures
+      done;
+      Alcotest.(check bool) "some puts failed" true (!failures > 0);
+      Alcotest.(check bool) "faults accounted" true
+        ((stats ()).Fault_io.enospc + (stats ()).Fault_io.eio > 0);
+      (match Store.close s with () -> () | exception Error.E _ -> ());
+      let s = Store.open_store dir in
+      let report = Store.fsck s in
+      Alcotest.(check int) "fsck clean after faults" 0
+        (List.length (Store.fsck_errors report));
+      for i = 0 to 40 do
+        ignore
+          (Store.put s (Printf.sprintf "chunk %d %s" i (String.make 300 'e')))
+      done;
+      for i = 0 to 40 do
+        let c = Printf.sprintf "chunk %d %s" i (String.make 300 'e') in
+        Alcotest.(check (option string)) (Printf.sprintf "chunk %d" i) (Some c)
+          (Store.get s (Fp.of_string c))
+      done;
+      Store.close s)
+
+let test_sig_persist_fault_returns_false () =
+  with_store (fun _root s ->
+      let dir = Store.sig_dir s in
+      (* Every mutating syscall fails: the best-effort save must report
+         failure, not raise. *)
+      let io, _ =
+        Fault_io.wrap ~seed:3 { Fault_io.none with Fault_io.p_eio = 1.0 }
+      in
+      Alcotest.(check bool) "save fails typed" false
+        (Sig_persist.save ~io ~dir ~fp:(Fp.of_string "x") ~size:1024 ~bits:30
+           [| 1; 2; 3 |]);
+      (* And a Crash_point is not swallowed: a dead process cannot
+         return [false]. *)
+      let io, _ =
+        Fault_io.wrap ~seed:4 { Fault_io.none with Fault_io.crash_at = Some 1 }
+      in
+      match
+        Sig_persist.save ~io ~dir ~fp:(Fp.of_string "y") ~size:1024 ~bits:30
+          [| 4 |]
+      with
+      | (_ : bool) -> Alcotest.fail "Crash_point must propagate"
+      | exception Fault_io.Crash_point _ -> ())
 
 let suite =
   [
@@ -322,4 +474,9 @@ let suite =
     ("fsck detects refcount skew", `Quick, test_fsck_detects_refcount_skew);
     ("torn index append", `Quick, test_torn_index_append);
     ("sig_persist roundtrip", `Quick, test_sig_persist_roundtrip);
+    ("fault spec roundtrip", `Quick, test_fault_spec_roundtrip);
+    ("fault io deterministic", `Quick, test_fault_io_deterministic);
+    ("crash point sweep", `Quick, test_crash_point_sweep);
+    ("enospc schedule recovers", `Quick, test_enospc_schedule_recovers);
+    ("sig persist under faults", `Quick, test_sig_persist_fault_returns_false);
   ]

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Crash-tolerance torture harness (DESIGN.md §12).
+#
+# Runs the {crash point x disk-fault schedule} x {push, pull, gc,
+# compact} matrix in bench/main.exe: every cell injects seeded disk
+# faults plus a hard crash at the K-th mutating syscall, restarts with
+# a clean filesystem, and asserts `Store.fsck` reports zero errors and
+# the workload re-run converges byte-identically.  The run also checks
+# the resumed-pull economy bar (a pull killed mid-session and resumed
+# via its fsyncd/1 token must re-transfer at most 25% of the cold
+# payload) and validates the BENCH_torture.json export.
+#
+# QUICK=1 shrinks the crash-point sweep (CI smoke); unset it for the
+# full matrix.  Any violated invariant makes the bench — and therefore
+# this script — exit non-zero.
+set -e
+
+dune build bench/main.exe tools/benchjson/benchjson.exe
+dune exec bench/main.exe -- torture
+dune exec tools/benchjson/benchjson.exe -- BENCH_torture.json
