@@ -45,6 +45,17 @@ module Snapshot = Fsync_collection.Snapshot
 
 let kb = Table.cell_kb
 
+(* Monomorphic comparisons for (path, content) trees — the harness
+   asserts replica equality constantly and must not rely on polymorphic
+   compare (lint R1). *)
+let entry_compare (p1, c1) (p2, c2) =
+  match String.compare p1 p2 with 0 -> String.compare c1 c2 | c -> c
+
+let entries_equal a b =
+  List.equal
+    (fun (p1, c1) (p2, c2) -> String.equal p1 p2 && String.equal c1 c2)
+    a b
+
 (* ---- machine-readable export (BENCH_*.json) ----
 
    The [metadata] and [collection] targets additionally write one JSON
@@ -384,7 +395,7 @@ let table62 () =
         List.map
           (fun server ->
             let updated, summary = Driver.sync m ~client ~server in
-            assert (Snapshot.files updated = Snapshot.files server);
+            assert (entries_equal (Snapshot.files updated) (Snapshot.files server));
             kb (Driver.total summary))
           servers
       in
@@ -734,7 +745,7 @@ let metadata () =
                 let updated, summary =
                   Driver.sync ~metadata ~scope Driver.Full_raw ~client ~server
                 in
-                assert (Snapshot.files updated = Snapshot.files server);
+                assert (entries_equal (Snapshot.files updated) (Snapshot.files server));
                 summary)
           in
           let lin, lin_reg, lin_ns = run Driver.Linear in
@@ -849,7 +860,7 @@ let collection () =
                     Driver.sync ~metadata:Driver.Merkle ~scope m ~client
                       ~server
                   in
-                  assert (Snapshot.files updated = Snapshot.files server);
+                  assert (entries_equal (Snapshot.files updated) (Snapshot.files server));
                   summary)
             in
             bench_record
@@ -934,7 +945,7 @@ let server () =
         in
         List.iter
           (fun (r : Loopback.pull_result) ->
-            assert (r.files = server_files))
+            assert (entries_equal r.files server_files))
           results;
         let sum f = List.fold_left (fun a r -> a + f r) 0 results in
         let bytes_up = sum (fun (r : Loopback.pull_result) -> r.c2s_bytes) in
@@ -1298,10 +1309,10 @@ let torture () =
   let rec tree_of_dir acc dir rel =
     Array.fold_left
       (fun acc name ->
-        if rel = "" && String.equal name Apply.dirname then acc
+        if String.equal rel "" && String.equal name Apply.dirname then acc
         else
           let p = Filename.concat dir name in
-          let r = if rel = "" then name else rel ^ "/" ^ name in
+          let r = if String.equal rel "" then name else rel ^ "/" ^ name in
           if Sys.is_directory p then tree_of_dir acc p r
           else
             let ic = open_in_bin p in
@@ -1321,8 +1332,8 @@ let torture () =
     ignore (Apply.resume root : Apply.resumed);
     let current = tree_of_dir [] root "" in
     ignore (Apply.apply ~root ~old_files:current new_files : Apply.stats);
-    let final = List.sort compare (tree_of_dir [] root "") in
-    if final <> List.sort compare new_files then
+    let final = List.sort entry_compare (tree_of_dir [] root "") in
+    if not (entries_equal final (List.sort entry_compare new_files)) then
       failwith "torture pull: replica diverged after recovery";
     stats ()
   in

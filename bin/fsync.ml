@@ -270,7 +270,7 @@ let dir_cmd =
       emit_obs ~metrics ~trace_json reg;
       `Ok ()
     in
-    if resilient || faults <> None then begin
+    if resilient || Option.is_some faults then begin
       let resilience =
         {
           Fsync_collection.Driver.default_resilience with

@@ -1,4 +1,5 @@
 module M = Map.Make (String)
+module Io = Fsync_store.Io
 
 type t = string M.t
 
@@ -22,18 +23,6 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_file path content =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content)
-
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
-  end
-
 let load_dir root =
   let acc = ref [] in
   let rec walk rel =
@@ -53,28 +42,36 @@ let load_dir root =
   walk "";
   of_files !acc
 
-let prune_empty_dirs root =
+(* Mutations go through the injectable {!Fsync_store.Io} record so the
+   torture harness's crash-point sweep covers them (lint rule R9); the
+   default is the real filesystem. *)
+
+let prune_empty_dirs ?(io = Io.real) root =
   let removed = ref 0 in
   (* Bottom-up: prune children first so a directory whose only content
      was empty subdirectories is itself seen empty. *)
   let rec walk abs =
-    if Sys.file_exists abs && Sys.is_directory abs then begin
-      Array.iter (fun name -> walk (Filename.concat abs name)) (Sys.readdir abs);
-      if Array.length (Sys.readdir abs) = 0 then
-        match Sys.rmdir abs with
+    if io.Io.exists abs && io.Io.is_dir abs then begin
+      Array.iter
+        (fun name -> walk (Filename.concat abs name))
+        (io.Io.readdir abs);
+      if Array.length (io.Io.readdir abs) = 0 then
+        match io.Io.rmdir abs with
         | () -> incr removed
-        | exception Sys_error _ -> ()
+        | exception (Sys_error _ | Unix.Unix_error _) -> ()
     end
   in
-  if Sys.file_exists root && Sys.is_directory root then
-    Array.iter (fun name -> walk (Filename.concat root name)) (Sys.readdir root);
+  if io.Io.exists root && io.Io.is_dir root then
+    Array.iter
+      (fun name -> walk (Filename.concat root name))
+      (io.Io.readdir root);
   !removed
 
-let store_dir root t =
-  mkdir_p root;
+let store_dir ?(io = Io.real) root t =
+  Io.mkdir_p io root;
   M.iter
     (fun rel content ->
       let abs = Filename.concat root rel in
-      mkdir_p (Filename.dirname abs);
-      write_file abs content)
+      Io.mkdir_p io (Filename.dirname abs);
+      Io.write_file io abs content)
     t

@@ -20,11 +20,14 @@ val total_bytes : t -> int
 val load_dir : string -> t
 (** Read every regular file under the root (paths relative to it). *)
 
-val store_dir : string -> t -> unit
-(** Write all files under the root, creating directories as needed. *)
+val store_dir : ?io:Fsync_store.Io.t -> string -> t -> unit
+(** Write all files under the root, creating directories as needed.
+    Mutations go through [io] (default: the real filesystem) so fault
+    injection covers them. *)
 
-val prune_empty_dirs : string -> int
+val prune_empty_dirs : ?io:Fsync_store.Io.t -> string -> int
 (** Remove every directory under [root] (never [root] itself) that
     contains no files, bottom-up, so directories left empty by
     stale-file deletion disappear too.  Returns how many were
-    removed. *)
+    removed.  Mutations go through [io] (default: the real
+    filesystem). *)

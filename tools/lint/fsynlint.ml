@@ -17,9 +17,10 @@ let usage =
   "fsynlint — repo-specific static analysis with a baseline ratchet\n\n\
    usage: fsynlint [options] [roots...]\n\n\
    Parses every .ml/.mli under the roots (default: lib bin bench) and\n\
-   enforces rules R1-R5 (see --explain).  Findings are compared against\n\
-   the baseline (default: tools/lint/baseline.txt): new violations and\n\
-   stale baseline entries fail the run.\n\n\
+   enforces the syntactic rules R1-R5 plus the R6-R9 dataflow rules\n\
+   (see --explain).  Findings are compared against the baseline\n\
+   (default: tools/lint/baseline.txt): new violations and stale\n\
+   baseline entries fail the run.\n\n\
    options:\n\
   \  --baseline FILE     baseline file (default tools/lint/baseline.txt)\n\
   \  --no-baseline       ignore the baseline: report every finding\n\
@@ -27,6 +28,8 @@ let usage =
   \                      refuses to grow existing debt unless --allow-growth\n\
   \  --allow-growth      permit --update-baseline to record new debt\n\
   \  --list              print every finding (not just deltas) and exit 0\n\
+  \  --json FILE         also write the findings (and, in check mode,\n\
+  \                      the baseline delta) as JSON to FILE\n\
   \  --explain           print the rationale for each rule and exit\n\
   \  --help              this message\n"
 
@@ -36,13 +39,14 @@ type opts = {
   mutable mode : mode;
   mutable baseline : string option;
   mutable allow_growth : bool;
+  mutable json : string option;
   mutable roots : string list;
 }
 
 let parse_args argv =
   let o =
     { mode = Check; baseline = Some default_baseline; allow_growth = false;
-      roots = [] }
+      json = None; roots = [] }
   in
   let rec go = function
     | [] -> o
@@ -72,6 +76,12 @@ let parse_args argv =
     | "--list" :: rest ->
         o.mode <- List_all;
         go rest
+    | "--json" :: file :: rest ->
+        o.json <- Some file;
+        go rest
+    | "--json" :: [] ->
+        prerr_endline "fsynlint: --json needs a file argument";
+        exit 2
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
         Printf.eprintf "fsynlint: unknown option %s\n%s" arg usage;
         exit 2
@@ -83,6 +93,47 @@ let parse_args argv =
 
 let hint = "      (run with --explain for the rule rationale)"
 
+let write_json o ?verdict findings =
+  match o.json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Lint.json_report ?verdict findings);
+      close_out oc
+
+(* "R6:2 R7:1" — totals per rule, in rule order, for the one-line
+   failure summary CI surfaces. *)
+let per_rule tally =
+  Lint.all_rules
+  |> List.filter_map (fun r ->
+         match tally r with
+         | 0 -> None
+         | n -> Some (Printf.sprintf "%s:%d" (Lint.rule_name r) n))
+  |> String.concat " "
+
+let fail_summary (v : Lint.verdict) =
+  let news r =
+    List.fold_left
+      (fun acc (r', _, fs) ->
+        if Lint.rule_equal r r' then acc + List.length fs else acc)
+      0 v.new_violations
+  in
+  let stale r =
+    List.fold_left
+      (fun acc (r', _, _, _) -> if Lint.rule_equal r r' then acc + 1 else acc)
+      0 v.stale
+  in
+  let parts = [] in
+  let parts =
+    if v.stale = [] then parts
+    else Printf.sprintf "stale entries %s" (per_rule stale) :: parts
+  in
+  let parts =
+    if v.new_violations = [] then parts
+    else Printf.sprintf "new violations %s" (per_rule news) :: parts
+  in
+  Printf.sprintf "fsynlint: FAIL — %s" (String.concat "; " parts)
+
 let () =
   let o = parse_args Sys.argv in
   let roots = if o.roots = [] then default_roots else List.rev o.roots in
@@ -93,6 +144,7 @@ let () =
         List.iter
           (fun f -> Format.printf "%a@." Lint.pp_finding f)
           findings;
+        write_json o findings;
         Printf.printf "fsynlint: %d finding(s) across %d rule/file pair(s)\n"
           (List.length findings)
           (Lint.KeyMap.cardinal (Lint.counts findings));
@@ -120,6 +172,7 @@ let () =
           let oc = open_out file in
           output_string oc (Lint.render_baseline (Lint.counts findings));
           close_out oc;
+          write_json o findings;
           Printf.printf "fsynlint: baseline %s updated (%d entries)\n" file
             (Lint.KeyMap.cardinal (Lint.counts findings));
           0
@@ -130,6 +183,7 @@ let () =
             List.iter
               (fun f -> Format.printf "%a@." Lint.pp_finding f)
               findings;
+            write_json o findings;
             if findings = [] then begin
               print_endline "fsynlint: clean";
               0
@@ -141,6 +195,7 @@ let () =
         | Some file ->
             let baseline = Lint.read_baseline file in
             let v = Lint.check ~baseline findings in
+            write_json o ~verdict:v findings;
             List.iter
               (fun (r, f, fs) ->
                 Printf.printf
@@ -172,7 +227,10 @@ let () =
                 (Lint.KeyMap.cardinal (Lint.counts findings));
               0
             end
-            else 1)
+            else begin
+              print_endline (fail_summary v);
+              1
+            end)
   with
   | code -> exit code
   | exception Lint.Parse_error msg ->

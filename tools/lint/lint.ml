@@ -17,81 +17,32 @@
    so the baseline can only shrink. *)
 
 (* ------------------------------------------------------------------ *)
-(* Rules                                                               *)
+(* Rules and findings (vocabulary lives in {!Rule})                    *)
 (* ------------------------------------------------------------------ *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+(* R1-R5 are the syntactic rules implemented below; R6-R9 are the
+   dataflow rules implemented in {!Dataflow}.  Both passes share the
+   rule identifiers, rationale text and finding record from {!Rule};
+   the re-export keeps this module the single public face. *)
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+type rule = Rule.t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let rule_name = function
-  | R1 -> "R1"
-  | R2 -> "R2"
-  | R3 -> "R3"
-  | R4 -> "R4"
-  | R5 -> "R5"
+let all_rules = Rule.all
+let rule_name = Rule.name
+let rule_of_name = Rule.of_name
+let rule_equal = Rule.equal
+let explain = Rule.explain
 
-let rule_of_name s =
-  match String.lowercase_ascii s with
-  | "r1" -> Some R1
-  | "r2" -> Some R2
-  | "r3" -> Some R3
-  | "r4" -> Some R4
-  | "r5" -> Some R5
-  | _ -> None
+type finding = Rule.finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
 
-let explain = function
-  | R1 ->
-      "R1 polymorphic-comparison: no `=`, `<>`, `compare` or `Hashtbl.hash` \
-       in wire-sensitive libraries (core, net, reconcile, hashing, rsync, \
-       delta).  Polymorphic comparison walks runtime representations, so \
-       its verdict depends on in-memory layout rather than the wire \
-       encoding both endpoints agreed on, and it is also slower than the \
-       monomorphic equivalent on hot paths.  Use `String.equal`, \
-       `Int.equal`, `Option.is_some`, a dedicated `equal`/`compare` for \
-       the type, or pattern matching.  Comparisons against immediate \
-       literals (`= 0`, `<> '\\n'`, `= true`, `= []`, `= ()`) are exempt: \
-       the compiler specializes them and no protocol type is involved."
-  | R2 ->
-      "R2 crash-point: no `failwith`, `invalid_arg`, `assert false`, \
-       `List.hd` or `Option.get` in library code.  Malformed or truncated \
-       input reaching a decode/receive path must surface as a typed \
-       `Fsync_core.Error`, never as an untyped exception that callers \
-       cannot distinguish from a bug."
-  | R3 ->
-      "R3 direct-output: no `Printf.printf`, `print_string`, `prerr_*` \
-       and friends in `lib/`.  Libraries report through `Fsync_net.Trace` \
-       (or return data); only binaries talk to stdout/stderr."
-  | R4 ->
-      "R4 missing-interface: every `lib/**/*.ml` has a corresponding \
-       `.mli`.  An unconstrained module leaks representation details the \
-       wire format must not depend on."
-  | R5 ->
-      "R5 codec-asymmetry: every top-level `write_x`/`put_x` in a \
-       wire-sensitive library has a matching `read_x`/`get_x` in the same \
-       module.  An encoder without its decoder is either dead weight or a \
-       message the peer cannot parse."
-
-(* ------------------------------------------------------------------ *)
-(* Findings                                                            *)
-(* ------------------------------------------------------------------ *)
-
-type finding = { rule : rule; file : string; line : int; col : int; msg : string }
-
-let finding_compare a b =
-  match String.compare a.file b.file with
-  | 0 -> (
-      match Int.compare a.line b.line with
-      | 0 -> (
-          match Int.compare a.col b.col with
-          | 0 -> String.compare (rule_name a.rule) (rule_name b.rule)
-          | c -> c)
-      | c -> c)
-  | c -> c
-
-let pp_finding ppf f =
-  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_name f.rule)
-    f.msg
+let finding_compare = Rule.compare_finding
+let pp_finding = Rule.pp_finding
 
 (* ------------------------------------------------------------------ *)
 (* Scope: which rules apply to which paths                             *)
@@ -117,9 +68,34 @@ let is_wire_sensitive path =
 
 let in_lib path = starts_with ~prefix:"lib/" path
 
+(* bin/ and bench/ handle the same protocol values as lib/ and acquire
+   the same fds, so R1/R2/R6/R7 apply; console I/O (R3) is their job. *)
+let in_bin_or_bench path =
+  starts_with ~prefix:"bin/" path || starts_with ~prefix:"bench/" path
+
+(* R8's scope is exactly the single-threaded select loop. *)
+let event_loop_files = [ "lib/server/daemon.ml"; "lib/server/conn.ml" ]
+
+(* R9: the crash-safe paths Fault_io must be able to intercept;
+   lib/store/io.ml is the sanctioned raw-syscall boundary. *)
+let io_mediated path =
+  (starts_with ~prefix:"lib/store/" path
+  || starts_with ~prefix:"lib/collection/" path)
+  && not (String.equal path "lib/store/io.ml")
+
+(* Files whose local get_*/read_* functions are wire readers — inside
+   them an unqualified reader call is an R7 taint source. *)
+let decode_modules =
+  [ "lib/server/msg.ml"; "lib/core/wire.ml"; "lib/net/frame.ml";
+    "lib/collection/meta_wire.ml" ]
+
 let rules_for path =
   (if is_wire_sensitive path then [ R1; R5 ] else [])
-  @ if in_lib path then [ R2; R3; R4 ] else []
+  @ (if in_lib path then [ R2; R3; R4 ] else [])
+  @ (if in_bin_or_bench path then [ R1; R2 ] else [])
+  @ (if in_lib path || in_bin_or_bench path then [ R6; R7 ] else [])
+  @ (if List.exists (String.equal path) event_loop_files then [ R8 ] else [])
+  @ if io_mediated path then [ R9 ] else []
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
@@ -381,7 +357,18 @@ let scan_structure ~path (str : structure) =
         check ~w:"put_" ~r:"get_"
       end)
     (List.rev !top_names);
-  !findings
+  (* Second pass: the R6-R9 dataflow engine, sharing scope and
+     [@fsynlint.allow] resolution with the syntactic rules above. *)
+  let dataflow =
+    Dataflow.scan_structure
+      { Dataflow.file = path;
+        enabled = (fun r -> List.exists (rule_equal r) applicable);
+        allows = allowed_rules_of_attrs;
+        decode_module = List.exists (String.equal path) decode_modules;
+        conn_io_ok = String.equal path "lib/server/conn.ml" }
+      str
+  in
+  dataflow @ !findings
 
 (* R4 plus parse validation for an interface: nothing inside an [.mli]
    can violate R1–R3 (no expressions), but it must parse. *)
@@ -535,8 +522,6 @@ type verdict = {
 
 let clean v = v.new_violations = [] && v.stale = []
 
-let rule_equal a b = String.equal (rule_name a) (rule_name b)
-
 let check ~baseline findings =
   let cur = counts findings in
   let keys =
@@ -575,3 +560,251 @@ let growth ~baseline findings =
       if c > b then k :: acc else acc)
     (counts findings) []
   |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* JSON report (CI artifact)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The schema is deliberately tiny — a top-level object with a version
+   tag, the full findings list, and (when a ratchet verdict is
+   attached) the delta CI failed on.  Both the emitter and the parser
+   are hand-rolled so the lint tool keeps its zero-dependency rule. *)
+
+let json_schema = "fsynlint-findings/1"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json f =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"msg\":\"%s\"}"
+    (rule_name f.rule) (json_escape f.file) f.line f.col (json_escape f.msg)
+
+let json_report ?verdict findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"%s\",\"findings\":[" json_schema);
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (finding_to_json f))
+    findings;
+  Buffer.add_char b ']';
+  (match verdict with
+  | None -> ()
+  | Some v ->
+      Buffer.add_string b ",\"new\":[";
+      let first = ref true in
+      List.iter
+        (fun (_, _, fs) ->
+          List.iter
+            (fun f ->
+              if not !first then Buffer.add_char b ',';
+              first := false;
+              Buffer.add_string b (finding_to_json f))
+            fs)
+        v.new_violations;
+      Buffer.add_string b "],\"stale\":[";
+      List.iteri
+        (fun i (r, file, base, cur) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"rule\":\"%s\",\"file\":\"%s\",\"baseline\":%d,\
+                \"current\":%d}"
+               (rule_name r) (json_escape file) base cur))
+        v.stale;
+      Buffer.add_char b ']');
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Minimal recursive-descent parser for exactly the values the emitter
+   produces (strings, integers, arrays, objects).  Anything else is a
+   Parse_error — the round-trip test is the contract. *)
+
+type json =
+  | Jstr of string
+  | Jint of int
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "json:%d: %s" !pos msg))
+  in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when Char.equal c c' -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char b '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char b '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char b '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | Some 'r' -> advance (); Buffer.add_char b '\r'; go ()
+          | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 ->
+                  Buffer.add_char b (Char.chr code)
+              | Some _ -> fail "non-ASCII \\u escape unsupported"
+              | None -> fail "malformed \\u escape");
+              go ()
+          | _ -> fail "unknown escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_int () =
+    let start = !pos in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let rec digits () =
+      match peek () with
+      | Some '0' .. '9' ->
+          advance ();
+          digits ()
+      | _ -> ()
+    in
+    digits ();
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some n -> n
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jlist []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Jlist (elems [])
+        end
+    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
+    | _ -> fail "expected a value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let findings_of_json text =
+  let fail msg = raise (Parse_error ("json: " ^ msg)) in
+  let obj = parse_json text in
+  match obj with
+  | Jobj members -> (
+      (match List.assoc_opt "schema" members with
+      | Some (Jstr s) when String.equal s json_schema -> ()
+      | Some (Jstr s) ->
+          fail (Printf.sprintf "unknown schema %S (want %S)" s json_schema)
+      | _ -> fail "missing schema tag");
+      match List.assoc_opt "findings" members with
+      | Some (Jlist fs) ->
+          List.map
+            (fun f ->
+              match f with
+              | Jobj m -> (
+                  let str k =
+                    match List.assoc_opt k m with
+                    | Some (Jstr s) -> s
+                    | _ -> fail (Printf.sprintf "finding lacks string %S" k)
+                  in
+                  let int k =
+                    match List.assoc_opt k m with
+                    | Some (Jint n) -> n
+                    | _ -> fail (Printf.sprintf "finding lacks int %S" k)
+                  in
+                  match rule_of_name (str "rule") with
+                  | Some rule ->
+                      { rule; file = str "file"; line = int "line";
+                        col = int "col"; msg = str "msg" }
+                  | None ->
+                      fail (Printf.sprintf "unknown rule %S" (str "rule")))
+              | _ -> fail "finding is not an object")
+            fs
+      | _ -> fail "missing findings array")
+  | _ -> fail "top level is not an object"

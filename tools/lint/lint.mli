@@ -1,10 +1,13 @@
 (** fsynlint — repo-specific static analysis for the fsync code base.
 
     Parses [.ml]/[.mli] files with compiler-libs and enforces the repo's
-    wire-determinism and crash-safety invariants (rules R1–R5), diffing
-    findings against a checked-in baseline ratchet.  See DESIGN.md §8. *)
+    wire-determinism and crash-safety invariants: syntactic rules R1–R5
+    plus the R6–R9 dataflow rules (resource leaks, tainted wire lengths,
+    event-loop blocking, Io-mediated syscalls) implemented in
+    {!Dataflow}.  Findings are diffed against a checked-in baseline
+    ratchet.  See DESIGN.md §8. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = Rule.t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 val all_rules : rule list
 val rule_name : rule -> string
@@ -14,7 +17,7 @@ val rule_equal : rule -> rule -> bool
 val explain : rule -> string
 (** One-paragraph rationale and remedy for a rule. *)
 
-type finding = {
+type finding = Rule.finding = {
   rule : rule;
   file : string;
   line : int;
@@ -81,3 +84,18 @@ val clean : verdict -> bool
 val growth : baseline:int KeyMap.t -> finding list -> Key.t list
 (** The (rule, file) keys a baseline update would {e grow} — used to
     refuse [--update-baseline] unless explicitly forced. *)
+
+(** {1 JSON report}
+
+    The CI artifact format, schema ["fsynlint-findings/1"]: a top-level
+    object carrying the full findings list and, when a ratchet verdict
+    is attached, the [new]/[stale] delta the run failed on. *)
+
+val json_schema : string
+
+val json_report : ?verdict:verdict -> finding list -> string
+(** Serialize findings (and optionally the ratchet delta) as JSON. *)
+
+val findings_of_json : string -> finding list
+(** Recover the [findings] array from a {!json_report} document.
+    @raise Parse_error on malformed input or an unknown schema tag. *)

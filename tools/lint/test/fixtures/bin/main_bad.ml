@@ -1,0 +1,6 @@
+(* Console output is bin/'s job (no R3), but R1/R2 still apply. *)
+
+let () =
+  print_endline "starting";
+  if Array.length Sys.argv < 2 then failwith "usage: main_bad ARG";
+  exit (compare (int_of_string Sys.argv.(1)) 3)

@@ -1,0 +1,3 @@
+(* lib/collection is inside R9's Io-mediation scope too. *)
+
+let ensure_dir path = Sys.mkdir path 0o755

@@ -1,0 +1,1 @@
+val ensure_dir : string -> unit

@@ -1,0 +1,2 @@
+val entry_bytes : string -> int -> int option
+val read_payload : string -> int -> bytes * int

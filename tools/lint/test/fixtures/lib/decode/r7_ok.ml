@@ -1,0 +1,11 @@
+(* R7 true negatives: guarded and clamped lengths. *)
+
+let read_string s pos limit =
+  let len, pos = Varint.read s ~pos in
+  if len < 0 || len > limit then None
+  else Some (Bytes.create len, pos)
+
+let read_clamped s pos =
+  let len, _ = Varint.read s ~pos in
+  let len = min len 4096 in
+  Bytes.create len

@@ -1,0 +1,2 @@
+val read_string : string -> int -> int -> (bytes * int) option
+val read_clamped : string -> int -> bytes

@@ -1,0 +1,13 @@
+(* A binding-level allow scopes over its whole body, nested lets
+   included; the sibling binding below stays checked. *)
+
+let sanctioned path =
+  let outer = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let inner = Unix.dup outer in
+  Unix.read inner (Bytes.create 4) 0 4
+[@@fsynlint.allow "r6"]
+
+let unsanctioned path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create 4 in
+  Unix.read fd buf 0 4

@@ -1,0 +1,2 @@
+val sanctioned : string -> int
+val unsanctioned : string -> int

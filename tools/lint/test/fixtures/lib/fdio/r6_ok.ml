@@ -1,0 +1,20 @@
+(* R6 true negatives: protected, every-path, and handed-off fds. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let connect addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd addr;
+    fd
+  with e ->
+    Unix.close fd;
+    raise e
+
+let stash slot path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  slot := Some fd

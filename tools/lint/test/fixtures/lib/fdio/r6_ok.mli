@@ -1,0 +1,3 @@
+val read_all : string -> string
+val connect : Unix.sockaddr -> Unix.file_descr
+val stash : Unix.file_descr option ref -> string -> unit

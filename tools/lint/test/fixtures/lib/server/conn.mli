@@ -1,0 +1,1 @@
+val pump : Unix.file_descr -> bytes -> int

@@ -1,0 +1,9 @@
+(* R8: nothing in the event loop may block. *)
+
+let pump fd buf =
+  Unix.sleepf 0.01;
+  let n = Unix.read fd buf 0 (Bytes.length buf) in
+  let _ = Unix.select [ fd ] [] [] (-1.0) in
+  n
+
+let nap () = (Unix.sleepf 0.1 [@fsynlint.allow "r8"])

@@ -1,0 +1,2 @@
+val pump : Unix.file_descr -> bytes -> int
+val nap : unit -> unit

@@ -1,0 +1,4 @@
+(* The sanctioned raw-syscall boundary: R9 exempts lib/store/io.ml. *)
+
+let rename src dst = Unix.rename src dst
+let remove path = Sys.remove path

@@ -1,0 +1,2 @@
+val rename : string -> string -> unit
+val remove : string -> unit

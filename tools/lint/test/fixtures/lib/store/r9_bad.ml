@@ -1,0 +1,14 @@
+(* R9: mutating syscalls in store/collection must go through Io. *)
+
+let swap src dst =
+  Unix.rename src dst;
+  Sys.remove src
+
+let scribble path =
+  let oc = open_out_bin path in
+  output_string oc "x";
+  close_out oc
+
+let touch path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Unix.close fd

@@ -1,0 +1,3 @@
+val swap : string -> string -> unit
+val scribble : string -> unit
+val touch : string -> unit
