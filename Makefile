@@ -43,7 +43,7 @@ bench-smoke:
 # run four concurrent `fsync pull`s (one through an injected-fault link),
 # verify the replicas byte-for-byte and shut the daemon down cleanly.
 serve-smoke:
-	dune build bin/fsync.exe
+	dune build bin/fsync.exe tools/benchjson/benchjson.exe
 	sh tools/serve_smoke.sh
 
 examples:

@@ -514,12 +514,51 @@ let serve_cmd =
                 it, and signature-cache vectors persist under it so a \
                 restarted daemon warm-starts.")
   in
+  let admin_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:"Serve an admin socket on this port (0 picks an ephemeral \
+                one) inside the same event loop: one framed 'metrics' \
+                request returns a live Prometheus exposition, 'status' a \
+                fsyncd-status/1 JSON document.  Implies --metrics.")
+  in
+  let event_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "event-log" ] ~docv:"FILE"
+          ~doc:"Append structured JSONL lifecycle events (session start/end/\
+                shed/timeout/resume, slow sessions) to $(docv).")
+  in
+  let event_log_max_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "event-log-max-bytes" ] ~docv:"BYTES"
+          ~doc:"Rotate the event log (FILE -> FILE.1) when it would exceed \
+                $(docv); 0 (default) never rotates.")
+  in
+  let slow_session_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-session" ] ~docv:"SECONDS"
+          ~doc:"Emit a slow_session event for sessions lasting longer than \
+                $(docv) (requires --event-log).")
+  in
   let run root host port max_sessions session_timeout_s cache_entries quiet
-      store_dir metrics trace_json =
+      store_dir admin_port event_log event_log_max_bytes slow_session metrics
+      trace_json =
     if not quiet then log_to_stderr ();
     let files =
       Fsync_collection.Snapshot.files (Fsync_collection.Snapshot.load_dir root)
     in
+    (* An admin socket without a registry would only see the native
+       counters; force one so scrapes get the full series set.  The
+       daemon's --trace-json streams per-session registries instead of
+       dumping the shared one at exit. *)
+    let metrics = metrics || Option.is_some admin_port in
     let reg, scope = make_obs ~metrics ~trace_json in
     let config =
       {
@@ -539,10 +578,25 @@ let serve_cmd =
               (Fsync_core.Error.to_string e) )
     | store -> (
         let daemon = Fsync_server.Daemon.create ~config ~scope ?store files in
+        Option.iter
+          (fun path ->
+            Fsync_server.Daemon.set_event_log daemon
+              ~max_bytes:event_log_max_bytes ?slow_s:slow_session path)
+          event_log;
+        Option.iter
+          (fun path -> Fsync_server.Daemon.set_trace_stream daemon path)
+          trace_json;
         match Fsync_server.Daemon.listen daemon ~host ~port with
         | actual_port ->
             Printf.eprintf "fsyncd: serving %d files from %s on %s:%d\n%!"
               (List.length files) root host actual_port;
+            Option.iter
+              (fun p ->
+                let admin_port =
+                  Fsync_server.Daemon.admin_listen daemon ~host ~port:p
+                in
+                Printf.eprintf "fsyncd: admin on %s:%d\n%!" host admin_port)
+              admin_port;
             Option.iter
               (fun s ->
                 Printf.eprintf
@@ -563,6 +617,15 @@ let serve_cmd =
               st.Fsync_server.Daemon.accepted st.Fsync_server.Daemon.completed
               st.Fsync_server.Daemon.failed st.Fsync_server.Daemon.timeouts
               st.Fsync_server.Daemon.shed;
+            if st.Fsync_server.Daemon.admin_requests > 0
+               || st.Fsync_server.Daemon.admin_errors > 0
+            then
+              Format.printf "admin: %d requests, %d hostile/errored@."
+                st.Fsync_server.Daemon.admin_requests
+                st.Fsync_server.Daemon.admin_errors;
+            let log_errors = Fsync_server.Daemon.event_log_errors daemon in
+            if log_errors > 0 then
+              Format.printf "event log: %d write errors absorbed@." log_errors;
             if st.Fsync_server.Daemon.sig_persist_errors > 0 then
               Format.printf "sig persist errors: %d@."
                 st.Fsync_server.Daemon.sig_persist_errors;
@@ -585,7 +648,9 @@ let serve_cmd =
                   ss.Fsync_store.Store.bytes_deduped;
                 Fsync_store.Store.close s)
               store;
-            emit_obs ~metrics ~trace_json reg;
+            (* trace_json was consumed by the per-session stream above;
+               only the --metrics exposition prints here. *)
+            emit_obs ~metrics ~trace_json:None reg;
             `Ok ()
         | exception Unix.Unix_error (e, _, _) ->
             Option.iter Fsync_store.Store.close store;
@@ -598,7 +663,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ root_arg $ host_arg $ port_arg $ max_sessions_arg
-       $ timeout_arg $ cache_arg $ quiet_arg $ store_arg $ metrics_arg
+       $ timeout_arg $ cache_arg $ quiet_arg $ store_arg $ admin_port_arg
+       $ event_log_arg $ event_log_max_arg $ slow_session_arg $ metrics_arg
        $ trace_json_arg))
   in
   Cmd.v
@@ -663,8 +729,10 @@ let pull_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event logging.")
   in
-  let run (host, port) dir apply fault seed attempts idle_timeout_s quiet =
+  let run (host, port) dir apply fault seed attempts idle_timeout_s quiet
+      metrics trace_json =
     if not quiet then log_to_stderr ();
+    let reg, scope = make_obs ~metrics ~trace_json in
     (* A crash during a previous [--apply] leaves a staging journal;
        repair it before trusting the directory's contents as the old
        replica. *)
@@ -683,8 +751,8 @@ let pull_cmd =
       else []
     in
     match
-      Fsync_server.Pull.run ~attempts ?fault ~seed ~idle_timeout_s ~host
-        ~port old_files
+      Fsync_server.Pull.run ~attempts ?fault ~seed ~idle_timeout_s ~scope
+        ~host ~port old_files
     with
     | r ->
         let total_new =
@@ -709,6 +777,7 @@ let pull_cmd =
           Format.printf "replica updated (%d written, %d deleted)@."
             st.Fsync_collection.Apply.wrote st.Fsync_collection.Apply.deleted
         end;
+        emit_obs ~metrics ~trace_json reg;
         `Ok ()
     | exception Fsync_core.Error.E e ->
         `Error
@@ -723,7 +792,8 @@ let pull_cmd =
     Term.(
       ret
         (const run $ addr_arg $ dir_arg $ apply_arg $ faults_arg $ seed_arg
-       $ attempts_arg $ timeout_arg $ quiet_arg))
+       $ attempts_arg $ timeout_arg $ quiet_arg $ metrics_arg
+       $ trace_json_arg))
   in
   Cmd.v
     (Cmd.info "pull"
@@ -758,13 +828,15 @@ let push_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event logging.")
   in
-  let run (host, port) dir attempts idle_timeout_s quiet =
+  let run (host, port) dir attempts idle_timeout_s quiet metrics trace_json =
     if not quiet then log_to_stderr ();
+    let reg, scope = make_obs ~metrics ~trace_json in
     let files =
       Fsync_collection.Snapshot.files (Fsync_collection.Snapshot.load_dir dir)
     in
     match
-      Fsync_server.Push.run ~attempts ~idle_timeout_s ~host ~port files
+      Fsync_server.Push.run ~attempts ~idle_timeout_s ~scope ~host ~port
+        files
     with
     | r ->
         let s = r.Fsync_server.Push.stats in
@@ -775,6 +847,7 @@ let push_cmd =
           s.Fsync_server.Pusher.chunks_sent s.Fsync_server.Pusher.chunks_total
           s.Fsync_server.Pusher.bytes_deduped r.Fsync_server.Push.c2s_bytes
           r.Fsync_server.Push.s2c_bytes;
+        emit_obs ~metrics ~trace_json reg;
         `Ok ()
     | exception Fsync_core.Error.E e ->
         `Error
@@ -789,7 +862,7 @@ let push_cmd =
     Term.(
       ret
         (const run $ addr_arg $ dir_arg $ attempts_arg $ timeout_arg
-       $ quiet_arg))
+       $ quiet_arg $ metrics_arg $ trace_json_arg))
   in
   Cmd.v
     (Cmd.info "push"
@@ -869,6 +942,175 @@ let store_cmd =
        ~doc:"Inspect and maintain a persistent chunk store.")
     [ store_stats_cmd; store_fsck_cmd; store_gc_cmd ]
 
+(* ---- admin / top / trace: the telemetry plane ---- *)
+
+let admin_addr_arg =
+  Arg.(
+    required
+    & pos 0 (some host_port_conv) None
+    & info [] ~docv:"HOST:PORT"
+        ~doc:"Admin address printed by $(b,fsync serve --admin-port).")
+
+let admin_errmsg ~host ~port = function
+  | Fsync_core.Error.E e ->
+      Printf.sprintf "admin %s:%d: %s" host port
+        (Fsync_core.Error.to_string e)
+  | Unix.Unix_error (err, _, _) ->
+      Printf.sprintf "admin %s:%d: %s" host port (Unix.error_message err)
+  | e -> Printf.sprintf "admin %s:%d: %s" host port (Printexc.to_string e)
+
+let admin_cmd =
+  let what_arg =
+    Arg.(
+      value
+      & pos 1 (enum [ ("status", "status"); ("metrics", "metrics") ]) "status"
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "$(b,metrics) for the Prometheus text exposition, $(b,status) \
+             for the fsyncd-status/1 JSON document.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up waiting for the reply after this long.")
+  in
+  let run (host, port) what timeout_s =
+    match Fsync_server.Admin.request ~timeout_s ~host ~port what with
+    | reply ->
+        print_string reply;
+        if
+          String.length reply > 0
+          && reply.[String.length reply - 1] <> '\n'
+        then print_newline ();
+        `Ok ()
+    | exception e -> `Error (false, admin_errmsg ~host ~port e)
+  in
+  Cmd.v
+    (Cmd.info "admin"
+       ~doc:
+         "One framed request against a daemon's admin socket; prints the \
+          reply verbatim.")
+    Term.(ret (const run $ admin_addr_arg $ what_arg $ timeout_arg))
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between refreshes.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes (0 = run until interrupted); \
+             with a finite count the screen is not cleared, so the last \
+             table survives in the scrollback.")
+  in
+  let module J = Fsync_obs.Json in
+  let mem name j = Option.value ~default:J.Null (J.member name j) in
+  let str name j = Option.value ~default:"-" (J.to_string_opt (mem name j)) in
+  let num name j = Option.value ~default:0.0 (J.to_float_opt (mem name j)) in
+  let int name j = Option.value ~default:0 (J.to_int_opt (mem name j)) in
+  let render ~clear ~host ~port doc =
+    if clear then print_string "\027[2J\027[H";
+    let sessions = mem "sessions" doc in
+    Printf.printf
+      "fsyncd %s:%d  up %.0f s  active %d  accepted %d  completed %d  \
+       failed %d  shed %d\n"
+      host port (num "uptime_s" doc) (int "active" sessions)
+      (int "accepted" sessions) (int "completed" sessions)
+      (int "failed" sessions) (int "shed" sessions);
+    Printf.printf "%-21s %-9s %-12s %7s %7s %11s %11s %11s\n" "PEER" "TRACE"
+      "PHASE" "AGE" "IDLE" "IN" "OUT" "OUT/S";
+    (match mem "active_sessions" doc with
+    | J.List rows ->
+        List.iter
+          (fun row ->
+            let age = num "age_s" row in
+            let out = int "bytes_out" row in
+            let rate = if age > 0.0 then float_of_int out /. age else 0.0 in
+            let trace =
+              let t = str "trace" row in
+              if String.length t > 8 then String.sub t 0 8 else t
+            in
+            Printf.printf "%-21s %-9s %-12s %7.1f %7.1f %11d %11d %11.0f\n"
+              (str "peer" row) trace (str "phase" row) age (num "idle_s" row)
+              (int "bytes_in" row) out rate)
+          rows
+    | _ -> ());
+    flush stdout
+  in
+  let run (host, port) interval count =
+    let clear = count = 0 in
+    let rec loop n =
+      match Fsync_server.Admin.status ~host ~port () with
+      | exception e -> `Error (false, admin_errmsg ~host ~port e)
+      | doc ->
+          render ~clear ~host ~port doc;
+          if count > 0 && n + 1 >= count then `Ok ()
+          else begin
+            Unix.sleepf interval;
+            loop (n + 1)
+          end
+    in
+    loop 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a daemon's admin socket and render a refreshing table of \
+          active sessions (peer, trace id, live phase, age, bytes, rate).")
+    Term.(ret (const run $ admin_addr_arg $ interval_arg $ count_arg))
+
+let trace_report_cmd =
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all non_dir_file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace-tagged JSONL streams: the client's $(b,--trace-json) \
+             file and the daemon's $(b,serve --trace-json) stream.")
+  in
+  let read_lines path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let run files =
+    let lines = List.concat_map read_lines files in
+    match Fsync_obs.Trace_report.of_lines lines with
+    | Error e -> `Error (false, Printf.sprintf "trace report: %s" e)
+    | Ok [] -> `Error (false, "trace report: no trace events found")
+    | Ok sessions ->
+        List.iter
+          (fun s -> Format.printf "%a@." Fsync_obs.Trace_report.pp s)
+          sessions;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Join client and daemon trace streams by trace id into \
+          per-session phase-latency and byte breakdowns.")
+    Term.(ret (const run $ files_arg))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Work with --trace-json event streams (DESIGN.md \194\1679).")
+    [ trace_report_cmd ]
+
 (* ---- info ---- *)
 
 let info_cmd =
@@ -892,6 +1134,9 @@ let main =
       pull_cmd;
       push_cmd;
       store_cmd;
+      admin_cmd;
+      top_cmd;
+      trace_cmd;
       info_cmd;
     ]
 

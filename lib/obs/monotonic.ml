@@ -1,0 +1,19 @@
+(* The paper's accounting is all durations — span latencies,
+   [session_duration_s] — and wall clocks jump: NTP steps, manual
+   resets, leap smearing.  Without [CLOCK_MONOTONIC] bindings in the
+   stdlib the portable fix is clamping: read the wall clock and never
+   let the reported value go backwards.  A backward step freezes the
+   clock until real time catches up (durations across the step read
+   short, not negative), a forward step passes through — exactly the
+   failure containment span math needs. *)
+
+let wrap base =
+  let last = ref neg_infinity in
+  fun () ->
+    let t = base () in
+    if t > !last then last := t;
+    !last
+
+(* One process-wide clock so every registry, the daemon's timeout
+   arithmetic and the span exporters agree on "now". *)
+let now = wrap Unix.gettimeofday

@@ -1,0 +1,15 @@
+(** Non-decreasing clock over [Unix.gettimeofday].
+
+    The stdlib exposes no [CLOCK_MONOTONIC]; this is the portable
+    approximation: a wall-clock read clamped so successive calls never
+    go backwards.  Span timing and [session_duration_s] use it so an
+    NTP step mid-session cannot produce a negative duration (DESIGN.md
+    §9); tests keep injecting their own deterministic clocks through
+    the existing [?clock] seams. *)
+
+val now : unit -> float
+(** The shared process-wide clamped clock. *)
+
+val wrap : (unit -> float) -> unit -> float
+(** [wrap base] is an independent clamped clock over [base] — what
+    tests use to check the clamp against a rigged base clock. *)

@@ -21,10 +21,11 @@ type t = {
   mutable spans : span list; (* creation order, reversed *)
   mutable open_stack : span list; (* innermost first *)
   mutable next_span : int;
+  mutable tag : (string * string) option; (* (trace id hex, role) *)
 }
 
 let create ?clock () =
-  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let clock = match clock with Some c -> c | None -> Monotonic.now in
   {
     clock;
     origin = clock ();
@@ -34,7 +35,18 @@ let create ?clock () =
     spans = [];
     open_stack = [];
     next_span = 0;
+    tag = None;
   }
+
+(* ---- trace tagging ---- *)
+
+(* One daemon appends many sessions' events to the same JSONL stream;
+   stamping every event (not just the meta header) keeps each line
+   self-describing, so a report can group a mixed file without carrying
+   parser state between lines. *)
+let set_trace t ~trace ~role = t.tag <- Some (trace, role)
+
+let trace_tag t = t.tag
 
 (* ---- counters / gauges / histograms ---- *)
 
@@ -122,8 +134,19 @@ let prom_name name =
   "fsync_" ^ Bytes.to_string b
 
 let jsonl_events t =
+  let tagged fields =
+    match t.tag with
+    | None -> Json.Obj fields
+    | Some (trace, role) ->
+        Json.Obj
+          (match fields with
+          | ty :: rest ->
+              ty :: ("trace", Json.String trace)
+              :: ("role", Json.String role) :: rest
+          | [] -> [ ("trace", Json.String trace); ("role", Json.String role) ])
+  in
   let meta =
-    Json.Obj
+    tagged
       [
         ("type", Json.String "meta");
         ("origin_s", Json.Float t.origin);
@@ -133,7 +156,7 @@ let jsonl_events t =
   let span_events =
     List.map
       (fun s ->
-        Json.Obj
+        tagged
           [
             ("type", Json.String "span");
             ("id", Json.Int s.id);
@@ -150,7 +173,7 @@ let jsonl_events t =
   let counter_events =
     List.map
       (fun (name, v) ->
-        Json.Obj
+        tagged
           [
             ("type", Json.String "counter");
             ("name", Json.String name);
@@ -161,7 +184,7 @@ let jsonl_events t =
   let gauge_events =
     List.map
       (fun (name, v) ->
-        Json.Obj
+        tagged
           [
             ("type", Json.String "gauge");
             ("name", Json.String name);
@@ -176,7 +199,7 @@ let jsonl_events t =
         | None -> None
         | Some (s : Stats.summary) ->
             Some
-              (Json.Obj
+              (tagged
                  [
                    ("type", Json.String "histogram");
                    ("name", Json.String name);
@@ -202,36 +225,68 @@ let to_jsonl t =
     (jsonl_events t);
   Buffer.contents buf
 
+(* Default histogram bucket bounds, in the unit the observation was
+   made in (seconds for the duration histograms).  A scraper only sees
+   cumulative buckets, so the raw observation lists kept per histogram
+   are binned at export time — no bucket state to maintain on the hot
+   observe path. *)
+let default_buckets =
+  [
+    0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0;
+    10.0; 30.0; 60.0;
+  ]
+
+(* Shortest decimal that still round-trips: bucket bounds like 0.0025
+   must not scrape as 0.0025000000000000001. *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else if Float.is_nan v || Float.abs v = Float.infinity then
+    Json.to_string (Json.Float v)
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
 let to_prometheus t =
   let buf = Buffer.create 1024 in
+  let header p kind =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s fsync %s %s\n# TYPE %s %s\n" p kind p p kind)
+  in
   List.iter
     (fun (name, v) ->
       let p = prom_name name in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" p p v))
+      header p "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" p v))
     (counters t);
   List.iter
     (fun (name, v) ->
       let p = prom_name name in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" p p (Json.to_string (Json.Float v))))
+      header p "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" p (prom_float v)))
     (gauges t);
+  (* Real cumulative histogram series (_bucket/_sum/_count), binned from
+     the raw observations — what a Prometheus scraper can aggregate,
+     unlike the pre-quantiled summary this used to emit. *)
   List.iter
-    (fun (name, summary) ->
-      match summary with
-      | None -> ()
-      | Some (s : Stats.summary) ->
+    (fun (name, obs) ->
+      match obs with
+      | [] -> ()
+      | obs ->
           let p = prom_name name in
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" p);
+          header p "histogram";
+          let count = List.length obs in
+          let sum = List.fold_left ( +. ) 0.0 obs in
           List.iter
-            (fun (q, v) ->
+            (fun le ->
+              let n = List.length (List.filter (fun v -> v <= le) obs) in
               Buffer.add_string buf
-                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" p q
-                   (Json.to_string (Json.Float v))))
-            [ ("0.5", s.p50); ("0.9", s.p90); ("0.99", s.p99) ];
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" p (prom_float le)
+                   n))
+            default_buckets;
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n%s_count %d\n" p
-               (Json.to_string (Json.Float s.total))
-               p s.count))
-    (histograms t);
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n"
+               p count p (prom_float sum) p count))
+    (sorted_bindings t.hists (fun r -> List.rev !r));
   (* Per-name span aggregates: how long each phase took in total. *)
   let agg = Hashtbl.create 16 in
   List.iter
@@ -246,10 +301,9 @@ let to_prometheus t =
   List.iter
     (fun (name, (count, sum)) ->
       let p = prom_name ("span_" ^ name ^ "_seconds") in
+      header p "summary";
       Buffer.add_string buf
-        (Printf.sprintf "# TYPE %s summary\n%s_sum %s\n%s_count %d\n" p p
-           (Json.to_string (Json.Float sum))
-           p count))
+        (Printf.sprintf "%s_sum %s\n%s_count %d\n" p (prom_float sum) p count))
     (sorted_bindings agg (fun v -> v));
   Buffer.contents buf
 

@@ -31,8 +31,17 @@ type span = {
 }
 
 val create : ?clock:(unit -> float) -> unit -> t
-(** Fresh registry.  [clock] defaults to [Unix.gettimeofday]; tests
-    inject a deterministic clock. *)
+(** Fresh registry.  [clock] defaults to {!Monotonic.now} (wall clock
+    clamped non-decreasing, so span and duration math survives clock
+    steps); tests inject a deterministic clock. *)
+
+val set_trace : t -> trace:string -> role:string -> unit
+(** Stamp every exported event with a trace id (hex) and a role
+    (["client"] / ["server"]).  This is how one session's client and
+    daemon event streams stay joinable by [fsync trace report]. *)
+
+val trace_tag : t -> (string * string) option
+(** The [(trace, role)] set by {!set_trace}, if any. *)
 
 (** {2 Counters, gauges, histograms} *)
 
@@ -79,16 +88,19 @@ val span_count : t -> int
 
 val jsonl_events : t -> Json.t list
 (** One event per line of {!to_jsonl}: a [meta] header, then [span],
-    [counter], [gauge] and [histogram] events. *)
+    [counter], [gauge] and [histogram] events.  When {!set_trace} was
+    called, every event carries ["trace"] and ["role"] fields. *)
 
 val to_jsonl : t -> string
 (** JSONL event stream — what [--trace-json FILE] writes. *)
 
 val to_prometheus : t -> string
-(** Prometheus text exposition: counters, gauges, histogram summaries
-    with p50/p90/p99 quantiles, and per-name span time aggregates.
-    Metric names are prefixed [fsync_] and sanitized to
-    [[a-zA-Z0-9_]]. *)
+(** Scrape-grade Prometheus text exposition: [# HELP] / [# TYPE] lines
+    for every series; counters and gauges as-is; histograms as real
+    cumulative [_bucket{le="..."}] series (default bounds 1 ms – 60 s
+    plus [+Inf]) with [_sum] / [_count]; and per-name span time
+    aggregates as summaries.  Metric names are prefixed [fsync_] and
+    sanitized to [[a-zA-Z0-9_]]. *)
 
 val pp_table : Format.formatter -> t -> unit
 (** Human-readable name/value table (folded into the driver summary

@@ -1,0 +1,46 @@
+(* A trace id is 16 opaque bytes, minted client-side and carried in
+   [Hello] so both endpoints of one fsyncd/1 session stamp their events
+   with the same value.  Collision resistance only needs to cover the
+   sessions one daemon ever sees; digesting time, pid and a process
+   counter is ample and avoids seeding global [Random] state. *)
+
+type t = string
+
+let size = 16
+
+let counter = ref 0
+
+let mint () =
+  incr counter;
+  Digest.string
+    (Printf.sprintf "fsync-trace:%.9f:%d:%d"
+       (Unix.gettimeofday ())
+       (Unix.getpid ())
+       !counter)
+
+let of_raw s = if Int.equal (String.length s) size then Some s else None
+
+let to_raw t = t
+
+let to_hex = Digest.to_hex
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let of_hex s =
+  if not (Int.equal (String.length s) (2 * size)) then None
+  else
+    let b = Bytes.create size in
+    let ok = ref true in
+    for i = 0 to size - 1 do
+      match (hex_val s.[2 * i], hex_val s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string b) else None
+
+let equal = String.equal

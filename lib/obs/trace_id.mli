@@ -1,0 +1,28 @@
+(** 16-byte session trace ids (DESIGN.md §9).
+
+    The client mints one per pull/push run and carries it in the
+    protocol [Hello]; the server adopts it (or mints its own for a
+    v1 client that sent none), so the client's [--trace-json] stream
+    and the daemon's per-session stream tag their events with the same
+    id and [fsync trace report] can join them. *)
+
+type t = private string
+(** Exactly {!size} raw bytes. *)
+
+val size : int
+(** 16. *)
+
+val mint : unit -> t
+(** A fresh id: time, pid and a process-local counter, digested. *)
+
+val of_raw : string -> t option
+(** [None] unless the string is exactly {!size} bytes. *)
+
+val to_raw : t -> string
+
+val to_hex : t -> string
+(** 32 lowercase hex characters — the form events and reports use. *)
+
+val of_hex : string -> t option
+
+val equal : t -> t -> bool

@@ -1,0 +1,204 @@
+(* Merge trace-tagged JSONL event streams into per-session phase
+   breakdowns.
+
+   The client's [--trace-json FILE] and the daemon's per-session stream
+   both emit {!Registry.to_jsonl} lines stamped with the same trace id
+   (carried by the protocol [Hello]); feeding every line from both
+   files here groups them back into one session per trace id, with one
+   row per (role, phase).  Everything is computed from the span events
+   alone, so partial traces (a crashed session's spans export with null
+   end times) still produce a report instead of an error. *)
+
+type phase = {
+  p_role : string;
+  p_name : string;
+  p_total_s : float;
+  p_spans : int;
+}
+
+type session = {
+  trace : string; (* hex id; "" groups untagged events *)
+  roles : string list;
+  wall_s : float; (* total time under "session" spans, max over roles *)
+  phases : phase list;
+  counters : (string * string * int) list; (* (role, name, value) *)
+  coverage : float; (* worst-role phase-time / session-time, in [0,1] *)
+}
+
+type raw_span = { s_name : string; s_start : float; s_end : float option }
+
+let epsilon = 1e-9
+
+let str_field name ev =
+  match Option.bind (Json.member name ev) Json.to_string_opt with
+  | Some s -> s
+  | None -> ""
+
+let float_field name ev = Option.bind (Json.member name ev) Json.to_float_opt
+
+(* A span's effective end: its own, or the latest end seen in its
+   group (an open span in a crashed trace is read as running until the
+   group's last event), or its own start when nothing ever closed. *)
+let span_end ~group_end s =
+  match s.s_end with Some e -> e | None -> max s.s_start group_end
+
+let is_phase name =
+  String.length name >= 6 && String.equal (String.sub name 0 6) "phase:"
+
+let group_by key items =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt tbl k with
+      | Some r -> r := item :: !r
+      | None ->
+          order := k :: !order;
+          Hashtbl.replace tbl k (ref [ item ]))
+    items;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+let role_report role events =
+  let spans =
+    List.filter_map
+      (fun ev ->
+        match str_field "type" ev with
+        | "span" -> (
+            match float_field "start_s" ev with
+            | None -> None
+            | Some s_start ->
+                Some
+                  {
+                    s_name = str_field "name" ev;
+                    s_start;
+                    s_end = float_field "end_s" ev;
+                  })
+        | _ -> None)
+      events
+  in
+  let counters =
+    List.filter_map
+      (fun ev ->
+        match str_field "type" ev with
+        | "counter" -> (
+            match
+              Option.bind (Json.member "value" ev) Json.to_int_opt
+            with
+            | Some v -> Some (role, str_field "name" ev, v)
+            | None -> None)
+        | _ -> None)
+      events
+  in
+  let group_end =
+    List.fold_left
+      (fun acc s ->
+        max acc (match s.s_end with Some e -> e | None -> s.s_start))
+      neg_infinity spans
+  in
+  (* Session time: the sum over "session" root spans (a retried run
+     appends one per attempt).  Traces from code that opened no session
+     span fall back to the overall event extent. *)
+  let dur s = max 0.0 (span_end ~group_end s -. s.s_start) in
+  let session_spans =
+    List.filter (fun s -> String.equal s.s_name "session") spans
+  in
+  let session_s =
+    match session_spans with
+    | _ :: _ -> List.fold_left (fun acc s -> acc +. dur s) 0.0 session_spans
+    | [] -> (
+        match spans with
+        | [] -> 0.0
+        | _ :: _ ->
+            let start =
+              List.fold_left (fun acc s -> min acc s.s_start) infinity spans
+            in
+            max 0.0 (group_end -. start))
+  in
+  let phases =
+    group_by
+      (fun s -> s.s_name)
+      (List.filter
+         (fun s -> is_phase s.s_name || String.equal s.s_name "store:io")
+         spans)
+    |> List.map (fun (name, ss) ->
+           {
+             p_role = role;
+             p_name = name;
+             p_total_s = List.fold_left (fun acc s -> acc +. dur s) 0.0 ss;
+             p_spans = List.length ss;
+           })
+  in
+  let phase_s =
+    List.fold_left
+      (fun acc p -> if is_phase p.p_name then acc +. p.p_total_s else acc)
+      0.0 phases
+  in
+  let coverage =
+    if session_s < epsilon then 1.0 else min 1.0 (phase_s /. session_s)
+  in
+  (phases, counters, session_s, coverage)
+
+let of_events events =
+  group_by (str_field "trace") events
+  |> List.map (fun (trace, evs) ->
+         let per_role =
+           group_by (str_field "role") evs
+           |> List.map (fun (role, revs) -> (role, role_report role revs))
+         in
+         {
+           trace;
+           roles = List.map fst per_role;
+           wall_s =
+             List.fold_left
+               (fun acc (_, (_, _, s, _)) -> max acc s)
+               0.0 per_role;
+           phases = List.concat_map (fun (_, (ps, _, _, _)) -> ps) per_role;
+           counters = List.concat_map (fun (_, (_, cs, _, _)) -> cs) per_role;
+           coverage =
+             List.fold_left
+               (fun acc (_, (_, _, _, c)) -> min acc c)
+               1.0 per_role;
+         })
+
+let of_lines lines =
+  let rec parse i acc = function
+    | [] -> Ok (of_events (List.rev acc))
+    | line :: rest -> (
+        match String.trim line with
+        | "" -> parse (i + 1) acc rest
+        | line -> (
+            match Json.parse line with
+            | Ok ev -> parse (i + 1) (ev :: acc) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" i e)))
+  in
+  parse 1 [] lines
+
+let pp ppf s =
+  let id = if String.equal s.trace "" then "(untagged)" else s.trace in
+  Format.fprintf ppf "@[<v>trace %s  roles: %s@ " id
+    (String.concat ", "
+       (List.map (fun r -> if String.equal r "" then "?" else r) s.roles));
+  Format.fprintf ppf "  wall %.6f s, phase coverage %.1f%%" s.wall_s
+    (100.0 *. s.coverage);
+  let width =
+    List.fold_left (fun w p -> max w (String.length p.p_name)) 0 s.phases
+  in
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@   %-8s %-*s %10.6f s%s" p.p_role width p.p_name
+        p.p_total_s
+        (if s.wall_s > epsilon && is_phase p.p_name then
+           Printf.sprintf "  %5.1f%%" (100.0 *. p.p_total_s /. s.wall_s)
+         else ""))
+    s.phases;
+  List.iter
+    (fun (role, grouped) ->
+      Format.fprintf ppf "@   %-8s %s" role
+        (String.concat ", "
+           (List.map
+              (fun (_, name, v) -> Printf.sprintf "%s=%d" name v)
+              grouped)))
+    (group_by (fun (role, _, _) -> role) s.counters
+    |> List.map (fun (role, cs) -> (role, cs)));
+  Format.fprintf ppf "@]"

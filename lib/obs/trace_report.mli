@@ -1,0 +1,39 @@
+(** Merge trace-tagged JSONL event streams into per-session reports.
+
+    The back end of [fsync trace report]: feed it every line of the
+    client's [--trace-json] file and the daemon's per-session stream,
+    and events group by their ["trace"] id into one {!session} each —
+    client and server spans side by side, aggregated into a per-phase
+    latency breakdown ([phase:*] spans plus [store:io]) and a coverage
+    figure (the share of [session]-span wall time accounted for by
+    phase spans, worst role).
+
+    Tolerant of partial traces: a span with a null end time (crashed or
+    still-running session) is read as running until its stream's last
+    event, and a near-zero session duration reports coverage 1.0
+    instead of dividing by nothing. *)
+
+type phase = {
+  p_role : string;
+  p_name : string;  (** ["phase:..."] or ["store:io"] *)
+  p_total_s : float;
+  p_spans : int;
+}
+
+type session = {
+  trace : string;  (** hex trace id; [""] groups untagged events *)
+  roles : string list;
+  wall_s : float;  (** time under ["session"] spans, max over roles *)
+  phases : phase list;
+  counters : (string * string * int) list;  (** (role, name, value) *)
+  coverage : float;  (** phase-time / session-time, worst role, in [0,1] *)
+}
+
+val of_events : Json.t list -> session list
+(** Group parsed events by trace id, in first-seen order. *)
+
+val of_lines : string list -> (session list, string) result
+(** Parse JSONL lines (blank lines skipped) and report; [Error] names
+    the first malformed line. *)
+
+val pp : Format.formatter -> session -> unit

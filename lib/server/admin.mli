@@ -1,0 +1,18 @@
+(** Blocking one-shot client for the daemon's admin plane (the other
+    end of {!Daemon.admin_listen}): connect, send one framed request,
+    read one framed reply, close.  [fsync admin] and [fsync top] are
+    thin wrappers over this. *)
+
+val request :
+  ?timeout_s:float -> host:string -> port:int -> string -> string
+(** Raw round trip; [timeout_s] (default 5 s) bounds the wait for the
+    reply.  Raises typed {!Fsync_core.Error} values on timeout or a
+    torn-down connection, [Unix.Unix_error] on connect failure. *)
+
+val metrics : ?timeout_s:float -> host:string -> port:int -> unit -> string
+(** The Prometheus text exposition. *)
+
+val status :
+  ?timeout_s:float -> host:string -> port:int -> unit -> Fsync_obs.Json.t
+(** The parsed [fsyncd-status/1] document; raises a typed [Malformed]
+    error if the reply is not valid JSON. *)

@@ -55,6 +55,52 @@ val listen : t -> host:string -> port:int -> int
     returns the actual port (useful with port [0]).
     @raise Unix.Unix_error on bind failure. *)
 
+(** {2 Telemetry (DESIGN.md §9)} *)
+
+val admin_listen : t -> host:string -> port:int -> int
+(** Bind a second, admin-only listener served inside the same select
+    loop; returns the actual port.  Admin connections are one-shot:
+    one framed request — ["metrics"] for the Prometheus text
+    exposition, ["status"] for the [fsyncd-status/1] JSON document —
+    one framed reply, then close.  Anything else (an HTTP probe, an
+    unknown body, an oversized header) tears down only that admin
+    connection; data sessions never notice.
+    @raise Unix.Unix_error on bind failure. *)
+
+val admin_prometheus : t -> string
+(** The scrape body: the registry's {!Fsync_obs.Registry.to_prometheus}
+    (live gauges — [sessions_active], [uptime_s], [sigcache_hit_rate],
+    store aggregates — refreshed first) when the daemon has an enabled
+    scope, or a minimal exposition of the native counters when not. *)
+
+val status_doc : t -> Fsync_obs.Json.t
+(** The [fsyncd-status/1] document: uptime, served file count,
+    session/sigcache/store/admin aggregates, and one entry per active
+    session (peer, trace id, live phase, age, bytes). *)
+
+val set_event_log :
+  t ->
+  ?io:Fsync_store.Io.t ->
+  ?max_bytes:int ->
+  ?slow_s:float ->
+  string ->
+  unit
+(** Start the structured JSONL lifecycle log ({!Event_log}; best-effort,
+    size-rotated at [max_bytes]): [session_start] / [session_end] /
+    [session_shed] / [session_timeout] / [session_resume] /
+    [daemon_stop], plus [slow_session] for sessions outliving [slow_s]
+    (default: never).  [io] injects a fault-schedule filesystem for the
+    torture harness. *)
+
+val set_trace_stream : t -> ?io:Fsync_store.Io.t -> string -> unit
+(** Stream every finished session's private trace registry (spans +
+    per-session counters, stamped with the wire-carried trace id, role
+    ["server"]) to the given JSONL file — the daemon half of what
+    [fsync trace report] joins. *)
+
+val event_log_errors : t -> int
+(** Write failures absorbed by both sinks so far. *)
+
 val add_connection : t -> Unix.file_descr -> unit
 (** Register an already-connected descriptor (e.g. one end of a
     socketpair under the loopback test driver) as a new session.  The
@@ -98,6 +144,8 @@ type stats = {
       (** best-effort signature persists that failed (counted, never
           raised — DESIGN.md §12) *)
   iterations : int; (** select iterations *)
+  admin_requests : int; (** admin frames answered *)
+  admin_errors : int; (** admin connections torn down as hostile *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,83 @@
+(* Structured JSONL sink for daemon lifecycle events (DESIGN.md §9).
+
+   Writes go through the injectable {!Fsync_store.Io} record, so the
+   fault/torture harness can drive the log path through seeded
+   ENOSPC/EIO schedules like any other disk write.  Logging is strictly
+   best-effort: a failed write is counted, the handle is dropped (the
+   next write reopens), and the daemon never notices — telemetry must
+   not be able to take the data path down. *)
+
+module Io = Fsync_store.Io
+module Json = Fsync_obs.Json
+
+type t = {
+  io : Io.t;
+  path : string;
+  max_bytes : int; (* 0 = never rotate *)
+  mutable handle : Io.handle option; (* open lazily, reopen after errors *)
+  mutable size : int; (* bytes in the current file, best effort *)
+  mutable errors : int;
+}
+
+let create ?(io = Io.real) ?(max_bytes = 0) path =
+  (* Io has no stat; size an existing log by reading it once at startup
+     so rotation picks up where the previous daemon left off. *)
+  let size =
+    if max_bytes > 0 && io.Io.exists path then
+      match io.Io.read_file path with
+      | s -> String.length s
+      | exception (Unix.Unix_error _ | Sys_error _) -> 0
+    else 0
+  in
+  { io; path; max_bytes; handle = None; size; errors = 0 }
+
+let path t = t.path
+
+let errors t = t.errors
+
+let drop_handle t =
+  (match t.handle with
+  | Some h -> (
+      try h.Io.h_close () with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
+  t.handle <- None
+
+(* One rotation level is enough for an operational log: [FILE] becomes
+   [FILE.1] (clobbering the previous generation) and the next write
+   starts a fresh file. *)
+let rotate t =
+  drop_handle t;
+  (try t.io.Io.rename ~src:t.path ~dst:(t.path ^ ".1")
+   with Unix.Unix_error _ | Sys_error _ -> t.errors <- t.errors + 1);
+  t.size <- 0
+
+let ensure_handle t =
+  match t.handle with
+  | Some h -> h
+  | None ->
+      let h = t.io.Io.open_out ~append:true t.path in
+      t.handle <- Some h;
+      h
+
+let append_raw t line =
+  let len = String.length line in
+  if t.max_bytes > 0 && t.size > 0 && t.size + len > t.max_bytes then
+    rotate t;
+  match
+    let h = ensure_handle t in
+    h.Io.h_write line
+  with
+  | () -> t.size <- t.size + len
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+      t.errors <- t.errors + 1;
+      drop_handle t
+
+let write t json = append_raw t (Json.to_string json ^ "\n")
+
+let close t =
+  (match t.handle with
+  | Some h -> (
+      try h.Io.h_fsync () with
+      | Unix.Unix_error _ | Sys_error _ -> t.errors <- t.errors + 1)
+  | None -> ());
+  drop_handle t

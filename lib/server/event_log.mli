@@ -1,0 +1,38 @@
+(** Structured JSONL sink for daemon lifecycle events (DESIGN.md §9).
+
+    One {!Json.t} per line, appended through the injectable
+    {!Fsync_store.Io} seam so the fault/torture harness covers the log
+    path exactly like store writes.  Best-effort by design: failed
+    writes are counted in {!errors}, the handle is dropped and lazily
+    reopened, and nothing ever propagates to the caller — telemetry
+    must not be able to take the daemon down.
+
+    With [max_bytes > 0] the sink rotates size-based: when a write
+    would push the current file past the cap, [FILE] is renamed to
+    [FILE.1] (clobbering the previous generation) and a fresh file
+    starts.  An existing file's size is picked up at {!create} so
+    rotation survives daemon restarts. *)
+
+type t
+
+val create : ?io:Fsync_store.Io.t -> ?max_bytes:int -> string -> t
+(** Sink appending to the given path.  [io] defaults to the real
+    filesystem; [max_bytes] defaults to [0] (never rotate).  The file
+    is opened lazily on first write. *)
+
+val write : t -> Fsync_obs.Json.t -> unit
+(** Append one event as a single JSON line. *)
+
+val append_raw : t -> string -> unit
+(** Append pre-rendered bytes (a whole JSONL block — the daemon streams
+    {!Fsync_obs.Registry.to_jsonl} dumps this way).  Rotation applies
+    before the write like {!write}. *)
+
+val errors : t -> int
+(** Write/rotate failures absorbed so far. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Fsync (best effort) and close the handle; the sink stays usable —
+    a later write reopens. *)

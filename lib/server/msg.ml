@@ -2,7 +2,15 @@ module Fp = Fsync_hash.Fingerprint
 module Varint = Fsync_util.Varint
 module Error = Fsync_core.Error
 
-let version = 1
+(* Protocol revision 2 appends an optional 16-byte trace id to [Hello]
+   (DESIGN.md §9).  Revision 1 peers interoperate both ways: a v1
+   client's Hello simply carries no id (the server mints one), and both
+   endpoints accept any version in [min_version..version]. *)
+let version = 2
+
+let min_version = 1
+
+let version_ok v = v >= min_version && v <= version
 
 type sync_config = { start_block : int; min_block : int; hash_bits : int }
 
@@ -18,8 +26,11 @@ let validate_sync_config c =
 
 let hash_width c = (c.hash_bits + 7) / 8
 
+let trace_bytes = 16
+
 type t =
-  | Hello of { version : int }
+  | Hello of { version : int; trace : string option }
+      (** [trace], when present, is exactly {!trace_bytes} raw bytes *)
   | Welcome of {
       version : int;
       file_count : int;
@@ -137,7 +148,12 @@ let encode ~config msg =
   let b = Buffer.create 64 in
   Buffer.add_char b (tag_of msg);
   (match msg with
-  | Hello { version } -> Varint.write b version
+  | Hello { version; trace } -> (
+      Varint.write b version;
+      match trace with
+      | Some id when Int.equal (String.length id) trace_bytes ->
+          Buffer.add_string b id
+      | Some _ | None -> ())
   | Welcome { version; file_count; root; config } ->
       Varint.write b version;
       Varint.write b file_count;
@@ -222,8 +238,15 @@ let decode ~config msg =
   let pos = 1 in
   match msg.[0] with
   | 'H' ->
-      let version, _ = Varint.read msg ~pos in
-      Hello { version }
+      let version, pos = Varint.read msg ~pos in
+      (* A v1 Hello ends at the varint; v2 appends exactly the trace
+         id.  Anything else trailing is a framing bug, not a trace. *)
+      let trace =
+        if Int.equal (String.length msg - pos) trace_bytes then
+          Some (rest msg pos)
+        else None
+      in
+      Hello { version; trace }
   | 'W' ->
       let version, pos = Varint.read msg ~pos in
       let file_count, pos = Varint.read msg ~pos in

@@ -40,6 +40,16 @@
     v} *)
 
 val version : int
+(** Current protocol revision (2: [Hello] may carry a trace id). *)
+
+val min_version : int
+(** Oldest revision both endpoints still accept (1). *)
+
+val version_ok : int -> bool
+(** [min_version <= v <= version]. *)
+
+val trace_bytes : int
+(** Raw size of the [Hello] trace id: 16. *)
 
 type sync_config = {
   start_block : int;  (** initial block size; both sides build the same
@@ -60,7 +70,10 @@ val hash_width : sync_config -> int
 (** Bytes per truncated hash on the wire. *)
 
 type t =
-  | Hello of { version : int }
+  | Hello of { version : int; trace : string option }
+      (** [trace] is exactly {!trace_bytes} raw bytes when present; a
+          v1 peer sends none and the server mints an id of its own, so
+          every session ends up traceable either way (DESIGN.md §9) *)
   | Welcome of {
       version : int;
       file_count : int;

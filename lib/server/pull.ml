@@ -4,6 +4,8 @@ module Fault = Fsync_net.Fault
 module Error = Fsync_core.Error
 module Trace = Fsync_net.Trace
 module Prng = Fsync_util.Prng
+module Scope = Fsync_obs.Scope
+module Trace_id = Fsync_obs.Trace_id
 
 type outcome = {
   files : (string * string) list;
@@ -90,9 +92,19 @@ let retryable = function
       true
   | _ -> false
 
-let run ?(attempts = 3) ?fault ?(seed = 0) ?(idle_timeout_s = 30.0) ~host
-    ~port files =
+let run ?(attempts = 3) ?fault ?(seed = 0) ?(idle_timeout_s = 30.0)
+    ?(scope = Scope.disabled) ?trace_id ~host ~port files =
   let attempts = max 1 attempts in
+  (* One id for the whole run: retried attempts re-announce it, so the
+     daemon's per-attempt sessions all join under the same trace. *)
+  let trace_id =
+    match trace_id with Some id -> id | None -> Trace_id.mint ()
+  in
+  (match Scope.registry scope with
+  | Some reg ->
+      Fsync_obs.Registry.set_trace reg ~trace:(Trace_id.to_hex trace_id)
+        ~role:"client"
+  | None -> ());
   let prng = Prng.create (Int64.of_int ((seed * 0x9e3779b1) lxor 0x7075)) in
   let backoff = ref 0.0 in
   let resume = ref None in
@@ -102,8 +114,8 @@ let run ?(attempts = 3) ?fault ?(seed = 0) ?(idle_timeout_s = 30.0) ~host
        completed files across, so only the remainder re-transfers. *)
     let puller =
       match !resume with
-      | Some token -> Puller.create ~resume:token files
-      | None -> Puller.create files
+      | Some token -> Puller.create ~scope ~trace_id ~resume:token files
+      | None -> Puller.create ~scope ~trace_id files
     in
     match
       attempt ?fault ~seed:(seed + n) ~idle_timeout_s ~host ~port puller

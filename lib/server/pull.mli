@@ -27,10 +27,18 @@ val run :
   ?fault:Fsync_net.Fault.spec ->
   ?seed:int ->
   ?idle_timeout_s:float ->
+  ?scope:Fsync_obs.Scope.t ->
+  ?trace_id:Fsync_obs.Trace_id.t ->
   host:string ->
   port:int ->
   (string * string) list ->
   outcome
 (** Pull against the replica's old [(path, content)] files.  Defaults:
     3 attempts, no faults, 30 s idle timeout, numeric [host].  Raises
-    the last failure when every attempt is spent. *)
+    the last failure when every attempt is spent.
+
+    [trace_id] (minted fresh when omitted) is announced in every
+    attempt's [Hello] and stamped — with role ["client"] — onto
+    [scope]'s registry, which also receives the client-side phase
+    spans; export it with [--trace-json] and join it against the
+    daemon's stream via [fsync trace report]. *)

@@ -5,6 +5,8 @@ module Poly_hash = Fsync_hash.Poly_hash
 module Error = Fsync_core.Error
 module Deflate = Fsync_compress.Deflate
 module Meta_wire = Fsync_collection.Meta_wire
+module Scope = Fsync_obs.Scope
+module Trace_id = Fsync_obs.Trace_id
 
 type file_progress = {
   path : string;
@@ -35,6 +37,10 @@ type resume_token = {
 type t = {
   files : (string * string) list; (* the old replica, announce order *)
   resume : resume_token option;
+  scope : Scope.t; (* the client's trace registry, if any *)
+  trace_id : Trace_id.t option; (* carried in Hello; minted by Pull.run *)
+  mutable span_session : int; (* root "session" span; -1 = not open *)
+  mutable span_phase : (string * int) option;
   mutable config : Msg.sync_config;
   mutable phase : phase;
   mutable unchanged : (string * string) list;
@@ -47,10 +53,14 @@ type t = {
   mutable literal_bytes : int;
 }
 
-let create ?resume files =
+let create ?(scope = Scope.disabled) ?trace_id ?resume files =
   {
     files;
     resume;
+    scope;
+    trace_id;
+    span_session = -1;
+    span_phase = None;
     config = Msg.default_sync_config;
     phase = Expect_welcome;
     unchanged = [];
@@ -65,7 +75,52 @@ let create ?resume files =
 
 let enc t m = Msg.encode ~config:t.config m
 
-let start t = [ enc t (Msg.Hello { version = Msg.version }) ]
+(* ---- client-side phase spans, the mirror of Session's (see
+   session.mli): open across the waits so they tile the session. ---- *)
+
+let close_phase t =
+  (match t.span_phase with
+  | Some (_, id) -> Scope.leave t.scope id
+  | None -> ());
+  t.span_phase <- None
+
+let set_phase t name =
+  match t.span_phase with
+  | Some (cur, _) when String.equal cur name -> ()
+  | _ ->
+      close_phase t;
+      t.span_phase <- Some (name, Scope.enter t.scope name)
+
+let end_phases t =
+  close_phase t;
+  if t.span_session >= 0 then begin
+    Scope.leave t.scope t.span_session;
+    t.span_session <- -1
+  end
+
+let sync_phase t =
+  match t.phase with
+  | Expect_welcome | Expect_verdict -> set_phase t "phase:metadata"
+  | Expect_file ->
+      (* Between files: stay in whatever phase got us here (metadata
+         right after the verdict, literals after a tail/full). *)
+      if Option.is_none t.span_phase then set_phase t "phase:metadata"
+  | In_file p ->
+      set_phase t
+        (if p.expect_tail then "phase:literals" else "phase:hash_rounds")
+  | Done -> end_phases t
+
+let start t =
+  t.span_session <- Scope.enter t.scope "session";
+  sync_phase t;
+  [
+    enc t
+      (Msg.Hello
+         {
+           version = Msg.version;
+           trace = Option.map Trace_id.to_raw t.trace_id;
+         });
+  ]
 
 let finished t = match t.phase with Done -> true | _ -> false
 
@@ -238,12 +293,12 @@ let resume_replies t ~root =
 
 let on_message t raw =
   let msg = Msg.decode ~config:t.config raw in
-  let replies =
+  let dispatch () =
     match (t.phase, msg) with
     | Expect_welcome, Msg.Welcome { version; config; root; _ } ->
-        if not (Int.equal version Msg.version) then
-          Error.malformed "Puller: protocol version %d, want %d" version
-            Msg.version;
+        if not (Msg.version_ok version) then
+          Error.malformed "Puller: protocol version %d outside %d..%d"
+            version Msg.min_version Msg.version;
         t.config <- config;
         t.server_root <- Some root;
         t.phase <- Expect_verdict;
@@ -286,6 +341,7 @@ let on_message t raw =
     | In_file p, Msg.Hashes hs when not p.expect_tail -> on_hashes t p hs
     | In_file p, Msg.Tail z when p.expect_tail -> on_tail t p z
     | Expect_file, Msg.Full body ->
+        set_phase t "phase:literals";
         let path, content = Meta_wire.decode_file_msg ~old_content:"" body in
         add_received t path content;
         t.literal_bytes <- t.literal_bytes + String.length content;
@@ -295,6 +351,15 @@ let on_message t raw =
         Error.fail
           (Error.Disconnected (Printf.sprintf "Puller: server error: %s" m))
     | _, other -> Error.malformed "Puller: unexpected %s" (Msg.label other)
+  in
+  let replies =
+    try
+      let replies = dispatch () in
+      sync_phase t;
+      replies
+    with e ->
+      end_phases t;
+      raise e
   in
   List.map (enc t) replies
 

@@ -26,9 +26,17 @@ type resume_token = {
     opens with a [Resume] bitmap and the server skips the completed
     jobs. *)
 
-val create : ?resume:resume_token -> (string * string) list -> t
+val create :
+  ?scope:Fsync_obs.Scope.t ->
+  ?trace_id:Fsync_obs.Trace_id.t ->
+  ?resume:resume_token ->
+  (string * string) list ->
+  t
 (** Over the client's old [(path, content)] replica, in announce
-    order. *)
+    order.  [trace_id] rides in the [Hello] so the server tags its
+    events with the same id; [scope] receives the client's mirror of
+    the session/phase spans ([session], [phase:metadata],
+    [phase:hash_rounds], [phase:literals]) — see {!Session.create}. *)
 
 val resume_token : t -> resume_token option
 (** Progress snapshot for a future attempt: [None] until at least one

@@ -4,6 +4,8 @@ module Fault = Fsync_net.Fault
 module Error = Fsync_core.Error
 module Trace = Fsync_net.Trace
 module Prng = Fsync_util.Prng
+module Scope = Fsync_obs.Scope
+module Trace_id = Fsync_obs.Trace_id
 
 type outcome = {
   stats : Pusher.stats;
@@ -89,8 +91,17 @@ let retryable = function
   | _ -> false
 
 let run ?(attempts = 3) ?fault ?(seed = 0) ?(idle_timeout_s = 30.0) ?params
-    ~host ~port files =
+    ?(scope = Scope.disabled) ?trace_id ~host ~port files =
   let attempts = max 1 attempts in
+  (* One id for the whole run, same as {!Pull.run}. *)
+  let trace_id =
+    match trace_id with Some id -> id | None -> Trace_id.mint ()
+  in
+  (match Scope.registry scope with
+  | Some reg ->
+      Fsync_obs.Registry.set_trace reg ~trace:(Trace_id.to_hex trace_id)
+        ~role:"client"
+  | None -> ());
   let prng = Prng.create (Int64.of_int ((seed * 0x9e3779b1) lxor 0x7073)) in
   let backoff = ref 0.0 in
   let skip = ref [] in
@@ -98,7 +109,7 @@ let run ?(attempts = 3) ?fault ?(seed = 0) ?(idle_timeout_s = 30.0) ?params
     (* Files the server acknowledged in a failed attempt stay pushed
        (chunks are content-addressed, publishes per-file), so the next
        attempt skips them and pushes only the remainder. *)
-    let pusher = Pusher.create ?params ~skip:!skip files in
+    let pusher = Pusher.create ~scope ~trace_id ?params ~skip:!skip files in
     match
       attempt ?fault ~seed:(seed + n) ~idle_timeout_s ~host ~port pusher
     with

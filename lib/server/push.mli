@@ -24,10 +24,13 @@ val run :
   ?seed:int ->
   ?idle_timeout_s:float ->
   ?params:Fsync_cdc.Chunker.params ->
+  ?scope:Fsync_obs.Scope.t ->
+  ?trace_id:Fsync_obs.Trace_id.t ->
   host:string ->
   port:int ->
   (string * string) list ->
   outcome
 (** Push the [(path, content)] tree.  Defaults: 3 attempts, no faults,
     30 s idle timeout, default chunker parameters, numeric [host].
-    Raises the last failure when every attempt is spent. *)
+    Raises the last failure when every attempt is spent.
+    [scope] / [trace_id] behave exactly as in {!Pull.run}. *)

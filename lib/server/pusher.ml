@@ -3,6 +3,8 @@ module Error = Fsync_core.Error
 module Deflate = Fsync_compress.Deflate
 module Meta_wire = Fsync_collection.Meta_wire
 module Chunker = Fsync_cdc.Chunker
+module Scope = Fsync_obs.Scope
+module Trace_id = Fsync_obs.Trace_id
 
 type job = {
   path : string;
@@ -19,6 +21,10 @@ type phase =
   | Done
 
 type t = {
+  scope : Scope.t; (* the client's trace registry, if any *)
+  trace_id : Trace_id.t option; (* carried in Hello; minted by Push.run *)
+  mutable span_session : int; (* root "session" span; -1 = not open *)
+  mutable span_phase : (string * int) option;
   mutable config : Msg.sync_config;
   mutable phase : phase;
   mutable queue : job list;
@@ -36,7 +42,7 @@ type t = {
    are left out of this session entirely, so the server's Bye root
    covers exactly the files pushed now (the resume discipline of
    DESIGN.md §12). *)
-let create ?params ?(skip = []) files =
+let create ?(scope = Scope.disabled) ?trace_id ?params ?(skip = []) files =
   let skipped p = List.exists (String.equal p) skip in
   let remaining = List.filter (fun (p, _) -> not (skipped p)) files in
   let jobs =
@@ -54,6 +60,10 @@ let create ?params ?(skip = []) files =
       remaining
   in
   {
+    scope;
+    trace_id;
+    span_session = -1;
+    span_phase = None;
     config = Msg.default_sync_config;
     phase = Expect_welcome;
     queue = jobs;
@@ -71,7 +81,46 @@ let completed_paths t = List.rev t.acked
 
 let enc t m = Msg.encode ~config:t.config m
 
-let start t = [ enc t (Msg.Hello { version = Msg.version }) ]
+(* ---- client-side phase spans (see session.mli): [phase:metadata]
+   over the hello/welcome opening, then [phase:push] until Bye. ---- *)
+
+let close_phase t =
+  (match t.span_phase with
+  | Some (_, id) -> Scope.leave t.scope id
+  | None -> ());
+  t.span_phase <- None
+
+let set_phase t name =
+  match t.span_phase with
+  | Some (cur, _) when String.equal cur name -> ()
+  | _ ->
+      close_phase t;
+      t.span_phase <- Some (name, Scope.enter t.scope name)
+
+let end_phases t =
+  close_phase t;
+  if t.span_session >= 0 then begin
+    Scope.leave t.scope t.span_session;
+    t.span_session <- -1
+  end
+
+let sync_phase t =
+  match t.phase with
+  | Expect_welcome -> set_phase t "phase:metadata"
+  | Expect_need _ | Expect_ack _ | Expect_bye -> set_phase t "phase:push"
+  | Done -> end_phases t
+
+let start t =
+  t.span_session <- Scope.enter t.scope "session";
+  sync_phase t;
+  [
+    enc t
+      (Msg.Hello
+         {
+           version = Msg.version;
+           trace = Option.map Trace_id.to_raw t.trace_id;
+         });
+  ]
 
 let finished t = match t.phase with Done -> true | _ -> false
 
@@ -114,12 +163,12 @@ let on_need t job bitmap =
 
 let on_message t raw =
   let msg = Msg.decode ~config:t.config raw in
-  let replies =
+  let dispatch () =
     match (t.phase, msg) with
     | Expect_welcome, Msg.Welcome { version; config; _ } ->
-        if not (Int.equal version Msg.version) then
-          Error.malformed "Pusher: protocol version %d, want %d" version
-            Msg.version;
+        if not (Msg.version_ok version) then
+          Error.malformed "Pusher: protocol version %d outside %d..%d"
+            version Msg.min_version Msg.version;
         t.config <- config;
         advance t
     | Expect_welcome, Msg.Busy { retry_after_ms } ->
@@ -150,6 +199,15 @@ let on_message t raw =
         Error.fail
           (Error.Disconnected (Printf.sprintf "Pusher: server error: %s" m))
     | _, other -> Error.malformed "Pusher: unexpected %s" (Msg.label other)
+  in
+  let replies =
+    try
+      let replies = dispatch () in
+      sync_phase t;
+      replies
+    with e ->
+      end_phases t;
+      raise e
   in
   List.map (enc t) replies
 

@@ -13,11 +13,16 @@
 type t
 
 val create :
+  ?scope:Fsync_obs.Scope.t ->
+  ?trace_id:Fsync_obs.Trace_id.t ->
   ?params:Fsync_cdc.Chunker.params ->
   ?skip:string list ->
   (string * string) list ->
   t
-(** Over the [(path, content)] tree to upload.  [params] tunes the
+(** Over the [(path, content)] tree to upload.  [trace_id] rides in
+    the [Hello]; [scope] receives the client's session/phase spans
+    ([session], [phase:metadata], [phase:push]) — see
+    {!Session.create}.  [params] tunes the
     chunker (defaults match {!Fsync_cdc.Chunker.default_params});
     boundaries are the client's choice alone — the server only ever
     verifies hashes.  [skip] names paths a previous interrupted attempt

@@ -4,6 +4,7 @@ module Error = Fsync_core.Error
 module Deflate = Fsync_compress.Deflate
 module Meta_wire = Fsync_collection.Meta_wire
 module Scope = Fsync_obs.Scope
+module Trace_id = Fsync_obs.Trace_id
 
 module Store = Fsync_store.Store
 
@@ -39,7 +40,11 @@ type t = {
   cache : Sigcache.t;
   store : Store.t option;
   publish : path:string -> content:string -> unit;
-  scope : Scope.t;
+  scope : Scope.t; (* daemon-wide counters, shared across sessions *)
+  trace : Scope.t; (* this session's private trace registry, if any *)
+  mutable trace_id : Trace_id.t option; (* adopted from Hello, or minted *)
+  mutable span_session : int; (* root "session" span; -1 = not open *)
+  mutable span_phase : (string * int) option; (* current phase span *)
   mutable phase : phase;
   mutable queue : job list;
   mutable pending_resume : (Fp.t * string) option; (* Resume before Announce *)
@@ -55,7 +60,8 @@ type t = {
 }
 
 let create ?(config = Msg.default_sync_config) ?(scope = Scope.disabled)
-    ?store ?(publish = fun ~path:_ ~content:_ -> ()) ~cache files =
+    ?(trace = Scope.disabled) ?store
+    ?(publish = fun ~path:_ ~content:_ -> ()) ~cache files =
   let config = Msg.validate_sync_config config in
   {
     config;
@@ -65,6 +71,10 @@ let create ?(config = Msg.default_sync_config) ?(scope = Scope.disabled)
     store;
     publish;
     scope;
+    trace;
+    trace_id = None;
+    span_session = -1;
+    span_phase = None;
     phase = Expect_hello;
     queue = [];
     pending_resume = None;
@@ -83,6 +93,57 @@ let finished t = match t.phase with Done -> true | _ -> false
 
 let failed t = match t.phase with Failed -> true | _ -> false
 
+let trace_id t = t.trace_id
+
+(* Live label for [fsync top] / the status doc — what the session is
+   waiting on right now, not a span name. *)
+let phase_name t =
+  match t.phase with
+  | Expect_hello -> "hello"
+  | Expect_announce -> "announce"
+  | Expect_matched _ -> "pull:rounds"
+  | Expect_ack _ -> "pull:ack"
+  | Expect_push -> "push:idle"
+  | Expect_chunks _ -> "push:chunks"
+  | Done -> "done"
+  | Failed -> "failed"
+
+(* ---- trace spans: one root "session" span, one phase:* child ----
+
+   The phase span stays open across the select-loop waits between
+   messages, so the breakdown accounts for wire latency too and the
+   phase spans tile the session span (the ≥95% coverage check in
+   [fsync trace report] depends on this). *)
+
+let close_phase t =
+  (match t.span_phase with
+  | Some (_, id) -> Scope.leave t.trace id
+  | None -> ());
+  t.span_phase <- None
+
+let set_phase t name =
+  match t.span_phase with
+  | Some (cur, _) when String.equal cur name -> ()
+  | _ ->
+      close_phase t;
+      t.span_phase <- Some (name, Scope.enter t.trace name)
+
+let end_phases t =
+  close_phase t;
+  if t.span_session >= 0 then begin
+    Scope.leave t.trace t.span_session;
+    t.span_session <- -1
+  end
+
+let sync_phase t =
+  match t.phase with
+  | Expect_hello -> ()
+  | Expect_announce -> set_phase t "phase:metadata"
+  | Expect_matched _ -> set_phase t "phase:hash_rounds"
+  | Expect_ack _ -> set_phase t "phase:literals"
+  | Expect_push | Expect_chunks _ -> set_phase t "phase:push"
+  | Done | Failed -> end_phases t
+
 let find_file t path =
   match List.find_opt (fun (p, _) -> String.equal p path) t.files with
   | Some (_, content) -> Some content
@@ -96,7 +157,8 @@ let find_file t path =
 let store_full_content t job =
   match t.store with
   | None -> None
-  | Some store -> (
+  | Some store ->
+      Scope.timed t.trace "store:io" @@ fun () -> (
       match Store.manifest store ~path:job.path with
       | None -> None
       | Some entries ->
@@ -397,11 +459,12 @@ let on_chunk_data t pf z =
       else begin
         (match t.store with
         | Some store ->
-            List.iter
-              (fun chunk -> ignore (Store.put store chunk))
-              (List.rev !received);
-            Store.set_manifest store ~path:pf.p_path
-              (List.map fst pf.p_manifest)
+            Scope.timed t.trace "store:io" (fun () ->
+                List.iter
+                  (fun chunk -> ignore (Store.put store chunk))
+                  (List.rev !received);
+                Store.set_manifest store ~path:pf.p_path
+                  (List.map fst pf.p_manifest))
         | None -> ());
         t.publish ~path:pf.p_path ~content;
         t.pushed <- (pf.p_path, content) :: t.pushed;
@@ -413,19 +476,36 @@ let on_chunk_data t pf z =
 
 let on_message t raw =
   let msg = Msg.decode ~config:t.config raw in
-  let replies =
+  let dispatch () =
     match (t.phase, msg) with
-    | Expect_hello, Msg.Hello { version } ->
-        if not (Int.equal version Msg.version) then begin
+    | Expect_hello, Msg.Hello { version; trace } ->
+        if not (Msg.version_ok version) then begin
           t.phase <- Failed;
-          Error.malformed "Session: protocol version %d, want %d" version
-            Msg.version
+          Error.malformed "Session: protocol version %d outside %d..%d"
+            version Msg.min_version Msg.version
         end;
+        (* Adopt the client's trace id, or mint one for a v1 peer that
+           sent none — the event log wants every session identifiable
+           either way. *)
+        let id =
+          match Option.bind trace Trace_id.of_raw with
+          | Some id -> id
+          | None -> Trace_id.mint ()
+        in
+        t.trace_id <- Some id;
+        (match Scope.registry t.trace with
+        | Some reg ->
+            Fsync_obs.Registry.set_trace reg ~trace:(Trace_id.to_hex id)
+              ~role:"server"
+        | None -> ());
+        t.span_session <- Scope.enter t.trace "session";
         t.phase <- Expect_announce;
         [
           Msg.Welcome
             {
-              version = Msg.version;
+              (* Answer at the peer's revision so a v1 client's equality
+                 check still passes. *)
+              version = min version Msg.version;
               file_count = List.length t.files;
               root = t.root;
               config = t.config;
@@ -451,6 +531,17 @@ let on_message t raw =
     | _, other ->
         t.phase <- Failed;
         Error.malformed "Session: unexpected %s" (Msg.label other)
+  in
+  let replies =
+    try
+      let replies = dispatch () in
+      sync_phase t;
+      replies
+    with e ->
+      (* Typed teardowns set [Failed] before raising; close the spans so
+         a partial trace still exports well-nested. *)
+      end_phases t;
+      raise e
   in
   List.map (fun m -> Msg.encode ~config:t.config m) replies
 

@@ -30,6 +30,7 @@ type t
 val create :
   ?config:Msg.sync_config ->
   ?scope:Fsync_obs.Scope.t ->
+  ?trace:Fsync_obs.Scope.t ->
   ?store:Fsync_store.Store.t ->
   ?publish:(path:string -> content:string -> unit) ->
   cache:Sigcache.t ->
@@ -39,7 +40,25 @@ val create :
     collection.  [cache] is shared across sessions — that is the point
     of it.  [store] (shared too) enables push dedup and store-assembled
     full payloads; [publish] is called for every verified pushed file so
-    the daemon can fold it into the served collection. *)
+    the daemon can fold it into the served collection.
+
+    [scope] carries daemon-wide counters shared by every session;
+    [trace] is this session's {e private} registry: the machine stamps
+    it with the trace id from [Hello] (role ["server"]), opens a root
+    [session] span on it, and keeps exactly one [phase:*] child span
+    open at a time ([phase:metadata] / [phase:hash_rounds] /
+    [phase:literals] / [phase:push]), plus [store:io] spans around
+    store reads and writes.  Phase spans stay open across the waits
+    between messages so they tile the session span — that is what the
+    coverage figure in [fsync trace report] measures. *)
+
+val trace_id : t -> Fsync_obs.Trace_id.t option
+(** Set by the [Hello]: the client's id, or one minted for a v1 peer. *)
+
+val phase_name : t -> string
+(** Live one-word label for [fsync top] / the status doc: [hello],
+    [announce], [pull:rounds], [pull:ack], [push:idle], [push:chunks],
+    [done] or [failed]. *)
 
 val on_message : t -> string -> string list
 (** Feed one decoded frame; returns encoded reply frames in send order.

@@ -163,15 +163,208 @@ let test_prometheus_export () =
     (fun needle ->
       Alcotest.(check bool) ("mentions " ^ needle) true (contains out needle))
     [
+      (* Scrape-grade exposition: HELP/TYPE per family, real cumulative
+         histogram series instead of pre-quantiled summaries. *)
+      "# HELP fsync_frame_naks";
+      "# TYPE fsync_frame_naks counter";
       "fsync_frame_naks 3";
+      "# TYPE fsync_similarity gauge";
       "fsync_similarity 0.5";
+      "# TYPE fsync_file_bytes_sent histogram";
+      "fsync_file_bytes_sent_bucket{le=\"+Inf\"} 3";
+      "fsync_file_bytes_sent_sum 60";
       "fsync_file_bytes_sent_count 3";
-      "quantile=\"0.5\"";
       (* span names are sanitized to [a-zA-Z0-9_] *)
       "fsync_span_phase_cont_seconds";
     ];
   Alcotest.(check bool) "no unsanitized name" true
-    (not (contains out "phase cont"))
+    (not (contains out "phase cont"));
+  Alcotest.(check bool) "summaries gone" true
+    (not (contains out "quantile"));
+  (* Bucket counts are cumulative: each series line is >= the one
+     before it, ending at the +Inf count. *)
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if contains line "fsync_file_bytes_sent_bucket" then
+          String.rindex_opt line ' '
+          |> Option.map (fun i ->
+                 int_of_string
+                   (String.sub line (i + 1) (String.length line - i - 1)))
+        else None)
+      (String.split_on_char '\n' out)
+  in
+  Alcotest.(check bool) "several buckets" true (List.length bucket_counts > 3);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets cumulative" true (monotone bucket_counts);
+  Alcotest.(check int) "+Inf bucket equals count" 3
+    (List.nth bucket_counts (List.length bucket_counts - 1))
+
+(* ---- monotonic clock ---- *)
+
+let test_monotonic_clamp () =
+  (* A base clock that steps backwards mid-sequence (an NTP step):
+     the wrapped clock must never decrease. *)
+  let readings = ref [ 10.0; 11.0; 5.0; 6.0; 12.0 ] in
+  let base () =
+    match !readings with
+    | [] -> 100.0
+    | r :: rest ->
+        readings := rest;
+        r
+  in
+  let clock = Fsync_obs.Monotonic.wrap base in
+  let seen = List.init 5 (fun _ -> clock ()) in
+  Alcotest.(check (list (float 1e-9)))
+    "clamped non-decreasing"
+    [ 10.0; 11.0; 11.0; 11.0; 12.0 ]
+    seen;
+  (* The shared process clock also never goes backwards. *)
+  let a = Fsync_obs.Monotonic.now () in
+  let b = Fsync_obs.Monotonic.now () in
+  Alcotest.(check bool) "process clock monotone" true (b >= a)
+
+(* ---- trace ids ---- *)
+
+let test_trace_id () =
+  let module Tid = Fsync_obs.Trace_id in
+  let id = Tid.mint () in
+  Alcotest.(check int) "raw size" Tid.size (String.length (Tid.to_raw id));
+  let hex = Tid.to_hex id in
+  Alcotest.(check int) "hex size" (2 * Tid.size) (String.length hex);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "lowercase hex" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    hex;
+  (match Tid.of_hex hex with
+  | Some id' -> Alcotest.(check bool) "hex roundtrip" true (Tid.equal id id')
+  | None -> Alcotest.fail "of_hex rejected its own to_hex");
+  (match Tid.of_raw (Tid.to_raw id) with
+  | Some id' -> Alcotest.(check bool) "raw roundtrip" true (Tid.equal id id')
+  | None -> Alcotest.fail "of_raw rejected its own to_raw");
+  Alcotest.(check bool) "of_raw rejects short" true
+    (Tid.of_raw "short" = None);
+  Alcotest.(check bool) "of_raw rejects long" true
+    (Tid.of_raw (String.make 17 'x') = None);
+  Alcotest.(check bool) "of_hex rejects junk" true
+    (Tid.of_hex (String.make 32 'g') = None);
+  Alcotest.(check bool) "distinct mints" false
+    (Tid.equal (Tid.mint ()) (Tid.mint ()))
+
+let test_tagged_events () =
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  Registry.set_trace reg ~trace:"cafe0123" ~role:"server";
+  Alcotest.(check (option (pair string string))) "trace_tag"
+    (Some ("cafe0123", "server"))
+    (Registry.trace_tag reg);
+  Registry.add reg "bytes_in" 5;
+  Registry.with_span reg "session" (fun () -> ());
+  List.iter
+    (fun j ->
+      let field name =
+        Option.bind (Json.member name j) Json.to_string_opt
+      in
+      Alcotest.(check (option string)) "trace on every event"
+        (Some "cafe0123") (field "trace");
+      Alcotest.(check (option string)) "role on every event"
+        (Some "server") (field "role"))
+    (Registry.jsonl_events reg)
+
+(* ---- trace report: merging client + server streams ---- *)
+
+let test_trace_report () =
+  let module Report = Fsync_obs.Trace_report in
+  (* Two registries sharing a trace id, as a real pull produces: the
+     client and server halves of one session, each with a session span
+     tiled by phase spans.  Ticking clocks make the durations exact. *)
+  let mk role spans counters =
+    let reg = Registry.create ~clock:(ticking_clock ()) () in
+    Registry.set_trace reg ~trace:"deadbeef" ~role;
+    let sess = Registry.span_enter reg "session" in
+    List.iter (fun name -> Registry.with_span reg name (fun () -> ())) spans;
+    Registry.span_exit reg sess;
+    List.iter (fun (n, v) -> Registry.add reg n v) counters;
+    Registry.to_jsonl reg
+  in
+  let client =
+    mk "client" [ "phase:metadata"; "phase:hash_rounds"; "phase:literals" ] []
+  in
+  let server =
+    mk "server" [ "phase:metadata"; "phase:hash_rounds" ]
+      [ ("bytes_out", 4096); ("rounds", 3) ]
+  in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (client ^ server))
+  in
+  match Report.of_lines lines with
+  | Error e -> Alcotest.failf "of_lines: %s" e
+  | Ok [ s ] ->
+      Alcotest.(check string) "joined on trace id" "deadbeef" s.Report.trace;
+      Alcotest.(check (list string)) "both roles" [ "client"; "server" ]
+        (List.sort compare s.Report.roles);
+      (* Client session span: enter at t=1, each phase span takes 1 s of
+         clock (enter+exit reads), exit at t=8 => 7 s;  phases cover
+         3 s of it on the client, 2 of 5 on the server.  Coverage is
+         the worst role. *)
+      Alcotest.(check bool) "wall time positive" true (s.Report.wall_s > 0.0);
+      Alcotest.(check bool) "coverage in range" true
+        (s.Report.coverage > 0.0 && s.Report.coverage <= 1.0);
+      let phase role name =
+        List.find_opt
+          (fun p -> p.Report.p_role = role && p.Report.p_name = name)
+          s.Report.phases
+      in
+      Alcotest.(check bool) "client literals present" true
+        (phase "client" "phase:literals" <> None);
+      Alcotest.(check bool) "server metadata present" true
+        (phase "server" "phase:metadata" <> None);
+      Alcotest.(check bool) "server literals absent" true
+        (phase "server" "phase:literals" = None);
+      Alcotest.(check bool) "counter carried" true
+        (List.exists
+           (fun (role, n, v) -> role = "server" && n = "bytes_out" && v = 4096)
+           s.Report.counters)
+  | Ok l -> Alcotest.failf "expected 1 merged session, got %d" (List.length l)
+
+let test_trace_report_edge_cases () =
+  let module Report = Fsync_obs.Trace_report in
+  (* Untagged events group under the "" trace instead of vanishing. *)
+  let reg = Registry.create ~clock:(ticking_clock ()) () in
+  Registry.with_span reg "session" (fun () -> ());
+  let untagged =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Registry.to_jsonl reg))
+  in
+  (match Report.of_lines untagged with
+  | Ok [ s ] -> Alcotest.(check string) "untagged trace" "" s.Report.trace
+  | Ok l -> Alcotest.failf "expected 1 session, got %d" (List.length l)
+  | Error e -> Alcotest.failf "of_lines: %s" e);
+  (* A zero-duration session reports coverage 1.0, not 0/0. *)
+  let frozen = Registry.create ~clock:(fun () -> 42.0) () in
+  Registry.set_trace frozen ~trace:"ff00" ~role:"client";
+  Registry.with_span frozen "session" (fun () -> ());
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Registry.to_jsonl frozen))
+  in
+  (match Report.of_lines lines with
+  | Ok [ s ] ->
+      Alcotest.(check (float 1e-9)) "degenerate coverage" 1.0
+        s.Report.coverage
+  | Ok l -> Alcotest.failf "expected 1 session, got %d" (List.length l)
+  | Error e -> Alcotest.failf "of_lines: %s" e);
+  (* A malformed line is a typed error naming the line, not a crash. *)
+  match Report.of_lines [ "{\"ok\":true}"; "not json" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line accepted"
 
 (* ---- the disabled-scope contract ---- *)
 
@@ -277,6 +470,11 @@ let suite =
     ("span exit closes children", `Quick, test_span_exit_closes_children);
     ("jsonl round trip", `Quick, test_jsonl_round_trip);
     ("prometheus export", `Quick, test_prometheus_export);
+    ("monotonic clamp", `Quick, test_monotonic_clamp);
+    ("trace id", `Quick, test_trace_id);
+    ("tagged events", `Quick, test_tagged_events);
+    ("trace report", `Quick, test_trace_report);
+    ("trace report edge cases", `Quick, test_trace_report_edge_cases);
     ("disabled scope", `Quick, test_disabled_scope);
     ("enabled scope", `Quick, test_enabled_scope);
     ("faulty merkle counters", `Quick, test_faulty_merkle_counters);

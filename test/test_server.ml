@@ -53,7 +53,7 @@ let test_msg_roundtrip () =
   List.iter
     (fun m -> check_eq (Msg.label m) m (roundtrip m))
     [
-      Msg.Hello { version = Msg.version };
+      Msg.Hello { version = Msg.version; trace = None };
       Msg.Welcome
         { version = 1; file_count = 42; root = fp; config = cfg };
       Msg.Announce "announce-bytes";
@@ -280,7 +280,7 @@ let test_timeout_teardown () =
   let tr = Fsync_net.Fd_transport.of_fd a in
   let ch = Fsync_net.Fd_transport.channel tr in
   Channel.send ch ~label:"t" Channel.Client_to_server
-    (Msg.encode ~config:cfg (Msg.Hello { version = Msg.version }));
+    (Msg.encode ~config:cfg (Msg.Hello { version = Msg.version; trace = None }));
   let deadline = Unix.gettimeofday () +. 5.0 in
   while Daemon.active_sessions daemon > 0 && Unix.gettimeofday () < deadline do
     Daemon.step ~timeout_s:0.01 daemon
@@ -894,6 +894,358 @@ let test_sigkill_mid_push_soak () =
           let r = Pull.run ~host:"127.0.0.1" ~port ~idle_timeout_s:10.0 [] in
           check_files "post-crash push+pull converges" tree r.Pull.files))
 
+(* ---- telemetry: trace propagation, admin plane, event log ---- *)
+
+module Scope = Fsync_obs.Scope
+module Registry = Fsync_obs.Registry
+module Trace_id = Fsync_obs.Trace_id
+module Json = Fsync_obs.Json
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1))
+  in
+  nn = 0 || loop 0
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_hello_version_compat () =
+  let files = mk_files 91 2 in
+  let mk () = Session.create ~cache:(Sigcache.create ()) files in
+  let hello v trace = Msg.encode ~config:cfg (Msg.Hello { version = v; trace }) in
+  (* A v1 client sends no trace id.  The server accepts, answers with
+     the client's own version (so the old equality check passes) and
+     mints a trace id of its own. *)
+  let s1 = mk () in
+  (match Session.on_message s1 (hello 1 None) with
+  | [ reply ] -> (
+      match Msg.decode ~config:cfg reply with
+      | Msg.Welcome { version; _ } ->
+          Alcotest.(check int) "welcome echoes v1" 1 version
+      | m -> Alcotest.failf "expected Welcome, got %s" (Msg.label m))
+  | l -> Alcotest.failf "expected 1 reply, got %d" (List.length l));
+  Alcotest.(check bool) "server minted an id" true
+    (Session.trace_id s1 <> None);
+  (* A v2 client's id is adopted verbatim. *)
+  let id = Trace_id.mint () in
+  let s2 = mk () in
+  let (_ : string list) =
+    Session.on_message s2 (hello Msg.version (Some (Trace_id.to_raw id)))
+  in
+  (match Session.trace_id s2 with
+  | Some sid ->
+      Alcotest.(check bool) "wire id adopted" true (Trace_id.equal id sid)
+  | None -> Alcotest.fail "v2 hello left no trace id");
+  (* Versions outside [min_version, version] are rejected as malformed. *)
+  List.iter
+    (fun v ->
+      let s = mk () in
+      match Session.on_message s (hello v None) with
+      | exception Fsync_core.Error.E _ -> ()
+      | _ -> Alcotest.failf "version %d accepted" v)
+    [ 0; Msg.version + 1 ]
+
+let test_trace_shared_id_and_coverage () =
+  let server_files = mk_files 83 6 in
+  let client_files = mutate_some 83 server_files in
+  let creg = Registry.create () and sreg = Registry.create () in
+  let tid = Trace_id.mint () in
+  (* What Pull.run does for the client half; the server half happens
+     inside the session when the Hello arrives. *)
+  Registry.set_trace creg ~trace:(Trace_id.to_hex tid) ~role:"client";
+  let session =
+    Session.create
+      ~trace:(Scope.of_registry sreg)
+      ~cache:(Sigcache.create ()) server_files
+  in
+  let puller =
+    Puller.create ~scope:(Scope.of_registry creg) ~trace_id:tid client_files
+  in
+  let (_ : int) = pump session puller in
+  Alcotest.(check bool) "pull finished" true (Puller.finished puller);
+  check_files "converged" server_files (Puller.result puller);
+  (match Session.trace_id session with
+  | Some sid ->
+      Alcotest.(check bool) "server adopted the wire id" true
+        (Trace_id.equal tid sid)
+  | None -> Alcotest.fail "server has no trace id");
+  (* Both streams merge into one session keyed by the shared id, with
+     phase spans tiling the session span on both roles. *)
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n'
+         (Registry.to_jsonl creg ^ Registry.to_jsonl sreg))
+  in
+  let module R = Fsync_obs.Trace_report in
+  match R.of_lines lines with
+  | Error e -> Alcotest.failf "trace report: %s" e
+  | Ok [ s ] ->
+      Alcotest.(check string) "merged on the shared id"
+        (Trace_id.to_hex tid) s.R.trace;
+      Alcotest.(check (list string)) "both roles" [ "client"; "server" ]
+        (List.sort compare s.R.roles);
+      if s.R.coverage < 0.95 then
+        Alcotest.failf "phase coverage %.3f < 0.95" s.R.coverage;
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) (name ^ " present") true
+            (List.exists (fun p -> p.R.p_name = name) s.R.phases))
+        [ "phase:metadata"; "phase:hash_rounds" ]
+  | Ok l -> Alcotest.failf "expected 1 merged session, got %d" (List.length l)
+
+let with_forked_admin_daemon ?config files f =
+  let daemon = Daemon.create ?config files in
+  let port = Daemon.listen daemon ~host:"127.0.0.1" ~port:0 in
+  let admin_port = Daemon.admin_listen daemon ~host:"127.0.0.1" ~port:0 in
+  match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Daemon.request_stop daemon));
+      (match Daemon.run ~timeout_s:0.02 ~drain_s:1.0 daemon with
+      | () -> ()
+      | exception _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (match Unix.kill pid Sys.sigterm with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid))
+        (fun () -> f port admin_port)
+
+let test_admin_socket_tcp () =
+  let server_files = mk_files 71 5 in
+  let client_files = mutate_some 71 server_files in
+  with_forked_admin_daemon server_files (fun port admin_port ->
+      let host = "127.0.0.1" in
+      (* A well-formed scrape names the native daemon series. *)
+      let metrics = Admin.metrics ~host ~port:admin_port () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("scrape has " ^ needle) true
+            (contains metrics needle))
+        [
+          "# TYPE fsync_sessions_active gauge";
+          "fsync_sessions_accepted";
+          "fsync_uptime_s";
+        ];
+      (* The status document is schema-tagged and structured. *)
+      let doc = Admin.status ~host ~port:admin_port () in
+      Alcotest.(check (option string)) "schema" (Some "fsyncd-status/1")
+        (Option.bind (Json.member "schema" doc) Json.to_string_opt);
+      Alcotest.(check bool) "sessions object present" true
+        (Json.member "sessions" doc <> None);
+      (* A hostile HTTP probe: "GET " reads as a ~1.2 GB frame header,
+         which the framing layer rejects; the daemon must close only
+         that one connection. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, admin_port));
+      let probe = "GET / HTTP/1.0\r\n\r\n" in
+      let (_ : int) =
+        Unix.write_substring fd probe 0 (String.length probe)
+      in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let buf = Bytes.create 64 in
+      (match Unix.read fd buf 0 64 with
+      | 0 -> ()
+      | n -> Alcotest.failf "HTTP probe got %d reply bytes" n
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          ());
+      Unix.close fd;
+      (* Data sessions never noticed: a pull still converges... *)
+      let r = Pull.run ~host ~port ~idle_timeout_s:10.0 client_files in
+      check_files "pull after probe converges" server_files r.Pull.files;
+      (* ...and the daemon accounted exactly one hostile teardown. *)
+      let doc2 = Admin.status ~host ~port:admin_port () in
+      let admin = Option.value ~default:Json.Null (Json.member "admin" doc2) in
+      Alcotest.(check (option int)) "one admin error" (Some 1)
+        (Option.bind (Json.member "errors" admin) Json.to_int_opt))
+
+let test_scrape_parity () =
+  let server_files = mk_files 73 6 in
+  let client_files = mutate_some 73 server_files in
+  let run ~scrape =
+    let daemon = Daemon.create server_files in
+    let admin_port = Daemon.admin_listen daemon ~host:"127.0.0.1" ~port:0 in
+    let afd =
+      if not scrape then None
+      else begin
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, admin_port));
+        (* A pending "metrics" frame, answered by the same select loop
+           that is pumping the pull below — a scrape mid-session. *)
+        let frame = "\000\000\000\007metrics" in
+        let (_ : int) =
+          Unix.write_substring fd frame 0 (String.length frame)
+        in
+        Some fd
+      end
+    in
+    let result =
+      match Loopback.run_pulls ~daemon [ client_files ] with
+      | [ r ] -> r
+      | _ -> Alcotest.fail "expected one pull result"
+    in
+    (match afd with
+    | Some fd ->
+        (* Let the loop flush the reply, then check the scrape got a
+           real exposition back. *)
+        for _ = 1 to 20 do
+          Daemon.step ~timeout_s:0.0 daemon
+        done;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+        let buf = Bytes.create 65536 in
+        let n = Unix.read fd buf 0 65536 in
+        Alcotest.(check bool) "scrape replied" true (n > 4);
+        Alcotest.(check bool) "reply is an exposition" true
+          (contains (Bytes.sub_string buf 0 n) "fsync_sessions_accepted");
+        Unix.close fd
+    | None -> ());
+    check_files "pull converges" server_files result.Loopback.files;
+    Daemon.shutdown daemon;
+    result
+  in
+  let plain = run ~scrape:false in
+  let scraped = run ~scrape:true in
+  (* The scrape perturbed nothing: byte-for-byte identical accounting. *)
+  Alcotest.(check int) "c2s bytes identical" plain.Loopback.c2s_bytes
+    scraped.Loopback.c2s_bytes;
+  Alcotest.(check int) "s2c bytes identical" plain.Loopback.s2c_bytes
+    scraped.Loopback.s2c_bytes;
+  Alcotest.(check int) "roundtrips identical" plain.Loopback.roundtrips
+    scraped.Loopback.roundtrips
+
+let test_event_log_daemon_lifecycle () =
+  let root = Filename.temp_file "fsync_evlog" "" in
+  Unix.unlink root;
+  Unix.mkdir root 0o700;
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let evpath = Filename.concat root "events.jsonl" in
+      let trpath = Filename.concat root "trace.jsonl" in
+      let server_files = mk_files 79 4 in
+      let daemon = Daemon.create server_files in
+      (* slow_s = 0: every session is "slow", so the threshold event is
+         exercised deterministically. *)
+      Daemon.set_event_log daemon ~slow_s:0.0 evpath;
+      Daemon.set_trace_stream daemon trpath;
+      (match Loopback.run_pulls ~daemon [ mutate_some 79 server_files ] with
+      | [ r ] -> check_files "pull converges" server_files r.Loopback.files
+      | _ -> Alcotest.fail "expected one result");
+      (* run_pulls returns as soon as the puller is done; step until the
+         daemon reaps the session and writes its end-of-life events. *)
+      let rec settle n =
+        if n > 0 && Daemon.active_sessions daemon > 0 then begin
+          Daemon.step ~timeout_s:0.0 daemon;
+          settle (n - 1)
+        end
+      in
+      settle 100;
+      Daemon.shutdown daemon;
+      let events =
+        List.map
+          (fun l ->
+            match Json.parse l with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "bad event line %S: %s" l e)
+          (read_lines evpath)
+      in
+      let kind j = Option.bind (Json.member "event" j) Json.to_string_opt in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " logged") true
+            (List.exists (fun j -> kind j = Some k) events))
+        [ "session_start"; "slow_session"; "session_end"; "daemon_stop" ];
+      let e =
+        List.find (fun j -> kind j = Some "session_end") events
+      in
+      (match Option.bind (Json.member "trace" e) Json.to_string_opt with
+      | Some hex ->
+          Alcotest.(check int) "trace id is 32 hex chars" 32
+            (String.length hex)
+      | None -> Alcotest.fail "session_end without trace id");
+      (match Json.member "ok" e with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.fail "session_end not ok:true");
+      Alcotest.(check bool) "session_end counts bytes" true
+        (match Option.bind (Json.member "bytes_out" e) Json.to_int_opt with
+        | Some n -> n > 0
+        | None -> false);
+      (* The per-session trace stream is a joinable server-side trace
+         with near-total phase coverage. *)
+      let module R = Fsync_obs.Trace_report in
+      match R.of_lines (read_lines trpath) with
+      | Error err -> Alcotest.failf "trace stream: %s" err
+      | Ok [ s ] ->
+          Alcotest.(check (list string)) "server role" [ "server" ]
+            s.R.roles;
+          if s.R.coverage < 0.95 then
+            Alcotest.failf "server phase coverage %.3f < 0.95" s.R.coverage
+      | Ok l ->
+          Alcotest.failf "expected 1 traced session, got %d" (List.length l))
+
+let test_event_log_rotation_and_faults () =
+  let root = Filename.temp_file "fsync_evrot" "" in
+  Unix.unlink root;
+  Unix.mkdir root 0o700;
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let path = Filename.concat root "ev.jsonl" in
+      (* Size-based rotation: a cap of 256 bytes forces FILE -> FILE.1
+         and both generations hold only whole lines. *)
+      let log = Event_log.create ~max_bytes:256 path in
+      for i = 1 to 40 do
+        Event_log.write log
+          (Json.Obj [ ("event", Json.String "tick"); ("i", Json.Int i) ])
+      done;
+      Event_log.close log;
+      Alcotest.(check int) "no errors on the real fs" 0
+        (Event_log.errors log);
+      Alcotest.(check bool) "rotated generation exists" true
+        (Sys.file_exists (path ^ ".1"));
+      List.iter
+        (fun p ->
+          List.iter
+            (fun l ->
+              match Json.parse l with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "%s: torn line %S: %s" p l e)
+            (read_lines p))
+        [ path; path ^ ".1" ];
+      (* Under an injected always-EIO disk the sink absorbs every
+         failure: errors are counted, nothing raises, and the daemon
+         would keep running. *)
+      let fio, _stats =
+        Fsync_store.Fault_io.wrap ~seed:7
+          { Fsync_store.Fault_io.none with Fsync_store.Fault_io.p_eio = 1.0 }
+      in
+      let flog =
+        Event_log.create ~io:fio (Filename.concat root "faulty.jsonl")
+      in
+      for i = 1 to 5 do
+        Event_log.write flog
+          (Json.Obj [ ("event", Json.String "tick"); ("i", Json.Int i) ])
+      done;
+      Event_log.close flog;
+      Alcotest.(check bool) "faulted writes counted" true
+        (Event_log.errors flog > 0))
+
 let suite =
   [
     ("msg roundtrip", `Quick, test_msg_roundtrip);
@@ -920,4 +1272,10 @@ let suite =
     ("resume pull", `Quick, test_resume_pull);
     ("busy shed", `Quick, test_busy_shed);
     ("sigkill mid-push soak", `Quick, test_sigkill_mid_push_soak);
+    ("hello version compat", `Quick, test_hello_version_compat);
+    ("trace shared id and coverage", `Quick, test_trace_shared_id_and_coverage);
+    ("admin socket over tcp", `Quick, test_admin_socket_tcp);
+    ("scrape parity", `Quick, test_scrape_parity);
+    ("event log daemon lifecycle", `Quick, test_event_log_daemon_lifecycle);
+    ("event log rotation and faults", `Quick, test_event_log_rotation_and_faults);
   ]

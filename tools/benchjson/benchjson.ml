@@ -1,10 +1,13 @@
-(* benchjson — validator for the machine-readable bench exports.
+(* benchjson — validator for the machine-readable JSON exports.
 
    CI runs the QUICK bench, which writes BENCH_metadata.json and
-   BENCH_collection.json, then calls this on both.  It parses each file
-   with the same strict reader the exporters use (Fsync_obs.Json) and
-   checks the fsync-bench/1 shape: header fields, a non-empty [records]
-   array, and the required typed fields on every record.  Any failure
+   BENCH_collection.json, then calls this on both; the serve-smoke
+   harness also feeds it the daemon's admin "status" reply.  Each file
+   is parsed with the same strict reader the exporters use
+   (Fsync_obs.Json) and dispatched on its "schema" field:
+   fsync-bench/1 (header fields, a non-empty [records] array, required
+   typed fields per record) or fsyncd-status/1 (uptime, session
+   aggregates, one well-typed entry per active session).  Any failure
    exits non-zero so a malformed export breaks the build instead of
    silently producing an unusable artifact. *)
 
@@ -50,6 +53,70 @@ let check_record path i r =
   | Some _ -> fail path "%s: \"counters\" is not an object" where
   | None -> fail path "%s: missing field \"counters\"" where
 
+let check_bench path doc =
+  (match Option.bind (Json.member "scale" doc) Json.to_string_opt with
+  | Some _ -> ()
+  | None -> fail path "missing \"scale\" field");
+  match Option.bind (Json.member "records" doc) Json.to_list_opt with
+  | Some [] -> fail path "\"records\" is empty"
+  | Some records ->
+      List.iteri (check_record path) records;
+      if !errors = 0 then
+        Printf.printf "benchjson: %s: ok (%d records)\n" path
+          (List.length records)
+  | None -> fail path "missing \"records\" array"
+
+(* fsyncd-status/1 — the daemon admin socket's "status" reply. *)
+
+let check_active_session path i r =
+  let where = Printf.sprintf "active_sessions[%d]" i in
+  let str name =
+    match Option.bind (Json.member name r) Json.to_string_opt with
+    | Some _ -> ()
+    | None -> fail path "%s: missing string field %S" where name
+  in
+  let num name =
+    match Option.bind (Json.member name r) Json.to_float_opt with
+    | Some v when v >= 0.0 -> ()
+    | Some _ -> fail path "%s: field %S is negative" where name
+    | None -> fail path "%s: missing numeric field %S" where name
+  in
+  str "peer";
+  str "phase";
+  num "age_s";
+  num "idle_s";
+  num "bytes_in";
+  num "bytes_out"
+
+let check_status path doc =
+  let num name =
+    match Option.bind (Json.member name doc) Json.to_float_opt with
+    | Some v when v >= 0.0 -> ()
+    | Some _ -> fail path "field %S is negative" name
+    | None -> fail path "missing numeric field %S" name
+  in
+  num "uptime_s";
+  num "files";
+  (match Json.member "sessions" doc with
+  | Some sessions ->
+      List.iter
+        (fun name ->
+          match
+            Option.bind (Json.member name sessions) Json.to_int_opt
+          with
+          | Some v when v >= 0 -> ()
+          | Some _ -> fail path "sessions.%s is negative" name
+          | None -> fail path "sessions: missing integer field %S" name)
+        [ "active"; "accepted"; "completed"; "failed"; "timeouts"; "shed" ]
+  | None -> fail path "missing \"sessions\" object");
+  match Option.bind (Json.member "active_sessions" doc) Json.to_list_opt with
+  | Some rows ->
+      List.iteri (check_active_session path) rows;
+      if !errors = 0 then
+        Printf.printf "benchjson: %s: ok (%d active session(s))\n" path
+          (List.length rows)
+  | None -> fail path "missing \"active_sessions\" array"
+
 let validate path =
   if not (Sys.file_exists path) then fail path "file not found"
   else begin
@@ -62,21 +129,11 @@ let validate path =
     match Json.parse (String.trim contents) with
     | Error e -> fail path "JSON parse error: %s" e
     | Ok doc -> (
-        (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
-        | Some "fsync-bench/1" -> ()
+        match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+        | Some "fsync-bench/1" -> check_bench path doc
+        | Some "fsyncd-status/1" -> check_status path doc
         | Some other -> fail path "unknown schema %S" other
-        | None -> fail path "missing \"schema\" field");
-        (match Option.bind (Json.member "scale" doc) Json.to_string_opt with
-        | Some _ -> ()
-        | None -> fail path "missing \"scale\" field");
-        match Option.bind (Json.member "records" doc) Json.to_list_opt with
-        | Some [] -> fail path "\"records\" is empty"
-        | Some records ->
-            List.iteri (check_record path) records;
-            if !errors = 0 then
-              Printf.printf "benchjson: %s: ok (%d records)\n" path
-                (List.length records)
-        | None -> fail path "missing \"records\" array")
+        | None -> fail path "missing \"schema\" field")
   end
 
 let () =
