@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke serve-smoke examples doc clean soak lint torture torture-smoke
+.PHONY: all build test check bench bench-smoke serve-smoke swarm-smoke examples doc clean soak lint torture torture-smoke
 
 all: build
 
@@ -18,15 +18,16 @@ lint:
 
 # What CI runs: full build (including examples and benches), the test
 # suite, the lint ratchet, the bench-smoke JSON round trip, the daemon
-# end-to-end smoke (serve + concurrent pulls over TCP), and the reduced
-# crash-tolerance torture matrix.
-check: build test lint bench-smoke serve-smoke torture-smoke
+# end-to-end smoke (serve + concurrent pulls over TCP), the swarm
+# end-to-end smoke (3 forked peers converging over TCP), and the
+# reduced crash-tolerance torture matrix.
+check: build test lint bench-smoke serve-smoke swarm-smoke torture-smoke
 
 # QUICK=1 runs only the JSON-exporting scenarios on their reduced
 # matrices — a smoke test fast enough for CI.
 bench:
 ifeq ($(QUICK),1)
-	QUICK=1 dune exec bench/main.exe -- metadata collection server store
+	QUICK=1 dune exec bench/main.exe -- metadata collection server store swarm
 else
 	dune exec bench/main.exe
 endif
@@ -37,7 +38,7 @@ bench-smoke:
 	$(MAKE) bench QUICK=1
 	dune exec tools/benchjson/benchjson.exe -- \
 	  BENCH_metadata.json BENCH_collection.json BENCH_server.json \
-	  BENCH_store.json
+	  BENCH_store.json BENCH_swarm.json
 
 # Daemon end-to-end smoke: start `fsync serve` on an ephemeral TCP port,
 # run four concurrent `fsync pull`s (one through an injected-fault link),
@@ -45,6 +46,15 @@ bench-smoke:
 serve-smoke:
 	dune build bin/fsync.exe tools/benchjson/benchjson.exe
 	sh tools/serve_smoke.sh
+
+# Swarm end-to-end smoke: three forked `fsync swarm serve` peers on
+# ephemeral ports with divergent edits (one deliberate conflict), a
+# joiner relaying gossip until every exchange short-circuits, then
+# byte-identical convergence, conflict surfacing, quorum read-repair
+# and rev-2 pull interop asserted, and a clean SIGTERM shutdown.
+swarm-smoke:
+	dune build bin/fsync.exe
+	sh tools/swarm_smoke.sh
 
 examples:
 	dune exec examples/quickstart.exe

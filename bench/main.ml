@@ -20,6 +20,9 @@
      store    chunk-store dedup: overlapping client pushes with and
               without the store (BENCH_store.json, dedup ratio and the
               warm-restart signature-cache rate)
+     swarm    N-peer anti-entropy: peers x change-rate matrix, gossip
+              rounds-to-convergence and bytes-on-wire vs the all-pairs
+              pairwise baseline (BENCH_swarm.json, schema fsync-swarm/1)
      torture  crash-tolerance matrix: {crash point x disk-fault
               schedule} x {push, pull, gc, compact} under injected
               faults, restart + fsck + convergence asserted per cell,
@@ -1603,12 +1606,244 @@ let speed () =
     results;
   print_newline ()
 
+(* ---- swarm: N-peer anti-entropy vs the all-pairs baseline ---- *)
+
+(* Peers x change-rate matrix (DESIGN.md §13): K peers diverge from a
+   common base by editing [rate * files] files each, then converge two
+   ways — the swarm's seeded random gossip ({!Fsync_swarm.Swarm_loopback},
+   O(log K) expected rounds, Merkle descent per session) and the
+   pre-swarm baseline of every peer pairwise-pulling from every other
+   peer (K*(K-1) rev-2 sessions, full metadata each).  Both are the real
+   measured protocols; BENCH_swarm.json (schema fsync-swarm/1) records
+   bytes-on-wire, rounds and conflicts per cell, and each gossip record
+   carries its bytes ratio against the baseline — the acceptance bar
+   (<= 0.5 at 1% change) is enforced by tools/benchjson. *)
+
+let swarm () =
+  let module Prng = Fsync_util.Prng in
+  let module Text_gen = Fsync_workload.Text_gen in
+  let module Replica = Fsync_swarm.Replica in
+  let module Swarm = Fsync_swarm.Swarm_loopback in
+  let module Sloop = Fsync_server.Loopback in
+  let module Sigcache = Fsync_server.Sigcache in
+  let module Io = Fsync_store.Io in
+  let quick = quick_mode () in
+  let peer_counts = if quick then [ 4; 8 ] else [ 4; 8; 16 ] in
+  let rates = if quick then [ 0.01; 0.10 ] else [ 0.01; 0.05; 0.20 ] in
+  let base_files = if quick then 60 else 200 in
+  Printf.printf "swarm scenario [%s]: %d base files, peers x rate = %s\n"
+    (if quick then "quick" else "full")
+    base_files
+    (String.concat ", "
+       (List.concat_map
+          (fun k -> List.map (fun r -> Printf.sprintf "%dx%.2f" k r) rates)
+          peer_counts));
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let with_swarm_root f =
+    let dir = Filename.temp_file "fsync_bench_swarm" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  (* The shared base every peer starts from, and the per-peer seeded
+     edits ([max 1 (rate * files)] files each, appended lines at random
+     positions).  Overlapping picks at high rates become genuine
+     concurrent edits and must surface as conflict siblings. *)
+  let base_tree ~peers =
+    let rng = Prng.create (Int64.of_int ((peers * 7919) + base_files)) in
+    List.init base_files (fun i ->
+        (Printf.sprintf "src/f%03d.c" i, Text_gen.c_like rng ~lines:40))
+  in
+  let peer_edits ~peers ~rate base =
+    let files = Array.of_list base in
+    let changed = max 1 (int_of_float (rate *. float_of_int base_files)) in
+    List.init peers (fun p ->
+        let prng = Prng.create (Int64.of_int ((p * 104729) + peers)) in
+        let picks = Hashtbl.create changed in
+        while Hashtbl.length picks < changed do
+          Hashtbl.replace picks (Prng.int prng base_files) ()
+        done;
+        let idxs =
+          List.sort Int.compare
+            (Hashtbl.fold (fun i () acc -> i :: acc) picks [])
+        in
+        List.map
+          (fun i ->
+            let path, content = files.(i) in
+            (path, content ^ Text_gen.c_like prng ~lines:6))
+          idxs)
+  in
+  let write_tree root tree =
+    List.iter
+      (fun (path, content) ->
+        let dest = Filename.concat root path in
+        Io.mkdir_p Io.real (Filename.dirname dest);
+        let oc = open_out_bin dest in
+        output_string oc content;
+        close_out oc)
+      tree
+  in
+  let counters reg =
+    Json.Obj
+      (List.map
+         (fun (name, v) -> (name, Json.Int v))
+         (Fsync_obs.Registry.counters reg))
+  in
+  let swarm_record ~peers ~rate ~mode ~rounds ~sessions ~bytes ~conflicts
+      ?ratio reg =
+    Json.Obj
+      ([
+         ("peers", Json.Int peers);
+         ("change_rate", Json.Float rate);
+         ("mode", Json.String mode);
+         ("rounds", Json.Int rounds);
+         ("sessions", Json.Int sessions);
+         ("bytes", Json.Int bytes);
+         ("conflicts", Json.Int conflicts);
+       ]
+      @ (match ratio with
+        | Some r -> [ ("baseline_ratio", Json.Float r) ]
+        | None -> [])
+      @ [ ("counters", counters reg) ])
+  in
+  let records =
+    List.concat_map
+      (fun peers ->
+        List.concat_map
+          (fun rate ->
+            let base = base_tree ~peers in
+            let edits = peer_edits ~peers ~rate base in
+            (* Each peer's divergent tree: the base with its own edits
+               applied — the state both protocols start from. *)
+            let trees =
+              List.map
+                (fun es ->
+                  List.map
+                    (fun (path, content) ->
+                      match
+                        List.find_opt (fun (p, _) -> String.equal p path) es
+                      with
+                      | Some (_, edited) -> (path, edited)
+                      | None -> (path, content))
+                    base)
+                edits
+            in
+            (* Baseline: every ordered pair runs one rev-2 pairwise
+               pull over the divergent state — what keeping K replicas
+               fresh costs without the swarm layer. *)
+            let (base_bytes, base_sessions), base_reg, _ =
+              observed (fun scope ->
+                  List.fold_left
+                    (fun acc (i, client) ->
+                      List.fold_left
+                        (fun (bytes, sessions) (j, server) ->
+                          if Int.equal i j then (bytes, sessions)
+                          else begin
+                            let cache = Sigcache.create ~scope () in
+                            let r, _ =
+                              Sloop.run_in_memory ~scope ~cache ~server
+                                ~client ()
+                            in
+                            ( bytes + r.Sloop.c2s_bytes + r.Sloop.s2c_bytes,
+                              sessions + 1 )
+                          end)
+                        acc
+                        (List.mapi (fun j t -> (j, t)) trees))
+                    (0, 0)
+                    (List.mapi (fun i t -> (i, t)) trees))
+            in
+            (* The swarm: replicas sharing causal history (one warm-up
+               convergence over the identical base), then the seeded
+               divergent edits, then measured gossip until byte-identical
+               convergence. *)
+            let (gossip_bytes, rounds, sessions, conflicts), reg, _ =
+              observed (fun scope ->
+                  with_swarm_root (fun dir ->
+                      let replicas =
+                        List.init peers (fun i ->
+                            let root =
+                              Filename.concat dir (Printf.sprintf "p%d" i)
+                            in
+                            Unix.mkdir root 0o755;
+                            write_tree root base;
+                            Replica.load ~root
+                              ~peer:(Printf.sprintf "p%d" i) ())
+                      in
+                      (* Merge the per-peer load vectors so divergence
+                         below is the only difference being measured. *)
+                      ignore
+                        (Swarm.run
+                           (Swarm.create ~seed:(Int64.of_int peers) replicas));
+                      List.iter2
+                        (fun r es ->
+                          List.iter
+                            (fun (path, content) ->
+                              Replica.set r ~path content)
+                            es)
+                        replicas edits;
+                      let sw =
+                        Swarm.create
+                          ~seed:(Int64.of_int ((peers * 31) + 1))
+                          ~scope replicas
+                      in
+                      (* Swarm.run itself raises a typed error if the
+                         replicas fail to reach a common root. *)
+                      let rounds = Swarm.run sw in
+                      ( Swarm.bytes sw,
+                        rounds,
+                        Swarm.sessions sw,
+                        Swarm.conflicts sw )))
+            in
+            let ratio =
+              float_of_int gossip_bytes /. float_of_int (max 1 base_bytes)
+            in
+            Printf.printf
+              "  %2d peers @ %4.0f%%: gossip %8d B in %d rounds \
+               (%d sessions, %d conflicts) vs all-pairs %9d B (%d pulls) \
+               -> ratio %.2f\n"
+              peers (100.0 *. rate) gossip_bytes rounds sessions conflicts
+              base_bytes base_sessions ratio;
+            [
+              swarm_record ~peers ~rate ~mode:"all-pairs"
+                ~rounds:base_sessions ~sessions:base_sessions
+                ~bytes:base_bytes ~conflicts:0 base_reg;
+              swarm_record ~peers ~rate ~mode:"gossip" ~rounds ~sessions
+                ~bytes:gossip_bytes ~conflicts ~ratio reg;
+            ])
+          rates)
+      peer_counts
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "fsync-swarm/1");
+        ("generated_unix_s", Json.Float (Unix.gettimeofday ()));
+        ("scale", Json.String (Datasets.scale_name ()));
+        ("quick", Json.Bool quick);
+        ("records", Json.List records);
+      ]
+  in
+  let oc = open_out "BENCH_swarm.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_swarm.json (%d records)\n" (List.length records)
+
 (* ---- driver ---- *)
 
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|store|torture|ablate|dispersion|latency|broadcast|theory|speed|all]"
+     [fig61|fig62|fig63|fig64|table61|table62|metadata|collection|server|store|swarm|torture|ablate|dispersion|latency|broadcast|theory|speed|all]"
 
 let () =
   let targets =
@@ -1625,6 +1860,7 @@ let () =
     | "collection" -> collection ()
     | "server" -> server ()
     | "store" -> store ()
+    | "swarm" -> swarm ()
     | "torture" -> torture ()
     | "ablate" -> ablate ()
     | "dispersion" -> dispersion ()
@@ -1643,6 +1879,7 @@ let () =
         collection ();
         server ();
         store ();
+        swarm ();
         torture ();
         ablate ();
         dispersion ();

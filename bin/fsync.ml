@@ -1111,6 +1111,275 @@ let trace_cmd =
        ~doc:"Work with --trace-json event streams (DESIGN.md \194\1679).")
     [ trace_report_cmd ]
 
+(* ---- swarm: N-peer anti-entropy (DESIGN.md §13) ---- *)
+
+let swarm_root_arg =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"ROOT" ~doc:"Replica root directory.")
+
+let swarm_id_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "id" ] ~docv:"PEER"
+        ~doc:
+          "This replica's peer id.  Version-vector counters are keyed by \
+           it, so keep it stable across runs and unique across the swarm.")
+
+let swarm_peers_arg =
+  Arg.(
+    value
+    & opt_all host_port_conv []
+    & info [ "peer" ] ~docv:"HOST:PORT"
+        ~doc:"A swarm member to exchange with (repeatable).")
+
+let load_replica ~root ~peer ~scope =
+  Fsync_swarm.Replica.load ~scope ~root ~peer ()
+
+let swarm_serve_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "0.0.0.0"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Numeric address to bind.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 9431
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let run root id host port metrics trace_json =
+    log_to_stderr ();
+    let reg, scope = make_obs ~metrics ~trace_json in
+    let replica = load_replica ~root ~peer:id ~scope in
+    let peer = Fsync_swarm.Peer.create ~scope replica in
+    match Fsync_swarm.Peer.listen peer ~host ~port with
+    | bound ->
+        Format.printf "swarm peer %s serving %s on %s:%d (%d files)@." id
+          root host bound
+          (List.length (Fsync_swarm.Replica.files replica));
+        let stop _ = Fsync_swarm.Peer.request_stop peer in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Fsync_swarm.Peer.run peer;
+        let st = Fsync_swarm.Peer.stats peer in
+        Format.printf
+          "swarm peer done: %d accepted (%d gossip, %d plain), %d \
+           completed, %d failed, %d timeouts@."
+          st.Fsync_swarm.Peer.accepted st.Fsync_swarm.Peer.gossip_sessions
+          st.Fsync_swarm.Peer.plain_sessions st.Fsync_swarm.Peer.completed
+          st.Fsync_swarm.Peer.failed st.Fsync_swarm.Peer.timeouts;
+        emit_obs ~metrics ~trace_json reg;
+        `Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot listen on %s:%d: %s" host port
+              (Unix.error_message e) )
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve this replica to the swarm: gossip exchanges and plain \
+          pulls on one port.")
+    Term.(
+      ret
+        (const run $ swarm_root_arg $ swarm_id_arg $ host_arg $ port_arg
+       $ metrics_arg $ trace_json_arg))
+
+let pp_gossip_stats who (s : Fsync_swarm.Gossip.stats) =
+  Format.printf
+    "%s: %s%d conflicts, %d pulled, %d installed, %d B in, %d B out@." who
+    (if s.Fsync_swarm.Gossip.short_circuit then "already converged, " else "")
+    s.Fsync_swarm.Gossip.conflicts s.Fsync_swarm.Gossip.files_pulled
+    s.Fsync_swarm.Gossip.installs s.Fsync_swarm.Gossip.bytes_in
+    s.Fsync_swarm.Gossip.bytes_out
+
+let swarm_join_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Gossip rounds: each round exchanges with every listed peer \
+             once, stopping early once every exchange short-circuits.")
+  in
+  let run root id peers rounds metrics trace_json =
+    log_to_stderr ();
+    if List.length peers = 0 then
+      `Error (false, "swarm join: need at least one --peer HOST:PORT")
+    else begin
+      let reg, scope = make_obs ~metrics ~trace_json in
+      let replica = load_replica ~root ~peer:id ~scope in
+      let failures = ref 0 in
+      let converged = ref false in
+      let round = ref 0 in
+      while (not !converged) && !round < max 1 rounds do
+        incr round;
+        let all_short = ref true in
+        List.iter
+          (fun (host, port) ->
+            match
+              Fsync_swarm.Peer.gossip ~scope ~host ~port replica
+            with
+            | s ->
+                pp_gossip_stats (Printf.sprintf "%s:%d" host port) s;
+                if not s.Fsync_swarm.Gossip.short_circuit then
+                  all_short := false
+            | exception e ->
+                incr failures;
+                all_short := false;
+                Format.printf "%s:%d: failed: %s@." host port
+                  (match Fsync_core.Error.of_exn e with
+                  | Some err -> Fsync_core.Error.to_string err
+                  | None -> Printexc.to_string e))
+          peers;
+        converged := !all_short
+      done;
+      Format.printf "root %s after %d round%s%s@."
+        (Fsync_hash.Fingerprint.to_hex (Fsync_swarm.Replica.summary replica))
+        !round
+        (if !round = 1 then "" else "s")
+        (if !converged then " (converged with every peer)" else "");
+      emit_obs ~metrics ~trace_json reg;
+      if !failures > 0 then
+        `Error (false, Printf.sprintf "%d exchange(s) failed" !failures)
+      else `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "join"
+       ~doc:
+         "Run anti-entropy exchanges against the listed peers until \
+          converged (or the round budget runs out).")
+    Term.(
+      ret
+        (const run $ swarm_root_arg $ swarm_id_arg $ swarm_peers_arg
+       $ rounds_arg $ metrics_arg $ trace_json_arg))
+
+let swarm_status_cmd =
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print every entry's version vector.")
+  in
+  let run root id verbose =
+    let replica =
+      load_replica ~root ~peer:id ~scope:Fsync_obs.Scope.disabled
+    in
+    let entries = Fsync_swarm.Replica.entries replica in
+    let present, tombstones =
+      List.partition
+        (fun (_, e) -> e.Fsync_swarm.Replica.present)
+        entries
+    in
+    let conflicts =
+      List.filter
+        (fun (p, _) ->
+          Fsync_swarm.Plan.is_conflict_path p)
+        present
+    in
+    Format.printf "peer %s at %s@." id root;
+    Format.printf "root %s@."
+      (Fsync_hash.Fingerprint.to_hex (Fsync_swarm.Replica.summary replica));
+    Format.printf "%d files, %d tombstones, %d unresolved conflict file%s@."
+      (List.length present) (List.length tombstones)
+      (List.length conflicts)
+      (if List.length conflicts = 1 then "" else "s");
+    List.iter
+      (fun (p, _) -> Format.printf "  conflict: %s@." p)
+      conflicts;
+    if verbose then
+      List.iter
+        (fun (p, e) ->
+          Format.printf "  %s %s by %s %s (%d B)@." p
+            (if e.Fsync_swarm.Replica.present then "present" else "tombstone")
+            e.Fsync_swarm.Replica.author
+            (Fsync_swarm.Version_vector.pp e.Fsync_swarm.Replica.vv)
+            e.Fsync_swarm.Replica.len)
+        entries;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Show this replica's swarm state: root digest, entry counts, \
+          unresolved conflict files.")
+    Term.(ret (const run $ swarm_root_arg $ swarm_id_arg $ verbose_arg))
+
+let swarm_repair_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Replica-relative path to repair.")
+  in
+  let run root id peers path =
+    log_to_stderr ();
+    if List.length peers = 0 then
+      `Error (false, "swarm repair: need at least one --peer HOST:PORT")
+    else begin
+      let replica =
+        load_replica ~root ~peer:id ~scope:Fsync_obs.Scope.disabled
+      in
+      let answered = ref 0 in
+      List.iter
+        (fun (host, port) ->
+          match Fsync_swarm.Peer.repair ~host ~port replica ~path with
+          | o ->
+              incr answered;
+              Format.printf "%s:%d (%s): %s, %d pulled, %d installed%s@."
+                host port o.Fsync_swarm.Repair.peer
+                (if o.Fsync_swarm.Repair.had_entry then "knows it"
+                 else "never heard of it")
+                o.Fsync_swarm.Repair.pulled o.Fsync_swarm.Repair.installed
+                (if o.Fsync_swarm.Repair.conflict then ", CONFLICT surfaced"
+                 else "")
+          | exception e ->
+              Format.printf "%s:%d: failed: %s@." host port
+                (match Fsync_core.Error.of_exn e with
+                | Some err -> Fsync_core.Error.to_string err
+                | None -> Printexc.to_string e))
+        peers;
+      let quorum = (List.length peers / 2) + 1 in
+      (match Fsync_swarm.Replica.find replica path with
+      | Some e when e.Fsync_swarm.Replica.present ->
+          Format.printf "%s: %d B, %s@." path e.Fsync_swarm.Replica.len
+            (Fsync_swarm.Version_vector.pp e.Fsync_swarm.Replica.vv)
+      | Some _ -> Format.printf "%s: deleted (tombstone)@." path
+      | None -> Format.printf "%s: unknown everywhere@." path);
+      if !answered >= quorum then begin
+        Format.printf "quorum: %d/%d peers answered@." !answered
+          (List.length peers);
+        `Ok ()
+      end
+      else
+        `Error
+          ( false,
+            Printf.sprintf "no quorum: %d/%d peers answered (need %d)"
+              !answered (List.length peers) quorum )
+    end
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Quorum read-repair one path: probe every listed peer, merge \
+          their entries into the local replica, pull winning content.")
+    Term.(
+      ret
+        (const run $ swarm_root_arg $ swarm_id_arg $ swarm_peers_arg
+       $ path_arg))
+
+let swarm_cmd =
+  Cmd.group
+    (Cmd.info "swarm"
+       ~doc:
+         "N-peer anti-entropy: version vectors, gossip reconciliation, \
+          quorum read-repair (DESIGN.md \194\16713).")
+    [ swarm_serve_cmd; swarm_join_cmd; swarm_status_cmd; swarm_repair_cmd ]
+
 (* ---- info ---- *)
 
 let info_cmd =
@@ -1137,6 +1406,7 @@ let main =
       admin_cmd;
       top_cmd;
       trace_cmd;
+      swarm_cmd;
       info_cmd;
     ]
 

@@ -1,0 +1,46 @@
+(** The receiving side of one file's transfer (the paper's recursive
+    multiround protocol, client half).
+
+    Extracted from {!Puller} so the swarm gossip exchange
+    ({!Fsync_swarm.Gossip}) fetches files through the very same
+    matching and reconstruction code — level-hash window index, offset
+    prediction, tail probes, verified rebuild — as the plain client. *)
+
+type counters = {
+  mutable rounds : int;
+  mutable matched_bytes : int;
+  mutable literal_bytes : int;
+}
+(** Shared across the files of a session; the caller owns the record. *)
+
+val fresh_counters : unit -> counters
+
+type t
+
+val create :
+  who:string ->
+  config:Msg.sync_config ->
+  counters:counters ->
+  path:string ->
+  new_len:int ->
+  fp:Fsync_hash.Fingerprint.t ->
+  old:string ->
+  t
+(** State for one announced [File_begin].  [old] is the local copy the
+    level hashes are matched against ([""] when none). *)
+
+val path : t -> string
+
+val expect_tail : t -> bool
+(** True once the split floor was reached: the next message must be the
+    [Tail], not another [Hashes] round. *)
+
+val on_hashes : t -> int array -> Msg.t list
+(** Match one round of level hashes; the [Matched] bitmap reply. *)
+
+val on_tail :
+  t -> string -> [ `Verified of string | `Mismatch ] * Msg.t list
+(** Rebuild from matches plus the deflated literals and verify the
+    whole-file fingerprint.  [`Verified content] comes with
+    [File_ack true]; [`Mismatch] with [File_ack false] (the server
+    answers with a verified [Full]). *)

@@ -3,10 +3,12 @@ module Varint = Fsync_util.Varint
 module Error = Fsync_core.Error
 
 (* Protocol revision 2 appends an optional 16-byte trace id to [Hello]
-   (DESIGN.md §9).  Revision 1 peers interoperate both ways: a v1
-   client's Hello simply carries no id (the server mints one), and both
-   endpoints accept any version in [min_version..version]. *)
-let version = 2
+   (DESIGN.md §9); revision 3 appends an optional swarm extension after
+   it (peer id + entry-table root digest, DESIGN.md §13).  Older peers
+   interoperate: a v1 client's Hello simply carries no id (the server
+   mints one), a v2 client's no swarm extension, and both endpoints
+   accept any version in [min_version..version]. *)
+let version = 3
 
 let min_version = 1
 
@@ -28,8 +30,14 @@ let hash_width c = (c.hash_bits + 7) / 8
 
 let trace_bytes = 16
 
+type swarm_hello = { peer : string; summary : Fp.t }
+
 type t =
-  | Hello of { version : int; trace : string option }
+  | Hello of {
+      version : int;
+      trace : string option;
+      swarm : swarm_hello option;
+    }
       (** [trace], when present, is exactly {!trace_bytes} raw bytes *)
   | Welcome of {
       version : int;
@@ -58,6 +66,11 @@ type t =
   | Push_done
   | Resume of { root : Fp.t; bitmap : string }
   | Busy of { retry_after_ms : int }
+  | Swarm_table of string
+  | Swarm_recon of string
+  | Swarm_query of string
+  | Swarm_fetch of string
+  | Swarm_end
 
 let tag_of = function
   | Hello _ -> 'H'
@@ -78,6 +91,11 @@ let tag_of = function
   | Push_done -> 'D'
   | Resume _ -> 'R'
   | Busy _ -> 'U'
+  | Swarm_table _ -> 'G'
+  | Swarm_recon _ -> 'J'
+  | Swarm_query _ -> 'Q'
+  | Swarm_fetch _ -> 'X'
+  | Swarm_end -> 'O'
 
 let label = function
   | Hello _ -> "srv:hello"
@@ -98,6 +116,11 @@ let label = function
   | Push_done -> "push:done"
   | Resume _ -> "srv:resume"
   | Busy _ -> "srv:busy"
+  | Swarm_table _ -> "swarm:table"
+  | Swarm_recon _ -> "swarm:recon"
+  | Swarm_query _ -> "swarm:query"
+  | Swarm_fetch _ -> "swarm:fetch"
+  | Swarm_end -> "swarm:end"
 
 (* Label an already-encoded frame by its tag byte alone, for channel
    transcripts on transports that never decode what they carry. *)
@@ -123,6 +146,11 @@ let wire_label raw =
     | 'D' -> "push:done"
     | 'R' -> "srv:resume"
     | 'U' -> "srv:busy"
+    | 'G' -> "swarm:table"
+    | 'J' -> "swarm:recon"
+    | 'Q' -> "swarm:query"
+    | 'X' -> "swarm:fetch"
+    | 'O' -> "swarm:end"
     | _ -> "srv:?"
 
 (* ---- encoding ---- *)
@@ -148,12 +176,23 @@ let encode ~config msg =
   let b = Buffer.create 64 in
   Buffer.add_char b (tag_of msg);
   (match msg with
-  | Hello { version; trace } -> (
+  | Hello { version; trace; swarm } ->
       Varint.write b version;
-      match trace with
+      (* The swarm extension sits after the trace id, so its presence
+         requires one: a swarm Hello without a caller-supplied trace
+         carries an all-zero id (the server mints its own then, exactly
+         as for a v1 peer). *)
+      (match trace with
       | Some id when Int.equal (String.length id) trace_bytes ->
           Buffer.add_string b id
-      | Some _ | None -> ())
+      | Some _ | None ->
+          if Option.is_some swarm then
+            Buffer.add_string b (String.make trace_bytes '\000'));
+      (match swarm with
+      | Some { peer; summary } ->
+          put_string b peer;
+          Buffer.add_string b (Fp.to_raw summary)
+      | None -> ())
   | Welcome { version; file_count; root; config } ->
       Varint.write b version;
       Varint.write b file_count;
@@ -181,7 +220,10 @@ let encode ~config msg =
       put_manifest b manifest
   | Chunk_need bitmap -> Buffer.add_string b bitmap
   | Chunk_data z -> Buffer.add_string b z
-  | Push_done -> ()
+  | Swarm_table body | Swarm_recon body | Swarm_query body | Swarm_fetch body
+    ->
+      Buffer.add_string b body
+  | Push_done | Swarm_end -> ()
   | Resume { root; bitmap } ->
       Buffer.add_string b (Fp.to_raw root);
       Buffer.add_string b bitmap
@@ -240,13 +282,28 @@ let decode ~config msg =
   | 'H' ->
       let version, pos = Varint.read msg ~pos in
       (* A v1 Hello ends at the varint; v2 appends exactly the trace
-         id.  Anything else trailing is a framing bug, not a trace. *)
-      let trace =
-        if Int.equal (String.length msg - pos) trace_bytes then
-          Some (rest msg pos)
-        else None
-      in
-      Hello { version; trace }
+         id; v3 may append the swarm extension after it.  Any other
+         shape is a framing bug, not a trace. *)
+      let remaining = String.length msg - pos in
+      if Int.equal remaining 0 then
+        Hello { version; trace = None; swarm = None }
+      else if Int.equal remaining trace_bytes then
+        Hello { version; trace = Some (rest msg pos); swarm = None }
+      else if remaining > trace_bytes then begin
+        let trace = String.sub msg pos trace_bytes in
+        let pos = pos + trace_bytes in
+        let peer, pos = get_string msg ~pos "swarm peer id" in
+        let summary, pos = get_fp msg ~pos "swarm summary" in
+        if not (Int.equal pos (String.length msg)) then
+          Error.malformed "Msg: %d stray bytes after swarm hello"
+            (String.length msg - pos);
+        let trace =
+          if String.equal trace (String.make trace_bytes '\000') then None
+          else Some trace
+        in
+        Hello { version; trace; swarm = Some { peer; summary } }
+      end
+      else Hello { version; trace = None; swarm = None }
   | 'W' ->
       let version, pos = Varint.read msg ~pos in
       let file_count, pos = Varint.read msg ~pos in
@@ -307,6 +364,11 @@ let decode ~config msg =
       let retry_after_ms, _ = Varint.read msg ~pos in
       if retry_after_ms < 0 then Error.malformed "Msg: negative retry-after";
       Busy { retry_after_ms }
+  | 'G' -> Swarm_table (rest msg pos)
+  | 'J' -> Swarm_recon (rest msg pos)
+  | 'Q' -> Swarm_query (rest msg pos)
+  | 'X' -> Swarm_fetch (rest msg pos)
+  | 'O' -> Swarm_end
   | c -> Error.malformed "Msg: unknown tag %C" c
 
 (* ---- shared protocol rules ----

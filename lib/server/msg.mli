@@ -40,7 +40,9 @@
     v} *)
 
 val version : int
-(** Current protocol revision (2: [Hello] may carry a trace id). *)
+(** Current protocol revision (3: [Hello] may carry a trace id and,
+    after it, the swarm extension — peer id plus entry-table root
+    digest, DESIGN.md §13). *)
 
 val min_version : int
 (** Oldest revision both endpoints still accept (1). *)
@@ -69,11 +71,28 @@ val validate_sync_config : sync_config -> sync_config
 val hash_width : sync_config -> int
 (** Bytes per truncated hash on the wire. *)
 
+type swarm_hello = {
+  peer : string;  (** the initiating replica's peer id *)
+  summary : Fsync_hash.Fingerprint.t;
+      (** root digest of the initiator's swarm entry table
+          ({!Fsync_swarm.Replica}): equal summaries short-circuit a
+          gossip session to a handful of tiny frames *)
+}
+(** The v3 [Hello] extension that turns a session into an anti-entropy
+    gossip exchange (DESIGN.md §13). *)
+
 type t =
-  | Hello of { version : int; trace : string option }
+  | Hello of {
+      version : int;
+      trace : string option;
+      swarm : swarm_hello option;
+    }
       (** [trace] is exactly {!trace_bytes} raw bytes when present; a
           v1 peer sends none and the server mints an id of its own, so
-          every session ends up traceable either way (DESIGN.md §9) *)
+          every session ends up traceable either way (DESIGN.md §9).
+          [swarm] (v3) asks the peer for a gossip exchange instead of a
+          plain pull/push session; its wire form requires a trace slot,
+          so a swarm Hello without a trace carries an all-zero id. *)
   | Welcome of {
       version : int;
       file_count : int;
@@ -121,6 +140,23 @@ type t =
   | Busy of { retry_after_ms : int }
       (** server → client, instead of [Welcome]: the daemon is at its
           session cap; reconnect after the given delay (DESIGN.md §12) *)
+  | Swarm_table of string
+      (** {!Fsync_swarm.Swarm_wire} entry-table bytes: each endpoint's
+          version-vector entries for the paths the recon descent found
+          to differ *)
+  | Swarm_recon of string
+      (** one round of the split Merkle descent over the entry table
+          ({!Fsync_swarm.Swarm_wire}: greeting, range queries, range
+          replies) *)
+  | Swarm_query of string
+      (** read-repair: ask for the entry of one path ([""] = the whole
+          table, for [fsync swarm status]) *)
+  | Swarm_fetch of string
+      (** read-repair: ask for the verified [Full] payload of a path *)
+  | Swarm_end
+      (** end of the sender's serving direction inside a gossip
+          session; from the initiator after the push phase it asks for
+          the closing [Bye] *)
 
 val label : t -> string
 (** Channel transcript label ([srv:*], plus the shared [linear:*] /

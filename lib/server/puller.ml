@@ -1,30 +1,14 @@
 module Fp = Fsync_hash.Fingerprint
-module Block_tree = Fsync_core.Block_tree
-module Candidates = Fsync_core.Candidates
-module Poly_hash = Fsync_hash.Poly_hash
 module Error = Fsync_core.Error
-module Deflate = Fsync_compress.Deflate
 module Meta_wire = Fsync_collection.Meta_wire
 module Scope = Fsync_obs.Scope
 module Trace_id = Fsync_obs.Trace_id
-
-type file_progress = {
-  path : string;
-  new_len : int;
-  fp : Fp.t;
-  old : string;
-  tree : Block_tree.t;
-  mutable matches : (int * int * int) list; (* (new_off, len, old_pos), rev *)
-  mutable delta : int; (* last observed old_pos - new_off: offset prediction *)
-  mutable index : (int * Candidates.t) option; (* per-level window index *)
-  mutable expect_tail : bool;
-}
 
 type phase =
   | Expect_welcome
   | Expect_verdict
   | Expect_file
-  | In_file of file_progress
+  | In_file of Fetch_file.t
   | Done
 
 type resume_token = {
@@ -48,9 +32,7 @@ type t = {
   mutable server_root : Fp.t option; (* from Welcome *)
   mutable new_paths : string list option; (* from Verdict *)
   mutable resumed_files : int; (* jobs skipped via the resume token *)
-  mutable rounds : int;
-  mutable matched_bytes : int;
-  mutable literal_bytes : int;
+  counters : Fetch_file.counters;
 }
 
 let create ?(scope = Scope.disabled) ?trace_id ?resume files =
@@ -68,9 +50,7 @@ let create ?(scope = Scope.disabled) ?trace_id ?resume files =
     server_root = None;
     new_paths = None;
     resumed_files = 0;
-    rounds = 0;
-    matched_bytes = 0;
-    literal_bytes = 0;
+    counters = Fetch_file.fresh_counters ();
   }
 
 let enc t m = Msg.encode ~config:t.config m
@@ -107,20 +87,14 @@ let sync_phase t =
       if Option.is_none t.span_phase then set_phase t "phase:metadata"
   | In_file p ->
       set_phase t
-        (if p.expect_tail then "phase:literals" else "phase:hash_rounds")
+        (if Fetch_file.expect_tail p then "phase:literals"
+         else "phase:hash_rounds")
   | Done -> end_phases t
 
 let start t =
   t.span_session <- Scope.enter t.scope "session";
   sync_phase t;
-  [
-    enc t
-      (Msg.Hello
-         {
-           version = Msg.version;
-           trace = Option.map Trace_id.to_raw t.trace_id;
-         });
-  ]
+  [ enc t (Handshake.hello ?trace:t.trace_id ()) ]
 
 let finished t = match t.phase with Done -> true | _ -> false
 
@@ -141,117 +115,6 @@ let add_received t path content =
   t.received <-
     (path, content)
     :: List.filter (fun (p, _) -> not (String.equal p path)) t.received
-
-(* ---- per-round matching ---- *)
-
-let level_index p ~size ~bits =
-  if String.length p.old < size then None
-  else
-    match p.index with
-    | Some (s, idx) when Int.equal s size -> Some idx
-    | _ ->
-        let idx = Candidates.build p.old ~window:size ~bits in
-        p.index <- Some (size, idx);
-        Some idx
-
-(* A block shorter than the round's window (the file tail) cannot use
-   the rolling index; probe the predicted and the same-offset positions
-   directly. *)
-let match_short p (b : Block_tree.block) ~bits h =
-  let try_pos pos =
-    pos >= 0
-    && pos + b.len <= String.length p.old
-    && Int.equal
-         (Poly_hash.truncate
-            (Poly_hash.hash_sub p.old ~pos ~len:b.len)
-            ~bits)
-         h
-  in
-  let predicted = b.off + p.delta in
-  if try_pos predicted then Some predicted
-  else if (not (Int.equal predicted b.off)) && try_pos b.off then Some b.off
-  else None
-
-let match_block p idx ~size ~bits (b : Block_tree.block) h =
-  if Int.equal b.len size then
-    match idx with
-    | None -> None
-    | Some idx -> (
-        match
-          Candidates.select ~cap:1
-            ~predicted:(Some (b.off + p.delta))
-            (Candidates.lookup idx h)
-        with
-        | pos :: _ -> Some pos
-        | [] -> None)
-  else match_short p b ~bits h
-
-let on_hashes t p hs =
-  let active = Block_tree.active_blocks p.tree in
-  if not (Int.equal (Array.length hs) (List.length active)) then
-    Error.malformed "Puller: %d hashes for %d active blocks"
-      (Array.length hs) (List.length active);
-  let size = Block_tree.current_size p.tree in
-  let bits = t.config.hash_bits in
-  let idx = level_index p ~size ~bits in
-  let bits_out =
-    List.mapi
-      (fun i (b : Block_tree.block) ->
-        match match_block p idx ~size ~bits b hs.(i) with
-        | Some pos ->
-            b.confirmed <- true;
-            p.matches <- (b.off, b.len, pos) :: p.matches;
-            p.delta <- pos - b.off;
-            true
-        | None -> false)
-      active
-  in
-  t.rounds <- t.rounds + 1;
-  (* Mirror the server's decision so the next message is unambiguous. *)
-  (match Msg.decide_next ~config:t.config p.tree with
-  | `Split -> Block_tree.split p.tree
-  | `Tail -> p.expect_tail <- true);
-  [ Msg.Matched (Msg.encode_bitmap bits_out) ]
-
-(* ---- reconstruction ---- *)
-
-let on_tail t p z =
-  let literals = Deflate.decompress z in
-  let remaining = Block_tree.active_blocks p.tree in
-  let needed =
-    List.fold_left (fun acc (b : Block_tree.block) -> acc + b.len) 0 remaining
-  in
-  if not (Int.equal (String.length literals) needed) then
-    Error.malformed "Puller: %d literal bytes for %d unconfirmed"
-      (String.length literals) needed;
-  let matched =
-    List.fold_left (fun acc (_, len, _) -> acc + len) 0 p.matches
-  in
-  if not (Int.equal (matched + needed) p.new_len) then
-    Error.malformed "Puller: %d matched + %d literal <> %d file bytes" matched
-      needed p.new_len;
-  let out = Bytes.create p.new_len in
-  List.iter
-    (fun (off, len, pos) -> Bytes.blit_string p.old pos out off len)
-    p.matches;
-  let cursor = ref 0 in
-  List.iter
-    (fun (b : Block_tree.block) ->
-      Bytes.blit_string literals !cursor out b.off b.len;
-      cursor := !cursor + b.len)
-    remaining;
-  let content = Bytes.to_string out in
-  t.matched_bytes <- t.matched_bytes + matched;
-  t.literal_bytes <- t.literal_bytes + needed;
-  t.phase <- Expect_file;
-  if Fp.equal (Fp.of_string content) p.fp then begin
-    add_received t p.path content;
-    [ Msg.File_ack true ]
-  end
-  else
-    (* Weak-hash collision led us astray; ask for the verified full
-       copy instead of guessing further. *)
-    [ Msg.File_ack false ]
 
 let on_bye t root =
   let final = t.unchanged @ List.rev t.received in
@@ -296,9 +159,7 @@ let on_message t raw =
   let dispatch () =
     match (t.phase, msg) with
     | Expect_welcome, Msg.Welcome { version; config; root; _ } ->
-        if not (Msg.version_ok version) then
-          Error.malformed "Puller: protocol version %d outside %d..%d"
-            version Msg.min_version Msg.version;
+        Handshake.check_version ~who:"Puller" version;
         t.config <- config;
         t.server_root <- Some root;
         t.phase <- Expect_verdict;
@@ -309,8 +170,7 @@ let on_message t raw =
                  (List.map (fun (p, c) -> (p, Fp.of_string c)) t.files));
           ]
     | Expect_welcome, Msg.Busy { retry_after_ms } ->
-        Error.fail
-          (Error.Busy { retry_after_s = float_of_int retry_after_ms /. 1000. })
+        Handshake.reject_busy ~retry_after_ms
     | Expect_verdict, Msg.Verdict body ->
         let bits, new_paths =
           Meta_wire.decode_verdict ~n_announced:(List.length t.files) body
@@ -321,30 +181,26 @@ let on_message t raw =
         t.phase <- Expect_file;
         []
     | Expect_file, Msg.File_begin { path; new_len; fp } ->
-        let old = find_old t path in
         t.phase <-
           In_file
-            {
-              path;
-              new_len;
-              fp;
-              old;
-              tree =
-                Block_tree.create ~file_len:new_len
-                  ~start_block:t.config.start_block;
-              matches = [];
-              delta = 0;
-              index = None;
-              expect_tail = false;
-            };
+            (Fetch_file.create ~who:"Puller" ~config:t.config
+               ~counters:t.counters ~path ~new_len ~fp ~old:(find_old t path));
         []
-    | In_file p, Msg.Hashes hs when not p.expect_tail -> on_hashes t p hs
-    | In_file p, Msg.Tail z when p.expect_tail -> on_tail t p z
+    | In_file p, Msg.Hashes hs when not (Fetch_file.expect_tail p) ->
+        Fetch_file.on_hashes p hs
+    | In_file p, Msg.Tail z when Fetch_file.expect_tail p ->
+        let outcome, replies = Fetch_file.on_tail p z in
+        t.phase <- Expect_file;
+        (match outcome with
+        | `Verified content -> add_received t (Fetch_file.path p) content
+        | `Mismatch -> ());
+        replies
     | Expect_file, Msg.Full body ->
         set_phase t "phase:literals";
         let path, content = Meta_wire.decode_file_msg ~old_content:"" body in
         add_received t path content;
-        t.literal_bytes <- t.literal_bytes + String.length content;
+        t.counters.literal_bytes <-
+          t.counters.literal_bytes + String.length content;
         [ Msg.File_ack true ]
     | Expect_file, Msg.Bye { root } -> on_bye t root
     | _, Msg.Error_msg m ->
@@ -387,8 +243,8 @@ type stats = {
 
 let stats (t : t) =
   {
-    rounds = t.rounds;
-    matched_bytes = t.matched_bytes;
-    literal_bytes = t.literal_bytes;
+    rounds = t.counters.rounds;
+    matched_bytes = t.counters.matched_bytes;
+    literal_bytes = t.counters.literal_bytes;
     resumed_files = t.resumed_files;
   }

@@ -113,14 +113,7 @@ let sync_phase t =
 let start t =
   t.span_session <- Scope.enter t.scope "session";
   sync_phase t;
-  [
-    enc t
-      (Msg.Hello
-         {
-           version = Msg.version;
-           trace = Option.map Trace_id.to_raw t.trace_id;
-         });
-  ]
+  [ enc t (Handshake.hello ?trace:t.trace_id ()) ]
 
 let finished t = match t.phase with Done -> true | _ -> false
 
@@ -166,14 +159,11 @@ let on_message t raw =
   let dispatch () =
     match (t.phase, msg) with
     | Expect_welcome, Msg.Welcome { version; config; _ } ->
-        if not (Msg.version_ok version) then
-          Error.malformed "Pusher: protocol version %d outside %d..%d"
-            version Msg.min_version Msg.version;
+        Handshake.check_version ~who:"Pusher" version;
         t.config <- config;
         advance t
     | Expect_welcome, Msg.Busy { retry_after_ms } ->
-        Error.fail
-          (Error.Busy { retry_after_s = float_of_int retry_after_ms /. 1000. })
+        Handshake.reject_busy ~retry_after_ms
     | Expect_need job, Msg.Chunk_need bitmap -> on_need t job bitmap
     (* A Chunk_need after our data is the server's one store-failure
        retry: re-send per the new (all-ones) bitmap. *)

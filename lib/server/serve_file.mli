@@ -1,0 +1,62 @@
+(** The serving side of one file's transfer (the paper's recursive
+    multiround protocol, server half).
+
+    Extracted from {!Session} so the swarm gossip exchange
+    ({!Fsync_swarm.Gossip}) serves files through the very same state
+    machine — and therefore the very same bytes — as the daemon, in
+    either direction of a gossip session.
+
+    Message shape per file: either a verified [Full] (no old copy, or
+    the file is too small to split), or [File_begin] + [Hashes] rounds
+    answered by [Matched] bitmaps until the split floor, then the
+    deflated [Tail] literals, then the client's [File_ack].  A false
+    ack gets one verified [Full] retry before a typed
+    [Verification_failed]. *)
+
+type job = {
+  path : string;      (** destination path on the receiving side *)
+  content : string;
+  fp : Fsync_hash.Fingerprint.t;
+  has_old : bool;     (** the receiver holds an old copy to match against *)
+}
+
+type counters = {
+  mutable hashes_total : int;
+  mutable hashes_cached : int;
+  mutable full_fallbacks : int;
+  mutable rounds : int;
+}
+(** Shared across the files of a session; the caller owns the record. *)
+
+val fresh_counters : unit -> counters
+
+type t
+
+val create :
+  ?full_content:(job -> string option) ->
+  ?on_fallback:(unit -> unit) ->
+  who:string ->
+  config:Msg.sync_config ->
+  cache:Sigcache.t ->
+  counters:counters ->
+  job ->
+  t
+(** [full_content] may substitute the payload of a [Full] message (the
+    daemon serves store-assembled bytes when resident); [on_fallback]
+    fires when a false ack triggers the full retry.  [who] prefixes
+    error messages. *)
+
+val job : t -> job
+
+val start : t -> Msg.t list
+(** The opening messages; check {!expecting} for what must come back. *)
+
+val on_matched : t -> string -> Msg.t list
+(** Feed a [Matched] bitmap; the next [Hashes] round or the [Tail]. *)
+
+val on_ack : t -> bool -> [ `Complete | `Replies of Msg.t list ]
+(** Feed the [File_ack].  [`Complete] ends the file; [`Replies] is the
+    one full-fallback retry.  Raises typed [Verification_failed] when a
+    verified full transfer was rejected. *)
+
+val expecting : t -> [ `Matched | `Ack | `Done ]

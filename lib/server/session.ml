@@ -1,5 +1,4 @@
 module Fp = Fsync_hash.Fingerprint
-module Block_tree = Fsync_core.Block_tree
 module Error = Fsync_core.Error
 module Deflate = Fsync_compress.Deflate
 module Meta_wire = Fsync_collection.Meta_wire
@@ -8,11 +7,12 @@ module Trace_id = Fsync_obs.Trace_id
 
 module Store = Fsync_store.Store
 
-type job = { path : string; content : string; fp : Fp.t; has_old : bool }
-
-type file_state = { job : job; tree : Block_tree.t }
-
-type ack_state = { ack_job : job; mutable full_sent : bool }
+type job = Serve_file.job = {
+  path : string;
+  content : string;
+  fp : Fp.t;
+  has_old : bool;
+}
 
 type push_file = {
   p_path : string;
@@ -26,8 +26,8 @@ type push_file = {
 type phase =
   | Expect_hello
   | Expect_announce
-  | Expect_matched of file_state
-  | Expect_ack of ack_state
+  | Expect_matched of Serve_file.t
+  | Expect_ack of Serve_file.t
   | Expect_push
   | Expect_chunks of push_file
   | Done
@@ -50,10 +50,7 @@ type t = {
   mutable pending_resume : (Fp.t * string) option; (* Resume before Announce *)
   mutable resumed_jobs : int;
   mutable pushed : (string * string) list; (* rev *)
-  mutable hashes_total : int;
-  mutable hashes_cached : int;
-  mutable full_fallbacks : int;
-  mutable rounds : int;
+  counters : Serve_file.counters;
   mutable pushed_files : int;
   mutable chunks_uploaded : int;
   mutable chunks_deduped : int;
@@ -80,10 +77,7 @@ let create ?(config = Msg.default_sync_config) ?(scope = Scope.disabled)
     pending_resume = None;
     resumed_jobs = 0;
     pushed = [];
-    hashes_total = 0;
-    hashes_cached = 0;
-    full_fallbacks = 0;
-    rounds = 0;
+    counters = Serve_file.fresh_counters ();
     pushed_files = 0;
     chunks_uploaded = 0;
     chunks_deduped = 0;
@@ -182,60 +176,22 @@ let store_full_content t job =
           end
           else None)
 
-(* The verified full-file fallback ('Z' when compression pays, 'R'
-   otherwise; never 'D' — the daemon does not hold the client's copy). *)
-let full_msg t job =
-  let content =
-    match store_full_content t job with
-    | Some c -> c
-    | None -> job.content
-  in
-  let z = Deflate.compress content in
-  let tag, body =
-    if String.length z < String.length content then ('Z', z) else ('R', content)
-  in
-  Msg.Full (Meta_wire.encode_file_msg ~path:job.path ~fp:job.fp ~tag ~body)
-
-(* One round's hash burst: the cached full-level vector indexed by
-   [off / size] covers every active block, whichever client asks. *)
-let level_hashes t (st : file_state) =
-  let size = Block_tree.current_size st.tree in
-  let vector, hit =
-    Sigcache.find_or_compute t.cache ~fp:st.job.fp ~size
-      ~bits:t.config.hash_bits st.job.content
-  in
-  let hs =
-    Array.of_list
-      (List.map
-         (fun (b : Block_tree.block) -> vector.(b.off / size))
-         (Block_tree.active_blocks st.tree))
-  in
-  t.hashes_total <- t.hashes_total + Array.length hs;
-  if hit then t.hashes_cached <- t.hashes_cached + Array.length hs;
-  hs
-
+(* Per-file serving is {!Serve_file} — shared with the swarm gossip
+   exchange; the daemon contributes the store-assembled [Full] payloads
+   and its fallback counter. *)
 let open_job t job =
-  if (not job.has_old) || String.length job.content < 2 * t.config.min_block
-  then begin
-    (* No old copy to match against, or too small for even one split:
-       the verified full transfer is strictly cheaper than a round. *)
-    t.phase <- Expect_ack { ack_job = job; full_sent = true };
-    [ full_msg t job ]
-  end
-  else begin
-    let tree =
-      Block_tree.create
-        ~file_len:(String.length job.content)
-        ~start_block:t.config.start_block
-    in
-    let st = { job; tree } in
-    t.phase <- Expect_matched st;
-    [
-      Msg.File_begin
-        { path = job.path; new_len = String.length job.content; fp = job.fp };
-      Msg.Hashes (level_hashes t st);
-    ]
-  end
+  let sf =
+    Serve_file.create
+      ~full_content:(fun job -> store_full_content t job)
+      ~on_fallback:(fun () -> Scope.incr t.scope "server_full_fallbacks")
+      ~who:"Session" ~config:t.config ~cache:t.cache ~counters:t.counters job
+  in
+  let msgs = Serve_file.start sf in
+  (t.phase <-
+     (match Serve_file.expecting sf with
+     | `Matched -> Expect_matched sf
+     | `Ack | `Done -> Expect_ack sf));
+  msgs
 
 let advance t =
   match t.queue with
@@ -314,41 +270,22 @@ let on_announce t body =
   t.pending_resume <- None;
   Msg.Verdict verdict :: advance t
 
-let on_matched t st bitmap =
-  let active = Block_tree.active_blocks st.tree in
-  let flags = Msg.decode_bitmap ~count:(List.length active) bitmap in
-  List.iteri
-    (fun i (b : Block_tree.block) -> if flags.(i) then b.confirmed <- true)
-    active;
-  t.rounds <- t.rounds + 1;
-  match Msg.decide_next ~config:t.config st.tree with
-  | `Split ->
-      Block_tree.split st.tree;
-      [ Msg.Hashes (level_hashes t st) ]
-  | `Tail ->
-      let buf = Buffer.create 256 in
-      List.iter
-        (fun (b : Block_tree.block) ->
-          Buffer.add_substring buf st.job.content b.off b.len)
-        (Block_tree.active_blocks st.tree);
-      t.phase <- Expect_ack { ack_job = st.job; full_sent = false };
-      [ Msg.Tail (Deflate.compress (Buffer.contents buf)) ]
+let on_matched t sf bitmap =
+  let replies = Serve_file.on_matched sf bitmap in
+  (match Serve_file.expecting sf with
+  | `Ack -> t.phase <- Expect_ack sf
+  | `Matched | `Done -> ());
+  replies
 
-let on_ack t ack ok =
-  if ok then advance t
-  else if ack.full_sent then begin
-    t.phase <- Failed;
-    Error.fail
-      (Error.Verification_failed
-         (Printf.sprintf "Session: %s rejected after verified full transfer"
-            ack.ack_job.path))
-  end
-  else begin
-    ack.full_sent <- true;
-    t.full_fallbacks <- t.full_fallbacks + 1;
-    Scope.incr t.scope "server_full_fallbacks";
-    [ full_msg t ack.ack_job ]
-  end
+let on_ack t sf ok =
+  match
+    try Serve_file.on_ack sf ok
+    with e ->
+      t.phase <- Failed;
+      raise e
+  with
+  | `Complete -> advance t
+  | `Replies ms -> ms
 
 (* ---- push direction: the client uploads, the store deduplicates ---- *)
 
@@ -478,20 +415,15 @@ let on_message t raw =
   let msg = Msg.decode ~config:t.config raw in
   let dispatch () =
     match (t.phase, msg) with
-    | Expect_hello, Msg.Hello { version; trace } ->
-        if not (Msg.version_ok version) then begin
-          t.phase <- Failed;
-          Error.malformed "Session: protocol version %d outside %d..%d"
-            version Msg.min_version Msg.version
-        end;
+    | Expect_hello, Msg.Hello { version; trace; swarm = _ } ->
+        (try Handshake.check_version ~who:"Session" version
+         with e ->
+           t.phase <- Failed;
+           raise e);
         (* Adopt the client's trace id, or mint one for a v1 peer that
            sent none — the event log wants every session identifiable
            either way. *)
-        let id =
-          match Option.bind trace Trace_id.of_raw with
-          | Some id -> id
-          | None -> Trace_id.mint ()
-        in
+        let id = Handshake.adopt_trace trace in
         t.trace_id <- Some id;
         (match Scope.registry t.trace with
         | Some reg ->
@@ -501,15 +433,8 @@ let on_message t raw =
         t.span_session <- Scope.enter t.trace "session";
         t.phase <- Expect_announce;
         [
-          Msg.Welcome
-            {
-              (* Answer at the peer's revision so a v1 client's equality
-                 check still passes. *)
-              version = min version Msg.version;
-              file_count = List.length t.files;
-              root = t.root;
-              config = t.config;
-            };
+          Handshake.welcome ~client_version:version
+            ~file_count:(List.length t.files) ~root:t.root ~config:t.config;
         ]
     | Expect_announce, Msg.Resume { root; bitmap } ->
         t.pending_resume <- Some (root, bitmap);
@@ -558,10 +483,10 @@ type stats = {
 
 let stats (t : t) =
   {
-    hashes_total = t.hashes_total;
-    hashes_cached = t.hashes_cached;
-    full_fallbacks = t.full_fallbacks;
-    rounds = t.rounds;
+    hashes_total = t.counters.hashes_total;
+    hashes_cached = t.counters.hashes_cached;
+    full_fallbacks = t.counters.full_fallbacks;
+    rounds = t.counters.rounds;
     pushed_files = t.pushed_files;
     chunks_uploaded = t.chunks_uploaded;
     chunks_deduped = t.chunks_deduped;

@@ -1,0 +1,108 @@
+module Error = Fsync_core.Error
+module Msg = Fsync_server.Msg
+module Fetch_file = Fsync_server.Fetch_file
+module Meta_wire = Fsync_collection.Meta_wire
+
+type t = {
+  replica : Replica.t;
+  counters : Fetch_file.counters;
+  config : unit -> Msg.sync_config;
+  mutable queue : Plan.install list;
+  mutable current : (Plan.install * Fetch_file.t option) option;
+  pulled : (string, string) Hashtbl.t; (* dest -> fetched content *)
+}
+
+let create ~config replica =
+  {
+    replica;
+    counters = Fetch_file.fresh_counters ();
+    config;
+    queue = [];
+    current = None;
+    pulled = Hashtbl.create 16;
+  }
+
+let src_of (i : Plan.install) =
+  match i.source with
+  | Plan.Remote p -> p
+  | Plan.Local _ | Plan.Absent ->
+      Error.malformed "Fetch_plan: fetch of a non-remote install"
+
+let enqueue t installs =
+  t.queue <-
+    t.queue
+    @ List.filter
+        (fun (i : Plan.install) ->
+          match i.source with
+          | Plan.Remote _ -> true
+          | Plan.Local _ | Plan.Absent -> false)
+        installs
+
+let advance t =
+  t.current <- None;
+  match t.queue with
+  | [] -> `Drained
+  | inst :: rest ->
+      t.queue <- rest;
+      t.current <- Some (inst, None);
+      let src = src_of inst in
+      let has_old =
+        Option.is_some (Replica.content t.replica inst.Plan.dest)
+        || Option.is_some (Replica.content t.replica src)
+      in
+      `Msgs
+        [ Msg.Swarm_fetch (Swarm_wire.encode_fetch { path = src; has_old }) ]
+
+let current t =
+  match t.current with
+  | Some cur -> cur
+  | None -> Error.malformed "Fetch_plan: file message outside a fetch"
+
+let on_begin t ~path ~new_len ~fp =
+  match current t with
+  | _, Some _ -> Error.malformed "Fetch_plan: nested File_begin"
+  | inst, None ->
+      let src = src_of inst in
+      if not (String.equal path src) then
+        Error.malformed "Fetch_plan: File_begin for %s, requested %s" path src;
+      let old =
+        match Replica.content t.replica inst.Plan.dest with
+        | Some o -> o
+        | None -> (
+            match Replica.content t.replica src with
+            | Some o -> o
+            | None -> "")
+      in
+      t.current <-
+        Some
+          ( inst,
+            Some
+              (Fetch_file.create ~who:"Fetch_plan" ~config:(t.config ())
+                 ~counters:t.counters ~path ~new_len ~fp ~old) );
+      []
+
+let on_hashes t hs =
+  match current t with
+  | _, Some ff -> Fetch_file.on_hashes ff hs
+  | _, None -> Error.malformed "Fetch_plan: Hashes before File_begin"
+
+let on_tail t z =
+  match current t with
+  | inst, Some ff -> (
+      match Fetch_file.on_tail ff z with
+      | `Verified content, replies ->
+          Hashtbl.replace t.pulled inst.Plan.dest content;
+          (`Done, replies)
+      | `Mismatch, replies -> (`Wait, replies))
+  | _, None -> Error.malformed "Fetch_plan: Tail before File_begin"
+
+let on_full t body =
+  let inst, _ = current t in
+  let path, content = Meta_wire.decode_file_msg ~old_content:"" body in
+  if not (String.equal path (src_of inst)) then
+    Error.malformed "Fetch_plan: Full for %s, requested %s" path (src_of inst);
+  Hashtbl.replace t.pulled inst.Plan.dest content;
+  [ Msg.File_ack true ]
+
+let pulled t dest = Hashtbl.find_opt t.pulled dest
+let count t = Hashtbl.length t.pulled

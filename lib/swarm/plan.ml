@@ -1,0 +1,118 @@
+module Fp = Fsync_hash.Fingerprint
+module Vv = Version_vector
+
+type source = Local of string | Remote of string | Absent
+
+type install = { dest : string; entry : Replica.entry; source : source }
+
+type outcome = { installs : install list; conflict : bool }
+
+let nothing = { installs = []; conflict = false }
+
+let conflict_marker = ".fsync-conflict."
+let conflict_path ~path ~author = path ^ conflict_marker ^ author
+
+let is_conflict_path p =
+  let mlen = String.length conflict_marker in
+  let plen = String.length p in
+  let rec scan i =
+    if i + mlen > plen then false
+    else if String.equal (String.sub p i mlen) conflict_marker then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let source_of_present ~path (ours : Replica.entry option)
+    (theirs : Replica.entry) =
+  match ours with
+  | Some o when o.present && Fp.equal o.fp theirs.fp ->
+      (* Same bytes already here: a metadata-only adoption. *)
+      Local path
+  | Some _ | None -> Remote path
+
+let adopt ~path ours (theirs : Replica.entry) =
+  {
+    installs =
+      [
+        {
+          dest = path;
+          entry = theirs;
+          source =
+            (if theirs.present then source_of_present ~path ours theirs
+             else Absent);
+        };
+      ];
+    conflict = false;
+  }
+
+let max_author a b = if String.compare a b >= 0 then a else b
+
+let decide ?(policy = Resolve.default) ~path ~ours ~theirs () =
+  match (ours, theirs) with
+  | _, None -> nothing
+  | None, Some e -> adopt ~path ours e
+  | Some o, Some e ->
+      if Replica.entry_equal o e then nothing
+      else if Vv.dominates e.vv o.vv then adopt ~path ours e
+      else if Vv.dominates o.vv e.vv then nothing
+      else begin
+        (* Concurrent (or a vector tie that still disagrees — a buggy
+           peer; folded into the same deterministic rules rather than
+           trusted). *)
+        let merged = Vv.merge o.vv e.vv in
+        match (o.present, e.present) with
+        | true, true when Fp.equal o.fp e.fp ->
+            (* Same bytes from independent edits: join silently. *)
+            let entry =
+              {
+                o with
+                vv = merged;
+                author = max_author o.author e.author;
+              }
+            in
+            if Replica.entry_equal entry o then nothing
+            else
+              {
+                installs = [ { dest = path; entry; source = Local path } ];
+                conflict = false;
+              }
+        | true, false ->
+            (* Edit vs. delete: the edit survives, vectors joined. *)
+            let entry = { o with vv = merged } in
+            {
+              installs = [ { dest = path; entry; source = Local path } ];
+              conflict = false;
+            }
+        | false, true ->
+            let entry = { e with vv = merged } in
+            {
+              installs = [ { dest = path; entry; source = Remote path } ];
+              conflict = false;
+            }
+        | false, false ->
+            let entry =
+              { o with vv = merged; author = max_author o.author e.author }
+            in
+            { installs = [ { dest = path; entry; source = Absent } ]; conflict = false }
+        | true, true ->
+            (* A genuine conflict: crown the policy winner at the path,
+               keep the loser as a sibling — never a silent overwrite. *)
+            let winner, loser, win_src, lose_src =
+              match policy ~path ~ours:o ~theirs:e with
+              | Resolve.Ours -> (o, e, Local path, Remote path)
+              | Resolve.Theirs -> (e, o, Remote path, Local path)
+            in
+            let sibling = conflict_path ~path ~author:loser.author in
+            {
+              installs =
+                [
+                  { dest = path; entry = { winner with vv = merged }; source = win_src };
+                  {
+                    dest = sibling;
+                    entry = { loser with vv = merged };
+                    source = lose_src;
+                  };
+                ];
+              conflict = true;
+            }
+      end

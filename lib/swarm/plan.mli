@@ -1,0 +1,53 @@
+(** The per-path reconciliation decision, computed identically on both
+    gossip endpoints (DESIGN.md §13).
+
+    Each endpoint calls {!decide} with the same pair of entries (its own
+    under [ours], the peer's under [theirs]); because every rule is a
+    pure function of that pair, the two plans are mirror images — my
+    [Remote] install is the peer's serve, and the entries both sides
+    record afterwards are byte-identical, which is what lets the closing
+    Merkle-root check hold after a single exchange.
+
+    Rules, in order:
+    - peer has nothing / is strictly behind → nothing to do here (the
+      peer's plan handles its side);
+    - their vector dominates → adopt their entry (fetching content only
+      if the fingerprint actually changed);
+    - concurrent, same content → silent merge (vectors joined, author =
+      lexicographically larger; no conflict surfaced);
+    - concurrent, present vs tombstone → the present side wins with a
+      merged vector — a delete never silently destroys a concurrent
+      edit, and no sibling is created;
+    - concurrent, different contents → a typed {e conflict}: the
+      {!Resolve.policy} winner lands at the path, the loser at
+      [<path>.fsync-conflict.<loser-author>], both with the merged
+      vector, so the pair re-gossips as ordinary (identical) entries and
+      never re-conflicts. *)
+
+type source =
+  | Local of string   (** bytes already on this side, at the given path *)
+  | Remote of string  (** fetch from the peer's copy at the given path *)
+  | Absent            (** a tombstone: nothing to fetch *)
+
+type install = { dest : string; entry : Replica.entry; source : source }
+(** One local outcome: record [entry] at [dest], with content from
+    [source]. *)
+
+type outcome = {
+  installs : install list;  (** this side's work, dest order *)
+  conflict : bool;          (** a sibling pair was surfaced *)
+}
+
+val conflict_path : path:string -> author:string -> string
+(** [<path>.fsync-conflict.<author>]. *)
+
+val is_conflict_path : string -> bool
+(** True for paths naming a conflict sibling ([*.fsync-conflict.*]). *)
+
+val decide :
+  ?policy:Resolve.policy ->
+  path:string ->
+  ours:Replica.entry option ->
+  theirs:Replica.entry option ->
+  unit ->
+  outcome

@@ -1,0 +1,291 @@
+module Fp = Fsync_hash.Fingerprint
+module Error = Fsync_core.Error
+module Varint = Fsync_util.Varint
+module Io = Fsync_store.Io
+module Merkle = Fsync_reconcile.Merkle
+module Scope = Fsync_obs.Scope
+
+type entry = {
+  vv : Version_vector.t;
+  author : string;
+  present : bool;
+  fp : Fp.t;
+  len : int;
+}
+
+let entry_equal a b =
+  Version_vector.equal a.vv b.vv
+  && String.equal a.author b.author
+  && Bool.equal a.present b.present
+  && Fp.equal a.fp b.fp
+  && Int.equal a.len b.len
+
+let put_entry b e =
+  Version_vector.put_vv b e.vv;
+  Varint.write b (String.length e.author);
+  Buffer.add_string b e.author;
+  Buffer.add_char b (if e.present then '\001' else '\000');
+  Buffer.add_string b (Fp.to_raw e.fp);
+  Varint.write b e.len
+
+let read_varint msg ~pos what =
+  match Varint.read msg ~pos with
+  | v -> v
+  | exception Invalid_argument _ ->
+      Error.truncated "Replica: bad varint in %s" what
+
+let get_string msg ~pos what =
+  let len, p = read_varint msg ~pos what in
+  if len < 0 || p + len > String.length msg then
+    Error.truncated "Replica: %s of %d bytes overruns" what len;
+  (String.sub msg p len, p + len)
+
+let get_entry msg ~pos =
+  let vv, pos = Version_vector.get_vv msg ~pos in
+  let author, pos = get_string msg ~pos "author" in
+  if pos + 1 + Fp.size_bytes > String.length msg then
+    Error.truncated "Replica: entry flags overrun";
+  let present = Char.equal msg.[pos] '\001' in
+  let pos = pos + 1 in
+  let fp = Fp.of_raw (String.sub msg pos Fp.size_bytes) in
+  let pos = pos + Fp.size_bytes in
+  let len, pos = read_varint msg ~pos "content length" in
+  if len < 0 then Error.malformed "Replica: negative content length";
+  ({ vv; author; present; fp; len }, pos)
+
+let entry_digest e =
+  let b = Buffer.create 64 in
+  put_entry b e;
+  Fp.of_string (Buffer.contents b)
+
+let swarm_dir = ".fsync-swarm"
+
+let valid_path path =
+  (not (String.equal path ""))
+  && (not (Char.equal path.[0] '/'))
+  && (not (String.exists (fun c -> Char.equal c '\\' || Char.equal c '\000') path))
+  && List.for_all
+       (fun seg ->
+         (not (String.equal seg ""))
+         && (not (String.equal seg "."))
+         && (not (String.equal seg ".."))
+         && not (String.equal seg swarm_dir))
+       (String.split_on_char '/' path)
+
+type t = {
+  io : Io.t;
+  root : string;
+  peer : string;
+  table : (string, entry) Hashtbl.t;
+  cache : (string, string) Hashtbl.t; (* contents of present entries *)
+  mutable tree : Merkle.t;
+}
+
+let peer t = t.peer
+let root t = t.root
+
+let abs t path = Filename.concat t.root path
+let vectors_path t = Filename.concat (Filename.concat t.root swarm_dir) "vectors"
+let staging_path t = Filename.concat (Filename.concat t.root swarm_dir) "staging"
+
+let fp_empty = Fp.of_string ""
+
+let entries t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun p e acc -> (p, e) :: acc) t.table [])
+
+let find t path = Hashtbl.find_opt t.table path
+
+let content t path = Hashtbl.find_opt t.cache path
+
+let files t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun p c acc -> (p, c) :: acc) t.cache [])
+
+let merkle t = t.tree
+let summary t = Fp.of_raw (Merkle.root_digest t.tree)
+
+(* ---- vector-table persistence ---- *)
+
+let magic = "fsync-swarm/1\n"
+
+let flush t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  let es = entries t in
+  Varint.write b (List.length es);
+  List.iter
+    (fun (path, e) ->
+      Varint.write b (String.length path);
+      Buffer.add_string b path;
+      put_entry b e)
+    es;
+  Io.write_file_atomic t.io ~staging:(vectors_path t ^ ".tmp")
+    ~dest:(vectors_path t) (Buffer.contents b)
+
+let load_table io path =
+  let msg = io.Io.read_file path in
+  if
+    String.length msg < String.length magic
+    || not (String.equal (String.sub msg 0 (String.length magic)) magic)
+  then Error.malformed "Replica: %s is not a vector table" path;
+  let pos = String.length magic in
+  let count, pos = read_varint msg ~pos "entry count" in
+  if count < 0 || count > (String.length msg - pos) / 2 then
+    Error.truncated "Replica: %d table entries overrun %d bytes" count
+      (String.length msg);
+  let pos = ref pos in
+  List.init count (fun _ ->
+      let path, p = get_string msg ~pos:!pos "table path" in
+      let e, p = get_entry msg ~pos:p in
+      pos := p;
+      (path, e))
+
+(* ---- disk scan ---- *)
+
+let rec walk io dir rel acc =
+  Array.fold_left
+    (fun acc name ->
+      if String.equal name swarm_dir then acc
+      else
+        let sub = Filename.concat dir name in
+        let rel = if String.equal rel "" then name else rel ^ "/" ^ name in
+        if io.Io.is_dir sub then walk io sub rel acc else rel :: acc)
+    acc (io.Io.readdir dir)
+
+let load ?(io = Io.real) ?(scope = Scope.disabled) ~root ~peer () =
+  Io.mkdir_p io (Filename.concat root swarm_dir);
+  let table = Hashtbl.create 64 in
+  let vectors = Filename.concat (Filename.concat root swarm_dir) "vectors" in
+  if io.Io.exists vectors then
+    List.iter (fun (p, e) -> Hashtbl.replace table p e) (load_table io vectors);
+  let cache = Hashtbl.create 64 in
+  let on_disk = List.sort String.compare (walk io root "" []) in
+  let changed = ref false in
+  List.iter
+    (fun path ->
+      let content = io.Io.read_file (Filename.concat root path) in
+      let fp = Fp.of_string content in
+      (match Hashtbl.find_opt table path with
+      | Some e when e.present && Fp.equal e.fp fp -> ()
+      | Some e ->
+          (* Bytes moved underneath the recorded state (an offline edit,
+             or a crash between content and table writes): a fresh local
+             edit, never a silent adoption. *)
+          changed := true;
+          Scope.incr scope "swarm_reload_edits";
+          Hashtbl.replace table path
+            {
+              vv = Version_vector.bump e.vv peer;
+              author = peer;
+              present = true;
+              fp;
+              len = String.length content;
+            }
+      | None ->
+          changed := true;
+          Hashtbl.replace table path
+            {
+              vv = Version_vector.bump Version_vector.empty peer;
+              author = peer;
+              present = true;
+              fp;
+              len = String.length content;
+            });
+      Hashtbl.replace cache path content)
+    on_disk;
+  (* Entries that claim presence but whose file vanished: an offline
+     delete — tombstone it so the delete propagates. *)
+  Hashtbl.iter
+    (fun path e ->
+      if e.present && not (Hashtbl.mem cache path) then begin
+        changed := true;
+        Scope.incr scope "swarm_reload_deletes";
+        Hashtbl.replace table path
+          {
+            vv = Version_vector.bump e.vv peer;
+            author = peer;
+            present = false;
+            fp = fp_empty;
+            len = 0;
+          }
+      end)
+    (Hashtbl.copy table);
+  let tree =
+    Merkle.build ~scope
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (Hashtbl.fold (fun p e acc -> (p, entry_digest e) :: acc) table []))
+  in
+  let t = { io; root; peer; table; cache; tree } in
+  if !changed then flush t;
+  t
+
+(* ---- mutation ---- *)
+
+let check_path path =
+  if not (valid_path path) then
+    Error.malformed "Replica: invalid path %S" path
+
+let install_content t path content =
+  let dest = abs t path in
+  Io.mkdir_p t.io (Filename.dirname dest);
+  Io.write_file_atomic t.io ~staging:(staging_path t) ~dest content
+
+let record t path e content_opt =
+  Hashtbl.replace t.table path e;
+  (match content_opt with
+  | Some c when e.present -> Hashtbl.replace t.cache path c
+  | Some _ | None -> Hashtbl.remove t.cache path);
+  t.tree <- Merkle.set t.tree path (entry_digest e)
+
+let set t ~path content =
+  check_path path;
+  let fp = Fp.of_string content in
+  match find t path with
+  | Some e when e.present && Fp.equal e.fp fp -> ()
+  | prior ->
+      let vv =
+        Version_vector.bump
+          (match prior with Some e -> e.vv | None -> Version_vector.empty)
+          t.peer
+      in
+      install_content t path content;
+      record t path
+        { vv; author = t.peer; present = true; fp; len = String.length content }
+        (Some content);
+      flush t
+
+let delete t path =
+  check_path path;
+  match find t path with
+  | None | Some { present = false; _ } -> ()
+  | Some e ->
+      if t.io.Io.exists (abs t path) then t.io.Io.unlink (abs t path);
+      record t path
+        {
+          vv = Version_vector.bump e.vv t.peer;
+          author = t.peer;
+          present = false;
+          fp = fp_empty;
+          len = 0;
+        }
+        None;
+      flush t
+
+let install t ~path e content_opt =
+  check_path path;
+  (match (e.present, content_opt) with
+  | true, None ->
+      Error.malformed "Replica: install of present %s without content" path
+  | true, Some c ->
+      if not (Fp.equal (Fp.of_string c) e.fp) then
+        Error.fail
+          (Error.Verification_failed
+             (Printf.sprintf "Replica: installed content for %s fails its \
+                              fingerprint" path));
+      install_content t path c
+  | false, _ -> if t.io.Io.exists (abs t path) then t.io.Io.unlink (abs t path));
+  record t path e (if e.present then content_opt else None)

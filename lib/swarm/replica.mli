@@ -1,0 +1,98 @@
+(** One peer's view of the replicated collection: the files on disk
+    plus a per-path {!Version_vector} table (DESIGN.md §13).
+
+    Every path owns an [entry] — vector, last-writer peer id, content
+    fingerprint, and a [present] flag (false = tombstone, so deletes
+    propagate and edit-vs-delete conflicts are detectable).  The table
+    lives at [.fsync-swarm/vectors] under the replica root and is
+    persisted with {!Fsync_store.Io.write_file_atomic}, {e after} the
+    content files it describes — a crash leaves either the old table or
+    the new one, and any file whose bytes moved underneath the recorded
+    fingerprint is folded back in as a fresh local edit on reload.
+
+    The {!merkle} tree is built over {e entry digests} (not content
+    fingerprints): two peers agree on a subtree exactly when they agree
+    on contents {e and} causal state, which is what the gossip descent
+    needs to find both data and metadata differences. *)
+
+type entry = {
+  vv : Version_vector.t;
+  author : string;  (** peer id of the causally latest writer *)
+  present : bool;   (** false: a tombstone *)
+  fp : Fsync_hash.Fingerprint.t;  (** of [""] for tombstones *)
+  len : int;
+}
+
+val entry_equal : entry -> entry -> bool
+
+val entry_digest : entry -> Fsync_hash.Fingerprint.t
+(** Fingerprint of the canonical entry encoding — the Merkle leaf
+    value. *)
+
+val put_entry : Buffer.t -> entry -> unit
+
+val get_entry : string -> pos:int -> entry * int
+(** Typed errors on malformed bytes, lengths validated first. *)
+
+val valid_path : string -> bool
+(** Relative, non-empty, no ["."]/[".."] segments, no backslashes or
+    NULs, not under [.fsync-swarm] — everything a hostile peer might
+    try in order to escape the replica root. *)
+
+type t
+
+val load :
+  ?io:Fsync_store.Io.t ->
+  ?scope:Fsync_obs.Scope.t ->
+  root:string ->
+  peer:string ->
+  unit ->
+  t
+(** Open (creating if needed) the replica rooted at [root] for peer id
+    [peer]: read the vector table, scan the tree, fold unknown files in
+    as local edits ([{peer: 1}]), bump entries whose on-disk bytes no
+    longer match, tombstone entries whose file vanished, and persist the
+    reconciled table.
+    @raise Fsync_core.Error.E on an unreadable or corrupt table. *)
+
+val peer : t -> string
+val root : t -> string
+
+val entries : t -> (string * entry) list
+(** Sorted by path; includes tombstones. *)
+
+val find : t -> string -> entry option
+
+val content : t -> string -> string option
+(** [None] for tombstones and unknown paths. *)
+
+val files : t -> (string * string) list
+(** Present [(path, content)] pairs, sorted — the shape the pairwise
+    sync layers consume. *)
+
+val set : t -> path:string -> string -> unit
+(** Local edit: write the file (atomically), bump our component, record
+    ourselves as author, persist the table.  A write of identical bytes
+    is a no-op.  @raise Fsync_core.Error.E on an invalid path. *)
+
+val delete : t -> string -> unit
+(** Local delete: unlink, keep a bumped tombstone, persist. *)
+
+val install : t -> path:string -> entry -> string option -> unit
+(** Adopt a gossip-decided outcome verbatim: the entry {e as decided}
+    (vector already merged) plus the content ([None] for tombstones).
+    Content hits the disk atomically now; the table is {e not}
+    persisted — call {!flush} once the whole exchange is applied, so a
+    crash mid-apply replays as local edits instead of lying about
+    causality.  @raise Fsync_core.Error.E on an invalid path or a
+    present entry without content. *)
+
+val flush : t -> unit
+(** Persist the vector table atomically. *)
+
+val merkle : t -> Fsync_reconcile.Merkle.t
+(** Over (path, entry digest), tombstones included. *)
+
+val summary : t -> Fsync_hash.Fingerprint.t
+(** The Merkle root digest — the whole-replica version summary carried
+    in the swarm [Hello]. *)

@@ -1,0 +1,18 @@
+module Fp = Fsync_hash.Fingerprint
+
+type verdict = Ours | Theirs
+
+type policy = path:string -> ours:Replica.entry -> theirs:Replica.entry -> verdict
+
+let default ~path:_ ~(ours : Replica.entry) ~(theirs : Replica.entry) =
+  let c = String.compare (Fp.to_raw ours.fp) (Fp.to_raw theirs.fp) in
+  if c > 0 then Ours
+  else if c < 0 then Theirs
+  else if String.compare ours.author theirs.author >= 0 then Ours
+  else Theirs
+
+let prefer_author peer ~path ~(ours : Replica.entry) ~(theirs : Replica.entry) =
+  match (String.equal ours.author peer, String.equal theirs.author peer) with
+  | true, false -> Ours
+  | false, true -> Theirs
+  | true, true | false, false -> default ~path ~ours ~theirs

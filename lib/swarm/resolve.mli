@@ -1,0 +1,24 @@
+(** Pluggable conflict-resolution policy (DESIGN.md §13).
+
+    When two replicas edited the same path concurrently, both gossip
+    endpoints must crown the {e same} winner from the same two entries
+    with no extra round trip — so a policy is a pure function of the
+    path and the two entries, evaluated independently on each side.
+    The loser is never discarded: the plan keeps it as a
+    [<path>.fsync-conflict.<author>] sibling. *)
+
+type verdict = Ours | Theirs
+
+type policy = path:string -> ours:Replica.entry -> theirs:Replica.entry -> verdict
+(** Must be deterministic and symmetric: swapping [ours]/[theirs] must
+    flip the verdict, or the two endpoints will each keep their own copy
+    and the session's closing root check will fail. *)
+
+val default : policy
+(** Larger content fingerprint (raw bytes, [String.compare]) wins; on
+    equal fingerprints, the lexicographically larger author.  Arbitrary
+    but total, symmetric, and independent of which end evaluates it. *)
+
+val prefer_author : string -> policy
+(** Entries authored by the given peer win; others fall back to
+    {!default}.  The "my laptop is canonical" policy. *)

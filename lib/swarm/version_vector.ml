@@ -1,0 +1,102 @@
+module Error = Fsync_core.Error
+module Varint = Fsync_util.Varint
+
+(* Sorted by peer id, every counter positive: one value, one
+   representation, so the codec is canonical. *)
+type t = (string * int) list
+
+let empty = []
+
+let equal a b =
+  List.equal
+    (fun (p, m) (q, n) -> String.equal p q && Int.equal m n)
+    a b
+
+let get t peer =
+  match List.find_opt (fun (p, _) -> String.equal p peer) t with
+  | Some (_, n) -> n
+  | None -> 0
+
+let rec bump t peer =
+  match t with
+  | [] -> [ (peer, 1) ]
+  | (p, n) :: rest ->
+      let c = String.compare peer p in
+      if c < 0 then (peer, 1) :: t
+      else if c > 0 then (p, n) :: bump rest peer
+      else (p, n + 1) :: rest
+
+let rec merge a b =
+  match (a, b) with
+  | [], v | v, [] -> v
+  | (p, m) :: ra, (q, n) :: rb ->
+      let c = String.compare p q in
+      if c < 0 then (p, m) :: merge ra b
+      else if c > 0 then (q, n) :: merge a rb
+      else (p, max m n) :: merge ra rb
+
+(* [a >= b] pointwise: both sorted, so one linear sweep over [b]. *)
+let geq a b = List.for_all (fun (p, n) -> get a p >= n) b
+
+let dominates a b = geq a b && not (equal a b)
+
+let concurrent a b = (not (equal a b)) && (not (geq a b)) && not (geq b a)
+
+let of_list l =
+  List.fold_left
+    (fun acc (p, n) -> if n > 0 && n > get acc p then merge acc [ (p, n) ] else acc)
+    empty l
+
+let to_list t = t
+
+let pp t =
+  let b = Buffer.create 32 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (p, n) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b p;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int n))
+    t;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let put_vv b t =
+  Varint.write b (List.length t);
+  List.iter
+    (fun (p, n) ->
+      Varint.write b (String.length p);
+      Buffer.add_string b p;
+      Varint.write b n)
+    t
+
+(* [Varint.read] raises [Invalid_argument] on truncation; fold that into
+   the typed error discipline so a hostile peer cannot crash us. *)
+let read_varint msg ~pos what =
+  match Varint.read msg ~pos with
+  | v -> v
+  | exception Invalid_argument _ ->
+      Error.truncated "Version_vector: bad varint in %s" what
+
+let get_vv msg ~pos =
+  let count, pos = read_varint msg ~pos "component count" in
+  (* Each component is at least 2 bytes: bound the count before any
+     allocation (same discipline as the Msg decoders). *)
+  if count < 0 || count > (String.length msg - pos) / 2 then
+    Error.truncated "Version_vector: %d components overrun %d bytes" count
+      (String.length msg);
+  let pos = ref pos in
+  let entries =
+    List.init count (fun _ ->
+        let len, p = read_varint msg ~pos:!pos "peer id length" in
+        if len < 0 || p + len > String.length msg then
+          Error.truncated "Version_vector: peer id of %d bytes overruns" len;
+        let peer = String.sub msg p len in
+        let n, p = read_varint msg ~pos:(p + len) "counter" in
+        if n <= 0 then
+          Error.malformed "Version_vector: counter %d for peer %s" n peer;
+        pos := p;
+        (peer, n))
+  in
+  (of_list entries, !pos)

@@ -1,0 +1,53 @@
+(** Per-path version vectors for N-peer anti-entropy (DESIGN.md §13).
+
+    A vector maps peer ids to edit counters.  Peer [p] bumps its own
+    component on every local write, so causality is recoverable by
+    pointwise comparison: [a] {e dominates} [b] when [a] has seen every
+    edit [b] has (and at least one more), and two vectors are
+    {e concurrent} when neither dominates — the situation the swarm
+    surfaces as a typed conflict instead of letting a last writer win.
+
+    Vectors are canonical (sorted by peer id, no zero components), so
+    equal vector values encode to equal bytes — the entry digests the
+    gossip Merkle descent compares depend on this. *)
+
+type t
+
+val empty : t
+
+val equal : t -> t -> bool
+
+val get : t -> string -> int
+(** The peer's component; 0 when absent. *)
+
+val bump : t -> string -> t
+(** Increment one peer's component. *)
+
+val merge : t -> t -> t
+(** Pointwise maximum — the vector of a state that has seen both. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b]: [a >= b] pointwise and [a <> b].  A strict partial
+    order (irreflexive, transitive, antisymmetric). *)
+
+val concurrent : t -> t -> bool
+(** Neither equal nor dominated either way: a genuine conflict. *)
+
+val of_list : (string * int) list -> t
+(** Canonicalize: sorts, drops non-positive components, keeps the
+    maximum on duplicate peers. *)
+
+val to_list : t -> (string * int) list
+(** Sorted by peer id; every component positive. *)
+
+val pp : t -> string
+(** Human-readable [{peer:n, ...}] form for conflict reports. *)
+
+val put_vv : Buffer.t -> t -> unit
+(** Varint count, then per component: varint peer length, peer bytes,
+    varint counter. *)
+
+val get_vv : string -> pos:int -> t * int
+(** Decode at [pos]; returns the vector and the next position.  Raises
+    typed {!Fsync_core.Error} values on truncated or malformed bytes
+    (counts are bounded before any allocation). *)

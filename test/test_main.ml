@@ -16,4 +16,5 @@ let () =
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
       ("store", Test_store.suite);
+      ("swarm", Test_swarm.suite);
     ]

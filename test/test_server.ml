@@ -53,7 +53,7 @@ let test_msg_roundtrip () =
   List.iter
     (fun m -> check_eq (Msg.label m) m (roundtrip m))
     [
-      Msg.Hello { version = Msg.version; trace = None };
+      Msg.Hello { version = Msg.version; trace = None; swarm = None };
       Msg.Welcome
         { version = 1; file_count = 42; root = fp; config = cfg };
       Msg.Announce "announce-bytes";
@@ -91,7 +91,7 @@ let test_msg_malformed () =
     | exception Fsync_core.Error.E _ -> ()
   in
   expect_error "";
-  expect_error "Q";
+  expect_error "L";
   expect_error "B\x05ab";
   (* hash array overrunning the message *)
   expect_error "S\x7f";
@@ -280,7 +280,7 @@ let test_timeout_teardown () =
   let tr = Fsync_net.Fd_transport.of_fd a in
   let ch = Fsync_net.Fd_transport.channel tr in
   Channel.send ch ~label:"t" Channel.Client_to_server
-    (Msg.encode ~config:cfg (Msg.Hello { version = Msg.version; trace = None }));
+    (Msg.encode ~config:cfg (Msg.Hello { version = Msg.version; trace = None; swarm = None }));
   let deadline = Unix.gettimeofday () +. 5.0 in
   while Daemon.active_sessions daemon > 0 && Unix.gettimeofday () < deadline do
     Daemon.step ~timeout_s:0.01 daemon
@@ -923,7 +923,7 @@ let read_lines path =
 let test_hello_version_compat () =
   let files = mk_files 91 2 in
   let mk () = Session.create ~cache:(Sigcache.create ()) files in
-  let hello v trace = Msg.encode ~config:cfg (Msg.Hello { version = v; trace }) in
+  let hello v trace = Msg.encode ~config:cfg (Msg.Hello { version = v; trace; swarm = None }) in
   (* A v1 client sends no trace id.  The server accepts, answers with
      the client's own version (so the old equality check passes) and
      mints a trace id of its own. *)

@@ -66,6 +66,72 @@ let check_bench path doc =
           (List.length records)
   | None -> fail path "missing \"records\" array"
 
+(* fsync-swarm/1 — the N-peer anti-entropy matrix (bench swarm).  Each
+   cell writes one "gossip" and one "all-pairs" record; gossip records
+   carry their bytes ratio against the baseline, and the PR's acceptance
+   bar — gossip <= 50% of all-pairs at 1% change rate — is enforced
+   here so a regression breaks the build. *)
+
+let check_swarm_record path i r =
+  let where = Printf.sprintf "records[%d]" i in
+  let num name =
+    match Option.bind (Json.member name r) Json.to_float_opt with
+    | Some v when v >= 0.0 -> Some v
+    | Some _ ->
+        fail path "%s: field %S is negative" where name;
+        None
+    | None ->
+        fail path "%s: missing numeric field %S" where name;
+        None
+  in
+  let mode =
+    match Option.bind (Json.member "mode" r) Json.to_string_opt with
+    | Some ("gossip" | "all-pairs") as m -> m
+    | Some other ->
+        fail path "%s: unknown mode %S" where other;
+        None
+    | None ->
+        fail path "%s: missing string field \"mode\"" where;
+        None
+  in
+  ignore (num "peers");
+  let rate = num "change_rate" in
+  ignore (num "rounds");
+  ignore (num "sessions");
+  ignore (num "bytes");
+  ignore (num "conflicts");
+  (match Json.member "counters" r with
+  | Some (Json.Obj _) -> ()
+  | Some _ -> fail path "%s: \"counters\" is not an object" where
+  | None -> fail path "%s: missing field \"counters\"" where);
+  match mode with
+  | Some "gossip" -> (
+      match
+        (rate, Option.bind (Json.member "baseline_ratio" r) Json.to_float_opt)
+      with
+      | _, None ->
+          fail path "%s: gossip record lacks \"baseline_ratio\"" where
+      | Some rate, Some ratio when rate <= 0.011 && ratio > 0.5 ->
+          fail path
+            "%s: gossip bytes are %.0f%% of the all-pairs baseline at \
+             change rate %.3f (acceptance bar: <= 50%%)"
+            where (100.0 *. ratio) rate
+      | _ -> ())
+  | _ -> ()
+
+let check_swarm path doc =
+  (match Option.bind (Json.member "scale" doc) Json.to_string_opt with
+  | Some _ -> ()
+  | None -> fail path "missing \"scale\" field");
+  match Option.bind (Json.member "records" doc) Json.to_list_opt with
+  | Some [] -> fail path "\"records\" is empty"
+  | Some records ->
+      List.iteri (check_swarm_record path) records;
+      if !errors = 0 then
+        Printf.printf "benchjson: %s: ok (%d records)\n" path
+          (List.length records)
+  | None -> fail path "missing \"records\" array"
+
 (* fsyncd-status/1 — the daemon admin socket's "status" reply. *)
 
 let check_active_session path i r =
@@ -131,6 +197,7 @@ let validate path =
     | Ok doc -> (
         match Option.bind (Json.member "schema" doc) Json.to_string_opt with
         | Some "fsync-bench/1" -> check_bench path doc
+        | Some "fsync-swarm/1" -> check_swarm path doc
         | Some "fsyncd-status/1" -> check_status path doc
         | Some other -> fail path "unknown schema %S" other
         | None -> fail path "missing \"schema\" field")

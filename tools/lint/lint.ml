@@ -51,7 +51,7 @@ let pp_finding = Rule.pp_finding
 (* Libraries whose values travel on (or directly shape) the wire. *)
 let wire_sensitive_dirs =
   [ "lib/core"; "lib/net"; "lib/reconcile"; "lib/hashing"; "lib/rsync";
-    "lib/delta"; "lib/server" ]
+    "lib/delta"; "lib/server"; "lib/swarm" ]
 
 let normalize path =
   (* The tool is run from the repository root; strip a leading "./". *)
@@ -73,21 +73,26 @@ let in_lib path = starts_with ~prefix:"lib/" path
 let in_bin_or_bench path =
   starts_with ~prefix:"bin/" path || starts_with ~prefix:"bench/" path
 
-(* R8's scope is exactly the single-threaded select loop. *)
-let event_loop_files = [ "lib/server/daemon.ml"; "lib/server/conn.ml" ]
+(* R8's scope is exactly the single-threaded select loops. *)
+let event_loop_files =
+  [ "lib/server/daemon.ml"; "lib/server/conn.ml"; "lib/swarm/peer.ml" ]
 
 (* R9: the crash-safe paths Fault_io must be able to intercept;
-   lib/store/io.ml is the sanctioned raw-syscall boundary. *)
+   lib/store/io.ml is the sanctioned raw-syscall boundary.  The swarm's
+   replica persistence (vector table + content installs) is covered by
+   the same crash sweeps, so it writes through Io too. *)
 let io_mediated path =
   (starts_with ~prefix:"lib/store/" path
-  || starts_with ~prefix:"lib/collection/" path)
+  || starts_with ~prefix:"lib/collection/" path
+  || starts_with ~prefix:"lib/swarm/" path)
   && not (String.equal path "lib/store/io.ml")
 
 (* Files whose local get_*/read_* functions are wire readers — inside
    them an unqualified reader call is an R7 taint source. *)
 let decode_modules =
   [ "lib/server/msg.ml"; "lib/core/wire.ml"; "lib/net/frame.ml";
-    "lib/collection/meta_wire.ml" ]
+    "lib/collection/meta_wire.ml"; "lib/swarm/swarm_wire.ml";
+    "lib/swarm/version_vector.ml"; "lib/swarm/replica.ml" ]
 
 let rules_for path =
   (if is_wire_sensitive path then [ R1; R5 ] else [])
